@@ -1,0 +1,106 @@
+//! One Criterion benchmark per paper artifact: measures the cost of
+//! regenerating each table/figure data point (reduced problem sizes keep
+//! iterations fast; the full-size artifacts are produced by the
+//! `table1`/`fig3`/`fig4`/`fig5a`/`fig5b` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ulp_bench::fig5a::LINK_IDLE_WATTS;
+use ulp_kernels::matmul::{build_sized, MatVariant};
+use ulp_kernels::runner::run;
+use ulp_kernels::TargetEnv;
+use ulp_mcu::datasheet;
+use ulp_offload::envelope::{envelope_speedup, PowerBudget};
+use ulp_offload::{HetSystem, HetSystemConfig, OffloadOptions};
+use ulp_power::{busy_activity, PulpPowerModel};
+
+/// Table I data point: RISC-op counting on the baseline core.
+fn bench_table1(c: &mut Criterion) {
+    let env = TargetEnv::baseline();
+    c.bench_function("table1/riscops_matmul16", |b| {
+        b.iter(|| {
+            let build = build_sized(MatVariant::Char, &env, 16);
+            black_box(run(&build, &env).unwrap().retired)
+        })
+    });
+}
+
+/// Fig. 3 data point: one PULP operating-point evaluation.
+fn bench_fig3(c: &mut Criterion) {
+    let env = TargetEnv::pulp_parallel();
+    let build = build_sized(MatVariant::Char, &env, 16);
+    let measured = run(&build, &env).unwrap();
+    let act = measured.activity.unwrap();
+    let model = PulpPowerModel::pulp3();
+    c.bench_function("fig3/pulp_operating_point", |b| {
+        b.iter(|| {
+            let f = model.fmax_hz(black_box(0.6));
+            let p = model.total_power_w(f, 0.6, &act);
+            black_box(measured.retired as f64 / (measured.cycles as f64 / f) / p)
+        })
+    });
+}
+
+/// Fig. 4 data point: architectural-speedup measurement (two simulations).
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/arch_speedup_matmul16", |b| {
+        b.iter(|| {
+            let m4env = TargetEnv::host_m4();
+            let orenv = TargetEnv::pulp_single();
+            let m4 = run(&build_sized(MatVariant::Char, &m4env, 16), &m4env).unwrap();
+            let or10n = run(&build_sized(MatVariant::Char, &orenv, 16), &orenv).unwrap();
+            black_box(m4.cycles as f64 / or10n.cycles as f64)
+        })
+    });
+}
+
+/// Fig. 5a data point: the envelope solver at one MCU frequency.
+fn bench_fig5a(c: &mut Criterion) {
+    let power = PulpPowerModel::pulp3();
+    let act = busy_activity(4, 8);
+    let mcu = datasheet::stm32l476();
+    c.bench_function("fig5a/envelope_point", |b| {
+        b.iter(|| {
+            black_box(envelope_speedup(
+                &PowerBudget::default(),
+                &mcu,
+                black_box(8.0e6),
+                &power,
+                &act,
+                3_000_000,
+                280_000,
+                2_400_000,
+                LINK_IDLE_WATTS,
+            ))
+        })
+    });
+}
+
+/// Fig. 5b data point: offload-cost measurement plus an amortization sweep.
+fn bench_fig5b(c: &mut Criterion) {
+    let mut sys = HetSystem::new(HetSystemConfig::default());
+    let build = build_sized(MatVariant::Char, &TargetEnv::pulp_parallel(), 16);
+    let cost = sys.measure_cost(&build).unwrap();
+    c.bench_function("fig5b/amortization_sweep_10pts", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for iters in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+                let rep = sys.predict(
+                    &cost,
+                    &OffloadOptions { iterations: iters, ..Default::default() },
+                    true,
+                );
+                total += rep.efficiency();
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1, bench_fig3, bench_fig4, bench_fig5a, bench_fig5b
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Microbenchmarks of the simulator substrate itself: instruction
+//! encode/decode, interpreter throughput, TCDM arbitration, cluster
+//! fork/join, and the power-model envelope solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use ulp_cluster::{Cluster, ClusterConfig, L2_BASE};
+use ulp_isa::prelude::*;
+use ulp_isa::{decode, encode};
+use ulp_power::{busy_activity, PulpPowerModel};
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let insns: Vec<Insn> = (0..32u8)
+        .map(|i| Insn::Addi(Reg::new(i % 32), Reg::new((i + 1) % 32), i16::from(i)))
+        .chain((0..32u8).map(|i| Insn::Mac(Reg::new(i % 32), Reg::new(1), Reg::new(2))))
+        .collect();
+    let words: Vec<u32> = insns.iter().map(|i| encode(i).unwrap()).collect();
+
+    c.bench_function("isa/encode_64", |b| {
+        b.iter(|| {
+            for i in &insns {
+                black_box(encode(black_box(i)).unwrap());
+            }
+        })
+    });
+    c.bench_function("isa/decode_64", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(decode(black_box(*w)).unwrap());
+            }
+        })
+    });
+}
+
+fn interpreter_program(n: i32) -> Program {
+    let mut a = Asm::new();
+    a.li(R1, n);
+    a.li(R2, 0);
+    let top = a.new_label();
+    a.bind(top);
+    a.add(R2, R2, R1);
+    a.slli(R3, R2, 1);
+    a.insn(Insn::Xor(R4, R3, R2));
+    a.addi(R1, R1, -1);
+    a.bne(R1, R0, top);
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let prog = interpreter_program(10_000);
+    c.bench_function("core/run_50k_insns", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = FlatMemory::new(0, 4096);
+                mem.load_program(&prog, 0).unwrap();
+                let mut core = Core::new(0, CoreModel::or10n());
+                core.reset(0);
+                (core, mem)
+            },
+            |(mut core, mut mem)| {
+                core.run(&mut mem, u64::MAX).unwrap();
+                black_box(core.time())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cluster_fork_join(c: &mut Criterion) {
+    // A minimal fork/join kernel: wake the team, everyone barriers, halt.
+    let mut a = Asm::new();
+    let worker = a.new_label();
+    a.insn(Insn::Csrr(R28, Csr::CoreId));
+    a.bne(R28, R0, worker);
+    a.sev(33);
+    a.barrier();
+    a.sev(0);
+    a.halt();
+    a.bind(worker);
+    a.wfe();
+    a.barrier();
+    a.halt();
+    let prog = a.finish().unwrap();
+
+    c.bench_function("cluster/fork_join_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Cluster::new(ClusterConfig::default());
+                cl.load_binary(&prog, L2_BASE).unwrap();
+                cl
+            },
+            |mut cl| {
+                cl.start(L2_BASE, &[], 0);
+                black_box(cl.run_until_halt(1_000_000).unwrap().cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tcdm_contention(c: &mut Criterion) {
+    // Four cores hammering the same bank.
+    let mut a = Asm::new();
+    a.la(R1, ulp_cluster::TCDM_BASE);
+    a.li(R2, 256);
+    let top = a.new_label();
+    a.bind(top);
+    a.lw(R3, R1, 0);
+    a.addi(R2, R2, -1);
+    a.bne(R2, R0, top);
+    a.halt();
+    let prog = a.finish().unwrap();
+
+    c.bench_function("cluster/tcdm_contention_1k_accesses", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Cluster::new(ClusterConfig::default());
+                cl.load_binary(&prog, L2_BASE).unwrap();
+                cl
+            },
+            |mut cl| {
+                cl.start(L2_BASE, &[], 0);
+                black_box(cl.run_until_halt(10_000_000).unwrap().cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let model = PulpPowerModel::pulp3();
+    let act = busy_activity(4, 8);
+    c.bench_function("power/envelope_solver", |b| {
+        b.iter(|| black_box(model.max_freq_under_power(black_box(9.5e-3), &act)))
+    });
+    c.bench_function("power/total_power_eval", |b| {
+        b.iter(|| black_box(model.total_power_w(black_box(200.0e6), 0.7, &act)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_interpreter,
+    bench_cluster_fork_join,
+    bench_tcdm_contention,
+    bench_power_model
+);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Ablation studies for the design choices called out in `DESIGN.md`:
+//! TCDM banking, the hardware barrier, instruction-cache sizing, and the
+//! link width.
+
+use ulp_cluster::{Cluster, ClusterConfig};
+use ulp_kernels::runner::run_on_existing_cluster;
+use ulp_kernels::{Benchmark, TargetEnv};
+use ulp_link::SpiWidth;
+use ulp_offload::{HetSystem, HetSystemConfig, OffloadOptions};
+
+use crate::render_table;
+
+/// Cycles and conflicts of a quad-core matmul as the TCDM bank count
+/// varies ("word-level interleaving scheme to reduce access contention").
+#[must_use]
+pub fn tcdm_banking() -> Vec<(usize, u64, u64)> {
+    let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&banks| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                tcdm_banks: banks,
+                ..ClusterConfig::default()
+            });
+            let r = run_on_existing_cluster(&build, &mut cluster)
+                .unwrap_or_else(|e| panic!("banks={banks}: {e}"));
+            let act = r.activity.expect("cluster activity");
+            (banks, r.cycles, act.tcdm_conflicts)
+        })
+        .collect()
+}
+
+/// Parallel cycles of the barrier-heavy Strassen kernel as the barrier
+/// release latency varies (HW synchronizer vs slow software barrier).
+#[must_use]
+pub fn barrier_latency() -> Vec<(u32, u64)> {
+    let build = Benchmark::Strassen.build(&TargetEnv::pulp_parallel());
+    [2u32, 10, 50, 200]
+        .iter()
+        .map(|&lat| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                barrier_latency: lat,
+                ..ClusterConfig::default()
+            });
+            let r = run_on_existing_cluster(&build, &mut cluster)
+                .unwrap_or_else(|e| panic!("barrier={lat}: {e}"));
+            (lat, r.cycles)
+        })
+        .collect()
+}
+
+/// CNN cycles as the shared instruction cache shrinks/grows.
+#[must_use]
+pub fn icache_size() -> Vec<(usize, u64, u64)> {
+    let build = Benchmark::Cnn.build(&TargetEnv::pulp_parallel());
+    [1024usize, 2048, 4096, 16384]
+        .iter()
+        .map(|&size| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                icache_size: size,
+                ..ClusterConfig::default()
+            });
+            let r = run_on_existing_cluster(&build, &mut cluster)
+                .unwrap_or_else(|e| panic!("icache={size}: {e}"));
+            let act = r.activity.expect("cluster activity");
+            (size, r.cycles, act.icache_misses)
+        })
+        .collect()
+}
+
+/// Offload efficiency (16 iterations) with a single-bit SPI vs quad SPI.
+#[must_use]
+pub fn link_width() -> Vec<(SpiWidth, f64)> {
+    let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
+    [SpiWidth::Single, SpiWidth::Quad]
+        .iter()
+        .map(|&width| {
+            let mut sys = HetSystem::new(HetSystemConfig {
+                link_width: width,
+                ..HetSystemConfig::default()
+            });
+            let rep = sys
+                .offload(&build, &OffloadOptions { iterations: 16, ..Default::default() })
+                .expect("offload succeeds");
+            (width, rep.efficiency())
+        })
+        .collect()
+}
+
+/// On-cluster DMA double buffering (the §IV-B overlap, executed by
+/// generated code through the memory-mapped DMA): sequential vs
+/// overlapped cycles of the streaming kernel.
+#[must_use]
+pub fn dma_double_buffering() -> (u64, u64) {
+    use ulp_kernels::streaming;
+    let env = TargetEnv::pulp_single();
+    let seq = ulp_kernels::runner::run(&streaming::build(&env, false), &env)
+        .expect("sequential streaming runs");
+    let db = ulp_kernels::runner::run(&streaming::build(&env, true), &env)
+        .expect("double-buffered streaming runs");
+    (seq.cycles, db.cycles)
+}
+
+/// Runs every ablation and renders the report.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::from("Ablations — design choices of the platform\n");
+
+    out.push_str("\n[1] TCDM banking (quad-core matmul):\n");
+    let rows: Vec<Vec<String>> = tcdm_banking()
+        .iter()
+        .map(|(b, c, conf)| vec![b.to_string(), c.to_string(), conf.to_string()])
+        .collect();
+    out.push_str(&render_table(&["banks", "cycles", "conflicts"], &rows));
+
+    out.push_str("\n[2] barrier release latency (strassen, 4 cores):\n");
+    let rows: Vec<Vec<String>> = barrier_latency()
+        .iter()
+        .map(|(l, c)| vec![l.to_string(), c.to_string()])
+        .collect();
+    out.push_str(&render_table(&["latency cy", "cycles"], &rows));
+
+    out.push_str("\n[3] shared instruction cache size (cnn, 4 cores):\n");
+    let rows: Vec<Vec<String>> = icache_size()
+        .iter()
+        .map(|(s, c, m)| vec![format!("{} B", s), c.to_string(), m.to_string()])
+        .collect();
+    out.push_str(&render_table(&["I$ size", "cycles", "misses"], &rows));
+
+    out.push_str("\n[4] on-cluster DMA double buffering (streaming kernel, 16 kB):\n");
+    let (seq, db) = dma_double_buffering();
+    let rows: Vec<Vec<String>> = vec![
+        vec!["sequential".into(), seq.to_string()],
+        vec!["double-buffered".into(), db.to_string()],
+        vec!["overlap win".into(), format!("{:.1}%", (1.0 - db as f64 / seq as f64) * 100.0)],
+    ];
+    out.push_str(&render_table(&["schedule", "cycles"], &rows));
+
+    out.push_str("\n[5] link width (matmul offload, 16 iterations):\n");
+    let rows: Vec<Vec<String>> = link_width()
+        .iter()
+        .map(|(w, e)| vec![w.to_string(), format!("{e:.3}")])
+        .collect();
+    out.push_str(&render_table(&["link", "efficiency"], &rows));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_banks_fewer_conflicts() {
+        let rows = tcdm_banking();
+        let one = rows.iter().find(|(b, _, _)| *b == 1).unwrap();
+        let eight = rows.iter().find(|(b, _, _)| *b == 8).unwrap();
+        assert!(one.2 > eight.2 * 2, "1 bank ({}) must conflict far more than 8 ({})", one.2, eight.2);
+        assert!(one.1 > eight.1, "single-bank run must be slower");
+    }
+
+    #[test]
+    fn slow_barrier_costs_cycles() {
+        let rows = barrier_latency();
+        let fast = rows.first().unwrap().1;
+        let slow = rows.last().unwrap().1;
+        assert!(slow > fast, "200-cycle barriers must slow strassen down");
+    }
+
+    #[test]
+    fn quad_spi_beats_single() {
+        let rows = link_width();
+        let single = rows[0].1;
+        let quad = rows[1].1;
+        assert!(quad > single, "quad {quad:.3} vs single {single:.3}");
+    }
+}

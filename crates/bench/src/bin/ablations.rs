@@ -1,0 +1,5 @@
+//! Prints the design-choice ablation studies.
+
+fn main() {
+    println!("{}", ulp_bench::ablation::run());
+}

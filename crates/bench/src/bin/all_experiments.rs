@@ -1,0 +1,14 @@
+//! Runs every experiment of the DATE'16 evaluation and prints the full
+//! report (the source of `EXPERIMENTS.md`).
+
+fn main() {
+    let measurements = ulp_bench::measure::measure_all();
+    println!("{}", ulp_bench::table1::render(&measurements));
+    println!("{}", ulp_bench::fig3::run());
+    println!("{}", ulp_bench::fig4::render(&measurements));
+    println!("{}", ulp_bench::fig5a::render(&ulp_bench::fig5a::compute(&measurements)));
+    println!("{}", ulp_bench::fig5b::run());
+    println!("{}", ulp_bench::ablation::run());
+    println!("{}", ulp_bench::extensions::run());
+    println!("{}", ulp_bench::scaling::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the beyond-the-paper §V extension studies.
+
+fn main() {
+    println!("{}", ulp_bench::extensions::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the paper's fig4 artifact from fresh simulation.
+
+fn main() {
+    println!("{}", ulp_bench::fig4::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the paper's fig5a artifact from fresh simulation.
+
+fn main() {
+    println!("{}", ulp_bench::fig5a::run());
+}

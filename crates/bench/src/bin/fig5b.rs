@@ -1,0 +1,5 @@
+//! Prints the paper's fig5b artifact from fresh simulation.
+
+fn main() {
+    println!("{}", ulp_bench::fig5b::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the core-count scaling study.
+
+fn main() {
+    println!("{}", ulp_bench::scaling::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the paper's table1 artifact from fresh simulation.
+
+fn main() {
+    println!("{}", ulp_bench::table1::run());
+}

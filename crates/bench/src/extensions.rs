@@ -1,0 +1,197 @@
+//! Beyond-the-paper studies: the three §V "Discussion" variations of the
+//! model, quantified.
+//!
+//! 1. **Decoupled link clock** — a link not tied to the MCU frequency
+//!    removes the Fig. 5b plateau at slow host clocks.
+//! 2. **Sensor→accelerator direct path** — streaming inputs over a
+//!    dedicated interface relieves the coupling link.
+//! 3. **Concurrent host task** — the envelope already leaves room for
+//!    host work during accelerator compute.
+
+use ulp_kernels::{Benchmark, TargetEnv};
+use ulp_offload::{HetSystem, HetSystemConfig, LinkClocking, OffloadOptions};
+
+use crate::fig5b::system_at;
+use crate::render_table;
+
+/// Efficiency at 64 iterations for several host clocks, with the link
+/// tied to the host clock vs running independently at 25 MHz.
+#[must_use]
+pub fn decoupled_link(benchmark: Benchmark) -> Vec<(f64, f64, f64)> {
+    let build = benchmark.build(&TargetEnv::pulp_parallel());
+    let mut reference = HetSystem::new(HetSystemConfig::default());
+    let cost = reference.measure_cost(&build).expect("benchmark offloads");
+    [2.0e6, 4.0e6, 8.0e6, 16.0e6]
+        .iter()
+        .map(|&mcu_hz| {
+            let tied = system_at(mcu_hz);
+            let opts = OffloadOptions { iterations: 64, ..Default::default() };
+            let e_tied = tied.predict(&cost, &opts, true).efficiency();
+            let free = HetSystem::new(HetSystemConfig {
+                mcu_freq_hz: mcu_hz,
+                pulp_vdd: tied.config().pulp_vdd,
+                pulp_freq_hz: tied.config().pulp_freq_hz,
+                link_clocking: LinkClocking::Independent { spi_hz: 25.0e6 },
+                ..HetSystemConfig::default()
+            });
+            let e_free = free.predict(&cost, &opts, true).efficiency();
+            (mcu_hz, e_tied, e_free)
+        })
+        .collect()
+}
+
+/// Per-iteration time with inputs over the link vs over a direct sensor
+/// interface, for the input-heavy benchmarks.
+#[must_use]
+pub fn sensor_direct() -> Vec<(&'static str, f64, f64)> {
+    [Benchmark::MatMul, Benchmark::Hog, Benchmark::Cnn]
+        .iter()
+        .map(|&b| {
+            let build = b.build(&TargetEnv::pulp_parallel());
+            let mut sys = HetSystem::new(HetSystemConfig {
+                mcu_freq_hz: 4.0e6,
+                ..HetSystemConfig::default()
+            });
+            let cost = sys.measure_cost(&build).expect("benchmark offloads");
+            let iters = 32;
+            let via = sys
+                .predict(&cost, &OffloadOptions { iterations: iters, ..Default::default() }, true)
+                .total_seconds()
+                / iters as f64;
+            let direct = sys
+                .predict(
+                    &cost,
+                    &OffloadOptions {
+                        iterations: iters,
+                        sensor_direct: true,
+                        ..Default::default()
+                    },
+                    true,
+                )
+                .total_seconds()
+                / iters as f64;
+            (b.name(), via, direct)
+        })
+        .collect()
+}
+
+/// Host MIPS available during accelerator compute and the resulting
+/// compute-phase platform power, per host clock.
+#[must_use]
+pub fn host_task() -> Vec<(f64, f64, f64)> {
+    let build = Benchmark::Cnn.build(&TargetEnv::pulp_parallel());
+    [1.0e6, 2.0e6, 4.0e6, 8.0e6]
+        .iter()
+        .map(|&mcu_hz| {
+            let mut sys = system_at(mcu_hz);
+            let cost = sys.measure_cost(&build).expect("cnn offloads");
+            let rep = sys.predict(
+                &cost,
+                &OffloadOptions { iterations: 16, host_task: true, ..Default::default() },
+                true,
+            );
+            let host_mips = rep.host_task_cycles as f64 / rep.compute_seconds / 1e6;
+            let platform_w = sys.config().power.total_power_w(
+                sys.config().pulp_freq_hz,
+                sys.config().pulp_vdd,
+                &rep.activity,
+            ) + sys.config().mcu.run_power_w(mcu_hz);
+            (mcu_hz, host_mips, platform_w)
+        })
+        .collect()
+}
+
+/// Runs all three studies and renders the report.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::from("Extensions — the paper's §V discussion points, quantified\n");
+
+    out.push_str("\n[1] decoupled link clock (matmul, 64 iterations/offload):\n");
+    let rows: Vec<Vec<String>> = decoupled_link(Benchmark::MatMul)
+        .iter()
+        .map(|(f, tied, free)| {
+            vec![format!("{:.0}", f / 1e6), format!("{tied:.3}"), format!("{free:.3}")]
+        })
+        .collect();
+    out.push_str(&render_table(&["MCU MHz", "eff (tied)", "eff (25MHz link)"], &rows));
+
+    out.push_str("\n[2] direct sensor→accelerator input path (per-iteration ms @4 MHz host):\n");
+    let rows: Vec<Vec<String>> = sensor_direct()
+        .iter()
+        .map(|(name, via, direct)| {
+            vec![
+                (*name).to_owned(),
+                format!("{:.2}", via * 1e3),
+                format!("{:.2}", direct * 1e3),
+                format!("{:.1}×", via / direct),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&["benchmark", "via link", "sensor direct", "gain"], &rows));
+
+    out.push_str("\n[3] concurrent host task during accelerator compute (cnn):\n");
+    let rows: Vec<Vec<String>> = host_task()
+        .iter()
+        .map(|(f, mips, w)| {
+            vec![
+                format!("{:.0}", f / 1e6),
+                format!("{mips:.1}"),
+                format!("{:.2}", w * 1e3),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&["MCU MHz", "host MIPS gained", "platform mW"], &rows));
+    out.push_str(
+        "\nthe sub-10 mW rows show the paper's point: the envelope already\n\
+         accommodates a separate live task on the host\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoupled_link_lifts_the_plateau() {
+        for (mcu_hz, tied, free) in decoupled_link(Benchmark::MatMul) {
+            assert!(free > tied, "at {:.0} MHz: {free:.3} vs {tied:.3}", mcu_hz / 1e6);
+            if mcu_hz < 5.0e6 {
+                assert!(
+                    free > tied * 3.0,
+                    "slow-host plateau must lift dramatically: {free:.3} vs {tied:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sensor_direct_helps_input_heavy_benchmarks_most() {
+        let rows = sensor_direct();
+        let gain = |name: &str| {
+            let r = rows.iter().find(|(n, _, _)| *n == name).unwrap();
+            r.1 / r.2
+        };
+        // matmul ships 8 kB in per ~0.1 M cluster cycles — the most
+        // input-bound of the three — while hog computes for far longer
+        // per input byte.
+        assert!(gain("matmul") > 1.5);
+        assert!(gain("matmul") > gain("cnn"));
+        assert!(gain("hog") > 1.2 && gain("cnn") > 1.2);
+    }
+
+    #[test]
+    fn host_task_stays_within_envelope_at_low_clocks() {
+        for (mcu_hz, mips, watts) in host_task() {
+            assert!(mips > 0.5, "at {:.0} MHz: {mips:.1} MIPS", mcu_hz / 1e6);
+            if mcu_hz <= 2.0e6 {
+                assert!(
+                    watts < 10.5e-3,
+                    "at {:.0} MHz the platform draws {:.2} mW",
+                    mcu_hz / 1e6,
+                    watts * 1e3
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fig. 3: energy efficiency on `matmul` — PULP operating points vs
+//! commercial MCUs.
+
+use ulp_kernels::Benchmark;
+use ulp_mcu::{datasheet, HostCoreKind};
+use ulp_power::PulpPowerModel;
+
+use crate::measure::{measure, Measurement};
+use crate::render_table;
+
+/// One point of the efficiency/power plane.
+#[derive(Clone, Debug)]
+pub struct Fig3Point {
+    /// Device / operating-point label.
+    pub label: String,
+    /// Throughput in millions of RISC operations per second.
+    pub mops: f64,
+    /// Power in milliwatts.
+    pub power_mw: f64,
+    /// Energy efficiency in GOPS/W.
+    pub gops_per_watt: f64,
+}
+
+/// The complete Fig. 3 dataset.
+#[derive(Clone, Debug)]
+pub struct Fig3 {
+    /// Commercial MCU operating points.
+    pub mcus: Vec<Fig3Point>,
+    /// PULP operating points (0.5–1.0 V sweep at fmax).
+    pub pulp: Vec<Fig3Point>,
+}
+
+impl Fig3 {
+    /// Peak PULP efficiency point.
+    #[must_use]
+    pub fn pulp_peak(&self) -> &Fig3Point {
+        self.pulp
+            .iter()
+            .max_by(|a, b| a.gops_per_watt.total_cmp(&b.gops_per_watt))
+            .expect("sweep is non-empty")
+    }
+
+    /// Best commercial MCU efficiency.
+    #[must_use]
+    pub fn best_mcu(&self) -> &Fig3Point {
+        self.mcus
+            .iter()
+            .max_by(|a, b| a.gops_per_watt.total_cmp(&b.gops_per_watt))
+            .expect("device list is non-empty")
+    }
+}
+
+/// Computes the Fig. 3 dataset from a matmul measurement.
+#[must_use]
+pub fn compute(m: &Measurement) -> Fig3 {
+    let ops = m.risc_ops as f64;
+
+    let mut mcus = Vec::new();
+    for dev in datasheet::all() {
+        let base_cycles = match dev.core {
+            HostCoreKind::CortexM4 => m.cycles_m4,
+            HostCoreKind::CortexM3 | HostCoreKind::Msp430 => m.cycles_m3,
+        };
+        let cycles = dev.effective_cycles(base_cycles) as f64;
+        for &f in dev.sweep_hz {
+            let seconds = cycles / f;
+            let power = dev.run_power_w(f);
+            mcus.push(Fig3Point {
+                label: format!("{} @{:.0}MHz", dev.name, f / 1e6),
+                mops: ops / seconds / 1.0e6,
+                power_mw: power * 1e3,
+                gops_per_watt: ops / seconds / 1.0e9 / power,
+            });
+        }
+    }
+
+    let model = PulpPowerModel::pulp3();
+    let mut pulp = Vec::new();
+    let mut vdd = 0.5f64;
+    while vdd <= 1.0 + 1e-9 {
+        let v = vdd.min(1.0);
+        let f = model.fmax_hz(v);
+        let seconds = m.cycles_quad as f64 / f;
+        let power = model.total_power_w(f, v, &m.activity_quad);
+        pulp.push(Fig3Point {
+            label: format!("PULP @{v:.2}V/{:.0}MHz", f / 1e6),
+            mops: ops / seconds / 1.0e6,
+            power_mw: power * 1e3,
+            gops_per_watt: ops / seconds / 1.0e9 / power,
+        });
+        vdd += 0.05;
+    }
+
+    Fig3 { mcus, pulp }
+}
+
+/// Renders the Fig. 3 table.
+#[must_use]
+pub fn render(fig: &Fig3) -> String {
+    let row = |p: &Fig3Point| {
+        vec![
+            p.label.clone(),
+            format!("{:.1}", p.mops),
+            format!("{:.3}", p.power_mw),
+            format!("{:.1}", p.gops_per_watt),
+        ]
+    };
+    let mut rows: Vec<Vec<String>> = fig.mcus.iter().map(row).collect();
+    rows.extend(fig.pulp.iter().map(row));
+    let mut out = String::from(
+        "Fig. 3 — energy efficiency on matmul (GOPS = 1e9 RISC ops/s)\n\n",
+    );
+    out.push_str(&render_table(&["operating point", "MOPS", "mW", "GOPS/W"], &rows));
+    let peak = fig.pulp_peak();
+    let best = fig.best_mcu();
+    out.push_str(&format!(
+        "\nPULP peak: {:.0} GOPS/W at {:.2} mW ({}) — paper anchor: 304 GOPS/W at 1.48 mW\n\
+         best MCU:  {:.1} GOPS/W ({}) — paper: <5 GOPS/W, Apollo ≈10 GOPS/W at 24 MOPS\n\
+         efficiency gap: {:.0}×\n",
+        peak.gops_per_watt,
+        peak.power_mw,
+        peak.label,
+        best.gops_per_watt,
+        best.label,
+        peak.gops_per_watt / best.gops_per_watt,
+    ));
+    out
+}
+
+/// Measures matmul and renders Fig. 3.
+#[must_use]
+pub fn run() -> String {
+    render(&compute(&measure(Benchmark::MatMul)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig3 {
+        compute(&measure(Benchmark::MatMul))
+    }
+
+    #[test]
+    fn pulp_peak_shape() {
+        // The peak sits at the lowest operating point, at ≈1.5 mW. Our
+        // absolute GOPS/W runs ≈3× above the paper's 304 because the
+        // featureless baseline retires ≈3× more instructions per unit of
+        // work than the paper's compiled baseline appears to (see
+        // EXPERIMENTS.md); the *relative* picture is asserted in
+        // `efficiency_gap_around_1_5_orders_of_magnitude`.
+        let f = fig();
+        let peak = f.pulp_peak();
+        assert!(
+            (400.0..1500.0).contains(&peak.gops_per_watt),
+            "peak {:.0} GOPS/W outside the calibrated band",
+            peak.gops_per_watt
+        );
+        assert!(
+            (0.9..2.2).contains(&peak.power_mw),
+            "peak power {:.2} mW outside the 1.48 mW anchor band",
+            peak.power_mw
+        );
+        assert!(peak.label.contains("0.50V"), "peak must sit at the lowest VDD");
+    }
+
+    #[test]
+    fn apollo_best_mcu_and_all_far_below_pulp() {
+        // Paper: every MCU below 5 GOPS/W except the Apollo at ≈10 (same
+        // ≈3× scale factor as the PULP numbers; ratios preserved).
+        let f = fig();
+        for p in &f.mcus {
+            assert!(p.gops_per_watt < 25.0, "{}: {:.1} GOPS/W", p.label, p.gops_per_watt);
+            if !p.label.contains("Apollo") {
+                assert!(p.gops_per_watt < 13.0, "{}: {:.1} GOPS/W", p.label, p.gops_per_watt);
+            }
+        }
+        let best = f.best_mcu();
+        assert!(best.label.contains("Apollo"));
+        // The Apollo leads the commercial pack by a clear margin…
+        let second = f
+            .mcus
+            .iter()
+            .filter(|p| !p.label.contains("Apollo"))
+            .map(|p| p.gops_per_watt)
+            .fold(0.0, f64::max);
+        assert!(best.gops_per_watt > 1.8 * second);
+        // …and still loses to every PULP operating point.
+        for p in &f.pulp {
+            assert!(p.gops_per_watt > best.gops_per_watt, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn efficiency_gap_around_1_5_orders_of_magnitude() {
+        // "a gain of 1.5 orders of magnitude in energy efficiency between
+        // PULP and the MCUs".
+        let f = fig();
+        let gap = f.pulp_peak().gops_per_watt / f.best_mcu().gops_per_watt;
+        assert!((15.0..80.0).contains(&gap), "gap {gap:.0}× outside the band");
+    }
+
+    #[test]
+    fn pulp_efficiency_peaks_at_low_voltage() {
+        let f = fig();
+        let first = &f.pulp[0]; // 0.50 V
+        let last = f.pulp.last().unwrap(); // 1.00 V
+        assert!(first.gops_per_watt > last.gops_per_watt, "efficiency must fall with VDD");
+        assert!(last.mops > first.mops, "throughput must rise with VDD");
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 4: architectural speedup (left) and parallel speedup (right).
+
+use crate::measure::{measure_all, Measurement};
+use crate::render_table;
+
+/// Renders both panels of Fig. 4.
+#[must_use]
+pub fn render(measurements: &[Measurement]) -> String {
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.benchmark.name().to_owned(),
+                if m.benchmark.is_fixed_point() { "fixed" } else { "int/other" }.to_owned(),
+                format!("{:.2}", m.arch_speedup_m3()),
+                format!("{:.2}", m.arch_speedup_m4()),
+                format!("{:.2}", m.parallel_speedup()),
+                format!("{:.0}%", m.parallel_speedup() / 4.0 * 100.0),
+            ]
+        })
+        .collect();
+    let mean_par: f64 = measurements.iter().map(Measurement::parallel_speedup).sum::<f64>()
+        / measurements.len() as f64;
+    let mut out = String::from(
+        "Fig. 4 — architectural speedup (1×OR10N vs Cortex-M, cycles) and\n\
+         parallel speedup (4 cores vs 1, ideal 4×)\n\n",
+    );
+    out.push_str(&render_table(
+        &["benchmark", "group", "arch ×M3", "arch ×M4", "parallel ×", "par. eff."],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nmean parallel speedup: {mean_par:.2}× (ideal 4×, gap = Amdahl + OpenMP runtime; \
+         paper reports ≈6% average runtime overhead)\n"
+    ));
+    out
+}
+
+/// Measures and renders Fig. 4.
+#[must_use]
+pub fn run() -> String {
+    render(&measure_all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure;
+    use ulp_kernels::Benchmark;
+
+    #[test]
+    fn shape_integer_above_fixed_above_hog() {
+        // The defining shape of Fig. 4 left.
+        let mm = measure(Benchmark::MatMul);
+        let sv = measure(Benchmark::SvmLinear);
+        let hog = measure(Benchmark::Hog);
+        assert!(
+            mm.arch_speedup_m4() > sv.arch_speedup_m4(),
+            "integer ({:.2}) must beat fixed-point ({:.2})",
+            mm.arch_speedup_m4(),
+            sv.arch_speedup_m4()
+        );
+        assert!(
+            sv.arch_speedup_m4() > hog.arch_speedup_m4(),
+            "fixed-point ({:.2}) must beat hog ({:.2})",
+            sv.arch_speedup_m4(),
+            hog.arch_speedup_m4()
+        );
+        assert!(hog.arch_speedup_m4() < 1.0, "hog shows an architectural slowdown");
+    }
+
+    #[test]
+    fn render_mentions_overhead() {
+        let ms = vec![measure(Benchmark::MatMulFixed)];
+        let s = render(&ms);
+        assert!(s.contains("parallel"));
+        assert!(s.contains("matmul (fixed)"));
+    }
+}

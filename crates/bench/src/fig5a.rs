@@ -1,0 +1,172 @@
+//! Fig. 5a: speedup achievable within a total 10 mW power envelope.
+
+use ulp_mcu::datasheet;
+use ulp_offload::envelope::{envelope_speedup, EnvelopeReport, PowerBudget};
+use ulp_power::PulpPowerModel;
+
+use crate::measure::{measure_all, Measurement};
+use crate::render_table;
+
+/// MCU operating frequencies of the sweep (Hz). Frequencies above 32 MHz
+/// exceed the budget and are reported as the paper's "spending more than
+/// the allotted 10 mW" bars.
+pub const MCU_FREQS_HZ: [f64; 9] =
+    [1.0e6, 2.0e6, 4.0e6, 8.0e6, 16.0e6, 26.0e6, 32.0e6, 48.0e6, 80.0e6];
+
+/// Link power while mostly idle during compute (drivers quiescent).
+pub const LINK_IDLE_WATTS: f64 = 20.0e-6;
+
+/// One benchmark × MCU-frequency sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig5aRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Envelope analysis at this MCU frequency.
+    pub report: EnvelopeReport,
+}
+
+/// Computes the full sweep.
+#[must_use]
+pub fn compute(measurements: &[Measurement]) -> Vec<Fig5aRow> {
+    let power = PulpPowerModel::pulp3();
+    let budget = PowerBudget::default();
+    let mcu = datasheet::stm32l476();
+    let mut rows = Vec::new();
+    for m in measurements {
+        for f in MCU_FREQS_HZ {
+            rows.push(Fig5aRow {
+                benchmark: m.benchmark.name(),
+                report: envelope_speedup(
+                    &budget,
+                    &mcu,
+                    f,
+                    &power,
+                    &m.activity_quad,
+                    m.cycles_m4,
+                    m.cycles_quad,
+                    m.risc_ops,
+                    LINK_IDLE_WATTS,
+                ),
+            });
+        }
+    }
+    rows
+}
+
+/// Peak accelerator speedup for a benchmark over the sweep.
+#[must_use]
+pub fn peak_speedup(rows: &[Fig5aRow], benchmark: &str) -> f64 {
+    rows.iter()
+        .filter(|r| r.benchmark == benchmark && r.report.mcu_within_budget)
+        .filter_map(|r| r.report.pulp_speedup)
+        .fold(0.0, f64::max)
+}
+
+/// Renders the Fig. 5a table.
+#[must_use]
+pub fn render(rows: &[Fig5aRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let rep = &r.report;
+            vec![
+                r.benchmark.to_owned(),
+                format!("{:.0}", rep.mcu_freq_hz / 1e6),
+                if rep.mcu_within_budget { "yes" } else { "OVER" }.to_owned(),
+                format!("{:.2}", rep.mcu_speedup),
+                rep.pulp_point
+                    .map_or_else(|| "-".into(), |p| format!("{:.0}", p.freq_hz / 1e6)),
+                rep.pulp_point.map_or_else(|| "-".into(), |p| format!("{:.2}", p.vdd)),
+                rep.pulp_speedup.map_or_else(|| "-".into(), |s| format!("{s:.1}")),
+                format!("{:.1}", rep.pulp_ops_per_cycle),
+                format!("{:.2}", rep.mcu_ops_per_cycle),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Fig. 5a — speedup vs STM32-L476 @32 MHz within a 10 mW total envelope\n\
+         (offload cost excluded, as in the paper; ops/cycle annotate the bars)\n\n",
+    );
+    out.push_str(&render_table(
+        &[
+            "benchmark",
+            "MCU MHz",
+            "in budget",
+            "MCU ×",
+            "PULP MHz",
+            "VDD",
+            "PULP ×",
+            "ops/cy P",
+            "ops/cy M",
+        ],
+        &table,
+    ));
+    out
+}
+
+/// Measures everything and renders Fig. 5a.
+#[must_use]
+pub fn run() -> String {
+    let rows = compute(&measure_all());
+    let mut out = render(&rows);
+    let strassen = peak_speedup(&rows, "strassen");
+    let hog = peak_speedup(&rows, "hog");
+    out.push_str(&format!(
+        "\npeak speedups: strassen {strassen:.0}× (paper ≈60×), hog {hog:.0}× \
+         (paper ≈20×, worst case)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure;
+    use ulp_kernels::Benchmark;
+
+    #[test]
+    fn strassen_peak_near_paper_60x() {
+        let rows = compute(&[measure(Benchmark::Strassen)]);
+        let peak = peak_speedup(&rows, "strassen");
+        assert!((35.0..90.0).contains(&peak), "strassen peak {peak:.0}× vs paper ≈60×");
+    }
+
+    #[test]
+    fn fixed_point_benchmarks_exceed_25x() {
+        for b in [Benchmark::MatMulFixed, Benchmark::SvmRbf, Benchmark::Cnn] {
+            let rows = compute(&[measure(b)]);
+            let peak = peak_speedup(&rows, b.name());
+            assert!(peak > 20.0, "{b}: peak {peak:.0}× vs paper >25×");
+        }
+    }
+
+    #[test]
+    fn hog_is_worst_but_still_speeds_up() {
+        let rows = compute(&[measure(Benchmark::Hog)]);
+        let peak = peak_speedup(&rows, "hog");
+        assert!((8.0..35.0).contains(&peak), "hog peak {peak:.0}× vs paper ≈20×");
+    }
+
+    #[test]
+    fn speedup_decreases_with_mcu_frequency() {
+        let rows = compute(&[measure(Benchmark::MatMul)]);
+        let at = |mhz: f64| {
+            rows.iter()
+                .find(|r| (r.report.mcu_freq_hz - mhz * 1e6).abs() < 1.0)
+                .and_then(|r| r.report.pulp_speedup)
+                .unwrap_or(0.0)
+        };
+        assert!(at(1.0) > at(16.0));
+        assert!(at(16.0) > at(26.0));
+    }
+
+    #[test]
+    fn above_32mhz_flagged_over_budget() {
+        let rows = compute(&[measure(Benchmark::MatMul)]);
+        for r in &rows {
+            if r.report.mcu_freq_hz > 33.0e6 {
+                assert!(!r.report.mcu_within_budget);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Fig. 5b: offload-cost amortization — efficiency w.r.t. the ideal
+//! accelerator as the number of benchmark iterations per offload grows,
+//! with and without double buffering.
+
+use ulp_mcu::datasheet;
+use ulp_offload::{HetSystem, HetSystemConfig, OffloadCost, OffloadOptions};
+use ulp_power::{busy_activity, PulpPowerModel};
+
+use crate::fig5a::LINK_IDLE_WATTS;
+use crate::render_table;
+use ulp_kernels::{Benchmark, TargetEnv};
+
+/// MCU frequencies swept (Hz) — the paper's observation: at 16/26 MHz the
+/// link keeps up and efficiency converges to ≈1; at low clocks it
+/// plateaus because the SPI clock follows the MCU clock.
+pub const MCU_FREQS_HZ: [f64; 5] = [2.0e6, 4.0e6, 8.0e6, 16.0e6, 26.0e6];
+
+/// Iterations-per-offload sweep (powers of two, as in the paper's x axis).
+pub const ITERATIONS: [usize; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig5bRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// MCU (and therefore SPI) clock.
+    pub mcu_freq_hz: f64,
+    /// Iterations per offload.
+    pub iterations: usize,
+    /// Efficiency w.r.t. compute-only ideal, sequential transfers.
+    pub efficiency: f64,
+    /// Efficiency with double buffering.
+    pub efficiency_db: f64,
+}
+
+/// Builds the heterogeneous system for one MCU frequency: the accelerator
+/// operating point is the Fig. 5a envelope solution at that host clock.
+#[must_use]
+pub fn system_at(mcu_freq_hz: f64) -> HetSystem {
+    let power = PulpPowerModel::pulp3();
+    let mcu = datasheet::stm32l476();
+    let residual = 10.0e-3 - mcu.run_power_w(mcu_freq_hz) - LINK_IDLE_WATTS;
+    let op = power
+        .max_freq_under_power(residual, &busy_activity(4, 8))
+        .expect("every swept frequency leaves budget for the accelerator");
+    HetSystem::new(HetSystemConfig {
+        mcu,
+        mcu_freq_hz,
+        pulp_vdd: op.vdd,
+        pulp_freq_hz: op.freq_hz,
+        ..HetSystemConfig::default()
+    })
+}
+
+/// Measures each benchmark's offload cost once, then sweeps frequencies
+/// and iteration counts analytically.
+#[must_use]
+pub fn compute(benchmarks: &[Benchmark]) -> Vec<Fig5bRow> {
+    // Costs (cycles, bytes) are independent of the operating point.
+    let mut reference_sys = HetSystem::new(HetSystemConfig::default());
+    let costs: Vec<(Benchmark, OffloadCost)> = benchmarks
+        .iter()
+        .map(|b| {
+            let build = b.build(&TargetEnv::pulp_parallel());
+            let cost = reference_sys.measure_cost(&build).expect("benchmark offloads");
+            (*b, cost)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for f in MCU_FREQS_HZ {
+        let sys = system_at(f);
+        for (b, cost) in &costs {
+            for iters in ITERATIONS {
+                let seq = sys.predict(
+                    cost,
+                    &OffloadOptions { iterations: iters, ..Default::default() },
+                    true,
+                );
+                let db = sys.predict(
+                    cost,
+                    &OffloadOptions {
+                        iterations: iters,
+                        double_buffer: true,
+                        ..Default::default()
+                    },
+                    true,
+                );
+                rows.push(Fig5bRow {
+                    benchmark: b.name().to_owned(),
+                    mcu_freq_hz: f,
+                    iterations: iters,
+                    efficiency: seq.efficiency(),
+                    efficiency_db: db.efficiency(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the Fig. 5b table (per benchmark, efficiency by iteration count
+/// for each MCU frequency).
+#[must_use]
+pub fn render(rows: &[Fig5bRow]) -> String {
+    let mut out = String::from(
+        "Fig. 5b — efficiency w.r.t. ideal (compute-only) accelerator when\n\
+         amortizing the offload over more iterations; `+db` = double buffering\n\n",
+    );
+    let mut table = Vec::new();
+    for r in rows {
+        table.push(vec![
+            r.benchmark.clone(),
+            format!("{:.0}", r.mcu_freq_hz / 1e6),
+            r.iterations.to_string(),
+            format!("{:.3}", r.efficiency),
+            format!("{:.3}", r.efficiency_db),
+        ]);
+    }
+    out.push_str(&render_table(&["benchmark", "MCU MHz", "iters", "eff", "eff +db"], &table));
+    out
+}
+
+/// Runs the sweep over a compact benchmark subset and renders it.
+#[must_use]
+pub fn run() -> String {
+    let rows =
+        compute(&[Benchmark::MatMul, Benchmark::SvmRbf, Benchmark::Cnn, Benchmark::Hog]);
+    render(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_for(b: Benchmark) -> Vec<Fig5bRow> {
+        compute(&[b])
+    }
+
+    fn eff(rows: &[Fig5bRow], mhz: f64, iters: usize) -> f64 {
+        rows.iter()
+            .find(|r| (r.mcu_freq_hz - mhz * 1e6).abs() < 1.0 && r.iterations == iters)
+            .unwrap()
+            .efficiency
+    }
+
+    #[test]
+    fn efficiency_monotone_in_iterations() {
+        let rows = rows_for(Benchmark::Cnn);
+        for mhz in [2.0, 16.0, 26.0] {
+            let mut prev = 0.0;
+            for it in ITERATIONS {
+                let e = eff(&rows, mhz, it);
+                assert!(e >= prev, "efficiency dropped at {mhz} MHz, {it} iters");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn cnn_converges_at_fast_clocks() {
+        // CNN moves only 2 kB per iteration: at the fast host clocks the
+        // binary offload amortizes by 32 iterations and efficiency
+        // approaches its ceiling (the paper: "full efficiency can be
+        // reached after as few as 32 iterations" at 16/26 MHz).
+        let rows = rows_for(Benchmark::Cnn);
+        let e16_32 = eff(&rows, 16.0, 32);
+        let e26_32 = eff(&rows, 26.0, 32);
+        assert!(e16_32 > 0.6, "16 MHz/32 iters: {e16_32:.3}");
+        assert!(e26_32 > 0.75, "26 MHz/32 iters: {e26_32:.3}");
+        // 32 iterations already capture ≥95 % of the 512-iteration ceiling.
+        assert!(e16_32 > 0.95 * eff(&rows, 16.0, 512));
+        assert!(eff(&rows, 16.0, 1) < e16_32);
+    }
+
+    #[test]
+    fn slow_clock_plateaus_below_fast_clock() {
+        // The SPI clock follows the MCU clock: at 2 MHz the link bound
+        // caps efficiency below the 26 MHz ceiling even at 512 iterations.
+        let rows = rows_for(Benchmark::MatMul);
+        let slow = eff(&rows, 2.0, 512);
+        let fast = eff(&rows, 26.0, 512);
+        assert!(
+            slow < fast,
+            "2 MHz plateau ({slow:.3}) must sit below the 26 MHz ceiling ({fast:.3})"
+        );
+    }
+
+    #[test]
+    fn double_buffering_never_hurts_and_helps_data_heavy() {
+        let rows = rows_for(Benchmark::MatMul);
+        for r in &rows {
+            assert!(r.efficiency_db >= r.efficiency - 1e-12);
+        }
+        // matmul moves 12 kB per iteration: double buffering must visibly
+        // help at moderate clocks.
+        let seq = rows
+            .iter()
+            .find(|r| (r.mcu_freq_hz - 16.0e6).abs() < 1.0 && r.iterations == 64)
+            .unwrap();
+        assert!(
+            seq.efficiency_db > seq.efficiency * 1.15,
+            "db {:.3} vs seq {:.3}",
+            seq.efficiency_db,
+            seq.efficiency
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! # ulp-bench — experiment harness for the DATE'16 evaluation
+//!
+//! Regenerates every table and figure of the paper's §IV from simulation:
+//!
+//! | artifact | module | binary |
+//! |---|---|---|
+//! | Table I  (benchmark summary)            | [`table1`] | `cargo run --bin table1` |
+//! | Fig. 3   (matmul energy efficiency)     | [`fig3`]   | `cargo run --bin fig3` |
+//! | Fig. 4   (architectural & parallel speedup) | [`fig4`] | `cargo run --bin fig4` |
+//! | Fig. 5a  (speedup in a 10 mW envelope)  | [`fig5a`]  | `cargo run --bin fig5a` |
+//! | Fig. 5b  (offload amortization)         | [`fig5b`]  | `cargo run --bin fig5b` |
+//! | ablations (design-choice studies)       | [`ablation`] | `cargo run --bin ablations` |
+//! | §V extensions (beyond the paper)        | [`extensions`] | `cargo run --bin extensions` |
+//! | core-count scaling study                | [`scaling`] | `cargo run --bin scaling` |
+//!
+//! `cargo run --bin all_experiments` prints everything (the source of
+//! `EXPERIMENTS.md`). Absolute numbers come from the calibrated models
+//! described in `DESIGN.md`; the claims under test are the *shapes*: who
+//! wins, by what factor, where the crossovers sit.
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5a;
+pub mod fig5b;
+pub mod measure;
+pub mod scaling;
+pub mod table1;
+
+/// Renders an aligned plain-text table (header + rows).
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+}

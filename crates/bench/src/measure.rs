@@ -1,0 +1,116 @@
+//! Shared benchmark measurement: one record per Table I row with cycle
+//! counts on every target configuration.
+
+use ulp_cluster::ClusterActivity;
+use ulp_kernels::runner::run;
+use ulp_kernels::{Benchmark, TargetEnv};
+
+/// Per-benchmark measurement across all target configurations.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// RISC ops: retired instructions on the featureless baseline core.
+    pub risc_ops: u64,
+    /// Cycles on a Cortex-M3-class host.
+    pub cycles_m3: u64,
+    /// Cycles on a Cortex-M4-class host.
+    pub cycles_m4: u64,
+    /// Cycles on a single OR10N core.
+    pub cycles_single: u64,
+    /// Cycles on the 4-core cluster (OpenMP-parallel, warm).
+    pub cycles_quad: u64,
+    /// Activity of the 4-core run (power-model input).
+    pub activity_quad: ClusterActivity,
+    /// Input bytes per execution (Table I "Input").
+    pub input_bytes: usize,
+    /// Output bytes per execution (Table I "Output").
+    pub output_bytes: usize,
+    /// Offload binary size: text + rodata + constants (Table I "Binary").
+    pub binary_bytes: usize,
+}
+
+impl Measurement {
+    /// Architectural speedup vs Cortex-M4 (paper Fig. 4 left).
+    #[must_use]
+    pub fn arch_speedup_m4(&self) -> f64 {
+        self.cycles_m4 as f64 / self.cycles_single as f64
+    }
+
+    /// Architectural speedup vs Cortex-M3.
+    #[must_use]
+    pub fn arch_speedup_m3(&self) -> f64 {
+        self.cycles_m3 as f64 / self.cycles_single as f64
+    }
+
+    /// Parallel speedup of 4 cores over 1 (paper Fig. 4 right; ideal 4).
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        self.cycles_single as f64 / self.cycles_quad as f64
+    }
+
+    /// RISC operations per cluster cycle (the Fig. 5a bar annotations).
+    #[must_use]
+    pub fn pulp_ops_per_cycle(&self) -> f64 {
+        self.risc_ops as f64 / self.cycles_quad as f64
+    }
+
+    /// RISC operations per Cortex-M4 cycle.
+    #[must_use]
+    pub fn mcu_ops_per_cycle(&self) -> f64 {
+        self.risc_ops as f64 / self.cycles_m4 as f64
+    }
+}
+
+/// Measures one benchmark on every configuration (five simulations).
+///
+/// # Panics
+///
+/// Panics if any simulation fails — every kernel is verified bit-exact
+/// against its golden reference on every run, so a failure here is a bug.
+#[must_use]
+pub fn measure(benchmark: Benchmark) -> Measurement {
+    let run_on = |env: TargetEnv| {
+        let build = benchmark.build(&env);
+        run(&build, &env).unwrap_or_else(|e| panic!("{} failed: {e}", build.name))
+    };
+    let baseline = run_on(TargetEnv::baseline());
+    let m3 = run_on(TargetEnv::host_m3());
+    let m4 = run_on(TargetEnv::host_m4());
+    let single = run_on(TargetEnv::pulp_single());
+    let quad = run_on(TargetEnv::pulp_parallel());
+    let build = benchmark.build(&TargetEnv::pulp_parallel());
+    Measurement {
+        benchmark,
+        risc_ops: baseline.retired,
+        cycles_m3: m3.cycles,
+        cycles_m4: m4.cycles,
+        cycles_single: single.cycles,
+        cycles_quad: quad.cycles,
+        activity_quad: quad.activity.expect("cluster run reports activity"),
+        input_bytes: build.input_bytes(),
+        output_bytes: build.output_bytes(),
+        binary_bytes: build.offload_binary_bytes(),
+    }
+}
+
+/// Measures every Table I benchmark.
+#[must_use]
+pub fn measure_all() -> Vec<Measurement> {
+    Benchmark::ALL.iter().map(|b| measure(*b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_invariants_on_one_benchmark() {
+        let m = measure(Benchmark::SvmLinear);
+        assert!(m.risc_ops > 0);
+        assert!(m.cycles_m3 >= m.cycles_m4, "M3 is never faster than M4");
+        assert!(m.parallel_speedup() > 2.5 && m.parallel_speedup() < 4.0);
+        assert!(m.pulp_ops_per_cycle() > m.mcu_ops_per_cycle());
+        assert!(m.input_bytes > 0 && m.output_bytes > 0 && m.binary_bytes > 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Table I: summary of the benchmark kernels.
+
+use ulp_kernels::Benchmark;
+
+use crate::measure::{measure_all, Measurement};
+use crate::render_table;
+
+/// Paper-reported Table I anchors for comparison: `(input kB, output kB,
+/// binary kB, RISC ops)`.
+#[must_use]
+pub fn paper_anchor(b: Benchmark) -> (f64, f64, f64, f64) {
+    match b {
+        Benchmark::MatMul => (8.0, 4.0, 11.0, 2.4e6),
+        Benchmark::MatMulShort => (16.0, 8.0, 11.0, 2.4e6),
+        Benchmark::MatMulFixed => (16.0, 8.0, 13.0, 2.7e6),
+        Benchmark::Strassen => (8.0, 4.0, 6.7, 2.3e6),
+        Benchmark::SvmLinear => (6.9, 1.6, 11.4, 650.0e3),
+        Benchmark::SvmPoly => (6.9, 1.6, 11.5, 684.0e3),
+        Benchmark::SvmRbf => (6.9, 1.6, 11.6, 781.0e3),
+        Benchmark::Cnn => (2.0, 0.04, 48.1, 3.3e6),
+        Benchmark::CnnApprox => (2.0, 0.04, 48.1, 2.6e6),
+        Benchmark::Hog => (16.0, 36.0, 31.2, 31.0e6),
+    }
+}
+
+/// Renders Table I from fresh measurements.
+#[must_use]
+pub fn render(measurements: &[Measurement]) -> String {
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            let (p_in, p_out, _, p_ops) = paper_anchor(m.benchmark);
+            vec![
+                m.benchmark.name().to_owned(),
+                m.benchmark.field().to_string(),
+                format!("{:.1}", m.input_bytes as f64 / 1024.0),
+                format!("{p_in:.1}"),
+                format!("{:.2}", m.output_bytes as f64 / 1024.0),
+                format!("{p_out:.2}"),
+                format!("{:.1}", m.binary_bytes as f64 / 1024.0),
+                format!("{:.2}M", m.risc_ops as f64 / 1.0e6),
+                format!("{:.2}M", p_ops / 1.0e6),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table I — benchmark kernel summary (measured vs paper)\n\n");
+    out.push_str(&render_table(
+        &[
+            "benchmark",
+            "field",
+            "in kB",
+            "(paper)",
+            "out kB",
+            "(paper)",
+            "bin kB",
+            "RISC ops",
+            "(paper)",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// Measures and renders Table I.
+#[must_use]
+pub fn run() -> String {
+    render(&measure_all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure;
+
+    #[test]
+    fn anchors_cover_all_benchmarks() {
+        for b in Benchmark::ALL {
+            let (i, o, bin, ops) = paper_anchor(b);
+            assert!(i > 0.0 && o > 0.0 && bin > 0.0 && ops > 0.0);
+        }
+    }
+
+    #[test]
+    fn io_sizes_track_paper_for_matmul_family() {
+        // Input/output bytes for matmul and strassen are exact replicas.
+        for b in [Benchmark::MatMul, Benchmark::MatMulShort, Benchmark::Strassen] {
+            let m = measure(b);
+            let (p_in, p_out, _, _) = paper_anchor(b);
+            assert!((m.input_bytes as f64 / 1024.0 - p_in).abs() < 0.01, "{b}");
+            assert!((m.output_bytes as f64 / 1024.0 - p_out).abs() < 0.01, "{b}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_row() {
+        let ms: Vec<_> = [Benchmark::MatMul, Benchmark::Hog].iter().map(|b| measure(*b)).collect();
+        let table = render(&ms);
+        assert!(table.contains("matmul"));
+        assert!(table.contains("hog"));
+        assert!(table.contains("vision"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Standalone `ulp-cluster` usage: a hand-written SPMD reduction across
+//! the four cores, with the fork/join and TCDM traffic visible in the
+//! activity counters.
+//!
+//! ```sh
+//! cargo run -p ulp-cluster --example parallel_sum
+//! ```
+
+use ulp_cluster::{Cluster, ClusterConfig, EVT_BROADCAST, EVT_EOC, L2_BASE, TCDM_BASE};
+use ulp_isa::prelude::*;
+use ulp_isa::Insn;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const N: u32 = 1024; // words to sum
+
+    // Each core sums elements [id, id+4, id+8, …] and writes a partial to
+    // TCDM[4·id]; the master adds the four partials after the barrier.
+    let mut a = Asm::new();
+    let worker = a.new_label();
+    let body = a.new_label();
+    a.insn(Insn::Csrr(R28, Csr::CoreId));
+    a.bne(R28, R0, worker);
+    a.sev(EVT_BROADCAST);
+    a.jmp(body);
+    a.bind(worker);
+    a.wfe();
+    a.bind(body);
+    a.la(R1, TCDM_BASE + 0x100); // data
+    a.slli(R2, R28, 2);
+    a.add(R1, R1, R2);
+    a.li(R3, 0);
+    a.li(R4, (N / 4) as i32);
+    let top = a.new_label();
+    a.bind(top);
+    a.lw(R5, R1, 0);
+    a.add(R3, R3, R5);
+    a.addi(R1, R1, 16);
+    a.addi(R4, R4, -1);
+    a.bne(R4, R0, top);
+    a.la(R6, TCDM_BASE);
+    a.add(R6, R6, R2);
+    a.sw(R3, R6, 0);
+    a.barrier();
+    let done = a.new_label();
+    a.bne(R28, R0, done);
+    // Master: fold the four partials and signal the host.
+    a.la(R6, TCDM_BASE);
+    a.lw(R3, R6, 0);
+    a.lw(R5, R6, 4);
+    a.add(R3, R3, R5);
+    a.lw(R5, R6, 8);
+    a.add(R3, R3, R5);
+    a.lw(R5, R6, 12);
+    a.add(R3, R3, R5);
+    a.sw(R3, R6, 16);
+    a.sev(EVT_EOC);
+    a.bind(done);
+    a.halt();
+    let prog = a.finish()?;
+
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.load_binary(&prog, L2_BASE)?;
+    for i in 0..N {
+        cluster.write_tcdm(TCDM_BASE + 0x100 + 4 * i, &(i + 1).to_le_bytes())?;
+    }
+    cluster.start(L2_BASE, &[], 0);
+    let res = cluster.run_until_halt(1_000_000)?;
+
+    let sum = cluster.read_tcdm_u32(TCDM_BASE + 16)?;
+    assert_eq!(sum, N * (N + 1) / 2);
+    println!("sum(1..={N}) = {sum} on 4 cores in {} cycles", res.cycles);
+    println!(
+        "IPC {:.2}, {} TCDM conflicts, {} barrier(s), I$ hit rate {:.1}%",
+        res.activity.ipc(),
+        res.activity.tcdm_conflicts,
+        res.activity.barriers,
+        res.activity.icache_hit_rate() * 100.0
+    );
+    Ok(())
+}

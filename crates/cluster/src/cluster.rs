@@ -1,0 +1,765 @@
+//! The cluster stepping engine: cores + shared memories + event unit.
+
+use std::error::Error;
+use std::fmt;
+
+use ulp_isa::{Access, Bus, BusError, Core, CoreState, ExecError, Fetched, MemSize, Program, Reg,
+    StepOutcome};
+
+use crate::config::ClusterConfig;
+use crate::dma::Dma;
+use crate::event::EventUnit;
+use crate::icache::ICache;
+use crate::l2::L2Memory;
+use crate::stats::ClusterActivity;
+use crate::tcdm::Tcdm;
+use crate::{EVT_BROADCAST, EVT_EOC, L2_BASE, TCDM_BASE};
+
+/// Error raised while running a cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClusterError {
+    /// A core faulted.
+    Exec {
+        /// Index of the faulting core.
+        core: usize,
+        /// The underlying execution error.
+        err: ExecError,
+    },
+    /// Every non-halted core is asleep with no event in flight.
+    Deadlock,
+    /// The run exceeded the cycle budget.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+    /// A memory operation outside simulation (loader, readback) failed.
+    Bus(BusError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Exec { core, err } => write!(f, "core {core} faulted: {err}"),
+            ClusterError::Deadlock => write!(f, "all cores asleep with no event in flight"),
+            ClusterError::Timeout { max_cycles } => {
+                write!(f, "run exceeded {max_cycles} cycles")
+            }
+            ClusterError::Bus(e) => write!(f, "bus access failed: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Exec { err, .. } => Some(err),
+            ClusterError::Bus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BusError> for ClusterError {
+    fn from(e: BusError) -> Self {
+        ClusterError::Bus(e)
+    }
+}
+
+/// Result of a completed cluster run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Cycles elapsed between start and the last core halting.
+    pub cycles: u64,
+    /// Absolute cluster time at completion.
+    pub end_time: u64,
+    /// Time at which the end-of-computation wire was raised, if it was.
+    pub eoc_at: Option<u64>,
+    /// Component activity counters for the run (power-model input).
+    pub activity: ClusterActivity,
+}
+
+/// Why a sleeping core is asleep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum WaitReason {
+    #[default]
+    None,
+    Event,
+    Barrier,
+}
+
+/// Shared memory system: TCDM + L2 + shared instruction cache + the
+/// memory-mapped DMA programming interface.
+#[derive(Clone, Debug)]
+struct ClusterBus {
+    tcdm: Tcdm,
+    l2: L2Memory,
+    icache: ICache,
+    l2_data_latency: u32,
+    dma: Dma,
+    dma_src: u32,
+    dma_dst: u32,
+    dma_len: u32,
+    dma_done_at: u64,
+}
+
+impl ClusterBus {
+    fn dma_mmio_store(&mut self, now: u64, addr: u32, value: u32) -> Result<u64, BusError> {
+        match addr - crate::DMA_MMIO_BASE {
+            0x0 => self.dma_src = value,
+            0x4 => self.dma_dst = value,
+            0x8 => self.dma_len = value,
+            0xC => {
+                // Writing the command register launches the transfer.
+                self.copy(self.dma_src, self.dma_dst, self.dma_len as usize)?;
+                self.dma_done_at = self.dma.schedule(now, self.dma_len as usize);
+            }
+            _ => return Err(BusError::Unmapped { addr }),
+        }
+        Ok(now + 1)
+    }
+
+    fn dma_mmio_load(&mut self, now: u64, addr: u32) -> Result<Access, BusError> {
+        let value = match addr - crate::DMA_MMIO_BASE {
+            0x0 => self.dma_src,
+            0x4 => self.dma_dst,
+            0x8 => self.dma_len,
+            0xC => u32::from(now >= self.dma_done_at), // 1 = idle/done
+            _ => return Err(BusError::Unmapped { addr }),
+        };
+        Ok(Access { value, ready_at: now + 1 })
+    }
+
+    /// Functional copy between any two mapped regions.
+    fn copy(&mut self, src: u32, dst: u32, len: usize) -> Result<(), BusError> {
+        let bytes: Vec<u8> = if self.tcdm.contains(src) {
+            self.tcdm.read_bytes(src, len)?.to_vec()
+        } else if self.l2.contains(src) {
+            self.l2.read_bytes(src, len)?.to_vec()
+        } else {
+            return Err(BusError::Unmapped { addr: src });
+        };
+        if self.tcdm.contains(dst) {
+            self.tcdm.write_bytes(dst, &bytes)
+        } else if self.l2.contains(dst) {
+            self.l2.write_bytes(dst, &bytes)
+        } else {
+            Err(BusError::Unmapped { addr: dst })
+        }
+    }
+}
+
+impl Bus for ClusterBus {
+    fn load(
+        &mut self,
+        _core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+    ) -> Result<Access, BusError> {
+        if crate::dma_mmio_contains(addr) {
+            self.dma_mmio_load(now, addr)
+        } else if self.tcdm.contains(addr) {
+            let (value, ready_at) = self.tcdm.load(now, addr, size)?;
+            Ok(Access { value, ready_at })
+        } else if self.l2.contains(addr) {
+            let value = self.l2.load_raw(addr, size)?;
+            Ok(Access { value, ready_at: now + u64::from(self.l2_data_latency) })
+        } else {
+            Err(BusError::Unmapped { addr })
+        }
+    }
+
+    fn store(
+        &mut self,
+        _core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    ) -> Result<u64, BusError> {
+        if crate::dma_mmio_contains(addr) {
+            self.dma_mmio_store(now, addr, value)
+        } else if self.tcdm.contains(addr) {
+            self.tcdm.store(now, addr, size, value)
+        } else if self.l2.contains(addr) {
+            self.l2.store_raw(addr, size, value)?;
+            Ok(now + u64::from(self.l2_data_latency))
+        } else {
+            Err(BusError::Unmapped { addr })
+        }
+    }
+
+    fn tas(&mut self, _core_id: usize, now: u64, addr: u32) -> Result<Access, BusError> {
+        if self.tcdm.contains(addr) {
+            let (value, ready_at) = self.tcdm.tas(now, addr)?;
+            Ok(Access { value, ready_at })
+        } else {
+            Err(BusError::Unmapped { addr })
+        }
+    }
+
+    fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
+        let penalty = self.icache.access(pc);
+        let insn = self.l2.fetch_insn(pc)?;
+        Ok(Fetched { insn, ready_at: now + u64::from(penalty) })
+    }
+}
+
+/// A simulated PULP-style cluster.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    cores: Vec<Core>,
+    waits: Vec<WaitReason>,
+    bus: ClusterBus,
+    event_unit: EventUnit,
+    start_time: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`ClusterConfig::validate`]).
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        config.validate();
+        let cores = (0..config.num_cores)
+            .map(|id| {
+                let mut c = Core::new(id, config.core_model);
+                c.set_num_cores(config.num_cores as u32);
+                c
+            })
+            .collect();
+        Cluster {
+            cores,
+            waits: vec![WaitReason::None; config.num_cores],
+            bus: ClusterBus {
+                tcdm: Tcdm::new(TCDM_BASE, config.tcdm_size, config.tcdm_banks),
+                l2: L2Memory::new(L2_BASE, config.l2_size),
+                icache: ICache::new(config.icache_size, config.icache_line,
+                    config.icache_miss_penalty),
+                l2_data_latency: config.l2_data_latency,
+                dma: Dma::new(config.dma_channels, config.dma_setup),
+                dma_src: 0,
+                dma_dst: 0,
+                dma_len: 0,
+                dma_done_at: 0,
+            },
+            event_unit: EventUnit::new(config.num_cores),
+            config,
+            start_time: 0,
+        }
+    }
+
+    /// The configuration this cluster was built with.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Immutable access to a core (inspection, tests).
+    #[must_use]
+    pub fn core(&self, id: usize) -> &Core {
+        &self.cores[id]
+    }
+
+    /// The DMA engine (the offload runtime schedules transfers on it).
+    pub fn dma_mut(&mut self) -> &mut Dma {
+        &mut self.bus.dma
+    }
+
+    /// Loads a program binary into L2 and invalidates the instruction
+    /// cache. Returns the absolute rodata base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] if the image does not fit in L2.
+    pub fn load_binary(&mut self, prog: &Program, base: u32) -> Result<u32, ClusterError> {
+        let rodata = self.bus.l2.load_program(prog, base)?;
+        self.bus.icache.invalidate();
+        Ok(rodata)
+    }
+
+    /// Writes raw bytes into the TCDM (DMA/QSPI-slave back-door; timing is
+    /// modelled by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] outside the TCDM window.
+    pub fn write_tcdm(&mut self, addr: u32, bytes: &[u8]) -> Result<(), ClusterError> {
+        Ok(self.bus.tcdm.write_bytes(addr, bytes)?)
+    }
+
+    /// Reads raw bytes from the TCDM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] outside the TCDM window.
+    pub fn read_tcdm(&self, addr: u32, len: usize) -> Result<Vec<u8>, ClusterError> {
+        Ok(self.bus.tcdm.read_bytes(addr, len)?.to_vec())
+    }
+
+    /// Reads a 32-bit word from the TCDM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] outside the TCDM window.
+    pub fn read_tcdm_u32(&self, addr: u32) -> Result<u32, ClusterError> {
+        let b = self.bus.tcdm.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes raw bytes into L2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] outside the L2 window.
+    pub fn write_l2(&mut self, addr: u32, bytes: &[u8]) -> Result<(), ClusterError> {
+        Ok(self.bus.l2.write_bytes(addr, bytes)?)
+    }
+
+    /// Reads raw bytes from L2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] outside the L2 window.
+    pub fn read_l2(&self, addr: u32, len: usize) -> Result<Vec<u8>, ClusterError> {
+        Ok(self.bus.l2.read_bytes(addr, len)?.to_vec())
+    }
+
+    /// Schedules a DMA transfer of `len` bytes starting at `now`; data is
+    /// moved functionally right away, the returned time is when the channel
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Bus`] if either range is unmapped.
+    pub fn dma_copy(
+        &mut self,
+        now: u64,
+        src: u32,
+        dst: u32,
+        len: usize,
+    ) -> Result<u64, ClusterError> {
+        let bytes: Vec<u8> = if self.bus.tcdm.contains(src) {
+            self.bus.tcdm.read_bytes(src, len)?.to_vec()
+        } else if self.bus.l2.contains(src) {
+            self.bus.l2.read_bytes(src, len)?.to_vec()
+        } else {
+            return Err(ClusterError::Bus(BusError::Unmapped { addr: src }));
+        };
+        if self.bus.tcdm.contains(dst) {
+            self.bus.tcdm.write_bytes(dst, &bytes)?;
+        } else if self.bus.l2.contains(dst) {
+            self.bus.l2.write_bytes(dst, &bytes)?;
+        } else {
+            return Err(ClusterError::Bus(BusError::Unmapped { addr: dst }));
+        }
+        Ok(self.bus.dma.schedule(now, len))
+    }
+
+    /// Resets all cores to `entry` at time `at`, loads `args` into the
+    /// registers of every core (SPMD launch: the generated code branches on
+    /// the core-id CSR), clears the event unit and PMU counters.
+    ///
+    /// This models the *fetch-enable* GPIO edge of the prototype: "a fetch
+    /// enable used to trigger execution of the benchmark" (paper §III-C).
+    pub fn start(&mut self, entry: u32, args: &[(Reg, u32)], at: u64) {
+        for core in &mut self.cores {
+            core.reset(entry);
+            core.advance_time_to(at);
+            for &(r, v) in args {
+                core.set_reg(r, v);
+            }
+        }
+        self.waits.fill(WaitReason::None);
+        self.event_unit.reset();
+        self.bus.tcdm.reset_stats();
+        self.bus.l2.reset_stats();
+        self.bus.icache.reset_stats();
+        self.bus.dma.reset_stats();
+        self.bus.dma_done_at = 0;
+        self.start_time = at;
+    }
+
+    /// Time at which the EOC wire was raised, if it was.
+    #[must_use]
+    pub fn eoc_at(&self) -> Option<u64> {
+        self.event_unit.eoc_at()
+    }
+
+    fn route_event(&mut self, from: usize, id: u8) {
+        let at = self.cores[from].time();
+        match id {
+            EVT_EOC => self.event_unit.raise_eoc(at),
+            EVT_BROADCAST => {
+                // The event unit's wake-up port serves one core per cycle,
+                // staggering the team by a cycle each — which also breaks
+                // the pathological lockstep in which identical SPMD code
+                // hits the same TCDM bank on every access.
+                let mut offset = 0u64;
+                for i in 0..self.cores.len() {
+                    if i != from {
+                        self.wake_or_latch(i, at + offset);
+                        offset += 1;
+                    }
+                }
+            }
+            n if (1..=32).contains(&n) => {
+                let target = (n - 1) as usize;
+                if target < self.cores.len() && target != from {
+                    self.wake_or_latch(target, at);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn wake_or_latch(&mut self, target: usize, at: u64) {
+        if self.cores[target].state() == CoreState::Sleeping
+            && self.waits[target] == WaitReason::Event
+        {
+            self.cores[target].wake(at);
+            self.waits[target] = WaitReason::None;
+        } else {
+            self.cores[target].post_event();
+        }
+    }
+
+    /// Runs until every core has halted (or faults/deadlocks/times out).
+    ///
+    /// Cores are interleaved lowest-local-time-first so shared-resource
+    /// arbitration happens in approximate global order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] on core faults, deadlock, or exceeding
+    /// `max_cycles`.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<RunResult, ClusterError> {
+        let deadline = self.start_time + max_cycles;
+        loop {
+            // Pick the running core with the smallest local time.
+            let mut next: Option<usize> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.state() == CoreState::Running
+                    && next.is_none_or(|n| c.time() < self.cores[n].time())
+                {
+                    next = Some(i);
+                }
+            }
+            let Some(i) = next else {
+                if self.cores.iter().all(|c| c.state() == CoreState::Halted) {
+                    break;
+                }
+                return Err(ClusterError::Deadlock);
+            };
+            if self.cores[i].time() > deadline {
+                return Err(ClusterError::Timeout { max_cycles });
+            }
+            let outcome = self.cores[i]
+                .step(&mut self.bus)
+                .map_err(|err| ClusterError::Exec { core: i, err })?;
+            match outcome {
+                StepOutcome::Executed | StepOutcome::Halted => {}
+                StepOutcome::Sleeping => self.waits[i] = WaitReason::Event,
+                StepOutcome::EventSent(id) => self.route_event(i, id),
+                StepOutcome::BarrierArrived => {
+                    self.waits[i] = WaitReason::Barrier;
+                    if let Some(release) = self.event_unit.barrier_arrive(i, self.cores[i].time())
+                    {
+                        let t = release + u64::from(self.config.barrier_latency);
+                        for (j, c) in self.cores.iter_mut().enumerate() {
+                            if self.waits[j] == WaitReason::Barrier {
+                                c.wake(t);
+                                self.waits[j] = WaitReason::None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let end_time = self.cores.iter().map(Core::time).max().unwrap_or(self.start_time);
+        let cycles = end_time - self.start_time;
+        Ok(RunResult {
+            cycles,
+            end_time,
+            eoc_at: self.event_unit.eoc_at(),
+            activity: self.collect_activity(cycles),
+        })
+    }
+
+    fn collect_activity(&self, total_cycles: u64) -> ClusterActivity {
+        ClusterActivity {
+            total_cycles,
+            core_active_cycles: self
+                .cores
+                .iter()
+                .map(|c| c.stats().active_cycles(c.time() - self.start_time))
+                .collect(),
+            core_retired: self.cores.iter().map(|c| c.stats().retired).collect(),
+            tcdm_busy_cycles: self.bus.tcdm.busy_cycles(),
+            tcdm_banks: self.config.tcdm_banks,
+            tcdm_conflicts: self.bus.tcdm.conflicts(),
+            icache_hits: self.bus.icache.hits(),
+            icache_misses: self.bus.icache.misses(),
+            l2_accesses: self.bus.l2.accesses(),
+            dma_busy_cycles: self.bus.dma.busy_cycles(),
+            dma_bytes: self.bus.dma.bytes_moved(),
+            barriers: self.event_unit.barriers_completed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_isa::prelude::*;
+    use ulp_isa::Insn;
+
+    fn quad() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    /// SPMD program: workers sleep, master wakes them, everyone increments
+    /// a private TCDM slot, barrier, halt.
+    fn fork_join_prog() -> Program {
+        let mut a = Asm::new();
+        let worker = a.new_label();
+        let body = a.new_label();
+        a.insn(Insn::Csrr(R20, Csr::CoreId));
+        a.bne(R20, R0, worker);
+        // master: prologue then release the team
+        a.sev(crate::EVT_BROADCAST);
+        a.jmp(body);
+        a.bind(worker);
+        a.wfe();
+        a.bind(body);
+        a.la(R1, TCDM_BASE);
+        a.slli(R2, R20, 2);
+        a.add(R1, R1, R2);
+        a.addi(R3, R20, 100);
+        a.sw(R3, R1, 0);
+        a.barrier();
+        // master signals EOC
+        let done = a.new_label();
+        a.bne(R20, R0, done);
+        a.sev(crate::EVT_EOC);
+        a.bind(done);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn fork_join_all_cores_participate() {
+        let mut cl = quad();
+        cl.load_binary(&fork_join_prog(), L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        let res = cl.run_until_halt(1_000_000).unwrap();
+        for i in 0..4 {
+            assert_eq!(cl.read_tcdm_u32(TCDM_BASE + 4 * i).unwrap(), 100 + i);
+        }
+        assert!(res.eoc_at.is_some());
+        assert_eq!(res.activity.barriers, 1);
+        assert!(res.activity.total_retired() > 0);
+    }
+
+    #[test]
+    fn single_core_cluster_runs_serial_code() {
+        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut a = Asm::new();
+        a.li(R1, 21);
+        a.add(R1, R1, R1);
+        a.la(R2, TCDM_BASE);
+        a.sw(R1, R2, 0);
+        a.sev(crate::EVT_EOC);
+        a.halt();
+        let prog = a.finish().unwrap();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        let res = cl.run_until_halt(10_000).unwrap();
+        assert_eq!(cl.read_tcdm_u32(TCDM_BASE).unwrap(), 42);
+        assert!(res.eoc_at.unwrap() <= res.end_time);
+    }
+
+    #[test]
+    fn args_are_visible_to_all_cores() {
+        let mut cl = quad();
+        let mut a = Asm::new();
+        // Every core adds its id to the arg in r3 and stores at id slot.
+        a.insn(Insn::Csrr(R20, Csr::CoreId));
+        a.add(R4, R3, R20);
+        a.la(R1, TCDM_BASE + 0x100);
+        a.slli(R2, R20, 2);
+        a.add(R1, R1, R2);
+        a.sw(R4, R1, 0);
+        a.halt();
+        let prog = a.finish().unwrap();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[(R3, 1000)], 0);
+        cl.run_until_halt(10_000).unwrap();
+        for i in 0..4 {
+            assert_eq!(cl.read_tcdm_u32(TCDM_BASE + 0x100 + 4 * i).unwrap(), 1000 + i);
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_when_all_sleep() {
+        let mut cl = Cluster::new(ClusterConfig { num_cores: 2, ..ClusterConfig::default() });
+        let mut a = Asm::new();
+        a.wfe();
+        a.halt();
+        let prog = a.finish().unwrap();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        assert!(matches!(cl.run_until_halt(10_000), Err(ClusterError::Deadlock)));
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.nop();
+        a.jmp(top);
+        let prog = a.finish().unwrap();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        assert!(matches!(
+            cl.run_until_halt(5_000),
+            Err(ClusterError::Timeout { max_cycles: 5_000 })
+        ));
+    }
+
+    #[test]
+    fn fault_reports_core_index() {
+        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut a = Asm::new();
+        a.la(R1, 0x5555_0000); // unmapped
+        a.lw(R2, R1, 0);
+        a.halt();
+        let prog = a.finish().unwrap();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        match cl.run_until_halt(10_000) {
+            Err(ClusterError::Exec { core: 0, err: ExecError::Bus(_) }) => {}
+            other => panic!("expected bus fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn l2_data_access_slower_than_tcdm() {
+        let run_with = |base: u32| {
+            let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+            let mut a = Asm::new();
+            a.la(R1, base);
+            for _ in 0..32 {
+                a.lw(R2, R1, 0);
+            }
+            a.halt();
+            let prog = a.finish().unwrap();
+            cl.load_binary(&prog, L2_BASE).unwrap();
+            cl.start(L2_BASE, &[], 0);
+            cl.run_until_halt(100_000).unwrap().cycles
+        };
+        let tcdm_cycles = run_with(TCDM_BASE);
+        let l2_cycles = run_with(L2_BASE + 0x8000);
+        assert!(l2_cycles > tcdm_cycles + 32, "L2 loads must pay the bus latency");
+    }
+
+    #[test]
+    fn four_cores_hammering_one_bank_serialize() {
+        // Each core loads the same TCDM word 64 times.
+        let mut a = Asm::new();
+        a.la(R1, TCDM_BASE);
+        a.li(R2, 64);
+        let top = a.new_label();
+        a.bind(top);
+        a.lw(R3, R1, 0);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, top);
+        a.halt();
+        let prog = a.finish().unwrap();
+
+        let mut cl = quad();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        let res = cl.run_until_halt(1_000_000).unwrap();
+        assert!(res.activity.tcdm_conflicts > 0, "same-bank traffic must conflict");
+
+        // Spread the cores over different banks: far fewer conflicts.
+        let mut a = Asm::new();
+        a.insn(Insn::Csrr(R20, Csr::CoreId));
+        a.slli(R4, R20, 2);
+        a.la(R1, TCDM_BASE);
+        a.add(R1, R1, R4);
+        a.li(R2, 64);
+        let top = a.new_label();
+        a.bind(top);
+        a.lw(R3, R1, 0);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, top);
+        a.halt();
+        let prog2 = a.finish().unwrap();
+        let mut cl2 = quad();
+        cl2.load_binary(&prog2, L2_BASE).unwrap();
+        cl2.start(L2_BASE, &[], 0);
+        let res2 = cl2.run_until_halt(1_000_000).unwrap();
+        assert!(res2.activity.tcdm_conflicts < res.activity.tcdm_conflicts);
+    }
+
+    #[test]
+    fn dma_copy_moves_data_and_reports_timing() {
+        let mut cl = quad();
+        let payload: Vec<u8> = (0..=255).collect();
+        cl.write_l2(L2_BASE + 0x4000, &payload).unwrap();
+        let done = cl.dma_copy(100, L2_BASE + 0x4000, TCDM_BASE + 0x200, 256).unwrap();
+        assert_eq!(done, 100 + 10 + 64); // setup 10 + 64 words
+        assert_eq!(cl.read_tcdm(TCDM_BASE + 0x200, 256).unwrap(), payload);
+    }
+
+    #[test]
+    fn icache_cold_start_then_warm() {
+        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut a = Asm::new();
+        a.li(R2, 100);
+        let top = a.new_label();
+        a.bind(top);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, top);
+        a.halt();
+        let prog = a.finish().unwrap();
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        let res = cl.run_until_halt(100_000).unwrap();
+        assert!(res.activity.icache_misses <= 2);
+        assert!(res.activity.icache_hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn restart_resets_counters() {
+        let mut cl = quad();
+        cl.load_binary(&fork_join_prog(), L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        let r1 = cl.run_until_halt(1_000_000).unwrap();
+        // A warm restart keeps the instruction cache contents (fewer
+        // misses); reloading the binary invalidates it, giving an identical
+        // cold run.
+        cl.load_binary(&fork_join_prog(), L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        let r2 = cl.run_until_halt(1_000_000).unwrap();
+        assert_eq!(r1.activity.total_retired(), r2.activity.total_retired());
+        assert_eq!(r1.cycles, r2.cycles);
+
+        // And the warm restart must be no slower.
+        cl.start(L2_BASE, &[], 0);
+        let warm = cl.run_until_halt(1_000_000).unwrap();
+        assert!(warm.cycles <= r2.cycles);
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared instruction cache model.
+//!
+//! The PULP cluster's cores share one instruction cache (paper Fig. 2,
+//! "I$"). We model a direct-mapped cache with configurable size and line
+//! length: a hit costs nothing (fetch overlaps execution in the in-order
+//! pipeline), a miss pays the refill-from-L2 penalty. Kernel inner loops
+//! fit in the cache after the first iteration, so the model's main effect
+//! is a realistic cold-start transient after each code offload.
+
+/// Direct-mapped shared instruction cache (tag store only; data comes from
+/// L2).
+///
+/// # Example
+///
+/// ```
+/// use ulp_cluster::ICache;
+///
+/// let mut icache = ICache::new(4096, 16, 12);
+/// assert_eq!(icache.access(0x1C00_0000), 12); // cold miss
+/// assert_eq!(icache.access(0x1C00_0004), 0); // same line: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct ICache {
+    line_shift: u32,
+    index_mask: u32,
+    tags: Vec<Option<u32>>,
+    miss_penalty: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// Creates a cache of `size` bytes with `line` byte lines and the given
+    /// miss penalty in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size`/`line` are not powers of two or `line < 4`.
+    #[must_use]
+    pub fn new(size: usize, line: usize, miss_penalty: u32) -> Self {
+        assert!(size.is_power_of_two() && line.is_power_of_two() && line >= 4);
+        assert!(size >= line);
+        let lines = size / line;
+        ICache {
+            line_shift: line.trailing_zeros(),
+            index_mask: lines as u32 - 1,
+            tags: vec![None; lines],
+            miss_penalty,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `pc`; returns the extra cycles the fetch costs (0 on a hit,
+    /// the miss penalty on a miss, filling the line).
+    pub fn access(&mut self, pc: u32) -> u32 {
+        let line_addr = pc >> self.line_shift;
+        let index = (line_addr & self.index_mask) as usize;
+        let tag = line_addr >> self.index_mask.count_ones();
+        if self.tags[index] == Some(tag) {
+            self.hits += 1;
+            0
+        } else {
+            self.misses += 1;
+            self.tags[index] = Some(tag);
+            self.miss_penalty
+        }
+    }
+
+    /// Cache hits served.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses served.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates all lines (called after a new binary is offloaded).
+    pub fn invalidate(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Resets the PMU counters.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits_within_line() {
+        let mut c = ICache::new(1024, 16, 10);
+        assert_eq!(c.access(0x100), 10);
+        assert_eq!(c.access(0x104), 0);
+        assert_eq!(c.access(0x108), 0);
+        assert_eq!(c.access(0x10C), 0);
+        assert_eq!(c.access(0x110), 10); // next line
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_eviction() {
+        let mut c = ICache::new(64, 16, 10); // 4 lines
+        assert_eq!(c.access(0x00), 10);
+        assert_eq!(c.access(0x40), 10); // same index, different tag: evicts
+        assert_eq!(c.access(0x00), 10); // brought back
+    }
+
+    #[test]
+    fn loop_body_steady_state_all_hits() {
+        let mut c = ICache::new(4096, 16, 12);
+        // 32-instruction loop, 100 iterations.
+        let mut extra = 0;
+        for _ in 0..100 {
+            for i in 0..32u32 {
+                extra += c.access(0x1C00_0000 + i * 4);
+            }
+        }
+        // Only the 8 cold misses pay.
+        assert_eq!(extra, 8 * 12);
+    }
+
+    #[test]
+    fn invalidate_forces_refill() {
+        let mut c = ICache::new(1024, 16, 10);
+        let _ = c.access(0x100);
+        c.invalidate();
+        assert_eq!(c.access(0x100), 10);
+    }
+}

@@ -1,0 +1,205 @@
+//! Cluster L2 memory: code and staging storage.
+//!
+//! The PULP3 SoC integrates 64 kB of L2 SRAM reachable over the system bus.
+//! Cores fetch instructions from L2 through the shared instruction cache
+//! and normally keep data in the TCDM; direct data access to L2 is possible
+//! but pays the cluster-bus latency.
+
+use ulp_isa::{decode, BusError, Insn, MemSize, Program};
+
+/// The L2 memory, with a decoded-instruction side table for fast fetch.
+#[derive(Clone, Debug)]
+pub struct L2Memory {
+    base: u32,
+    data: Vec<u8>,
+    decoded: Vec<Option<Insn>>,
+    accesses: u64,
+}
+
+impl L2Memory {
+    /// Creates a zeroed L2 of `size` bytes at `base`.
+    #[must_use]
+    pub fn new(base: u32, size: usize) -> Self {
+        L2Memory { base, data: vec![0; size], decoded: vec![None; size.div_ceil(4)], accesses: 0 }
+    }
+
+    /// Base address.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether `addr` falls inside the L2 window.
+    #[must_use]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.data.len() as u32
+    }
+
+    /// Accesses served (PMU).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Resets the PMU counters.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+    }
+
+    fn offset(&self, addr: u32, len: u32) -> Result<usize, BusError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off + len as usize > self.data.len() {
+            return Err(BusError::OutOfBounds { addr, size: len });
+        }
+        Ok(off)
+    }
+
+    /// Loads a program image (text + rodata); returns the rodata base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the image does not fit.
+    pub fn load_program(&mut self, prog: &Program, addr: u32) -> Result<u32, BusError> {
+        let mut text = Vec::with_capacity(prog.text_bytes());
+        for w in prog.words() {
+            text.extend_from_slice(&w.to_le_bytes());
+        }
+        self.write_bytes(addr, &text)?;
+        let rodata_base = addr + prog.rodata_offset() as u32;
+        self.write_bytes(rodata_base, prog.rodata())?;
+        Ok(rodata_base)
+    }
+
+    /// Untimed bulk write (QSPI slave / DMA back-door).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the range does not fit.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusError> {
+        let off = self.offset(addr, bytes.len() as u32)?;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        for w in off / 4..(off + bytes.len()).div_ceil(4) {
+            self.decoded[w] = None;
+        }
+        Ok(())
+    }
+
+    /// Untimed bulk read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the range does not fit.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], BusError> {
+        let off = self.offset(addr, len as u32)?;
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Raw data load (value only; the caller adds bus latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the access does not fit.
+    pub fn load_raw(&mut self, addr: u32, size: MemSize) -> Result<u32, BusError> {
+        let n = size.bytes();
+        let off = self.offset(addr, n)?;
+        self.accesses += 1;
+        let mut v = 0u32;
+        for i in (0..n as usize).rev() {
+            v = (v << 8) | u32::from(self.data[off + i]);
+        }
+        Ok(v)
+    }
+
+    /// Raw data store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the access does not fit.
+    pub fn store_raw(&mut self, addr: u32, size: MemSize, value: u32) -> Result<(), BusError> {
+        let n = size.bytes();
+        let off = self.offset(addr, n)?;
+        self.accesses += 1;
+        for i in 0..n as usize {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+        }
+        for w in off / 4..(off + n as usize).div_ceil(4) {
+            self.decoded[w] = None;
+        }
+        Ok(())
+    }
+
+    /// Fetches the decoded instruction at `pc` (caching the decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if `pc` is outside L2 or holds an undecodable
+    /// word.
+    pub fn fetch_insn(&mut self, pc: u32) -> Result<Insn, BusError> {
+        let off = self.offset(pc, 4)?;
+        let slot = off / 4;
+        if let Some(i) = self.decoded[slot] {
+            return Ok(i);
+        }
+        let word = u32::from_le_bytes([
+            self.data[off],
+            self.data[off + 1],
+            self.data[off + 2],
+            self.data[off + 3],
+        ]);
+        let insn = decode(word).map_err(|_| BusError::Unmapped { addr: pc })?;
+        self.decoded[slot] = Some(insn);
+        Ok(insn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_isa::prelude::*;
+
+    #[test]
+    fn program_load_and_fetch() {
+        let mut a = Asm::new();
+        a.li(R1, 2);
+        a.halt();
+        let prog = a.finish().unwrap();
+        let mut l2 = L2Memory::new(0x1C00_0000, 8192);
+        l2.load_program(&prog, 0x1C00_0000).unwrap();
+        assert_eq!(l2.fetch_insn(0x1C00_0000).unwrap(), Insn::Addi(R1, R0, 2));
+        assert_eq!(l2.fetch_insn(0x1C00_0004).unwrap(), Insn::Halt);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let mut l2 = L2Memory::new(0x1C00_0000, 4096);
+        l2.store_raw(0x1C00_0040, MemSize::Word, 0x1234_5678).unwrap();
+        assert_eq!(l2.load_raw(0x1C00_0040, MemSize::Word).unwrap(), 0x1234_5678);
+        assert_eq!(l2.accesses(), 2);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut l2 = L2Memory::new(0x1C00_0000, 64);
+        assert!(l2.load_raw(0x1C00_0040, MemSize::Word).is_err());
+        assert!(l2.fetch_insn(0x1BFF_FFFC).is_err());
+    }
+
+    #[test]
+    fn write_invalidates_decoded() {
+        let mut a = Asm::new();
+        a.nop();
+        let prog = a.finish().unwrap();
+        let mut l2 = L2Memory::new(0, 64);
+        l2.load_program(&prog, 0).unwrap();
+        assert_eq!(l2.fetch_insn(0).unwrap(), Insn::Nop);
+        let halt = ulp_isa::encode(&Insn::Halt).unwrap();
+        l2.write_bytes(0, &halt.to_le_bytes()).unwrap();
+        assert_eq!(l2.fetch_insn(0).unwrap(), Insn::Halt);
+    }
+}

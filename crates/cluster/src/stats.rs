@@ -1,0 +1,153 @@
+//! Performance-monitoring-unit output: component activity factors.
+//!
+//! The paper's FPGA emulator is "augmented with a performance monitoring
+//! unit that is used to measure active and idle cycles for cores, DMAs and
+//! interconnects" (§IV-A); the measured activity ratios χᵢ drive the
+//! dynamic power model P_d = f·Σᵢ χᵢ·ρᵢ. [`ClusterActivity`] is the
+//! equivalent record produced by a simulation run.
+
+/// Activity snapshot of one cluster run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterActivity {
+    /// Wall-clock duration of the run in cluster cycles.
+    pub total_cycles: u64,
+    /// Per-core cycles spent actively executing (not clock-gated).
+    pub core_active_cycles: Vec<u64>,
+    /// Per-core retired instructions.
+    pub core_retired: Vec<u64>,
+    /// TCDM bank-busy cycles (summed over banks).
+    pub tcdm_busy_cycles: u64,
+    /// Number of TCDM banks.
+    pub tcdm_banks: usize,
+    /// TCDM accesses that stalled on a bank conflict.
+    pub tcdm_conflicts: u64,
+    /// Instruction-cache hits.
+    pub icache_hits: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// L2 data accesses from cores.
+    pub l2_accesses: u64,
+    /// DMA channel-busy cycles.
+    pub dma_busy_cycles: u64,
+    /// DMA bytes moved.
+    pub dma_bytes: u64,
+    /// Barriers completed.
+    pub barriers: u64,
+}
+
+impl ClusterActivity {
+    /// Activity factor χ of core `i`: active cycles over total cycles.
+    #[must_use]
+    pub fn chi_core(&self, i: usize) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.core_active_cycles.get(i).map_or(0.0, |&a| a as f64 / self.total_cycles as f64)
+    }
+
+    /// Mean activity factor across all cores.
+    #[must_use]
+    pub fn chi_cores_mean(&self) -> f64 {
+        if self.core_active_cycles.is_empty() {
+            return 0.0;
+        }
+        (0..self.core_active_cycles.len()).map(|i| self.chi_core(i)).sum::<f64>()
+            / self.core_active_cycles.len() as f64
+    }
+
+    /// Activity factor of the TCDM (bank-busy cycles over bank-cycles).
+    #[must_use]
+    pub fn chi_tcdm(&self) -> f64 {
+        let denom = self.total_cycles.saturating_mul(self.tcdm_banks as u64);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tcdm_busy_cycles as f64 / denom as f64
+    }
+
+    /// Activity factor of the DMA.
+    #[must_use]
+    pub fn chi_dma(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        (self.dma_busy_cycles as f64 / self.total_cycles as f64).min(1.0)
+    }
+
+    /// Instruction-cache hit rate.
+    #[must_use]
+    pub fn icache_hit_rate(&self) -> f64 {
+        let total = self.icache_hits + self.icache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.icache_hits as f64 / total as f64
+    }
+
+    /// Total retired instructions across all cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.core_retired.iter().sum()
+    }
+
+    /// Instructions per cycle aggregated over the cluster.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.total_retired() as f64 / self.total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterActivity {
+        ClusterActivity {
+            total_cycles: 1000,
+            core_active_cycles: vec![900, 800, 800, 500],
+            core_retired: vec![850, 700, 700, 400],
+            tcdm_busy_cycles: 2000,
+            tcdm_banks: 8,
+            tcdm_conflicts: 50,
+            icache_hits: 990,
+            icache_misses: 10,
+            l2_accesses: 4,
+            dma_busy_cycles: 100,
+            dma_bytes: 4096,
+            barriers: 3,
+        }
+    }
+
+    #[test]
+    fn chi_factors_in_unit_range() {
+        let a = sample();
+        for i in 0..4 {
+            let chi = a.chi_core(i);
+            assert!((0.0..=1.0).contains(&chi));
+        }
+        assert!((a.chi_core(0) - 0.9).abs() < 1e-12);
+        assert!((a.chi_tcdm() - 0.25).abs() < 1e-12);
+        assert!((a.chi_dma() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates() {
+        let a = sample();
+        assert_eq!(a.total_retired(), 2650);
+        assert!((a.ipc() - 2.65).abs() < 1e-12);
+        assert!((a.icache_hit_rate() - 0.99).abs() < 1e-12);
+        assert!((a.chi_cores_mean() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let a = ClusterActivity::default();
+        assert_eq!(a.chi_core(0), 0.0);
+        assert_eq!(a.chi_tcdm(), 0.0);
+        assert_eq!(a.ipc(), 0.0);
+        assert_eq!(a.icache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Multi-banked tightly-coupled data memory with word-level interleaving.
+//!
+//! The PULP cluster replaces private data caches with a shared L1
+//! scratchpad divided into single-ported banks. Consecutive 32-bit words
+//! map to consecutive banks ("word-level interleaving scheme to reduce
+//! access contention", paper §III-B), so unit-stride streams from several
+//! cores fan out across banks and rarely collide.
+//!
+//! Each bank serves one access per cycle. When two requestors hit the same
+//! bank in the same cycle, the later one stalls — modelled by keeping, per
+//! bank, the next cycle at which it is free.
+
+use ulp_isa::{BusError, MemSize};
+
+/// The banked L1 data scratchpad.
+///
+/// # Example
+///
+/// ```
+/// use ulp_cluster::{Tcdm, TCDM_BASE};
+/// use ulp_isa::MemSize;
+///
+/// let mut tcdm = Tcdm::new(TCDM_BASE, 8 * 1024, 8);
+/// // Two accesses to the same bank in the same cycle: the second stalls.
+/// tcdm.store(0, TCDM_BASE, MemSize::Word, 7).unwrap();
+/// let (v, ready) = tcdm.load(0, TCDM_BASE, MemSize::Word).unwrap();
+/// assert_eq!(v, 7);
+/// assert_eq!(ready, 2, "the store occupied bank 0 at cycle 0");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tcdm {
+    base: u32,
+    data: Vec<u8>,
+    bank_free: Vec<u64>,
+    bank_mask: u32,
+    accesses: u64,
+    conflicts: u64,
+    busy_cycles: u64,
+}
+
+impl Tcdm {
+    /// Creates a TCDM of `size` bytes at `base` with `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two or `size` is not a multiple
+    /// of the bank width.
+    #[must_use]
+    pub fn new(base: u32, size: usize, banks: usize) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        assert_eq!(size % (banks * 4), 0, "size must cover whole banks");
+        Tcdm {
+            base,
+            data: vec![0; size],
+            bank_free: vec![0; banks],
+            bank_mask: banks as u32 - 1,
+            accesses: 0,
+            conflicts: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Base address of the TCDM window.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether `addr` falls inside the TCDM window.
+    #[must_use]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.data.len() as u32
+    }
+
+    /// Total accesses served (for the PMU / power model).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses that stalled on a busy bank.
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Bank-busy cycles accumulated (activity factor numerator).
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Resets the PMU counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.conflicts = 0;
+        self.busy_cycles = 0;
+        self.bank_free.fill(0);
+    }
+
+    fn bank_of(&self, addr: u32) -> usize {
+        (((addr - self.base) >> 2) & self.bank_mask) as usize
+    }
+
+    fn offset(&self, addr: u32, len: u32) -> Result<usize, BusError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off + len as usize > self.data.len() {
+            return Err(BusError::OutOfBounds { addr, size: len });
+        }
+        Ok(off)
+    }
+
+    /// Arbitrates one access starting at `now`; returns the cycle at which
+    /// the data is available. An access spanning two banks (unaligned word
+    /// crossing a 4-byte boundary) occupies both, sequentially.
+    fn arbitrate(&mut self, now: u64, addr: u32, len: u32) -> u64 {
+        self.accesses += 1;
+        let first = self.bank_of(addr);
+        let last = self.bank_of(addr + len - 1);
+        let mut t = now;
+        let mut bank = first;
+        loop {
+            let free = self.bank_free[bank];
+            if free > t {
+                self.conflicts += 1;
+                t = free;
+            }
+            self.bank_free[bank] = t + 1;
+            self.busy_cycles += 1;
+            if bank == last {
+                break;
+            }
+            bank = (bank + 1) & self.bank_mask as usize;
+            t += 1; // second beat of a split access
+        }
+        t + 1
+    }
+
+    /// Timed load: returns `(raw value, ready_at)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] outside the TCDM window.
+    pub fn load(&mut self, now: u64, addr: u32, size: MemSize) -> Result<(u32, u64), BusError> {
+        let n = size.bytes();
+        let off = self.offset(addr, n)?;
+        let ready = self.arbitrate(now, addr, n);
+        let mut v = 0u32;
+        for i in (0..n as usize).rev() {
+            v = (v << 8) | u32::from(self.data[off + i]);
+        }
+        Ok((v, ready))
+    }
+
+    /// Timed store: returns the completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] outside the TCDM window.
+    pub fn store(
+        &mut self,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    ) -> Result<u64, BusError> {
+        let n = size.bytes();
+        let off = self.offset(addr, n)?;
+        let ready = self.arbitrate(now, addr, n);
+        for i in 0..n as usize {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(ready)
+    }
+
+    /// Atomic test-and-set on a word (PULP TCDM test-and-set alias).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] outside the TCDM window.
+    pub fn tas(&mut self, now: u64, addr: u32) -> Result<(u32, u64), BusError> {
+        let off = self.offset(addr, 4)?;
+        let ready = self.arbitrate(now, addr, 4);
+        let old = u32::from_le_bytes([
+            self.data[off],
+            self.data[off + 1],
+            self.data[off + 2],
+            self.data[off + 3],
+        ]);
+        self.data[off..off + 4].copy_from_slice(&1u32.to_le_bytes());
+        Ok((old, ready))
+    }
+
+    /// Untimed bulk write (DMA back-door, loader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] outside the TCDM window.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusError> {
+        let off = self.offset(addr, bytes.len() as u32)?;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Untimed bulk read (DMA back-door, result collection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] outside the TCDM window.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], BusError> {
+        let off = self.offset(addr, len as u32)?;
+        Ok(&self.data[off..off + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcdm() -> Tcdm {
+        Tcdm::new(0x1000_0000, 8 * 1024, 8)
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut t = tcdm();
+        let (done, _) = {
+            let done = t.store(0, 0x1000_0010, MemSize::Word, 0xCAFE_F00D).unwrap();
+            (done, ())
+        };
+        assert_eq!(done, 1);
+        let (v, _) = t.load(1, 0x1000_0010, MemSize::Word).unwrap();
+        assert_eq!(v, 0xCAFE_F00D);
+    }
+
+    #[test]
+    fn same_bank_same_cycle_conflicts() {
+        let mut t = tcdm();
+        // Two word accesses to the same bank (same address) at cycle 0.
+        let (_, r1) = t.load(0, 0x1000_0000, MemSize::Word).unwrap();
+        let (_, r2) = t.load(0, 0x1000_0000, MemSize::Word).unwrap();
+        assert_eq!(r1, 1);
+        assert_eq!(r2, 2, "second requester must stall one cycle");
+        assert_eq!(t.conflicts(), 1);
+    }
+
+    #[test]
+    fn different_banks_no_conflict() {
+        let mut t = tcdm();
+        // Words 0 and 1 interleave to banks 0 and 1.
+        let (_, r1) = t.load(0, 0x1000_0000, MemSize::Word).unwrap();
+        let (_, r2) = t.load(0, 0x1000_0004, MemSize::Word).unwrap();
+        assert_eq!(r1, 1);
+        assert_eq!(r2, 1);
+        assert_eq!(t.conflicts(), 0);
+    }
+
+    #[test]
+    fn word_interleaving_wraps_across_banks() {
+        let t = tcdm();
+        assert_eq!(t.bank_of(0x1000_0000), 0);
+        assert_eq!(t.bank_of(0x1000_0004), 1);
+        assert_eq!(t.bank_of(0x1000_001C), 7);
+        assert_eq!(t.bank_of(0x1000_0020), 0);
+    }
+
+    #[test]
+    fn stride_bank_conflicts_vs_unit_stride() {
+        // Stride of 8 words = always the same bank; unit stride spreads.
+        let mut same_bank = tcdm();
+        let mut spread = tcdm();
+        for i in 0..16u32 {
+            let _ = same_bank.load(0, 0x1000_0000 + i * 32, MemSize::Word).unwrap();
+            let _ = spread.load(0, 0x1000_0000 + i * 4, MemSize::Word).unwrap();
+        }
+        assert!(same_bank.conflicts() > 0);
+        assert_eq!(spread.conflicts(), 8); // 16 words over 8 banks at cycle 0: 8 collide
+    }
+
+    #[test]
+    fn unaligned_word_occupies_two_banks() {
+        let mut t = tcdm();
+        t.write_bytes(0x1000_0000, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let (v, ready) = t.load(0, 0x1000_0002, MemSize::Word).unwrap();
+        assert_eq!(v, u32::from_le_bytes([3, 4, 5, 6]));
+        assert_eq!(ready, 2, "split access takes an extra beat");
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut t = tcdm();
+        assert!(t.load(0, 0x1000_0000 + 8 * 1024, MemSize::Word).is_err());
+        assert!(t.load(0, 0x0FFF_FFFC, MemSize::Word).is_err());
+        assert!(t.load(0, 0x1000_0000 + 8 * 1024 - 2, MemSize::Word).is_err());
+    }
+
+    #[test]
+    fn tas_is_atomic_swap_with_one() {
+        let mut t = tcdm();
+        let (old1, _) = t.tas(0, 0x1000_0100).unwrap();
+        let (old2, _) = t.tas(1, 0x1000_0100).unwrap();
+        assert_eq!(old1, 0);
+        assert_eq!(old2, 1);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut t = tcdm();
+        let _ = t.load(0, 0x1000_0000, MemSize::Word).unwrap();
+        assert_eq!(t.accesses(), 1);
+        t.reset_stats();
+        assert_eq!(t.accesses(), 0);
+        assert_eq!(t.busy_cycles(), 0);
+    }
+}

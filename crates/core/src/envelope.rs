@@ -1,0 +1,172 @@
+//! Fixed-power-envelope analysis (the paper's Fig. 5a).
+//!
+//! "In the case of an embedded system, one is not typically interested in
+//! the best absolute possible performance, but rather in the best
+//! performance achievable in a given power envelope" (§IV-B). The paper
+//! imposes **10 mW on the whole platform** — MCU + PULP + SPI link — and
+//! asks, for every MCU operating frequency: how fast may the accelerator
+//! be clocked with the power the MCU leaves over, and what speedup does
+//! that yield against the baseline (the STM32-L476 alone at 32 MHz, which
+//! consumes the entire envelope)?
+
+use ulp_cluster::ClusterActivity;
+use ulp_mcu::McuDevice;
+use ulp_power::{EnvelopePoint, PulpPowerModel};
+
+/// A platform-wide power budget.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerBudget {
+    /// Total power available for MCU + accelerator + link, in watts.
+    pub total_watts: f64,
+    /// MCU baseline frequency defining speedup = 1 (32 MHz in the paper).
+    pub baseline_mcu_hz: f64,
+}
+
+impl Default for PowerBudget {
+    fn default() -> Self {
+        PowerBudget { total_watts: 10.0e-3, baseline_mcu_hz: 32.0e6 }
+    }
+}
+
+/// One point of the Fig. 5a sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvelopeReport {
+    /// MCU clock at this point.
+    pub mcu_freq_hz: f64,
+    /// MCU power draw at this clock.
+    pub mcu_power_watts: f64,
+    /// Whether the MCU alone already fits the budget.
+    pub mcu_within_budget: bool,
+    /// Speedup of the MCU alone at this clock vs the baseline clock.
+    pub mcu_speedup: f64,
+    /// Accelerator operating point within the residual budget (none if
+    /// the MCU leaves nothing to spend).
+    pub pulp_point: Option<EnvelopePoint>,
+    /// Speedup of the accelerator vs the MCU baseline (offload cost not
+    /// included, exactly as in Fig. 5a).
+    pub pulp_speedup: Option<f64>,
+    /// Benchmark RISC operations per cycle on the accelerator (the bar
+    /// annotations of Fig. 5a).
+    pub pulp_ops_per_cycle: f64,
+    /// Benchmark RISC operations per cycle on the MCU.
+    pub mcu_ops_per_cycle: f64,
+}
+
+/// Computes one sweep point.
+///
+/// * `host_cycles` — benchmark cycles on the host core (Cortex-M4 model);
+/// * `cluster_cycles` — benchmark cycles on the parallel accelerator;
+/// * `risc_ops` — the benchmark's RISC-op count (for the annotations);
+/// * `activity` — measured cluster activity, driving the accelerator's
+///   power density;
+/// * `link_power_watts` — coupling-link draw, also inside the envelope.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn envelope_speedup(
+    budget: &PowerBudget,
+    mcu: &McuDevice,
+    mcu_freq_hz: f64,
+    power: &PulpPowerModel,
+    activity: &ClusterActivity,
+    host_cycles: u64,
+    cluster_cycles: u64,
+    risc_ops: u64,
+    link_power_watts: f64,
+) -> EnvelopeReport {
+    let mcu_power = mcu.run_power_w(mcu_freq_hz);
+    let residual = budget.total_watts - mcu_power - link_power_watts;
+    let baseline_seconds = host_cycles as f64 / budget.baseline_mcu_hz;
+
+    let pulp_point =
+        if residual > 0.0 { power.max_freq_under_power(residual, activity) } else { None };
+    let pulp_speedup = pulp_point.map(|op| {
+        let t = cluster_cycles as f64 / op.freq_hz;
+        baseline_seconds / t
+    });
+
+    EnvelopeReport {
+        mcu_freq_hz,
+        mcu_power_watts: mcu_power,
+        mcu_within_budget: mcu_power <= budget.total_watts,
+        mcu_speedup: mcu_freq_hz / budget.baseline_mcu_hz,
+        pulp_point,
+        pulp_speedup,
+        pulp_ops_per_cycle: risc_ops as f64 / cluster_cycles as f64,
+        mcu_ops_per_cycle: risc_ops as f64 / host_cycles as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_mcu::datasheet;
+    use ulp_power::busy_activity;
+
+    fn report_at(mcu_hz: f64) -> EnvelopeReport {
+        envelope_speedup(
+            &PowerBudget::default(),
+            &datasheet::stm32l476(),
+            mcu_hz,
+            &PulpPowerModel::pulp3(),
+            &busy_activity(4, 8),
+            3_000_000, // host cycles
+            280_000,   // cluster cycles (arch × parallel speedup ≈ 10.7)
+            2_400_000, // RISC ops
+            20.0e-6,
+        )
+    }
+
+    #[test]
+    fn baseline_point_leaves_no_room() {
+        // The paper: at 32 MHz the L476 consumes ≈ the whole 10 mW.
+        let r = report_at(32.0e6);
+        assert!(r.mcu_within_budget);
+        assert!((r.mcu_speedup - 1.0).abs() < 1e-12);
+        // Whatever is left cannot clock the cluster meaningfully.
+        if let Some(s) = r.pulp_speedup {
+            assert!(s < 10.0, "near-exhausted budget gave speedup {s:.1}");
+        }
+    }
+
+    #[test]
+    fn lower_mcu_clock_frees_accelerator_power() {
+        let slow = report_at(1.0e6);
+        let fast = report_at(26.0e6);
+        let s_slow = slow.pulp_speedup.unwrap();
+        let s_fast = fast.pulp_speedup.unwrap();
+        assert!(
+            s_slow > s_fast,
+            "1 MHz host ({s_slow:.1}×) must leave more envelope than 26 MHz ({s_fast:.1}×)"
+        );
+        assert!(s_slow > 20.0, "paper band: >20× for the slowest host clock");
+    }
+
+    #[test]
+    fn total_power_respected() {
+        for mhz in [1.0, 2.0, 4.0, 8.0, 16.0, 26.0] {
+            let r = report_at(mhz * 1e6);
+            if let Some(op) = r.pulp_point {
+                let total = r.mcu_power_watts + op.total_power_w + 20.0e-6;
+                assert!(
+                    total <= 10.0e-3 * 1.0001,
+                    "budget violated at {mhz} MHz: {:.2} mW",
+                    total * 1e3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overclocked_mcu_flagged_outside_budget() {
+        let r = report_at(80.0e6);
+        assert!(!r.mcu_within_budget, "80 MHz L476 exceeds 10 mW");
+        assert!(r.mcu_speedup > 2.0);
+    }
+
+    #[test]
+    fn ops_per_cycle_annotations() {
+        let r = report_at(16.0e6);
+        assert!(r.pulp_ops_per_cycle > r.mcu_ops_per_cycle);
+        assert!((r.mcu_ops_per_cycle - 0.8).abs() < 0.2);
+    }
+}

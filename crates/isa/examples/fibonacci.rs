@@ -1,0 +1,46 @@
+//! Standalone `ulp-isa` usage: assemble a Fibonacci routine from text,
+//! run it on two different core models, and print the cycle difference.
+//!
+//! ```sh
+//! cargo run -p ulp-isa --example fibonacci
+//! ```
+
+use ulp_isa::prelude::*;
+use ulp_isa::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = parse_program(
+        "
+        # r3 = fib(r2) iteratively; r4/r5 are the rolling pair
+            addi r4, r0, 0
+            addi r5, r0, 1
+            beq  r2, r0, done
+        loop:
+            add  r6, r4, r5
+            add  r4, r5, r0
+            add  r5, r6, r0
+            addi r2, r2, -1
+            bne  r2, r0, loop
+        done:
+            add  r3, r4, r0
+            halt
+        ",
+    )?;
+
+    for model in [CoreModel::risc_baseline(), CoreModel::cortex_m4(), CoreModel::or10n()] {
+        let mut mem = FlatMemory::new(0, 4096);
+        mem.load_program(&prog, 0)?;
+        let mut core = Core::new(0, model);
+        core.reset(0);
+        core.set_reg(R2, 40);
+        let run = core.run(&mut mem, 100_000)?;
+        println!(
+            "{:<14} fib(40) = {:>10}  in {:>4} cycles ({} instructions)",
+            model.name,
+            core.reg(R3),
+            run.cycles,
+            run.retired
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,613 @@
+//! A small macro-assembler for UIR with labels and structured helpers.
+//!
+//! [`Asm`] is the back-end all kernel code generators target (the role the
+//! LLVM OR10N / GCC ARM toolchains play in the paper). It supports forward
+//! references through [`Label`]s, synthesizes multi-instruction idioms
+//! (`li`, 32-bit constants), manages a read-only data section for lookup
+//! tables, and provides a structured [`Asm::hw_loop`] helper that computes
+//! hardware-loop body offsets automatically.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_isa::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new();
+//! a.li(R1, 3);
+//! let done = a.new_label();
+//! a.beq(R1, R0, done);
+//! a.addi(R2, R2, 1);
+//! a.bind(done);
+//! a.halt();
+//! let prog = a.finish()?;
+//! assert_eq!(prog.text_bytes(), prog.insns().len() * 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{encode, EncodeError};
+use crate::insn::{Insn, MemSize};
+use crate::reg::Reg;
+
+/// A forward-referenceable code position.
+///
+/// Created with [`Asm::new_label`], placed with [`Asm::bind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error produced while assembling a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A referenced label was never [`Asm::bind`]-ed.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    RebindLabel(Label),
+    /// A hardware-loop body has fewer than two instructions (PULP
+    /// hardware-loop constraint).
+    HwLoopTooShort,
+    /// An operand does not fit its encoding field.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::RebindLabel(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::HwLoopTooShort => {
+                write!(f, "hardware loop body must contain at least two instructions")
+            }
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Patch {
+    /// Patch the branch offset field (byte offset label − insn).
+    Branch(Label),
+    /// Patch a `jal` offset.
+    Jal(Label),
+    /// Patch an `lp.setup` body end: label is bound *after* the last body
+    /// instruction; `body_end = label − 4 − insn`.
+    LoopEnd(Label),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    insn: Insn,
+    patch: Option<Patch>,
+}
+
+/// An assembled program: decoded instructions, their binary encoding, and a
+/// read-only data section.
+///
+/// The binary image laid out by
+/// [`FlatMemory::load_program`](crate::mem::FlatMemory::load_program) is
+/// `text ++ rodata` with the
+/// rodata 4-byte aligned; [`Program::binary_size`] is the byte count that
+/// travels over the SPI link during a code offload (paper Table I "Binary
+/// Size").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    insns: Vec<Insn>,
+    words: Vec<u32>,
+    rodata: Vec<u8>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Decoded instruction sequence.
+    #[must_use]
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Encoded instruction words.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Read-only data section contents.
+    #[must_use]
+    pub fn rodata(&self) -> &[u8] {
+        &self.rodata
+    }
+
+    /// Size of the text section in bytes.
+    #[must_use]
+    pub fn text_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Byte offset of the rodata section from the load address (text size
+    /// rounded up to 4 bytes).
+    #[must_use]
+    pub fn rodata_offset(&self) -> usize {
+        (self.text_bytes() + 3) & !3
+    }
+
+    /// Total binary size in bytes (text + rodata): the payload of a code
+    /// offload.
+    #[must_use]
+    pub fn binary_size(&self) -> usize {
+        self.rodata_offset() + self.rodata.len()
+    }
+
+    /// Looks up a named symbol (byte offset from the load address).
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Renders the program as an assembly listing (one instruction per
+    /// line, addresses relative to the load address).
+    #[must_use]
+    pub fn listing(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            let _ = writeln!(out, "{:#06x}:  {}", i * 4, insn);
+        }
+        out
+    }
+}
+
+/// The assembler. See the [module documentation](self) for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    slots: Vec<Slot>,
+    labels: Vec<Option<usize>>, // label -> instruction index
+    rodata: Vec<u8>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current position as a byte offset from the program start.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        (self.slots.len() * 4) as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (programming error in the code
+    /// generator).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label {label:?} bound twice");
+        self.labels[label.0] = Some(self.slots.len());
+    }
+
+    /// Records the current position under `name` in the symbol table.
+    pub fn symbol(&mut self, name: &str) {
+        let here = self.here();
+        self.symbols.insert(name.to_owned(), here);
+    }
+
+    /// Emits a raw instruction.
+    pub fn insn(&mut self, insn: Insn) -> &mut Self {
+        self.slots.push(Slot { insn, patch: None });
+        self
+    }
+
+    /// Appends `bytes` to the read-only data section (4-byte aligned) and
+    /// returns the byte offset of the data *within the rodata section*.
+    pub fn add_rodata(&mut self, bytes: &[u8]) -> u32 {
+        while !self.rodata.len().is_multiple_of(4) {
+            self.rodata.push(0);
+        }
+        let off = self.rodata.len() as u32;
+        self.rodata.extend_from_slice(bytes);
+        off
+    }
+
+    // ---- pseudo-instructions -------------------------------------------
+
+    /// Loads a 32-bit constant, using one instruction when it fits.
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        if (-8192..=8191).contains(&value) {
+            self.insn(Insn::Addi(rd, Reg::ZERO, value as i16));
+        } else {
+            let v = value as u32;
+            self.insn(Insn::Lui(rd, v >> 14));
+            if v & 0x3FFF != 0 {
+                self.insn(Insn::Ori(rd, rd, (v & 0x3FFF) as u16));
+            }
+        }
+        self
+    }
+
+    /// Loads an address constant (alias of [`Asm::li`] for clarity).
+    pub fn la(&mut self, rd: Reg, addr: u32) -> &mut Self {
+        self.li(rd, addr as i32)
+    }
+
+    /// Register-to-register move.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.insn(Insn::Add(rd, rs, Reg::ZERO))
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.slots.push(Slot { insn: Insn::Jal(Reg::ZERO, 0), patch: Some(Patch::Jal(label)) });
+        self
+    }
+
+    /// Call (`jal rd, label`).
+    pub fn jal_to(&mut self, rd: Reg, label: Label) -> &mut Self {
+        self.slots.push(Slot { insn: Insn::Jal(rd, 0), patch: Some(Patch::Jal(label)) });
+        self
+    }
+
+    /// Return through `ra` (`jalr r0, ra, 0`).
+    pub fn ret(&mut self, ra: Reg) -> &mut Self {
+        self.insn(Insn::Jalr(Reg::ZERO, ra, 0))
+    }
+
+    /// Emits a hardware loop executing `body` `count`-register times.
+    ///
+    /// Computes the `lp.setup` end offset from the body length. The body
+    /// must emit at least two instructions (checked at [`Asm::finish`]).
+    pub fn hw_loop(&mut self, idx: u8, count: Reg, body: impl FnOnce(&mut Asm)) -> &mut Self {
+        let end = self.new_label();
+        self.slots.push(Slot {
+            insn: Insn::LpSetup { idx, count, body_end: 0 },
+            patch: Some(Patch::LoopEnd(end)),
+        });
+        body(self);
+        self.bind(end);
+        self
+    }
+
+    // ---- per-instruction convenience methods ----------------------------
+
+    /// `rd = ra + rb`
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.insn(Insn::Add(rd, ra, rb))
+    }
+    /// `rd = ra - rb`
+    pub fn sub(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.insn(Insn::Sub(rd, ra, rb))
+    }
+    /// `rd = low32(ra * rb)`
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.insn(Insn::Mul(rd, ra, rb))
+    }
+    /// `rd += ra * rb` (requires `mac`)
+    pub fn mac(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.insn(Insn::Mac(rd, ra, rb))
+    }
+    /// `rd = ra + imm`
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: i16) -> &mut Self {
+        self.insn(Insn::Addi(rd, ra, imm))
+    }
+    /// `rd = ra << sh`
+    pub fn slli(&mut self, rd: Reg, ra: Reg, sh: u8) -> &mut Self {
+        self.insn(Insn::Slli(rd, ra, sh))
+    }
+    /// `rd = ra >> sh` (logical)
+    pub fn srli(&mut self, rd: Reg, ra: Reg, sh: u8) -> &mut Self {
+        self.insn(Insn::Srli(rd, ra, sh))
+    }
+    /// `rd = ra >> sh` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, ra: Reg, sh: u8) -> &mut Self {
+        self.insn(Insn::Srai(rd, ra, sh))
+    }
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.insn(Insn::Nop)
+    }
+    /// Halt the core.
+    pub fn halt(&mut self) -> &mut Self {
+        self.insn(Insn::Halt)
+    }
+    /// Wait for event.
+    pub fn wfe(&mut self) -> &mut Self {
+        self.insn(Insn::Wfe)
+    }
+    /// Send event `id`.
+    pub fn sev(&mut self, id: u8) -> &mut Self {
+        self.insn(Insn::Sev(id))
+    }
+    /// Cluster barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.insn(Insn::Barrier)
+    }
+
+    /// Word load `rd = mem32[base + offset]`.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Load { rd, base, offset, size: MemSize::Word, signed: true })
+    }
+    /// Word store `mem32[base + offset] = rs`.
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Store { rs, base, offset, size: MemSize::Word })
+    }
+    /// Signed halfword load.
+    pub fn lh(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Load { rd, base, offset, size: MemSize::Half, signed: true })
+    }
+    /// Halfword store.
+    pub fn sh(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Store { rs, base, offset, size: MemSize::Half })
+    }
+    /// Signed byte load.
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Load { rd, base, offset, size: MemSize::Byte, signed: true })
+    }
+    /// Unsigned byte load.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Load { rd, base, offset, size: MemSize::Byte, signed: false })
+    }
+    /// Byte store.
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.insn(Insn::Store { rs, base, offset, size: MemSize::Byte })
+    }
+
+    fn branch_to(&mut self, make: impl FnOnce(i32) -> Insn, label: Label) -> &mut Self {
+        self.slots.push(Slot { insn: make(0), patch: Some(Patch::Branch(label)) });
+        self
+    }
+
+    /// Branch to `label` if `ra == rb`.
+    pub fn beq(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch_to(|o| Insn::Beq(ra, rb, o), label)
+    }
+    /// Branch to `label` if `ra != rb`.
+    pub fn bne(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch_to(|o| Insn::Bne(ra, rb, o), label)
+    }
+    /// Branch to `label` if `ra < rb` (signed).
+    pub fn blt(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch_to(|o| Insn::Blt(ra, rb, o), label)
+    }
+    /// Branch to `label` if `ra >= rb` (signed).
+    pub fn bge(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch_to(|o| Insn::Bge(ra, rb, o), label)
+    }
+    /// Branch to `label` if `ra < rb` (unsigned).
+    pub fn bltu(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch_to(|o| Insn::Bltu(ra, rb, o), label)
+    }
+    /// Branch to `label` if `ra >= rb` (unsigned).
+    pub fn bgeu(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch_to(|o| Insn::Bgeu(ra, rb, o), label)
+    }
+
+    /// Resolves labels, validates hardware loops, and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on unbound labels, too-short hardware-loop
+    /// bodies, or operands that do not fit their encodings.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        let resolve = |label: Label| -> Result<i64, AsmError> {
+            self.labels[label.0]
+                .map(|idx| (idx * 4) as i64)
+                .ok_or(AsmError::UnboundLabel(label))
+        };
+
+        let mut insns = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let at = (idx * 4) as i64;
+            let insn = match slot.patch {
+                None => slot.insn,
+                Some(Patch::Branch(l)) => {
+                    let off = (resolve(l)? - at) as i32;
+                    match slot.insn {
+                        Insn::Beq(a, b, _) => Insn::Beq(a, b, off),
+                        Insn::Bne(a, b, _) => Insn::Bne(a, b, off),
+                        Insn::Blt(a, b, _) => Insn::Blt(a, b, off),
+                        Insn::Bge(a, b, _) => Insn::Bge(a, b, off),
+                        Insn::Bltu(a, b, _) => Insn::Bltu(a, b, off),
+                        Insn::Bgeu(a, b, _) => Insn::Bgeu(a, b, off),
+                        other => other,
+                    }
+                }
+                Some(Patch::Jal(l)) => {
+                    let off = (resolve(l)? - at) as i32;
+                    match slot.insn {
+                        Insn::Jal(rd, _) => Insn::Jal(rd, off),
+                        other => other,
+                    }
+                }
+                Some(Patch::LoopEnd(l)) => {
+                    // Label sits after the last body instruction.
+                    let body_end = (resolve(l)? - 4 - at) as i32;
+                    if body_end < 8 {
+                        return Err(AsmError::HwLoopTooShort);
+                    }
+                    match slot.insn {
+                        Insn::LpSetup { idx, count, .. } => {
+                            Insn::LpSetup { idx, count, body_end }
+                        }
+                        other => other,
+                    }
+                }
+            };
+            insns.push(insn);
+        }
+
+        let words =
+            insns.iter().map(encode).collect::<Result<Vec<_>, _>>().map_err(AsmError::from)?;
+
+        Ok(Program { insns, words, rodata: self.rodata, symbols: self.symbols })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::named::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.new_label();
+        let back = a.new_label();
+        a.bind(back);
+        a.nop();
+        a.beq(R0, R0, fwd);
+        a.bne(R1, R2, back);
+        a.bind(fwd);
+        a.halt();
+        let prog = a.finish().unwrap();
+        assert_eq!(prog.insns()[1], Insn::Beq(R0, R0, 8));
+        assert_eq!(prog.insns()[2], Insn::Bne(R1, R2, -8));
+    }
+
+    #[test]
+    fn unbound_label_is_reported() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.beq(R0, R0, l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn li_small_is_one_insn() {
+        let mut a = Asm::new();
+        a.li(R1, 100);
+        a.li(R2, -8192);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn li_large_synthesizes_constant() {
+        let mut a = Asm::new();
+        a.li(R1, 0x1234_5678);
+        a.halt();
+        let prog = a.finish().unwrap();
+        assert_eq!(prog.insns()[0], Insn::Lui(R1, 0x1234_5678u32 >> 14));
+        assert_eq!(prog.insns()[1], Insn::Ori(R1, R1, (0x1234_5678u32 & 0x3FFF) as u16));
+    }
+
+    #[test]
+    fn hw_loop_offset_points_to_last_body_insn() {
+        let mut a = Asm::new();
+        a.li(R1, 4);
+        a.hw_loop(0, R1, |a| {
+            a.nop();
+            a.nop();
+            a.nop();
+        });
+        a.halt();
+        let prog = a.finish().unwrap();
+        // lp.setup at index 1; body = 3 insns at indices 2,3,4.
+        assert_eq!(prog.insns()[1], Insn::LpSetup { idx: 0, count: R1, body_end: 12 });
+    }
+
+    #[test]
+    fn hw_loop_too_short_rejected() {
+        let mut a = Asm::new();
+        a.li(R1, 4);
+        a.hw_loop(0, R1, |a| {
+            a.nop();
+        });
+        assert!(matches!(a.finish(), Err(AsmError::HwLoopTooShort)));
+    }
+
+    #[test]
+    fn rodata_alignment_and_offsets() {
+        let mut a = Asm::new();
+        let o1 = a.add_rodata(&[1, 2, 3]);
+        let o2 = a.add_rodata(&[4, 5, 6, 7]);
+        a.nop();
+        a.halt();
+        let prog = a.finish().unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 4); // aligned up
+        assert_eq!(prog.rodata().len(), 8);
+        assert_eq!(prog.binary_size(), 2 * 4 + 8);
+    }
+
+    #[test]
+    fn symbols_record_positions() {
+        let mut a = Asm::new();
+        a.nop();
+        a.symbol("entry2");
+        a.nop();
+        a.halt();
+        let prog = a.finish().unwrap();
+        assert_eq!(prog.symbol("entry2"), Some(4));
+        assert_eq!(prog.symbol("missing"), None);
+    }
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let mut a = Asm::new();
+        a.li(R1, 5);
+        a.halt();
+        let prog = a.finish().unwrap();
+        let listing = prog.listing();
+        assert!(listing.contains("addi r1, r0, 5"));
+        assert!(listing.contains("halt"));
+    }
+
+    #[test]
+    fn words_match_insns() {
+        let mut a = Asm::new();
+        a.add(R1, R2, R3);
+        a.halt();
+        let prog = a.finish().unwrap();
+        assert_eq!(prog.words().len(), prog.insns().len());
+        for (w, i) in prog.words().iter().zip(prog.insns()) {
+            assert_eq!(crate::encode::decode(*w).unwrap(), *i);
+        }
+    }
+}

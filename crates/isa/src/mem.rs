@@ -1,0 +1,262 @@
+//! A flat, single-cycle memory implementing [`Bus`].
+//!
+//! [`FlatMemory`] models the unified SRAM of a host microcontroller (and is
+//! also handy in tests): every access completes in one cycle and there is no
+//! contention. The PULP cluster's banked TCDM with arbitration lives in the
+//! `ulp-cluster` crate.
+
+use crate::asm::Program;
+use crate::encode::decode;
+use crate::exec::{Access, Bus, BusError, Fetched};
+use crate::insn::{Insn, MemSize};
+
+/// Flat little-endian memory with one-cycle access latency.
+///
+/// # Example
+///
+/// ```
+/// use ulp_isa::FlatMemory;
+///
+/// let mut mem = FlatMemory::new(0x2000_0000, 4096);
+/// mem.write_u32(0x2000_0010, 0xDEAD_BEEF).unwrap();
+/// assert_eq!(mem.read_u32(0x2000_0010).unwrap(), 0xDEAD_BEEF);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlatMemory {
+    base: u32,
+    data: Vec<u8>,
+    decoded: Vec<Option<Insn>>,
+}
+
+impl FlatMemory {
+    /// Creates a zeroed memory of `size` bytes starting at `base`.
+    #[must_use]
+    pub fn new(base: u32, size: usize) -> Self {
+        FlatMemory { base, data: vec![0; size], decoded: vec![None; size.div_ceil(4)] }
+    }
+
+    /// Base address of the mapped region.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size of the mapped region in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    fn index(&self, addr: u32, len: u32) -> Result<usize, BusError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off + len as usize > self.data.len() {
+            return Err(BusError::OutOfBounds { addr, size: len });
+        }
+        Ok(off)
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the range is not fully mapped.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusError> {
+        let off = self.index(addr, bytes.len() as u32)?;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        for w in off / 4..(off + bytes.len()).div_ceil(4) {
+            self.decoded[w] = None;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the range is not fully mapped.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], BusError> {
+        let off = self.index(addr, len as u32)?;
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Reads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the word is not fully mapped.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, BusError> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the word is not fully mapped.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), BusError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Loads a [`Program`] image (text, then 4-byte-aligned rodata) at
+    /// `addr` and returns the absolute address of the rodata section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfBounds`] if the image does not fit.
+    pub fn load_program(&mut self, prog: &Program, addr: u32) -> Result<u32, BusError> {
+        let mut text = Vec::with_capacity(prog.text_bytes());
+        for w in prog.words() {
+            text.extend_from_slice(&w.to_le_bytes());
+        }
+        self.write_bytes(addr, &text)?;
+        let rodata_base = addr + prog.rodata_offset() as u32;
+        self.write_bytes(rodata_base, prog.rodata())?;
+        Ok(rodata_base)
+    }
+
+    fn load_raw(&self, addr: u32, size: MemSize) -> Result<u32, BusError> {
+        let n = size.bytes();
+        let off = self.index(addr, n)?;
+        let mut v = 0u32;
+        for i in (0..n as usize).rev() {
+            v = (v << 8) | u32::from(self.data[off + i]);
+        }
+        Ok(v)
+    }
+
+    fn store_raw(&mut self, addr: u32, size: MemSize, value: u32) -> Result<(), BusError> {
+        let n = size.bytes();
+        let off = self.index(addr, n)?;
+        for i in 0..n as usize {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+        }
+        for w in off / 4..(off + n as usize).div_ceil(4) {
+            self.decoded[w] = None;
+        }
+        Ok(())
+    }
+}
+
+impl Bus for FlatMemory {
+    fn load(
+        &mut self,
+        _core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+    ) -> Result<Access, BusError> {
+        Ok(Access { value: self.load_raw(addr, size)?, ready_at: now + 1 })
+    }
+
+    fn store(
+        &mut self,
+        _core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    ) -> Result<u64, BusError> {
+        self.store_raw(addr, size, value)?;
+        Ok(now + 1)
+    }
+
+    fn tas(&mut self, _core_id: usize, now: u64, addr: u32) -> Result<Access, BusError> {
+        let old = self.load_raw(addr, MemSize::Word)?;
+        self.store_raw(addr, MemSize::Word, 1)?;
+        Ok(Access { value: old, ready_at: now + 1 })
+    }
+
+    fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
+        let off = self.index(pc, 4)?;
+        let slot = off / 4;
+        if let Some(insn) = self.decoded[slot] {
+            return Ok(Fetched { insn, ready_at: now });
+        }
+        let word = u32::from_le_bytes([
+            self.data[off],
+            self.data[off + 1],
+            self.data[off + 2],
+            self.data[off + 3],
+        ]);
+        let insn = decode(word).map_err(|_| BusError::Unmapped { addr: pc })?;
+        self.decoded[slot] = Some(insn);
+        Ok(Fetched { insn, ready_at: now })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::named::*;
+
+    #[test]
+    fn bytes_roundtrip_and_endianness() {
+        let mut m = FlatMemory::new(0x100, 64);
+        m.write_u32(0x100, 0x0403_0201).unwrap();
+        assert_eq!(m.read_bytes(0x100, 4).unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut m = FlatMemory::new(0x100, 16);
+        assert!(m.write_u32(0x110, 0).is_err());
+        assert!(m.write_u32(0xFC, 0).is_err());
+        assert!(m.read_bytes(0x10E, 4).is_err());
+    }
+
+    #[test]
+    fn partial_width_access() {
+        let mut m = FlatMemory::new(0, 16);
+        m.store_raw(3, MemSize::Byte, 0xAB).unwrap();
+        assert_eq!(m.load_raw(3, MemSize::Byte).unwrap(), 0xAB);
+        m.store_raw(4, MemSize::Half, 0xBEEF).unwrap();
+        assert_eq!(m.load_raw(4, MemSize::Half).unwrap(), 0xBEEF);
+        // Unaligned word crossing is handled byte-wise.
+        assert_eq!(m.load_raw(3, MemSize::Word).unwrap() & 0xFF, 0xAB);
+    }
+
+    #[test]
+    fn program_image_layout() {
+        let mut a = Asm::new();
+        a.li(R1, 1);
+        a.halt();
+        let off = a.add_rodata(&[9, 8, 7, 6]);
+        let prog = a.finish().unwrap();
+        let mut m = FlatMemory::new(0, 1024);
+        let rodata_base = m.load_program(&prog, 0x40).unwrap();
+        assert_eq!(rodata_base, 0x40 + prog.rodata_offset() as u32);
+        assert_eq!(m.read_bytes(rodata_base + off, 4).unwrap(), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn fetch_decodes_and_caches() {
+        let mut a = Asm::new();
+        a.nop();
+        a.halt();
+        let prog = a.finish().unwrap();
+        let mut m = FlatMemory::new(0, 64);
+        m.load_program(&prog, 0).unwrap();
+        let f1 = m.fetch(0, 0, 0).unwrap();
+        assert_eq!(f1.insn, Insn::Nop);
+        let f2 = m.fetch(0, 5, 0).unwrap();
+        assert_eq!(f2.insn, Insn::Nop);
+        assert_eq!(f2.ready_at, 5);
+    }
+
+    #[test]
+    fn store_invalidates_decode_cache() {
+        let mut a = Asm::new();
+        a.nop();
+        a.halt();
+        let prog = a.finish().unwrap();
+        let mut m = FlatMemory::new(0, 64);
+        m.load_program(&prog, 0).unwrap();
+        let _ = m.fetch(0, 0, 0).unwrap();
+        // Overwrite the nop with a halt via a data store.
+        let halt_word = crate::encode::encode(&Insn::Halt).unwrap();
+        m.store(0, 0, 0, MemSize::Word, halt_word).unwrap();
+        assert_eq!(m.fetch(0, 0, 0).unwrap().insn, Insn::Halt);
+    }
+}

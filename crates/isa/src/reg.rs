@@ -1,0 +1,125 @@
+//! General-purpose register file names.
+//!
+//! UIR has 32 registers. `r0` is hardwired to zero, as in MIPS/RISC-V and
+//! OpenRISC's `r0` convention used by the OR10N cores of the PULP cluster.
+
+use std::fmt;
+
+/// A general-purpose register index in `0..32`.
+///
+/// `Reg(0)` always reads as zero and ignores writes.
+///
+/// # Example
+///
+/// ```
+/// use ulp_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range (0..32)");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` if out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Named constants `R0..R31` for all registers.
+///
+/// Import with `use ulp_isa::reg::named::*;` or via the crate prelude.
+pub mod named {
+    use super::Reg;
+
+    macro_rules! defregs {
+        ($($name:ident = $idx:expr),* $(,)?) => {
+            $(
+                #[doc = concat!("Register r", stringify!($idx), ".")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        };
+    }
+
+    defregs!(
+        R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+        R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+        R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+        R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+        R29 = 29, R30 = 30, R31 = 31,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::named::*;
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(R0.is_zero());
+        assert!(!R1.is_zero());
+        assert_eq!(Reg::ZERO, R0);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i);
+            assert_eq!(Reg::try_new(i), Some(Reg::new(i)));
+        }
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(R17.to_string(), "r17");
+        assert_eq!(format!("{R0}"), "r0");
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests for the UIR encoding layer and interpreter.
+
+use proptest::prelude::*;
+use ulp_isa::prelude::*;
+use ulp_isa::{decode, encode};
+
+fn any_reg() -> impl Strategy<Value = Reg> + Clone {
+    (0u8..32).prop_map(Reg::new as fn(u8) -> Reg)
+}
+
+fn any_mem_size() -> impl Strategy<Value = MemSize> {
+    prop_oneof![Just(MemSize::Byte), Just(MemSize::Half), Just(MemSize::Word)]
+}
+
+/// Branch-style byte offsets representable in a 14-bit word-offset field.
+fn any_off14() -> impl Strategy<Value = i32> {
+    (-8192i32..8192).prop_map(|w| w * 4)
+}
+
+fn imm14_s() -> impl Strategy<Value = i16> {
+    -8192i16..8192
+}
+
+fn imm14_u() -> impl Strategy<Value = u16> {
+    0u16..16384
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    let rrr = (any_reg(), any_reg(), any_reg());
+    prop_oneof![
+        rrr.clone().prop_map(|(d, a, b)| Insn::Add(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::Sub(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::Xor(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::Mul(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::Mac(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::SdotV4(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::SdotV2(d, a, b)),
+        rrr.clone().prop_map(|(d, a, b)| Insn::Min(d, a, b)),
+        rrr.prop_map(|(d, a, b)| Insn::Max(d, a, b)),
+        (any_reg(), any_reg(), any_reg(), any_reg(), any::<bool>())
+            .prop_map(|(h, l, a, b, s)| Insn::Mull { rd_hi: h, rd_lo: l, ra: a, rb: b, signed: s }),
+        (any_reg(), any_reg(), any_reg(), any_reg(), any::<bool>())
+            .prop_map(|(h, l, a, b, s)| Insn::Mlal { rd_hi: h, rd_lo: l, ra: a, rb: b, signed: s }),
+        (any_reg(), any_reg(), imm14_s()).prop_map(|(d, a, i)| Insn::Addi(d, a, i)),
+        (any_reg(), any_reg(), imm14_u()).prop_map(|(d, a, i)| Insn::Ori(d, a, i)),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(d, a, s)| Insn::Slli(d, a, s)),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(d, a, s)| Insn::Srai(d, a, s)),
+        (any_reg(), 0u32..0x40000).prop_map(|(d, i)| Insn::Lui(d, i)),
+        (any_reg(), any_reg(), imm14_s(), any_mem_size(), any::<bool>()).prop_map(
+            |(rd, base, offset, size, signed)| {
+                let signed = signed || size == MemSize::Word;
+                Insn::Load { rd, base, offset, size, signed }
+            }
+        ),
+        (any_reg(), any_reg(), imm14_s(), any_mem_size(), any::<bool>()).prop_map(
+            |(rd, base, inc, size, signed)| {
+                let signed = signed || size == MemSize::Word;
+                Insn::LoadPi { rd, base, inc, size, signed }
+            }
+        ),
+        (any_reg(), any_reg(), imm14_s(), any_mem_size())
+            .prop_map(|(rs, base, offset, size)| Insn::Store { rs, base, offset, size }),
+        (any_reg(), any_reg(), imm14_s(), any_mem_size())
+            .prop_map(|(rs, base, inc, size)| Insn::StorePi { rs, base, inc, size }),
+        (any_reg(), any_reg()).prop_map(|(d, a)| Insn::Tas(d, a)),
+        (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Beq(a, b, o)),
+        (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Bne(a, b, o)),
+        (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Blt(a, b, o)),
+        (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Bgeu(a, b, o)),
+        (any_reg(), (-262144i32..262144).prop_map(|w| w * 4))
+            .prop_map(|(d, o)| Insn::Jal(d, o)),
+        (any_reg(), any_reg(), imm14_s()).prop_map(|(d, a, i)| Insn::Jalr(d, a, i)),
+        (0u8..2, any_reg(), (2i32..8192).prop_map(|w| w * 4))
+            .prop_map(|(idx, count, body_end)| Insn::LpSetup { idx, count, body_end }),
+        (any_reg(), prop_oneof![
+            Just(Csr::CoreId), Just(Csr::NumCores), Just(Csr::CycleLo), Just(Csr::InstRetLo)
+        ])
+            .prop_map(|(d, c)| Insn::Csrr(d, c)),
+        Just(Insn::Nop),
+        Just(Insn::Halt),
+        Just(Insn::Wfe),
+        any::<u8>().prop_map(Insn::Sev),
+        Just(Insn::Barrier),
+    ]
+}
+
+proptest! {
+    /// Every encodable instruction decodes back to itself.
+    #[test]
+    fn encode_decode_roundtrip(insn in any_insn()) {
+        let word = encode(&insn).expect("strategy only produces encodable instructions");
+        let back = decode(word).expect("decodes");
+        prop_assert_eq!(insn, back);
+    }
+
+    /// Decoding never panics on arbitrary words.
+    #[test]
+    fn decode_is_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// If an arbitrary word decodes, re-encoding reproduces a word that
+    /// decodes to the same instruction (canonicalization is stable).
+    #[test]
+    fn decode_encode_stable(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            if let Ok(word2) = encode(&insn) {
+                prop_assert_eq!(decode(word2).unwrap(), insn);
+            }
+        }
+    }
+
+    /// The interpreter computes the same sums as Rust for random inputs
+    /// (an end-to-end sanity check of loads, ALU, branches).
+    #[test]
+    fn interpreter_sums_match_reference(values in prop::collection::vec(any::<i32>(), 1..64)) {
+        use ulp_isa::Insn;
+
+        let mut a = Asm::new();
+        let data = 0x4000i32;
+        a.li(R1, data);
+        a.li(R2, values.len() as i32);
+        a.li(R3, 0);
+        let top = a.new_label();
+        a.bind(top);
+        a.lw(R4, R1, 0);
+        a.add(R3, R3, R4);
+        a.addi(R1, R1, 4);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, top);
+        a.halt();
+        let prog = a.finish().unwrap();
+
+        let mut mem = FlatMemory::new(0, 64 * 1024);
+        mem.load_program(&prog, 0).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            mem.write_u32(data as u32 + 4 * i as u32, *v as u32).unwrap();
+        }
+        let mut core = Core::new(0, CoreModel::risc_baseline());
+        core.reset(0);
+        core.run(&mut mem, 10_000_000).unwrap();
+
+        let expect: i32 = values.iter().fold(0i32, |acc, v| acc.wrapping_add(*v));
+        prop_assert_eq!(core.reg(R3) as i32, expect);
+
+        // Sanity: instruction accounting matches the loop trip count.
+        let _ = Insn::Nop;
+        prop_assert_eq!(core.stats().retired, 4 + 5 * values.len() as u64);
+    }
+
+    /// Hardware loops and software loops compute identical results.
+    #[test]
+    fn hw_loop_equals_sw_loop(n in 1u32..200) {
+        let run = |hw: bool| {
+            let mut a = Asm::new();
+            a.li(R1, n as i32);
+            a.li(R2, 0);
+            if hw {
+                a.hw_loop(0, R1, |a| {
+                    a.addi(R2, R2, 3);
+                    a.nop();
+                });
+            } else {
+                let top = a.new_label();
+                a.bind(top);
+                a.addi(R2, R2, 3);
+                a.addi(R1, R1, -1);
+                a.bne(R1, R0, top);
+            }
+            a.halt();
+            let prog = a.finish().unwrap();
+            let mut mem = FlatMemory::new(0, 4096);
+            mem.load_program(&prog, 0).unwrap();
+            let mut core = Core::new(0, CoreModel::or10n());
+            core.reset(0);
+            core.run(&mut mem, 1_000_000).unwrap();
+            (core.reg(R2), core.time())
+        };
+        let (hw_result, hw_time) = run(true);
+        let (sw_result, sw_time) = run(false);
+        prop_assert_eq!(hw_result, 3 * n);
+        prop_assert_eq!(sw_result, 3 * n);
+        prop_assert!(hw_time <= sw_time);
+    }
+}
+
+proptest! {
+    /// Textual assembly round-trips: parsing an instruction's Display
+    /// form yields the identical instruction.
+    #[test]
+    fn display_parse_roundtrip(insn in any_insn()) {
+        let text = insn.to_string();
+        let back = ulp_isa::parse_insn(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(insn, back);
+    }
+
+    /// Whole listings re-assemble bit-identically.
+    #[test]
+    fn listing_roundtrip(insns in prop::collection::vec(any_insn(), 1..40)) {
+        let mut a = Asm::new();
+        for i in &insns {
+            a.insn(*i);
+        }
+        let Ok(prog) = a.finish() else { return Ok(()); };
+        let reparsed = ulp_isa::parse_program(&prog.listing()).unwrap();
+        prop_assert_eq!(reparsed.insns(), prog.insns());
+        prop_assert_eq!(reparsed.words(), prog.words());
+    }
+}
+
+proptest! {
+    /// The assembly parser never panics, whatever bytes it is fed.
+    #[test]
+    fn parser_is_total(input in "\\PC{0,200}") {
+        let _ = ulp_isa::parse_insn(&input);
+        let _ = ulp_isa::parse_program(&input);
+    }
+
+    /// Near-miss inputs (mnemonic-shaped garbage) also never panic.
+    #[test]
+    fn parser_survives_mnemonic_garbage(
+        m in "(add|lw|beq|lp\\.setup|smull|csrr|sev)",
+        junk in "[a-z0-9 ,():+-]{0,40}"
+    ) {
+        let line = format!("{m} {junk}");
+        let _ = ulp_isa::parse_insn(&line);
+        let _ = ulp_isa::parse_program(&line);
+    }
+}

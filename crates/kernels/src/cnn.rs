@@ -1,0 +1,516 @@
+//! Convolutional neural network inference (Table I `cnn` / `cnn (approx)`).
+//!
+//! A small LeNet-class network in Q2.13 fixed point, in the spirit of the
+//! CConvNet library the paper extends:
+//!
+//! ```text
+//! input  1×32×32
+//! conv1  4 maps, 5×5 ──→ 28×28 ─ maxpool 2×2 ─ tanh ──→ 4×14×14
+//! conv2  8 maps, 5×5 over all 4 maps ──→ 10×10 ─ maxpool ─ tanh ──→ 8×5×5
+//! fc     10 classes over the 200 pooled activations
+//! ```
+//!
+//! `cnn (approx)` is the paper's *approximated* variant: each conv2 output
+//! map connects to only **two** input maps instead of four, cutting the
+//! multiply count by ≈40 % (the paper reports 2.6 M vs 3.3 M RISC ops).
+//!
+//! Implementation notes shared by reference and generated code (bit-exact):
+//!
+//! * convolutions accumulate `(x·w) >> 13` per product in i32 (fixed-point,
+//!   so no MAC/SIMD fusion applies — paper §IV-B), add the bias, truncate
+//!   to i16;
+//! * max-pooling runs over the truncated conv outputs;
+//! * `tanh` is a 512-entry lookup over the full i16 range (±4.0 in Q2.13),
+//!   index `= (v + 32768) >> 7` — no clamping needed by construction;
+//! * weights and the tanh table are constant data shipped with the binary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ulp_isa::reg::named::*;
+use ulp_isa::{Asm, Insn, MemSize};
+
+use crate::codegen::emit::{counted_loop, index_loop, range_loop, spmd_kernel, static_chunk};
+use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
+use crate::fixed::{q13_mul_wide, tanh_lut_q13};
+
+/// Input image side.
+pub const IN_W: usize = 32;
+/// conv1 output maps.
+pub const C1_MAPS: usize = 4;
+/// conv1 pooled side (((32−5+1)/2) = 14).
+pub const P1_W: usize = 14;
+/// conv2 output maps.
+pub const C2_MAPS: usize = 8;
+/// conv2 pooled side (((14−5+1)/2) = 5).
+pub const P2_W: usize = 5;
+/// Classifier outputs.
+pub const CLASSES: usize = 10;
+/// Kernel side.
+pub const K: usize = 5;
+/// tanh lookup entries.
+pub const TANH_LUT_N: usize = 512;
+
+/// Network parameters (Q2.13).
+#[derive(Clone, Debug)]
+pub struct CnnParams {
+    /// conv1 weights `[map][25]`.
+    pub w1: Vec<i16>,
+    /// conv1 biases.
+    pub b1: Vec<i16>,
+    /// conv2 weights `[out_map][in_tap][25]` (4 taps full, 2 approx).
+    pub w2: Vec<i16>,
+    /// conv2 biases.
+    pub b2: Vec<i16>,
+    /// fc weights `[class][200]`.
+    pub wf: Vec<i16>,
+    /// fc biases.
+    pub bf: Vec<i16>,
+    /// Whether this is the approximated topology.
+    pub approx: bool,
+}
+
+/// Input taps of conv2 output map `m`: all four maps, or two for the
+/// approximated network.
+#[must_use]
+pub fn conv2_taps(m: usize, approx: bool) -> Vec<usize> {
+    if approx {
+        vec![m % C1_MAPS, (m + 1) % C1_MAPS]
+    } else {
+        (0..C1_MAPS).collect()
+    }
+}
+
+/// Generates network parameters (small weights, realistic activations).
+#[must_use]
+pub fn generate_params(seed: u64, approx: bool) -> CnnParams {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taps = if approx { 2 } else { C1_MAPS };
+    let mut gen = |n: usize, scale: i16| -> Vec<i16> {
+        (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+    };
+    CnnParams {
+        w1: gen(C1_MAPS * K * K, 2048),
+        b1: gen(C1_MAPS, 1024),
+        w2: gen(C2_MAPS * taps * K * K, 1024),
+        b2: gen(C2_MAPS, 1024),
+        wf: gen(CLASSES * C2_MAPS * P2_W * P2_W, 2048),
+        bf: gen(CLASSES, 1024),
+        approx,
+    }
+}
+
+/// Generates a deterministic input image (Q2.13 in (−1, 1)).
+#[must_use]
+pub fn generate_image(seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..IN_W * IN_W).map(|_| rng.gen_range(-8192..8192)).collect()
+}
+
+fn tanh_idx(v: i16) -> usize {
+    ((i32::from(v) + 32768) >> 7) as usize
+}
+
+/// Bit-exact reference inference: returns the 10 class scores (i32).
+#[must_use]
+pub fn reference(image: &[i16], p: &CnnParams, tanh_lut: &[i16]) -> Vec<i32> {
+    let conv_out_w1 = IN_W - K + 1; // 28
+    // conv1 + pool + tanh
+    let mut p1 = vec![0i16; C1_MAPS * P1_W * P1_W];
+    for m in 0..C1_MAPS {
+        for pi in 0..P1_W {
+            for pj in 0..P1_W {
+                let mut best = i16::MIN;
+                for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let (oi, oj) = (2 * pi + di, 2 * pj + dj);
+                    debug_assert!(oi < conv_out_w1 && oj < conv_out_w1);
+                    let mut acc = 0i32;
+                    for ki in 0..K {
+                        for kj in 0..K {
+                            acc = acc.wrapping_add(q13_mul_wide(
+                                image[(oi + ki) * IN_W + oj + kj],
+                                p.w1[m * K * K + ki * K + kj],
+                            ));
+                        }
+                    }
+                    acc = acc.wrapping_add(i32::from(p.b1[m]));
+                    let v = acc as i16;
+                    if v > best {
+                        best = v;
+                    }
+                }
+                p1[m * P1_W * P1_W + pi * P1_W + pj] = tanh_lut[tanh_idx(best)];
+            }
+        }
+    }
+    // conv2 + pool + tanh
+    let mut p2 = vec![0i16; C2_MAPS * P2_W * P2_W];
+    for m in 0..C2_MAPS {
+        let taps = conv2_taps(m, p.approx);
+        for pi in 0..P2_W {
+            for pj in 0..P2_W {
+                let mut best = i16::MIN;
+                for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let (oi, oj) = (2 * pi + di, 2 * pj + dj);
+                    let mut acc = 0i32;
+                    for (t, &im) in taps.iter().enumerate() {
+                        for ki in 0..K {
+                            for kj in 0..K {
+                                acc = acc.wrapping_add(q13_mul_wide(
+                                    p1[im * P1_W * P1_W + (oi + ki) * P1_W + oj + kj],
+                                    p.w2[(m * taps.len() + t) * K * K + ki * K + kj],
+                                ));
+                            }
+                        }
+                    }
+                    acc = acc.wrapping_add(i32::from(p.b2[m]));
+                    let v = acc as i16;
+                    if v > best {
+                        best = v;
+                    }
+                }
+                p2[m * P2_W * P2_W + pi * P2_W + pj] = tanh_lut[tanh_idx(best)];
+            }
+        }
+    }
+    // fully connected
+    (0..CLASSES)
+        .map(|c| {
+            let mut acc = 0i32;
+            for (i, &v) in p2.iter().enumerate() {
+                acc = acc.wrapping_add(q13_mul_wide(v, p.wf[c * p2.len() + i]));
+            }
+            acc.wrapping_add(i32::from(p.bf[c]))
+        })
+        .collect()
+}
+
+/// Builds the CNN kernel. `approx` selects the approximated topology.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build(approx: bool, env: &TargetEnv) -> KernelBuild {
+    let params = generate_params(0xC0FF_EE00 | u64::from(approx), approx);
+    let image = generate_image(0x1111_2222);
+    let tanh_lut = tanh_lut_q13(TANH_LUT_N, 4.0);
+    let scores = reference(&image, &params, &tanh_lut);
+    let expect: Vec<u8> = scores.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+    let le16 = |v: &[i16]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+
+    let mut l = DataLayout::new(env, 64 * 1024);
+    let in_addr = l.input("image", le16(&image));
+    let out_addr = l.output("scores", CLASSES * 4);
+    let w1_addr = l.constant("w1", le16(&params.w1));
+    let w2_addr = l.constant("w2", le16(&params.w2));
+    let b2_addr = l.constant("b2", le16(&params.b2));
+    let wf_addr = l.constant("wf", le16(&params.wf));
+    let bf_addr = l.constant("bf", le16(&params.bf));
+    let lut_addr = l.constant("tanh_lut", le16(&tanh_lut));
+    let p1_addr = l.scratch("P1", C1_MAPS * P1_W * P1_W * 2);
+    let p2_addr = l.scratch("P2", C2_MAPS * P2_W * P2_W * 2);
+    let buffers = l.finish();
+
+    let f = *env.features();
+    let taps = if approx { 2 } else { C1_MAPS };
+
+    // Emits a 5×5 convolution accumulation into R17: input top-left in
+    // R18 (clobbered), weight pointer in R19 (clobbered), input row
+    // stride `stride` bytes. Temps R20-R22, counter R7, scratch R1.
+    let emit_conv5x5_reg = |a: &mut Asm, env: &TargetEnv, stride: i16| {
+        a.li(R7, K as i32);
+        counted_loop(a, env, 0, R7, R1, |a| {
+            for kj in 0..K as i16 {
+                a.lh(R20, R18, kj * 2);
+                if f.post_increment {
+                    a.insn(Insn::LoadPi {
+                        rd: R21,
+                        base: R19,
+                        inc: 2,
+                        size: MemSize::Half,
+                        signed: true,
+                    });
+                } else {
+                    a.lh(R21, R19, kj * 2);
+                }
+                a.mul(R22, R20, R21);
+                a.srai(R22, R22, 13);
+                a.add(R17, R17, R22);
+            }
+            a.addi(R18, R18, stride);
+            if !f.post_increment {
+                a.addi(R19, R19, (K * 2) as i16);
+            }
+        });
+    };
+
+    // Truncate R17 to i16, max into R24.
+    let emit_trunc_max = |a: &mut Asm| {
+        a.slli(R17, R17, 16);
+        a.srai(R17, R17, 16);
+        a.insn(Insn::Max(R24, R24, R17));
+    };
+
+    // tanh lookup of R24 into R24.
+    let emit_tanh = |a: &mut Asm| {
+        a.li(R20, 32768);
+        a.add(R24, R24, R20);
+        a.srai(R24, R24, 7);
+        a.slli(R24, R24, 1);
+        a.la(R20, lut_addr);
+        a.add(R20, R20, R24);
+        a.lh(R24, R20, 0);
+    };
+
+    let mut asm = Asm::new();
+    spmd_kernel(&mut asm, env, |a, env| {
+        // ---- stage 1: conv1 + pool + tanh, rows of P1 work-shared ------
+        for m in 0..C1_MAPS {
+            static_chunk(a, env, P1_W as u32, R10, R11, R12);
+            range_loop(a, R12, R10, R11, |a| {
+                index_loop(a, R13, R2, P1_W as u32, |a| {
+                    // R23 = image + (2·pi·32 + 2·pj)·2
+                    a.slli(R23, R12, 7); // 2·pi·32·2 = pi·128
+                    a.slli(R20, R13, 2); // 2·pj·2 = pj·4
+                    a.add(R23, R23, R20);
+                    a.add(R23, R23, R3); // R3 = image
+                    a.li(R24, i32::from(i16::MIN));
+                    for (di, dj) in [(0i16, 0i16), (0, 1), (1, 0), (1, 1)] {
+                        a.li(R17, i32::from(params.b1[m]));
+                        a.mv(R18, R23);
+                        let off = di * (IN_W as i16) * 2 + dj * 2;
+                        if off != 0 {
+                            a.addi(R18, R18, off);
+                        }
+                        a.la(R19, w1_addr + (m * K * K * 2) as u32);
+                        emit_conv5x5_reg(a, env, (IN_W * 2) as i16);
+                        emit_trunc_max(a);
+                    }
+                    emit_tanh(a);
+                    // store to P1[m][pi][pj]
+                    a.li(R20, (P1_W * 2) as i32);
+                    a.mul(R20, R12, R20);
+                    a.slli(R21, R13, 1);
+                    a.add(R20, R20, R21);
+                    a.la(R21, p1_addr + (m * P1_W * P1_W * 2) as u32);
+                    a.add(R20, R20, R21);
+                    a.sh(R24, R20, 0);
+                });
+            });
+        }
+        if env.is_parallel() {
+            a.barrier();
+        }
+
+        // ---- stage 2: conv2 + pool + tanh, output maps work-shared -----
+        //
+        // All cores execute the same code with runtime-indexed weights and
+        // taps (a per-map unrolled dispatch would make the cores run
+        // disjoint code regions and thrash the shared instruction cache).
+        static_chunk(a, env, C2_MAPS as u32, R10, R11, R12);
+        range_loop(a, R12, R10, R11, |a| {
+            // R27 = weight base for map m; R9 = bias for map m.
+            a.li(R20, (taps * K * K * 2) as i32);
+            a.mul(R27, R12, R20);
+            a.la(R20, w2_addr);
+            a.add(R27, R27, R20);
+            a.slli(R20, R12, 1);
+            a.la(R21, b2_addr);
+            a.add(R20, R20, R21);
+            a.lh(R9, R20, 0);
+            index_loop(a, R13, R2, P2_W as u32, |a| {
+                index_loop(a, R25, R26, P2_W as u32, |a| {
+                    // R23 = (2·pi·14 + 2·pj)·2 relative offset
+                    a.li(R23, (P1_W * 4) as i32);
+                    a.mul(R23, R13, R23);
+                    a.slli(R20, R25, 2);
+                    a.add(R23, R23, R20);
+                    a.li(R24, i32::from(i16::MIN));
+                    for (di, dj) in [(0i16, 0i16), (0, 1), (1, 0), (1, 1)] {
+                        a.mv(R17, R9); // acc = bias
+                        for t in 0..taps {
+                            // in-map index: t (full) or (m + t) & 3 (approx)
+                            if approx {
+                                a.addi(R20, R12, t as i16);
+                                a.insn(Insn::Andi(R20, R20, 3));
+                            } else {
+                                a.li(R20, t as i32);
+                            }
+                            a.li(R21, (P1_W * P1_W * 2) as i32);
+                            a.mul(R20, R20, R21);
+                            a.la(R18, p1_addr);
+                            a.add(R18, R18, R20);
+                            a.add(R18, R18, R23);
+                            let off = di * (P1_W as i16) * 2 + dj * 2;
+                            if off != 0 {
+                                a.addi(R18, R18, off);
+                            }
+                            a.addi(R19, R27, (t * K * K * 2) as i16);
+                            emit_conv5x5_reg(a, env, (P1_W * 2) as i16);
+                        }
+                        emit_trunc_max(a);
+                    }
+                    emit_tanh(a);
+                    // store to P2[m][pi][pj]
+                    a.li(R20, (P2_W * P2_W * 2) as i32);
+                    a.mul(R20, R12, R20);
+                    a.li(R21, (P2_W * 2) as i32);
+                    a.mul(R21, R13, R21);
+                    a.add(R20, R20, R21);
+                    a.slli(R21, R25, 1);
+                    a.add(R20, R20, R21);
+                    a.la(R21, p2_addr);
+                    a.add(R20, R20, R21);
+                    a.sh(R24, R20, 0);
+                });
+            });
+        });
+        if env.is_parallel() {
+            a.barrier();
+        }
+
+        // ---- stage 3: fully connected, classes work-shared -------------
+        let fc_in = C2_MAPS * P2_W * P2_W;
+        static_chunk(a, env, CLASSES as u32, R10, R11, R12);
+        range_loop(a, R12, R10, R11, |a| {
+            // acc = bias[c] (loaded from the bias table)
+            a.slli(R20, R12, 1);
+            a.la(R21, bf_addr);
+            a.add(R21, R21, R20);
+            a.lh(R17, R21, 0);
+            // w_ptr = wf + c·fc_in·2 ; in_ptr = P2
+            a.li(R20, (fc_in * 2) as i32);
+            a.mul(R20, R12, R20);
+            a.la(R19, wf_addr);
+            a.add(R19, R19, R20);
+            a.la(R18, p2_addr);
+            a.li(R7, fc_in as i32);
+            counted_loop(a, env, 0, R7, R1, |a| {
+                if f.post_increment {
+                    a.insn(Insn::LoadPi {
+                        rd: R20,
+                        base: R18,
+                        inc: 2,
+                        size: MemSize::Half,
+                        signed: true,
+                    });
+                    a.insn(Insn::LoadPi {
+                        rd: R21,
+                        base: R19,
+                        inc: 2,
+                        size: MemSize::Half,
+                        signed: true,
+                    });
+                } else {
+                    a.lh(R20, R18, 0);
+                    a.lh(R21, R19, 0);
+                    a.addi(R18, R18, 2);
+                    a.addi(R19, R19, 2);
+                }
+                a.mul(R22, R20, R21);
+                a.srai(R22, R22, 13);
+                a.add(R17, R17, R22);
+            });
+            a.slli(R20, R12, 2);
+            a.add(R20, R20, R5); // R5 = scores
+            a.sw(R17, R20, 0);
+        });
+    });
+    let program = asm.finish().expect("cnn generator emits valid code");
+
+    KernelBuild {
+        name: format!("cnn{}[{}]", if approx { " (approx)" } else { "" }, env.model.name),
+        program,
+        args: vec![(R3, in_addr), (R5, out_addr)],
+        buffers,
+        expected: vec![(1, expect)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+
+    fn all_envs() -> [TargetEnv; 5] {
+        [
+            TargetEnv::baseline(),
+            TargetEnv::host_m3(),
+            TargetEnv::host_m4(),
+            TargetEnv::pulp_single(),
+            TargetEnv::pulp_parallel(),
+        ]
+    }
+
+    #[test]
+    fn full_cnn_correct_on_all_targets() {
+        for env in all_envs() {
+            let b = build(false, &env);
+            run(&b, &env).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn approx_cnn_correct_on_all_targets() {
+        for env in all_envs() {
+            let b = build(true, &env);
+            run(&b, &env).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn table1_io_sizes() {
+        let b = build(false, &TargetEnv::pulp_single());
+        assert_eq!(b.input_bytes(), 2048, "2 kB input image");
+        assert_eq!(b.output_bytes(), 40, "40 B of class scores");
+    }
+
+    #[test]
+    fn approx_cuts_multiplies() {
+        // Paper: 3.3M vs 2.6M RISC ops (≈21% fewer). Ours cuts conv2 taps
+        // from 4 to 2.
+        let env = TargetEnv::baseline();
+        let full = run(&build(false, &env), &env).unwrap().retired;
+        let approx = run(&build(true, &env), &env).unwrap().retired;
+        let ratio = approx as f64 / full as f64;
+        assert!(
+            (0.55..0.95).contains(&ratio),
+            "approx/full op ratio {ratio:.2} outside the expected band"
+        );
+    }
+
+    #[test]
+    fn conv2_tap_topology() {
+        assert_eq!(conv2_taps(0, false), vec![0, 1, 2, 3]);
+        assert_eq!(conv2_taps(3, true), vec![3, 0]);
+        assert_eq!(conv2_taps(7, true), vec![3, 0]);
+    }
+
+    #[test]
+    fn fixed_point_arch_speedup_band() {
+        let m4 = run(&build(false, &TargetEnv::host_m4()), &TargetEnv::host_m4()).unwrap();
+        let or10n = run(&build(false, &TargetEnv::pulp_single()), &TargetEnv::pulp_single())
+            .unwrap();
+        let s = m4.cycles as f64 / or10n.cycles as f64;
+        assert!((0.9..2.2).contains(&s), "cnn arch speedup {s:.2} outside fixed-point band");
+    }
+
+    #[test]
+    fn parallel_speedup_band() {
+        let single = run(&build(false, &TargetEnv::pulp_single()), &TargetEnv::pulp_single())
+            .unwrap();
+        let quad = run(&build(false, &TargetEnv::pulp_parallel()), &TargetEnv::pulp_parallel())
+            .unwrap();
+        let s = single.cycles as f64 / quad.cycles as f64;
+        // conv2 map-parallelism and the 10-class fc leave some imbalance.
+        assert!((2.5..4.0).contains(&s), "cnn 4-core speedup {s:.2}");
+    }
+
+    #[test]
+    fn scores_depend_on_input() {
+        let p = generate_params(1, false);
+        let lut = tanh_lut_q13(TANH_LUT_N, 4.0);
+        let s1 = reference(&generate_image(1), &p, &lut);
+        let s2 = reference(&generate_image(2), &p, &lut);
+        assert_ne!(s1, s2);
+        assert_eq!(s1.len(), CLASSES);
+    }
+}

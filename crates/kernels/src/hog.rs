@@ -1,0 +1,479 @@
+//! Histogram-of-oriented-gradients descriptor (Table I `hog`).
+//!
+//! A VLFeat-style HOG on 32-bit Q16.15 fixed point:
+//!
+//! 1. **Gradients & binning** — for every interior pixel, central
+//!    differences give `(dx, dy)`; the orientation bin is the argmax of
+//!    the projection `|dx·cosθ_k + dy·sinθ_k|` over 9 undirected bins
+//!    (VLFeat's trick to avoid `atan2`); the gradient *magnitude*
+//!    `√(dx²+dy²)` is accumulated into the pixel's 4×4-cell histogram.
+//! 2. **Block normalization** — 2×2-cell blocks at stride 1 are
+//!    L2-normalized: `out = c·(2³⁰/(√Σc² + 1)) >> 15`.
+//!
+//! This benchmark is the paper's showcase of the *architectural slowdown*:
+//! `dx²+dy²` and `Σc²` exceed 32 bits ("we had to employ 32-bit fixed
+//! point numbers and SW-emulated 64-bit variables for accumulation",
+//! §IV-B). On Cortex-M the wide math is `SMULL`/`SMLAL`/`UDIV`
+//! instructions; on OR10N it is the software runtime of
+//! [`rtlib`](crate::codegen::rtlib) — so OR10N loses its usual edge here.
+//!
+//! Both the integer square root and the reference implementation share the
+//! bit-by-bit algorithm of [`fixed::isqrt_u64`](crate::fixed::isqrt_u64),
+//! keeping simulation and golden outputs identical.
+//!
+//! Work distribution: gradient rows are owned by the core that owns the
+//! pixel's *cell row*, so no two cores ever accumulate into the same
+//! histogram cell (races are structurally impossible); block rows are
+//! work-shared in the normalization phase, with one barrier in between.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ulp_isa::reg::named::*;
+use ulp_isa::{Asm, Insn};
+
+use crate::codegen::emit::{counted_loop, range_loop, spmd_kernel, static_chunk};
+use crate::codegen::rtlib::{emit_mac64, emit_mul64, emit_sra64_const, Rtlib};
+use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
+use crate::fixed::isqrt_u64;
+
+/// Default image side (Table I configuration: 64×64×4 B = 16 kB input).
+pub const IMG_W: usize = 64;
+/// Cell side in pixels.
+pub const CELL: usize = 4;
+/// Orientation bins (undirected, over [0, π)).
+pub const BINS: usize = 9;
+
+/// cos(θ_k)·128 for bin centers θ_k = (k+0.5)·π/9.
+#[must_use]
+pub fn cos_q7() -> [i32; BINS] {
+    let mut t = [0i32; BINS];
+    for (k, v) in t.iter_mut().enumerate() {
+        *v = ((std::f64::consts::PI * (k as f64 + 0.5) / BINS as f64).cos() * 128.0).round() as i32;
+    }
+    t
+}
+
+/// sin(θ_k)·128 for bin centers θ_k = (k+0.5)·π/9.
+#[must_use]
+pub fn sin_q7() -> [i32; BINS] {
+    let mut t = [0i32; BINS];
+    for (k, v) in t.iter_mut().enumerate() {
+        *v = ((std::f64::consts::PI * (k as f64 + 0.5) / BINS as f64).sin() * 128.0).round() as i32;
+    }
+    t
+}
+
+/// Derived geometry for an image width.
+#[derive(Clone, Copy, Debug)]
+pub struct HogGeometry {
+    /// Image side in pixels.
+    pub width: usize,
+    /// Cells per side.
+    pub cells: usize,
+    /// Blocks per side (2×2 cells, stride 1).
+    pub blocks: usize,
+}
+
+impl HogGeometry {
+    /// Computes the geometry for a `width×width` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is a multiple of `CELL` of at least 8.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 2 * CELL && width.is_multiple_of(CELL), "width must be a multiple of {CELL}");
+        let cells = width / CELL;
+        HogGeometry { width, cells, blocks: cells - 1 }
+    }
+
+    /// Histogram size in bytes (`cells² × 9 × 4`).
+    #[must_use]
+    pub fn hist_bytes(self) -> usize {
+        self.cells * self.cells * BINS * 4
+    }
+
+    /// Descriptor size in bytes (`blocks² × 36 × 4`).
+    #[must_use]
+    pub fn descriptor_bytes(self) -> usize {
+        self.blocks * self.blocks * 4 * BINS * 4
+    }
+}
+
+fn wrapping_abs_xor(v: i32) -> i32 {
+    let m = v >> 31;
+    (v ^ m).wrapping_sub(m)
+}
+
+/// Bit-exact reference: cell histograms, then the normalized descriptor.
+#[must_use]
+pub fn reference(image: &[i32], geo: HogGeometry) -> Vec<i32> {
+    let w = geo.width;
+    let cos = cos_q7();
+    let sin = sin_q7();
+    let mut hist = vec![0u32; geo.cells * geo.cells * BINS];
+    for y in 1..w - 1 {
+        for x in 1..w - 1 {
+            let dx = image[y * w + x + 1].wrapping_sub(image[y * w + x - 1]);
+            let dy = image[(y + 1) * w + x].wrapping_sub(image[(y - 1) * w + x]);
+            // Orientation: argmax |projection| (strictly-greater update).
+            let mut best = -1i32;
+            let mut bin = 0usize;
+            for k in 0..BINS {
+                let proj = dx.wrapping_mul(cos[k]).wrapping_add(dy.wrapping_mul(sin[k]));
+                let mag = wrapping_abs_xor(proj);
+                if mag > best {
+                    best = mag;
+                    bin = k;
+                }
+            }
+            let sq = (i64::from(dx) * i64::from(dx)) as u64
+                + (i64::from(dy) * i64::from(dy)) as u64;
+            let mag = isqrt_u64(sq);
+            let (cy, cx) = (y / CELL, x / CELL);
+            let idx = (cy * geo.cells + cx) * BINS + bin;
+            hist[idx] = hist[idx].wrapping_add(mag);
+        }
+    }
+    // Block normalization.
+    let mut out = vec![0i32; geo.blocks * geo.blocks * 4 * BINS];
+    for by in 0..geo.blocks {
+        for bx in 0..geo.blocks {
+            let mut s: u64 = 0;
+            let cells = [(0, 0), (0, 1), (1, 0), (1, 1)];
+            for &(dy, dx) in &cells {
+                for k in 0..BINS {
+                    let c = hist[((by + dy) * geo.cells + bx + dx) * BINS + k];
+                    s = s.wrapping_add((i64::from(c as i32) * i64::from(c as i32)) as u64);
+                }
+            }
+            let norm = isqrt_u64(s).wrapping_add(1);
+            let inv = (1u32 << 30) / norm;
+            let base = (by * geo.blocks + bx) * 4 * BINS;
+            for (ci, &(dy, dx)) in cells.iter().enumerate() {
+                for k in 0..BINS {
+                    let c = hist[((by + dy) * geo.cells + bx + dx) * BINS + k];
+                    let prod = i64::from(c as i32) * i64::from(inv as i32);
+                    out[base + ci * BINS + k] = (prod >> 15) as i32;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generates a deterministic Q16.15 test image in (−1, 1).
+#[must_use]
+pub fn generate_image(width: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..width * width).map(|_| rng.gen_range(-32768..32768)).collect()
+}
+
+/// Builds the Table I HOG kernel (64×64 image).
+#[must_use]
+pub fn build(env: &TargetEnv) -> KernelBuild {
+    build_sized(env, IMG_W)
+}
+
+/// Builds a HOG kernel over a `width×width` image (smaller widths for fast
+/// tests).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_sized(env: &TargetEnv, width: usize) -> KernelBuild {
+    let geo = HogGeometry::new(width);
+    assert!(geo.cells.is_power_of_two(), "cell count must be a power of two (shift addressing)");
+    let image = generate_image(width, 0x09_0609);
+    let expect: Vec<u8> =
+        reference(&image, geo).iter().flat_map(|v| v.to_le_bytes()).collect();
+
+    let mut l = DataLayout::new(env, 64 * 1024);
+    let img_addr = l.input("image", image.iter().flat_map(|v| v.to_le_bytes()).collect());
+    let out_addr = l.output("descriptor", geo.descriptor_bytes());
+    let hist_addr = l.scratch("hist", geo.hist_bytes());
+    let buffers = l.finish();
+
+    let w = geo.width as i32;
+    let cells = geo.cells as u32;
+    let blocks = geo.blocks as u32;
+    let cos = cos_q7();
+    let sin = sin_q7();
+
+    let mut rt = Rtlib::new();
+    let mut asm = Asm::new();
+    spmd_kernel(&mut asm, env, |a, env| {
+        // Args: R3 = image, R4 = hist, R5 = out.
+        //
+        // ---- phase 1: gradients, orientation, magnitude, binning -------
+        // Cell rows are work-shared; each cell row owns pixel rows
+        // 4c..4c+4, so histogram updates never race.
+        static_chunk(a, env, cells, R10, R11, R12);
+        a.slli(R10, R10, 2);
+        a.slli(R6, R11, 2); // pixel-row end kept in R6 (survives rtlib calls)
+        range_loop(a, R23, R10, R6, |a| {
+            let row_done = a.new_label();
+            // Skip border rows y == 0 and y == width-1.
+            a.beq(R23, R0, row_done);
+            a.li(R22, w - 1);
+            a.beq(R23, R22, row_done);
+            // x loop over 1..width-1 in R24.
+            a.li(R24, 1);
+            let xtop = a.new_label();
+            a.bind(xtop);
+            {
+                // pix = image + (y·w + x)·4
+                a.li(R22, w);
+                a.mul(R22, R23, R22);
+                a.add(R22, R22, R24);
+                a.slli(R22, R22, 2);
+                a.add(R22, R22, R3);
+                // dx = pix[+4] - pix[-4] ; dy = pix[+4w] - pix[-4w]
+                a.lw(R20, R22, 4);
+                a.lw(R21, R22, -4);
+                a.sub(R20, R20, R21);
+                a.insn(Insn::Load {
+                    rd: R21,
+                    base: R22,
+                    offset: (w * 4) as i16,
+                    size: ulp_isa::MemSize::Word,
+                    signed: true,
+                });
+                a.insn(Insn::Load {
+                    rd: R19,
+                    base: R22,
+                    offset: (-w * 4) as i16,
+                    size: ulp_isa::MemSize::Word,
+                    signed: true,
+                });
+                a.sub(R21, R21, R19);
+                // Orientation argmax over 9 unrolled bins: best |proj| in
+                // R8, bin in R26.
+                a.li(R8, -1);
+                a.li(R26, 0);
+                for k in 0..BINS {
+                    a.li(R16, cos[k]);
+                    a.mul(R17, R20, R16);
+                    a.li(R16, sin[k]);
+                    a.mul(R18, R21, R16);
+                    a.add(R17, R17, R18);
+                    // |proj| branchlessly: (p ^ (p>>31)) - (p>>31)
+                    a.srai(R18, R17, 31);
+                    a.insn(Insn::Xor(R17, R17, R18));
+                    a.sub(R17, R17, R18);
+                    let keep = a.new_label();
+                    a.bge(R8, R17, keep);
+                    a.mv(R8, R17);
+                    a.li(R26, k as i32);
+                    a.bind(keep);
+                }
+                // mag² = dx² + dy² (64-bit) → isqrt.
+                a.mv(R22, R20);
+                emit_mul64(a, env, R14, R15, R20, R22, [R16, R17, R18, R19]);
+                a.mv(R22, R21);
+                emit_mac64(a, env, R14, R15, R21, R22, [R16, R17, R18, R19, R10, R11]);
+                rt.emit_isqrt64(a, env, R20, R14, R15);
+                // hist[(cy·cells + cx)·9 + bin] += mag
+                a.srli(R14, R23, 2); // cy
+                a.srli(R15, R24, 2); // cx
+                a.slli(R14, R14, geo.cells.trailing_zeros() as u8);
+                a.add(R14, R14, R15);
+                // ×9 = ×8 + ×1
+                a.slli(R15, R14, 3);
+                a.add(R14, R14, R15);
+                a.add(R14, R14, R26);
+                a.slli(R14, R14, 2);
+                a.add(R14, R14, R4);
+                a.lw(R15, R14, 0);
+                a.add(R15, R15, R20);
+                a.sw(R15, R14, 0);
+            }
+            a.addi(R24, R24, 1);
+            a.li(R22, w - 1);
+            a.blt(R24, R22, xtop);
+            a.bind(row_done);
+        });
+        if env.is_parallel() {
+            a.barrier();
+        }
+
+        // ---- phase 2: block normalization, block rows work-shared ------
+        static_chunk(a, env, blocks, R10, R11, R12);
+        a.mv(R6, R10);
+        // The image pointer is dead in this phase; its register keeps the
+        // loop bound alive across the rtlib calls (which clobber r11-r19).
+        a.mv(R3, R11);
+        range_loop(a, R23, R6, R3, |a| {
+            // bx loop in R24.
+            a.li(R24, 0);
+            let bxtop = a.new_label();
+            a.bind(bxtop);
+            {
+                // S (R8:R9) = Σ c² over the 4 cells × 9 bins.
+                a.li(R8, 0);
+                a.li(R9, 0);
+                for (dy, dx) in [(0u32, 0u32), (0, 1), (1, 0), (1, 1)] {
+                    // cell ptr R26 = hist + ((by+dy)·cells + bx+dx)·36
+                    a.addi(R26, R23, dy as i16);
+                    a.slli(R26, R26, geo.cells.trailing_zeros() as u8);
+                    a.add(R26, R26, R24);
+                    a.addi(R26, R26, dx as i16);
+                    // ×36 = ×32 + ×4
+                    a.slli(R27, R26, 5);
+                    a.slli(R26, R26, 2);
+                    a.add(R26, R26, R27);
+                    a.add(R26, R26, R4);
+                    a.li(R7, BINS as i32);
+                    counted_loop(a, env, 0, R7, R1, |a| {
+                        a.lw(R27, R26, 0);
+                        a.mv(R13, R27);
+                        emit_mac64(a, env, R8, R9, R27, R13, [R14, R15, R16, R17, R18, R19]);
+                        a.addi(R26, R26, 4);
+                    });
+                }
+                // norm = isqrt(S) + 1 ; inv = 2³⁰ / norm (kept in R27).
+                rt.emit_isqrt64(a, env, R20, R8, R9);
+                a.addi(R20, R20, 1);
+                a.li(R21, 1 << 30);
+                rt.emit_udiv32(a, env, R27, R21, R20);
+                // out_ptr R10 = out + (by·blocks + bx)·144
+                a.li(R20, blocks as i32);
+                a.mul(R20, R23, R20);
+                a.add(R20, R20, R24);
+                a.li(R21, (4 * BINS * 4) as i32);
+                a.mul(R10, R20, R21);
+                a.add(R10, R10, R5);
+                for (dy, dx) in [(0u32, 0u32), (0, 1), (1, 0), (1, 1)] {
+                    a.addi(R26, R23, dy as i16);
+                    a.slli(R26, R26, geo.cells.trailing_zeros() as u8);
+                    a.add(R26, R26, R24);
+                    a.addi(R26, R26, dx as i16);
+                    a.slli(R22, R26, 5);
+                    a.slli(R26, R26, 2);
+                    a.add(R26, R26, R22);
+                    a.add(R26, R26, R4);
+                    a.li(R7, BINS as i32);
+                    counted_loop(a, env, 0, R7, R1, |a| {
+                        a.lw(R13, R26, 0);
+                        emit_mul64(a, env, R14, R15, R13, R27, [R16, R17, R18, R19]);
+                        emit_sra64_const(a, R14, R15, 15, R16);
+                        a.sw(R15, R10, 0);
+                        a.addi(R10, R10, 4);
+                        a.addi(R26, R26, 4);
+                    });
+                }
+            }
+            a.addi(R24, R24, 1);
+            a.li(R22, blocks as i32);
+            a.blt(R24, R22, bxtop);
+        });
+    });
+    asm.halt(); // unreachable (spmd_kernel halts); keeps rtlib separate
+    rt.emit_bodies(&mut asm);
+    let program = asm.finish().expect("hog generator emits valid code");
+
+    KernelBuild {
+        name: format!("hog[{}x{width}]", env.model.name),
+        program,
+        args: vec![(R3, img_addr), (R4, hist_addr), (R5, out_addr)],
+        buffers,
+        expected: vec![(1, expect)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+
+    const TEST_W: usize = 32;
+
+    #[test]
+    fn correct_on_all_targets() {
+        for env in [
+            TargetEnv::baseline(),
+            TargetEnv::host_m3(),
+            TargetEnv::host_m4(),
+            TargetEnv::pulp_single(),
+            TargetEnv::pulp_parallel(),
+        ] {
+            let b = build_sized(&env, TEST_W);
+            run(&b, &env).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn table1_io_sizes() {
+        let b = build(&TargetEnv::pulp_single());
+        assert_eq!(b.input_bytes(), 16 * 1024, "16 kB input image");
+        // Paper: 36 kB output; our 15×15 blocks × 36 × 4 B = 32.4 kB.
+        let kb = b.output_bytes() as f64 / 1024.0;
+        assert!((30.0..38.0).contains(&kb), "descriptor {kb:.1} kB");
+    }
+
+    #[test]
+    fn architectural_slowdown_on_or10n() {
+        // The paper's headline hog result: OR10N is *slower* per cycle
+        // than Cortex-M4 because of the software 64-bit arithmetic.
+        let m4 = run(&build_sized(&TargetEnv::host_m4(), TEST_W), &TargetEnv::host_m4()).unwrap();
+        let or10n =
+            run(&build_sized(&TargetEnv::pulp_single(), TEST_W), &TargetEnv::pulp_single())
+                .unwrap();
+        let s = m4.cycles as f64 / or10n.cycles as f64;
+        assert!(
+            (0.4..1.0).contains(&s),
+            "hog arch 'speedup' {s:.2} must be below 1 (slowdown)"
+        );
+    }
+
+    #[test]
+    fn parallel_speedup_band() {
+        let single = run(&build_sized(&TargetEnv::pulp_single(), TEST_W), &TargetEnv::pulp_single())
+            .unwrap();
+        let quad =
+            run(&build_sized(&TargetEnv::pulp_parallel(), TEST_W), &TargetEnv::pulp_parallel())
+                .unwrap();
+        let s = single.cycles as f64 / quad.cycles as f64;
+        assert!((2.8..4.0).contains(&s), "hog 4-core speedup {s:.2}");
+    }
+
+    #[test]
+    fn descriptor_is_normalized() {
+        // After L2 normalization every component is ≤ 2^15 (≈1.0 in Q15)
+        // and blocks with energy have nonzero output.
+        let geo = HogGeometry::new(TEST_W);
+        let img = generate_image(TEST_W, 7);
+        let out = reference(&img, geo);
+        assert!(out.iter().all(|&v| (0..=40000).contains(&v)));
+        assert!(out.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn flat_image_has_empty_histograms() {
+        let geo = HogGeometry::new(TEST_W);
+        let img = vec![12345i32; TEST_W * TEST_W];
+        let out = reference(&img, geo);
+        assert!(out.iter().all(|&v| v == 0), "no gradients on a flat image");
+    }
+
+    #[test]
+    fn trig_tables_consistent() {
+        let c = cos_q7();
+        let s = sin_q7();
+        for k in 0..BINS {
+            let mag = c[k] * c[k] + s[k] * s[k];
+            assert!((mag - 128 * 128).abs() < 600, "bin {k}: cos²+sin² = {mag}");
+        }
+        // First bin points near θ=10°: cos > 0, sin > 0, cos > sin.
+        assert!(c[0] > s[0] && s[0] > 0);
+        // Last bin near 170°: cos < 0.
+        assert!(c[BINS - 1] < 0);
+    }
+
+    #[test]
+    fn geometry() {
+        let g = HogGeometry::new(64);
+        assert_eq!(g.cells, 16);
+        assert_eq!(g.blocks, 15);
+        assert_eq!(g.hist_bytes(), 16 * 16 * 9 * 4);
+        assert_eq!(g.descriptor_bytes(), 15 * 15 * 36 * 4);
+    }
+}

@@ -1,0 +1,469 @@
+//! Strassen fast matrix multiplication (Table I `strassen`).
+//!
+//! One level of Strassen recursion over the 64×64 `char` matmul: the four
+//! 32×32 blocks of `A` and `Bᵀ` combine into ten sum/difference matrices,
+//! seven 32×32 base-case products `M1…M7`, and the final recombination
+//! into `C`.
+//!
+//! Everything is computed in **wrapping 8-bit arithmetic**. This is
+//! bit-exact for the i8 output: `(x·y) mod 2⁸` depends only on
+//! `x mod 2⁸` and `y mod 2⁸`, and all Strassen recombinations are sums, so
+//! truncating every intermediate to 8 bits preserves the low 8 bits of the
+//! exact result (asserted against the plain matmul reference in the
+//! tests). Keeping intermediates in i8 lets the base case reuse the
+//! `sdot.v4`-vectorized dot product and the sums use the packed
+//! `add.v4`/`sub.v4` instructions on OR10N.
+//!
+//! Parallelization: for each product, the team splits the 32 rows of the
+//! operand sums and of the base matmul, with HW barriers between phases —
+//! a sequence of `#pragma omp for` regions in OpenMP terms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ulp_isa::reg::named::*;
+use ulp_isa::{Asm, Insn, MemSize};
+
+use crate::codegen::emit::{counted_loop, range_loop, spmd_kernel, static_chunk};
+use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
+
+/// Full matrix dimension.
+pub const N: usize = 64;
+/// Block dimension.
+pub const H: usize = N / 2;
+
+/// Block index into a 64×64 row-major i8 matrix: `(row_block, col_block)`.
+type Blk = (usize, usize);
+
+const A11: Blk = (0, 0);
+const A12: Blk = (0, 1);
+const A21: Blk = (1, 0);
+const A22: Blk = (1, 1);
+// Blocks of Bᵀ: (Bᵀ)₁₂ = (B₂₁)ᵀ etc.
+const BT11: Blk = (0, 0);
+const BT12: Blk = (0, 1);
+const BT21: Blk = (1, 0);
+const BT22: Blk = (1, 1);
+
+/// One operand of a base-case product: `first ± second` (or just `first`).
+#[derive(Clone, Copy, Debug)]
+struct Operand {
+    first: Blk,
+    second: Option<(Blk, bool)>, // (block, subtract?)
+}
+
+fn op1(first: Blk) -> Operand {
+    Operand { first, second: None }
+}
+fn add(first: Blk, second: Blk) -> Operand {
+    Operand { first, second: Some((second, false)) }
+}
+fn sub(first: Blk, second: Blk) -> Operand {
+    Operand { first, second: Some((second, true)) }
+}
+
+/// The seven products, phrased over `A` and `Bᵀ` blocks.
+fn products() -> [(Operand, Operand); 7] {
+    [
+        (add(A11, A22), add(BT11, BT22)), // M1 = (A11+A22)(B11+B22)
+        (add(A21, A22), op1(BT11)),       // M2 = (A21+A22)·B11
+        (op1(A11), sub(BT21, BT22)),      // M3 = A11·(B12−B22)
+        (op1(A22), sub(BT12, BT11)),      // M4 = A22·(B21−B11)
+        (add(A11, A12), op1(BT22)),       // M5 = (A11+A12)·B22
+        (sub(A21, A11), add(BT11, BT21)), // M6 = (A21−A11)(B11+B12)
+        (sub(A12, A22), add(BT12, BT22)), // M7 = (A12−A22)(B21+B22)
+    ]
+}
+
+/// `C` recombination: each output block is a signed sum of products.
+/// `(block, [(product index, sign)])`.
+fn recombination() -> [(Blk, Vec<(usize, bool)>); 4] {
+    [
+        ((0, 0), vec![(0, false), (3, false), (4, true), (6, false)]), // C11
+        ((0, 1), vec![(2, false), (4, false)]),                        // C12
+        ((1, 0), vec![(1, false), (3, false)]),                        // C21
+        ((1, 1), vec![(0, false), (1, true), (2, false), (5, false)]), // C22
+    ]
+}
+
+/// Bit-exact reference following the generated code's wrapping-i8
+/// evaluation order.
+#[must_use]
+pub fn reference(a: &[i8], bt: &[i8]) -> Vec<i8> {
+    let blk = |m: &[i8], (r, c): Blk, i: usize, j: usize| m[(r * H + i) * N + c * H + j];
+    let mut ms = vec![[0i8; H * H]; 7];
+    for (p, (oa, ob)) in products().iter().enumerate() {
+        let mut sa = [0i8; H * H];
+        let mut sb = [0i8; H * H];
+        for i in 0..H {
+            for j in 0..H {
+                let mut va = blk(a, oa.first, i, j);
+                if let Some((s, neg)) = oa.second {
+                    let v2 = blk(a, s, i, j);
+                    va = if neg { va.wrapping_sub(v2) } else { va.wrapping_add(v2) };
+                }
+                sa[i * H + j] = va;
+                let mut vb = blk(bt, ob.first, i, j);
+                if let Some((s, neg)) = ob.second {
+                    let v2 = blk(bt, s, i, j);
+                    vb = if neg { vb.wrapping_sub(v2) } else { vb.wrapping_add(v2) };
+                }
+                sb[i * H + j] = vb;
+            }
+        }
+        // Base case: 32×32 char matmul (i32 accumulate, i8 truncate),
+        // second operand already transposed.
+        for i in 0..H {
+            for j in 0..H {
+                let mut acc = 0i32;
+                for k in 0..H {
+                    acc = acc.wrapping_add(
+                        i32::from(sa[i * H + k]).wrapping_mul(i32::from(sb[j * H + k])),
+                    );
+                }
+                ms[p][i * H + j] = acc as i8;
+            }
+        }
+    }
+    let mut c = vec![0i8; N * N];
+    for (blk_pos, combo) in recombination() {
+        for i in 0..H {
+            for j in 0..H {
+                let mut acc = 0i8;
+                for &(p, neg) in &combo {
+                    let v = ms[p][i * H + j];
+                    acc = if neg { acc.wrapping_sub(v) } else { acc.wrapping_add(v) };
+                }
+                c[(blk_pos.0 * H + i) * N + blk_pos.1 * H + j] = acc;
+            }
+        }
+    }
+    c
+}
+
+fn blk_offset(b: Blk) -> u32 {
+    (b.0 * H * N + b.1 * H) as u32
+}
+
+/// Builds the Strassen kernel for a target.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build(env: &TargetEnv) -> KernelBuild {
+    let mut rng = StdRng::seed_from_u64(0x5714_55E2);
+    let a_data: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
+    let bt_data: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
+    let expect: Vec<u8> = reference(&a_data, &bt_data).iter().map(|v| *v as u8).collect();
+
+    let mut l = DataLayout::new(env, 64 * 1024);
+    let a_addr = l.input("A", a_data.iter().map(|v| *v as u8).collect());
+    let bt_addr = l.input("BT", bt_data.iter().map(|v| *v as u8).collect());
+    let c_addr = l.output("C", N * N);
+    let sa_addr = l.scratch("SA", H * H);
+    let sb_addr = l.scratch("SB", H * H);
+    let m_addr = l.scratch("M", 7 * H * H);
+    let buffers = l.finish();
+
+    let simd = env.features().simd_dot;
+    let f = *env.features();
+
+    let mut asm = Asm::new();
+    spmd_kernel(&mut asm, env, |a, env| {
+        // Args: R3 = A, R4 = BT, R5 = C; scratch bases are constants.
+        for (p, (oa, ob)) in products().iter().enumerate() {
+            // ---- phase 1: operand sums into SA / SB, rows split --------
+            static_chunk(a, env, H as u32, R10, R11, R12);
+            range_loop(a, R12, R10, R11, |a| {
+                for (dst, src_base_reg, operand) in
+                    [(sa_addr, R3, oa), (sb_addr, R4, ob)]
+                {
+                    // src row pointers (stride N), dst row (stride H)
+                    // R13 = i*N + blk_offset(first)
+                    a.li(R13, N as i32);
+                    a.mul(R13, R12, R13);
+                    a.add(R13, R13, src_base_reg);
+                    a.li(R14, H as i32);
+                    a.mul(R14, R12, R14);
+                    a.la(R15, dst);
+                    a.add(R14, R14, R15); // dst ptr
+                    let first_off = blk_offset(operand.first) as i32;
+                    a.li(R15, first_off);
+                    a.add(R15, R15, R13); // src1 ptr
+                    if let Some((sblk, _)) = operand.second {
+                        a.li(R16, blk_offset(sblk) as i32);
+                        a.add(R16, R16, R13); // src2 ptr
+                    }
+                    if simd {
+                        // 4 lanes per iteration with packed add/sub.
+                        a.li(R6, (H / 4) as i32);
+                        counted_loop(a, env, 0, R6, R2, |a| {
+                            a.lw(R20, R15, 0);
+                            match operand.second {
+                                None => a.sw(R20, R14, 0),
+                                Some((_, neg)) => {
+                                    a.lw(R21, R16, 0);
+                                    if neg {
+                                        a.insn(Insn::SubV4(R20, R20, R21));
+                                    } else {
+                                        a.insn(Insn::AddV4(R20, R20, R21));
+                                    }
+                                    a.addi(R16, R16, 4);
+                                    a.sw(R20, R14, 0)
+                                }
+                            };
+                            a.addi(R15, R15, 4);
+                            a.addi(R14, R14, 4);
+                        });
+                    } else {
+                        a.li(R6, H as i32);
+                        counted_loop(a, env, 0, R6, R2, |a| {
+                            if f.post_increment {
+                                a.insn(Insn::LoadPi {
+                                    rd: R20,
+                                    base: R15,
+                                    inc: 1,
+                                    size: MemSize::Byte,
+                                    signed: true,
+                                });
+                            } else {
+                                a.lb(R20, R15, 0);
+                                a.addi(R15, R15, 1);
+                            }
+                            if let Some((_, neg)) = operand.second {
+                                if f.post_increment {
+                                    a.insn(Insn::LoadPi {
+                                        rd: R21,
+                                        base: R16,
+                                        inc: 1,
+                                        size: MemSize::Byte,
+                                        signed: true,
+                                    });
+                                } else {
+                                    a.lb(R21, R16, 0);
+                                    a.addi(R16, R16, 1);
+                                }
+                                if neg {
+                                    a.sub(R20, R20, R21);
+                                } else {
+                                    a.add(R20, R20, R21);
+                                }
+                            }
+                            if f.post_increment {
+                                a.insn(Insn::StorePi {
+                                    rs: R20,
+                                    base: R14,
+                                    inc: 1,
+                                    size: MemSize::Byte,
+                                });
+                            } else {
+                                a.sb(R20, R14, 0);
+                                a.addi(R14, R14, 1);
+                            }
+                        });
+                    }
+                }
+            });
+            if env.is_parallel() {
+                a.barrier();
+            }
+
+            // ---- phase 2: base matmul SA(32×32) × SB(32×32)ᵀ → M_p -----
+            static_chunk(a, env, H as u32, R10, R11, R12);
+            range_loop(a, R12, R10, R11, |a| {
+                // a_row = SA + i*H ; m_ptr = M_p + i*H ; sb_ptr = SB
+                a.li(R13, H as i32);
+                a.mul(R13, R12, R13);
+                a.la(R16, sa_addr);
+                a.add(R16, R16, R13);
+                a.la(R15, m_addr + (p * H * H) as u32);
+                a.add(R15, R15, R13);
+                a.la(R14, sb_addr);
+                a.li(R6, H as i32);
+                counted_loop(a, env, 1, R6, R2, |a| {
+                    a.mv(R18, R16);
+                    emit_char_dot(a, env, H);
+                    a.insn(Insn::Store { rs: R17, base: R15, offset: 0, size: MemSize::Byte });
+                    a.addi(R15, R15, 1);
+                });
+            });
+            if env.is_parallel() {
+                a.barrier();
+            }
+        }
+
+        // ---- phase 3: recombination into C, rows split ------------------
+        static_chunk(a, env, H as u32, R10, R11, R12);
+        range_loop(a, R12, R10, R11, |a| {
+            for (blk_pos, combo) in recombination() {
+                // c_ptr = C + (blk_r*H + i)*N + blk_c*H
+                a.li(R13, N as i32);
+                a.mul(R13, R12, R13);
+                a.add(R13, R13, R5);
+                a.li(R14, (blk_pos.0 * H * N + blk_pos.1 * H) as i32);
+                a.add(R13, R13, R14); // dst
+                // m_ptrs = M_p + i*H
+                a.li(R14, H as i32);
+                a.mul(R14, R12, R14);
+                a.li(R6, H as i32);
+                // Walk j with an index register.
+                a.li(R19, 0);
+                counted_loop(a, env, 0, R6, R2, |a| {
+                    a.add(R20, R14, R19); // i*H + j
+                    a.li(R17, 0);
+                    for &(pi, neg) in &combo {
+                        a.la(R21, m_addr + (pi * H * H) as u32);
+                        a.add(R21, R21, R20);
+                        a.lb(R22, R21, 0);
+                        if neg {
+                            a.sub(R17, R17, R22);
+                        } else {
+                            a.add(R17, R17, R22);
+                        }
+                    }
+                    a.add(R21, R13, R19);
+                    a.sb(R17, R21, 0);
+                    a.addi(R19, R19, 1);
+                });
+            }
+        });
+    });
+    let program = asm.finish().expect("strassen generator emits valid code");
+
+    KernelBuild {
+        name: format!("strassen[{}]", env.model.name),
+        program,
+        args: vec![(R3, a_addr), (R4, bt_addr), (R5, c_addr)],
+        buffers,
+        expected: vec![(2, expect)],
+    }
+}
+
+/// Char dot product over `n` elements: acc R17, a_ptr R18, b_ptr R14
+/// (both advanced), count R7, scratch R1, temps R20–R22.
+fn emit_char_dot(a: &mut Asm, env: &TargetEnv, n: usize) {
+    let f = *env.features();
+    a.li(R17, 0);
+    if f.simd_dot {
+        a.li(R7, (n / 4) as i32);
+        counted_loop(a, env, 0, R7, R1, |a| {
+            a.lw(R20, R18, 0);
+            a.lw(R21, R14, 0);
+            a.insn(Insn::SdotV4(R17, R20, R21));
+            a.addi(R18, R18, 4);
+            a.addi(R14, R14, 4);
+        });
+    } else if f.mac {
+        a.li(R7, (n / 4) as i32);
+        counted_loop(a, env, 0, R7, R1, |a| {
+            for u in 0..4i16 {
+                if f.post_increment {
+                    a.insn(Insn::LoadPi {
+                        rd: R20,
+                        base: R18,
+                        inc: 1,
+                        size: MemSize::Byte,
+                        signed: true,
+                    });
+                    a.insn(Insn::LoadPi {
+                        rd: R21,
+                        base: R14,
+                        inc: 1,
+                        size: MemSize::Byte,
+                        signed: true,
+                    });
+                } else {
+                    a.lb(R20, R18, u);
+                    a.lb(R21, R14, u);
+                }
+                a.mac(R17, R20, R21);
+            }
+            if !f.post_increment {
+                a.addi(R18, R18, 4);
+                a.addi(R14, R14, 4);
+            }
+        });
+    } else {
+        a.li(R7, n as i32);
+        counted_loop(a, env, 0, R7, R1, |a| {
+            a.lb(R20, R18, 0);
+            a.lb(R21, R14, 0);
+            a.mul(R22, R20, R21);
+            a.add(R17, R17, R22);
+            a.addi(R18, R18, 1);
+            a.addi(R14, R14, 1);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+
+    #[test]
+    fn strassen_equals_plain_matmul_reference() {
+        // Strassen is exact over wrapping integer arithmetic: the i8
+        // result must match the classical algorithm bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(99);
+        let a: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
+        let bt: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
+        assert_eq!(reference(&a, &bt), crate::matmul::reference_char(&a, &bt, N));
+    }
+
+    #[test]
+    fn correct_on_all_targets() {
+        for env in [
+            TargetEnv::baseline(),
+            TargetEnv::host_m4(),
+            TargetEnv::host_m3(),
+            TargetEnv::pulp_single(),
+            TargetEnv::pulp_parallel(),
+        ] {
+            let build = build(&env);
+            run(&build, &env).unwrap_or_else(|e| panic!("{}: {e}", build.name));
+        }
+    }
+
+    #[test]
+    fn table1_sizes() {
+        let build = build(&TargetEnv::pulp_single());
+        assert_eq!(build.input_bytes(), 8 * 1024);
+        assert_eq!(build.output_bytes(), 4 * 1024);
+    }
+
+    #[test]
+    fn fewer_multiplies_than_plain_matmul() {
+        // The whole point of Strassen: 7 < 8 base products. On the
+        // baseline core the retired-instruction count must come in below
+        // the plain char matmul.
+        let env = TargetEnv::baseline();
+        let st = run(&build(&env), &env).unwrap();
+        let mm = run(&crate::matmul::build(crate::matmul::MatVariant::Char, &env), &env).unwrap();
+        assert!(
+            st.retired < mm.retired,
+            "strassen {} ops must be below matmul {} ops",
+            st.retired,
+            mm.retired
+        );
+    }
+
+    #[test]
+    fn architectural_speedup_in_integer_band() {
+        let m4 = run(&build(&TargetEnv::host_m4()), &TargetEnv::host_m4()).unwrap();
+        let or10n = run(&build(&TargetEnv::pulp_single()), &TargetEnv::pulp_single()).unwrap();
+        let speedup = m4.cycles as f64 / or10n.cycles as f64;
+        assert!(
+            (1.8..3.5).contains(&speedup),
+            "strassen arch speedup {speedup:.2} outside the integer band"
+        );
+    }
+
+    #[test]
+    fn parallel_speedup_reasonable() {
+        let single = run(&build(&TargetEnv::pulp_single()), &TargetEnv::pulp_single()).unwrap();
+        let quad = run(&build(&TargetEnv::pulp_parallel()), &TargetEnv::pulp_parallel()).unwrap();
+        let speedup = single.cycles as f64 / quad.cycles as f64;
+        assert!(
+            (2.5..4.0).contains(&speedup),
+            "strassen 4-core speedup {speedup:.2} outside [2.5, 4)"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! The full Table I suite at paper-scale problem sizes, on every target,
+//! every run verified bit-exact against its golden reference.
+
+use ulp_kernels::runner::run;
+use ulp_kernels::{Benchmark, TargetEnv};
+
+#[test]
+fn full_suite_all_targets_bit_exact() {
+    for b in Benchmark::ALL {
+        for env in [
+            TargetEnv::baseline(),
+            TargetEnv::host_m3(),
+            TargetEnv::host_m4(),
+            TargetEnv::pulp_single(),
+            TargetEnv::pulp_parallel(),
+        ] {
+            let build = b.build(&env);
+            let r = run(&build, &env).unwrap_or_else(|e| panic!("{}: {e}", build.name));
+            assert!(r.cycles > 0 && r.retired > 0, "{}", build.name);
+        }
+    }
+}
+
+#[test]
+fn fig4_shape_holds_at_full_size() {
+    // The complete Fig. 4 ordering on full-size inputs: every integer
+    // benchmark's architectural speedup exceeds every fixed-point one's,
+    // and hog sits below 1.
+    let arch = |b: Benchmark| {
+        let m4 = run(&b.build(&TargetEnv::host_m4()), &TargetEnv::host_m4()).unwrap();
+        let or = run(&b.build(&TargetEnv::pulp_single()), &TargetEnv::pulp_single()).unwrap();
+        m4.cycles as f64 / or.cycles as f64
+    };
+    let integer_min = [Benchmark::MatMul, Benchmark::MatMulShort, Benchmark::Strassen]
+        .map(arch)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    let fixed_max = [Benchmark::MatMulFixed, Benchmark::SvmLinear, Benchmark::Cnn]
+        .map(arch)
+        .into_iter()
+        .fold(0.0, f64::max);
+    let hog = arch(Benchmark::Hog);
+    assert!(
+        integer_min > fixed_max,
+        "integer group ({integer_min:.2}) must beat fixed-point group ({fixed_max:.2})"
+    );
+    assert!(hog < 1.0, "hog must show a slowdown, got {hog:.2}");
+}
+
+#[test]
+fn riscops_are_stable_across_rebuilds() {
+    // Builds are deterministic: the RISC-op methodology must give the same
+    // answer every time.
+    let env = TargetEnv::baseline();
+    for b in [Benchmark::SvmPoly, Benchmark::CnnApprox] {
+        let a = run(&b.build(&env), &env).unwrap().retired;
+        let c = run(&b.build(&env), &env).unwrap().retired;
+        assert_eq!(a, c, "{b}");
+    }
+}

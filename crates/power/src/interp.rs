@@ -1,0 +1,120 @@
+//! Interpolation helpers for tabulated operating points.
+//!
+//! The paper: "To estimate maximum frequency at operating points not
+//! covered by timing analysis, we used a simple polynomial interpolation
+//! model." We provide Lagrange polynomial interpolation (used for
+//! fmax-vs-VDD) and log-linear interpolation (used for leakage, which is
+//! near-exponential in VDD).
+
+/// Lagrange polynomial interpolation through `(xs, ys)` evaluated at `x`.
+///
+/// Intended for smooth monotone tables with a handful of anchors (the six
+/// 100 mV operating points); `x` should lie within the anchor range.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length or are empty, or if two anchors
+/// share an abscissa.
+#[must_use]
+pub fn lagrange(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "anchor vectors must match");
+    assert!(!xs.is_empty(), "need at least one anchor");
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        let mut li = 1.0;
+        for j in 0..xs.len() {
+            if i != j {
+                let denom = xs[i] - xs[j];
+                assert!(denom != 0.0, "duplicate abscissa {x}", x = xs[i]);
+                li *= (x - xs[j]) / denom;
+            }
+        }
+        acc += ys[i] * li;
+    }
+    acc
+}
+
+/// Piecewise log-linear interpolation (linear in `ln(y)`), clamped to the
+/// anchor range. Suited to leakage currents, which grow near-exponentially
+/// with supply voltage.
+///
+/// # Panics
+///
+/// Panics if the tables are empty, mismatched, non-increasing in `x`, or
+/// contain non-positive `y` values.
+#[must_use]
+pub fn log_linear(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "anchor vectors must match");
+    assert!(!xs.is_empty(), "need at least one anchor");
+    assert!(ys.iter().all(|&y| y > 0.0), "log interpolation needs positive values");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let k = xs.partition_point(|&a| a <= x) - 1;
+    let (x0, x1) = (xs[k], xs[k + 1]);
+    assert!(x1 > x0, "anchors must be strictly increasing");
+    let t = (x - x0) / (x1 - x0);
+    (ys[k].ln() * (1.0 - t) + ys[k + 1].ln() * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lagrange_reproduces_anchors() {
+        let xs = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+        let ys = [60.0, 150.0, 250.0, 340.0, 410.0, 460.0];
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((lagrange(&xs, &ys, *x) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lagrange_is_monotone_on_smooth_table() {
+        let xs = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+        let ys = [60.0, 150.0, 250.0, 340.0, 410.0, 460.0];
+        let mut prev = lagrange(&xs, &ys, 0.5);
+        let mut v = 0.505;
+        while v <= 1.0 {
+            let cur = lagrange(&xs, &ys, v);
+            assert!(cur >= prev - 1e-6, "fmax interpolation must not decrease at {v}");
+            prev = cur;
+            v += 0.005;
+        }
+    }
+
+    #[test]
+    fn lagrange_exact_on_quadratic() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 5.0]; // y = x^2 + 1
+        assert!((lagrange(&xs, &ys, 1.5) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_linear_reproduces_anchors_and_clamps() {
+        let xs = [0.5, 0.6, 0.7];
+        let ys = [1.0e-5, 2.0e-5, 4.5e-5];
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((log_linear(&xs, &ys, *x) - y).abs() < 1e-12);
+        }
+        assert_eq!(log_linear(&xs, &ys, 0.3), 1.0e-5);
+        assert_eq!(log_linear(&xs, &ys, 1.2), 4.5e-5);
+    }
+
+    #[test]
+    fn log_linear_midpoint_is_geometric_mean() {
+        let xs = [0.0, 1.0];
+        let ys = [1.0, 100.0];
+        assert!((log_linear(&xs, &ys, 0.5) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_linear_rejects_non_positive() {
+        let _ = log_linear(&[0.0, 1.0], &[0.0, 1.0], 0.5);
+    }
+}

@@ -1,0 +1,133 @@
+//! `het-sim` — simulate a benchmark offload on the coupled platform.
+//!
+//! ```sh
+//! het-sim --benchmark cnn
+//! het-sim --benchmark hog --mcu-mhz 8 --iterations 32 --double-buffer
+//! het-sim --benchmark matmul --link spi --sensor-direct --host-task
+//! het-sim --benchmark svm-rbf --link-clock 25   # independent 25 MHz link
+//! het-sim --benchmark strassen --budget-mw 10   # auto op point in budget
+//! ```
+//!
+//! Prints the offload report (time/energy breakdown, efficiency), the
+//! host-only comparison, and the compute-phase platform power.
+
+use std::process::ExitCode;
+
+use ulp_kernels::TargetEnv;
+use ulp_link::SpiWidth;
+use ulp_offload::{HetSystem, HetSystemConfig, LinkClocking, OffloadOptions, TargetRegion};
+use ulp_power::busy_activity;
+use ulp_tools::{parse_benchmark, Args};
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<(), String> {
+    let args = Args::parse(
+        std::env::args().skip(1),
+        &["double-buffer", "sensor-direct", "host-task", "help"],
+    );
+    if args.has("help") || !args.has("benchmark") {
+        return Err(
+            "usage: het-sim --benchmark NAME [--mcu-mhz F] [--iterations N] \
+             [--double-buffer] [--sensor-direct] [--host-task] [--link spi|qspi] \
+             [--link-clock SPI_MHZ] [--boost-mhz F] [--budget-mw P]"
+                .to_owned(),
+        );
+    }
+    let benchmark = parse_benchmark(args.get("benchmark").unwrap_or(""))?;
+    let mcu_hz = args.get_f64("mcu-mhz", 16.0)? * 1e6;
+    let iterations = args.get_usize("iterations", 16)?;
+
+    let mut cfg = HetSystemConfig { mcu_freq_hz: mcu_hz, ..HetSystemConfig::default() };
+    if let Some(link) = args.get("link") {
+        cfg.link_width = match link {
+            "spi" => SpiWidth::Single,
+            "qspi" => SpiWidth::Quad,
+            other => return Err(format!("--link: `{other}` is not spi or qspi")),
+        };
+    }
+    if args.has("link-clock") {
+        cfg.link_clocking =
+            LinkClocking::Independent { spi_hz: args.get_f64("link-clock", 25.0)? * 1e6 };
+    } else if args.has("boost-mhz") {
+        cfg.link_clocking =
+            LinkClocking::BoostedMcu { mcu_hz: args.get_f64("boost-mhz", 32.0)? * 1e6 };
+    }
+    if args.has("budget-mw") {
+        let budget = args.get_f64("budget-mw", 10.0)? * 1e-3;
+        let residual = budget - cfg.mcu.run_power_w(mcu_hz) - 20.0e-6;
+        let op = cfg
+            .power
+            .max_freq_under_power(residual, &busy_activity(4, 8))
+            .ok_or_else(|| format!("the MCU alone exceeds the {:.1} mW budget", budget * 1e3))?;
+        cfg.pulp_vdd = op.vdd;
+        cfg.pulp_freq_hz = op.freq_hz;
+    }
+
+    let mut sys = HetSystem::new(cfg);
+    let build = benchmark.build(&TargetEnv::pulp_parallel());
+    println!("benchmark : {} — {}", benchmark.name(), benchmark.description());
+    println!("region    : {}", TargetRegion::from_kernel(&build));
+    println!(
+        "platform  : {} @{:.0} MHz + PULP @{:.0} MHz ({:.2} V) over {} ({:?})",
+        sys.config().mcu.name,
+        sys.config().mcu_freq_hz / 1e6,
+        sys.config().pulp_freq_hz / 1e6,
+        sys.config().pulp_vdd,
+        sys.config().link_width,
+        sys.config().link_clocking,
+    );
+
+    let opts = OffloadOptions {
+        iterations,
+        double_buffer: args.has("double-buffer"),
+        sensor_direct: args.has("sensor-direct"),
+        host_task: args.has("host-task"),
+        force_reload: false,
+    };
+    let report = sys.offload(&build, &opts).map_err(|e| e.to_string())?;
+
+    println!("\noffload ({iterations} iterations):");
+    println!("  binary    {:>10.3} ms", report.binary_seconds * 1e3);
+    println!("  inputs    {:>10.3} ms", report.input_seconds * 1e3);
+    println!("  compute   {:>10.3} ms   ({} cycles cold / {} warm)",
+        report.compute_seconds * 1e3, report.cycles_cold, report.cycles_warm);
+    println!("  outputs   {:>10.3} ms", report.output_seconds * 1e3);
+    println!("  overlap   {:>10.3} ms hidden", report.overlapped_seconds * 1e3);
+    println!("  total     {:>10.3} ms   efficiency {:.1}%",
+        report.total_seconds() * 1e3, report.efficiency() * 100.0);
+    println!(
+        "  energy    mcu {:.1} µJ + pulp {:.1} µJ + link {:.2} µJ = {:.1} µJ",
+        report.mcu_energy_joules * 1e6,
+        report.pulp_energy_joules * 1e6,
+        report.link_energy_joules * 1e6,
+        report.total_energy_joules() * 1e6
+    );
+    if report.host_task_cycles > 0 {
+        println!("  host task {:.2} M cycles gained", report.host_task_cycles as f64 / 1e6);
+    }
+    println!(
+        "  compute-phase platform power {:.2} mW",
+        sys.compute_phase_power_watts(&report.activity) * 1e3
+    );
+
+    let host_build = benchmark.build(&TargetEnv::host_m4());
+    let host = sys.run_on_host(&host_build).map_err(|e| e.to_string())?;
+    let per_iter = report.total_seconds() / iterations as f64;
+    println!("\nhost only : {:.3} ms, {:.1} µJ", host.seconds * 1e3, host.energy_joules * 1e6);
+    println!(
+        "speedup   : {:.1}×   energy gain {:.1}×",
+        host.seconds / per_iter,
+        host.energy_joules / (report.total_energy_joules() / iterations as f64)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("het-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `uir-asm` — assemble textual UIR into a `.uir` image.
+//!
+//! ```sh
+//! uir-asm input.s -o out.uir        # assemble
+//! uir-asm input.s --listing         # assemble and print the listing
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use ulp_isa::parse_program;
+use ulp_tools::{to_image, Args};
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1), &["listing", "help"]);
+    if args.has("help") || args.positional.is_empty() {
+        eprintln!("usage: uir-asm <input.s> [-o|--output out.uir] [--listing]");
+        return if args.has("help") { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    let input = &args.positional[0];
+    let source = match fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("uir-asm: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("uir-asm: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.has("listing") {
+        print!("{}", prog.listing());
+    }
+    let output = args.get("output").or_else(|| args.get("o")).unwrap_or("a.uir");
+    let image = to_image(&prog);
+    if let Err(e) = fs::write(output, &image) {
+        eprintln!("uir-asm: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "uir-asm: {} instructions, {} B rodata -> {output} ({} B)",
+        prog.insns().len(),
+        prog.rodata().len(),
+        image.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,40 @@
+//! `uir-dis` — disassemble a `.uir` image back to text.
+//!
+//! ```sh
+//! uir-dis program.uir
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use ulp_tools::{from_image, Args};
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1), &["help"]);
+    if args.has("help") || args.positional.is_empty() {
+        eprintln!("usage: uir-dis <image.uir>");
+        return if args.has("help") { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    let input = &args.positional[0];
+    let bytes = match fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("uir-dis: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match from_image(&bytes) {
+        Ok(prog) => {
+            print!("{}", prog.listing());
+            if !prog.rodata().is_empty() {
+                println!("# rodata: {} bytes at text+{:#x}", prog.rodata().len(),
+                    prog.rodata_offset());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("uir-dis: {input}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

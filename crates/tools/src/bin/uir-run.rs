@@ -1,0 +1,145 @@
+//! `uir-run` — execute a UIR program on a simulated core or cluster.
+//!
+//! ```sh
+//! uir-run prog.uir --model or10n               # single core
+//! uir-run prog.s   --model m4 --trace 20       # assemble + run + trace
+//! uir-run prog.uir --cluster 4                 # 4-core PULP cluster
+//! uir-run prog.uir --reg r3=256 --dump r5      # set args, print results
+//! ```
+//!
+//! Accepts both `.uir` images and assembly source (decided by content).
+//! Single-core runs execute over flat memory at `0x2000_0000`; cluster
+//! runs load the binary into L2 and start every core at the entry, with
+//! the TCDM at `0x1000_0000`.
+
+use std::fs;
+use std::process::ExitCode;
+
+use ulp_cluster::{Cluster, ClusterConfig, L2_BASE};
+use ulp_isa::{parse_program, Core, CoreState, FlatMemory, Program, Reg};
+use ulp_tools::{from_image, parse_model, Args};
+
+fn load_input(path: &str) -> Result<Program, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(ulp_tools::MAGIC) {
+        from_image(&bytes).map_err(|e| e.to_string())
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| "input is neither UIR nor UTF-8 text")?;
+        parse_program(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn parse_reg_assignments(args: &Args) -> Result<Vec<(Reg, u32)>, String> {
+    let mut out = Vec::new();
+    for v in args.values("reg") {
+        let (r, val) = v.split_once('=').ok_or_else(|| format!("--reg {v}: expected rN=VALUE"))?;
+        let idx: u8 = r
+            .trim_start_matches('r')
+            .parse()
+            .map_err(|_| format!("--reg {v}: bad register"))?;
+        let reg = Reg::try_new(idx).ok_or_else(|| format!("--reg {v}: register out of range"))?;
+        let value = if let Some(hex) = val.strip_prefix("0x") {
+            u32::from_str_radix(hex, 16)
+        } else {
+            val.parse()
+        }
+        .map_err(|_| format!("--reg {v}: bad value"))?;
+        out.push((reg, value));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1), &["help"]);
+    if args.has("help") || args.positional.is_empty() {
+        return Err(
+            "usage: uir-run <prog.uir|prog.s> [--model or10n|m4|m3|baseline] \
+             [--cluster N] [--max-cycles N] [--trace N] [--reg rN=V]... [--dump rN,rM,...]"
+                .to_owned(),
+        );
+    }
+    let prog = load_input(&args.positional[0])?;
+    let max_cycles = args.get_usize("max-cycles", 100_000_000)? as u64;
+    let regs = parse_reg_assignments(&args)?;
+    let dump: Vec<Reg> = args
+        .get("dump")
+        .map(|d| {
+            d.split(',')
+                .map(|r| {
+                    r.trim()
+                        .trim_start_matches('r')
+                        .parse::<u8>()
+                        .ok()
+                        .and_then(Reg::try_new)
+                        .ok_or_else(|| format!("--dump: bad register `{r}`"))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()?
+        .unwrap_or_default();
+
+    if args.has("cluster") {
+        let cores = args.get_usize("cluster", 4)?;
+        let mut cluster =
+            Cluster::new(ClusterConfig { num_cores: cores, ..ClusterConfig::default() });
+        cluster.load_binary(&prog, L2_BASE).map_err(|e| e.to_string())?;
+        cluster.start(L2_BASE, &regs, 0);
+        let res = cluster.run_until_halt(max_cycles).map_err(|e| e.to_string())?;
+        println!("cluster: {} cores, {} cycles", cores, res.cycles);
+        if let Some(eoc) = res.eoc_at {
+            println!("end-of-computation at cycle {eoc}");
+        }
+        println!(
+            "retired {} instructions, IPC {:.2}, {} TCDM conflicts, {} barriers",
+            res.activity.total_retired(),
+            res.activity.ipc(),
+            res.activity.tcdm_conflicts,
+            res.activity.barriers
+        );
+        for r in dump {
+            println!("core0 {r} = {:#010x}", cluster.core(0).reg(r));
+        }
+    } else {
+        let model = parse_model(args.get("model").unwrap_or("or10n"))?;
+        const BASE: u32 = 0x2000_0000;
+        let mut mem = FlatMemory::new(BASE, 1 << 20);
+        mem.load_program(&prog, BASE).map_err(|e| e.to_string())?;
+        let mut core = Core::new(0, model);
+        let trace_n = args.get_usize("trace", 0)?;
+        if trace_n > 0 {
+            core.enable_trace(trace_n);
+        }
+        core.reset(BASE);
+        for (r, v) in regs {
+            core.set_reg(r, v);
+        }
+        let summary = core.run(&mut mem, max_cycles).map_err(|e| e.to_string())?;
+        if summary.state != CoreState::Halted {
+            return Err(format!("program did not halt within {max_cycles} cycles"));
+        }
+        println!(
+            "{}: {} cycles, {} instructions, IPC {:.2}",
+            model.name,
+            summary.cycles,
+            summary.retired,
+            summary.retired as f64 / summary.cycles as f64
+        );
+        for t in core.trace() {
+            println!("  {:#010x}  {:<30} @{}", t.pc, t.insn.to_string(), t.retired_at);
+        }
+        for r in dump {
+            println!("{r} = {:#010x} ({})", core.reg(r), core.reg(r) as i32);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("uir-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests of the command-line tools, driving the real binaries.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ulp-tools-test-{}-{name}", std::process::id()));
+    p
+}
+
+const DEMO: &str = "
+# triangular number of r3's initial value
+    addi r1, r0, 100
+    addi r3, r0, 0
+top:
+    add  r3, r3, r1
+    addi r1, r1, -1
+    bne  r1, r0, top
+    halt
+";
+
+#[test]
+fn asm_dis_run_pipeline() {
+    let src = tmp("demo.s");
+    let img = tmp("demo.uir");
+    fs::write(&src, DEMO).unwrap();
+
+    // Assemble.
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-asm"))
+        .arg(&src)
+        .args(["--output", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "uir-asm failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(img.exists());
+
+    // Disassemble: the listing must contain the loop body.
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-dis")).arg(&img).output().unwrap();
+    assert!(out.status.success());
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains("add r3, r3, r1"), "listing:\n{listing}");
+    assert!(!listing.contains("bne r1, r1"));
+
+    // Run on each model and check the architected result via --dump.
+    for model in ["baseline", "m3", "m4", "or10n"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_uir-run"))
+            .arg(&img)
+            .args(["--model", model, "--dump", "r3"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{model}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("(5050)"), "{model} output:\n{stdout}");
+    }
+
+    let _ = fs::remove_file(src);
+    let _ = fs::remove_file(img);
+}
+
+#[test]
+fn run_accepts_assembly_source_directly_with_trace() {
+    let src = tmp("direct.s");
+    fs::write(&src, "addi r5, r0, 7\nslli r5, r5, 2\nhalt\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-run"))
+        .arg(&src)
+        .args(["--model", "or10n", "--trace", "10", "--dump", "r5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(28)"), "{stdout}");
+    assert!(stdout.contains("slli r5, r5, 2"), "trace missing:\n{stdout}");
+    let _ = fs::remove_file(src);
+}
+
+#[test]
+fn run_on_cluster_reports_activity() {
+    let src = tmp("cluster.s");
+    // Every core stores its id+40 into TCDM, master raises EOC.
+    fs::write(
+        &src,
+        "
+    csrr r1, CoreId
+    slli r2, r1, 2
+    lui  r3, 0x4000
+    add  r3, r3, r2
+    addi r4, r1, 40
+    sw   r4, 0(r3)
+    beq  r1, r0, eoc
+    halt
+eoc:
+    sev 0
+    halt
+",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-run"))
+        .arg(&src)
+        .args(["--cluster", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cluster: 4 cores"), "{stdout}");
+    assert!(stdout.contains("end-of-computation"), "{stdout}");
+    let _ = fs::remove_file(src);
+}
+
+#[test]
+fn het_sim_smoke() {
+    let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
+        .args(["--benchmark", "svm-linear", "--mcu-mhz", "16", "--iterations", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("svm (linear)"));
+    assert!(stdout.contains("speedup"));
+    assert!(stdout.contains("compute-phase platform power"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown benchmark.
+    let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
+        .args(["--benchmark", "quicksort"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+
+    // Syntax error with the line number.
+    let src = tmp("bad.s");
+    fs::write(&src, "nop\nfrobnicate r1\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-asm")).arg(&src).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let _ = fs::remove_file(src);
+}

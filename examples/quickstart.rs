@@ -1,0 +1,76 @@
+//! Quickstart: offload one kernel and compare against the host.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the default heterogeneous platform (STM32-L476 @16 MHz + 4-core
+//! PULP @0.65 V over QSPI), runs the `matmul` benchmark on the host alone
+//! and offloaded, and prints the time/energy comparison.
+
+use het_accel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::MatMul;
+
+    // 1. The coupled platform.
+    let mut sys = HetSystem::new(HetSystemConfig::default());
+    println!(
+        "platform: {} @{:.0} MHz  +  PULP 4×OR10N @{:.0} MHz ({:.2} V)  over {}",
+        sys.config().mcu.name,
+        sys.config().mcu_freq_hz / 1e6,
+        sys.config().pulp_freq_hz / 1e6,
+        sys.config().pulp_vdd,
+        sys.config().link_width,
+    );
+
+    // 2. Host-only baseline.
+    let host_build = benchmark.build(&TargetEnv::host_m4());
+    let host = sys.run_on_host(&host_build)?;
+    println!(
+        "\nhost only      : {:>9.3} ms   {:>8.1} µJ   ({} cycles)",
+        host.seconds * 1e3,
+        host.energy_joules * 1e6,
+        host.cycles
+    );
+
+    // 3. Offload to the accelerator. The target region shows the derived
+    //    OpenMP map clauses.
+    let accel_build = benchmark.build(&TargetEnv::pulp_parallel());
+    println!("\n{}", TargetRegion::from_kernel(&accel_build));
+    let iterations = 16;
+    let report = sys.offload(
+        &accel_build,
+        &OffloadOptions { iterations, double_buffer: true, ..Default::default() },
+    )?;
+
+    let per_iter_s = report.total_seconds() / iterations as f64;
+    let per_iter_j = report.total_energy_joules() / iterations as f64;
+    println!(
+        "offloaded      : {:>9.3} ms   {:>8.1} µJ   per iteration ({} iterations/offload)",
+        per_iter_s * 1e3,
+        per_iter_j * 1e6,
+        iterations
+    );
+    println!(
+        "  breakdown    : binary {:.3} ms, inputs {:.3} ms, compute {:.3} ms, outputs {:.3} ms,\n\
+         \x20                overlapped -{:.3} ms (double buffering)",
+        report.binary_seconds * 1e3,
+        report.input_seconds * 1e3,
+        report.compute_seconds * 1e3,
+        report.output_seconds * 1e3,
+        report.overlapped_seconds * 1e3,
+    );
+
+    println!(
+        "\nspeedup  {:>5.1}×    energy gain  {:>5.1}×    offload efficiency {:.0}%",
+        host.seconds / per_iter_s,
+        host.energy_joules / per_iter_j,
+        report.efficiency() * 100.0
+    );
+    println!(
+        "platform power during compute: {:.2} mW (host asleep + accelerator active)",
+        sys.compute_phase_power_watts(&report.activity) * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Always-on sensor hub: every §V extension of the model at once.
+//!
+//! ```sh
+//! cargo run --example sensor_hub
+//! ```
+//!
+//! The paper's Discussion sketches three evolutions of the platform:
+//! a link clock decoupled from the MCU, a direct sensor→accelerator data
+//! path, and a concurrent task on the host. This example builds that
+//! "full vision" hub — a camera streams frames straight into the
+//! accelerator running the CNN, the results return over a 25 MHz
+//! independent link, and the 2 MHz host simultaneously runs its own
+//! housekeeping task — and compares it with the paper's baseline
+//! prototype wiring.
+
+use het_accel::prelude::*;
+use ulp_offload::LinkClocking;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames = 64;
+    let build = Benchmark::Cnn.build(&TargetEnv::pulp_parallel());
+
+    // Baseline wiring (the paper's prototype): link tied to a 2 MHz host.
+    let mut proto = HetSystem::new(HetSystemConfig {
+        mcu_freq_hz: 2.0e6,
+        ..HetSystemConfig::default()
+    });
+    let cost = proto.measure_cost(&build)?;
+    let base = proto.predict(
+        &cost,
+        &OffloadOptions { iterations: frames, double_buffer: true, ..Default::default() },
+        true,
+    );
+
+    // The §V hub: independent link, sensor-direct inputs, host task.
+    let hub_sys = HetSystem::new(HetSystemConfig {
+        mcu_freq_hz: 2.0e6,
+        link_clocking: LinkClocking::Independent { spi_hz: 25.0e6 },
+        ..HetSystemConfig::default()
+    });
+    let hub = hub_sys.predict(
+        &cost,
+        &OffloadOptions {
+            iterations: frames,
+            double_buffer: true,
+            sensor_direct: true,
+            host_task: true,
+            ..Default::default()
+        },
+        true,
+    );
+
+    println!("always-on CNN sensor hub, 2 MHz host, {frames}-frame bursts\n");
+    println!("                        fps      efficiency   host work");
+    println!(
+        "prototype wiring      {:>6.1}      {:>5.1}%       host sleeps",
+        frames as f64 / base.total_seconds(),
+        base.efficiency() * 100.0
+    );
+    println!(
+        "§V hub                {:>6.1}      {:>5.1}%       {:.2} M cycles gained",
+        frames as f64 / hub.total_seconds(),
+        hub.efficiency() * 100.0,
+        hub.host_task_cycles as f64 / 1e6
+    );
+    println!(
+        "\nframe-rate gain {:.1}× from the same silicon, purely by re-wiring the\n\
+         data paths — the paper's §V argument, quantified.",
+        base.total_seconds() / hub.total_seconds()
+    );
+    println!(
+        "host energy {:.1} µJ → {:.1} µJ per burst (runs its own task instead of\n\
+         sleeping); accelerator untouched at {:.1} µJ.",
+        base.mcu_energy_joules * 1e6,
+        hub.mcu_energy_joules * 1e6,
+        hub.pulp_energy_joules * 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Property-based tests over the coupled system and the kernel code
+//! generators.
+
+use proptest::prelude::*;
+
+use het_accel::prelude::*;
+use ulp_kernels::matmul::{build_sized, MatVariant};
+use ulp_offload::OffloadCost;
+use ulp_power::{busy_activity, PulpPowerModel};
+
+fn default_cost() -> OffloadCost {
+    let mut sys = HetSystem::new(HetSystemConfig::default());
+    let build = build_sized(MatVariant::Char, &TargetEnv::pulp_parallel(), 16);
+    sys.measure_cost(&build).expect("small matmul offloads")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Matmul is bit-exact across every target for random sizes.
+    #[test]
+    fn matmul_correct_for_random_sizes(log_n in 3u32..6, variant in 0usize..3) {
+        let n = 1usize << log_n;
+        let variant = [MatVariant::Char, MatVariant::Short, MatVariant::Fixed][variant];
+        for env in [TargetEnv::baseline(), TargetEnv::host_m4(), TargetEnv::pulp_parallel()] {
+            let build = build_sized(variant, &env, n);
+            ulp_kernels::run(&build, &env)
+                .unwrap_or_else(|e| panic!("{} n={n}: {e}", build.name));
+        }
+    }
+
+    /// Offload timing model: total time grows with iterations, efficiency
+    /// never decreases, double buffering never hurts.
+    #[test]
+    fn offload_prediction_monotone(iters in 1usize..200) {
+        let cost = default_cost();
+        let sys = HetSystem::new(HetSystemConfig::default());
+        let at = |i: usize, db: bool| {
+            sys.predict(&cost, &OffloadOptions { iterations: i, double_buffer: db,
+                ..Default::default() }, true)
+        };
+        let a = at(iters, false);
+        let b = at(iters + 1, false);
+        prop_assert!(b.total_seconds() > a.total_seconds());
+        prop_assert!(b.efficiency() >= a.efficiency() - 1e-12);
+        let d = at(iters, true);
+        prop_assert!(d.total_seconds() <= a.total_seconds() + 1e-15);
+    }
+
+    /// The envelope solver never exceeds its budget and is monotone in it.
+    #[test]
+    fn envelope_solver_budget_safety(budget_mw in 0.3f64..40.0) {
+        let model = PulpPowerModel::pulp3();
+        let act = busy_activity(4, 8);
+        let budget = budget_mw * 1e-3;
+        if let Some(op) = model.max_freq_under_power(budget, &act) {
+            prop_assert!(op.total_power_w <= budget * 1.0001);
+            prop_assert!((0.5..=1.0).contains(&op.vdd));
+            prop_assert!(op.freq_hz <= model.fmax_hz(op.vdd) * 1.0001);
+            // Monotonicity: 10% more budget never yields a slower point.
+            if let Some(op2) = model.max_freq_under_power(budget * 1.1, &act) {
+                prop_assert!(op2.freq_hz >= op.freq_hz * 0.999);
+            }
+        }
+    }
+
+    /// MCU frequency scaling: transfer phases shrink with a faster host
+    /// clock (the SPI follows the core clock).
+    #[test]
+    fn faster_host_clock_never_slows_transfers(mhz in 2.0f64..80.0) {
+        let cost = default_cost();
+        let mk = |hz: f64| {
+            let sys = HetSystem::new(HetSystemConfig { mcu_freq_hz: hz, ..Default::default() });
+            sys.predict(&cost, &OffloadOptions { iterations: 4, ..Default::default() }, true)
+        };
+        let slow = mk(mhz * 1e6 / 2.0);
+        let fast = mk(mhz * 1e6);
+        prop_assert!(fast.input_seconds < slow.input_seconds);
+        prop_assert!(fast.binary_seconds < slow.binary_seconds);
+        // Compute time is untouched by the host clock.
+        prop_assert!((fast.compute_seconds - slow.compute_seconds).abs() < 1e-15);
+    }
+}
+
+/// The power model is continuous enough for the solver: no cliffs between
+/// adjacent operating points (sampled densely).
+#[test]
+fn power_model_is_smooth() {
+    let model = PulpPowerModel::pulp3();
+    let act = busy_activity(4, 8);
+    let mut prev: Option<f64> = None;
+    let mut v = 0.5f64;
+    while v <= 1.0 {
+        let p = model.total_power_w(model.fmax_hz(v), v, &act);
+        if let Some(q) = prev {
+            let ratio = p / q;
+            assert!((0.9..1.6).contains(&ratio), "power cliff at {v:.3} V: ×{ratio:.2}");
+        }
+        prev = Some(p);
+        v += 0.01;
+    }
+}
