@@ -11,4 +11,5 @@ fn main() {
     println!("{}", ulp_bench::ablation::run());
     println!("{}", ulp_bench::extensions::run());
     println!("{}", ulp_bench::scaling::run());
+    println!("{}", ulp_bench::faults::run());
 }

@@ -1,0 +1,5 @@
+//! Prints the fault-injection resilience study from fresh simulation.
+
+fn main() {
+    println!("{}", ulp_bench::faults::run());
+}

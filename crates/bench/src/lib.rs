@@ -12,6 +12,7 @@
 //! | ablations (design-choice studies)       | [`ablation`] | `cargo run --bin ablations` |
 //! | §V extensions (beyond the paper)        | [`extensions`] | `cargo run --bin extensions` |
 //! | core-count scaling study                | [`scaling`] | `cargo run --bin scaling` |
+//! | fault-injection resilience study        | [`faults`] | `cargo run --bin faults` |
 //!
 //! `cargo run --bin all_experiments` prints everything (the source of
 //! `EXPERIMENTS.md`). Absolute numbers come from the calibrated models
@@ -20,6 +21,7 @@
 
 pub mod ablation;
 pub mod extensions;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5a;

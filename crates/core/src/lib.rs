@@ -54,5 +54,8 @@ pub use envelope::{envelope_speedup, EnvelopeReport, PowerBudget};
 pub use region::{MapClause, MapDir, TargetRegion};
 pub use system::{
     HetSystem, HetSystemConfig, HostReport, LinkClocking, OffloadCost, OffloadError,
-    OffloadOptions, OffloadReport,
+    OffloadOptions, OffloadPolicy, OffloadReport, ResilienceStats,
 };
+// Re-exported so offload users can configure fault injection without
+// depending on ulp-link directly.
+pub use ulp_link::{FaultConfig, FaultStats};

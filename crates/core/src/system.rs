@@ -6,7 +6,11 @@ use std::fmt;
 use ulp_cluster::{Cluster, ClusterActivity, ClusterConfig, L2_BASE};
 use ulp_kernels::runner::MAX_KERNEL_CYCLES;
 use ulp_kernels::{BufferInit, KernelBuild};
-use ulp_link::{SpiLink, SpiWidth};
+use ulp_link::{
+    EocOutcome, FaultConfig, FaultInjector, FaultStats, GpioEvent, SpiLink, SpiWidth, TxOutcome,
+    FRAME_OVERHEAD,
+};
+use ulp_mcu::wfe::{wfe_wait, WakeReason};
 use ulp_mcu::{datasheet, Mcu, McuDevice};
 use ulp_power::PulpPowerModel;
 
@@ -61,6 +65,10 @@ pub struct HetSystemConfig {
     pub pulp_freq_hz: f64,
     /// Accelerator power model.
     pub power: PulpPowerModel,
+    /// Link/event-wire fault model (default: fault-free). When inactive the
+    /// resilience machinery is bypassed entirely and every figure is
+    /// bit-identical to the fault-free simulation.
+    pub fault: FaultConfig,
 }
 
 impl Default for HetSystemConfig {
@@ -81,6 +89,56 @@ impl Default for HetSystemConfig {
             pulp_vdd: vdd,
             pulp_freq_hz: freq,
             power,
+            fault: FaultConfig::default(),
+        }
+    }
+}
+
+/// Recovery policy of the offload runtime: how hard to fight the link and
+/// the accelerator before giving up.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct OffloadPolicy {
+    /// Retransmissions per frame (and restart attempts per hung run)
+    /// before the offload is declared unrecoverable. Zero disables
+    /// recovery: the first CRC error surfaces as
+    /// [`OffloadError::CrcMismatch`].
+    pub max_retries: u32,
+    /// Host cycles to pause before the first retransmission.
+    pub backoff_cycles: u64,
+    /// Double the pause after every failed attempt (bounded exponential
+    /// backoff); otherwise the pause is constant.
+    pub exponential_backoff: bool,
+    /// Host-side watchdog armed before each WFE sleep, in host cycles.
+    /// `0` selects the automatic deadline: 4× the expected compute time
+    /// (but at least 1000 cycles), so healthy runs never trip it.
+    pub watchdog_cycles: u64,
+    /// On an unrecoverable offload failure, run the remaining iterations
+    /// on the host instead of returning an error (requires
+    /// [`HetSystem::offload_with_fallback`], which knows the host build).
+    pub fallback_to_host: bool,
+}
+
+impl Default for OffloadPolicy {
+    fn default() -> Self {
+        OffloadPolicy {
+            max_retries: 3,
+            backoff_cycles: 64,
+            exponential_backoff: true,
+            watchdog_cycles: 0,
+            fallback_to_host: true,
+        }
+    }
+}
+
+impl OffloadPolicy {
+    /// Backoff pause (host cycles) before retransmission `attempt`
+    /// (0-based).
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        if self.exponential_backoff {
+            self.backoff_cycles.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+        } else {
+            self.backoff_cycles
         }
     }
 }
@@ -99,6 +157,25 @@ pub enum OffloadError {
     OutputMismatch(Vec<String>),
     /// Host execution failed (host-side comparison runs).
     Host(ulp_mcu::host::McuError),
+    /// A frame failed its CRC check with recovery disabled
+    /// (`max_retries == 0`).
+    CrcMismatch {
+        /// Size of the offending frame on the wire (payload + overhead).
+        frame_bytes: usize,
+    },
+    /// A frame could not be delivered within the retry budget.
+    RetriesExhausted {
+        /// Transmission attempts made (initial + retries).
+        attempts: u32,
+    },
+    /// The end-of-computation event never arrived: the watchdog fired on
+    /// every restart attempt and no host fallback was available.
+    WatchdogTimeout {
+        /// Armed watchdog deadline, in host cycles.
+        watchdog_cycles: u64,
+        /// Runs attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for OffloadError {
@@ -112,6 +189,17 @@ impl fmt::Display for OffloadError {
                 write!(f, "device results differ from reference: {}", m.join("; "))
             }
             OffloadError::Host(e) => write!(f, "host execution failed: {e}"),
+            OffloadError::CrcMismatch { frame_bytes } => {
+                write!(f, "CRC mismatch on a {frame_bytes}-byte frame (retries disabled)")
+            }
+            OffloadError::RetriesExhausted { attempts } => {
+                write!(f, "frame undeliverable after {attempts} transmission attempts")
+            }
+            OffloadError::WatchdogTimeout { watchdog_cycles, attempts } => write!(
+                f,
+                "end-of-computation event missing: watchdog ({watchdog_cycles} host cycles) \
+                 tripped on all {attempts} attempts"
+            ),
         }
     }
 }
@@ -152,6 +240,9 @@ pub struct OffloadOptions {
     /// sleeping during the compute phase, and the report exposes the host
     /// cycles gained.
     pub host_task: bool,
+    /// Recovery policy when faults are injected; irrelevant (and free) on a
+    /// fault-free link.
+    pub policy: OffloadPolicy,
 }
 
 impl Default for OffloadOptions {
@@ -162,6 +253,7 @@ impl Default for OffloadOptions {
             force_reload: false,
             sensor_direct: false,
             host_task: false,
+            policy: OffloadPolicy::default(),
         }
     }
 }
@@ -185,6 +277,48 @@ pub struct OffloadCost {
     pub cycles_warm: u64,
     /// Cluster activity of the steady-state run.
     pub activity: ClusterActivity,
+}
+
+/// What resilience cost on top of the healthy offload: recovery events and
+/// the extra wall-clock / energy they charged. All-zero on a fault-free
+/// link, which keeps every fault-free figure bit-identical.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ResilienceStats {
+    /// Frames retransmitted after a detected corruption or drop.
+    pub retransmissions: u64,
+    /// Corrupted/truncated frames the CRC-16 caught.
+    pub crc_errors_detected: u64,
+    /// Corrupted frames whose damage aliased the CRC and went through
+    /// undetected (probability 2⁻¹⁶ per corrupted frame).
+    pub crc_errors_escaped: u64,
+    /// Frames lost outright (no bytes arrived; the sender timed out
+    /// waiting for the acknowledgement).
+    pub frames_dropped: u64,
+    /// WFE sleeps ended by the watchdog instead of the event wire.
+    pub watchdog_trips: u64,
+    /// Host cycles spent in backoff pauses between retransmissions.
+    pub backoff_cycles: u64,
+    /// Wall-clock seconds of recovery work (retransmissions, backoff,
+    /// timeout windows, late events) added to the healthy offload time.
+    pub extra_seconds: f64,
+    /// Energy of that recovery work, across host, accelerator and link.
+    pub extra_energy_joules: f64,
+    /// The offload was abandoned and remaining iterations ran on the host.
+    pub fell_back_to_host: bool,
+    /// Iterations the host fallback covered.
+    pub fallback_iterations: u64,
+    /// Host wall-clock seconds of the fallback execution.
+    pub fallback_seconds: f64,
+    /// Host energy of the fallback execution.
+    pub fallback_energy_joules: f64,
+}
+
+impl ResilienceStats {
+    /// True if any recovery activity (or fallback) happened at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != ResilienceStats::default()
+    }
 }
 
 /// Timing and energy breakdown of one offload invocation.
@@ -219,21 +353,29 @@ pub struct OffloadReport {
     /// Host cycles available to a concurrent task during accelerator
     /// compute (zero unless [`OffloadOptions::host_task`] was set).
     pub host_task_cycles: u64,
+    /// Recovery activity and its cost (all-zero on a fault-free link).
+    pub resilience: ResilienceStats,
 }
 
 impl OffloadReport {
-    /// End-to-end wall-clock duration.
+    /// End-to-end wall-clock duration, including recovery and fallback
+    /// time (both zero on a fault-free link).
     #[must_use]
     pub fn total_seconds(&self) -> f64 {
         self.binary_seconds + self.input_seconds + self.output_seconds + self.compute_seconds
             + self.sync_seconds
             - self.overlapped_seconds
+            + self.resilience.extra_seconds
+            + self.resilience.fallback_seconds
     }
 
-    /// Total energy over both dies and the link.
+    /// Total energy over both dies and the link, including recovery and
+    /// fallback energy (both zero on a fault-free link).
     #[must_use]
     pub fn total_energy_joules(&self) -> f64 {
         self.mcu_energy_joules + self.pulp_energy_joules + self.link_energy_joules
+            + self.resilience.extra_energy_joules
+            + self.resilience.fallback_energy_joules
     }
 
     /// Efficiency w.r.t. the ideal accelerator (compute only, no offload
@@ -264,6 +406,7 @@ pub struct HetSystem {
     cluster: Cluster,
     link: SpiLink,
     resident_kernel: Option<String>,
+    injector: FaultInjector,
 }
 
 impl HetSystem {
@@ -284,13 +427,43 @@ impl HetSystem {
         assert!(config.mcu_freq_hz <= config.mcu.fmax_hz * 1.0001);
         let cluster = Cluster::new(config.cluster);
         let link = SpiLink::new(config.link_width, config.link_prescaler);
-        HetSystem { config, cluster, link, resident_kernel: None }
+        let injector = FaultInjector::new(config.fault);
+        HetSystem { config, cluster, link, resident_kernel: None, injector }
     }
 
     /// The system configuration.
     #[must_use]
     pub fn config(&self) -> &HetSystemConfig {
         &self.config
+    }
+
+    /// Replaces the fault model (resetting injector statistics and the
+    /// fault stream).
+    pub fn set_fault_config(&mut self, fault: FaultConfig) {
+        self.config.fault = fault;
+        self.injector = FaultInjector::new(fault);
+    }
+
+    /// Raw per-fault-type injector counters accumulated so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.injector.stats()
+    }
+
+    /// The clock feeding the SPI shifter and the MCU clock (and hence
+    /// power) in effect during transfer phases, per the link-clocking
+    /// scheme.
+    fn link_clocks(&self) -> (f64, f64) {
+        let mcu_hz = self.config.mcu_freq_hz;
+        match self.config.link_clocking {
+            LinkClocking::McuDivided => (mcu_hz, mcu_hz),
+            LinkClocking::BoostedMcu { mcu_hz: boost } => (boost, boost),
+            LinkClocking::Independent { spi_hz } => {
+                // transfer_seconds divides by the prescaler internally;
+                // feed it the equivalent core clock.
+                (spi_hz * f64::from(self.link.prescaler()), mcu_hz)
+            }
+        }
     }
 
     /// Power drawn by the whole platform while the accelerator computes
@@ -385,18 +558,7 @@ impl HetSystem {
         let mcu_hz = self.config.mcu_freq_hz;
         let f_pulp = self.config.pulp_freq_hz;
 
-        // The clock feeding the SPI shifter and the MCU clock (and hence
-        // power) in effect during transfer phases, per the link-clocking
-        // scheme.
-        let (spi_drive_hz, transfer_mcu_hz) = match self.config.link_clocking {
-            LinkClocking::McuDivided => (mcu_hz, mcu_hz),
-            LinkClocking::BoostedMcu { mcu_hz: boost } => (boost, boost),
-            LinkClocking::Independent { spi_hz } => {
-                // transfer_seconds divides by the prescaler internally;
-                // feed it the equivalent core clock.
-                (spi_hz * f64::from(self.link.prescaler()), mcu_hz)
-            }
-        };
+        let (spi_drive_hz, transfer_mcu_hz) = self.link_clocks();
 
         // Each mapped buffer travels in one Frame (10-byte header).
         let binary_seconds = if include_binary {
@@ -481,6 +643,7 @@ impl HetSystem {
             pulp_energy_joules: pulp_compute_energy + pulp_idle_energy,
             link_energy_joules: link_energy,
             host_task_cycles,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -501,6 +664,38 @@ impl HetSystem {
         build: &KernelBuild,
         opts: &OffloadOptions,
     ) -> Result<OffloadReport, OffloadError> {
+        self.offload_impl(build, None, opts)
+    }
+
+    /// Like [`HetSystem::offload`], but with a host-targeted build of the
+    /// same kernel available as the degradation path: if the offload is
+    /// unrecoverable (retries exhausted, watchdog timeout) and the policy
+    /// allows it, the remaining iterations run on the host and the report
+    /// carries the (degraded) fallback cost instead of an error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HetSystem::offload`]; unrecoverable transport/compute
+    /// failures surface as errors only when
+    /// [`OffloadPolicy::fallback_to_host`] is disabled.
+    pub fn offload_with_fallback(
+        &mut self,
+        build: &KernelBuild,
+        host_build: &KernelBuild,
+        opts: &OffloadOptions,
+    ) -> Result<OffloadReport, OffloadError> {
+        // The host baseline is only needed when faults can actually strike.
+        let host =
+            if self.injector.is_active() { Some(self.run_on_host(host_build)?) } else { None };
+        self.offload_impl(build, host, opts)
+    }
+
+    fn offload_impl(
+        &mut self,
+        build: &KernelBuild,
+        host: Option<HostReport>,
+        opts: &OffloadOptions,
+    ) -> Result<OffloadReport, OffloadError> {
         let cost = self.measure_cost(build)?;
         let mcu_hz = self.config.mcu_freq_hz;
 
@@ -509,7 +704,7 @@ impl HetSystem {
         let ship_binary =
             opts.force_reload || self.resident_kernel.as_deref() != Some(build.name.as_str());
         if ship_binary {
-            let _ = self.link.send(cost.offload_bytes + 10, mcu_hz);
+            let _ = self.link.send(cost.offload_bytes + FRAME_OVERHEAD, mcu_hz);
             let region = TargetRegion::from_kernel(build);
             for buf in &build.buffers {
                 if let BufferInit::Data(d) = &buf.init {
@@ -527,14 +722,314 @@ impl HetSystem {
         // Record the per-iteration data transfers in the link statistics.
         for _ in 0..opts.iterations.max(1) {
             for len in &cost.input_frames {
-                let _ = self.link.send(len + 10, mcu_hz);
+                let _ = self.link.send(len + FRAME_OVERHEAD, mcu_hz);
             }
             for len in &cost.output_frames {
-                let _ = self.link.receive(len + 10, mcu_hz);
+                let _ = self.link.receive(len + FRAME_OVERHEAD, mcu_hz);
             }
         }
 
-        Ok(self.predict(&cost, opts, ship_binary))
+        if self.injector.is_active() {
+            let result = self.offload_resilient(&cost, opts, ship_binary, host.as_ref());
+            if !matches!(&result, Ok(r) if !r.resilience.fell_back_to_host) {
+                // The offload did not complete on the device: the binary
+                // (or its state) cannot be trusted to be resident.
+                self.resident_kernel = None;
+            }
+            result
+        } else {
+            Ok(self.predict(&cost, opts, ship_binary))
+        }
+    }
+
+    /// Simulates one frame crossing the faulty link under the retry
+    /// policy. The *first* transmission attempt is part of the healthy
+    /// ledger (charged by the caller, identically to [`HetSystem::predict`]);
+    /// everything here accounts only the recovery surcharge: ACK-timeout
+    /// windows, backoff pauses and retransmissions.
+    ///
+    /// Acknowledgements themselves are free: ACK/NACK ride the existing
+    /// 48-bit per-transaction turnaround phase of the full-duplex link.
+    fn transport_frame(
+        &mut self,
+        wire_bytes: usize,
+        spi_drive_hz: f64,
+        run_p: f64,
+        pulp_leak_p: f64,
+        policy: &OffloadPolicy,
+        res: &mut ResilienceStats,
+    ) -> Result<(), OffloadError> {
+        let mcu_hz = self.config.mcu_freq_hz;
+        let t_frame = self.link.transfer_seconds(wire_bytes, spi_drive_hz);
+        let e_frame = wire_bytes as f64 * 8.0 * SpiLink::DEFAULT_ENERGY_PER_BIT;
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = self.injector.assess(wire_bytes);
+            if attempt > 0 {
+                // A retransmission: its full frame time and energy are
+                // recovery surcharge.
+                res.retransmissions += 1;
+                res.extra_seconds += t_frame;
+                res.extra_energy_joules += (run_p + pulp_leak_p) * t_frame + e_frame;
+            }
+            match outcome {
+                TxOutcome::Delivered => return Ok(()),
+                TxOutcome::Corrupted { escaped: true } => {
+                    // The CRC aliased: the receiver ACKs corrupt data. The
+                    // transport succeeds; the damage shows up (if at all)
+                    // at the output-verification layer.
+                    res.crc_errors_escaped += 1;
+                    return Ok(());
+                }
+                bad => {
+                    match bad {
+                        TxOutcome::Corrupted { .. } | TxOutcome::Truncated => {
+                            res.crc_errors_detected += 1;
+                        }
+                        TxOutcome::Dropped => {
+                            // No bytes arrived, so no NACK either: the
+                            // sender idles one frame time before timing
+                            // out on the missing acknowledgement.
+                            res.frames_dropped += 1;
+                            res.extra_seconds += t_frame;
+                            res.extra_energy_joules += (run_p + pulp_leak_p) * t_frame;
+                        }
+                        TxOutcome::Delivered => unreachable!(),
+                    }
+                    if attempt >= policy.max_retries {
+                        return Err(if policy.max_retries == 0 {
+                            OffloadError::CrcMismatch { frame_bytes: wire_bytes }
+                        } else {
+                            OffloadError::RetriesExhausted { attempts: attempt + 1 }
+                        });
+                    }
+                    // Backoff pause before the retransmission: both dies
+                    // idle.
+                    let pause = policy.backoff_for(attempt);
+                    let t_pause = pause as f64 / mcu_hz;
+                    res.backoff_cycles += pause;
+                    res.extra_seconds += t_pause;
+                    res.extra_energy_joules +=
+                        (self.config.mcu.sleep_power_w() + pulp_leak_p) * t_pause;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// The fault-aware twin of [`HetSystem::predict`]: walks the offload
+    /// phase by phase, drawing transport and event-wire outcomes from the
+    /// injector. Healthy phases are charged exactly as `predict` charges
+    /// them; every recovery action lands in [`ResilienceStats`] on top.
+    fn offload_resilient(
+        &mut self,
+        cost: &OffloadCost,
+        opts: &OffloadOptions,
+        include_binary: bool,
+        host: Option<&HostReport>,
+    ) -> Result<OffloadReport, OffloadError> {
+        let iterations = opts.iterations.max(1);
+        let policy = opts.policy;
+        let mcu_hz = self.config.mcu_freq_hz;
+        let f_pulp = self.config.pulp_freq_hz;
+        let (spi_drive_hz, transfer_mcu_hz) = self.link_clocks();
+        let run_p = self.config.mcu.run_power_w(transfer_mcu_hz);
+        let sleep_p = self.config.mcu.sleep_power_w();
+        let mcu_compute_p =
+            if opts.host_task { self.config.mcu.run_power_w(mcu_hz) } else { sleep_p };
+        let pulp_active_p =
+            self.config.power.total_power_w(f_pulp, self.config.pulp_vdd, &cost.activity);
+        let pulp_leak_p = self.config.power.leakage_w(self.config.pulp_vdd);
+
+        let t_cold = cost.cycles_cold as f64 / f_pulp;
+        let t_warm = cost.cycles_warm as f64 / f_pulp;
+        let wd_cycles = if policy.watchdog_cycles > 0 {
+            policy.watchdog_cycles
+        } else {
+            // Auto: 4× the expected (cold) compute time in host cycles, so
+            // a healthy run never trips it.
+            ((t_cold * mcu_hz * 4.0).ceil() as u64).max(1_000)
+        };
+
+        let mut res = ResilienceStats::default();
+        // Healthy ledger — accumulated to match `predict` term for term.
+        let mut binary_seconds = 0.0f64;
+        let mut input_seconds = 0.0f64;
+        let mut output_seconds = 0.0f64;
+        let mut compute_seconds = 0.0f64;
+        let mut sync_seconds = 0.0f64;
+        let mut completed = 0usize;
+        let mut failure: Option<OffloadError> = None;
+
+        if include_binary {
+            let wire = cost.offload_bytes + FRAME_OVERHEAD;
+            binary_seconds = self.link.transfer_seconds(wire, spi_drive_hz);
+            if let Err(e) =
+                self.transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
+            {
+                failure = Some(e);
+            }
+        }
+
+        'iters: while failure.is_none() && completed < iterations {
+            // -- inputs ---------------------------------------------------
+            if opts.sensor_direct {
+                // The dedicated sensor interface bypasses the faulty link.
+                let input_bytes: usize = cost.input_frames.iter().sum();
+                input_seconds += input_bytes as f64 / self.config.sensor_bandwidth;
+            } else {
+                for len in &cost.input_frames {
+                    let wire = len + FRAME_OVERHEAD;
+                    input_seconds += self.link.transfer_seconds(wire, spi_drive_hz);
+                    if let Err(e) = self
+                        .transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
+                    {
+                        failure = Some(e);
+                        break 'iters;
+                    }
+                }
+            }
+
+            // -- compute, guarded by the WFE watchdog ---------------------
+            let t_iter = if completed == 0 { t_cold } else { t_warm };
+            let event_host_cycles = (t_iter * mcu_hz).ceil() as u64;
+            let mut attempt: u32 = 0;
+            loop {
+                // Injected end-of-computation delay, in accelerator time
+                // (kept separate from the cycle-quantized race so an
+                // on-time event charges exactly zero surcharge).
+                let (event_at, late_secs) = match self.injector.eoc() {
+                    EocOutcome::OnTime => (Some(event_host_cycles), 0.0),
+                    EocOutcome::Late(accel_cycles) => {
+                        let secs = accel_cycles as f64 / f_pulp;
+                        (Some(event_host_cycles + (secs * mcu_hz).ceil() as u64), secs)
+                    }
+                    EocOutcome::Hang => (None, 0.0),
+                };
+                let wait = wfe_wait(event_at, Some(wd_cycles));
+                match wait.woke_by {
+                    WakeReason::Event => {
+                        compute_seconds += t_iter;
+                        // A late event extends the sleep beyond the healthy
+                        // compute time; the delta is recovery surcharge
+                        // (host asleep, accelerator still active).
+                        if late_secs > 0.0 {
+                            res.extra_seconds += late_secs;
+                            res.extra_energy_joules +=
+                                (mcu_compute_p + pulp_active_p) * late_secs;
+                        }
+                        break;
+                    }
+                    WakeReason::Watchdog => {
+                        res.watchdog_trips += 1;
+                        let window = wait.slept_seconds(mcu_hz);
+                        // The whole timeout window is surcharge. A hung
+                        // cluster still burns active power — unless its
+                        // fetch-enable wire is stuck and it never started.
+                        let pulp_p = if self.injector.wire_stuck(GpioEvent::FetchEnable) {
+                            pulp_leak_p
+                        } else {
+                            pulp_active_p
+                        };
+                        res.extra_seconds += window;
+                        res.extra_energy_joules += (mcu_compute_p + pulp_p) * window;
+                        if attempt >= policy.max_retries {
+                            failure = Some(OffloadError::WatchdogTimeout {
+                                watchdog_cycles: wd_cycles,
+                                attempts: attempt + 1,
+                            });
+                            break 'iters;
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+            sync_seconds += 20.0 / mcu_hz;
+
+            // -- outputs --------------------------------------------------
+            for len in &cost.output_frames {
+                let wire = len + FRAME_OVERHEAD;
+                output_seconds += self.link.transfer_seconds(wire, spi_drive_hz);
+                if let Err(e) =
+                    self.transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
+                {
+                    failure = Some(e);
+                    break 'iters;
+                }
+            }
+            completed += 1;
+        }
+
+        // -- unrecoverable: degrade to the host or surface the error ------
+        if let Some(err) = failure {
+            let remaining = iterations - completed;
+            match host {
+                Some(h) if policy.fallback_to_host => {
+                    res.fell_back_to_host = true;
+                    res.fallback_iterations = remaining as u64;
+                    res.fallback_seconds = h.seconds * remaining as f64;
+                    res.fallback_energy_joules = h.energy_joules * remaining as f64;
+                }
+                _ => return Err(err),
+            }
+        }
+
+        // -- healthy-ledger energy, mirroring `predict` -------------------
+        let mcu_driven_transfers = binary_seconds
+            + if opts.sensor_direct { 0.0 } else { input_seconds }
+            + output_seconds
+            + sync_seconds;
+        let mcu_energy =
+            run_p * mcu_driven_transfers + mcu_compute_p * compute_seconds;
+        let host_task_cycles =
+            if opts.host_task { (compute_seconds * mcu_hz) as u64 } else { 0 };
+        let pulp_energy =
+            pulp_active_p * compute_seconds + pulp_leak_p * mcu_driven_transfers;
+        let input_bytes: usize = cost.input_frames.iter().sum();
+        let link_data_bytes: usize = if opts.sensor_direct { 0 } else { input_bytes }
+            + cost.output_frames.iter().sum::<usize>();
+        let link_bytes = if include_binary { cost.offload_bytes as f64 } else { 0.0 }
+            + completed as f64 * link_data_bytes as f64;
+        let link_energy = link_bytes * 8.0 * SpiLink::DEFAULT_ENERGY_PER_BIT;
+
+        // Double buffering still hides steady-state transfers behind
+        // compute for the iterations that completed on the device.
+        let overlapped_seconds = if opts.double_buffer && completed > 1 {
+            let t_in = if opts.sensor_direct {
+                input_bytes as f64 / self.config.sensor_bandwidth
+            } else {
+                cost.input_frames
+                    .iter()
+                    .map(|len| self.link.transfer_seconds(len + FRAME_OVERHEAD, spi_drive_hz))
+                    .sum()
+            };
+            let t_out: f64 = cost
+                .output_frames
+                .iter()
+                .map(|len| self.link.transfer_seconds(len + FRAME_OVERHEAD, spi_drive_hz))
+                .sum();
+            (t_in + t_out).min(t_warm) * (completed - 1) as f64
+        } else {
+            0.0
+        };
+
+        Ok(OffloadReport {
+            iterations,
+            binary_seconds,
+            input_seconds,
+            output_seconds,
+            compute_seconds,
+            sync_seconds,
+            overlapped_seconds,
+            cycles_cold: cost.cycles_cold,
+            cycles_warm: cost.cycles_warm,
+            activity: cost.activity.clone(),
+            mcu_energy_joules: mcu_energy,
+            pulp_energy_joules: pulp_energy,
+            link_energy_joules: link_energy,
+            host_task_cycles,
+            resilience: res,
+        })
     }
 
     /// Runs a host-targeted build on the MCU alone (the comparison
@@ -817,5 +1312,229 @@ mod tests {
         let cfg =
             HetSystemConfig { pulp_vdd: 0.5, pulp_freq_hz: 400.0e6, ..HetSystemConfig::default() };
         let _ = HetSystem::new(cfg);
+    }
+
+    // ---- resilience ----------------------------------------------------
+
+    fn faulty_config(fault: FaultConfig) -> HetSystemConfig {
+        HetSystemConfig { fault, ..HetSystemConfig::default() }
+    }
+
+    #[test]
+    fn inactive_injector_reports_are_bit_identical_to_predict() {
+        // The zero-overhead guarantee: constructing the system with any
+        // all-zero fault config takes the exact fault-free path.
+        let build = small_build();
+        let opts = OffloadOptions { iterations: 8, ..Default::default() };
+        let mut plain = HetSystem::new(HetSystemConfig::default());
+        let mut cfged = HetSystem::new(faulty_config(FaultConfig::default()));
+        let a = plain.offload(&build, &opts).unwrap();
+        let b = cfged.offload(&build, &opts).unwrap();
+        assert_eq!(a.total_seconds().to_bits(), b.total_seconds().to_bits());
+        assert_eq!(a.total_energy_joules().to_bits(), b.total_energy_joules().to_bits());
+        assert!(!b.resilience.any());
+    }
+
+    #[test]
+    fn negligible_fault_rates_match_the_healthy_prediction() {
+        // An *active* injector whose faults essentially never fire must
+        // converge on the fault-free numbers (same formulas, no events).
+        let build = small_build();
+        let opts = OffloadOptions { iterations: 4, ..Default::default() };
+        let mut plain = HetSystem::new(HetSystemConfig::default());
+        let healthy = plain.offload(&build, &opts).unwrap();
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 7,
+            bit_error_rate: 1e-18,
+            ..FaultConfig::default()
+        }));
+        let rep = sys.offload(&build, &opts).unwrap();
+        assert_eq!(rep.resilience.retransmissions, 0);
+        assert!((rep.total_seconds() - healthy.total_seconds()).abs() < 1e-12);
+        assert!(
+            (rep.total_energy_joules() - healthy.total_energy_joules()).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn low_ber_offload_completes_cleanly() {
+        // Acceptance scenario: at BER ≤ 1e-6 a small offload completes —
+        // the output was verified against the golden reference inside
+        // measure_cost — without ever falling back to the host.
+        let build = small_build();
+        let opts = OffloadOptions { iterations: 16, ..Default::default() };
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 0xBEE,
+            bit_error_rate: 1e-6,
+            ..FaultConfig::default()
+        }));
+        let rep = sys.offload(&build, &opts).unwrap();
+        assert!(!rep.resilience.fell_back_to_host);
+        assert_eq!(rep.iterations, 16);
+    }
+
+    #[test]
+    fn moderate_ber_survives_via_retries() {
+        // A noisier link: corruptions definitely strike, retransmissions
+        // absorb them all, and the recovery surcharge is measurable.
+        let build = small_build();
+        let opts = OffloadOptions { iterations: 16, ..Default::default() };
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 0xBEE,
+            bit_error_rate: 2e-5,
+            ..FaultConfig::default()
+        }));
+        let rep = sys.offload(&build, &opts).unwrap();
+        assert!(!rep.resilience.fell_back_to_host);
+        assert!(
+            rep.resilience.crc_errors_detected > 0,
+            "1e-6 BER over dozens of kB must corrupt at least one frame"
+        );
+        assert_eq!(rep.resilience.retransmissions, rep.resilience.crc_errors_detected);
+        assert!(rep.resilience.extra_seconds > 0.0);
+        assert!(rep.resilience.extra_energy_joules > 0.0);
+        // The healthy portion of the ledger is undisturbed.
+        let mut plain = HetSystem::new(HetSystemConfig::default());
+        let healthy = plain.offload(&build, &opts).unwrap();
+        assert!((rep.compute_seconds - healthy.compute_seconds).abs() < 1e-15);
+        assert!((rep.input_seconds - healthy.input_seconds).abs() < 1e-15);
+        assert!(rep.total_seconds() > healthy.total_seconds());
+    }
+
+    #[test]
+    fn same_seed_and_policy_reproduce_identical_reports() {
+        let build = small_build();
+        let opts = OffloadOptions { iterations: 8, ..Default::default() };
+        let fault =
+            FaultConfig { seed: 42, bit_error_rate: 2e-6, drop_rate: 1e-3, ..FaultConfig::default() };
+        let run = || {
+            let mut sys = HetSystem::new(faulty_config(fault));
+            sys.offload(&build, &opts).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.total_seconds().to_bits(), b.total_seconds().to_bits());
+        assert_eq!(a.total_energy_joules().to_bits(), b.total_energy_joules().to_bits());
+    }
+
+    #[test]
+    fn hang_trips_watchdog_and_falls_back_to_host() {
+        // Acceptance scenario: a stuck end-of-computation wire trips the
+        // watchdog on every attempt; with a host build available the
+        // offload degrades gracefully and reports the (worse) cost.
+        let build = small_build();
+        let host_build = ulp_kernels::matmul::build_sized(
+            ulp_kernels::matmul::MatVariant::Char,
+            &TargetEnv::host_m4(),
+            16,
+        );
+        let mut sys =
+            HetSystem::new(faulty_config(FaultConfig { seed: 1, stuck_eoc: true, ..FaultConfig::default() }));
+        let opts = OffloadOptions { iterations: 4, ..Default::default() };
+        let rep = sys.offload_with_fallback(&build, &host_build, &opts).unwrap();
+        assert!(rep.resilience.fell_back_to_host);
+        assert_eq!(rep.resilience.fallback_iterations, 4, "no iteration completed");
+        assert_eq!(
+            rep.resilience.watchdog_trips,
+            u64::from(opts.policy.max_retries) + 1
+        );
+        assert!(rep.resilience.fallback_seconds > 0.0);
+        assert!(rep.resilience.fallback_energy_joules > 0.0);
+        // Degraded: slower than the healthy offload would have been.
+        let mut plain = HetSystem::new(HetSystemConfig::default());
+        let healthy = plain.offload(&build, &opts).unwrap();
+        assert!(rep.total_seconds() > healthy.total_seconds());
+        // The next offload must re-ship the binary: nothing is resident.
+        sys.set_fault_config(FaultConfig::default());
+        let after = sys.offload(&build, &opts).unwrap();
+        assert!(after.binary_seconds > 0.0);
+    }
+
+    #[test]
+    fn hang_without_fallback_is_a_watchdog_timeout() {
+        let build = small_build();
+        let mut sys =
+            HetSystem::new(faulty_config(FaultConfig { seed: 1, stuck_eoc: true, ..FaultConfig::default() }));
+        let err = sys.offload(&build, &OffloadOptions::default()).unwrap_err();
+        assert!(matches!(err, OffloadError::WatchdogTimeout { .. }), "{err}");
+        // Display + Error trait are wired up.
+        let msg = format!("{err}");
+        assert!(msg.contains("watchdog"), "{msg}");
+    }
+
+    #[test]
+    fn zero_retries_surface_the_first_crc_error() {
+        let build = small_build();
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 3,
+            // Corrupt every frame: the very first transport fails.
+            bit_error_rate: 1e-3,
+            ..FaultConfig::default()
+        }));
+        let opts = OffloadOptions {
+            policy: OffloadPolicy {
+                max_retries: 0,
+                fallback_to_host: false,
+                ..OffloadPolicy::default()
+            },
+            ..Default::default()
+        };
+        let err = sys.offload(&build, &opts).unwrap_err();
+        assert!(matches!(err, OffloadError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn undeliverable_link_exhausts_retries() {
+        let build = small_build();
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 9,
+            drop_rate: 1.0, // the link delivers nothing, ever
+            ..FaultConfig::default()
+        }));
+        let opts = OffloadOptions {
+            policy: OffloadPolicy { fallback_to_host: false, ..OffloadPolicy::default() },
+            ..Default::default()
+        };
+        let err = sys.offload(&build, &opts).unwrap_err();
+        match err {
+            OffloadError::RetriesExhausted { attempts } => assert_eq!(attempts, 4),
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        assert!(sys.fault_stats().frames_dropped >= 4);
+    }
+
+    #[test]
+    fn late_eoc_extends_sleep_but_completes() {
+        let build = small_build();
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 5,
+            late_eoc_rate: 1.0,
+            late_eoc_cycles: 10_000,
+            ..FaultConfig::default()
+        }));
+        let opts = OffloadOptions { iterations: 4, ..Default::default() };
+        let rep = sys.offload(&build, &opts).unwrap();
+        assert!(!rep.resilience.fell_back_to_host);
+        assert_eq!(rep.resilience.watchdog_trips, 0, "late ≠ hung at this magnitude");
+        assert!(rep.resilience.extra_seconds > 0.0, "the host slept through the delay");
+        let mut plain = HetSystem::new(HetSystemConfig::default());
+        let healthy = plain.offload(&build, &opts).unwrap();
+        assert!((rep.compute_seconds - healthy.compute_seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_when_asked() {
+        let pol = OffloadPolicy { backoff_cycles: 64, ..OffloadPolicy::default() };
+        assert_eq!(pol.backoff_for(0), 64);
+        assert_eq!(pol.backoff_for(1), 128);
+        assert_eq!(pol.backoff_for(3), 512);
+        let flat = OffloadPolicy { exponential_backoff: false, ..pol };
+        assert_eq!(flat.backoff_for(3), 64);
+        // Saturates instead of overflowing.
+        assert_eq!(
+            OffloadPolicy { backoff_cycles: u64::MAX, ..pol }.backoff_for(40),
+            u64::MAX
+        );
     }
 }

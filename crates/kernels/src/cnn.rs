@@ -24,8 +24,7 @@
 //!   index `= (v + 32768) >> 7` — no clamping needed by construction;
 //! * weights and the tanh table are constant data shipped with the binary.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize};
 
@@ -83,7 +82,7 @@ pub fn conv2_taps(m: usize, approx: bool) -> Vec<usize> {
 /// Generates network parameters (small weights, realistic activations).
 #[must_use]
 pub fn generate_params(seed: u64, approx: bool) -> CnnParams {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let taps = if approx { 2 } else { C1_MAPS };
     let mut gen = |n: usize, scale: i16| -> Vec<i16> {
         (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
@@ -102,7 +101,7 @@ pub fn generate_params(seed: u64, approx: bool) -> CnnParams {
 /// Generates a deterministic input image (Q2.13 in (−1, 1)).
 #[must_use]
 pub fn generate_image(seed: u64) -> Vec<i16> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     (0..IN_W * IN_W).map(|_| rng.gen_range(-8192..8192)).collect()
 }
 

@@ -327,8 +327,7 @@ impl Rtlib {
 mod tests {
     use super::*;
     use crate::fixed;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ulp_rng::XorShiftRng;
     use ulp_isa::prelude::*;
     use ulp_isa::CoreState;
 
@@ -386,7 +385,7 @@ mod tests {
 
     #[test]
     fn mul64_random_against_reference() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = XorShiftRng::seed_from_u64(42);
         let env = TargetEnv::pulp_single(); // software path
         for _ in 0..40 {
             let x: i32 = rng.gen();
@@ -469,7 +468,7 @@ mod tests {
 
     #[test]
     fn isqrt64_random() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = XorShiftRng::seed_from_u64(7);
         let env = TargetEnv::host_m4();
         for _ in 0..25 {
             let v: u64 = rng.gen();
@@ -504,7 +503,7 @@ mod tests {
 
     #[test]
     fn udiv32_random() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = XorShiftRng::seed_from_u64(11);
         let env = TargetEnv::pulp_single();
         for _ in 0..25 {
             let n: u32 = rng.gen();

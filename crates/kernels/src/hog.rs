@@ -26,8 +26,7 @@
 //! histogram cell (races are structurally impossible); block rows are
 //! work-shared in the normalization phase, with one barrier in between.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn};
 
@@ -165,7 +164,7 @@ pub fn reference(image: &[i32], geo: HogGeometry) -> Vec<i32> {
 /// Generates a deterministic Q16.15 test image in (−1, 1).
 #[must_use]
 pub fn generate_image(width: usize, seed: u64) -> Vec<i32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     (0..width * width).map(|_| rng.gen_range(-32768..32768)).collect()
 }
 

@@ -21,8 +21,7 @@
 //! the MAC nor the SIMD dot product applies — exactly why the paper's
 //! fixed-point kernels gain less from the OR10N extensions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize, Reg};
 
@@ -259,7 +258,7 @@ pub fn build(variant: MatVariant, env: &TargetEnv) -> KernelBuild {
 #[must_use]
 pub fn build_sized(variant: MatVariant, env: &TargetEnv, n: usize) -> KernelBuild {
     assert!(n >= 8 && n.is_power_of_two(), "n must be a power of two ≥ 8");
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2016 ^ n as u64 ^ variant.elem_bytes() as u64);
+    let mut rng = XorShiftRng::seed_from_u64(0xDA7E_2016 ^ n as u64 ^ variant.elem_bytes() as u64);
 
     let esz = variant.elem_bytes();
     let (a_bytes, bt_bytes, expect): (Vec<u8>, Vec<u8>, Vec<u8>) = match variant {

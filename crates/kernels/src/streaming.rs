@@ -16,8 +16,7 @@
 //! Both variants are verified bit-exact against the Rust reference; the
 //! cycle difference is the measured overlap win.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::Asm;
 
@@ -45,7 +44,7 @@ pub fn reference(input: &[i32]) -> Vec<i32> {
 /// Deterministic input data.
 #[must_use]
 pub fn generate_input(seed: u64) -> Vec<i32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     (0..N_WORDS).map(|_| rng.gen()).collect()
 }
 

@@ -24,8 +24,7 @@
 //! OR10N's advantage comes from hardware loops only, which is why the
 //! paper's svm bars sit in the low architectural-speedup group.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize};
 
@@ -87,7 +86,7 @@ pub struct SvmData {
 /// Generates the benchmark data set (values in the unit box).
 #[must_use]
 pub fn generate_data(seed: u64) -> SvmData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     SvmData {
         x: (0..SAMPLES * FEATURES).map(|_| rng.gen_range(-8192..8192)).collect(),
         sv: (0..NSV * FEATURES).map(|_| rng.gen_range(-8192..8192)).collect(),

@@ -6,12 +6,17 @@
 //! computation* event triggered by PULP and used by the STM32 to resume
 //! from sleep", paper §III-C). This crate models:
 //!
-//! * [`SpiLink`] — bit-level transfer timing. The SPI clock is derived
-//!   from the MCU core clock (`f_spi = f_mcu / prescaler`), which is the
-//!   root cause of the paper's Fig. 5b bottleneck: lowering the MCU
+//! * [`SpiLink`] ([`spi`]) — bit-level transfer timing. The SPI clock is
+//!   derived from the MCU core clock (`f_spi = f_mcu / prescaler`), which
+//!   is the root cause of the paper's Fig. 5b bottleneck: lowering the MCU
 //!   frequency to free power for the accelerator also throttles the link.
-//! * [`Frame`] — the on-wire command protocol for code offload and data
-//!   exchange (serialize/deserialize with checksums).
+//! * [`Frame`] ([`frame`]) — the on-wire command protocol for code offload
+//!   and data exchange: CRC-16-protected, sequence-numbered frames with
+//!   ACK/NACK acknowledgements.
+//! * [`crc16`] ([`crc`]) — CRC-16/CCITT-FALSE frame integrity.
+//! * [`FaultInjector`] ([`fault`]) — deterministic, seeded injection of
+//!   bit errors, dropped/truncated frames, stuck event wires and
+//!   accelerator hangs, with per-fault-type statistics.
 //! * [`GpioEvent`] — the two synchronization wires.
 //! * link power: simple CV²f-style active power per transferred bit.
 //!
@@ -26,191 +31,38 @@
 //! assert!(secs > 0.0);
 //! assert!(link.bandwidth_bytes_per_sec(16.0e6) > 3.9e6);
 //! ```
+//!
+//! Surviving an injected fault:
+//!
+//! ```
+//! use ulp_link::{FaultConfig, FaultInjector, Frame, TxOutcome};
+//!
+//! let mut inj = FaultInjector::new(FaultConfig {
+//!     seed: 7,
+//!     bit_error_rate: 0.01,
+//!     ..FaultConfig::default()
+//! });
+//! let frame = Frame::Write { addr: 0x1000_0000, data: vec![1, 2, 3, 4] };
+//! let mut wire = frame.to_wire_seq(3);
+//! match inj.transmit(&mut wire) {
+//!     TxOutcome::Delivered => assert_eq!(Frame::from_wire(&wire).unwrap(), frame),
+//!     // A detected corruption draws a NACK and a retransmission.
+//!     TxOutcome::Corrupted { escaped: false } => assert!(Frame::from_wire(&wire).is_err()),
+//!     _ => {}
+//! }
+//! ```
 
-use std::error::Error;
 use std::fmt;
 
-/// Data width of the serial link.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
-pub enum SpiWidth {
-    /// Classic single-bit SPI (the physical prototype in the paper: the
-    /// Nucleo board does not expose the QSPI pins).
-    #[default]
-    Single,
-    /// Quad SPI, 4 bits per clock (used for the paper's Fig. 5b model).
-    Quad,
-}
+pub mod crc;
+pub mod fault;
+pub mod frame;
+pub mod spi;
 
-impl SpiWidth {
-    /// Bits moved per SPI clock cycle.
-    #[must_use]
-    pub fn bits_per_clock(self) -> u32 {
-        match self {
-            SpiWidth::Single => 1,
-            SpiWidth::Quad => 4,
-        }
-    }
-}
-
-impl fmt::Display for SpiWidth {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SpiWidth::Single => f.write_str("spi"),
-            SpiWidth::Quad => f.write_str("qspi"),
-        }
-    }
-}
-
-/// Accumulated link statistics.
-#[derive(Clone, Copy, PartialEq, Debug, Default)]
-pub struct LinkStats {
-    /// Bytes sent host → accelerator.
-    pub bytes_tx: u64,
-    /// Bytes received accelerator → host.
-    pub bytes_rx: u64,
-    /// Transactions performed.
-    pub transactions: u64,
-    /// Seconds the link spent shifting bits.
-    pub busy_seconds: f64,
-    /// Energy dissipated by the link drivers, in joules.
-    pub energy_joules: f64,
-}
-
-/// Timing and power model of the serial coupling link.
-///
-/// Per-transaction protocol overhead covers the command/address phase and
-/// chip-select framing.
-#[derive(Clone, Debug)]
-pub struct SpiLink {
-    width: SpiWidth,
-    prescaler: u32,
-    overhead_bits: u32,
-    energy_per_bit_j: f64,
-    stats: LinkStats,
-}
-
-impl SpiLink {
-    /// Default per-transaction overhead: 8 command bits + 32 address bits +
-    /// 8 turnaround bits.
-    pub const DEFAULT_OVERHEAD_BITS: u32 = 48;
-
-    /// Default energy per transferred bit (drivers + pads), calibrated to a
-    /// low-power SPI PHY: ≈1 pJ/bit.
-    pub const DEFAULT_ENERGY_PER_BIT: f64 = 1.0e-12;
-
-    /// Creates a link of the given width; the SPI clock is the MCU core
-    /// clock divided by `prescaler`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `prescaler` is zero.
-    #[must_use]
-    pub fn new(width: SpiWidth, prescaler: u32) -> Self {
-        assert!(prescaler >= 1, "prescaler must be at least 1");
-        SpiLink {
-            width,
-            prescaler,
-            overhead_bits: Self::DEFAULT_OVERHEAD_BITS,
-            energy_per_bit_j: Self::DEFAULT_ENERGY_PER_BIT,
-            stats: LinkStats::default(),
-        }
-    }
-
-    /// Link width.
-    #[must_use]
-    pub fn width(&self) -> SpiWidth {
-        self.width
-    }
-
-    /// Clock prescaler from the MCU core clock.
-    #[must_use]
-    pub fn prescaler(&self) -> u32 {
-        self.prescaler
-    }
-
-    /// SPI clock frequency for a given MCU core frequency.
-    #[must_use]
-    pub fn clock_hz(&self, mcu_hz: f64) -> f64 {
-        mcu_hz / f64::from(self.prescaler)
-    }
-
-    /// Payload bandwidth in bytes per second (ignoring per-transaction
-    /// overhead).
-    #[must_use]
-    pub fn bandwidth_bytes_per_sec(&self, mcu_hz: f64) -> f64 {
-        self.clock_hz(mcu_hz) * f64::from(self.width.bits_per_clock()) / 8.0
-    }
-
-    /// Wall-clock seconds to move `bytes` of payload in one transaction at
-    /// the given MCU frequency (includes the protocol overhead bits).
-    #[must_use]
-    pub fn transfer_seconds(&self, bytes: usize, mcu_hz: f64) -> f64 {
-        let bits = bytes as f64 * 8.0 + f64::from(self.overhead_bits);
-        let clocks = bits / f64::from(self.width.bits_per_clock());
-        clocks / self.clock_hz(mcu_hz)
-    }
-
-    /// MCU core cycles the link is occupied by a transfer of `bytes` (the
-    /// MCU DMA runs the transfer; the core may sleep meanwhile).
-    #[must_use]
-    pub fn transfer_mcu_cycles(&self, bytes: usize) -> u64 {
-        let bits = bytes as u64 * 8 + u64::from(self.overhead_bits);
-        let clocks = bits.div_ceil(u64::from(self.width.bits_per_clock()));
-        clocks * u64::from(self.prescaler)
-    }
-
-    /// Energy dissipated moving `bytes` (drivers + pads).
-    #[must_use]
-    pub fn transfer_energy_joules(&self, bytes: usize) -> f64 {
-        (bytes as f64 * 8.0 + f64::from(self.overhead_bits)) * self.energy_per_bit_j
-    }
-
-    /// Average power drawn by the link while continuously transferring at
-    /// the given MCU frequency.
-    #[must_use]
-    pub fn active_power_watts(&self, mcu_hz: f64) -> f64 {
-        self.clock_hz(mcu_hz) * f64::from(self.width.bits_per_clock()) * self.energy_per_bit_j
-    }
-
-    /// Records a host→accelerator transaction and returns its duration in
-    /// seconds.
-    pub fn send(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
-        let t = self.transfer_seconds(bytes, mcu_hz);
-        self.stats.bytes_tx += bytes as u64;
-        self.stats.transactions += 1;
-        self.stats.busy_seconds += t;
-        self.stats.energy_joules += self.transfer_energy_joules(bytes);
-        t
-    }
-
-    /// Records an accelerator→host transaction and returns its duration in
-    /// seconds.
-    pub fn receive(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
-        let t = self.transfer_seconds(bytes, mcu_hz);
-        self.stats.bytes_rx += bytes as u64;
-        self.stats.transactions += 1;
-        self.stats.busy_seconds += t;
-        self.stats.energy_joules += self.transfer_energy_joules(bytes);
-        t
-    }
-
-    /// Accumulated statistics.
-    #[must_use]
-    pub fn stats(&self) -> &LinkStats {
-        &self.stats
-    }
-
-    /// Resets the statistics.
-    pub fn reset_stats(&mut self) {
-        self.stats = LinkStats::default();
-    }
-}
-
-impl Default for SpiLink {
-    fn default() -> Self {
-        SpiLink::new(SpiWidth::Single, 2)
-    }
-}
+pub use crc::{crc16, crc16_step};
+pub use fault::{EocOutcome, FaultConfig, FaultInjector, FaultStats, TxOutcome};
+pub use frame::{Frame, FrameError, FRAME_OVERHEAD, MAX_PAYLOAD};
+pub use spi::{LinkStats, SpiLink, SpiWidth};
 
 /// The two GPIO synchronization wires between host and accelerator.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -227,250 +79,5 @@ impl fmt::Display for GpioEvent {
             GpioEvent::FetchEnable => f.write_str("fetch-enable"),
             GpioEvent::EndOfComputation => f.write_str("end-of-computation"),
         }
-    }
-}
-
-/// Commands of the offload wire protocol.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum Frame {
-    /// Write a block (binary or input data) into accelerator memory.
-    Write {
-        /// Destination address in the accelerator address space.
-        addr: u32,
-        /// Payload bytes.
-        data: Vec<u8>,
-    },
-    /// Read a block (results) from accelerator memory.
-    Read {
-        /// Source address in the accelerator address space.
-        addr: u32,
-        /// Number of bytes to read.
-        len: u32,
-    },
-    /// Set the accelerator entry point (boot address register).
-    SetEntry {
-        /// Entry address of the offloaded binary.
-        entry: u32,
-    },
-}
-
-/// Error produced when parsing a wire frame.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum FrameError {
-    /// The buffer is shorter than a frame header.
-    Truncated,
-    /// Unknown command byte.
-    BadCommand(u8),
-    /// Payload length field disagrees with the buffer.
-    BadLength {
-        /// Length claimed by the header.
-        expected: usize,
-        /// Bytes actually present.
-        actual: usize,
-    },
-    /// Checksum mismatch.
-    BadChecksum,
-}
-
-impl fmt::Display for FrameError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FrameError::Truncated => f.write_str("frame truncated"),
-            FrameError::BadCommand(c) => write!(f, "unknown command byte {c:#04x}"),
-            FrameError::BadLength { expected, actual } => {
-                write!(f, "length mismatch: header says {expected}, buffer has {actual}")
-            }
-            FrameError::BadChecksum => f.write_str("checksum mismatch"),
-        }
-    }
-}
-
-impl Error for FrameError {}
-
-const CMD_WRITE: u8 = 0x01;
-const CMD_READ: u8 = 0x02;
-const CMD_SET_ENTRY: u8 = 0x03;
-
-fn checksum(bytes: &[u8]) -> u8 {
-    bytes.iter().fold(0u8, |acc, b| acc.wrapping_add(*b)) ^ 0xA5
-}
-
-impl Frame {
-    /// Serializes the frame: `cmd(1) addr(4) len(4) payload checksum(1)`.
-    #[must_use]
-    pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        match self {
-            Frame::Write { addr, data } => {
-                out.push(CMD_WRITE);
-                out.extend_from_slice(&addr.to_le_bytes());
-                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-                out.extend_from_slice(data);
-            }
-            Frame::Read { addr, len } => {
-                out.push(CMD_READ);
-                out.extend_from_slice(&addr.to_le_bytes());
-                out.extend_from_slice(&len.to_le_bytes());
-            }
-            Frame::SetEntry { entry } => {
-                out.push(CMD_SET_ENTRY);
-                out.extend_from_slice(&entry.to_le_bytes());
-                out.extend_from_slice(&0u32.to_le_bytes());
-            }
-        }
-        out.push(checksum(&out));
-        out
-    }
-
-    /// Parses a frame from wire bytes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FrameError`] on malformed input.
-    pub fn from_wire(bytes: &[u8]) -> Result<Frame, FrameError> {
-        if bytes.len() < 10 {
-            return Err(FrameError::Truncated);
-        }
-        let (body, ck) = bytes.split_at(bytes.len() - 1);
-        if checksum(body) != ck[0] {
-            return Err(FrameError::BadChecksum);
-        }
-        let cmd = body[0];
-        let addr = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
-        let len = u32::from_le_bytes([body[5], body[6], body[7], body[8]]) as usize;
-        match cmd {
-            CMD_WRITE => {
-                let payload = &body[9..];
-                if payload.len() != len {
-                    return Err(FrameError::BadLength { expected: len, actual: payload.len() });
-                }
-                Ok(Frame::Write { addr, data: payload.to_vec() })
-            }
-            CMD_READ => Ok(Frame::Read { addr, len: len as u32 }),
-            CMD_SET_ENTRY => Ok(Frame::SetEntry { entry: addr }),
-            other => Err(FrameError::BadCommand(other)),
-        }
-    }
-
-    /// Bytes this frame occupies on the wire.
-    #[must_use]
-    pub fn wire_bytes(&self) -> usize {
-        match self {
-            Frame::Write { data, .. } => 10 + data.len(),
-            Frame::Read { .. } | Frame::SetEntry { .. } => 10,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn spi_clock_derived_from_mcu_clock() {
-        let link = SpiLink::new(SpiWidth::Single, 2);
-        assert!((link.clock_hz(32.0e6) - 16.0e6).abs() < 1.0);
-    }
-
-    #[test]
-    fn quad_is_four_times_single() {
-        let s = SpiLink::new(SpiWidth::Single, 2);
-        let q = SpiLink::new(SpiWidth::Quad, 2);
-        let bw_s = s.bandwidth_bytes_per_sec(16.0e6);
-        let bw_q = q.bandwidth_bytes_per_sec(16.0e6);
-        assert!((bw_q / bw_s - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn transfer_time_scales_inverse_with_mcu_freq() {
-        let link = SpiLink::default();
-        let fast = link.transfer_seconds(4096, 32.0e6);
-        let slow = link.transfer_seconds(4096, 4.0e6);
-        assert!((slow / fast - 8.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn overhead_counts_in_small_transfers() {
-        let link = SpiLink::default();
-        let one = link.transfer_seconds(1, 16.0e6);
-        // 8 payload bits + 48 overhead bits at 8 MHz single SPI = 7 µs.
-        assert!((one - 56.0 / 8.0e6).abs() < 1e-12);
-    }
-
-    #[test]
-    fn mcu_cycles_round_up() {
-        let link = SpiLink::new(SpiWidth::Quad, 2);
-        // 1 byte: 8+48 = 56 bits / 4 = 14 clocks * 2 = 28 cycles.
-        assert_eq!(link.transfer_mcu_cycles(1), 28);
-    }
-
-    #[test]
-    fn send_receive_accumulate_stats() {
-        let mut link = SpiLink::default();
-        let t1 = link.send(100, 16.0e6);
-        let t2 = link.receive(50, 16.0e6);
-        let s = link.stats();
-        assert_eq!(s.bytes_tx, 100);
-        assert_eq!(s.bytes_rx, 50);
-        assert_eq!(s.transactions, 2);
-        assert!((s.busy_seconds - (t1 + t2)).abs() < 1e-15);
-        assert!(s.energy_joules > 0.0);
-        link.reset_stats();
-        assert_eq!(link.stats().transactions, 0);
-    }
-
-    #[test]
-    fn frame_roundtrip_write() {
-        let f = Frame::Write { addr: 0x1000_0000, data: vec![1, 2, 3, 4, 5] };
-        let wire = f.to_wire();
-        assert_eq!(wire.len(), f.wire_bytes());
-        assert_eq!(Frame::from_wire(&wire).unwrap(), f);
-    }
-
-    #[test]
-    fn frame_roundtrip_read_and_entry() {
-        for f in
-            [Frame::Read { addr: 0x1C00_0000, len: 4096 }, Frame::SetEntry { entry: 0x1C00_0100 }]
-        {
-            let wire = f.to_wire();
-            assert_eq!(Frame::from_wire(&wire).unwrap(), f);
-        }
-    }
-
-    #[test]
-    fn corrupted_frame_detected() {
-        let f = Frame::Write { addr: 0x10, data: vec![9; 16] };
-        let mut wire = f.to_wire();
-        wire[12] ^= 0xFF;
-        assert_eq!(Frame::from_wire(&wire), Err(FrameError::BadChecksum));
-    }
-
-    #[test]
-    fn truncated_and_bad_command_detected() {
-        assert_eq!(Frame::from_wire(&[1, 2, 3]), Err(FrameError::Truncated));
-        let mut bogus = vec![0x7Fu8, 0, 0, 0, 0, 0, 0, 0, 0];
-        bogus.push(checksum(&bogus));
-        assert_eq!(Frame::from_wire(&bogus), Err(FrameError::BadCommand(0x7F)));
-    }
-
-    #[test]
-    fn length_mismatch_detected() {
-        let f = Frame::Write { addr: 0, data: vec![1, 2, 3] };
-        let mut wire = f.to_wire();
-        // Claim 4 bytes but carry 3.
-        wire[5] = 4;
-        let last = wire.len() - 1;
-        wire[last] = checksum(&wire[..last]);
-        assert!(matches!(Frame::from_wire(&wire), Err(FrameError::BadLength { .. })));
-    }
-
-    #[test]
-    fn link_power_scales_with_frequency_and_width() {
-        let s = SpiLink::new(SpiWidth::Single, 2);
-        let q = SpiLink::new(SpiWidth::Quad, 2);
-        assert!(q.active_power_watts(32.0e6) > s.active_power_watts(32.0e6));
-        assert!(s.active_power_watts(32.0e6) > s.active_power_watts(8.0e6));
-        // Sub-10mW system: the link must be far below a milliwatt.
-        assert!(q.active_power_watts(80.0e6) < 1.0e-3);
     }
 }

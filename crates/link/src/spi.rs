@@ -1,0 +1,255 @@
+//! Bit-level SPI/QSPI transfer timing and link power.
+
+use std::fmt;
+
+/// Data width of the serial link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SpiWidth {
+    /// Classic single-bit SPI (the physical prototype in the paper: the
+    /// Nucleo board does not expose the QSPI pins).
+    #[default]
+    Single,
+    /// Quad SPI, 4 bits per clock (used for the paper's Fig. 5b model).
+    Quad,
+}
+
+impl SpiWidth {
+    /// Bits moved per SPI clock cycle.
+    #[must_use]
+    pub fn bits_per_clock(self) -> u32 {
+        match self {
+            SpiWidth::Single => 1,
+            SpiWidth::Quad => 4,
+        }
+    }
+}
+
+impl fmt::Display for SpiWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiWidth::Single => f.write_str("spi"),
+            SpiWidth::Quad => f.write_str("qspi"),
+        }
+    }
+}
+
+/// Accumulated link statistics.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct LinkStats {
+    /// Bytes sent host → accelerator.
+    pub bytes_tx: u64,
+    /// Bytes received accelerator → host.
+    pub bytes_rx: u64,
+    /// Transactions performed.
+    pub transactions: u64,
+    /// Seconds the link spent shifting bits.
+    pub busy_seconds: f64,
+    /// Energy dissipated by the link drivers, in joules.
+    pub energy_joules: f64,
+}
+
+/// Timing and power model of the serial coupling link.
+///
+/// Per-transaction protocol overhead covers the command/address phase and
+/// chip-select framing.
+#[derive(Clone, Debug)]
+pub struct SpiLink {
+    width: SpiWidth,
+    prescaler: u32,
+    overhead_bits: u32,
+    energy_per_bit_j: f64,
+    stats: LinkStats,
+}
+
+impl SpiLink {
+    /// Default per-transaction overhead: 8 command bits + 32 address bits +
+    /// 8 turnaround bits. The turnaround phase is also where the receiver's
+    /// ACK/NACK of the previous frame shifts out (SPI is full duplex), so
+    /// acknowledgements are free at this layer.
+    pub const DEFAULT_OVERHEAD_BITS: u32 = 48;
+
+    /// Default energy per transferred bit (drivers + pads), calibrated to a
+    /// low-power SPI PHY: ≈1 pJ/bit.
+    pub const DEFAULT_ENERGY_PER_BIT: f64 = 1.0e-12;
+
+    /// Creates a link of the given width; the SPI clock is the MCU core
+    /// clock divided by `prescaler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prescaler` is zero.
+    #[must_use]
+    pub fn new(width: SpiWidth, prescaler: u32) -> Self {
+        assert!(prescaler >= 1, "prescaler must be at least 1");
+        SpiLink {
+            width,
+            prescaler,
+            overhead_bits: Self::DEFAULT_OVERHEAD_BITS,
+            energy_per_bit_j: Self::DEFAULT_ENERGY_PER_BIT,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Link width.
+    #[must_use]
+    pub fn width(&self) -> SpiWidth {
+        self.width
+    }
+
+    /// Clock prescaler from the MCU core clock.
+    #[must_use]
+    pub fn prescaler(&self) -> u32 {
+        self.prescaler
+    }
+
+    /// SPI clock frequency for a given MCU core frequency.
+    #[must_use]
+    pub fn clock_hz(&self, mcu_hz: f64) -> f64 {
+        mcu_hz / f64::from(self.prescaler)
+    }
+
+    /// Payload bandwidth in bytes per second (ignoring per-transaction
+    /// overhead).
+    #[must_use]
+    pub fn bandwidth_bytes_per_sec(&self, mcu_hz: f64) -> f64 {
+        self.clock_hz(mcu_hz) * f64::from(self.width.bits_per_clock()) / 8.0
+    }
+
+    /// Wall-clock seconds to move `bytes` of payload in one transaction at
+    /// the given MCU frequency (includes the protocol overhead bits).
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes: usize, mcu_hz: f64) -> f64 {
+        let bits = bytes as f64 * 8.0 + f64::from(self.overhead_bits);
+        let clocks = bits / f64::from(self.width.bits_per_clock());
+        clocks / self.clock_hz(mcu_hz)
+    }
+
+    /// MCU core cycles the link is occupied by a transfer of `bytes` (the
+    /// MCU DMA runs the transfer; the core may sleep meanwhile).
+    #[must_use]
+    pub fn transfer_mcu_cycles(&self, bytes: usize) -> u64 {
+        let bits = bytes as u64 * 8 + u64::from(self.overhead_bits);
+        let clocks = bits.div_ceil(u64::from(self.width.bits_per_clock()));
+        clocks * u64::from(self.prescaler)
+    }
+
+    /// Energy dissipated moving `bytes` (drivers + pads).
+    #[must_use]
+    pub fn transfer_energy_joules(&self, bytes: usize) -> f64 {
+        (bytes as f64 * 8.0 + f64::from(self.overhead_bits)) * self.energy_per_bit_j
+    }
+
+    /// Average power drawn by the link while continuously transferring at
+    /// the given MCU frequency.
+    #[must_use]
+    pub fn active_power_watts(&self, mcu_hz: f64) -> f64 {
+        self.clock_hz(mcu_hz) * f64::from(self.width.bits_per_clock()) * self.energy_per_bit_j
+    }
+
+    /// Records a host→accelerator transaction and returns its duration in
+    /// seconds.
+    pub fn send(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
+        let t = self.transfer_seconds(bytes, mcu_hz);
+        self.stats.bytes_tx += bytes as u64;
+        self.stats.transactions += 1;
+        self.stats.busy_seconds += t;
+        self.stats.energy_joules += self.transfer_energy_joules(bytes);
+        t
+    }
+
+    /// Records an accelerator→host transaction and returns its duration in
+    /// seconds.
+    pub fn receive(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
+        let t = self.transfer_seconds(bytes, mcu_hz);
+        self.stats.bytes_rx += bytes as u64;
+        self.stats.transactions += 1;
+        self.stats.busy_seconds += t;
+        self.stats.energy_joules += self.transfer_energy_joules(bytes);
+        t
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Resets the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = LinkStats::default();
+    }
+}
+
+impl Default for SpiLink {
+    fn default() -> Self {
+        SpiLink::new(SpiWidth::Single, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spi_clock_derived_from_mcu_clock() {
+        let link = SpiLink::new(SpiWidth::Single, 2);
+        assert!((link.clock_hz(32.0e6) - 16.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn quad_is_four_times_single() {
+        let s = SpiLink::new(SpiWidth::Single, 2);
+        let q = SpiLink::new(SpiWidth::Quad, 2);
+        let bw_s = s.bandwidth_bytes_per_sec(16.0e6);
+        let bw_q = q.bandwidth_bytes_per_sec(16.0e6);
+        assert!((bw_q / bw_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_scales_inverse_with_mcu_freq() {
+        let link = SpiLink::default();
+        let fast = link.transfer_seconds(4096, 32.0e6);
+        let slow = link.transfer_seconds(4096, 4.0e6);
+        assert!((slow / fast - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_counts_in_small_transfers() {
+        let link = SpiLink::default();
+        let one = link.transfer_seconds(1, 16.0e6);
+        // 8 payload bits + 48 overhead bits at 8 MHz single SPI = 7 µs.
+        assert!((one - 56.0 / 8.0e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcu_cycles_round_up() {
+        let link = SpiLink::new(SpiWidth::Quad, 2);
+        // 1 byte: 8+48 = 56 bits / 4 = 14 clocks * 2 = 28 cycles.
+        assert_eq!(link.transfer_mcu_cycles(1), 28);
+    }
+
+    #[test]
+    fn send_receive_accumulate_stats() {
+        let mut link = SpiLink::default();
+        let t1 = link.send(100, 16.0e6);
+        let t2 = link.receive(50, 16.0e6);
+        let s = link.stats();
+        assert_eq!(s.bytes_tx, 100);
+        assert_eq!(s.bytes_rx, 50);
+        assert_eq!(s.transactions, 2);
+        assert!((s.busy_seconds - (t1 + t2)).abs() < 1e-15);
+        assert!(s.energy_joules > 0.0);
+        link.reset_stats();
+        assert_eq!(link.stats().transactions, 0);
+    }
+
+    #[test]
+    fn link_power_scales_with_frequency_and_width() {
+        let s = SpiLink::new(SpiWidth::Single, 2);
+        let q = SpiLink::new(SpiWidth::Quad, 2);
+        assert!(q.active_power_watts(32.0e6) > s.active_power_watts(32.0e6));
+        assert!(s.active_power_watts(32.0e6) > s.active_power_watts(8.0e6));
+        // Sub-10mW system: the link must be far below a milliwatt.
+        assert!(q.active_power_watts(80.0e6) < 1.0e-3);
+    }
+}

@@ -1,0 +1,114 @@
+//! WFE sleep with a host-side watchdog on the event wire.
+//!
+//! During an offloaded computation the host executes WFE and sleeps until
+//! the accelerator raises the *end-of-computation* GPIO event (paper
+//! §III-C). A real deployment cannot trust that event: the accelerator may
+//! hang, or the wire may be stuck. The host therefore arms a low-power
+//! timer — every Cortex-M ULP part has an RTC/LPTIM that keeps counting in
+//! sleep — before entering WFE, and wakes on **whichever fires first**:
+//! the event edge or the watchdog deadline.
+//!
+//! [`wfe_wait`] resolves that race in host-clock cycles. The host draws
+//! sleep power for the whole slept interval either way (the timer's extra
+//! draw is nanoamps, far below the modeled sleep floor); what the outcome
+//! decides is *how long* the host sleeps and whether recovery must run
+//! afterwards.
+
+/// Why the host left WFE.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WakeReason {
+    /// The end-of-computation event arrived.
+    Event,
+    /// The watchdog deadline expired first — the accelerator is presumed
+    /// hung and recovery (retry or host fallback) takes over.
+    Watchdog,
+}
+
+/// Resolved WFE sleep interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WfeWait {
+    /// Host cycles spent asleep before waking.
+    pub slept_cycles: u64,
+    /// Which side of the race woke the host.
+    pub woke_by: WakeReason,
+}
+
+impl WfeWait {
+    /// Seconds asleep at the given host clock.
+    #[must_use]
+    pub fn slept_seconds(&self, mcu_hz: f64) -> f64 {
+        self.slept_cycles as f64 / mcu_hz
+    }
+}
+
+/// Sleeps until the event wire fires or the watchdog expires, whichever
+/// comes first.
+///
+/// * `event_at_cycles` — host cycles until the end-of-computation event,
+///   or `None` if it never fires (accelerator hang, stuck wire).
+/// * `watchdog_cycles` — armed deadline in host cycles, or `None` for an
+///   unguarded wait.
+///
+/// # Panics
+///
+/// Panics if both are `None`: that wait never terminates, which a
+/// simulator must refuse to model silently.
+#[must_use]
+pub fn wfe_wait(event_at_cycles: Option<u64>, watchdog_cycles: Option<u64>) -> WfeWait {
+    match (event_at_cycles, watchdog_cycles) {
+        (Some(ev), Some(wd)) if ev <= wd => WfeWait { slept_cycles: ev, woke_by: WakeReason::Event },
+        (Some(_), Some(wd)) | (None, Some(wd)) => {
+            WfeWait { slept_cycles: wd, woke_by: WakeReason::Watchdog }
+        }
+        (Some(ev), None) => WfeWait { slept_cycles: ev, woke_by: WakeReason::Event },
+        (None, None) => panic!("WFE with no event and no watchdog sleeps forever"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_wins_when_it_arrives_first() {
+        let w = wfe_wait(Some(1000), Some(5000));
+        assert_eq!(w, WfeWait { slept_cycles: 1000, woke_by: WakeReason::Event });
+    }
+
+    #[test]
+    fn watchdog_wins_on_a_late_event() {
+        let w = wfe_wait(Some(9000), Some(5000));
+        assert_eq!(w, WfeWait { slept_cycles: 5000, woke_by: WakeReason::Watchdog });
+    }
+
+    #[test]
+    fn watchdog_catches_a_hang() {
+        let w = wfe_wait(None, Some(5000));
+        assert_eq!(w.woke_by, WakeReason::Watchdog);
+        assert_eq!(w.slept_cycles, 5000);
+    }
+
+    #[test]
+    fn tie_goes_to_the_event() {
+        assert_eq!(wfe_wait(Some(5000), Some(5000)).woke_by, WakeReason::Event);
+    }
+
+    #[test]
+    fn unguarded_wait_returns_the_event() {
+        let w = wfe_wait(Some(123), None);
+        assert_eq!(w.slept_cycles, 123);
+        assert_eq!(w.woke_by, WakeReason::Event);
+    }
+
+    #[test]
+    #[should_panic(expected = "sleeps forever")]
+    fn hang_with_no_watchdog_is_refused() {
+        let _ = wfe_wait(None, None);
+    }
+
+    #[test]
+    fn slept_seconds_uses_the_host_clock() {
+        let w = wfe_wait(Some(16_000), None);
+        assert!((w.slept_seconds(16.0e6) - 1e-3).abs() < 1e-12);
+    }
+}

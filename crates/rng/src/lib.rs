@@ -1,0 +1,258 @@
+//! # ulp-rng — a tiny seeded xorshift PRNG
+//!
+//! The repository must build and test with **no registry access**, so the
+//! workload generators (kernel input matrices, CNN weights, fuzz inputs)
+//! and the link-layer [`FaultInjector`](../ulp_link/fault/index.html) share
+//! this in-tree generator instead of the `rand` crate.
+//!
+//! The core is xorshift64\* (Vigna, "An experimental exploration of
+//! Marsaglia's xorshift generators, scrambled"): a 64-bit xorshift state
+//! followed by a multiplicative scramble. Seeding runs the seed through a
+//! splitmix64 step so that small seeds (0, 1, 2, …) still produce
+//! well-mixed streams; a zero state is impossible by construction.
+//!
+//! Determinism is a contract: the same seed yields the same stream on
+//! every platform, which is what makes fault-injection experiments and
+//! generated golden references reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_rng::XorShiftRng;
+//!
+//! let mut rng = XorShiftRng::seed_from_u64(42);
+//! let a: i16 = rng.gen_range(-8192..8192);
+//! assert!((-8192..8192).contains(&a));
+//! let again: i16 = XorShiftRng::seed_from_u64(42).gen_range(-8192..8192);
+//! assert_eq!(a, again);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A 64-bit xorshift\* pseudo-random generator with explicit seeding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The seed is passed through a splitmix64 finalizer so that seeds
+    /// differing in a single bit produce uncorrelated streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 step; the +golden-gamma guarantees a non-zero state
+        // even for seed 0.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShiftRng { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+    }
+
+    /// Next raw 64-bit value (xorshift64\*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit value (high half of the 64-bit output, which has the
+    /// better-scrambled bits).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws a uniformly distributed value of any primitive integer type.
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Fills a byte slice with pseudo-random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Types [`XorShiftRng::gen`] can produce.
+pub trait FromRng {
+    /// Draws one uniformly distributed value.
+    fn from_rng(rng: &mut XorShiftRng) -> Self;
+}
+
+macro_rules! impl_from_rng {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn from_rng(rng: &mut XorShiftRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_from_rng!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut XorShiftRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`XorShiftRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut XorShiftRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                // Modulo draw: the bias is ≤ span/2^64, far below anything a
+                // workload generator or fault model can observe.
+                let off = rng.next_u64() % span;
+                ((self.start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = rng.next_u64() % (span + 1);
+                ((start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShiftRng::seed_from_u64(7);
+        let mut b = XorShiftRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShiftRng::seed_from_u64(0);
+        let mut b = XorShiftRng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShiftRng::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = XorShiftRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: i16 = rng.gen_range(-8192..8192);
+            assert!((-8192..8192).contains(&v));
+            let w: u32 = rng.gen_range(1..=u32::MAX);
+            assert!(w >= 1);
+            let n: i8 = rng.gen();
+            let _ = n;
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_extremes_of_small_ranges() {
+        let mut rng = XorShiftRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = XorShiftRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = XorShiftRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_oddly_sized_buffers() {
+        let mut rng = XorShiftRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+
+    #[test]
+    fn rough_uniformity_of_bytes() {
+        let mut rng = XorShiftRng::seed_from_u64(19);
+        let mut counts = [0u32; 256];
+        let mut buf = [0u8; 4096];
+        for _ in 0..64 {
+            rng.fill_bytes(&mut buf);
+            for b in buf {
+                counts[b as usize] += 1;
+            }
+        }
+        let expect = (64 * 4096 / 256) as f64;
+        for (i, c) in counts.iter().enumerate() {
+            let dev = (f64::from(*c) - expect).abs() / expect;
+            assert!(dev < 0.25, "byte {i} count {c} deviates {dev:.2}");
+        }
+    }
+}

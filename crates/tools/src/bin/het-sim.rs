@@ -6,16 +6,23 @@
 //! het-sim --benchmark matmul --link spi --sensor-direct --host-task
 //! het-sim --benchmark svm-rbf --link-clock 25   # independent 25 MHz link
 //! het-sim --benchmark strassen --budget-mw 10   # auto op point in budget
+//! het-sim --benchmark matmul --ber 1e-6 --fault-seed 7   # noisy link
+//! het-sim --benchmark cnn --stuck-eoc            # hang → watchdog → host
 //! ```
 //!
 //! Prints the offload report (time/energy breakdown, efficiency), the
-//! host-only comparison, and the compute-phase platform power.
+//! host-only comparison, and the compute-phase platform power. With any
+//! fault knob set, a resilience section reports recovery activity and its
+//! cost.
 
 use std::process::ExitCode;
 
 use ulp_kernels::TargetEnv;
 use ulp_link::SpiWidth;
-use ulp_offload::{HetSystem, HetSystemConfig, LinkClocking, OffloadOptions, TargetRegion};
+use ulp_offload::{
+    FaultConfig, HetSystem, HetSystemConfig, LinkClocking, OffloadOptions, OffloadPolicy,
+    TargetRegion,
+};
 use ulp_power::busy_activity;
 use ulp_tools::{parse_benchmark, Args};
 
@@ -23,13 +30,25 @@ use ulp_tools::{parse_benchmark, Args};
 fn run() -> Result<(), String> {
     let args = Args::parse(
         std::env::args().skip(1),
-        &["double-buffer", "sensor-direct", "host-task", "help"],
+        &[
+            "double-buffer",
+            "sensor-direct",
+            "host-task",
+            "stuck-eoc",
+            "stuck-fetch-enable",
+            "no-fallback",
+            "help",
+        ],
     );
     if args.has("help") || !args.has("benchmark") {
         return Err(
             "usage: het-sim --benchmark NAME [--mcu-mhz F] [--iterations N] \
              [--double-buffer] [--sensor-direct] [--host-task] [--link spi|qspi] \
-             [--link-clock SPI_MHZ] [--boost-mhz F] [--budget-mw P]"
+             [--link-clock SPI_MHZ] [--boost-mhz F] [--budget-mw P] \
+             [--ber RATE] [--drop-rate R] [--truncate-rate R] [--hang-rate R] \
+             [--late-eoc-rate R] [--late-eoc-cycles N] [--stuck-eoc] \
+             [--stuck-fetch-enable] [--fault-seed N] [--max-retries N] \
+             [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback]"
                 .to_owned(),
         );
     }
@@ -52,6 +71,17 @@ fn run() -> Result<(), String> {
         cfg.link_clocking =
             LinkClocking::BoostedMcu { mcu_hz: args.get_f64("boost-mhz", 32.0)? * 1e6 };
     }
+    cfg.fault = FaultConfig {
+        seed: args.get_usize("fault-seed", 1)? as u64,
+        bit_error_rate: args.get_f64("ber", 0.0)?,
+        drop_rate: args.get_f64("drop-rate", 0.0)?,
+        truncate_rate: args.get_f64("truncate-rate", 0.0)?,
+        hang_rate: args.get_f64("hang-rate", 0.0)?,
+        late_eoc_rate: args.get_f64("late-eoc-rate", 0.0)?,
+        late_eoc_cycles: args.get_usize("late-eoc-cycles", 10_000)? as u64,
+        stuck_fetch_enable: args.has("stuck-fetch-enable"),
+        stuck_eoc: args.has("stuck-eoc"),
+    };
     if args.has("budget-mw") {
         let budget = args.get_f64("budget-mw", 10.0)? * 1e-3;
         let residual = budget - cfg.mcu.run_power_w(mcu_hz) - 20.0e-6;
@@ -83,8 +113,19 @@ fn run() -> Result<(), String> {
         sensor_direct: args.has("sensor-direct"),
         host_task: args.has("host-task"),
         force_reload: false,
+        policy: OffloadPolicy {
+            max_retries: u32::try_from(args.get_usize("max-retries", 3)?)
+                .map_err(|_| "--max-retries out of range".to_owned())?,
+            backoff_cycles: args.get_usize("backoff-cycles", 64)? as u64,
+            watchdog_cycles: args.get_usize("watchdog-cycles", 0)? as u64,
+            fallback_to_host: !args.has("no-fallback"),
+            ..OffloadPolicy::default()
+        },
     };
-    let report = sys.offload(&build, &opts).map_err(|e| e.to_string())?;
+    let host_build = benchmark.build(&TargetEnv::host_m4());
+    let report = sys
+        .offload_with_fallback(&build, &host_build, &opts)
+        .map_err(|e| e.to_string())?;
 
     println!("\noffload ({iterations} iterations):");
     println!("  binary    {:>10.3} ms", report.binary_seconds * 1e3);
@@ -110,7 +151,32 @@ fn run() -> Result<(), String> {
         sys.compute_phase_power_watts(&report.activity) * 1e3
     );
 
-    let host_build = benchmark.build(&TargetEnv::host_m4());
+    if sys.config().fault.is_active() {
+        let r = &report.resilience;
+        println!("\nresilience (seed {}):", sys.config().fault.seed);
+        println!(
+            "  crc errors {} detected / {} escaped, {} dropped frames",
+            r.crc_errors_detected, r.crc_errors_escaped, r.frames_dropped
+        );
+        println!(
+            "  {} retransmissions, {} watchdog trips, {} backoff cycles",
+            r.retransmissions, r.watchdog_trips, r.backoff_cycles
+        );
+        println!(
+            "  recovery cost {:.3} ms, {:.2} µJ",
+            r.extra_seconds * 1e3,
+            r.extra_energy_joules * 1e6
+        );
+        if r.fell_back_to_host {
+            println!(
+                "  FELL BACK TO HOST for {} iterations: +{:.3} ms, +{:.1} µJ",
+                r.fallback_iterations,
+                r.fallback_seconds * 1e3,
+                r.fallback_energy_joules * 1e6
+            );
+        }
+    }
+
     let host = sys.run_on_host(&host_build).map_err(|e| e.to_string())?;
     let per_iter = report.total_seconds() / iterations as f64;
     println!("\nhost only : {:.3} ms, {:.1} µJ", host.seconds * 1e3, host.energy_joules * 1e6);

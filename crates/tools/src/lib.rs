@@ -289,7 +289,9 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+// Needs the external `proptest` crate; see the `proptest` feature note in
+// Cargo.toml.
+#[cfg(all(test, feature = "proptest"))]
 mod fuzz {
     use proptest::prelude::*;
 

@@ -60,8 +60,8 @@ pub mod prelude {
     pub use ulp_link::{SpiLink, SpiWidth};
     pub use ulp_mcu::{datasheet, Mcu, McuDevice};
     pub use ulp_offload::{
-        envelope_speedup, HetSystem, HetSystemConfig, OffloadOptions, OffloadReport, PowerBudget,
-        TargetRegion,
+        envelope_speedup, FaultConfig, HetSystem, HetSystemConfig, OffloadOptions, OffloadPolicy,
+        OffloadReport, PowerBudget, ResilienceStats, TargetRegion,
     };
     pub use ulp_power::PulpPowerModel;
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-520f02d51faeb2bc.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-520f02d51faeb2bc: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

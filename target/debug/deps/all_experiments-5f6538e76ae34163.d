@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-5f6538e76ae34163.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-5f6538e76ae34163: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-064986549ff543e6.d: crates/tools/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-064986549ff543e6: crates/tools/tests/cli.rs
+
+crates/tools/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_het-sim=/root/repo/target/debug/het-sim
+# env-dep:CARGO_BIN_EXE_uir-asm=/root/repo/target/debug/uir-asm
+# env-dep:CARGO_BIN_EXE_uir-dis=/root/repo/target/debug/uir-dis
+# env-dep:CARGO_BIN_EXE_uir-run=/root/repo/target/debug/uir-run

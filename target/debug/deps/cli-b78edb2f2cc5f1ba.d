@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cli-b78edb2f2cc5f1ba.d: crates/tools/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-b78edb2f2cc5f1ba.rmeta: crates/tools/tests/cli.rs Cargo.toml
+
+crates/tools/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_het-sim=placeholder:het-sim
+# env-dep:CARGO_BIN_EXE_uir-asm=placeholder:uir-asm
+# env-dep:CARGO_BIN_EXE_uir-dis=placeholder:uir-dis
+# env-dep:CARGO_BIN_EXE_uir-run=placeholder:uir-run
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-81e3e90c920d161c.d: crates/isa/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-81e3e90c920d161c: crates/isa/tests/differential.rs
+
+crates/isa/tests/differential.rs:

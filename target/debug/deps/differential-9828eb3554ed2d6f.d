@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-9828eb3554ed2d6f.d: crates/isa/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-9828eb3554ed2d6f.rmeta: crates/isa/tests/differential.rs Cargo.toml
+
+crates/isa/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

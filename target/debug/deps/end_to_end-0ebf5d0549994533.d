@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0ebf5d0549994533.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0ebf5d0549994533: tests/end_to_end.rs
+
+tests/end_to_end.rs:

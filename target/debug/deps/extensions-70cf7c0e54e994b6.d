@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-70cf7c0e54e994b6.d: crates/bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-70cf7c0e54e994b6.rmeta: crates/bench/src/bin/extensions.rs Cargo.toml
+
+crates/bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-8d0d252d11f599d1.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-8d0d252d11f599d1: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

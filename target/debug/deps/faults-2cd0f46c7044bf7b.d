@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-2cd0f46c7044bf7b.d: crates/bench/src/bin/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-2cd0f46c7044bf7b.rmeta: crates/bench/src/bin/faults.rs Cargo.toml
+
+crates/bench/src/bin/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-962bf544831691d5.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/debug/deps/faults-962bf544831691d5: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

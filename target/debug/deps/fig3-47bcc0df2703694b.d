@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-47bcc0df2703694b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-47bcc0df2703694b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-41946425c30cffb6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-41946425c30cffb6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

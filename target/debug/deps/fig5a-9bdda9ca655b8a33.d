@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-9bdda9ca655b8a33.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-9bdda9ca655b8a33: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

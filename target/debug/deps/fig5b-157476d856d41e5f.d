@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-157476d856d41e5f.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-157476d856d41e5f: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

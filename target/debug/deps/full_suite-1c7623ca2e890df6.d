@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_suite-1c7623ca2e890df6.d: crates/kernels/tests/full_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_suite-1c7623ca2e890df6.rmeta: crates/kernels/tests/full_suite.rs Cargo.toml
+
+crates/kernels/tests/full_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

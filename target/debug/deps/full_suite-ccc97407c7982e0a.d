@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_suite-ccc97407c7982e0a.d: crates/kernels/tests/full_suite.rs
+
+/root/repo/target/debug/deps/full_suite-ccc97407c7982e0a: crates/kernels/tests/full_suite.rs
+
+crates/kernels/tests/full_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening-d3ff58533a090581.d: crates/link/tests/hardening.rs
+
+/root/repo/target/debug/deps/hardening-d3ff58533a090581: crates/link/tests/hardening.rs
+
+crates/link/tests/hardening.rs:

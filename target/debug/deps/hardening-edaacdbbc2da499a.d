@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening-edaacdbbc2da499a.d: crates/link/tests/hardening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening-edaacdbbc2da499a.rmeta: crates/link/tests/hardening.rs Cargo.toml
+
+crates/link/tests/hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/het_accel-18b99106d2043792.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhet_accel-18b99106d2043792.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/het_accel-95eef010bb24011b.d: src/lib.rs
+
+/root/repo/target/debug/deps/het_accel-95eef010bb24011b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/het_accel-f5e3be830cc622fb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhet_accel-f5e3be830cc622fb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhet_accel-f5e3be830cc622fb.rmeta: src/lib.rs
+
+src/lib.rs:

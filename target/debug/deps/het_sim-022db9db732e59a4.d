@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/het_sim-022db9db732e59a4.d: crates/tools/src/bin/het-sim.rs
+
+/root/repo/target/debug/deps/het_sim-022db9db732e59a4: crates/tools/src/bin/het-sim.rs
+
+crates/tools/src/bin/het-sim.rs:

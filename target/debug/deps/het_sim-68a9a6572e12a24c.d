@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/het_sim-68a9a6572e12a24c.d: crates/tools/src/bin/het-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhet_sim-68a9a6572e12a24c.rmeta: crates/tools/src/bin/het-sim.rs Cargo.toml
+
+crates/tools/src/bin/het-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/het_sim-f41f083dd9f59669.d: crates/tools/src/bin/het-sim.rs
+
+/root/repo/target/debug/deps/het_sim-f41f083dd9f59669: crates/tools/src/bin/het-sim.rs
+
+crates/tools/src/bin/het-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1f2d6f3cf2771dcd.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1f2d6f3cf2771dcd: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

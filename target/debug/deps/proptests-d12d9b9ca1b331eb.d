@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d12d9b9ca1b331eb.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d12d9b9ca1b331eb: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-3d4dc313ecba1563.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-3d4dc313ecba1563: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

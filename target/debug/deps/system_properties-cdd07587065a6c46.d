@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-cdd07587065a6c46.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/system_properties-cdd07587065a6c46: tests/system_properties.rs
+
+tests/system_properties.rs:

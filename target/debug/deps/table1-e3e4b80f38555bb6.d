@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e3e4b80f38555bb6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e3e4b80f38555bb6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

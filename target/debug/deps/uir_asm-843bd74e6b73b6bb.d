@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uir_asm-843bd74e6b73b6bb.d: crates/tools/src/bin/uir-asm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuir_asm-843bd74e6b73b6bb.rmeta: crates/tools/src/bin/uir-asm.rs Cargo.toml
+
+crates/tools/src/bin/uir-asm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uir_asm-a81c552cc443208e.d: crates/tools/src/bin/uir-asm.rs
+
+/root/repo/target/debug/deps/uir_asm-a81c552cc443208e: crates/tools/src/bin/uir-asm.rs
+
+crates/tools/src/bin/uir-asm.rs:

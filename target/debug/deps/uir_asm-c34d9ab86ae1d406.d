@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uir_asm-c34d9ab86ae1d406.d: crates/tools/src/bin/uir-asm.rs
+
+/root/repo/target/debug/deps/uir_asm-c34d9ab86ae1d406: crates/tools/src/bin/uir-asm.rs
+
+crates/tools/src/bin/uir-asm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uir_asm-dd396561dfe12198.d: crates/tools/src/bin/uir-asm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuir_asm-dd396561dfe12198.rmeta: crates/tools/src/bin/uir-asm.rs Cargo.toml
+
+crates/tools/src/bin/uir-asm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uir_dis-1044eca3d68f7d48.d: crates/tools/src/bin/uir-dis.rs
+
+/root/repo/target/debug/deps/uir_dis-1044eca3d68f7d48: crates/tools/src/bin/uir-dis.rs
+
+crates/tools/src/bin/uir-dis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uir_dis-5dabcef3bff87956.d: crates/tools/src/bin/uir-dis.rs
+
+/root/repo/target/debug/deps/uir_dis-5dabcef3bff87956: crates/tools/src/bin/uir-dis.rs
+
+crates/tools/src/bin/uir-dis.rs:

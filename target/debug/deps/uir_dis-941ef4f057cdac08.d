@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uir_dis-941ef4f057cdac08.d: crates/tools/src/bin/uir-dis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuir_dis-941ef4f057cdac08.rmeta: crates/tools/src/bin/uir-dis.rs Cargo.toml
+
+crates/tools/src/bin/uir-dis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

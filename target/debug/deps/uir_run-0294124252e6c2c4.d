@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uir_run-0294124252e6c2c4.d: crates/tools/src/bin/uir-run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuir_run-0294124252e6c2c4.rmeta: crates/tools/src/bin/uir-run.rs Cargo.toml
+
+crates/tools/src/bin/uir-run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uir_run-186b0a6cdb2ba9a4.d: crates/tools/src/bin/uir-run.rs
+
+/root/repo/target/debug/deps/uir_run-186b0a6cdb2ba9a4: crates/tools/src/bin/uir-run.rs
+
+crates/tools/src/bin/uir-run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uir_run-d7a8cff2fc2a3787.d: crates/tools/src/bin/uir-run.rs
+
+/root/repo/target/debug/deps/uir_run-d7a8cff2fc2a3787: crates/tools/src/bin/uir-run.rs
+
+crates/tools/src/bin/uir-run.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ulp_bench-159061d2c7c5432b.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/ulp_bench-159061d2c7c5432b: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5a.rs:
+crates/bench/src/fig5b.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/table1.rs:

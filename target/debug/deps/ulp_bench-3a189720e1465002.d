@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ulp_bench-3a189720e1465002.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_bench-3a189720e1465002.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5a.rs:
+crates/bench/src/fig5b.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

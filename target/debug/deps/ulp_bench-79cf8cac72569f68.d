@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ulp_bench-79cf8cac72569f68.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libulp_bench-79cf8cac72569f68.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libulp_bench-79cf8cac72569f68.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5a.rs:
+crates/bench/src/fig5b.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/table1.rs:

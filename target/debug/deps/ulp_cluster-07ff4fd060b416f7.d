@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ulp_cluster-07ff4fd060b416f7.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_cluster-07ff4fd060b416f7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/dma.rs:
+crates/cluster/src/event.rs:
+crates/cluster/src/icache.rs:
+crates/cluster/src/l2.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/tcdm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ulp_cluster-384a529058f09b98.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs
+
+/root/repo/target/debug/deps/ulp_cluster-384a529058f09b98: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/dma.rs:
+crates/cluster/src/event.rs:
+crates/cluster/src/icache.rs:
+crates/cluster/src/l2.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/tcdm.rs:

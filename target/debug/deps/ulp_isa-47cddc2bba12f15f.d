@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ulp_isa-47cddc2bba12f15f.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+/root/repo/target/debug/deps/libulp_isa-47cddc2bba12f15f.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+/root/repo/target/debug/deps/libulp_isa-47cddc2bba12f15f.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/exec.rs:
+crates/isa/src/features.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/text.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ulp_isa-679521db987f0ea4.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+/root/repo/target/debug/deps/ulp_isa-679521db987f0ea4: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/exec.rs:
+crates/isa/src/features.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/text.rs:

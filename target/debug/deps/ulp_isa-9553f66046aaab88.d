@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ulp_isa-9553f66046aaab88.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_isa-9553f66046aaab88.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/exec.rs:
+crates/isa/src/features.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ulp_kernels-2affbaf648047c8b.d: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_kernels-2affbaf648047c8b.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cnn.rs:
+crates/kernels/src/codegen/mod.rs:
+crates/kernels/src/codegen/emit.rs:
+crates/kernels/src/codegen/rtlib.rs:
+crates/kernels/src/fixed.rs:
+crates/kernels/src/hog.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/runner.rs:
+crates/kernels/src/strassen.rs:
+crates/kernels/src/streaming.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

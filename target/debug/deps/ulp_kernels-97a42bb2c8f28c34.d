@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ulp_kernels-97a42bb2c8f28c34.d: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs
+
+/root/repo/target/debug/deps/ulp_kernels-97a42bb2c8f28c34: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cnn.rs:
+crates/kernels/src/codegen/mod.rs:
+crates/kernels/src/codegen/emit.rs:
+crates/kernels/src/codegen/rtlib.rs:
+crates/kernels/src/fixed.rs:
+crates/kernels/src/hog.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/runner.rs:
+crates/kernels/src/strassen.rs:
+crates/kernels/src/streaming.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/svm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ulp_link-0c2a62f1efd95b9f.d: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+/root/repo/target/debug/deps/ulp_link-0c2a62f1efd95b9f: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+crates/link/src/lib.rs:
+crates/link/src/crc.rs:
+crates/link/src/fault.rs:
+crates/link/src/frame.rs:
+crates/link/src/spi.rs:

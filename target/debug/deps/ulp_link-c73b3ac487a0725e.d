@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ulp_link-c73b3ac487a0725e.d: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+/root/repo/target/debug/deps/libulp_link-c73b3ac487a0725e.rlib: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+/root/repo/target/debug/deps/libulp_link-c73b3ac487a0725e.rmeta: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+crates/link/src/lib.rs:
+crates/link/src/crc.rs:
+crates/link/src/fault.rs:
+crates/link/src/frame.rs:
+crates/link/src/spi.rs:

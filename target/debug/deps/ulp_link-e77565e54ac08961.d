@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ulp_link-e77565e54ac08961.d: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_link-e77565e54ac08961.rmeta: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs Cargo.toml
+
+crates/link/src/lib.rs:
+crates/link/src/crc.rs:
+crates/link/src/fault.rs:
+crates/link/src/frame.rs:
+crates/link/src/spi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ulp_mcu-5bb27fef6679cabd.d: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_mcu-5bb27fef6679cabd.rmeta: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs Cargo.toml
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/device.rs:
+crates/mcu/src/host.rs:
+crates/mcu/src/wfe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ulp_mcu-786dabe114201850.d: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+/root/repo/target/debug/deps/ulp_mcu-786dabe114201850: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/device.rs:
+crates/mcu/src/host.rs:
+crates/mcu/src/wfe.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ulp_mcu-925a34da1b2a287e.d: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+/root/repo/target/debug/deps/libulp_mcu-925a34da1b2a287e.rlib: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+/root/repo/target/debug/deps/libulp_mcu-925a34da1b2a287e.rmeta: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/device.rs:
+crates/mcu/src/host.rs:
+crates/mcu/src/wfe.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ulp_offload-491b674de2ce36a1.d: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libulp_offload-491b674de2ce36a1.rlib: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libulp_offload-491b674de2ce36a1.rmeta: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/envelope.rs:
+crates/core/src/region.rs:
+crates/core/src/system.rs:

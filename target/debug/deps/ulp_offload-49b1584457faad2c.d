@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ulp_offload-49b1584457faad2c.d: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/ulp_offload-49b1584457faad2c: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/envelope.rs:
+crates/core/src/region.rs:
+crates/core/src/system.rs:

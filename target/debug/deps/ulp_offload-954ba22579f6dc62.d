@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ulp_offload-954ba22579f6dc62.d: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_offload-954ba22579f6dc62.rmeta: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/envelope.rs:
+crates/core/src/region.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

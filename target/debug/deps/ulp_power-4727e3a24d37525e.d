@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ulp_power-4727e3a24d37525e.d: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libulp_power-4727e3a24d37525e.rlib: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libulp_power-4727e3a24d37525e.rmeta: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/interp.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ulp_power-c9d22dcf3907a26c.d: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_power-c9d22dcf3907a26c.rmeta: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/interp.rs:
+crates/power/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ulp_power-f84b388fd94f1f3c.d: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/ulp_power-f84b388fd94f1f3c: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/interp.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ulp_rng-8ae79e6ff43a5916.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/ulp_rng-8ae79e6ff43a5916: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

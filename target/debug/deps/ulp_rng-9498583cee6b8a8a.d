@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ulp_rng-9498583cee6b8a8a.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_rng-9498583cee6b8a8a.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

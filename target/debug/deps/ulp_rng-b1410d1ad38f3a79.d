@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ulp_rng-b1410d1ad38f3a79.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libulp_rng-b1410d1ad38f3a79.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libulp_rng-b1410d1ad38f3a79.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

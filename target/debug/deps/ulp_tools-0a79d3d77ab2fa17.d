@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ulp_tools-0a79d3d77ab2fa17.d: crates/tools/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libulp_tools-0a79d3d77ab2fa17.rmeta: crates/tools/src/lib.rs Cargo.toml
+
+crates/tools/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ulp_tools-9dcc090e49df2b17.d: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/libulp_tools-9dcc090e49df2b17.rlib: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/libulp_tools-9dcc090e49df2b17.rmeta: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ulp_tools-a7fdaae28b59ed99.d: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/ulp_tools-a7fdaae28b59ed99: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecg_classifier-d3b115ac71c20b11.d: examples/ecg_classifier.rs
+
+/root/repo/target/debug/examples/ecg_classifier-d3b115ac71c20b11: examples/ecg_classifier.rs
+
+examples/ecg_classifier.rs:

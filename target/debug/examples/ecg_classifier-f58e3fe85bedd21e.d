@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ecg_classifier-f58e3fe85bedd21e.d: examples/ecg_classifier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libecg_classifier-f58e3fe85bedd21e.rmeta: examples/ecg_classifier.rs Cargo.toml
+
+examples/ecg_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

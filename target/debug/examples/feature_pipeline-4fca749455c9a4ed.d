@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feature_pipeline-4fca749455c9a4ed.d: examples/feature_pipeline.rs
+
+/root/repo/target/debug/examples/feature_pipeline-4fca749455c9a4ed: examples/feature_pipeline.rs
+
+examples/feature_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/feature_pipeline-f61f2ff28c984c1c.d: examples/feature_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfeature_pipeline-f61f2ff28c984c1c.rmeta: examples/feature_pipeline.rs Cargo.toml
+
+examples/feature_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fibonacci-509d2b07836bd6dd.d: crates/isa/examples/fibonacci.rs
+
+/root/repo/target/debug/examples/fibonacci-509d2b07836bd6dd: crates/isa/examples/fibonacci.rs
+
+crates/isa/examples/fibonacci.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fibonacci-5630c2c584e322bb.d: crates/isa/examples/fibonacci.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfibonacci-5630c2c584e322bb.rmeta: crates/isa/examples/fibonacci.rs Cargo.toml
+
+crates/isa/examples/fibonacci.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_sum-2af3bde6523d649e.d: crates/cluster/examples/parallel_sum.rs
+
+/root/repo/target/debug/examples/parallel_sum-2af3bde6523d649e: crates/cluster/examples/parallel_sum.rs
+
+crates/cluster/examples/parallel_sum.rs:

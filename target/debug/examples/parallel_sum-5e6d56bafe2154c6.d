@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_sum-5e6d56bafe2154c6.d: crates/cluster/examples/parallel_sum.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_sum-5e6d56bafe2154c6.rmeta: crates/cluster/examples/parallel_sum.rs Cargo.toml
+
+crates/cluster/examples/parallel_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

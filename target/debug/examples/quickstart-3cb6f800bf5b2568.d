@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3cb6f800bf5b2568.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3cb6f800bf5b2568: examples/quickstart.rs
+
+examples/quickstart.rs:

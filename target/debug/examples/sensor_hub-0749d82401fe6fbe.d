@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_hub-0749d82401fe6fbe.d: examples/sensor_hub.rs
+
+/root/repo/target/debug/examples/sensor_hub-0749d82401fe6fbe: examples/sensor_hub.rs
+
+examples/sensor_hub.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_hub-6044aebd1df7d3c2.d: examples/sensor_hub.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_hub-6044aebd1df7d3c2.rmeta: examples/sensor_hub.rs Cargo.toml
+
+examples/sensor_hub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_camera-205e1ac2fb1dd119.d: examples/smart_camera.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_camera-205e1ac2fb1dd119.rmeta: examples/smart_camera.rs Cargo.toml
+
+examples/smart_camera.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_camera-7bf82161f4085709.d: examples/smart_camera.rs
+
+/root/repo/target/debug/examples/smart_camera-7bf82161f4085709: examples/smart_camera.rs
+
+examples/smart_camera.rs:

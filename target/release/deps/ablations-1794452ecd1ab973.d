@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1794452ecd1ab973.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1794452ecd1ab973: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-9cb67a9a0aa55628.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-9cb67a9a0aa55628: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

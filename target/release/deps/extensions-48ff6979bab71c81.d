@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-48ff6979bab71c81.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-48ff6979bab71c81: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-abf53c6cdab8a9dc.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/release/deps/faults-abf53c6cdab8a9dc: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

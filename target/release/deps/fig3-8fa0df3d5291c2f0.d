@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-8fa0df3d5291c2f0.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-8fa0df3d5291c2f0: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

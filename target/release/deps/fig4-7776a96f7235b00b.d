@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-7776a96f7235b00b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-7776a96f7235b00b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-e73bdd83d65fb886.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-e73bdd83d65fb886: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

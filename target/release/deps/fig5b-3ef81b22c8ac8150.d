@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-3ef81b22c8ac8150.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-3ef81b22c8ac8150: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/het_accel-bbd13b4d051026c3.d: src/lib.rs
+
+/root/repo/target/release/deps/libhet_accel-bbd13b4d051026c3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhet_accel-bbd13b4d051026c3.rmeta: src/lib.rs
+
+src/lib.rs:

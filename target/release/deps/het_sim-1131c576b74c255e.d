@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/het_sim-1131c576b74c255e.d: crates/tools/src/bin/het-sim.rs
+
+/root/repo/target/release/deps/het_sim-1131c576b74c255e: crates/tools/src/bin/het-sim.rs
+
+crates/tools/src/bin/het-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-374d049cf8f5a798.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-374d049cf8f5a798: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

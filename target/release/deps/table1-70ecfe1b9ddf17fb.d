@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-70ecfe1b9ddf17fb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-70ecfe1b9ddf17fb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uir_asm-92485820506f94c9.d: crates/tools/src/bin/uir-asm.rs
+
+/root/repo/target/release/deps/uir_asm-92485820506f94c9: crates/tools/src/bin/uir-asm.rs
+
+crates/tools/src/bin/uir-asm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uir_dis-5f96ee4e2a7723bc.d: crates/tools/src/bin/uir-dis.rs
+
+/root/repo/target/release/deps/uir_dis-5f96ee4e2a7723bc: crates/tools/src/bin/uir-dis.rs
+
+crates/tools/src/bin/uir-dis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uir_run-79faa6adb1f262fd.d: crates/tools/src/bin/uir-run.rs
+
+/root/repo/target/release/deps/uir_run-79faa6adb1f262fd: crates/tools/src/bin/uir-run.rs
+
+crates/tools/src/bin/uir-run.rs:

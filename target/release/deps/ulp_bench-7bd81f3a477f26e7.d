@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ulp_bench-7bd81f3a477f26e7.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libulp_bench-7bd81f3a477f26e7.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libulp_bench-7bd81f3a477f26e7.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/extensions.rs crates/bench/src/faults.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5a.rs crates/bench/src/fig5b.rs crates/bench/src/measure.rs crates/bench/src/scaling.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5a.rs:
+crates/bench/src/fig5b.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ulp_cluster-21d1351dbf3dfc06.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs
+
+/root/repo/target/release/deps/libulp_cluster-21d1351dbf3dfc06.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs
+
+/root/repo/target/release/deps/libulp_cluster-21d1351dbf3dfc06.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/config.rs crates/cluster/src/dma.rs crates/cluster/src/event.rs crates/cluster/src/icache.rs crates/cluster/src/l2.rs crates/cluster/src/stats.rs crates/cluster/src/tcdm.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/dma.rs:
+crates/cluster/src/event.rs:
+crates/cluster/src/icache.rs:
+crates/cluster/src/l2.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/tcdm.rs:

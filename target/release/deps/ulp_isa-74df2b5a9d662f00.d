@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ulp_isa-74df2b5a9d662f00.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+/root/repo/target/release/deps/libulp_isa-74df2b5a9d662f00.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+/root/repo/target/release/deps/libulp_isa-74df2b5a9d662f00.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/features.rs crates/isa/src/insn.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/text.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/exec.rs:
+crates/isa/src/features.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/text.rs:

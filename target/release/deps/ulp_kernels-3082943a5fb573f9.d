@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ulp_kernels-3082943a5fb573f9.d: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs
+
+/root/repo/target/release/deps/libulp_kernels-3082943a5fb573f9.rlib: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs
+
+/root/repo/target/release/deps/libulp_kernels-3082943a5fb573f9.rmeta: crates/kernels/src/lib.rs crates/kernels/src/cnn.rs crates/kernels/src/codegen/mod.rs crates/kernels/src/codegen/emit.rs crates/kernels/src/codegen/rtlib.rs crates/kernels/src/fixed.rs crates/kernels/src/hog.rs crates/kernels/src/matmul.rs crates/kernels/src/runner.rs crates/kernels/src/strassen.rs crates/kernels/src/streaming.rs crates/kernels/src/suite.rs crates/kernels/src/svm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/cnn.rs:
+crates/kernels/src/codegen/mod.rs:
+crates/kernels/src/codegen/emit.rs:
+crates/kernels/src/codegen/rtlib.rs:
+crates/kernels/src/fixed.rs:
+crates/kernels/src/hog.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/runner.rs:
+crates/kernels/src/strassen.rs:
+crates/kernels/src/streaming.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/svm.rs:

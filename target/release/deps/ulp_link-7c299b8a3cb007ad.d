@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ulp_link-7c299b8a3cb007ad.d: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+/root/repo/target/release/deps/libulp_link-7c299b8a3cb007ad.rlib: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+/root/repo/target/release/deps/libulp_link-7c299b8a3cb007ad.rmeta: crates/link/src/lib.rs crates/link/src/crc.rs crates/link/src/fault.rs crates/link/src/frame.rs crates/link/src/spi.rs
+
+crates/link/src/lib.rs:
+crates/link/src/crc.rs:
+crates/link/src/fault.rs:
+crates/link/src/frame.rs:
+crates/link/src/spi.rs:

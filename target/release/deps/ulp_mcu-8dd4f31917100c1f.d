@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ulp_mcu-8dd4f31917100c1f.d: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+/root/repo/target/release/deps/libulp_mcu-8dd4f31917100c1f.rlib: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+/root/repo/target/release/deps/libulp_mcu-8dd4f31917100c1f.rmeta: crates/mcu/src/lib.rs crates/mcu/src/device.rs crates/mcu/src/host.rs crates/mcu/src/wfe.rs
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/device.rs:
+crates/mcu/src/host.rs:
+crates/mcu/src/wfe.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ulp_offload-ac5ce8d0fe4fcfb7.d: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libulp_offload-ac5ce8d0fe4fcfb7.rlib: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libulp_offload-ac5ce8d0fe4fcfb7.rmeta: crates/core/src/lib.rs crates/core/src/envelope.rs crates/core/src/region.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/envelope.rs:
+crates/core/src/region.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ulp_power-87ee4861324f6a71.d: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libulp_power-87ee4861324f6a71.rlib: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libulp_power-87ee4861324f6a71.rmeta: crates/power/src/lib.rs crates/power/src/interp.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/interp.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ulp_rng-c9c19024a10a4ce2.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libulp_rng-c9c19024a10a4ce2.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libulp_rng-c9c19024a10a4ce2.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

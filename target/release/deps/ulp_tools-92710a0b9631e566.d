@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ulp_tools-92710a0b9631e566.d: crates/tools/src/lib.rs
+
+/root/repo/target/release/deps/libulp_tools-92710a0b9631e566.rlib: crates/tools/src/lib.rs
+
+/root/repo/target/release/deps/libulp_tools-92710a0b9631e566.rmeta: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

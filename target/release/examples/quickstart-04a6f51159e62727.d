@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-04a6f51159e62727.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-04a6f51159e62727: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/readme_fault_check-32e842fc7c05c60f.d: examples/readme_fault_check.rs
+
+/root/repo/target/release/examples/readme_fault_check-32e842fc7c05c60f: examples/readme_fault_check.rs
+
+examples/readme_fault_check.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libulp_rng.rlib: /root/repo/crates/rng/src/lib.rs
