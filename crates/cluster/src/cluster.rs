@@ -5,6 +5,7 @@ use std::fmt;
 
 use ulp_isa::{Access, Bus, BusError, Core, CoreState, ExecError, Fetched, MemSize, Program, Reg,
     StepOutcome};
+use ulp_trace::{Component, EventKind, Tracer};
 
 use crate::config::ClusterConfig;
 use crate::dma::Dma;
@@ -100,6 +101,7 @@ struct ClusterBus {
     dma_dst: u32,
     dma_len: u32,
     dma_done_at: u64,
+    tracer: Tracer,
 }
 
 impl ClusterBus {
@@ -200,6 +202,9 @@ impl Bus for ClusterBus {
 
     fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
         let penalty = self.icache.access(pc);
+        if penalty > 0 {
+            self.tracer.emit(Component::ICache, EventKind::IcacheMiss, now, u64::from(penalty));
+        }
         let insn = self.l2.fetch_insn(pc)?;
         Ok(Fetched { insn, ready_at: now + u64::from(penalty) })
     }
@@ -216,6 +221,7 @@ pub struct Cluster {
     bus: ClusterBus,
     event_unit: EventUnit,
     start_time: u64,
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -249,11 +255,30 @@ impl Cluster {
                 dma_dst: 0,
                 dma_len: 0,
                 dma_done_at: 0,
+                tracer: Tracer::disabled(),
             },
             event_unit: EventUnit::new(config.num_cores),
             config,
             start_time: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a structured event tracer to the cluster and every
+    /// component inside it (cores, TCDM arbiter, DMA, I$). The tracer's
+    /// recording survives [`Cluster::start`]: repeated runs lay out
+    /// sequentially on the cluster timeline via the tracer's epoch.
+    ///
+    /// Attaching a disabled tracer (the default) detaches instrumentation;
+    /// simulated timing is identical either way.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for core in &mut self.cores {
+            core.set_tracer(tracer.clone());
+        }
+        self.bus.tcdm.set_tracer(tracer.clone());
+        self.bus.dma.set_tracer(tracer.clone());
+        self.bus.tracer = tracer.clone();
+        self.tracer = tracer;
     }
 
     /// The configuration this cluster was built with.
@@ -473,6 +498,12 @@ impl Cluster {
                     if let Some(release) = self.event_unit.barrier_arrive(i, self.cores[i].time())
                     {
                         let t = release + u64::from(self.config.barrier_latency);
+                        self.tracer.emit(
+                            Component::Cluster,
+                            EventKind::Barrier,
+                            release,
+                            u64::from(self.config.barrier_latency),
+                        );
                         for (j, c) in self.cores.iter_mut().enumerate() {
                             if self.waits[j] == WaitReason::Barrier {
                                 c.wake(t);
@@ -486,12 +517,36 @@ impl Cluster {
 
         let end_time = self.cores.iter().map(Core::time).max().unwrap_or(self.start_time);
         let cycles = end_time - self.start_time;
-        Ok(RunResult {
+        let activity = self.collect_activity(cycles);
+        self.record_counters(&activity);
+        // Lay the next run out after this one on the shared trace timeline.
+        self.tracer.advance_cluster_epoch(end_time);
+        Ok(RunResult { cycles, end_time, eoc_at: self.event_unit.eoc_at(), activity })
+    }
+
+    /// Publishes the run's busy/total cycles per component to the tracer.
+    /// Counters are overwritten each run, so after a cold+warm cost
+    /// measurement they describe the warm run — the same numbers reported
+    /// in [`RunResult::activity`] and `OffloadReport`.
+    fn record_counters(&self, activity: &ClusterActivity) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let cycles = activity.total_cycles;
+        for (i, &busy) in activity.core_active_cycles.iter().enumerate() {
+            self.tracer.set_counter(Component::Core(i as u8), busy, cycles);
+        }
+        self.tracer.set_counter(
+            Component::Tcdm,
+            activity.tcdm_busy_cycles,
+            cycles * self.config.tcdm_banks as u64,
+        );
+        self.tracer.set_counter(
+            Component::ICache,
+            activity.icache_misses * u64::from(self.config.icache_miss_penalty),
             cycles,
-            end_time,
-            eoc_at: self.event_unit.eoc_at(),
-            activity: self.collect_activity(cycles),
-        })
+        );
+        self.tracer.set_counter(Component::Dma, activity.dma_busy_cycles, cycles);
     }
 
     fn collect_activity(&self, total_cycles: u64) -> ClusterActivity {

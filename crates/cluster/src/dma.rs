@@ -6,6 +6,8 @@
 //! and report a completion time; the caller (runtime or double-buffering
 //! schedule) decides what overlaps with what.
 
+use ulp_trace::{Component, EventKind, Tracer};
+
 #[derive(Clone, Copy, Debug, Default)]
 struct Channel {
     busy_until: u64,
@@ -31,6 +33,7 @@ pub struct Dma {
     busy_cycles: u64,
     transfers: u64,
     bytes_moved: u64,
+    tracer: Tracer,
 }
 
 impl Dma {
@@ -45,7 +48,13 @@ impl Dma {
             busy_cycles: 0,
             transfers: 0,
             bytes_moved: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a structured event tracer (records burst intervals).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of channels.
@@ -68,10 +77,17 @@ impl Dma {
         let start = now.max(ch.busy_until);
         let duration = u64::from(self.setup_cycles) + (len as u64).div_ceil(4);
         ch.busy_until = start + duration;
+        let done = ch.busy_until;
         self.busy_cycles += duration;
         self.transfers += 1;
         self.bytes_moved += len as u64;
-        ch.busy_until
+        self.tracer.emit(
+            Component::Dma,
+            EventKind::DmaBurst { bytes: len as u32 },
+            start,
+            duration,
+        );
+        done
     }
 
     /// Earliest time at which every outstanding transfer has completed.

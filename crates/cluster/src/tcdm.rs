@@ -11,6 +11,7 @@
 //! bank, the next cycle at which it is free.
 
 use ulp_isa::{BusError, MemSize};
+use ulp_trace::{Component, EventKind, Tracer};
 
 /// The banked L1 data scratchpad.
 ///
@@ -36,6 +37,7 @@ pub struct Tcdm {
     accesses: u64,
     conflicts: u64,
     busy_cycles: u64,
+    tracer: Tracer,
 }
 
 impl Tcdm {
@@ -57,7 +59,13 @@ impl Tcdm {
             accesses: 0,
             conflicts: 0,
             busy_cycles: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a structured event tracer (records bank conflicts).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Base address of the TCDM window.
@@ -129,6 +137,12 @@ impl Tcdm {
             let free = self.bank_free[bank];
             if free > t {
                 self.conflicts += 1;
+                self.tracer.emit(
+                    Component::Tcdm,
+                    EventKind::BankConflict { bank: bank as u8 },
+                    t,
+                    free - t,
+                );
                 t = free;
             }
             self.bank_free[bank] = t + 1;

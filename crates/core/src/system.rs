@@ -10,9 +10,10 @@ use ulp_link::{
     EocOutcome, FaultConfig, FaultInjector, FaultStats, GpioEvent, SpiLink, SpiWidth, TxOutcome,
     FRAME_OVERHEAD,
 };
-use ulp_mcu::wfe::{wfe_wait, WakeReason};
+use ulp_mcu::wfe::{wfe_wait_traced, WakeReason};
 use ulp_mcu::{datasheet, Mcu, McuDevice};
 use ulp_power::PulpPowerModel;
+use ulp_trace::{Component, EventKind, PhaseKind, Tracer};
 
 use crate::region::{MapDir, TargetRegion};
 
@@ -407,6 +408,7 @@ pub struct HetSystem {
     link: SpiLink,
     resident_kernel: Option<String>,
     injector: FaultInjector,
+    tracer: Tracer,
 }
 
 impl HetSystem {
@@ -428,7 +430,30 @@ impl HetSystem {
         let cluster = Cluster::new(config.cluster);
         let link = SpiLink::new(config.link_width, config.link_prescaler);
         let injector = FaultInjector::new(config.fault);
-        HetSystem { config, cluster, link, resident_kernel: None, injector }
+        HetSystem {
+            config,
+            cluster,
+            link,
+            resident_kernel: None,
+            injector,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a structured event tracer to the whole platform: the
+    /// cluster (cores, TCDM, DMA, I$), the SPI link, and the host offload
+    /// phases. A disabled tracer (the default) detaches instrumentation;
+    /// every report stays bit-identical either way.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.cluster.set_tracer(tracer.clone());
+        self.link.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer currently attached (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The system configuration.
@@ -729,7 +754,7 @@ impl HetSystem {
             }
         }
 
-        if self.injector.is_active() {
+        let result = if self.injector.is_active() {
             let result = self.offload_resilient(&cost, opts, ship_binary, host.as_ref());
             if !matches!(&result, Ok(r) if !r.resilience.fell_back_to_host) {
                 // The offload did not complete on the device: the binary
@@ -739,7 +764,36 @@ impl HetSystem {
             result
         } else {
             Ok(self.predict(&cost, opts, ship_binary))
+        };
+        if let Ok(report) = &result {
+            self.emit_phases(report);
         }
+        result
+    }
+
+    /// Records the invocation's phase decomposition (the paper's Fig. 4/5
+    /// breakdown) as sequential spans on the host timeline, then advances
+    /// the host epoch past this invocation.
+    fn emit_phases(&self, report: &OffloadReport) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let spans = [
+            (PhaseKind::Binary, report.binary_seconds),
+            (PhaseKind::Input, report.input_seconds),
+            (PhaseKind::Compute, report.compute_seconds),
+            (PhaseKind::Output, report.output_seconds),
+            (PhaseKind::Sync, report.sync_seconds),
+        ];
+        let mut at = 0u64;
+        for (phase, seconds) in spans {
+            let ns = (seconds * 1e9) as u64;
+            if ns > 0 {
+                self.tracer.emit(Component::Host, EventKind::Phase(phase), at, ns);
+            }
+            at += ns;
+        }
+        self.tracer.advance_host_epoch(((report.total_seconds() * 1e9) as u64).max(at));
     }
 
     /// Simulates one frame crossing the faulty link under the retry
@@ -771,6 +825,15 @@ impl HetSystem {
                 res.retransmissions += 1;
                 res.extra_seconds += t_frame;
                 res.extra_energy_joules += (run_p + pulp_leak_p) * t_frame + e_frame;
+                if self.tracer.is_enabled() {
+                    let at = (self.link.stats().busy_seconds * 1e9) as u64;
+                    self.tracer.emit(
+                        Component::Link,
+                        EventKind::Retry { attempt },
+                        at,
+                        (t_frame * 1e9) as u64,
+                    );
+                }
             }
             match outcome {
                 TxOutcome::Delivered => return Ok(()),
@@ -906,7 +969,19 @@ impl HetSystem {
                     }
                     EocOutcome::Hang => (None, 0.0),
                 };
-                let wait = wfe_wait(event_at, Some(wd_cycles));
+                let elapsed = binary_seconds
+                    + input_seconds
+                    + compute_seconds
+                    + output_seconds
+                    + sync_seconds
+                    + res.extra_seconds;
+                let wait = wfe_wait_traced(
+                    event_at,
+                    Some(wd_cycles),
+                    &self.tracer,
+                    (elapsed * 1e9) as u64,
+                    mcu_hz,
+                );
                 match wait.woke_by {
                     WakeReason::Event => {
                         compute_seconds += t_iter;

@@ -15,6 +15,8 @@
 use std::error::Error;
 use std::fmt;
 
+use ulp_trace::{Component, EventKind, Tracer};
+
 use crate::features::CoreModel;
 use crate::insn::{Csr, Insn, MemSize};
 use crate::reg::Reg;
@@ -277,6 +279,8 @@ pub struct Core {
     stats: CoreStats,
     trace: Option<Vec<TraceEntry>>,
     trace_cap: usize,
+    tracer: Tracer,
+    run_since: u64,
 }
 
 impl Core {
@@ -296,7 +300,15 @@ impl Core {
             stats: CoreStats::default(),
             trace: None,
             trace_cap: 0,
+            tracer: Tracer::disabled(),
+            run_since: 0,
         }
+    }
+
+    /// Attaches a structured event tracer (a disabled tracer detaches).
+    /// The tracer records run/sleep/stall intervals; see `ulp-trace`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Starts recording an execution trace of up to `cap` instructions
@@ -327,6 +339,7 @@ impl Core {
         self.hwloops = [HwLoop::default(); 2];
         self.event_pending = false;
         self.stats = CoreStats::default();
+        self.run_since = 0;
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }
@@ -373,6 +386,11 @@ impl Core {
     pub fn advance_time_to(&mut self, t: u64) {
         if t > self.time {
             self.time = t;
+            // Before the first retired instruction this is the start-time
+            // alignment done by the cluster, not execution.
+            if self.stats.retired == 0 {
+                self.run_since = t;
+            }
         }
     }
 
@@ -415,7 +433,14 @@ impl Core {
         }
         let resume = at.max(self.time) + u64::from(self.model.timing.wakeup);
         self.stats.sleep_cycles += resume.saturating_sub(self.time);
+        self.tracer.emit(
+            Component::Core(self.id as u8),
+            EventKind::CoreSleep,
+            self.time,
+            resume.saturating_sub(self.time),
+        );
         self.time = resume;
+        self.run_since = resume;
         self.state = CoreState::Running;
         self.event_pending = false;
     }
@@ -799,6 +824,17 @@ impl Core {
                 trace.push(TraceEntry { pc: self.pc, insn, retired_at: self.time });
             }
         }
+        // Close the current run interval on any transition out of Running.
+        if !matches!(outcome, StepOutcome::Executed | StepOutcome::EventSent(_))
+            && self.time > self.run_since
+        {
+            self.tracer.emit(
+                Component::Core(self.id as u8),
+                EventKind::CoreRun,
+                self.run_since,
+                self.time - self.run_since,
+            );
+        }
         self.pc = next_pc;
         Ok(outcome)
     }
@@ -808,6 +844,14 @@ impl Core {
         // A single-cycle access (ready_at == now + 1) is a hit with no stall.
         let stall = ready_at.saturating_sub(self.time + 1);
         self.stats.mem_stall_cycles += stall;
+        if stall > 0 {
+            self.tracer.emit(
+                Component::Core(self.id as u8),
+                EventKind::CoreMemStall,
+                self.time + 1,
+                stall,
+            );
+        }
     }
 }
 

@@ -1,13 +1,16 @@
 //! Differential testing of instruction semantics: every ALU operation is
 //! executed on the interpreter with random operands and compared against
 //! an independently written Rust evaluation of the architected semantics.
+//!
+//! The seeded battery below runs in the default `cargo test` with no
+//! external dependencies: 10 000 corner-biased operand triples per opcode
+//! from the in-tree `ulp-rng` stream, reproducible from the fixed seed.
+//! The proptest variant (shrinking, adaptive case generation) remains in
+//! the feature-gated `deep` module at the bottom.
 
-// Gated off by default: needs the external `proptest` crate (no registry
-// access in CI). See the `proptest` feature note in Cargo.toml.
-#![cfg(feature = "proptest")]
-
-use proptest::prelude::*;
 use ulp_isa::prelude::*;
+use ulp_rng::gen::operand32;
+use ulp_rng::XorShiftRng;
 
 /// Independently evaluates the architected result of a 3-register ALU
 /// instruction (a *second implementation* of the semantics, deliberately
@@ -125,46 +128,60 @@ fn run_one(insn: Insn, a: u32, b: u32, d: u32) -> u32 {
     core.reg(R1)
 }
 
+/// Operand triples per opcode in the always-on battery.
+const TRIPLES: usize = 10_000;
+
 macro_rules! alu_case {
-    ($name:ident, $variant:ident) => {
-        proptest! {
-            #[test]
-            fn $name(a in any::<u32>(), b in any::<u32>(), d in any::<u32>()) {
-                let insn = Insn::$variant(R1, R2, R3);
-                prop_assert_eq!(run_one(insn, a, b, d), eval(&insn, a, b, d));
+    ($name:ident, $variant:ident, $seed:expr) => {
+        #[test]
+        fn $name() {
+            let mut rng = XorShiftRng::seed_from_u64($seed);
+            let insn = Insn::$variant(R1, R2, R3);
+            for i in 0..TRIPLES {
+                let (a, b, d) = (operand32(&mut rng), operand32(&mut rng), operand32(&mut rng));
+                let got = run_one(insn, a, b, d);
+                let want = eval(&insn, a, b, d);
+                assert_eq!(
+                    got, want,
+                    "{insn} diverged on triple #{i}: a={a:#010x} b={b:#010x} d={d:#010x} \
+                     (got {got:#010x}, want {want:#010x})"
+                );
             }
         }
     };
 }
 
-alu_case!(diff_add, Add);
-alu_case!(diff_sub, Sub);
-alu_case!(diff_and, And);
-alu_case!(diff_or, Or);
-alu_case!(diff_xor, Xor);
-alu_case!(diff_sll, Sll);
-alu_case!(diff_srl, Srl);
-alu_case!(diff_sra, Sra);
-alu_case!(diff_slt, Slt);
-alu_case!(diff_sltu, Sltu);
-alu_case!(diff_min, Min);
-alu_case!(diff_max, Max);
-alu_case!(diff_mul, Mul);
-alu_case!(diff_mac, Mac);
-alu_case!(diff_sdotv4, SdotV4);
-alu_case!(diff_sdotv2, SdotV2);
-alu_case!(diff_addv4, AddV4);
-alu_case!(diff_addv2, AddV2);
-alu_case!(diff_subv4, SubV4);
-alu_case!(diff_subv2, SubV2);
-alu_case!(diff_div, Div);
-alu_case!(diff_divu, Divu);
+alu_case!(diff_add, Add, 0x0A01);
+alu_case!(diff_sub, Sub, 0x0A02);
+alu_case!(diff_and, And, 0x0A03);
+alu_case!(diff_or, Or, 0x0A04);
+alu_case!(diff_xor, Xor, 0x0A05);
+alu_case!(diff_sll, Sll, 0x0A06);
+alu_case!(diff_srl, Srl, 0x0A07);
+alu_case!(diff_sra, Sra, 0x0A08);
+alu_case!(diff_slt, Slt, 0x0A09);
+alu_case!(diff_sltu, Sltu, 0x0A0A);
+alu_case!(diff_min, Min, 0x0A0B);
+alu_case!(diff_max, Max, 0x0A0C);
+alu_case!(diff_mul, Mul, 0x0A0D);
+alu_case!(diff_mac, Mac, 0x0A0E);
+alu_case!(diff_sdotv4, SdotV4, 0x0A0F);
+alu_case!(diff_sdotv2, SdotV2, 0x0A10);
+alu_case!(diff_addv4, AddV4, 0x0A11);
+alu_case!(diff_addv2, AddV2, 0x0A12);
+alu_case!(diff_subv4, SubV4, 0x0A13);
+alu_case!(diff_subv2, SubV2, 0x0A14);
+alu_case!(diff_div, Div, 0x0A15);
+alu_case!(diff_divu, Divu, 0x0A16);
 
-proptest! {
-    /// 64-bit multiply-accumulate against native i64/u64 arithmetic.
-    #[test]
-    fn diff_mlal(a in any::<u32>(), b in any::<u32>(), hi in any::<u32>(), lo in any::<u32>(),
-                 signed in any::<bool>()) {
+/// 64-bit multiply-accumulate against native i64/u64 arithmetic.
+#[test]
+fn diff_mlal() {
+    let mut rng = XorShiftRng::seed_from_u64(0x0B01);
+    for _ in 0..TRIPLES {
+        let (a, b) = (operand32(&mut rng), operand32(&mut rng));
+        let (hi, lo) = (operand32(&mut rng), operand32(&mut rng));
+        let signed: bool = rng.gen();
         let insn = Insn::Mlal { rd_hi: R4, rd_lo: R5, ra: R2, rb: R3, signed };
         let mut asm = Asm::new();
         asm.insn(insn);
@@ -186,13 +203,18 @@ proptest! {
         } else {
             u64::from(a).wrapping_mul(u64::from(b))
         };
-        prop_assert_eq!(got, acc.wrapping_add(prod));
+        assert_eq!(got, acc.wrapping_add(prod), "mlal signed={signed} a={a:#x} b={b:#x}");
     }
+}
 
-    /// Branch predicates agree with the architected comparison semantics:
-    /// a taken branch skips the `r6 = 1` marker instruction.
-    #[test]
-    fn diff_branches(a in any::<u32>(), b in any::<u32>(), kind in 0usize..6) {
+/// Branch predicates agree with the architected comparison semantics:
+/// a taken branch skips the `r6 = 1` marker instruction.
+#[test]
+fn diff_branches() {
+    let mut rng = XorShiftRng::seed_from_u64(0x0B02);
+    for _ in 0..TRIPLES {
+        let (a, b) = (operand32(&mut rng), operand32(&mut rng));
+        let kind = rng.gen_range(0usize..6);
         let taken_expected = match kind {
             0 => a == b,
             1 => a != b,
@@ -222,25 +244,73 @@ proptest! {
         core.set_reg(R2, a);
         core.set_reg(R3, b);
         core.run(&mut mem, 100).unwrap();
-        prop_assert_eq!(core.reg(R6) == 0, taken_expected);
+        assert_eq!(core.reg(R6) == 0, taken_expected, "branch kind {kind} a={a:#x} b={b:#x}");
+    }
+}
+
+/// Immediate forms agree with their register forms.
+#[test]
+fn diff_addi_vs_add() {
+    let mut rng = XorShiftRng::seed_from_u64(0x0B03);
+    for _ in 0..TRIPLES {
+        let a = operand32(&mut rng);
+        let imm: i16 = rng.gen_range(-8192i16..8192);
+        let mut asm = Asm::new();
+        asm.addi(R1, R2, imm);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = FlatMemory::new(0, 128);
+        mem.load_program(&prog, 0).unwrap();
+        let mut core = Core::new(0, CoreModel::risc_baseline());
+        core.reset(0);
+        core.set_reg(R2, a);
+        core.run(&mut mem, 100).unwrap();
+        assert_eq!(core.reg(R1), a.wrapping_add(imm as i32 as u32), "addi a={a:#x} imm={imm}");
+    }
+}
+
+/// The deep variant: proptest-driven case generation with shrinking.
+/// Needs the external `proptest` crate — add `proptest = "1"` under
+/// `[dev-dependencies]` (registry access required) and pass
+/// `--features proptest`.
+#[cfg(feature = "proptest")]
+mod deep {
+    use super::{eval, run_one};
+    use proptest::prelude::*;
+    use ulp_isa::prelude::*;
+
+    macro_rules! alu_case_deep {
+        ($name:ident, $variant:ident) => {
+            proptest! {
+                #[test]
+                fn $name(a in any::<u32>(), b in any::<u32>(), d in any::<u32>()) {
+                    let insn = Insn::$variant(R1, R2, R3);
+                    prop_assert_eq!(run_one(insn, a, b, d), eval(&insn, a, b, d));
+                }
+            }
+        };
     }
 
-    /// Immediate forms agree with their register forms.
-    #[test]
-    fn diff_addi_vs_add(a in any::<u32>(), imm in -8192i16..8192) {
-        let via_imm = {
-            let mut asm = Asm::new();
-            asm.addi(R1, R2, imm);
-            asm.halt();
-            let prog = asm.finish().unwrap();
-            let mut mem = FlatMemory::new(0, 128);
-            mem.load_program(&prog, 0).unwrap();
-            let mut core = Core::new(0, CoreModel::risc_baseline());
-            core.reset(0);
-            core.set_reg(R2, a);
-            core.run(&mut mem, 100).unwrap();
-            core.reg(R1)
-        };
-        prop_assert_eq!(via_imm, a.wrapping_add(imm as i32 as u32));
-    }
+    alu_case_deep!(deep_add, Add);
+    alu_case_deep!(deep_sub, Sub);
+    alu_case_deep!(deep_and, And);
+    alu_case_deep!(deep_or, Or);
+    alu_case_deep!(deep_xor, Xor);
+    alu_case_deep!(deep_sll, Sll);
+    alu_case_deep!(deep_srl, Srl);
+    alu_case_deep!(deep_sra, Sra);
+    alu_case_deep!(deep_slt, Slt);
+    alu_case_deep!(deep_sltu, Sltu);
+    alu_case_deep!(deep_min, Min);
+    alu_case_deep!(deep_max, Max);
+    alu_case_deep!(deep_mul, Mul);
+    alu_case_deep!(deep_mac, Mac);
+    alu_case_deep!(deep_sdotv4, SdotV4);
+    alu_case_deep!(deep_sdotv2, SdotV2);
+    alu_case_deep!(deep_addv4, AddV4);
+    alu_case_deep!(deep_addv2, AddV2);
+    alu_case_deep!(deep_subv4, SubV4);
+    alu_case_deep!(deep_subv2, SubV2);
+    alu_case_deep!(deep_div, Div);
+    alu_case_deep!(deep_divu, Divu);
 }

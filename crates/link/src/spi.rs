@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use ulp_trace::{Component, EventKind, Tracer};
+
 /// Data width of the serial link.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum SpiWidth {
@@ -59,6 +61,7 @@ pub struct SpiLink {
     overhead_bits: u32,
     energy_per_bit_j: f64,
     stats: LinkStats,
+    tracer: Tracer,
 }
 
 impl SpiLink {
@@ -87,7 +90,14 @@ impl SpiLink {
             overhead_bits: Self::DEFAULT_OVERHEAD_BITS,
             energy_per_bit_j: Self::DEFAULT_ENERGY_PER_BIT,
             stats: LinkStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a structured event tracer. Frame transfers are recorded on
+    /// the link's cumulative busy-time axis, in nanoseconds.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Link width.
@@ -150,6 +160,7 @@ impl SpiLink {
     /// seconds.
     pub fn send(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
         let t = self.transfer_seconds(bytes, mcu_hz);
+        self.emit_frame(EventKind::FrameTx { bytes: bytes as u32 }, t);
         self.stats.bytes_tx += bytes as u64;
         self.stats.transactions += 1;
         self.stats.busy_seconds += t;
@@ -161,11 +172,23 @@ impl SpiLink {
     /// seconds.
     pub fn receive(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
         let t = self.transfer_seconds(bytes, mcu_hz);
+        self.emit_frame(EventKind::FrameRx { bytes: bytes as u32 }, t);
         self.stats.bytes_rx += bytes as u64;
         self.stats.transactions += 1;
         self.stats.busy_seconds += t;
         self.stats.energy_joules += self.transfer_energy_joules(bytes);
         t
+    }
+
+    /// Frame events land back-to-back on the cumulative busy-time axis:
+    /// `busy_seconds` grows monotonically and is never reset mid-offload,
+    /// so it already orders frames without an epoch.
+    fn emit_frame(&self, kind: EventKind, seconds: f64) {
+        if self.tracer.is_enabled() {
+            let start = (self.stats.busy_seconds * 1e9) as u64;
+            let dur = (seconds * 1e9) as u64;
+            self.tracer.emit(Component::Link, kind, start, dur);
+        }
     }
 
     /// Accumulated statistics.

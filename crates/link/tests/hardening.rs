@@ -4,10 +4,11 @@
 //! never allocate beyond the input buffer.
 
 use ulp_link::{crc16, Frame, FrameError, FRAME_OVERHEAD};
+use ulp_rng::gen::byte_vec;
 use ulp_rng::XorShiftRng;
 
 fn sample_frames(rng: &mut XorShiftRng) -> Vec<Frame> {
-    let payload: Vec<u8> = (0..rng.gen_range(0usize..512)).map(|_| rng.gen()).collect();
+    let payload = byte_vec(rng, 0..=511);
     vec![
         Frame::Write { addr: rng.gen(), data: payload },
         Frame::Read { addr: rng.gen(), len: rng.gen_range(0u32..0x00FF_FFFF) },
@@ -74,10 +75,7 @@ fn random_corruption_never_panics_and_is_flagged() {
 fn pure_noise_never_panics() {
     let mut rng = XorShiftRng::seed_from_u64(0x015E);
     for _ in 0..2000 {
-        let len = rng.gen_range(0usize..256);
-        let mut noise = vec![0u8; len];
-        rng.fill_bytes(&mut noise);
-        assert_total(&noise);
+        assert_total(&byte_vec(&mut rng, 0..=255));
     }
 }
 

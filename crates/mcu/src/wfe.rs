@@ -65,6 +65,39 @@ pub fn wfe_wait(event_at_cycles: Option<u64>, watchdog_cycles: Option<u64>) -> W
     }
 }
 
+/// [`wfe_wait`] plus observability: records the sleep interval (and the
+/// watchdog trip, if it fired) on the host timeline of `tracer`.
+///
+/// * `at_ns` — host-timeline nanosecond at which WFE is entered.
+/// * `mcu_hz` — host clock, to convert slept cycles to nanoseconds.
+///
+/// # Panics
+///
+/// Panics under the same condition as [`wfe_wait`].
+#[must_use]
+pub fn wfe_wait_traced(
+    event_at_cycles: Option<u64>,
+    watchdog_cycles: Option<u64>,
+    tracer: &ulp_trace::Tracer,
+    at_ns: u64,
+    mcu_hz: f64,
+) -> WfeWait {
+    let wait = wfe_wait(event_at_cycles, watchdog_cycles);
+    if tracer.is_enabled() {
+        let slept_ns = (wait.slept_seconds(mcu_hz) * 1e9) as u64;
+        tracer.emit(ulp_trace::Component::Host, ulp_trace::EventKind::WfeSleep, at_ns, slept_ns);
+        if wait.woke_by == WakeReason::Watchdog {
+            tracer.emit(
+                ulp_trace::Component::Host,
+                ulp_trace::EventKind::Watchdog,
+                at_ns + slept_ns,
+                0,
+            );
+        }
+    }
+    wait
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

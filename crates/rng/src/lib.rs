@@ -29,6 +29,8 @@
 
 use std::ops::{Range, RangeInclusive};
 
+pub mod gen;
+
 /// A 64-bit xorshift\* pseudo-random generator with explicit seeding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct XorShiftRng {

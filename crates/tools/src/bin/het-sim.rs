@@ -8,12 +8,16 @@
 //! het-sim --benchmark strassen --budget-mw 10   # auto op point in budget
 //! het-sim --benchmark matmul --ber 1e-6 --fault-seed 7   # noisy link
 //! het-sim --benchmark cnn --stuck-eoc            # hang → watchdog → host
+//! het-sim --benchmark cnn --trace cnn.json --counters   # cycle timeline
 //! ```
 //!
 //! Prints the offload report (time/energy breakdown, efficiency), the
 //! host-only comparison, and the compute-phase platform power. With any
 //! fault knob set, a resilience section reports recovery activity and its
-//! cost.
+//! cost. `--trace FILE` records a cycle-level timeline of every component
+//! and writes Chrome `trace_event` JSON (open in `chrome://tracing` or
+//! Perfetto); `--counters` prints per-component busy/idle counters and the
+//! per-phase breakdown.
 
 use std::process::ExitCode;
 
@@ -25,6 +29,7 @@ use ulp_offload::{
 };
 use ulp_power::busy_activity;
 use ulp_tools::{parse_benchmark, Args};
+use ulp_trace::Tracer;
 
 #[allow(clippy::too_many_lines)]
 fn run() -> Result<(), String> {
@@ -37,6 +42,7 @@ fn run() -> Result<(), String> {
             "stuck-eoc",
             "stuck-fetch-enable",
             "no-fallback",
+            "counters",
             "help",
         ],
     );
@@ -48,7 +54,8 @@ fn run() -> Result<(), String> {
              [--ber RATE] [--drop-rate R] [--truncate-rate R] [--hang-rate R] \
              [--late-eoc-rate R] [--late-eoc-cycles N] [--stuck-eoc] \
              [--stuck-fetch-enable] [--fault-seed N] [--max-retries N] \
-             [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback]"
+             [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback] \
+             [--trace FILE] [--trace-cap N] [--counters]"
                 .to_owned(),
         );
     }
@@ -94,6 +101,13 @@ fn run() -> Result<(), String> {
     }
 
     let mut sys = HetSystem::new(cfg);
+    let trace_file = args.get("trace").map(str::to_owned);
+    let tracer = if trace_file.is_some() || args.has("counters") {
+        Tracer::with_capacity(args.get_usize("trace-cap", ulp_trace::DEFAULT_RING_CAP)?)
+    } else {
+        Tracer::disabled()
+    };
+    sys.set_tracer(tracer.clone());
     let build = benchmark.build(&TargetEnv::pulp_parallel());
     println!("benchmark : {} — {}", benchmark.name(), benchmark.description());
     println!("region    : {}", TargetRegion::from_kernel(&build));
@@ -185,6 +199,27 @@ fn run() -> Result<(), String> {
         host.seconds / per_iter,
         host.energy_joules / (report.total_energy_joules() / iterations as f64)
     );
+
+    if args.has("counters") {
+        println!("\nper-component utilization (warm run, cluster cycles):");
+        print!("{}", tracer.counters_table());
+        println!("\nphase breakdown (host timeline):");
+        print!("{}", tracer.phase_table());
+    }
+    if let Some(path) = trace_file {
+        let json = tracer.chrome_json();
+        std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let dropped = tracer.dropped();
+        println!(
+            "\ntrace     : {} events → {path}{}",
+            tracer.events().len(),
+            if dropped > 0 {
+                format!(" ({dropped} oldest events dropped; raise --trace-cap)")
+            } else {
+                String::new()
+            }
+        );
+    }
     Ok(())
 }
 

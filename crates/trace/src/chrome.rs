@@ -1,0 +1,313 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON Object Format (`{"traceEvents": […]}`) understood by
+//! `chrome://tracing` and Perfetto. Two processes separate the clock
+//! domains: pid 1 ("cluster") interprets one reported microsecond as one
+//! cluster cycle, pid 2 ("host") as one nanosecond of wall time. All
+//! duration events are complete events (`"ph":"X"`) with integer
+//! timestamps, so the export is byte-deterministic for a given recording.
+
+use crate::{Component, EventKind, TraceEvent, Tracer};
+
+const CLUSTER_PID: u32 = 1;
+const HOST_PID: u32 = 2;
+
+fn pid_of(c: Component) -> u32 {
+    if c.is_cluster_domain() { CLUSTER_PID } else { HOST_PID }
+}
+
+fn tid_of(c: Component) -> u32 {
+    match c {
+        Component::Core(i) => u32::from(i) + 1,
+        Component::Tcdm => 20,
+        Component::Dma => 21,
+        Component::ICache => 22,
+        Component::Cluster => 23,
+        Component::Host => 1,
+        Component::Link => 2,
+    }
+}
+
+/// Event name, category, and optional single `args` key/value.
+fn describe(kind: EventKind) -> (&'static str, &'static str, Option<(&'static str, u64)>) {
+    match kind {
+        EventKind::CoreRun => ("run", "core", None),
+        EventKind::CoreSleep => ("sleep", "core", None),
+        EventKind::CoreMemStall => ("mem-stall", "core", None),
+        EventKind::BankConflict { bank } => ("bank-conflict", "tcdm", Some(("bank", u64::from(bank)))),
+        EventKind::IcacheMiss => ("miss", "icache", None),
+        EventKind::DmaBurst { bytes } => ("burst", "dma", Some(("bytes", u64::from(bytes)))),
+        EventKind::FrameTx { bytes } => ("frame-tx", "link", Some(("bytes", u64::from(bytes)))),
+        EventKind::FrameRx { bytes } => ("frame-rx", "link", Some(("bytes", u64::from(bytes)))),
+        EventKind::Retry { attempt } => ("retry", "link", Some(("attempt", u64::from(attempt)))),
+        EventKind::WfeSleep => ("wfe-sleep", "host", None),
+        EventKind::Watchdog => ("watchdog", "host", None),
+        EventKind::Phase(p) => (p.name(), "phase", None),
+        EventKind::Barrier => ("barrier", "cluster", None),
+    }
+}
+
+fn push_metadata(out: &mut String, pid: u32, tid: Option<u32>, key: &str, value: &str) {
+    out.push_str("{\"ph\":\"M\",\"pid\":");
+    out.push_str(&pid.to_string());
+    if let Some(tid) = tid {
+        out.push_str(",\"tid\":");
+        out.push_str(&tid.to_string());
+    }
+    out.push_str(",\"name\":\"");
+    out.push_str(key);
+    out.push_str("\",\"args\":{\"name\":\"");
+    out.push_str(value);
+    out.push_str("\"}}");
+}
+
+fn push_event(out: &mut String, ev: &TraceEvent) {
+    let (name, cat, arg) = describe(ev.kind);
+    out.push_str("{\"ph\":\"X\",\"pid\":");
+    out.push_str(&pid_of(ev.component).to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&tid_of(ev.component).to_string());
+    out.push_str(",\"name\":\"");
+    out.push_str(name);
+    out.push_str("\",\"cat\":\"");
+    out.push_str(cat);
+    out.push_str("\",\"ts\":");
+    out.push_str(&ev.start.to_string());
+    out.push_str(",\"dur\":");
+    out.push_str(&ev.dur.to_string());
+    if let Some((key, value)) = arg {
+        out.push_str(",\"args\":{\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Serializes a tracer's recording; `{"traceEvents":[]}` when disabled
+/// or empty.
+pub(crate) fn export(tracer: &Tracer) -> String {
+    let events = tracer.events();
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    // Metadata rows only for components that actually appear.
+    let mut components: Vec<Component> = events.iter().map(|e| e.component).collect();
+    components.sort();
+    components.dedup();
+    if components.iter().any(|c| c.is_cluster_domain()) {
+        sep(&mut out);
+        push_metadata(&mut out, CLUSTER_PID, None, "process_name", "cluster");
+    }
+    if components.iter().any(|c| !c.is_cluster_domain()) {
+        sep(&mut out);
+        push_metadata(&mut out, HOST_PID, None, "process_name", "host");
+    }
+    for &c in &components {
+        sep(&mut out);
+        push_metadata(&mut out, pid_of(c), Some(tid_of(c)), "thread_name", &c.label());
+    }
+
+    for ev in &events {
+        sep(&mut out);
+        push_event(&mut out, ev);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Component, EventKind, PhaseKind, Tracer};
+
+    /// Minimal recursive-descent JSON checker — enough to prove the
+    /// export is well-formed without any external parser.
+    mod json {
+        pub fn validate(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0;
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i == b.len() { Ok(()) } else { Err(format!("trailing bytes at {i}")) }
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, b"true"),
+                Some(b'f') => literal(b, i, b"false"),
+                Some(b'n') => literal(b, i, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+
+        fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+            if b[*i..].starts_with(lit) {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b[*i] == b'-' {
+                *i += 1;
+            }
+            let start = *i;
+            while *i < b.len() && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-')) {
+                *i += 1;
+            }
+            if *i == start { Err(format!("bad number at {start}")) } else { Ok(()) }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // opening quote
+            while *i < b.len() {
+                match b[*i] {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".to_owned())
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // '{'
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b'"') {
+                    return Err(format!("expected key at {i}"));
+                }
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                *i += 1;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // '['
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+                }
+            }
+        }
+    }
+
+    fn sample() -> Tracer {
+        let t = Tracer::enabled();
+        t.emit(Component::Core(0), EventKind::CoreRun, 0, 100);
+        t.emit(Component::Core(1), EventKind::CoreSleep, 10, 20);
+        t.emit(Component::Tcdm, EventKind::BankConflict { bank: 5 }, 17, 2);
+        t.emit(Component::Dma, EventKind::DmaBurst { bytes: 256 }, 30, 64);
+        t.emit(Component::ICache, EventKind::IcacheMiss, 4, 9);
+        t.emit(Component::Cluster, EventKind::Barrier, 99, 0);
+        t.emit(Component::Link, EventKind::FrameTx { bytes: 74 }, 0, 4500);
+        t.emit(Component::Link, EventKind::Retry { attempt: 1 }, 4500, 0);
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 100, 9000);
+        t.emit(Component::Host, EventKind::WfeSleep, 100, 8000);
+        t.emit(Component::Host, EventKind::Watchdog, 8100, 0);
+        t
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let json = sample().chrome_json();
+        json::validate(&json).expect("chrome export must be well-formed JSON");
+    }
+
+    #[test]
+    fn empty_export_is_valid_json() {
+        let json = Tracer::disabled().chrome_json();
+        json::validate(&json).unwrap();
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(json::validate("{\"a\":}").is_err());
+        assert!(json::validate("[1,2,").is_err());
+        assert!(json::validate("{} trailing").is_err());
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = sample().chrome_json();
+        let b = sample().chrome_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domains_map_to_separate_pids() {
+        let json = sample().chrome_json();
+        assert!(json.contains("\"args\":{\"name\":\"cluster\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"host\"}"));
+        assert!(json.contains("\"name\":\"bank-conflict\",\"cat\":\"tcdm\""));
+        assert!(json.contains("\"args\":{\"bank\":5}"));
+        assert!(json.contains("\"name\":\"frame-tx\",\"cat\":\"link\""));
+    }
+
+    #[test]
+    fn metadata_only_for_present_components() {
+        let t = Tracer::enabled();
+        t.emit(Component::Core(0), EventKind::CoreRun, 0, 1);
+        let json = t.chrome_json();
+        assert!(json.contains("\"args\":{\"name\":\"core0\"}"));
+        assert!(!json.contains("\"args\":{\"name\":\"host\"}"));
+        assert!(!json.contains("\"args\":{\"name\":\"link\"}"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Plain-text reporting: per-component utilization counters and the
+//! paper's Fig. 4/5 per-phase time decomposition.
+
+use crate::{Component, EventKind, PhaseKind, Tracer};
+
+/// Busy/idle/utilization table over all set counters.
+pub(crate) fn counters_table(tracer: &Tracer) -> String {
+    let counters = tracer.counters();
+    let mut out = String::new();
+    out.push_str("component        busy         idle        total   util\n");
+    if counters.is_empty() {
+        out.push_str("  (no counters recorded)\n");
+        return out;
+    }
+    for (component, c) in counters {
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>12} {:>12} {:>5.1}%\n",
+            component.label(),
+            c.busy,
+            c.idle(),
+            c.total,
+            c.utilization() * 100.0
+        ));
+    }
+    out
+}
+
+/// Aggregates recorded host `Phase` events into a per-phase breakdown
+/// (total ns per phase, share of the phase-covered time).
+pub(crate) fn phase_table(tracer: &Tracer) -> String {
+    let mut totals = [0u64; PhaseKind::ALL.len()];
+    for ev in tracer.events_of(Component::Host) {
+        if let EventKind::Phase(p) = ev.kind {
+            let slot = PhaseKind::ALL.iter().position(|q| *q == p).expect("phase in ALL");
+            totals[slot] += ev.dur;
+        }
+    }
+    let grand: u64 = totals.iter().sum();
+    let mut out = String::new();
+    out.push_str("phase          time (ms)   share\n");
+    if grand == 0 {
+        out.push_str("  (no phase events recorded)\n");
+        return out;
+    }
+    for (slot, phase) in PhaseKind::ALL.iter().enumerate() {
+        let ns = totals[slot];
+        out.push_str(&format!(
+            "{:<10} {:>13.3} {:>6.1}%\n",
+            phase.name(),
+            ns as f64 / 1e6,
+            ns as f64 / grand as f64 * 100.0
+        ));
+    }
+    out.push_str(&format!("{:<10} {:>13.3} {:>6.1}%\n", "total", grand as f64 / 1e6, 100.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Component, EventKind, PhaseKind, Tracer};
+
+    #[test]
+    fn counters_table_lists_components() {
+        let t = Tracer::enabled();
+        t.set_counter(Component::Core(0), 75, 100);
+        t.set_counter(Component::Tcdm, 40, 800);
+        let table = t.counters_table();
+        assert!(table.contains("core0"));
+        assert!(table.contains("75.0%"));
+        assert!(table.contains("tcdm"));
+        assert!(table.contains("5.0%"));
+    }
+
+    #[test]
+    fn counters_table_empty_placeholder() {
+        assert!(Tracer::disabled().counters_table().contains("no counters"));
+    }
+
+    #[test]
+    fn phase_table_shares_sum_to_total() {
+        let t = Tracer::enabled();
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Binary), 0, 1_000_000);
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Input), 1_000_000, 2_000_000);
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 3_000_000, 6_000_000);
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Output), 9_000_000, 1_000_000);
+        let table = t.phase_table();
+        assert!(table.contains("binary"));
+        assert!(table.contains("compute"));
+        assert!(table.contains("60.0%"));
+        assert!(table.contains("10.000"), "total ms row present: {table}");
+    }
+
+    #[test]
+    fn phase_table_accumulates_repeated_phases() {
+        let t = Tracer::enabled();
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Input), 0, 500);
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Input), 500, 500);
+        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 1000, 1000);
+        let table = t.phase_table();
+        assert!(table.contains("50.0%"));
+    }
+
+    #[test]
+    fn phase_table_empty_placeholder() {
+        assert!(Tracer::enabled().phase_table().contains("no phase events"));
+    }
+}

@@ -123,6 +123,32 @@ fn core_count_scaling() {
     assert!(s8 > 5.0 && s8 < 8.0, "8-core speedup {s8:.2}");
 }
 
+/// Golden-figure regression: the Table I reproduction is bit-identical to
+/// the snapshot in `tests/golden/table1.txt`. The bench binary prints the
+/// same string, so any drift in kernel cycle counts, link modeling or
+/// energy accounting — intended or not — shows up as a diff here and the
+/// snapshot must be re-captured deliberately (`cargo run --release -p
+/// ulp-bench --bin table1 > tests/golden/table1.txt`).
+#[test]
+fn table1_matches_golden_snapshot() {
+    assert_eq!(
+        format!("{}\n", ulp_bench::table1::run()),
+        include_str!("golden/table1.txt"),
+        "Table I output drifted from tests/golden/table1.txt"
+    );
+}
+
+/// Same regression guard for the Figure 3 speedup/efficiency sweep
+/// (`tests/golden/fig3.txt`).
+#[test]
+fn fig3_matches_golden_snapshot() {
+    assert_eq!(
+        format!("{}\n", ulp_bench::fig3::run()),
+        include_str!("golden/fig3.txt"),
+        "Figure 3 output drifted from tests/golden/fig3.txt"
+    );
+}
+
 /// A mismatching golden reference is detected by the offload runtime (the
 /// verification path actually verifies).
 #[test]

@@ -1,0 +1,117 @@
+//! Determinism and reconciliation guarantees of the observability layer:
+//! tracing the same workload twice yields byte-identical Chrome JSON, the
+//! perf counters are internally consistent and agree with the activity
+//! numbers in the [`OffloadReport`], and attaching a tracer never changes
+//! what the simulation computes.
+
+use het_accel::prelude::*;
+use ulp_trace::{Component, EventKind, Tracer};
+
+/// Runs the reference workload (matmul, 4 iterations, double-buffered)
+/// with the given tracer attached and returns the report.
+fn offload_traced(tracer: &Tracer) -> OffloadReport {
+    let mut sys = HetSystem::new(HetSystemConfig::default());
+    sys.set_tracer(tracer.clone());
+    let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
+    let opts = OffloadOptions { iterations: 4, double_buffer: true, ..Default::default() };
+    sys.offload(&build, &opts).unwrap()
+}
+
+/// Same seed, same workload, same capacity ⇒ byte-identical trace export.
+/// This is the contract that makes traces diffable across runs and
+/// machines.
+#[test]
+fn chrome_export_is_byte_identical_across_runs() {
+    let t1 = Tracer::enabled();
+    offload_traced(&t1);
+    let t2 = Tracer::enabled();
+    offload_traced(&t2);
+    assert_eq!(t1.chrome_json(), t2.chrome_json());
+    assert!(!t1.events().is_empty(), "the workload must produce events");
+}
+
+/// Byte-identity also holds under ring-buffer pressure: a capacity small
+/// enough to drop events drops the *same* events both times.
+#[test]
+fn chrome_export_is_deterministic_under_drops() {
+    let t1 = Tracer::with_capacity(256);
+    offload_traced(&t1);
+    let t2 = Tracer::with_capacity(256);
+    offload_traced(&t2);
+    assert!(t1.dropped() > 0, "capacity 256 must overflow on this workload");
+    assert_eq!(t1.dropped(), t2.dropped());
+    assert_eq!(t1.chrome_json(), t2.chrome_json());
+}
+
+/// Every counter is internally consistent: busy + idle == total and the
+/// utilization is a fraction.
+#[test]
+fn counters_are_internally_consistent() {
+    let tracer = Tracer::enabled();
+    offload_traced(&tracer);
+    let counters = tracer.counters();
+    assert!(!counters.is_empty());
+    for (component, k) in counters {
+        assert!(k.busy <= k.total, "{component:?}: busy {} > total {}", k.busy, k.total);
+        assert_eq!(k.busy + k.idle(), k.total, "{component:?}");
+        assert!((0.0..=1.0).contains(&k.utilization()), "{component:?}");
+    }
+}
+
+/// The trace counters reconcile exactly with the activity the offload
+/// report carries: both come from the steady-state (warm) run.
+#[test]
+fn counters_reconcile_with_offload_report() {
+    let tracer = Tracer::enabled();
+    let report = offload_traced(&tracer);
+    let activity = &report.activity;
+
+    for (i, active) in activity.core_active_cycles.iter().enumerate() {
+        let k = tracer.counter(Component::Core(i as u8)).unwrap();
+        assert_eq!(k.busy, *active, "core {i} busy cycles");
+        assert_eq!(k.total, activity.total_cycles, "core {i} total cycles");
+    }
+    let tcdm = tracer.counter(Component::Tcdm).unwrap();
+    assert_eq!(tcdm.busy, activity.tcdm_busy_cycles);
+    assert_eq!(tcdm.total, activity.total_cycles * activity.tcdm_banks as u64);
+    let dma = tracer.counter(Component::Dma).unwrap();
+    assert_eq!(dma.busy, activity.dma_busy_cycles);
+}
+
+/// Observability must not perturb the simulation: the report produced with
+/// a tracer attached is bit-identical (via exhaustive `Debug` formatting,
+/// which round-trips every f64 exactly) to the report produced without.
+#[test]
+fn tracer_does_not_perturb_the_report() {
+    let mut plain = HetSystem::new(HetSystemConfig::default());
+    let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
+    let opts = OffloadOptions { iterations: 4, double_buffer: true, ..Default::default() };
+    let without = plain.offload(&build, &opts).unwrap();
+
+    let with = offload_traced(&Tracer::enabled());
+    assert_eq!(format!("{without:?}"), format!("{with:?}"));
+}
+
+/// The host-side phase spans cover the report's phase breakdown: summed
+/// per-phase trace durations equal the report's per-phase seconds (to ns
+/// rounding).
+#[test]
+fn phase_spans_cover_the_report_breakdown() {
+    let tracer = Tracer::enabled();
+    let report = offload_traced(&tracer);
+    let phase_ns: u64 = tracer
+        .events_of(Component::Host)
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Phase(_)))
+        .map(|e| e.dur)
+        .sum();
+    let report_ns = (report.binary_seconds
+        + report.input_seconds
+        + report.compute_seconds
+        + report.output_seconds
+        + report.sync_seconds)
+        * 1e9;
+    let diff = (phase_ns as f64 - report_ns).abs();
+    // One ns of truncation per emitted span is the worst case.
+    assert!(diff <= 8.0, "phase spans {phase_ns} ns vs report {report_ns:.0} ns");
+}
