@@ -1,0 +1,6 @@
+//! Prints the pipelined-offload study (serialized vs pipelined per
+//! benchmark) from fresh simulation.
+
+fn main() {
+    println!("{}", ulp_bench::pipeline::run());
+}

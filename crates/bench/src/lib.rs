@@ -13,6 +13,7 @@
 //! | §V extensions (beyond the paper)        | [`extensions`] | `cargo run --bin extensions` |
 //! | core-count scaling study                | [`scaling`] | `cargo run --bin scaling` |
 //! | fault-injection resilience study        | [`faults`] | `cargo run --bin faults` |
+//! | pipelined-offload study                 | [`pipeline`] | `cargo run --bin pipeline_table` |
 //!
 //! `cargo run --bin all_experiments` prints everything (the source of
 //! `EXPERIMENTS.md`). Absolute numbers come from the calibrated models
@@ -27,6 +28,7 @@ pub mod fig4;
 pub mod fig5a;
 pub mod fig5b;
 pub mod measure;
+pub mod pipeline;
 pub mod scaling;
 pub mod table1;
 

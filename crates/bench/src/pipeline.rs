@@ -1,0 +1,168 @@
+//! Pipelined-offload study: what the chunked, double-buffered engine
+//! hides on every Table I benchmark.
+//!
+//! For each kernel the offload is evaluated twice from one measured
+//! [`OffloadCost`](ulp_offload::OffloadCost) — serialized and pipelined —
+//! and the table reports the modeled end-to-end times plus the engine's
+//! overlap accounting. The serialized column is the exact Fig. 5b ledger;
+//! pipelining only ever subtracts from it.
+
+use ulp_kernels::{Benchmark, TargetEnv};
+use ulp_offload::{HetSystem, HetSystemConfig, OffloadOptions, PipelineConfig};
+
+use crate::render_table;
+
+/// Iterations per offload: enough to amortize the binary and reach the
+/// steady state the engine pipelines.
+pub const ITERATIONS: usize = 32;
+
+/// One benchmark's serialized-vs-pipelined comparison.
+#[derive(Clone, Debug)]
+pub struct PipelinePoint {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Modeled end-to-end seconds, serialized offload.
+    pub serialized_seconds: f64,
+    /// Modeled end-to-end seconds with the pipelined engine.
+    pub pipelined_seconds: f64,
+    /// Chunk frames the engine scheduled.
+    pub chunks: u64,
+    /// Nanoseconds with at least two of {link, DMA, cores} concurrently
+    /// busy.
+    pub hidden_ns: u64,
+    /// The engine beat the legacy double-buffer bound.
+    pub engaged: bool,
+}
+
+impl PipelinePoint {
+    /// Fraction of the serialized cycles the pipeline hid.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.serialized_seconds > 0.0 {
+            1.0 - self.pipelined_seconds / self.serialized_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Evaluates one benchmark at the given pipeline config.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to offload — every kernel is verified
+/// bit-exact against its golden reference, so a failure here is a bug.
+#[must_use]
+pub fn evaluate(benchmark: Benchmark, pipe: PipelineConfig) -> PipelinePoint {
+    let mut sys = HetSystem::new(HetSystemConfig::default());
+    let build = benchmark.build(&TargetEnv::pulp_parallel());
+    let cost = sys
+        .measure_cost(&build)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", build.name));
+    let serialized =
+        sys.predict(&cost, &OffloadOptions { iterations: ITERATIONS, ..Default::default() }, true);
+    let pipelined = sys.predict(
+        &cost,
+        &OffloadOptions {
+            iterations: ITERATIONS,
+            pipeline: PipelineConfig { enabled: true, ..pipe },
+            ..Default::default()
+        },
+        true,
+    );
+    PipelinePoint {
+        benchmark,
+        serialized_seconds: serialized.total_seconds(),
+        pipelined_seconds: pipelined.total_seconds(),
+        chunks: pipelined.overlap.chunks,
+        hidden_ns: pipelined.overlap.hidden_ns(),
+        engaged: pipelined.overlap.engaged,
+    }
+}
+
+/// Evaluates every Table I benchmark at the default chunk/window.
+#[must_use]
+pub fn evaluate_all() -> Vec<PipelinePoint> {
+    Benchmark::ALL.iter().map(|b| evaluate(*b, PipelineConfig::default())).collect()
+}
+
+/// Renders the study as an aligned table.
+#[must_use]
+pub fn render(points: &[PipelinePoint]) -> String {
+    let pipe = PipelineConfig::default();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.benchmark.name().to_owned(),
+                format!("{:.3}", p.serialized_seconds * 1e3),
+                format!("{:.3}", p.pipelined_seconds * 1e3),
+                format!("{:.1}%", p.reduction() * 100.0),
+                format!("{}", p.chunks),
+                format!("{:.3}", p.hidden_ns as f64 / 1e6),
+                if p.engaged { "yes" } else { "no" }.to_owned(),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Pipelined offload — chunk {} B, window {}, {} iterations per offload\n\n",
+        pipe.chunk_bytes, pipe.window, ITERATIONS
+    );
+    out.push_str(&render_table(
+        &["benchmark", "serial ms", "pipelined ms", "hidden", "chunks", "overlap ms", "engaged"],
+        &rows,
+    ));
+    out
+}
+
+/// Evaluates and renders the study.
+#[must_use]
+pub fn run() -> String {
+    render(&evaluate_all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_never_loses_and_sometimes_wins_big() {
+        let points = evaluate_all();
+        assert_eq!(points.len(), Benchmark::ALL.len());
+        for p in &points {
+            assert!(
+                p.pipelined_seconds <= p.serialized_seconds * (1.0 + 1e-12),
+                "{}: pipelined {} > serialized {}",
+                p.benchmark,
+                p.pipelined_seconds,
+                p.serialized_seconds
+            );
+        }
+        // The paper-shaped acceptance claim: at least one benchmark hides
+        // ≥ 20% of its modeled end-to-end cycles.
+        let best = points.iter().map(PipelinePoint::reduction).fold(0.0, f64::max);
+        assert!(best >= 0.20, "best reduction only {:.1}%", best * 100.0);
+    }
+
+    #[test]
+    fn render_lists_every_benchmark() {
+        let table = run();
+        for b in Benchmark::ALL {
+            assert!(table.contains(b.name()), "missing {b}");
+        }
+        assert!(table.contains("chunk 512 B"));
+    }
+
+    #[test]
+    fn bigger_windows_never_slow_the_schedule() {
+        let mut prev = f64::INFINITY;
+        for window in [1, 2, 4, 8] {
+            let p = evaluate(
+                Benchmark::SvmRbf,
+                PipelineConfig { window, ..PipelineConfig::default() },
+            );
+            assert!(p.pipelined_seconds <= prev * (1.0 + 1e-12), "window {window}");
+            prev = p.pipelined_seconds;
+        }
+    }
+}

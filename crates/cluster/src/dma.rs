@@ -68,7 +68,15 @@ impl Dma {
     /// Picks the earliest-free channel; the transfer occupies it for
     /// `setup + ceil(len/4)` cycles starting when both the request time and
     /// the channel allow. Returns the completion time.
+    ///
+    /// An empty burst (`len == 0`) is a complete no-op: it occupies no
+    /// channel, charges no setup cycles and records nothing. Empty `map`
+    /// clauses reach the runtime as zero-length frames and must cost
+    /// nothing end to end.
     pub fn schedule(&mut self, now: u64, len: usize) -> u64 {
+        if len == 0 {
+            return now;
+        }
         let ch = self
             .channels
             .iter_mut()
@@ -163,6 +171,20 @@ mod tests {
         let b = dma.schedule(50, 40); // starts at 50
         assert_eq!(a, 10);
         assert_eq!(b, 60);
+    }
+
+    #[test]
+    fn empty_burst_is_a_no_op() {
+        let mut dma = Dma::new(1, 10);
+        let tracer = Tracer::enabled();
+        dma.set_tracer(tracer.clone());
+        assert_eq!(dma.schedule(42, 0), 42, "no setup cycles charged");
+        assert_eq!(dma.transfers(), 0);
+        assert_eq!(dma.busy_cycles(), 0);
+        assert_eq!(dma.idle_at(), 0, "no channel occupied");
+        assert!(tracer.events().is_empty(), "no burst recorded");
+        // A real burst after the no-op is unaffected.
+        assert_eq!(dma.schedule(0, 4), 11);
     }
 
     #[test]

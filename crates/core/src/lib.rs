@@ -47,15 +47,21 @@
 //! ```
 
 pub mod envelope;
+pub mod pipeline;
+pub mod queue;
 pub mod region;
 pub mod system;
 
 pub use envelope::{envelope_speedup, EnvelopeReport, PowerBudget};
+pub use pipeline::{PipelineConfig, DEFAULT_CHUNK_BYTES, DEFAULT_WINDOW, MIN_CHUNK_BYTES};
+pub use queue::{OffloadQueue, QueueReport};
 pub use region::{MapClause, MapDir, TargetRegion};
 pub use system::{
     HetSystem, HetSystemConfig, HostReport, LinkClocking, OffloadCost, OffloadError,
     OffloadOptions, OffloadPolicy, OffloadReport, ResilienceStats,
 };
 // Re-exported so offload users can configure fault injection without
-// depending on ulp-link directly.
+// depending on ulp-link directly, and the overlap accounting the
+// pipelined engine produces.
 pub use ulp_link::{FaultConfig, FaultStats};
+pub use ulp_trace::Overlap;

@@ -1,0 +1,211 @@
+//! The asynchronous offload queue: enqueue several kernels, pipeline
+//! their frames over the link.
+//!
+//! The serialized host runtime blocks on every `#pragma omp target`: it
+//! cannot start shipping the next kernel's inputs while the accelerator
+//! still computes. The queue removes that barrier — kernels are enqueued
+//! with their own [`OffloadOptions`] and executed by
+//! [`HetSystem::run_queue`](crate::HetSystem::run_queue), which threads
+//! every job through one shared pipeline [`Schedule`](crate::pipeline):
+//! the link keeps up to `window` chunk frames in flight across kernel
+//! boundaries, so kernel *k+1*'s input stream hides under kernel *k*'s
+//! compute.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_offload::{HetSystem, HetSystemConfig, OffloadOptions, OffloadQueue, PipelineConfig};
+//! use ulp_kernels::{Benchmark, TargetEnv};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sys = HetSystem::new(HetSystemConfig::default());
+//! let env = TargetEnv::pulp_parallel();
+//! let mut queue = OffloadQueue::new();
+//! queue.push(Benchmark::MatMul.build(&env), OffloadOptions { iterations: 4, ..Default::default() });
+//! queue.push(Benchmark::Cnn.build(&env), OffloadOptions::default());
+//! let report = sys.run_queue(&queue, PipelineConfig::enabled())?;
+//! assert_eq!(report.reports.len(), 2);
+//! assert!(report.total_seconds <= report.serialized_seconds);
+//! # Ok(())
+//! # }
+//! ```
+
+use ulp_kernels::KernelBuild;
+use ulp_trace::Overlap;
+
+use crate::system::{OffloadOptions, OffloadReport};
+
+/// An ordered batch of offload jobs awaiting execution.
+#[derive(Clone, Debug, Default)]
+pub struct OffloadQueue {
+    jobs: Vec<(KernelBuild, OffloadOptions)>,
+}
+
+impl OffloadQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        OffloadQueue::default()
+    }
+
+    /// Appends a kernel with its invocation options.
+    pub fn push(&mut self, build: KernelBuild, opts: OffloadOptions) {
+        self.jobs.push((build, opts));
+    }
+
+    /// Queued jobs, in execution order.
+    #[must_use]
+    pub fn jobs(&self) -> &[(KernelBuild, OffloadOptions)] {
+        &self.jobs
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Result of draining an [`OffloadQueue`].
+#[derive(Clone, Debug)]
+pub struct QueueReport {
+    /// Per-kernel reports, in queue order — each identical to what a
+    /// standalone [`HetSystem::offload`](crate::HetSystem::offload) with
+    /// the same pipeline config would have produced.
+    pub reports: Vec<OffloadReport>,
+    /// Wall-clock of running every job strictly serialized (no overlap of
+    /// any kind), the baseline of the speedup claim.
+    pub serialized_seconds: f64,
+    /// Modeled wall-clock of the queue as executed (never above
+    /// `serialized_seconds`).
+    pub total_seconds: f64,
+    /// Concurrency accounting of the shared cross-kernel schedule
+    /// (all-zero when the queue ran serialized).
+    pub overlap: Overlap,
+}
+
+impl QueueReport {
+    /// Seconds the queue-level pipelining hid.
+    #[must_use]
+    pub fn hidden_seconds(&self) -> f64 {
+        self.serialized_seconds - self.total_seconds
+    }
+
+    /// Serialized-over-pipelined speedup (1.0 when nothing was hidden).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.serialized_seconds / self.total_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use crate::system::{HetSystem, HetSystemConfig};
+    use ulp_kernels::matmul::{self, MatVariant};
+    use ulp_kernels::TargetEnv;
+
+    fn queue_of(iterations: usize) -> OffloadQueue {
+        let env = TargetEnv::pulp_parallel();
+        let mut q = OffloadQueue::new();
+        q.push(
+            matmul::build_sized(MatVariant::Char, &env, 16),
+            OffloadOptions { iterations, ..Default::default() },
+        );
+        q.push(
+            matmul::build_sized(MatVariant::Char, &env, 8),
+            OffloadOptions { iterations, ..Default::default() },
+        );
+        q
+    }
+
+    #[test]
+    fn queue_collects_jobs_in_order() {
+        let q = queue_of(2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert!(q.jobs()[0].0.name.starts_with("matmul"));
+        assert_ne!(q.jobs()[0].0.name, q.jobs()[1].0.name);
+        assert!(OffloadQueue::new().is_empty());
+    }
+
+    #[test]
+    fn pipelined_queue_never_loses_to_serialized() {
+        let mut sys = HetSystem::new(HetSystemConfig::default());
+        let r = sys.run_queue(&queue_of(4), PipelineConfig::enabled()).unwrap();
+        assert_eq!(r.reports.len(), 2);
+        assert!(r.total_seconds <= r.serialized_seconds);
+        assert!(r.speedup() >= 1.0);
+        assert!(r.overlap.check().is_ok(), "{:?}", r.overlap.check());
+    }
+
+    #[test]
+    fn disabled_pipeline_runs_serialized() {
+        let mut sys = HetSystem::new(HetSystemConfig::default());
+        let r = sys.run_queue(&queue_of(2), PipelineConfig::default()).unwrap();
+        assert!(!r.overlap.any());
+        assert!((r.total_seconds - r.serialized_seconds).abs() < 1e-15);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_reports_match_standalone_offloads() {
+        let pipe = PipelineConfig::enabled();
+        let mut queued = HetSystem::new(HetSystemConfig::default());
+        let qr = queued.run_queue(&queue_of(3), pipe).unwrap();
+
+        let mut solo = HetSystem::new(HetSystemConfig::default());
+        for ((build, opts), queued_report) in queue_of(3).jobs().iter().zip(&qr.reports) {
+            let mut o = *opts;
+            o.pipeline = pipe;
+            let r = solo.offload(build, &o).unwrap();
+            assert_eq!(r.binary_seconds, queued_report.binary_seconds);
+            assert_eq!(r.input_seconds, queued_report.input_seconds);
+            assert_eq!(r.output_seconds, queued_report.output_seconds);
+            assert_eq!(r.compute_seconds, queued_report.compute_seconds);
+            assert_eq!(r.mcu_energy_joules, queued_report.mcu_energy_joules);
+            assert_eq!(r.pulp_energy_joules, queued_report.pulp_energy_joules);
+            assert_eq!(r.link_energy_joules, queued_report.link_energy_joules);
+        }
+    }
+
+    #[test]
+    fn queue_reuses_a_resident_binary() {
+        let env = TargetEnv::pulp_parallel();
+        let mut q = OffloadQueue::new();
+        let build = matmul::build_sized(MatVariant::Char, &env, 16);
+        q.push(build.clone(), OffloadOptions::default());
+        q.push(build, OffloadOptions::default());
+        let mut sys = HetSystem::new(HetSystemConfig::default());
+        let r = sys.run_queue(&q, PipelineConfig::enabled()).unwrap();
+        assert!(r.reports[0].binary_seconds > 0.0);
+        assert_eq!(r.reports[1].binary_seconds, 0.0, "second job reuses the binary");
+    }
+
+    #[test]
+    fn faulty_link_degrades_to_sequential_offloads() {
+        let mut sys = HetSystem::new(HetSystemConfig {
+            fault: crate::FaultConfig {
+                seed: 11,
+                bit_error_rate: 1e-5,
+                ..crate::FaultConfig::default()
+            },
+            ..HetSystemConfig::default()
+        });
+        let r = sys.run_queue(&queue_of(2), PipelineConfig::enabled()).unwrap();
+        assert_eq!(r.reports.len(), 2);
+        assert!(!r.overlap.any(), "no cross-kernel pipelining on a faulty link");
+        assert!(r.total_seconds <= r.serialized_seconds + 1e-12);
+    }
+}

@@ -13,8 +13,10 @@ use ulp_link::{
 use ulp_mcu::wfe::{wfe_wait_traced, WakeReason};
 use ulp_mcu::{datasheet, Mcu, McuDevice};
 use ulp_power::PulpPowerModel;
-use ulp_trace::{Component, EventKind, PhaseKind, Tracer};
+use ulp_trace::{Component, EventKind, Overlap, PhaseKind, Tracer};
 
+use crate::pipeline::{self, ChunkOp, PipelineConfig, PipelineJob, Schedule};
+use crate::queue::{OffloadQueue, QueueReport};
 use crate::region::{MapDir, TargetRegion};
 
 /// How the serial link is clocked (paper §V discusses all three).
@@ -244,6 +246,12 @@ pub struct OffloadOptions {
     /// Recovery policy when faults are injected; irrelevant (and free) on a
     /// fault-free link.
     pub policy: OffloadPolicy,
+    /// The pipelined offload engine: chunk `map` payloads and
+    /// double-buffer them through the TCDM so link, cluster DMA and cores
+    /// overlap (see [`crate::pipeline`]). Disabled by default — every
+    /// serialized figure stays bit-identical — and adopted only when the
+    /// pipelined schedule is strictly shorter, so it can never lose.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for OffloadOptions {
@@ -255,6 +263,7 @@ impl Default for OffloadOptions {
             sensor_direct: false,
             host_task: false,
             policy: OffloadPolicy::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -356,6 +365,13 @@ pub struct OffloadReport {
     pub host_task_cycles: u64,
     /// Recovery activity and its cost (all-zero on a fault-free link).
     pub resilience: ResilienceStats,
+    /// Concurrency accounting of the pipelined engine: busy time per
+    /// offload resource (link, cluster DMA, cores) and their pairwise /
+    /// triple overlap windows. All-zero unless
+    /// [`OffloadOptions::pipeline`] is enabled — the phase and energy
+    /// fields above are *never* altered by pipelining, which only grows
+    /// [`OffloadReport::overlapped_seconds`].
+    pub overlap: Overlap,
 }
 
 impl OffloadReport {
@@ -549,16 +565,20 @@ impl HetSystem {
         Ok(OffloadCost {
             kernel: build.name.clone(),
             offload_bytes: region.offload_bytes(),
+            // Zero-length map clauses are dropped at the source: they
+            // would otherwise travel as header-only frames and reach the
+            // cluster DMA as empty bursts — an empty map must be a no-op
+            // end to end.
             input_frames: region
                 .maps()
                 .iter()
-                .filter(|m| m.dir == MapDir::To)
+                .filter(|m| m.dir == MapDir::To && m.len > 0)
                 .map(|m| m.len)
                 .collect(),
             output_frames: region
                 .maps()
                 .iter()
-                .filter(|m| m.dir == MapDir::From)
+                .filter(|m| m.dir == MapDir::From && m.len > 0)
                 .map(|m| m.len)
                 .collect(),
             cycles_cold,
@@ -620,10 +640,29 @@ impl HetSystem {
         // iteration (transfers for iteration i+1 and results of i-1 move
         // while i computes); the pipeline fill (first input) and drain
         // (last output) remain exposed.
-        let overlapped_seconds = if opts.double_buffer && iterations > 1 {
+        let legacy_overlap = if opts.double_buffer && iterations > 1 {
             (t_in + t_out).min(t_compute_warm) * (iterations - 1) as f64
         } else {
             0.0
+        };
+
+        // The pipelined engine: schedule the same work chunked and
+        // double-buffered, and adopt whichever hides more — the phase
+        // fields above stay at their serialized values either way, so a
+        // pipelined report differs from its serialized twin only in
+        // `overlapped_seconds` and `overlap`.
+        let pipe = opts.pipeline.normalized();
+        let (overlapped_seconds, overlap) = if pipe.enabled {
+            let serial_core = binary_seconds + input_seconds + output_seconds + compute_seconds;
+            let job = self.pipeline_job(cost, opts, include_binary, pipe);
+            let mut sched = Schedule::new(pipe.window);
+            pipeline::schedule_job(&mut sched, &job);
+            let gain = serial_core - sched.makespan() as f64 / 1e9;
+            let mut o = sched.overlap();
+            o.engaged = gain > legacy_overlap && gain > 0.0;
+            (legacy_overlap.max(gain).max(0.0), o)
+        } else {
+            (legacy_overlap, Overlap::default())
         };
 
         // ---- energy ledger ----------------------------------------------
@@ -669,6 +708,47 @@ impl HetSystem {
             link_energy_joules: link_energy,
             host_task_cycles,
             resilience: ResilienceStats::default(),
+            overlap,
+        }
+    }
+
+    /// Converts a measured [`OffloadCost`] into the pipelined engine's
+    /// nanosecond-domain job description: every `map` payload chunked to
+    /// `pipe.chunk_bytes`, each chunk costed on the link (with its own
+    /// 10-byte frame header) and on the cluster DMA
+    /// (`setup + ceil(len/4)` cycles at the accelerator clock).
+    fn pipeline_job(
+        &self,
+        cost: &OffloadCost,
+        opts: &OffloadOptions,
+        include_binary: bool,
+        pipe: PipelineConfig,
+    ) -> PipelineJob {
+        let (spi_drive_hz, _) = self.link_clocks();
+        let f_pulp = self.config.pulp_freq_hz;
+        let dma_setup = u64::from(self.config.cluster.dma_setup);
+        let chunked = |lens: &[usize]| -> Vec<ChunkOp> {
+            lens.iter()
+                .flat_map(|&len| pipeline::chunk_lens(len, pipe.chunk_bytes))
+                .map(|c| ChunkOp {
+                    link_ns: pipeline::ns(
+                        self.link.transfer_seconds(c + FRAME_OVERHEAD, spi_drive_hz),
+                    ),
+                    dma_ns: pipeline::ns((dma_setup + (c as u64).div_ceil(4)) as f64 / f_pulp),
+                })
+                .collect()
+        };
+        let input_bytes: usize = cost.input_frames.iter().sum();
+        PipelineJob {
+            binary: if include_binary { chunked(&[cost.offload_bytes]) } else { Vec::new() },
+            inputs: if opts.sensor_direct { Vec::new() } else { chunked(&cost.input_frames) },
+            outputs: chunked(&cost.output_frames),
+            compute_cold_ns: pipeline::ns(cost.cycles_cold as f64 / f_pulp),
+            compute_warm_ns: pipeline::ns(cost.cycles_warm as f64 / f_pulp),
+            iterations: opts.iterations.max(1),
+            sensor_ns: opts
+                .sensor_direct
+                .then(|| pipeline::ns(input_bytes as f64 / self.config.sensor_bandwidth)),
         }
     }
 
@@ -723,13 +803,27 @@ impl HetSystem {
     ) -> Result<OffloadReport, OffloadError> {
         let cost = self.measure_cost(build)?;
         let mcu_hz = self.config.mcu_freq_hz;
+        // With the pipelined engine on, every payload crosses the link as
+        // a train of chunk frames; the statistics record those frames.
+        let pipe = opts.pipeline.normalized();
+        let send_lens = |len: usize| -> Vec<usize> {
+            if pipe.enabled {
+                pipeline::chunk_lens(len, pipe.chunk_bytes)
+            } else if len > 0 {
+                vec![len]
+            } else {
+                Vec::new()
+            }
+        };
 
         // Program offload (binary + constant maps), once per resident
         // kernel.
         let ship_binary =
             opts.force_reload || self.resident_kernel.as_deref() != Some(build.name.as_str());
         if ship_binary {
-            let _ = self.link.send(cost.offload_bytes + FRAME_OVERHEAD, mcu_hz);
+            for len in send_lens(cost.offload_bytes) {
+                let _ = self.link.send(len + FRAME_OVERHEAD, mcu_hz);
+            }
             let region = TargetRegion::from_kernel(build);
             for buf in &build.buffers {
                 if let BufferInit::Data(d) = &buf.init {
@@ -747,10 +841,14 @@ impl HetSystem {
         // Record the per-iteration data transfers in the link statistics.
         for _ in 0..opts.iterations.max(1) {
             for len in &cost.input_frames {
-                let _ = self.link.send(len + FRAME_OVERHEAD, mcu_hz);
+                for chunk in send_lens(*len) {
+                    let _ = self.link.send(chunk + FRAME_OVERHEAD, mcu_hz);
+                }
             }
             for len in &cost.output_frames {
-                let _ = self.link.receive(len + FRAME_OVERHEAD, mcu_hz);
+                for chunk in send_lens(*len) {
+                    let _ = self.link.receive(chunk + FRAME_OVERHEAD, mcu_hz);
+                }
             }
         }
 
@@ -767,6 +865,9 @@ impl HetSystem {
         };
         if let Ok(report) = &result {
             self.emit_phases(report);
+            if report.overlap.any() {
+                self.tracer.set_overlap(report.overlap);
+            }
         }
         result
     }
@@ -893,6 +994,20 @@ impl HetSystem {
     ) -> Result<OffloadReport, OffloadError> {
         let iterations = opts.iterations.max(1);
         let policy = opts.policy;
+        // With the pipelined engine on, every payload becomes a train of
+        // chunk frames; each chunk is transported (and recovered)
+        // individually, exactly as the selective-repeat window does on the
+        // wire.
+        let pipe = opts.pipeline.normalized();
+        let chunks_of = |len: usize| -> Vec<usize> {
+            if pipe.enabled {
+                pipeline::chunk_lens(len, pipe.chunk_bytes)
+            } else if len > 0 {
+                vec![len]
+            } else {
+                Vec::new()
+            }
+        };
         let mcu_hz = self.config.mcu_freq_hz;
         let f_pulp = self.config.pulp_freq_hz;
         let (spi_drive_hz, transfer_mcu_hz) = self.link_clocks();
@@ -925,12 +1040,15 @@ impl HetSystem {
         let mut failure: Option<OffloadError> = None;
 
         if include_binary {
-            let wire = cost.offload_bytes + FRAME_OVERHEAD;
-            binary_seconds = self.link.transfer_seconds(wire, spi_drive_hz);
-            if let Err(e) =
-                self.transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
-            {
-                failure = Some(e);
+            for chunk in chunks_of(cost.offload_bytes) {
+                let wire = chunk + FRAME_OVERHEAD;
+                binary_seconds += self.link.transfer_seconds(wire, spi_drive_hz);
+                if let Err(e) =
+                    self.transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
+                {
+                    failure = Some(e);
+                    break;
+                }
             }
         }
 
@@ -941,8 +1059,8 @@ impl HetSystem {
                 let input_bytes: usize = cost.input_frames.iter().sum();
                 input_seconds += input_bytes as f64 / self.config.sensor_bandwidth;
             } else {
-                for len in &cost.input_frames {
-                    let wire = len + FRAME_OVERHEAD;
+                for chunk in cost.input_frames.iter().flat_map(|&len| chunks_of(len)) {
+                    let wire = chunk + FRAME_OVERHEAD;
                     input_seconds += self.link.transfer_seconds(wire, spi_drive_hz);
                     if let Err(e) = self
                         .transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
@@ -1022,8 +1140,8 @@ impl HetSystem {
             sync_seconds += 20.0 / mcu_hz;
 
             // -- outputs --------------------------------------------------
-            for len in &cost.output_frames {
-                let wire = len + FRAME_OVERHEAD;
+            for chunk in cost.output_frames.iter().flat_map(|&len| chunks_of(len)) {
+                let wire = chunk + FRAME_OVERHEAD;
                 output_seconds += self.link.transfer_seconds(wire, spi_drive_hz);
                 if let Err(e) =
                     self.transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
@@ -1069,7 +1187,7 @@ impl HetSystem {
 
         // Double buffering still hides steady-state transfers behind
         // compute for the iterations that completed on the device.
-        let overlapped_seconds = if opts.double_buffer && completed > 1 {
+        let legacy_overlap = if opts.double_buffer && completed > 1 {
             let t_in = if opts.sensor_direct {
                 input_bytes as f64 / self.config.sensor_bandwidth
             } else {
@@ -1086,6 +1204,24 @@ impl HetSystem {
             (t_in + t_out).min(t_warm) * (completed - 1) as f64
         } else {
             0.0
+        };
+        // The pipelined engine only claims credit for iterations that
+        // actually completed on the device: its gain is measured against
+        // the serial schedule of that same (chunked) work, so a partially
+        // failed offload can never go overlap-negative.
+        let (overlapped_seconds, overlap) = if pipe.enabled && completed > 0 {
+            let mut jopts = *opts;
+            jopts.iterations = completed;
+            let job = self.pipeline_job(cost, &jopts, include_binary, pipe);
+            let mut sched = Schedule::new(pipe.window);
+            pipeline::schedule_job(&mut sched, &job);
+            let gain =
+                pipeline::serial_ns(&job).saturating_sub(sched.makespan()) as f64 / 1e9;
+            let mut o = sched.overlap();
+            o.engaged = gain > legacy_overlap && gain > 0.0;
+            (legacy_overlap.max(gain), o)
+        } else {
+            (legacy_overlap, Overlap::default())
         };
 
         Ok(OffloadReport {
@@ -1104,6 +1240,7 @@ impl HetSystem {
             link_energy_joules: link_energy,
             host_task_cycles,
             resilience: res,
+            overlap,
         })
     }
 
@@ -1129,6 +1266,135 @@ impl HetSystem {
     #[must_use]
     pub fn link_stats(&self) -> &ulp_link::LinkStats {
         self.link.stats()
+    }
+
+    /// Name of the kernel whose binary is currently resident on the
+    /// accelerator (its next offload skips the program transfer).
+    #[must_use]
+    pub fn resident_kernel(&self) -> Option<&str> {
+        self.resident_kernel.as_deref()
+    }
+
+    /// Runs every kernel of an [`OffloadQueue`] and pipelines their
+    /// frames over the link through one shared engine schedule: the input
+    /// stream of kernel *k+1* starts shifting while kernel *k* still
+    /// computes, exactly as chunks pipeline within a single offload.
+    ///
+    /// Each per-kernel [`OffloadReport`] is exactly what
+    /// [`HetSystem::offload`] would have produced with the queue's
+    /// pipeline config; the [`QueueReport`] adds the cross-kernel view.
+    /// With `pipe.enabled == false` (or a fault-active link, where
+    /// in-flight pipelining is forfeited to keep the per-frame recovery
+    /// accounting exact), the queue degrades to strictly sequential
+    /// offloads and `total_seconds == serialized_seconds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OffloadError`] any queued offload raises.
+    pub fn run_queue(
+        &mut self,
+        queue: &OffloadQueue,
+        pipe: PipelineConfig,
+    ) -> Result<QueueReport, OffloadError> {
+        let norm = pipe.normalized();
+        let mut reports: Vec<OffloadReport> = Vec::with_capacity(queue.len());
+        let mut serialized_seconds = 0.0f64;
+
+        if self.injector.is_active() || !norm.enabled {
+            let mut total_seconds = 0.0f64;
+            for (build, opts) in queue.jobs() {
+                let mut o = *opts;
+                o.pipeline = pipe;
+                let r = self.offload(build, &o)?;
+                serialized_seconds += r.binary_seconds
+                    + r.input_seconds
+                    + r.output_seconds
+                    + r.compute_seconds
+                    + r.sync_seconds
+                    + r.resilience.extra_seconds
+                    + r.resilience.fallback_seconds;
+                total_seconds += r.total_seconds();
+                reports.push(r);
+            }
+            return Ok(QueueReport {
+                reports,
+                serialized_seconds,
+                total_seconds,
+                overlap: Overlap::default(),
+            });
+        }
+
+        let mcu_hz = self.config.mcu_freq_hz;
+        let mut sched = Schedule::new(norm.window);
+        let mut sync_total = 0.0f64;
+        let mut sequential_total = 0.0f64;
+        for (build, opts) in queue.jobs() {
+            let mut o = *opts;
+            o.pipeline = pipe;
+            let cost = self.measure_cost(build)?;
+            let ship_binary = o.force_reload
+                || self.resident_kernel.as_deref() != Some(build.name.as_str());
+            if ship_binary {
+                for len in pipeline::chunk_lens(cost.offload_bytes, norm.chunk_bytes) {
+                    let _ = self.link.send(len + FRAME_OVERHEAD, mcu_hz);
+                }
+                let region = TargetRegion::from_kernel(build);
+                for buf in &build.buffers {
+                    if let BufferInit::Data(d) = &buf.init {
+                        if region
+                            .maps()
+                            .iter()
+                            .any(|m| m.device_addr == buf.addr && m.dir == MapDir::ToOnce)
+                        {
+                            self.cluster.write_tcdm(buf.addr, d)?;
+                        }
+                    }
+                }
+                self.resident_kernel = Some(build.name.clone());
+            }
+            for _ in 0..o.iterations.max(1) {
+                for chunk in cost
+                    .input_frames
+                    .iter()
+                    .flat_map(|&len| pipeline::chunk_lens(len, norm.chunk_bytes))
+                {
+                    let _ = self.link.send(chunk + FRAME_OVERHEAD, mcu_hz);
+                }
+                for chunk in cost
+                    .output_frames
+                    .iter()
+                    .flat_map(|&len| pipeline::chunk_lens(len, norm.chunk_bytes))
+                {
+                    let _ = self.link.receive(chunk + FRAME_OVERHEAD, mcu_hz);
+                }
+            }
+
+            let report = self.predict(&cost, &o, ship_binary);
+            serialized_seconds += report.binary_seconds
+                + report.input_seconds
+                + report.output_seconds
+                + report.compute_seconds
+                + report.sync_seconds;
+            sync_total += report.sync_seconds;
+            sequential_total += report.total_seconds();
+            let job = self.pipeline_job(&cost, &o, ship_binary, norm);
+            let _ = pipeline::schedule_job(&mut sched, &job);
+            self.emit_phases(&report);
+            reports.push(report);
+        }
+
+        // The shared schedule subsumes each job's internal overlap, so the
+        // queue wall-clock is its makespan (plus the GPIO handshakes the
+        // engine does not model) — clamped so queueing never loses to
+        // running the offloads back to back.
+        let pipelined = sched.makespan() as f64 / 1e9 + sync_total;
+        let total_seconds = pipelined.min(sequential_total).min(serialized_seconds);
+        let mut overlap = sched.overlap();
+        overlap.engaged = pipelined < serialized_seconds;
+        if overlap.any() {
+            self.tracer.set_overlap(overlap);
+        }
+        Ok(QueueReport { reports, serialized_seconds, total_seconds, overlap })
     }
 }
 

@@ -25,7 +25,7 @@ use ulp_kernels::TargetEnv;
 use ulp_link::SpiWidth;
 use ulp_offload::{
     FaultConfig, HetSystem, HetSystemConfig, LinkClocking, OffloadOptions, OffloadPolicy,
-    TargetRegion,
+    PipelineConfig, TargetRegion, DEFAULT_CHUNK_BYTES, DEFAULT_WINDOW,
 };
 use ulp_power::busy_activity;
 use ulp_tools::{parse_benchmark, Args};
@@ -37,6 +37,7 @@ fn run() -> Result<(), String> {
         std::env::args().skip(1),
         &[
             "double-buffer",
+            "pipeline",
             "sensor-direct",
             "host-task",
             "stuck-eoc",
@@ -49,7 +50,8 @@ fn run() -> Result<(), String> {
     if args.has("help") || !args.has("benchmark") {
         return Err(
             "usage: het-sim --benchmark NAME [--mcu-mhz F] [--iterations N] \
-             [--double-buffer] [--sensor-direct] [--host-task] [--link spi|qspi] \
+             [--double-buffer] [--pipeline] [--chunk-bytes N] [--window N] \
+             [--sensor-direct] [--host-task] [--link spi|qspi] \
              [--link-clock SPI_MHZ] [--boost-mhz F] [--budget-mw P] \
              [--ber RATE] [--drop-rate R] [--truncate-rate R] [--hang-rate R] \
              [--late-eoc-rate R] [--late-eoc-cycles N] [--stuck-eoc] \
@@ -121,12 +123,19 @@ fn run() -> Result<(), String> {
         sys.config().link_clocking,
     );
 
+    let pipeline = PipelineConfig {
+        enabled: args.has("pipeline"),
+        chunk_bytes: args.get_usize("chunk-bytes", DEFAULT_CHUNK_BYTES)?,
+        window: args.get_usize("window", DEFAULT_WINDOW)?,
+    }
+    .normalized();
     let opts = OffloadOptions {
         iterations,
         double_buffer: args.has("double-buffer"),
         sensor_direct: args.has("sensor-direct"),
         host_task: args.has("host-task"),
         force_reload: false,
+        pipeline,
         policy: OffloadPolicy {
             max_retries: u32::try_from(args.get_usize("max-retries", 3)?)
                 .map_err(|_| "--max-retries out of range".to_owned())?,
@@ -157,6 +166,19 @@ fn run() -> Result<(), String> {
         report.link_energy_joules * 1e6,
         report.total_energy_joules() * 1e6
     );
+    if pipeline.enabled {
+        let serialized = report.total_seconds() + report.overlapped_seconds;
+        println!(
+            "  pipeline  chunk {} B, window {}: serialized {:.3} ms -> pipelined {:.3} ms \
+             ({:.1}% of modeled cycles hidden{})",
+            pipeline.chunk_bytes,
+            pipeline.window,
+            serialized * 1e3,
+            report.total_seconds() * 1e3,
+            report.overlapped_seconds / serialized.max(f64::MIN_POSITIVE) * 100.0,
+            if report.overlap.engaged { "" } else { "; legacy double-buffer bound won" }
+        );
+    }
     if report.host_task_cycles > 0 {
         println!("  host task {:.2} M cycles gained", report.host_task_cycles as f64 / 1e6);
     }
@@ -205,6 +227,10 @@ fn run() -> Result<(), String> {
         print!("{}", tracer.counters_table());
         println!("\nphase breakdown (host timeline):");
         print!("{}", tracer.phase_table());
+        if pipeline.enabled {
+            println!("\npipeline overlap (engine schedule):");
+            print!("{}", tracer.overlap_table());
+        }
     }
     if let Some(path) = trace_file {
         let json = tracer.chrome_json();

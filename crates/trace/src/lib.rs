@@ -207,6 +207,88 @@ pub struct TraceEvent {
     pub dur: u64,
 }
 
+/// Concurrency accounting of one pipelined offload: how long each of the
+/// three offload resources (coupling link, cluster DMA, cores) was busy,
+/// and how much of that busy time was *concurrent* — the quantity that
+/// decides how far double-buffering can shift the paper's amortization
+/// break-even. All durations are host-domain nanoseconds over the same
+/// schedule span.
+///
+/// Invariants (asserted by the trace test battery):
+/// every pairwise overlap is bounded by both of its members' busy times,
+/// the triple overlap is bounded by every pairwise overlap, and no busy
+/// time exceeds the span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Overlap {
+    /// Nanoseconds the SPI/QSPI link was shifting bits.
+    pub link_busy: u64,
+    /// Nanoseconds the cluster DMA was moving chunks.
+    pub dma_busy: u64,
+    /// Nanoseconds the cluster cores were computing.
+    pub core_busy: u64,
+    /// Nanoseconds link and DMA were busy simultaneously.
+    pub link_dma: u64,
+    /// Nanoseconds link and cores were busy simultaneously.
+    pub link_core: u64,
+    /// Nanoseconds DMA and cores were busy simultaneously.
+    pub dma_core: u64,
+    /// Nanoseconds all three were busy simultaneously.
+    pub triple: u64,
+    /// Total schedule span (makespan) in nanoseconds.
+    pub span: u64,
+    /// Chunks that crossed the link (frames of the chunked transfer).
+    pub chunks: u64,
+    /// Whether the pipelined schedule was actually adopted (it beat the
+    /// serialized one); `false` means the runtime fell back to the
+    /// serialized order and the counters describe the rejected schedule.
+    pub engaged: bool,
+}
+
+impl Overlap {
+    /// True if any concurrency was recorded at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != Overlap::default()
+    }
+
+    /// Nanoseconds hidden by concurrency: the difference between the sum
+    /// of busy times and their union (inclusion–exclusion).
+    #[must_use]
+    pub fn hidden_ns(&self) -> u64 {
+        (self.link_dma + self.link_core + self.dma_core).saturating_sub(self.triple)
+    }
+
+    /// Checks the internal consistency of the counters (see the type-level
+    /// invariants). Returns the first violated invariant as text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated bound.
+    pub fn check(&self) -> Result<(), String> {
+        let pairs = [
+            ("link∥dma", self.link_dma, self.link_busy, self.dma_busy),
+            ("link∥core", self.link_core, self.link_busy, self.core_busy),
+            ("dma∥core", self.dma_core, self.dma_busy, self.core_busy),
+        ];
+        for (name, pair, a, b) in pairs {
+            if pair > a.min(b) {
+                return Err(format!("{name} overlap {pair} exceeds member busy {}", a.min(b)));
+            }
+            if self.triple > pair {
+                return Err(format!("triple overlap {} exceeds {name} {pair}", self.triple));
+            }
+        }
+        for (name, busy) in
+            [("link", self.link_busy), ("dma", self.dma_busy), ("core", self.core_busy)]
+        {
+            if busy > self.span {
+                return Err(format!("{name} busy {busy} exceeds span {}", self.span));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Busy/idle counter of one component over its traced lifetime.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Counter {
@@ -259,6 +341,7 @@ impl Ring {
 struct TraceState {
     rings: Vec<Ring>,
     counters: Vec<(Component, Counter)>,
+    overlap: Option<Overlap>,
     ring_cap: usize,
     cluster_epoch: u64,
     host_epoch: u64,
@@ -321,6 +404,7 @@ impl Tracer {
             inner: Some(Rc::new(RefCell::new(TraceState {
                 rings: Vec::new(),
                 counters: Vec::new(),
+                overlap: None,
                 ring_cap: cap,
                 cluster_epoch: 0,
                 host_epoch: 0,
@@ -363,6 +447,21 @@ impl Tracer {
             s.counters.push((component, Counter { busy, total }));
             s.counters.sort_by_key(|(c, _)| *c);
         }
+    }
+
+    /// Sets (overwrites) the pipelined-offload overlap counters. Called
+    /// by the offload runtime after each pipelined schedule, so the
+    /// stored value always describes the most recent offload.
+    pub fn set_overlap(&self, overlap: Overlap) {
+        if let Some(state) = &self.inner {
+            state.borrow_mut().overlap = Some(overlap);
+        }
+    }
+
+    /// The most recently recorded overlap counters, if any.
+    #[must_use]
+    pub fn overlap(&self) -> Option<Overlap> {
+        self.inner.as_ref().and_then(|s| s.borrow().overlap)
     }
 
     /// Advances the cluster-domain epoch by `cycles` (call with the run's
@@ -442,6 +541,7 @@ impl Tracer {
             let mut s = state.borrow_mut();
             s.rings.clear();
             s.counters.clear();
+            s.overlap = None;
         }
     }
 
@@ -464,6 +564,13 @@ impl Tracer {
     #[must_use]
     pub fn phase_table(&self) -> String {
         report::phase_table(self)
+    }
+
+    /// Renders the pipelined-offload overlap counters as a plain-text
+    /// table (busy time per resource, pairwise/triple concurrency).
+    #[must_use]
+    pub fn overlap_table(&self) -> String {
+        report::overlap_table(self)
     }
 }
 
@@ -576,5 +683,64 @@ mod tests {
         assert_eq!(Component::Core(2).label(), "core2");
         assert_eq!(Component::ICache.label(), "icache");
         assert_eq!(PhaseKind::Input.name(), "inputs");
+    }
+
+    #[test]
+    fn overlap_overwrites_and_clears() {
+        let t = Tracer::enabled();
+        assert!(t.overlap().is_none());
+        t.set_overlap(Overlap { link_busy: 10, span: 20, ..Default::default() });
+        t.set_overlap(Overlap { link_busy: 15, span: 30, ..Default::default() });
+        assert_eq!(t.overlap().unwrap().link_busy, 15);
+        t.clear();
+        assert!(t.overlap().is_none());
+    }
+
+    #[test]
+    fn overlap_on_disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        t.set_overlap(Overlap { span: 1, ..Default::default() });
+        assert!(t.overlap().is_none());
+    }
+
+    #[test]
+    fn overlap_check_accepts_consistent_counters() {
+        let o = Overlap {
+            link_busy: 100,
+            dma_busy: 60,
+            core_busy: 80,
+            link_dma: 40,
+            link_core: 50,
+            dma_core: 30,
+            triple: 20,
+            span: 150,
+            chunks: 12,
+            engaged: true,
+        };
+        assert!(o.check().is_ok());
+        assert_eq!(o.hidden_ns(), 40 + 50 + 30 - 20);
+        assert!(o.any());
+        assert!(!Overlap::default().any());
+    }
+
+    #[test]
+    fn overlap_check_rejects_inconsistent_counters() {
+        let pair_over_busy =
+            Overlap { link_busy: 10, dma_busy: 10, link_dma: 11, span: 100, ..Default::default() };
+        assert!(pair_over_busy.check().is_err());
+        let triple_over_pair = Overlap {
+            link_busy: 50,
+            dma_busy: 50,
+            core_busy: 50,
+            link_dma: 10,
+            link_core: 40,
+            dma_core: 40,
+            triple: 20,
+            span: 100,
+            ..Default::default()
+        };
+        assert!(triple_over_pair.check().is_err());
+        let busy_over_span = Overlap { core_busy: 200, span: 100, ..Default::default() };
+        assert!(busy_over_span.check().is_err());
     }
 }

@@ -55,9 +55,47 @@ pub(crate) fn phase_table(tracer: &Tracer) -> String {
     out
 }
 
+/// Renders the pipelined-offload overlap counters: busy time per offload
+/// resource plus the pairwise and triple concurrency windows.
+pub(crate) fn overlap_table(tracer: &Tracer) -> String {
+    let mut out = String::new();
+    out.push_str("overlap           busy (ms)   of span\n");
+    let Some(o) = tracer.overlap() else {
+        out.push_str("  (no overlap recorded)\n");
+        return out;
+    };
+    let share = |ns: u64| {
+        if o.span == 0 {
+            0.0
+        } else {
+            ns as f64 / o.span as f64 * 100.0
+        }
+    };
+    let rows = [
+        ("link busy", o.link_busy),
+        ("dma busy", o.dma_busy),
+        ("core busy", o.core_busy),
+        ("link+dma", o.link_dma),
+        ("link+core", o.link_core),
+        ("dma+core", o.dma_core),
+        ("all three", o.triple),
+    ];
+    for (name, ns) in rows {
+        out.push_str(&format!("{:<14} {:>11.3} {:>8.1}%\n", name, ns as f64 / 1e6, share(ns)));
+    }
+    out.push_str(&format!(
+        "{:<14} {:>11.3}   {} chunks, {}\n",
+        "span",
+        o.span as f64 / 1e6,
+        o.chunks,
+        if o.engaged { "pipelined" } else { "serialized" }
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
-    use crate::{Component, EventKind, PhaseKind, Tracer};
+    use crate::{Component, EventKind, Overlap, PhaseKind, Tracer};
 
     #[test]
     fn counters_table_lists_components() {
@@ -103,5 +141,33 @@ mod tests {
     #[test]
     fn phase_table_empty_placeholder() {
         assert!(Tracer::enabled().phase_table().contains("no phase events"));
+    }
+
+    #[test]
+    fn overlap_table_lists_resources() {
+        let t = Tracer::enabled();
+        t.set_overlap(Overlap {
+            link_busy: 4_000_000,
+            dma_busy: 1_000_000,
+            core_busy: 6_000_000,
+            link_dma: 500_000,
+            link_core: 3_000_000,
+            dma_core: 800_000,
+            triple: 400_000,
+            span: 8_000_000,
+            chunks: 32,
+            engaged: true,
+        });
+        let table = t.overlap_table();
+        assert!(table.contains("link busy"));
+        assert!(table.contains("all three"));
+        assert!(table.contains("32 chunks"));
+        assert!(table.contains("pipelined"));
+        assert!(table.contains("75.0%"), "core busy share: {table}");
+    }
+
+    #[test]
+    fn overlap_table_empty_placeholder() {
+        assert!(Tracer::enabled().overlap_table().contains("no overlap recorded"));
     }
 }

@@ -61,7 +61,8 @@ pub mod prelude {
     pub use ulp_mcu::{datasheet, Mcu, McuDevice};
     pub use ulp_offload::{
         envelope_speedup, FaultConfig, HetSystem, HetSystemConfig, OffloadOptions, OffloadPolicy,
-        OffloadReport, PowerBudget, ResilienceStats, TargetRegion,
+        OffloadQueue, OffloadReport, Overlap, PipelineConfig, PowerBudget, QueueReport,
+        ResilienceStats, TargetRegion,
     };
     pub use ulp_power::PulpPowerModel;
 }

@@ -149,6 +149,60 @@ fn fig3_matches_golden_snapshot() {
     );
 }
 
+/// Same regression guard for the pipelined-offload study
+/// (`tests/golden/pipeline_table.txt`): serialized and pipelined modeled
+/// times per benchmark, chunk counts and overlap accounting. Re-capture
+/// deliberately with `cargo run --release -p ulp-bench --bin
+/// pipeline_table > tests/golden/pipeline_table.txt`.
+#[test]
+fn pipeline_table_matches_golden_snapshot() {
+    assert_eq!(
+        format!("{}\n", ulp_bench::pipeline::run()),
+        include_str!("golden/pipeline_table.txt"),
+        "pipeline study output drifted from tests/golden/pipeline_table.txt"
+    );
+}
+
+/// Empty `map` clauses are a no-op end to end: a zero-length buffer adds
+/// no frames, no link bytes, no DMA bursts and no modeled time — with the
+/// pipeline engine off and on — instead of tripping the empty-burst
+/// assert downstream.
+#[test]
+fn empty_map_clauses_are_a_no_op() {
+    let with_empty_maps = |build: &ulp_kernels::KernelBuild| {
+        let mut b = build.clone();
+        for (role, addr) in [
+            (ulp_kernels::BufferRole::Input, 0x1000_f000),
+            (ulp_kernels::BufferRole::Output, 0x1000_f800),
+        ] {
+            b.buffers.push(ulp_kernels::Buffer {
+                name: "empty",
+                addr,
+                len: 0,
+                init: ulp_kernels::BufferInit::Zero,
+                role,
+            });
+        }
+        b
+    };
+    let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
+    let padded = with_empty_maps(&build);
+    for pipeline in [PipelineConfig::default(), PipelineConfig::enabled()] {
+        let opts = OffloadOptions { iterations: 3, pipeline, ..Default::default() };
+        let mut plain_sys = HetSystem::new(HetSystemConfig::default());
+        let plain = plain_sys.offload(&build, &opts).unwrap();
+        let mut padded_sys = HetSystem::new(HetSystemConfig::default());
+        let padded_report = padded_sys.offload(&padded, &opts).unwrap();
+        assert_eq!(plain.input_seconds, padded_report.input_seconds);
+        assert_eq!(plain.output_seconds, padded_report.output_seconds);
+        assert_eq!(plain.overlapped_seconds, padded_report.overlapped_seconds);
+        assert_eq!(plain.total_seconds(), padded_report.total_seconds());
+        assert_eq!(plain.link_energy_joules, padded_report.link_energy_joules);
+        assert_eq!(plain_sys.link_stats().bytes_tx, padded_sys.link_stats().bytes_tx);
+        assert_eq!(plain_sys.link_stats().bytes_rx, padded_sys.link_stats().bytes_rx);
+    }
+}
+
 /// A mismatching golden reference is detected by the offload runtime (the
 /// verification path actually verifies).
 #[test]

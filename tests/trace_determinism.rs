@@ -92,6 +92,74 @@ fn tracer_does_not_perturb_the_report() {
     assert_eq!(format!("{without:?}"), format!("{with:?}"));
 }
 
+/// Runs the reference workload with the pipelined engine on.
+fn offload_pipelined(tracer: &Tracer) -> OffloadReport {
+    let mut sys = HetSystem::new(HetSystemConfig::default());
+    sys.set_tracer(tracer.clone());
+    let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
+    let opts = OffloadOptions {
+        iterations: 4,
+        pipeline: PipelineConfig::enabled(),
+        ..Default::default()
+    };
+    sys.offload(&build, &opts).unwrap()
+}
+
+/// The overlap counters the pipelined engine publishes to the tracer
+/// reconcile: each pairwise overlap is bounded by its members' busy
+/// times, the triple overlap by each pairwise one, every busy time by
+/// the schedule span — and what the tracer holds is exactly what the
+/// report carries.
+#[test]
+fn pipelined_overlap_counters_reconcile() {
+    let tracer = Tracer::enabled();
+    let report = offload_pipelined(&tracer);
+    let overlap = tracer.overlap().expect("pipelined offload must publish overlap counters");
+    assert_eq!(overlap, report.overlap, "tracer and report disagree");
+    overlap.check().unwrap();
+    assert!(overlap.engaged, "the reference workload must engage the engine");
+    assert!(overlap.chunks > 0);
+    // The hidden time is what the report subtracts (up to ns rounding of
+    // the schedule, and never more than the engine's concurrency).
+    assert!(overlap.hidden_ns() > 0);
+    assert!(
+        report.overlapped_seconds <= overlap.hidden_ns() as f64 / 1e9 + 1e-9,
+        "report hides {} s but the schedule only overlapped {} ns",
+        report.overlapped_seconds,
+        overlap.hidden_ns()
+    );
+    // The overlap table renders every row from these counters.
+    let table = tracer.overlap_table();
+    for needle in ["link busy", "dma busy", "core busy", "all three", "pipelined"] {
+        assert!(table.contains(needle), "overlap table missing {needle:?}:\n{table}");
+    }
+}
+
+/// Byte-identical Chrome export with the pipelined engine on: chunked
+/// transfers, the engine's scheduling and the overlap accounting are all
+/// deterministic.
+#[test]
+fn chrome_export_is_byte_identical_with_pipelining_on() {
+    let t1 = Tracer::enabled();
+    let r1 = offload_pipelined(&t1);
+    let t2 = Tracer::enabled();
+    let r2 = offload_pipelined(&t2);
+    assert_eq!(t1.chrome_json(), t2.chrome_json());
+    assert_eq!(t1.overlap(), t2.overlap());
+    assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    assert!(!t1.events().is_empty());
+}
+
+/// A serialized offload never publishes overlap counters — the pipelined
+/// engine is the only writer, so a trace with overlap rows is proof the
+/// engine ran.
+#[test]
+fn serialized_offloads_publish_no_overlap() {
+    let tracer = Tracer::enabled();
+    offload_traced(&tracer);
+    assert_eq!(tracer.overlap(), None);
+}
+
 /// The host-side phase spans cover the report's phase breakdown: summed
 /// per-phase trace durations equal the report's per-phase seconds (to ns
 /// rounding).
