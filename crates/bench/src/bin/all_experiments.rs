@@ -1,7 +1,12 @@
 //! Runs every experiment of the DATE'16 evaluation and prints the full
 //! report (the source of `EXPERIMENTS.md`).
+//!
+//! Accepts `--jobs N` to bound the sweep's worker threads; the report is
+//! byte-identical at any worker count.
 
 fn main() {
+    let rest = ulp_bench::init_jobs_from_args();
+    assert!(rest.is_empty(), "usage: all_experiments [--jobs N]");
     let measurements = ulp_bench::measure::measure_all();
     println!("{}", ulp_bench::table1::render(&measurements));
     println!("{}", ulp_bench::fig3::run());

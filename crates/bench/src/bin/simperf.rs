@@ -1,0 +1,91 @@
+//! Simulator wall-clock performance tracker: times the evaluation suites,
+//! meters simulated MIPS, runs the in-process turbo-vs-reference engine
+//! comparison, and writes `BENCH_simulator.json`.
+//!
+//! Usage: `simperf [--jobs N] [--out PATH] [--reps N] [--no-turbo]
+//! [--skip-comparison]`
+
+use ulp_bench::simperf::{self, SuitePerf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simperf [--jobs N] [--out PATH] [--reps N] [--no-turbo] [--skip-comparison]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_simulator.json");
+    let mut reps = 3usize;
+    let mut turbo = true;
+    let mut comparison_enabled = true;
+    let mut rest = ulp_bench::init_jobs_from_args().into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--out" => out_path = rest.next().unwrap_or_else(|| usage()),
+            "--reps" => {
+                reps = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-turbo" => turbo = false,
+            "--skip-comparison" => comparison_enabled = false,
+            _ => usage(),
+        }
+    }
+    ulp_cluster::set_default_turbo(turbo);
+    let jobs = ulp_par::effective_jobs();
+    eprintln!("simperf: jobs={jobs} turbo={turbo} reps={reps}");
+
+    // Warm-up pass so one-time costs (page faults, lazy statics) don't
+    // land on the first timed suite.
+    std::hint::black_box(ulp_bench::table1::run().len());
+
+    let mut suites: Vec<SuitePerf> = Vec::new();
+    suites.push(simperf::time_suite("table1", ulp_bench::table1::run));
+    suites.push(simperf::time_suite("pipeline_table", ulp_bench::pipeline::run));
+    suites.push(simperf::time_suite("all_experiments", || {
+        let measurements = ulp_bench::measure::measure_all();
+        let mut report = String::new();
+        report.push_str(&ulp_bench::table1::render(&measurements));
+        report.push_str(&ulp_bench::fig3::run());
+        report.push_str(&ulp_bench::fig4::render(&measurements));
+        report.push_str(&ulp_bench::fig5a::render(&ulp_bench::fig5a::compute(&measurements)));
+        report.push_str(&ulp_bench::fig5b::run());
+        report.push_str(&ulp_bench::ablation::run());
+        report.push_str(&ulp_bench::extensions::run());
+        report.push_str(&ulp_bench::scaling::run());
+        report.push_str(&ulp_bench::faults::run());
+        report
+    }));
+    for s in &suites {
+        eprintln!(
+            "simperf: {:16} {:7.3} cpu-s  {:>12} retired  {:7.2} simulated MIPS",
+            s.name, s.host_cpu_seconds, s.retired, s.simulated_mips
+        );
+    }
+
+    let comparison = if comparison_enabled {
+        let c = simperf::compare_engines(reps, turbo);
+        eprintln!(
+            "simperf: engine comparison (min of {}): reference {:.3} cpu-s, turbo {:.3} cpu-s, speedup {:.3}x",
+            c.reps,
+            c.reference_cpu_seconds,
+            c.turbo_cpu_seconds,
+            c.speedup()
+        );
+        Some(c)
+    } else {
+        None
+    };
+
+    let json = simperf::render_json(&suites, comparison.as_ref(), jobs, turbo);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("simperf: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("simperf: wrote {out_path}");
+    print!("{json}");
+}

@@ -1,5 +1,10 @@
 //! Prints the paper's table1 artifact from fresh simulation.
+//!
+//! Accepts `--jobs N` to bound the sweep's worker threads; the output is
+//! byte-identical at any worker count.
 
 fn main() {
+    let rest = ulp_bench::init_jobs_from_args();
+    assert!(rest.is_empty(), "usage: table1 [--jobs N]");
     println!("{}", ulp_bench::table1::run());
 }

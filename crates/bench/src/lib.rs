@@ -14,6 +14,7 @@
 //! | core-count scaling study                | [`scaling`] | `cargo run --bin scaling` |
 //! | fault-injection resilience study        | [`faults`] | `cargo run --bin faults` |
 //! | pipelined-offload study                 | [`pipeline`] | `cargo run --bin pipeline_table` |
+//! | simulator wall-clock perf tracking      | [`simperf`] | `cargo run --bin simperf` |
 //!
 //! `cargo run --bin all_experiments` prints everything (the source of
 //! `EXPERIMENTS.md`). Absolute numbers come from the calibrated models
@@ -30,7 +31,43 @@ pub mod fig5b;
 pub mod measure;
 pub mod pipeline;
 pub mod scaling;
+pub mod simperf;
 pub mod table1;
+
+/// Consumes a leading `--jobs N` / `--jobs=N` pair from the process
+/// arguments, installs it via [`ulp_par::set_jobs`], and returns the
+/// remaining arguments. Shared by the experiment binaries so every sweep
+/// entry point accepts the same flag.
+///
+/// # Panics
+///
+/// Panics (with a usage message) when `--jobs` is present without a valid
+/// positive integer.
+#[must_use]
+pub fn init_jobs_from_args() -> Vec<String> {
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .expect("--jobs requires a positive integer");
+            ulp_par::set_jobs(Some(n));
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .expect("--jobs requires a positive integer");
+            ulp_par::set_jobs(Some(n));
+        } else {
+            rest.push(arg);
+        }
+    }
+    rest
+}
 
 /// Renders an aligned plain-text table (header + rows).
 #[must_use]

@@ -95,9 +95,14 @@ pub fn measure(benchmark: Benchmark) -> Measurement {
 }
 
 /// Measures every Table I benchmark.
+///
+/// The benchmarks are independent deterministic simulations, so the sweep
+/// fans out over [`ulp_par::par_map`] worker threads. Output order (and
+/// every output byte) is identical to the serial sweep; `--jobs 1` or
+/// `ULP_JOBS=1` forces the serial path.
 #[must_use]
 pub fn measure_all() -> Vec<Measurement> {
-    Benchmark::ALL.iter().map(|b| measure(*b)).collect()
+    ulp_par::par_map(&Benchmark::ALL, |_, b| measure(*b))
 }
 
 #[cfg(test)]
@@ -105,12 +110,44 @@ mod tests {
     use super::*;
 
     #[test]
-    fn measurement_invariants_on_one_benchmark() {
-        let m = measure(Benchmark::SvmLinear);
-        assert!(m.risc_ops > 0);
-        assert!(m.cycles_m3 >= m.cycles_m4, "M3 is never faster than M4");
-        assert!(m.parallel_speedup() > 2.5 && m.parallel_speedup() < 4.0);
-        assert!(m.pulp_ops_per_cycle() > m.mcu_ops_per_cycle());
-        assert!(m.input_bytes > 0 && m.output_bytes > 0 && m.binary_bytes > 0);
+    fn measurement_invariants_on_all_benchmarks() {
+        for m in measure_all() {
+            let name = m.benchmark;
+            println!(
+                "{name:?}: arch_m4 {:.2} arch_m3 {:.2} par {:.2} pulp_opc {:.2} mcu_opc {:.2}",
+                m.arch_speedup_m4(),
+                m.arch_speedup_m3(),
+                m.parallel_speedup(),
+                m.pulp_ops_per_cycle(),
+                m.mcu_ops_per_cycle()
+            );
+            assert!(m.risc_ops > 0, "{name:?}: no retired instructions");
+            assert!(m.cycles_m3 >= m.cycles_m4, "{name:?}: M3 is never faster than M4");
+            // A single OR10N core beats the M4 on most kernels, but Hog's
+            // gather-heavy inner loop lands just below parity (0.87x), so the
+            // general bound only rejects gross regressions.
+            assert!(
+                m.arch_speedup_m4() > 0.75,
+                "{name:?}: single-core speedup {} collapsed",
+                m.arch_speedup_m4()
+            );
+            assert!(
+                m.parallel_speedup() > 1.0 && m.parallel_speedup() < 4.0,
+                "{name:?}: 4-core speedup {} outside (1, 4)",
+                m.parallel_speedup()
+            );
+            assert!(
+                m.pulp_ops_per_cycle() > m.mcu_ops_per_cycle(),
+                "{name:?}: cluster must retire more ops per cycle than the MCU"
+            );
+            assert!(
+                m.input_bytes > 0 && m.output_bytes > 0 && m.binary_bytes > 0,
+                "{name:?}: Table I size columns must be non-zero"
+            );
+            if name == Benchmark::SvmLinear {
+                // The paper's flagship kernel keeps its tighter historical bound.
+                assert!(m.parallel_speedup() > 2.5 && m.parallel_speedup() < 4.0);
+            }
+        }
     }
 }

@@ -158,11 +158,13 @@ impl Bus for ClusterBus {
         addr: u32,
         size: MemSize,
     ) -> Result<Access, BusError> {
-        if crate::dma_mmio_contains(addr) {
-            self.dma_mmio_load(now, addr)
-        } else if self.tcdm.contains(addr) {
+        // TCDM first: all but a sliver of kernel data traffic lands there,
+        // and the windows are disjoint so dispatch order is semantics-free.
+        if self.tcdm.contains(addr) {
             let (value, ready_at) = self.tcdm.load(now, addr, size)?;
             Ok(Access { value, ready_at })
+        } else if crate::dma_mmio_contains(addr) {
+            self.dma_mmio_load(now, addr)
         } else if self.l2.contains(addr) {
             let value = self.l2.load_raw(addr, size)?;
             Ok(Access { value, ready_at: now + u64::from(self.l2_data_latency) })
@@ -179,10 +181,10 @@ impl Bus for ClusterBus {
         size: MemSize,
         value: u32,
     ) -> Result<u64, BusError> {
-        if crate::dma_mmio_contains(addr) {
-            self.dma_mmio_store(now, addr, value)
-        } else if self.tcdm.contains(addr) {
+        if self.tcdm.contains(addr) {
             self.tcdm.store(now, addr, size, value)
+        } else if crate::dma_mmio_contains(addr) {
+            self.dma_mmio_store(now, addr, value)
         } else if self.l2.contains(addr) {
             self.l2.store_raw(addr, size, value)?;
             Ok(now + u64::from(self.l2_data_latency))
@@ -222,6 +224,7 @@ pub struct Cluster {
     event_unit: EventUnit,
     start_time: u64,
     tracer: Tracer,
+    turbo: bool,
 }
 
 impl Cluster {
@@ -261,7 +264,22 @@ impl Cluster {
             config,
             start_time: 0,
             tracer: Tracer::disabled(),
+            turbo: crate::default_turbo(),
         }
+    }
+
+    /// Selects the scheduling engine for this cluster: `true` = turbo
+    /// batching scheduler, `false` = reference one-instruction-per-scan
+    /// scheduler. Both are bit-identical in every observable output; see
+    /// [`crate::set_default_turbo`] for the process-wide default.
+    pub fn set_turbo(&mut self, on: bool) {
+        self.turbo = on;
+    }
+
+    /// Which scheduling engine this cluster uses.
+    #[must_use]
+    pub fn turbo(&self) -> bool {
+        self.turbo
     }
 
     /// Attaches a structured event tracer to the cluster and every
@@ -459,7 +477,11 @@ impl Cluster {
     /// Runs until every core has halted (or faults/deadlocks/times out).
     ///
     /// Cores are interleaved lowest-local-time-first so shared-resource
-    /// arbitration happens in approximate global order.
+    /// arbitration happens in approximate global order. Two engines
+    /// implement that schedule — the reference one-instruction-per-scan
+    /// loop and a turbo loop that batches the frontmost core (see
+    /// [`Cluster::set_turbo`]); they retire the exact same instruction
+    /// sequence and produce bit-identical results.
     ///
     /// # Errors
     ///
@@ -467,6 +489,26 @@ impl Cluster {
     /// `max_cycles`.
     pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<RunResult, ClusterError> {
         let deadline = self.start_time + max_cycles;
+        if self.turbo {
+            self.run_loop_turbo(deadline, max_cycles)?;
+        } else {
+            self.run_loop_reference(deadline, max_cycles)?;
+        }
+
+        let end_time = self.cores.iter().map(Core::time).max().unwrap_or(self.start_time);
+        let cycles = end_time - self.start_time;
+        let activity = self.collect_activity(cycles);
+        ulp_isa::perf::add_retired(activity.total_retired());
+        self.record_counters(&activity);
+        // Lay the next run out after this one on the shared trace timeline.
+        self.tracer.advance_cluster_epoch(end_time);
+        Ok(RunResult { cycles, end_time, eoc_at: self.event_unit.eoc_at(), activity })
+    }
+
+    /// Reference scheduler: rescan for the lowest-local-time running core
+    /// before every single instruction. This is the executable definition
+    /// of the interleaving order; the turbo engine is validated against it.
+    fn run_loop_reference(&mut self, deadline: u64, max_cycles: u64) -> Result<(), ClusterError> {
         loop {
             // Pick the running core with the smallest local time.
             let mut next: Option<usize> = None;
@@ -479,7 +521,7 @@ impl Cluster {
             }
             let Some(i) = next else {
                 if self.cores.iter().all(|c| c.state() == CoreState::Halted) {
-                    break;
+                    return Ok(());
                 }
                 return Err(ClusterError::Deadlock);
             };
@@ -489,39 +531,110 @@ impl Cluster {
             let outcome = self.cores[i]
                 .step(&mut self.bus)
                 .map_err(|err| ClusterError::Exec { core: i, err })?;
-            match outcome {
-                StepOutcome::Executed | StepOutcome::Halted => {}
-                StepOutcome::Sleeping => self.waits[i] = WaitReason::Event,
-                StepOutcome::EventSent(id) => self.route_event(i, id),
-                StepOutcome::BarrierArrived => {
-                    self.waits[i] = WaitReason::Barrier;
-                    if let Some(release) = self.event_unit.barrier_arrive(i, self.cores[i].time())
-                    {
-                        let t = release + u64::from(self.config.barrier_latency);
-                        self.tracer.emit(
-                            Component::Cluster,
-                            EventKind::Barrier,
-                            release,
-                            u64::from(self.config.barrier_latency),
-                        );
-                        for (j, c) in self.cores.iter_mut().enumerate() {
-                            if self.waits[j] == WaitReason::Barrier {
-                                c.wake(t);
-                                self.waits[j] = WaitReason::None;
-                            }
+            self.apply_outcome(i, outcome);
+        }
+    }
+
+    /// Turbo scheduler: picks the frontmost running core once, then batches
+    /// instructions on it for as long as the choice the reference scheduler
+    /// would make stays the same.
+    ///
+    /// Correctness argument: the reference order is argmin over running
+    /// cores of the key `(local_time, core_index)` — the strict `<` scan in
+    /// [`Self::run_loop_reference`] keeps the first (lowest-index) core on
+    /// time ties. A step whose outcome is `Executed` only mutates the
+    /// stepped core and the shared bus; no other core's state or time
+    /// changes, so the next argmin is either still core `i` (iff
+    /// `(t_i, i) < second`, where `second` is the runner-up key from the
+    /// scan — keys never compare equal because indices are distinct) or
+    /// `second`'s core. Any other outcome (halt, sleep, event, barrier) can
+    /// change other cores' states, so we apply its side effects and rescan.
+    /// The stepped sequence is therefore exactly the reference sequence,
+    /// instruction for instruction, and every observable output
+    /// (`RunResult`, activity counters, trace events) is bit-identical.
+    fn run_loop_turbo(&mut self, deadline: u64, max_cycles: u64) -> Result<(), ClusterError> {
+        // Scheduling keys pack `(time, index)` into one u64 —
+        // `(time << shift) | index`, with `shift` wide enough for every
+        // index — preserving the lexicographic order the reference
+        // scheduler implements (its strict `<` scan keeps the first, i.e.
+        // lowest-index, core on a time tie) while making both the scan and
+        // the per-step batch check single branchless-friendly integer
+        // compares. Shift/mask rather than multiply/modulo keeps the
+        // per-batch unpack off the u64-division unit. Times stay far below
+        // `u64::MAX >> shift` (runs are bounded by `max_cycles`), so the
+        // packing cannot wrap.
+        let shift = usize::BITS - self.cores.len().saturating_sub(1).leading_zeros();
+        let index_mask = (1u64 << shift) - 1;
+        'outer: loop {
+            // One scan yields both the frontmost running core and the
+            // runner-up key that bounds its batch. `u64::min`/`max` compile
+            // to conditional moves, so the scan does not mispredict on the
+            // cores' effectively random time ordering.
+            let mut best = u64::MAX;
+            let mut second = u64::MAX;
+            for (i, c) in self.cores.iter().enumerate() {
+                let key = if c.state() == CoreState::Running {
+                    (c.time() << shift) | i as u64
+                } else {
+                    u64::MAX
+                };
+                second = second.min(best.max(key));
+                best = best.min(key);
+            }
+            if best == u64::MAX {
+                if self.cores.iter().all(|c| c.state() == CoreState::Halted) {
+                    return Ok(());
+                }
+                return Err(ClusterError::Deadlock);
+            }
+            let i = (best & index_mask) as usize;
+            // Batch core `i`. Field-split borrows hoist the bounds check
+            // out of the hot loop; `apply_outcome` (which needs all of
+            // `self`) runs only after the batch ends.
+            let core = &mut self.cores[i];
+            let outcome = loop {
+                if core.time() > deadline {
+                    return Err(ClusterError::Timeout { max_cycles });
+                }
+                let outcome =
+                    core.step(&mut self.bus).map_err(|err| ClusterError::Exec { core: i, err })?;
+                if outcome != StepOutcome::Executed {
+                    break outcome;
+                }
+                if ((core.time() << shift) | i as u64) > second {
+                    continue 'outer;
+                }
+            };
+            self.apply_outcome(i, outcome);
+        }
+    }
+
+    /// Applies the cluster-level side effects of one step outcome (shared
+    /// by both scheduling engines).
+    fn apply_outcome(&mut self, i: usize, outcome: StepOutcome) {
+        match outcome {
+            StepOutcome::Executed | StepOutcome::Halted => {}
+            StepOutcome::Sleeping => self.waits[i] = WaitReason::Event,
+            StepOutcome::EventSent(id) => self.route_event(i, id),
+            StepOutcome::BarrierArrived => {
+                self.waits[i] = WaitReason::Barrier;
+                if let Some(release) = self.event_unit.barrier_arrive(i, self.cores[i].time()) {
+                    let t = release + u64::from(self.config.barrier_latency);
+                    self.tracer.emit(
+                        Component::Cluster,
+                        EventKind::Barrier,
+                        release,
+                        u64::from(self.config.barrier_latency),
+                    );
+                    for (j, c) in self.cores.iter_mut().enumerate() {
+                        if self.waits[j] == WaitReason::Barrier {
+                            c.wake(t);
+                            self.waits[j] = WaitReason::None;
                         }
                     }
                 }
             }
         }
-
-        let end_time = self.cores.iter().map(Core::time).max().unwrap_or(self.start_time);
-        let cycles = end_time - self.start_time;
-        let activity = self.collect_activity(cycles);
-        self.record_counters(&activity);
-        // Lay the next run out after this one on the shared trace timeline.
-        self.tracer.advance_cluster_epoch(end_time);
-        Ok(RunResult { cycles, end_time, eoc_at: self.event_unit.eoc_at(), activity })
     }
 
     /// Publishes the run's busy/total cycles per component to the tracer.
@@ -795,6 +908,54 @@ mod tests {
         let res = cl.run_until_halt(100_000).unwrap();
         assert!(res.activity.icache_misses <= 2);
         assert!(res.activity.icache_hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn self_modifying_code_through_cluster_fetch_path() {
+        // A program that patches one of its own instructions via a data
+        // store through the cluster bus, then executes the patched word.
+        // This exercises the L2 decoded-instruction cache invalidation: the
+        // target was predecoded at load time as `addi r5, r0, 1`, and the
+        // store must evict that entry so the fetch path re-decodes the new
+        // word.
+        let new_word = ulp_isa::encode(&Insn::Addi(R5, R0, 42)).unwrap();
+        let build = |target_addr: u32| {
+            let mut a = Asm::new();
+            a.li(R2, new_word as i32);
+            a.la(R1, target_addr);
+            a.sw(R2, R1, 0);
+            let target_off = a.here();
+            a.addi(R5, R0, 1); // patched to `addi r5, r0, 42` before it runs
+            a.la(R3, TCDM_BASE);
+            a.sw(R5, R3, 0);
+            a.halt();
+            (a.finish().unwrap(), target_off)
+        };
+        // Two-pass assembly: measure the patch target's offset with a
+        // placeholder address of the same encoding length, then rebuild.
+        let (_, target_off) = build(L2_BASE + 4);
+        let (prog, check) = build(L2_BASE + target_off);
+        assert_eq!(check, target_off);
+
+        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        cl.load_binary(&prog, L2_BASE).unwrap();
+        cl.start(L2_BASE, &[], 0);
+        cl.run_until_halt(10_000).unwrap();
+        assert_eq!(cl.read_tcdm_u32(TCDM_BASE).unwrap(), 42);
+    }
+
+    #[test]
+    fn turbo_and_reference_engines_bit_identical() {
+        let run = |turbo: bool| {
+            let mut cl = quad();
+            cl.set_turbo(turbo);
+            cl.load_binary(&fork_join_prog(), L2_BASE).unwrap();
+            cl.start(L2_BASE, &[], 0);
+            cl.run_until_halt(1_000_000).unwrap()
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -25,9 +25,19 @@ pub struct ICache {
     index_mask: u32,
     tags: Vec<Option<u32>>,
     miss_penalty: u32,
+    // One-entry filter in front of the tag store: the line address of the
+    // most recent hit or fill. Straight-line refetch streams hit here
+    // without recomputing index/tag. Purely an implementation shortcut —
+    // a filter hit implies the tag store already matches, so hit/miss
+    // accounting and tag state are identical with or without it.
+    hot_line: u32,
     hits: u64,
     misses: u64,
 }
+
+/// `hot_line` value that can never match a real line address (lines are at
+/// most 2^30 because addresses are 32-bit and lines are >= 4 bytes).
+const NO_HOT_LINE: u32 = u32::MAX;
 
 impl ICache {
     /// Creates a cache of `size` bytes with `line` byte lines and the given
@@ -46,6 +56,7 @@ impl ICache {
             index_mask: lines as u32 - 1,
             tags: vec![None; lines],
             miss_penalty,
+            hot_line: NO_HOT_LINE,
             hits: 0,
             misses: 0,
         }
@@ -53,16 +64,23 @@ impl ICache {
 
     /// Looks up `pc`; returns the extra cycles the fetch costs (0 on a hit,
     /// the miss penalty on a miss, filling the line).
+    #[inline]
     pub fn access(&mut self, pc: u32) -> u32 {
         let line_addr = pc >> self.line_shift;
+        if line_addr == self.hot_line {
+            self.hits += 1;
+            return 0;
+        }
         let index = (line_addr & self.index_mask) as usize;
         let tag = line_addr >> self.index_mask.count_ones();
         if self.tags[index] == Some(tag) {
             self.hits += 1;
+            self.hot_line = line_addr;
             0
         } else {
             self.misses += 1;
             self.tags[index] = Some(tag);
+            self.hot_line = line_addr;
             self.miss_penalty
         }
     }
@@ -82,6 +100,7 @@ impl ICache {
     /// Invalidates all lines (called after a new binary is offloaded).
     pub fn invalidate(&mut self) {
         self.tags.fill(None);
+        self.hot_line = NO_HOT_LINE;
     }
 
     /// Resets the PMU counters.

@@ -5,14 +5,14 @@
 //! and normally keep data in the TCDM; direct data access to L2 is possible
 //! but pays the cluster-bus latency.
 
-use ulp_isa::{decode, BusError, Insn, MemSize, Program};
+use ulp_isa::{BusError, DecodeCache, Insn, MemSize, Program};
 
 /// The L2 memory, with a decoded-instruction side table for fast fetch.
 #[derive(Clone, Debug)]
 pub struct L2Memory {
     base: u32,
     data: Vec<u8>,
-    decoded: Vec<Option<Insn>>,
+    decoded: DecodeCache,
     accesses: u64,
 }
 
@@ -20,7 +20,7 @@ impl L2Memory {
     /// Creates a zeroed L2 of `size` bytes at `base`.
     #[must_use]
     pub fn new(base: u32, size: usize) -> Self {
-        L2Memory { base, data: vec![0; size], decoded: vec![None; size.div_ceil(4)], accesses: 0 }
+        L2Memory { base, data: vec![0; size], decoded: DecodeCache::new(size), accesses: 0 }
     }
 
     /// Base address.
@@ -73,6 +73,10 @@ impl L2Memory {
         self.write_bytes(addr, &text)?;
         let rodata_base = addr + prog.rodata_offset() as u32;
         self.write_bytes(rodata_base, prog.rodata())?;
+        // Predecode the text so steady-state fetches never decode;
+        // undecodable words stay lazy (bit-identical error behaviour).
+        let off = addr.wrapping_sub(self.base) as usize;
+        self.decoded.predecode(off, text.len(), &self.data);
         Ok(rodata_base)
     }
 
@@ -84,9 +88,7 @@ impl L2Memory {
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusError> {
         let off = self.offset(addr, bytes.len() as u32)?;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
-        for w in off / 4..(off + bytes.len()).div_ceil(4) {
-            self.decoded[w] = None;
-        }
+        self.decoded.invalidate(off, bytes.len());
         Ok(())
     }
 
@@ -106,14 +108,9 @@ impl L2Memory {
     ///
     /// Returns [`BusError::OutOfBounds`] if the access does not fit.
     pub fn load_raw(&mut self, addr: u32, size: MemSize) -> Result<u32, BusError> {
-        let n = size.bytes();
-        let off = self.offset(addr, n)?;
+        let off = self.offset(addr, size.bytes())?;
         self.accesses += 1;
-        let mut v = 0u32;
-        for i in (0..n as usize).rev() {
-            v = (v << 8) | u32::from(self.data[off + i]);
-        }
-        Ok(v)
+        Ok(ulp_isa::load_le(&self.data, off, size))
     }
 
     /// Raw data store.
@@ -125,12 +122,8 @@ impl L2Memory {
         let n = size.bytes();
         let off = self.offset(addr, n)?;
         self.accesses += 1;
-        for i in 0..n as usize {
-            self.data[off + i] = (value >> (8 * i)) as u8;
-        }
-        for w in off / 4..(off + n as usize).div_ceil(4) {
-            self.decoded[w] = None;
-        }
+        ulp_isa::store_le(&mut self.data, off, size, value);
+        self.decoded.invalidate(off, n as usize);
         Ok(())
     }
 
@@ -140,21 +133,10 @@ impl L2Memory {
     ///
     /// Returns [`BusError`] if `pc` is outside L2 or holds an undecodable
     /// word.
+    #[inline]
     pub fn fetch_insn(&mut self, pc: u32) -> Result<Insn, BusError> {
         let off = self.offset(pc, 4)?;
-        let slot = off / 4;
-        if let Some(i) = self.decoded[slot] {
-            return Ok(i);
-        }
-        let word = u32::from_le_bytes([
-            self.data[off],
-            self.data[off + 1],
-            self.data[off + 2],
-            self.data[off + 3],
-        ]);
-        let insn = decode(word).map_err(|_| BusError::Unmapped { addr: pc })?;
-        self.decoded[slot] = Some(insn);
-        Ok(insn)
+        self.decoded.fetch(off, &self.data).ok_or(BusError::Unmapped { addr: pc })
     }
 }
 

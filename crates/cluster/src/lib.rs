@@ -86,3 +86,28 @@ pub const DMA_MMIO_SIZE: u32 = 0x10;
 pub fn dma_mmio_contains(addr: u32) -> bool {
     (DMA_MMIO_BASE..DMA_MMIO_BASE + DMA_MMIO_SIZE).contains(&addr)
 }
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DEFAULT_TURBO: AtomicBool = AtomicBool::new(true);
+
+/// Sets the *default* scheduling engine for clusters built after this call:
+/// `true` (the initial value) selects the turbo batching scheduler, `false`
+/// the reference one-instruction-per-scan scheduler. Both produce
+/// bit-identical results; the knob exists as an escape hatch
+/// (`het-sim --no-turbo`) and for differential testing.
+///
+/// This is a process-wide setting intended for CLI entry points; tests that
+/// need a specific engine on a specific instance should use
+/// [`Cluster::set_turbo`] instead to stay race-free under the parallel test
+/// runner.
+pub fn set_default_turbo(on: bool) {
+    DEFAULT_TURBO.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide default scheduling engine (see
+/// [`set_default_turbo`]).
+#[must_use]
+pub fn default_turbo() -> bool {
+    DEFAULT_TURBO.load(Ordering::Relaxed)
+}

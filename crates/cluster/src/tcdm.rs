@@ -165,11 +165,7 @@ impl Tcdm {
         let n = size.bytes();
         let off = self.offset(addr, n)?;
         let ready = self.arbitrate(now, addr, n);
-        let mut v = 0u32;
-        for i in (0..n as usize).rev() {
-            v = (v << 8) | u32::from(self.data[off + i]);
-        }
-        Ok((v, ready))
+        Ok((ulp_isa::load_le(&self.data, off, size), ready))
     }
 
     /// Timed store: returns the completion cycle.
@@ -187,9 +183,7 @@ impl Tcdm {
         let n = size.bytes();
         let off = self.offset(addr, n)?;
         let ready = self.arbitrate(now, addr, n);
-        for i in 0..n as usize {
-            self.data[off + i] = (value >> (8 * i)) as u8;
-        }
+        ulp_isa::store_le(&mut self.data, off, size, value);
         Ok(ready)
     }
 

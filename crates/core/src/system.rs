@@ -472,6 +472,14 @@ impl HetSystem {
         &self.tracer
     }
 
+    /// Selects the cluster's scheduling engine: `true` = turbo batching
+    /// scheduler (the default), `false` = reference
+    /// one-instruction-per-scan scheduler. Both produce bit-identical
+    /// reports; see [`ulp_cluster::set_default_turbo`].
+    pub fn set_turbo(&mut self, on: bool) {
+        self.cluster.set_turbo(on);
+    }
+
     /// The system configuration.
     #[must_use]
     pub fn config(&self) -> &HetSystemConfig {

@@ -1,0 +1,150 @@
+//! Decoded-instruction side table shared by every memory that serves
+//! instruction fetches.
+//!
+//! Both the host's [`FlatMemory`](crate::FlatMemory) and the cluster's L2
+//! (in `ulp-cluster`) keep one decoded [`Insn`] per 4-byte word next to the
+//! raw bytes so the interpreter's hot loop never re-decodes. The cache must
+//! be invalidated on *every* write that can touch program text (data
+//! stores, DMA back-doors, program loads) — logic that used to be
+//! duplicated across both memories and is centralized here.
+//!
+//! Slots are `Option<Insn>` rather than a sentinel variant: `None` means
+//! "not decoded yet *or* not decodable", and a fetch of an undecodable word
+//! must keep failing lazily at fetch time, exactly as it did before any
+//! predecoding existed. (The niche optimization makes `Option<Insn>` the
+//! same size as `Insn`, so this costs no memory over a dense table.)
+
+use crate::encode::decode;
+use crate::insn::Insn;
+
+/// One decoded-instruction slot per 4-byte word of a backing memory.
+///
+/// # Example
+///
+/// ```
+/// use ulp_isa::{DecodeCache, Insn};
+///
+/// let word = ulp_isa::encode(&Insn::Nop).unwrap();
+/// let data = word.to_le_bytes();
+/// let mut cache = DecodeCache::new(data.len());
+/// assert_eq!(cache.fetch(0, &data), Some(Insn::Nop));
+/// cache.invalidate(0, 4);
+/// assert_eq!(cache.cached(0), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecodeCache {
+    slots: Vec<Option<Insn>>,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache covering `size_bytes` of backing memory.
+    #[must_use]
+    pub fn new(size_bytes: usize) -> Self {
+        DecodeCache { slots: vec![None; size_bytes.div_ceil(4)] }
+    }
+
+    /// The already-decoded instruction at byte offset `off`, if any.
+    #[inline]
+    #[must_use]
+    pub fn cached(&self, off: usize) -> Option<Insn> {
+        self.slots[off / 4]
+    }
+
+    /// Returns the decoded instruction at byte offset `off`, decoding (and
+    /// caching) from `data` on a miss. `None` means the word does not
+    /// decode — the caller reports its own fetch error, preserving the
+    /// lazy-error behaviour of an uncached fetch.
+    #[inline]
+    pub fn fetch(&mut self, off: usize, data: &[u8]) -> Option<Insn> {
+        let slot = off / 4;
+        if let Some(insn) = self.slots[slot] {
+            return Some(insn);
+        }
+        let word =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+        let insn = decode(word).ok()?;
+        self.slots[slot] = Some(insn);
+        Some(insn)
+    }
+
+    /// Invalidates every slot overlapping the byte range `[off, off + len)`
+    /// — the single definition of the invalidation rule that used to be
+    /// duplicated in `FlatMemory` and `L2Memory`.
+    #[inline]
+    pub fn invalidate(&mut self, off: usize, len: usize) {
+        for w in off / 4..(off + len).div_ceil(4) {
+            self.slots[w] = None;
+        }
+    }
+
+    /// Eagerly decodes the word-aligned byte range `[off, off + len)` from
+    /// `data` so steady-state fetches never pay the decode. Undecodable
+    /// words (rodata, padding) are left empty: they keep failing lazily at
+    /// fetch time, bit-identically to a run without predecode.
+    pub fn predecode(&mut self, off: usize, len: usize, data: &[u8]) {
+        let end = (off + len).min(data.len()) & !3;
+        let mut o = (off + 3) & !3;
+        while o + 4 <= end {
+            if self.slots[o / 4].is_none() {
+                let word =
+                    u32::from_le_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]]);
+                if let Ok(insn) = decode(word) {
+                    self.slots[o / 4] = Some(insn);
+                }
+            }
+            o += 4;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::named::*;
+
+    fn word_bytes(insns: &[Insn]) -> Vec<u8> {
+        let mut v = Vec::new();
+        for i in insns {
+            v.extend_from_slice(&encode(i).unwrap().to_le_bytes());
+        }
+        v
+    }
+
+    #[test]
+    fn fetch_decodes_then_hits() {
+        let data = word_bytes(&[Insn::Nop, Insn::Halt]);
+        let mut c = DecodeCache::new(data.len());
+        assert_eq!(c.cached(4), None);
+        assert_eq!(c.fetch(4, &data), Some(Insn::Halt));
+        assert_eq!(c.cached(4), Some(Insn::Halt));
+    }
+
+    #[test]
+    fn invalidate_clears_overlapping_slots_only() {
+        let data = word_bytes(&[Insn::Nop, Insn::Nop, Insn::Nop]);
+        let mut c = DecodeCache::new(data.len());
+        c.predecode(0, data.len(), &data);
+        // A 1-byte write at offset 5 must clear only the middle word.
+        c.invalidate(5, 1);
+        assert_eq!(c.cached(0), Some(Insn::Nop));
+        assert_eq!(c.cached(4), None);
+        assert_eq!(c.cached(8), Some(Insn::Nop));
+        // A write spanning a word boundary clears both words.
+        c.predecode(0, data.len(), &data);
+        c.invalidate(3, 2);
+        assert_eq!(c.cached(0), None);
+        assert_eq!(c.cached(4), None);
+    }
+
+    #[test]
+    fn predecode_skips_undecodable_words() {
+        let mut data = word_bytes(&[Insn::Addi(R1, R0, 7)]);
+        data.extend_from_slice(&0xFFFF_FFFFu32.to_le_bytes()); // rodata junk
+        let mut c = DecodeCache::new(data.len());
+        c.predecode(0, data.len(), &data);
+        assert_eq!(c.cached(0), Some(Insn::Addi(R1, R0, 7)));
+        assert_eq!(c.cached(4), None, "junk stays lazy");
+        assert_eq!(c.fetch(4, &data), None, "and still fails at fetch time");
+    }
+}

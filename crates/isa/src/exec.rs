@@ -274,6 +274,10 @@ pub struct Core {
     time: u64,
     state: CoreState,
     hwloops: [HwLoop; 2],
+    // Fast-path guard: true iff any hardware loop is active, so the
+    // per-instruction loop-back check costs one predictable branch on
+    // cores that never set a loop up (M3/M4/baseline).
+    hwloops_active: bool,
     event_pending: bool,
     num_cores: u32,
     stats: CoreStats,
@@ -295,6 +299,7 @@ impl Core {
             time: 0,
             state: CoreState::Running,
             hwloops: [HwLoop::default(); 2],
+            hwloops_active: false,
             event_pending: false,
             num_cores: 1,
             stats: CoreStats::default(),
@@ -337,6 +342,7 @@ impl Core {
         self.time = 0;
         self.state = CoreState::Running;
         self.hwloops = [HwLoop::default(); 2];
+        self.hwloops_active = false;
         self.event_pending = false;
         self.stats = CoreStats::default();
         self.run_since = 0;
@@ -455,6 +461,7 @@ impl Core {
     /// Propagates any [`ExecError`]; additionally returns
     /// [`ExecError::NotRunning`] if the core sleeps with nobody to wake it.
     pub fn run<B: Bus>(&mut self, bus: &mut B, max_cycles: u64) -> Result<RunSummary, ExecError> {
+        let retired_before = self.stats.retired;
         while self.time < max_cycles {
             match self.step(bus)? {
                 StepOutcome::Halted => break,
@@ -464,6 +471,7 @@ impl Core {
                 StepOutcome::Executed | StepOutcome::EventSent(_) => {}
             }
         }
+        crate::perf::add_retired(self.stats.retired - retired_before);
         Ok(RunSummary { cycles: self.time, retired: self.stats.retired, state: self.state })
     }
 
@@ -479,7 +487,9 @@ impl Core {
 
     fn check_align(&self, addr: u32, size: MemSize) -> Result<u32, ExecError> {
         let bytes = size.bytes();
-        if addr.is_multiple_of(bytes) {
+        // `bytes` is always a power of two, so the mask test is equivalent
+        // to divisibility and avoids a runtime modulo on the hot path.
+        if addr & (bytes - 1) == 0 {
             Ok(0)
         } else if self.model.features.unaligned {
             Ok(self.model.timing.unaligned_penalty)
@@ -768,6 +778,7 @@ impl Core {
                 } else {
                     self.hwloops[idx as usize] = HwLoop { start, end, count: n, active: true };
                 }
+                self.hwloops_active = self.hwloops[0].active || self.hwloops[1].active;
             }
             Csrr(d, csr) => {
                 let v = match csr {
@@ -800,7 +811,7 @@ impl Core {
 
         // Zero-overhead hardware loop-back: only when falling through the
         // last body instruction (a taken branch inside the body wins).
-        if next_pc == self.pc.wrapping_add(4) {
+        if self.hwloops_active && next_pc == self.pc.wrapping_add(4) {
             for l in 0..2 {
                 let lp = &mut self.hwloops[l];
                 if lp.active && self.pc == lp.end {
@@ -815,6 +826,7 @@ impl Core {
                     lp.active = false;
                 }
             }
+            self.hwloops_active = self.hwloops[0].active || self.hwloops[1].active;
         }
 
         self.stats.retired += 1;

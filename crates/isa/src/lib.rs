@@ -62,15 +62,18 @@
 //! ```
 
 pub mod asm;
+pub mod decode_cache;
 pub mod encode;
 pub mod exec;
 pub mod features;
 pub mod insn;
 pub mod mem;
+pub mod perf;
 pub mod reg;
 pub mod text;
 
 pub use asm::{Asm, AsmError, Label, Program};
+pub use decode_cache::DecodeCache;
 pub use encode::{decode, encode, DecodeError};
 pub use exec::{
     Access, Bus, BusError, Core, CoreState, CoreStats, ExecError, Fetched, RunSummary,
@@ -78,7 +81,7 @@ pub use exec::{
 };
 pub use features::{CoreModel, Features, Timing};
 pub use insn::{Csr, Insn, MemSize};
-pub use mem::FlatMemory;
+pub use mem::{load_le, store_le, FlatMemory};
 pub use reg::Reg;
 pub use text::{parse_insn, parse_program, ParseError};
 

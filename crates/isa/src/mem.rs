@@ -6,9 +6,43 @@
 //! `ulp-cluster` crate.
 
 use crate::asm::Program;
-use crate::encode::decode;
+use crate::decode_cache::DecodeCache;
 use crate::exec::{Access, Bus, BusError, Fetched};
-use crate::insn::{Insn, MemSize};
+use crate::insn::MemSize;
+
+/// Width-specialized little-endian read of `size` bytes at `off`.
+///
+/// The caller has already bounds-checked `off + size.bytes()`; this is the
+/// single definition of the byte-to-value packing used by every memory
+/// model (flat host RAM, TCDM, L2).
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds (callers validate first).
+#[inline]
+#[must_use]
+pub fn load_le(data: &[u8], off: usize, size: MemSize) -> u32 {
+    match size {
+        MemSize::Byte => u32::from(data[off]),
+        MemSize::Half => u32::from(u16::from_le_bytes([data[off], data[off + 1]])),
+        MemSize::Word => u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")),
+    }
+}
+
+/// Width-specialized little-endian write of `size` bytes at `off` (see
+/// [`load_le`]).
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds (callers validate first).
+#[inline]
+pub fn store_le(data: &mut [u8], off: usize, size: MemSize, value: u32) {
+    match size {
+        MemSize::Byte => data[off] = value as u8,
+        MemSize::Half => data[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        MemSize::Word => data[off..off + 4].copy_from_slice(&value.to_le_bytes()),
+    }
+}
 
 /// Flat little-endian memory with one-cycle access latency.
 ///
@@ -25,14 +59,14 @@ use crate::insn::{Insn, MemSize};
 pub struct FlatMemory {
     base: u32,
     data: Vec<u8>,
-    decoded: Vec<Option<Insn>>,
+    decoded: DecodeCache,
 }
 
 impl FlatMemory {
     /// Creates a zeroed memory of `size` bytes starting at `base`.
     #[must_use]
     pub fn new(base: u32, size: usize) -> Self {
-        FlatMemory { base, data: vec![0; size], decoded: vec![None; size.div_ceil(4)] }
+        FlatMemory { base, data: vec![0; size], decoded: DecodeCache::new(size) }
     }
 
     /// Base address of the mapped region.
@@ -63,9 +97,7 @@ impl FlatMemory {
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusError> {
         let off = self.index(addr, bytes.len() as u32)?;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
-        for w in off / 4..(off + bytes.len()).div_ceil(4) {
-            self.decoded[w] = None;
-        }
+        self.decoded.invalidate(off, bytes.len());
         Ok(())
     }
 
@@ -112,28 +144,23 @@ impl FlatMemory {
         self.write_bytes(addr, &text)?;
         let rodata_base = addr + prog.rodata_offset() as u32;
         self.write_bytes(rodata_base, prog.rodata())?;
+        // Predecode the text so the hot fetch loop never decodes;
+        // undecodable words stay lazy (bit-identical error behaviour).
+        let off = addr.wrapping_sub(self.base) as usize;
+        self.decoded.predecode(off, text.len(), &self.data);
         Ok(rodata_base)
     }
 
     fn load_raw(&self, addr: u32, size: MemSize) -> Result<u32, BusError> {
-        let n = size.bytes();
-        let off = self.index(addr, n)?;
-        let mut v = 0u32;
-        for i in (0..n as usize).rev() {
-            v = (v << 8) | u32::from(self.data[off + i]);
-        }
-        Ok(v)
+        let off = self.index(addr, size.bytes())?;
+        Ok(load_le(&self.data, off, size))
     }
 
     fn store_raw(&mut self, addr: u32, size: MemSize, value: u32) -> Result<(), BusError> {
         let n = size.bytes();
         let off = self.index(addr, n)?;
-        for i in 0..n as usize {
-            self.data[off + i] = (value >> (8 * i)) as u8;
-        }
-        for w in off / 4..(off + n as usize).div_ceil(4) {
-            self.decoded[w] = None;
-        }
+        store_le(&mut self.data, off, size, value);
+        self.decoded.invalidate(off, n as usize);
         Ok(())
     }
 }
@@ -169,18 +196,8 @@ impl Bus for FlatMemory {
 
     fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
         let off = self.index(pc, 4)?;
-        let slot = off / 4;
-        if let Some(insn) = self.decoded[slot] {
-            return Ok(Fetched { insn, ready_at: now });
-        }
-        let word = u32::from_le_bytes([
-            self.data[off],
-            self.data[off + 1],
-            self.data[off + 2],
-            self.data[off + 3],
-        ]);
-        let insn = decode(word).map_err(|_| BusError::Unmapped { addr: pc })?;
-        self.decoded[slot] = Some(insn);
+        let insn =
+            self.decoded.fetch(off, &self.data).ok_or(BusError::Unmapped { addr: pc })?;
         Ok(Fetched { insn, ready_at: now })
     }
 }
@@ -189,6 +206,7 @@ impl Bus for FlatMemory {
 mod tests {
     use super::*;
     use crate::asm::Asm;
+    use crate::insn::Insn;
     use crate::reg::named::*;
 
     #[test]

@@ -1,0 +1,39 @@
+//! Process-wide simulation performance accounting.
+//!
+//! The simulator's wall-clock tooling (`simperf`, `het-sim --perf`) reports
+//! *simulated MIPS*: retired instructions per host second. Rather than
+//! instrument the interpreter hot loop, every run loop adds its final
+//! retired count here once at completion — [`Core::run`](crate::Core::run)
+//! for flat single-core runs, `Cluster::run_until_halt` (in `ulp-cluster`)
+//! for cluster runs. The counter is atomic so parallel sweeps (`ulp-par`)
+//! from several worker threads accumulate correctly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RETIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Total instructions retired by every completed simulation run in this
+/// process so far. Take a delta around a workload to meter it.
+#[must_use]
+pub fn retired_total() -> u64 {
+    RETIRED.load(Ordering::Relaxed)
+}
+
+/// Credits `n` retired instructions to the process-wide total. Called by
+/// run loops at completion; not intended for per-instruction use.
+pub fn add_retired(n: u64) {
+    RETIRED.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_deltas() {
+        let before = retired_total();
+        add_retired(17);
+        add_retired(3);
+        assert!(retired_total() >= before + 20);
+    }
+}

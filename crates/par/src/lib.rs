@@ -1,0 +1,203 @@
+//! # ulp-par — scoped parallel map for the experiment sweep harness
+//!
+//! The evaluation suite is a large pile of *independent* simulations
+//! (benchmark × target-environment × configuration). Each simulation is
+//! deterministic, so fanning the sweep out over threads must not — and with
+//! this crate does not — change a single output byte: [`par_map`] preserves
+//! input order exactly and the merged result is indistinguishable from the
+//! serial `iter().map().collect()` it replaces.
+//!
+//! Built on [`std::thread::scope`] only; the workspace stays free of
+//! external dependencies (no rayon).
+//!
+//! ## Worker-count policy
+//!
+//! The effective worker count is, in priority order:
+//!
+//! 1. the process-wide override set by [`set_jobs`] (CLI `--jobs N`),
+//! 2. the `ULP_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A count of 1 (or a single-item input) runs inline on the caller thread —
+//! no threads are spawned, so `--jobs 1` *is* the serial engine, not an
+//! emulation of it.
+//!
+//! ## Panic propagation
+//!
+//! A panicking task does not poison unrelated results silently: remaining
+//! work is abandoned promptly and the first panic payload is re-raised on
+//! the caller thread, as if the closure had panicked in a serial loop.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = ulp_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Process-wide worker-count override: 0 = unset (fall through to the
+/// `ULP_JOBS` environment variable, then to the detected parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the process-wide worker-count override.
+/// Intended for CLI entry points parsing `--jobs N`.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] would use right now (≥ 1). See the
+/// [crate documentation](crate) for the resolution order.
+#[must_use]
+pub fn effective_jobs() -> usize {
+    let explicit = JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("ULP_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item of `items` (with its index), fanning out over
+/// [`effective_jobs`] scoped threads, and returns the results **in input
+/// order**. Equivalent to
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` — including
+/// bit-identical outputs and panic behaviour — only faster on multi-core
+/// hosts.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised by `f`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let jobs = effective_jobs().min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Work-stealing by atomic cursor; each worker returns its (index,
+    // result) pairs through its join handle, and the caller merges them
+    // into order-preserving slots.
+    let cursor = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            handles.push(scope.spawn(|| {
+                let mut produced: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    // Abandon remaining work promptly once any task panics;
+                    // the unwind itself is propagated via join below.
+                    if i >= items.len() || panicked.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(i, &items[i])
+                    }));
+                    match result {
+                        Ok(v) => produced.push((i, v)),
+                        Err(payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                produced
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(produced) => {
+                    for (i, v) in produced {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// `set_jobs` is process-global; serialize the tests that touch it so
+    /// the parallel test runner cannot interleave their settings.
+    static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn jobs_guard() -> MutexGuard<'static, ()> {
+        JOBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let _g = jobs_guard();
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        set_jobs(Some(4));
+        let parallel = par_map(&items, |_, &x| x.wrapping_mul(2654435761));
+        set_jobs(None);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn passes_index_to_closure() {
+        let _g = jobs_guard();
+        set_jobs(Some(3));
+        let out = par_map(&["a", "b", "c", "d"], |i, &s| format!("{i}{s}"));
+        set_jobs(None);
+        assert_eq!(out, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn jobs_one_runs_inline() {
+        let _g = jobs_guard();
+        set_jobs(Some(1));
+        let tid = std::thread::current().id();
+        let out = par_map(&[1, 2, 3], |_, &x| {
+            assert_eq!(std::thread::current().id(), tid, "must not spawn");
+            x + 1
+        });
+        set_jobs(None);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let _g = jobs_guard();
+        set_jobs(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            par_map(&[1, 2, 3, 4], |_, &x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        set_jobs(None);
+        assert!(result.is_err(), "panic must reach the caller");
+    }
+}

@@ -44,6 +44,8 @@ fn run() -> Result<(), String> {
             "stuck-fetch-enable",
             "no-fallback",
             "counters",
+            "perf",
+            "no-turbo",
             "help",
         ],
     );
@@ -57,13 +59,26 @@ fn run() -> Result<(), String> {
              [--late-eoc-rate R] [--late-eoc-cycles N] [--stuck-eoc] \
              [--stuck-fetch-enable] [--fault-seed N] [--max-retries N] \
              [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback] \
-             [--trace FILE] [--trace-cap N] [--counters]"
+             [--trace FILE] [--trace-cap N] [--counters] \
+             [--perf] [--no-turbo] [--jobs N]"
                 .to_owned(),
         );
     }
     let benchmark = parse_benchmark(args.get("benchmark").unwrap_or(""))?;
     let mcu_hz = args.get_f64("mcu-mhz", 16.0)? * 1e6;
     let iterations = args.get_usize("iterations", 16)?;
+    // --no-turbo selects the reference cluster scheduler (must precede
+    // system construction, which latches the engine choice).
+    if args.has("no-turbo") {
+        ulp_cluster::set_default_turbo(false);
+    }
+    if args.has("jobs") {
+        let jobs = args.get_usize("jobs", 1)?;
+        if jobs == 0 {
+            return Err("--jobs requires a positive integer".to_owned());
+        }
+        ulp_par::set_jobs(Some(jobs));
+    }
 
     let mut cfg = HetSystemConfig { mcu_freq_hz: mcu_hz, ..HetSystemConfig::default() };
     if let Some(link) = args.get("link") {
@@ -146,9 +161,13 @@ fn run() -> Result<(), String> {
         },
     };
     let host_build = benchmark.build(&TargetEnv::host_m4());
+    let perf_retired_before = ulp_isa::perf::retired_total();
+    let perf_clock = std::time::Instant::now();
     let report = sys
         .offload_with_fallback(&build, &host_build, &opts)
         .map_err(|e| e.to_string())?;
+    let perf_host_seconds = perf_clock.elapsed().as_secs_f64();
+    let perf_retired = ulp_isa::perf::retired_total() - perf_retired_before;
 
     println!("\noffload ({iterations} iterations):");
     println!("  binary    {:>10.3} ms", report.binary_seconds * 1e3);
@@ -186,6 +205,18 @@ fn run() -> Result<(), String> {
         "  compute-phase platform power {:.2} mW",
         sys.compute_phase_power_watts(&report.activity) * 1e3
     );
+    if args.has("perf") {
+        println!(
+            "\nsimulator perf ({} engine):",
+            if ulp_cluster::default_turbo() { "turbo" } else { "reference" }
+        );
+        println!("  host wall-clock  {perf_host_seconds:>10.4} s");
+        println!("  target retired   {perf_retired:>10} insns");
+        println!(
+            "  simulated MIPS   {:>10.2}",
+            perf_retired as f64 / perf_host_seconds.max(f64::MIN_POSITIVE) / 1e6
+        );
+    }
 
     if sys.config().fault.is_active() {
         let r = &report.resilience;

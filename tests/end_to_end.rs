@@ -149,6 +149,20 @@ fn fig3_matches_golden_snapshot() {
     );
 }
 
+/// The parallel sweep harness is invisible in the output: Table I (the
+/// full `measure_all` sweep) rendered with 4 worker threads is
+/// byte-identical to the serial rendering — and to the golden snapshot,
+/// via `table1_matches_golden_snapshot` running in the same process.
+#[test]
+fn table1_with_jobs_is_byte_identical_to_serial() {
+    ulp_par::set_jobs(Some(1));
+    let serial = ulp_bench::table1::run();
+    ulp_par::set_jobs(Some(4));
+    let parallel = ulp_bench::table1::run();
+    ulp_par::set_jobs(None);
+    assert_eq!(parallel, serial, "worker count changed Table I output");
+}
+
 /// Same regression guard for the pipelined-offload study
 /// (`tests/golden/pipeline_table.txt`): serialized and pipelined modeled
 /// times per benchmark, chunk counts and overlap accounting. Re-capture

@@ -1,0 +1,251 @@
+//! Differential battery for the turbo cluster engine.
+//!
+//! The turbo scheduler batches instructions on the frontmost core instead
+//! of rescanning before every step (see `DESIGN.md`). Its contract is
+//! *bit-identity* with the reference scheduler — not "close", identical:
+//! same `RunResult`, same error (deadlocks and timeouts included), same
+//! memory image, same trace, on every program and every configuration.
+//!
+//! Part A drives both engines over hundreds of seeded random SPMD
+//! programs on random cluster shapes (core count, TCDM banking, cache and
+//! barrier latencies), including programs that deadlock or fault. Part B
+//! replays the full offload pipeline — all ten Table I benchmarks, with
+//! the link fault injector both off and on — through two `HetSystem`
+//! instances that differ only in engine choice.
+
+use ulp_cluster::{
+    Cluster, ClusterConfig, ClusterError, RunResult, EVT_BROADCAST, EVT_EOC, L2_BASE, TCDM_BASE,
+};
+use ulp_isa::prelude::*;
+use ulp_rng::gen::choose;
+use ulp_rng::XorShiftRng;
+use ulp_trace::Tracer;
+
+/// Bytes of the per-run TCDM scratch window compared across engines.
+const SCRATCH_BYTES: usize = 512;
+
+fn random_config(rng: &mut XorShiftRng) -> ClusterConfig {
+    ClusterConfig {
+        num_cores: *choose(rng, &[1, 2, 2, 3, 4, 4, 4, 8]),
+        tcdm_banks: *choose(rng, &[1, 2, 4, 8]),
+        icache_miss_penalty: rng.gen_range(1u32..=20),
+        l2_data_latency: rng.gen_range(1u32..=10),
+        barrier_latency: rng.gen_range(0u32..=8),
+        ..ClusterConfig::default()
+    }
+}
+
+/// A seeded random SPMD program: every core runs the same text, with
+/// per-core divergence coming from the core-id CSR (different register
+/// values, different branch outcomes, colliding TCDM accesses). Some
+/// programs include a fork/join prologue; ~halting is likely but not
+/// guaranteed — non-halting programs must produce the *same* deadlock or
+/// timeout under both engines.
+fn random_program(rng: &mut XorShiftRng) -> Program {
+    let regs = [R1, R2, R3, R4, R5, R6];
+    let mut a = Asm::new();
+    a.insn(Insn::Csrr(R20, Csr::CoreId));
+
+    if rng.gen_bool(0.3) {
+        // fork/join prologue: workers sleep until the master broadcasts.
+        let worker = a.new_label();
+        let body = a.new_label();
+        a.bne(R20, R0, worker);
+        a.sev(EVT_BROADCAST);
+        a.jmp(body);
+        a.bind(worker);
+        a.wfe();
+        a.bind(body);
+    }
+
+    // Seed the register pool, then a per-core scratch pointer.
+    for (k, &r) in regs.iter().enumerate() {
+        a.li(r, rng.gen::<u32>() as i32 ^ k as i32);
+    }
+    a.la(R10, TCDM_BASE);
+    a.slli(R11, R20, 4);
+    a.add(R10, R10, R11);
+
+    let blocks = rng.gen_range(5usize..=30);
+    for _ in 0..blocks {
+        match rng.gen_range(0u32..1000) {
+            // Rare hazard blocks: orphan wfe (→ deadlock unless a latched
+            // broadcast absorbs it), misaligned access (→ exec fault on a
+            // specific core), and an infinite loop (→ timeout). Engines
+            // must agree on the exact error, faulting core included.
+            980..=983 => {
+                a.wfe();
+            }
+            984..=986 => {
+                let off = rng.gen_range(0i16..=15) * 4 + rng.gen_range(1i16..=3);
+                a.lw(*choose(rng, &regs), R10, off);
+            }
+            987..=989 => {
+                let spin = a.new_label();
+                a.bind(spin);
+                a.jmp(spin);
+            }
+            0..=349 => {
+                let (rd, ra, rb) =
+                    (*choose(rng, &regs), *choose(rng, &regs), *choose(rng, &regs));
+                match rng.gen_range(0u32..5) {
+                    0 => a.add(rd, ra, rb),
+                    1 => a.sub(rd, ra, rb),
+                    2 => a.mul(rd, ra, rb),
+                    3 => a.mac(rd, ra, rb),
+                    _ => a.addi(rd, ra, rng.gen_range(-128i16..=127)),
+                };
+            }
+            350..=499 => {
+                let (rd, ra) = (*choose(rng, &regs), *choose(rng, &regs));
+                let sh = rng.gen_range(0u8..=31);
+                match rng.gen_range(0u32..3) {
+                    0 => a.slli(rd, ra, sh),
+                    1 => a.srli(rd, ra, sh),
+                    _ => a.srai(rd, ra, sh),
+                };
+            }
+            500..=799 => {
+                // TCDM traffic: word/half/byte, offsets overlap between
+                // cores so bank arbitration and ordering are exercised.
+                let r = *choose(rng, &regs);
+                match rng.gen_range(0u32..6) {
+                    0 => a.sw(r, R10, rng.gen_range(0i16..=63) * 4),
+                    1 => a.lw(r, R10, rng.gen_range(0i16..=63) * 4),
+                    2 => a.sh(r, R10, rng.gen_range(0i16..=127) * 2),
+                    3 => a.lh(r, R10, rng.gen_range(0i16..=127) * 2),
+                    4 => a.sb(r, R10, rng.gen_range(0i16..=255)),
+                    _ => a.lbu(r, R10, rng.gen_range(0i16..=255)),
+                };
+            }
+            800..=899 => {
+                // Forward branch over 1–2 ALU ops; outcome differs per
+                // core, so engines must agree on divergent control flow.
+                let skip = a.new_label();
+                let (ra, rb) = (*choose(rng, &regs), *choose(rng, &regs));
+                match rng.gen_range(0u32..3) {
+                    0 => a.beq(ra, rb, skip),
+                    1 => a.blt(ra, rb, skip),
+                    _ => a.bgeu(ra, rb, skip),
+                };
+                for _ in 0..rng.gen_range(1usize..=2) {
+                    let (rd, r1, r2) =
+                        (*choose(rng, &regs), *choose(rng, &regs), *choose(rng, &regs));
+                    a.add(rd, r1, r2);
+                }
+                a.bind(skip);
+            }
+            _ => {
+                a.barrier();
+            }
+        }
+    }
+
+    // Epilogue: rendezvous, master raises EOC, everyone halts.
+    a.barrier();
+    let done = a.new_label();
+    a.bne(R20, R0, done);
+    a.sev(EVT_EOC);
+    a.bind(done);
+    a.halt();
+    a.finish().expect("generated program must assemble")
+}
+
+/// Runs one (config, program) pair on the given engine and returns every
+/// observable: the run result or error, and the TCDM scratch window.
+fn run_engine(
+    cfg: &ClusterConfig,
+    prog: &Program,
+    turbo: bool,
+    tracer: Option<Tracer>,
+) -> (Result<RunResult, ClusterError>, Vec<u8>) {
+    let mut cl = Cluster::new(*cfg);
+    cl.set_turbo(turbo);
+    if let Some(t) = tracer {
+        cl.set_tracer(t);
+    }
+    cl.load_binary(prog, L2_BASE).expect("program fits in L2");
+    cl.start(L2_BASE, &[], 0);
+    let result = cl.run_until_halt(200_000);
+    let scratch = cl.read_tcdm(TCDM_BASE, SCRATCH_BYTES).expect("scratch readback");
+    (result, scratch)
+}
+
+/// Part A: 600 seeded random (config, program) pairs, both engines, every
+/// observable compared for equality. Every 16th pair also runs with a
+/// tracer attached on both sides and compares the exported Chrome JSON
+/// byte-for-byte.
+#[test]
+fn turbo_matches_reference_on_600_random_programs() {
+    let mut rng = XorShiftRng::seed_from_u64(0x70B0_D1FF);
+    let mut halted = 0usize;
+    let mut errored = 0usize;
+    for case in 0..600 {
+        let cfg = random_config(&mut rng);
+        let prog = random_program(&mut rng);
+        let trace = case % 16 == 0;
+        let (turbo_tracer, ref_tracer) = if trace {
+            (Some(Tracer::with_capacity(8192)), Some(Tracer::with_capacity(8192)))
+        } else {
+            (None, None)
+        };
+        let (fast, fast_mem) = run_engine(&cfg, &prog, true, turbo_tracer.clone());
+        let (slow, slow_mem) = run_engine(&cfg, &prog, false, ref_tracer.clone());
+        let ctx = format!("case {case} ({} cores, {} banks)", cfg.num_cores, cfg.tcdm_banks);
+        assert_eq!(fast, slow, "{ctx}: result diverged");
+        assert_eq!(fast_mem, slow_mem, "{ctx}: TCDM image diverged");
+        if let (Some(ft), Some(rt)) = (turbo_tracer, ref_tracer) {
+            assert_eq!(ft.chrome_json(), rt.chrome_json(), "{ctx}: trace diverged");
+        }
+        match fast {
+            Ok(_) => halted += 1,
+            Err(_) => errored += 1,
+        }
+    }
+    // The battery must exercise both completion and failure paths.
+    assert!(halted >= 400, "only {halted}/600 programs completed");
+    assert!(errored >= 10, "only {errored}/600 programs hit an error path");
+}
+
+/// Part B: the full offload pipeline on every Table I benchmark, link
+/// faults off and on, through two systems differing only in engine.
+/// Reports, resilience stats and link counters are compared via their
+/// `Debug` rendering, which covers every field.
+#[test]
+fn turbo_matches_reference_on_all_benchmarks_with_and_without_faults() {
+    use ulp_kernels::{Benchmark, TargetEnv};
+    use ulp_offload::{FaultConfig, HetSystem, HetSystemConfig, OffloadOptions};
+
+    let fault_modes = [
+        FaultConfig::default(),
+        FaultConfig {
+            seed: 0xFA17,
+            bit_error_rate: 2e-6,
+            drop_rate: 1e-3,
+            late_eoc_rate: 5e-3,
+            ..FaultConfig::default()
+        },
+    ];
+    for benchmark in Benchmark::ALL {
+        let accel = benchmark.build(&TargetEnv::pulp_parallel());
+        let host = benchmark.build(&TargetEnv::host_m4());
+        for fault in &fault_modes {
+            let observe = |turbo: bool| {
+                let mut sys =
+                    HetSystem::new(HetSystemConfig { fault: *fault, ..HetSystemConfig::default() });
+                sys.set_turbo(turbo);
+                let opts = OffloadOptions { iterations: 2, ..OffloadOptions::default() };
+                let report = sys
+                    .offload_with_fallback(&accel, &host, &opts)
+                    .unwrap_or_else(|e| panic!("{benchmark:?} offload failed: {e}"));
+                format!("{report:?} {:?}", sys.link_stats())
+            };
+            assert_eq!(
+                observe(true),
+                observe(false),
+                "{benchmark:?} (faults active: {}) diverged between engines",
+                fault.is_active()
+            );
+        }
+    }
+}
