@@ -88,7 +88,10 @@ fn bench_fig5b(c: &mut Criterion) {
             for iters in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
                 let rep = sys.predict(
                     &cost,
-                    &OffloadOptions { iterations: iters, ..Default::default() },
+                    &OffloadOptions {
+                        iterations: iters,
+                        ..Default::default()
+                    },
                     true,
                 );
                 total += rep.efficiency();

@@ -80,7 +80,13 @@ pub fn link_width() -> Vec<(SpiWidth, f64)> {
                 ..HetSystemConfig::default()
             });
             let rep = sys
-                .offload(&build, &OffloadOptions { iterations: 16, ..Default::default() })
+                .offload(
+                    &build,
+                    &OffloadOptions {
+                        iterations: 16,
+                        ..Default::default()
+                    },
+                )
                 .expect("offload succeeds");
             (width, rep.efficiency())
         })
@@ -132,7 +138,10 @@ pub fn run() -> String {
     let rows: Vec<Vec<String>> = vec![
         vec!["sequential".into(), seq.to_string()],
         vec!["double-buffered".into(), db.to_string()],
-        vec!["overlap win".into(), format!("{:.1}%", (1.0 - db as f64 / seq as f64) * 100.0)],
+        vec![
+            "overlap win".into(),
+            format!("{:.1}%", (1.0 - db as f64 / seq as f64) * 100.0),
+        ],
     ];
     out.push_str(&render_table(&["schedule", "cycles"], &rows));
 
@@ -155,7 +164,12 @@ mod tests {
         let rows = tcdm_banking();
         let one = rows.iter().find(|(b, _, _)| *b == 1).unwrap();
         let eight = rows.iter().find(|(b, _, _)| *b == 8).unwrap();
-        assert!(one.2 > eight.2 * 2, "1 bank ({}) must conflict far more than 8 ({})", one.2, eight.2);
+        assert!(
+            one.2 > eight.2 * 2,
+            "1 bank ({}) must conflict far more than 8 ({})",
+            one.2,
+            eight.2
+        );
         assert!(one.1 > eight.1, "single-bank run must be slower");
     }
 

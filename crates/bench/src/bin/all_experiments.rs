@@ -11,7 +11,10 @@ fn main() {
     println!("{}", ulp_bench::table1::render(&measurements));
     println!("{}", ulp_bench::fig3::run());
     println!("{}", ulp_bench::fig4::render(&measurements));
-    println!("{}", ulp_bench::fig5a::render(&ulp_bench::fig5a::compute(&measurements)));
+    println!(
+        "{}",
+        ulp_bench::fig5a::render(&ulp_bench::fig5a::compute(&measurements))
+    );
     println!("{}", ulp_bench::fig5b::run());
     println!("{}", ulp_bench::ablation::run());
     println!("{}", ulp_bench::extensions::run());

@@ -8,9 +8,7 @@
 use ulp_bench::simperf::{self, SuitePerf};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: simperf [--jobs N] [--out PATH] [--reps N] [--no-turbo] [--skip-comparison]"
-    );
+    eprintln!("usage: simperf [--jobs N] [--out PATH] [--reps N] [--no-turbo] [--skip-comparison]");
     std::process::exit(2);
 }
 
@@ -45,14 +43,19 @@ fn main() {
 
     let mut suites: Vec<SuitePerf> = Vec::new();
     suites.push(simperf::time_suite("table1", ulp_bench::table1::run));
-    suites.push(simperf::time_suite("pipeline_table", ulp_bench::pipeline::run));
+    suites.push(simperf::time_suite(
+        "pipeline_table",
+        ulp_bench::pipeline::run,
+    ));
     suites.push(simperf::time_suite("all_experiments", || {
         let measurements = ulp_bench::measure::measure_all();
         let mut report = String::new();
         report.push_str(&ulp_bench::table1::render(&measurements));
         report.push_str(&ulp_bench::fig3::run());
         report.push_str(&ulp_bench::fig4::render(&measurements));
-        report.push_str(&ulp_bench::fig5a::render(&ulp_bench::fig5a::compute(&measurements)));
+        report.push_str(&ulp_bench::fig5a::render(&ulp_bench::fig5a::compute(
+            &measurements,
+        )));
         report.push_str(&ulp_bench::fig5b::run());
         report.push_str(&ulp_bench::ablation::run());
         report.push_str(&ulp_bench::extensions::run());

@@ -25,7 +25,10 @@ pub fn decoupled_link(benchmark: Benchmark) -> Vec<(f64, f64, f64)> {
         .iter()
         .map(|&mcu_hz| {
             let tied = system_at(mcu_hz);
-            let opts = OffloadOptions { iterations: 64, ..Default::default() };
+            let opts = OffloadOptions {
+                iterations: 64,
+                ..Default::default()
+            };
             let e_tied = tied.predict(&cost, &opts, true).efficiency();
             let free = HetSystem::new(HetSystemConfig {
                 mcu_freq_hz: mcu_hz,
@@ -55,7 +58,14 @@ pub fn sensor_direct() -> Vec<(&'static str, f64, f64)> {
             let cost = sys.measure_cost(&build).expect("benchmark offloads");
             let iters = 32;
             let via = sys
-                .predict(&cost, &OffloadOptions { iterations: iters, ..Default::default() }, true)
+                .predict(
+                    &cost,
+                    &OffloadOptions {
+                        iterations: iters,
+                        ..Default::default()
+                    },
+                    true,
+                )
                 .total_seconds()
                 / iters as f64;
             let direct = sys
@@ -87,7 +97,11 @@ pub fn host_task() -> Vec<(f64, f64, f64)> {
             let cost = sys.measure_cost(&build).expect("cnn offloads");
             let rep = sys.predict(
                 &cost,
-                &OffloadOptions { iterations: 16, host_task: true, ..Default::default() },
+                &OffloadOptions {
+                    iterations: 16,
+                    host_task: true,
+                    ..Default::default()
+                },
                 true,
             );
             let host_mips = rep.host_task_cycles as f64 / rep.compute_seconds / 1e6;
@@ -110,10 +124,17 @@ pub fn run() -> String {
     let rows: Vec<Vec<String>> = decoupled_link(Benchmark::MatMul)
         .iter()
         .map(|(f, tied, free)| {
-            vec![format!("{:.0}", f / 1e6), format!("{tied:.3}"), format!("{free:.3}")]
+            vec![
+                format!("{:.0}", f / 1e6),
+                format!("{tied:.3}"),
+                format!("{free:.3}"),
+            ]
         })
         .collect();
-    out.push_str(&render_table(&["MCU MHz", "eff (tied)", "eff (25MHz link)"], &rows));
+    out.push_str(&render_table(
+        &["MCU MHz", "eff (tied)", "eff (25MHz link)"],
+        &rows,
+    ));
 
     out.push_str("\n[2] direct sensor→accelerator input path (per-iteration ms @4 MHz host):\n");
     let rows: Vec<Vec<String>> = sensor_direct()
@@ -127,7 +148,10 @@ pub fn run() -> String {
             ]
         })
         .collect();
-    out.push_str(&render_table(&["benchmark", "via link", "sensor direct", "gain"], &rows));
+    out.push_str(&render_table(
+        &["benchmark", "via link", "sensor direct", "gain"],
+        &rows,
+    ));
 
     out.push_str("\n[3] concurrent host task during accelerator compute (cnn):\n");
     let rows: Vec<Vec<String>> = host_task()
@@ -140,7 +164,10 @@ pub fn run() -> String {
             ]
         })
         .collect();
-    out.push_str(&render_table(&["MCU MHz", "host MIPS gained", "platform mW"], &rows));
+    out.push_str(&render_table(
+        &["MCU MHz", "host MIPS gained", "platform mW"],
+        &rows,
+    ));
     out.push_str(
         "\nthe sub-10 mW rows show the paper's point: the envelope already\n\
          accommodates a separate live task on the host\n",
@@ -155,7 +182,11 @@ mod tests {
     #[test]
     fn decoupled_link_lifts_the_plateau() {
         for (mcu_hz, tied, free) in decoupled_link(Benchmark::MatMul) {
-            assert!(free > tied, "at {:.0} MHz: {free:.3} vs {tied:.3}", mcu_hz / 1e6);
+            assert!(
+                free > tied,
+                "at {:.0} MHz: {free:.3} vs {tied:.3}",
+                mcu_hz / 1e6
+            );
             if mcu_hz < 5.0e6 {
                 assert!(
                     free > tied * 3.0,

@@ -39,15 +39,22 @@ pub struct FaultRow {
 }
 
 fn run_point(fault: FaultConfig, max_retries: u32) -> OffloadReport {
-    let mut sys = HetSystem::new(HetSystemConfig { fault, ..HetSystemConfig::default() });
+    let mut sys = HetSystem::new(HetSystemConfig {
+        fault,
+        ..HetSystemConfig::default()
+    });
     let accel = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
     let host = Benchmark::MatMul.build(&TargetEnv::host_m4());
     let opts = OffloadOptions {
         iterations: ITERATIONS,
-        policy: OffloadPolicy { max_retries, ..OffloadPolicy::default() },
+        policy: OffloadPolicy {
+            max_retries,
+            ..OffloadPolicy::default()
+        },
         ..Default::default()
     };
-    sys.offload_with_fallback(&accel, &host, &opts).expect("fallback absorbs all failures")
+    sys.offload_with_fallback(&accel, &host, &opts)
+        .expect("fallback absorbs all failures")
 }
 
 /// Sweeps BER × retry budget for the matmul offload.
@@ -56,9 +63,16 @@ pub fn compute() -> Vec<FaultRow> {
     let mut rows = Vec::new();
     for ber in BERS {
         for max_retries in RETRY_BUDGETS {
-            let fault =
-                FaultConfig { seed: SEED, bit_error_rate: ber, ..FaultConfig::default() };
-            rows.push(FaultRow { ber, max_retries, report: run_point(fault, max_retries) });
+            let fault = FaultConfig {
+                seed: SEED,
+                bit_error_rate: ber,
+                ..FaultConfig::default()
+            };
+            rows.push(FaultRow {
+                ber,
+                max_retries,
+                report: run_point(fault, max_retries),
+            });
         }
     }
     rows
@@ -73,9 +87,16 @@ pub fn compute_event_wire() -> Vec<(String, OffloadReport)> {
         late_eoc_cycles: 50_000,
         ..FaultConfig::default()
     };
-    let stuck = FaultConfig { seed: SEED, stuck_eoc: true, ..FaultConfig::default() };
+    let stuck = FaultConfig {
+        seed: SEED,
+        stuck_eoc: true,
+        ..FaultConfig::default()
+    };
     vec![
-        ("late EOC (25 % of runs, +50 k cycles)".to_owned(), run_point(late, 3)),
+        (
+            "late EOC (25 % of runs, +50 k cycles)".to_owned(),
+            run_point(late, 3),
+        ),
         ("stuck EOC wire (hang)".to_owned(), run_point(stuck, 3)),
     ]
 }
@@ -109,8 +130,15 @@ pub fn render(rows: &[FaultRow], wire: &[(String, OffloadReport)]) -> String {
     }
     out.push_str(&render_table(
         &[
-            "BER", "retries", "crc err", "retx", "wd trips", "extra ms", "fallback",
-            "total ms", "total µJ",
+            "BER",
+            "retries",
+            "crc err",
+            "retx",
+            "wd trips",
+            "extra ms",
+            "fallback",
+            "total ms",
+            "total µJ",
         ],
         &table,
     ));
@@ -149,7 +177,9 @@ mod tests {
     use super::*;
 
     fn row(rows: &[FaultRow], ber: f64, retries: u32) -> &FaultRow {
-        rows.iter().find(|r| r.ber == ber && r.max_retries == retries).unwrap()
+        rows.iter()
+            .find(|r| r.ber == ber && r.max_retries == retries)
+            .unwrap()
     }
 
     #[test]
@@ -181,10 +211,7 @@ mod tests {
         assert!(!kept.report.resilience.fell_back_to_host);
         assert!(kept.report.resilience.retransmissions > 0);
         // Staying on the device is far cheaper than degrading to the host.
-        assert!(
-            kept.report.total_seconds()
-                < row(&rows, 1e-6, 0).report.total_seconds() / 5.0
-        );
+        assert!(kept.report.total_seconds() < row(&rows, 1e-6, 0).report.total_seconds() / 5.0);
     }
 
     #[test]
@@ -200,7 +227,10 @@ mod tests {
         let wire = compute_event_wire();
         let (_, stuck) = wire.iter().find(|(n, _)| n.contains("stuck")).unwrap();
         assert!(stuck.resilience.fell_back_to_host);
-        assert!(stuck.resilience.watchdog_trips >= 4, "every restart attempt trips");
+        assert!(
+            stuck.resilience.watchdog_trips >= 4,
+            "every restart attempt trips"
+        );
         let (_, late) = wire.iter().find(|(n, _)| n.contains("late")).unwrap();
         assert!(!late.resilience.fell_back_to_host);
         assert!(late.resilience.extra_seconds > 0.0);

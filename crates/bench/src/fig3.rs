@@ -107,10 +107,11 @@ pub fn render(fig: &Fig3) -> String {
     };
     let mut rows: Vec<Vec<String>> = fig.mcus.iter().map(row).collect();
     rows.extend(fig.pulp.iter().map(row));
-    let mut out = String::from(
-        "Fig. 3 — energy efficiency on matmul (GOPS = 1e9 RISC ops/s)\n\n",
-    );
-    out.push_str(&render_table(&["operating point", "MOPS", "mW", "GOPS/W"], &rows));
+    let mut out = String::from("Fig. 3 — energy efficiency on matmul (GOPS = 1e9 RISC ops/s)\n\n");
+    out.push_str(&render_table(
+        &["operating point", "MOPS", "mW", "GOPS/W"],
+        &rows,
+    ));
     let peak = fig.pulp_peak();
     let best = fig.best_mcu();
     out.push_str(&format!(
@@ -161,7 +162,10 @@ mod tests {
             "peak power {:.2} mW outside the 1.48 mW anchor band",
             peak.power_mw
         );
-        assert!(peak.label.contains("0.50V"), "peak must sit at the lowest VDD");
+        assert!(
+            peak.label.contains("0.50V"),
+            "peak must sit at the lowest VDD"
+        );
     }
 
     #[test]
@@ -170,9 +174,19 @@ mod tests {
         // ≈3× scale factor as the PULP numbers; ratios preserved).
         let f = fig();
         for p in &f.mcus {
-            assert!(p.gops_per_watt < 25.0, "{}: {:.1} GOPS/W", p.label, p.gops_per_watt);
+            assert!(
+                p.gops_per_watt < 25.0,
+                "{}: {:.1} GOPS/W",
+                p.label,
+                p.gops_per_watt
+            );
             if !p.label.contains("Apollo") {
-                assert!(p.gops_per_watt < 13.0, "{}: {:.1} GOPS/W", p.label, p.gops_per_watt);
+                assert!(
+                    p.gops_per_watt < 13.0,
+                    "{}: {:.1} GOPS/W",
+                    p.label,
+                    p.gops_per_watt
+                );
             }
         }
         let best = f.best_mcu();
@@ -197,7 +211,10 @@ mod tests {
         // PULP and the MCUs".
         let f = fig();
         let gap = f.pulp_peak().gops_per_watt / f.best_mcu().gops_per_watt;
-        assert!((15.0..80.0).contains(&gap), "gap {gap:.0}× outside the band");
+        assert!(
+            (15.0..80.0).contains(&gap),
+            "gap {gap:.0}× outside the band"
+        );
     }
 
     #[test]
@@ -205,7 +222,10 @@ mod tests {
         let f = fig();
         let first = &f.pulp[0]; // 0.50 V
         let last = f.pulp.last().unwrap(); // 1.00 V
-        assert!(first.gops_per_watt > last.gops_per_watt, "efficiency must fall with VDD");
+        assert!(
+            first.gops_per_watt > last.gops_per_watt,
+            "efficiency must fall with VDD"
+        );
         assert!(last.mops > first.mops, "throughput must rise with VDD");
     }
 }

@@ -11,7 +11,12 @@ pub fn render(measurements: &[Measurement]) -> String {
         .map(|m| {
             vec![
                 m.benchmark.name().to_owned(),
-                if m.benchmark.is_fixed_point() { "fixed" } else { "int/other" }.to_owned(),
+                if m.benchmark.is_fixed_point() {
+                    "fixed"
+                } else {
+                    "int/other"
+                }
+                .to_owned(),
                 format!("{:.2}", m.arch_speedup_m3()),
                 format!("{:.2}", m.arch_speedup_m4()),
                 format!("{:.2}", m.parallel_speedup()),
@@ -19,14 +24,24 @@ pub fn render(measurements: &[Measurement]) -> String {
             ]
         })
         .collect();
-    let mean_par: f64 = measurements.iter().map(Measurement::parallel_speedup).sum::<f64>()
+    let mean_par: f64 = measurements
+        .iter()
+        .map(Measurement::parallel_speedup)
+        .sum::<f64>()
         / measurements.len() as f64;
     let mut out = String::from(
         "Fig. 4 — architectural speedup (1×OR10N vs Cortex-M, cycles) and\n\
          parallel speedup (4 cores vs 1, ideal 4×)\n\n",
     );
     out.push_str(&render_table(
-        &["benchmark", "group", "arch ×M3", "arch ×M4", "parallel ×", "par. eff."],
+        &[
+            "benchmark",
+            "group",
+            "arch ×M3",
+            "arch ×M4",
+            "parallel ×",
+            "par. eff.",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -66,7 +81,10 @@ mod tests {
             sv.arch_speedup_m4(),
             hog.arch_speedup_m4()
         );
-        assert!(hog.arch_speedup_m4() < 1.0, "hog shows an architectural slowdown");
+        assert!(
+            hog.arch_speedup_m4() < 1.0,
+            "hog shows an architectural slowdown"
+        );
     }
 
     #[test]

@@ -10,8 +10,9 @@ use crate::render_table;
 /// MCU operating frequencies of the sweep (Hz). Frequencies above 32 MHz
 /// exceed the budget and are reported as the paper's "spending more than
 /// the allotted 10 mW" bars.
-pub const MCU_FREQS_HZ: [f64; 9] =
-    [1.0e6, 2.0e6, 4.0e6, 8.0e6, 16.0e6, 26.0e6, 32.0e6, 48.0e6, 80.0e6];
+pub const MCU_FREQS_HZ: [f64; 9] = [
+    1.0e6, 2.0e6, 4.0e6, 8.0e6, 16.0e6, 26.0e6, 32.0e6, 48.0e6, 80.0e6,
+];
 
 /// Link power while mostly idle during compute (drivers quiescent).
 pub const LINK_IDLE_WATTS: f64 = 20.0e-6;
@@ -76,8 +77,10 @@ pub fn render(rows: &[Fig5aRow]) -> String {
                 format!("{:.2}", rep.mcu_speedup),
                 rep.pulp_point
                     .map_or_else(|| "-".into(), |p| format!("{:.0}", p.freq_hz / 1e6)),
-                rep.pulp_point.map_or_else(|| "-".into(), |p| format!("{:.2}", p.vdd)),
-                rep.pulp_speedup.map_or_else(|| "-".into(), |s| format!("{s:.1}")),
+                rep.pulp_point
+                    .map_or_else(|| "-".into(), |p| format!("{:.2}", p.vdd)),
+                rep.pulp_speedup
+                    .map_or_else(|| "-".into(), |s| format!("{s:.1}")),
                 format!("{:.1}", rep.pulp_ops_per_cycle),
                 format!("{:.2}", rep.mcu_ops_per_cycle),
             ]
@@ -128,7 +131,10 @@ mod tests {
     fn strassen_peak_near_paper_60x() {
         let rows = compute(&[measure(Benchmark::Strassen)]);
         let peak = peak_speedup(&rows, "strassen");
-        assert!((35.0..90.0).contains(&peak), "strassen peak {peak:.0}× vs paper ≈60×");
+        assert!(
+            (35.0..90.0).contains(&peak),
+            "strassen peak {peak:.0}× vs paper ≈60×"
+        );
     }
 
     #[test]
@@ -144,7 +150,10 @@ mod tests {
     fn hog_is_worst_but_still_speeds_up() {
         let rows = compute(&[measure(Benchmark::Hog)]);
         let peak = peak_speedup(&rows, "hog");
-        assert!((8.0..35.0).contains(&peak), "hog peak {peak:.0}× vs paper ≈20×");
+        assert!(
+            (8.0..35.0).contains(&peak),
+            "hog peak {peak:.0}× vs paper ≈20×"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub fn compute(benchmarks: &[Benchmark]) -> Vec<Fig5bRow> {
         .iter()
         .map(|b| {
             let build = b.build(&TargetEnv::pulp_parallel());
-            let cost = reference_sys.measure_cost(&build).expect("benchmark offloads");
+            let cost = reference_sys
+                .measure_cost(&build)
+                .expect("benchmark offloads");
             (*b, cost)
         })
         .collect();
@@ -74,7 +76,10 @@ pub fn compute(benchmarks: &[Benchmark]) -> Vec<Fig5bRow> {
             for iters in ITERATIONS {
                 let seq = sys.predict(
                     cost,
-                    &OffloadOptions { iterations: iters, ..Default::default() },
+                    &OffloadOptions {
+                        iterations: iters,
+                        ..Default::default()
+                    },
                     true,
                 );
                 let db = sys.predict(
@@ -117,15 +122,22 @@ pub fn render(rows: &[Fig5bRow]) -> String {
             format!("{:.3}", r.efficiency_db),
         ]);
     }
-    out.push_str(&render_table(&["benchmark", "MCU MHz", "iters", "eff", "eff +db"], &table));
+    out.push_str(&render_table(
+        &["benchmark", "MCU MHz", "iters", "eff", "eff +db"],
+        &table,
+    ));
     out
 }
 
 /// Runs the sweep over a compact benchmark subset and renders it.
 #[must_use]
 pub fn run() -> String {
-    let rows =
-        compute(&[Benchmark::MatMul, Benchmark::SvmRbf, Benchmark::Cnn, Benchmark::Hog]);
+    let rows = compute(&[
+        Benchmark::MatMul,
+        Benchmark::SvmRbf,
+        Benchmark::Cnn,
+        Benchmark::Hog,
+    ]);
     render(&rows)
 }
 

@@ -111,7 +111,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -122,7 +122,10 @@ mod tests {
                 m.mcu_ops_per_cycle()
             );
             assert!(m.risc_ops > 0, "{name:?}: no retired instructions");
-            assert!(m.cycles_m3 >= m.cycles_m4, "{name:?}: M3 is never faster than M4");
+            assert!(
+                m.cycles_m3 >= m.cycles_m4,
+                "{name:?}: M3 is never faster than M4"
+            );
             // A single OR10N core beats the M4 on most kernels, but Hog's
             // gather-heavy inner loop lands just below parity (0.87x), so the
             // general bound only rejects gross regressions.

@@ -59,13 +59,22 @@ pub fn evaluate(benchmark: Benchmark, pipe: PipelineConfig) -> PipelinePoint {
     let cost = sys
         .measure_cost(&build)
         .unwrap_or_else(|e| panic!("{} failed: {e}", build.name));
-    let serialized =
-        sys.predict(&cost, &OffloadOptions { iterations: ITERATIONS, ..Default::default() }, true);
+    let serialized = sys.predict(
+        &cost,
+        &OffloadOptions {
+            iterations: ITERATIONS,
+            ..Default::default()
+        },
+        true,
+    );
     let pipelined = sys.predict(
         &cost,
         &OffloadOptions {
             iterations: ITERATIONS,
-            pipeline: PipelineConfig { enabled: true, ..pipe },
+            pipeline: PipelineConfig {
+                enabled: true,
+                ..pipe
+            },
             ..Default::default()
         },
         true,
@@ -83,7 +92,10 @@ pub fn evaluate(benchmark: Benchmark, pipe: PipelineConfig) -> PipelinePoint {
 /// Evaluates every Table I benchmark at the default chunk/window.
 #[must_use]
 pub fn evaluate_all() -> Vec<PipelinePoint> {
-    Benchmark::ALL.iter().map(|b| evaluate(*b, PipelineConfig::default())).collect()
+    Benchmark::ALL
+        .iter()
+        .map(|b| evaluate(*b, PipelineConfig::default()))
+        .collect()
 }
 
 /// Renders the study as an aligned table.
@@ -109,7 +121,15 @@ pub fn render(points: &[PipelinePoint]) -> String {
         pipe.chunk_bytes, pipe.window, ITERATIONS
     );
     out.push_str(&render_table(
-        &["benchmark", "serial ms", "pipelined ms", "hidden", "chunks", "overlap ms", "engaged"],
+        &[
+            "benchmark",
+            "serial ms",
+            "pipelined ms",
+            "hidden",
+            "chunks",
+            "overlap ms",
+            "engaged",
+        ],
         &rows,
     ));
     out
@@ -140,7 +160,10 @@ mod tests {
         }
         // The paper-shaped acceptance claim: at least one benchmark hides
         // ≥ 20% of its modeled end-to-end cycles.
-        let best = points.iter().map(PipelinePoint::reduction).fold(0.0, f64::max);
+        let best = points
+            .iter()
+            .map(PipelinePoint::reduction)
+            .fold(0.0, f64::max);
         assert!(best >= 0.20, "best reduction only {:.1}%", best * 100.0);
     }
 
@@ -159,9 +182,15 @@ mod tests {
         for window in [1, 2, 4, 8] {
             let p = evaluate(
                 Benchmark::SvmRbf,
-                PipelineConfig { window, ..PipelineConfig::default() },
+                PipelineConfig {
+                    window,
+                    ..PipelineConfig::default()
+                },
             );
-            assert!(p.pipelined_seconds <= prev * (1.0 + 1e-12), "window {window}");
+            assert!(
+                p.pipelined_seconds <= prev * (1.0 + 1e-12),
+                "window {window}"
+            );
             prev = p.pipelined_seconds;
         }
     }

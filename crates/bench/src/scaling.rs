@@ -64,9 +64,7 @@ pub fn sweep(benchmark: Benchmark, core_counts: &[usize]) -> Vec<ScalingRow> {
 /// Runs the scaling study for a representative benchmark pair.
 #[must_use]
 pub fn run() -> String {
-    let mut out = String::from(
-        "Scaling — beyond the paper's 4 cores (banks scale with cores)\n\n",
-    );
+    let mut out = String::from("Scaling — beyond the paper's 4 cores (banks scale with cores)\n\n");
     let mut table = Vec::new();
     for b in [Benchmark::MatMul, Benchmark::Cnn] {
         for r in sweep(b, &[1, 2, 4, 8, 16]) {
@@ -81,7 +79,14 @@ pub fn run() -> String {
         }
     }
     out.push_str(&render_table(
-        &["benchmark", "cores", "cycles", "speedup", "efficiency", "conflicts"],
+        &[
+            "benchmark",
+            "cores",
+            "cycles",
+            "speedup",
+            "efficiency",
+            "conflicts",
+        ],
         &table,
     ));
     out.push_str(
@@ -102,7 +107,10 @@ mod tests {
         let rows = sweep(Benchmark::MatMul, &[1, 4, 16]);
         assert!((rows[0].speedup - 1.0).abs() < 1e-9);
         assert!(rows[1].speedup > 2.8, "4 cores: {:.2}", rows[1].speedup);
-        assert!(rows[2].speedup > rows[1].speedup, "16 cores must still help");
+        assert!(
+            rows[2].speedup > rows[1].speedup,
+            "16 cores must still help"
+        );
         // matmul has 64 perfectly balanced rows, so it scales gracefully;
         // efficiency must merely not improve with core count.
         assert!(

@@ -106,8 +106,8 @@ fn cluster_sweep() {
     for env in [TargetEnv::pulp_single(), TargetEnv::pulp_parallel()] {
         for b in Benchmark::ALL {
             let build = b.build(&env);
-            let r = runner::run(&build, &env)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", build.name));
+            let r =
+                runner::run(&build, &env).unwrap_or_else(|e| panic!("{} failed: {e}", build.name));
             std::hint::black_box(r.cycles);
         }
     }
@@ -145,8 +145,11 @@ pub fn compare_engines(reps: usize, turbo_after: bool) -> EngineComparison {
 /// named below — a different checkout and host state than the in-process
 /// numbers this module measures, so treat ratios against them as
 /// informational, not as the engine speedup (that is [`EngineComparison`]).
-pub const PRE_PR_BASELINE: &[(&str, f64)] =
-    &[("table1", 0.92), ("pipeline_table", 0.58), ("all_experiments", 2.77)];
+pub const PRE_PR_BASELINE: &[(&str, f64)] = &[
+    ("table1", 0.92),
+    ("pipeline_table", 0.58),
+    ("all_experiments", 2.77),
+];
 
 /// Commit the [`PRE_PR_BASELINE`] numbers were measured at.
 pub const PRE_PR_BASELINE_REV: &str = "e2f45d3";
@@ -171,7 +174,10 @@ pub fn render_json(
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"turbo\": {turbo},\n"));
     out.push_str("  \"pre_pr_baseline\": {\n");
-    out.push_str(&format!("    \"rev\": \"{}\",\n", json_escape(PRE_PR_BASELINE_REV)));
+    out.push_str(&format!(
+        "    \"rev\": \"{}\",\n",
+        json_escape(PRE_PR_BASELINE_REV)
+    ));
     out.push_str(
         "    \"note\": \"serial-engine wall-clock seconds from the pre-PR checkout; \
          different host state than the suites below — the in-process \
@@ -206,7 +212,9 @@ pub fn render_json(
     let total_secs: f64 = suites.iter().map(|s| s.host_cpu_seconds).sum();
     let total_retired: u64 = suites.iter().map(|s| s.retired).sum();
     out.push_str(&format!("  \"total_cpu_seconds\": {total_secs:.4},\n"));
-    out.push_str(&format!("  \"total_retired_instructions\": {total_retired},\n"));
+    out.push_str(&format!(
+        "  \"total_retired_instructions\": {total_retired},\n"
+    ));
     match comparison {
         Some(c) => {
             out.push_str("  \"engine_comparison\": {\n");
@@ -218,7 +226,10 @@ pub fn render_json(
                 "    \"reference_cpu_seconds\": {:.4},\n",
                 c.reference_cpu_seconds
             ));
-            out.push_str(&format!("    \"turbo_cpu_seconds\": {:.4},\n", c.turbo_cpu_seconds));
+            out.push_str(&format!(
+                "    \"turbo_cpu_seconds\": {:.4},\n",
+                c.turbo_cpu_seconds
+            ));
             out.push_str(&format!("    \"speedup\": {:.3}\n", c.speedup()));
             out.push_str("  }\n");
         }

@@ -83,7 +83,11 @@ mod tests {
     #[test]
     fn io_sizes_track_paper_for_matmul_family() {
         // Input/output bytes for matmul and strassen are exact replicas.
-        for b in [Benchmark::MatMul, Benchmark::MatMulShort, Benchmark::Strassen] {
+        for b in [
+            Benchmark::MatMul,
+            Benchmark::MatMulShort,
+            Benchmark::Strassen,
+        ] {
             let m = measure(b);
             let (p_in, p_out, _, _) = paper_anchor(b);
             assert!((m.input_bytes as f64 / 1024.0 - p_in).abs() < 0.01, "{b}");
@@ -93,7 +97,10 @@ mod tests {
 
     #[test]
     fn render_contains_every_row() {
-        let ms: Vec<_> = [Benchmark::MatMul, Benchmark::Hog].iter().map(|b| measure(*b)).collect();
+        let ms: Vec<_> = [Benchmark::MatMul, Benchmark::Hog]
+            .iter()
+            .map(|b| measure(*b))
+            .collect();
         let table = render(&ms);
         assert!(table.contains("matmul"));
         assert!(table.contains("hog"));

@@ -3,8 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use ulp_isa::{Access, Bus, BusError, Core, CoreState, ExecError, Fetched, MemSize, Program, Reg,
-    StepOutcome};
+use ulp_isa::{
+    Access, Bus, BusError, Core, CoreState, ExecError, Fetched, MemSize, Program, Reg, StepOutcome,
+};
 use ulp_trace::{Component, EventKind, Tracer};
 
 use crate::config::ClusterConfig;
@@ -128,7 +129,10 @@ impl ClusterBus {
             0xC => u32::from(now >= self.dma_done_at), // 1 = idle/done
             _ => return Err(BusError::Unmapped { addr }),
         };
-        Ok(Access { value, ready_at: now + 1 })
+        Ok(Access {
+            value,
+            ready_at: now + 1,
+        })
     }
 
     /// Functional copy between any two mapped regions.
@@ -167,7 +171,10 @@ impl Bus for ClusterBus {
             self.dma_mmio_load(now, addr)
         } else if self.l2.contains(addr) {
             let value = self.l2.load_raw(addr, size)?;
-            Ok(Access { value, ready_at: now + u64::from(self.l2_data_latency) })
+            Ok(Access {
+                value,
+                ready_at: now + u64::from(self.l2_data_latency),
+            })
         } else {
             Err(BusError::Unmapped { addr })
         }
@@ -205,10 +212,18 @@ impl Bus for ClusterBus {
     fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
         let penalty = self.icache.access(pc);
         if penalty > 0 {
-            self.tracer.emit(Component::ICache, EventKind::IcacheMiss, now, u64::from(penalty));
+            self.tracer.emit(
+                Component::ICache,
+                EventKind::IcacheMiss,
+                now,
+                u64::from(penalty),
+            );
         }
         let insn = self.l2.fetch_insn(pc)?;
-        Ok(Fetched { insn, ready_at: now + u64::from(penalty) })
+        Ok(Fetched {
+            insn,
+            ready_at: now + u64::from(penalty),
+        })
     }
 }
 
@@ -250,8 +265,11 @@ impl Cluster {
             bus: ClusterBus {
                 tcdm: Tcdm::new(TCDM_BASE, config.tcdm_size, config.tcdm_banks),
                 l2: L2Memory::new(L2_BASE, config.l2_size),
-                icache: ICache::new(config.icache_size, config.icache_line,
-                    config.icache_miss_penalty),
+                icache: ICache::new(
+                    config.icache_size,
+                    config.icache_line,
+                    config.icache_miss_penalty,
+                ),
                 l2_data_latency: config.l2_data_latency,
                 dma: Dma::new(config.dma_channels, config.dma_setup),
                 dma_src: 0,
@@ -495,14 +513,24 @@ impl Cluster {
             self.run_loop_reference(deadline, max_cycles)?;
         }
 
-        let end_time = self.cores.iter().map(Core::time).max().unwrap_or(self.start_time);
+        let end_time = self
+            .cores
+            .iter()
+            .map(Core::time)
+            .max()
+            .unwrap_or(self.start_time);
         let cycles = end_time - self.start_time;
         let activity = self.collect_activity(cycles);
         ulp_isa::perf::add_retired(activity.total_retired());
         self.record_counters(&activity);
         // Lay the next run out after this one on the shared trace timeline.
         self.tracer.advance_cluster_epoch(end_time);
-        Ok(RunResult { cycles, end_time, eoc_at: self.event_unit.eoc_at(), activity })
+        Ok(RunResult {
+            cycles,
+            end_time,
+            eoc_at: self.event_unit.eoc_at(),
+            activity,
+        })
     }
 
     /// Reference scheduler: rescan for the lowest-local-time running core
@@ -596,8 +624,9 @@ impl Cluster {
                 if core.time() > deadline {
                     return Err(ClusterError::Timeout { max_cycles });
                 }
-                let outcome =
-                    core.step(&mut self.bus).map_err(|err| ClusterError::Exec { core: i, err })?;
+                let outcome = core
+                    .step(&mut self.bus)
+                    .map_err(|err| ClusterError::Exec { core: i, err })?;
                 if outcome != StepOutcome::Executed {
                     break outcome;
                 }
@@ -647,7 +676,8 @@ impl Cluster {
         }
         let cycles = activity.total_cycles;
         for (i, &busy) in activity.core_active_cycles.iter().enumerate() {
-            self.tracer.set_counter(Component::Core(i as u8), busy, cycles);
+            self.tracer
+                .set_counter(Component::Core(i as u8), busy, cycles);
         }
         self.tracer.set_counter(
             Component::Tcdm,
@@ -659,7 +689,8 @@ impl Cluster {
             activity.icache_misses * u64::from(self.config.icache_miss_penalty),
             cycles,
         );
-        self.tracer.set_counter(Component::Dma, activity.dma_busy_cycles, cycles);
+        self.tracer
+            .set_counter(Component::Dma, activity.dma_busy_cycles, cycles);
     }
 
     fn collect_activity(&self, total_cycles: u64) -> ClusterActivity {
@@ -739,7 +770,10 @@ mod tests {
 
     #[test]
     fn single_core_cluster_runs_serial_code() {
-        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut cl = Cluster::new(ClusterConfig {
+            num_cores: 1,
+            ..ClusterConfig::default()
+        });
         let mut a = Asm::new();
         a.li(R1, 21);
         a.add(R1, R1, R1);
@@ -772,25 +806,37 @@ mod tests {
         cl.start(L2_BASE, &[(R3, 1000)], 0);
         cl.run_until_halt(10_000).unwrap();
         for i in 0..4 {
-            assert_eq!(cl.read_tcdm_u32(TCDM_BASE + 0x100 + 4 * i).unwrap(), 1000 + i);
+            assert_eq!(
+                cl.read_tcdm_u32(TCDM_BASE + 0x100 + 4 * i).unwrap(),
+                1000 + i
+            );
         }
     }
 
     #[test]
     fn deadlock_detected_when_all_sleep() {
-        let mut cl = Cluster::new(ClusterConfig { num_cores: 2, ..ClusterConfig::default() });
+        let mut cl = Cluster::new(ClusterConfig {
+            num_cores: 2,
+            ..ClusterConfig::default()
+        });
         let mut a = Asm::new();
         a.wfe();
         a.halt();
         let prog = a.finish().unwrap();
         cl.load_binary(&prog, L2_BASE).unwrap();
         cl.start(L2_BASE, &[], 0);
-        assert!(matches!(cl.run_until_halt(10_000), Err(ClusterError::Deadlock)));
+        assert!(matches!(
+            cl.run_until_halt(10_000),
+            Err(ClusterError::Deadlock)
+        ));
     }
 
     #[test]
     fn timeout_on_infinite_loop() {
-        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut cl = Cluster::new(ClusterConfig {
+            num_cores: 1,
+            ..ClusterConfig::default()
+        });
         let mut a = Asm::new();
         let top = a.new_label();
         a.bind(top);
@@ -807,7 +853,10 @@ mod tests {
 
     #[test]
     fn fault_reports_core_index() {
-        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut cl = Cluster::new(ClusterConfig {
+            num_cores: 1,
+            ..ClusterConfig::default()
+        });
         let mut a = Asm::new();
         a.la(R1, 0x5555_0000); // unmapped
         a.lw(R2, R1, 0);
@@ -816,7 +865,10 @@ mod tests {
         cl.load_binary(&prog, L2_BASE).unwrap();
         cl.start(L2_BASE, &[], 0);
         match cl.run_until_halt(10_000) {
-            Err(ClusterError::Exec { core: 0, err: ExecError::Bus(_) }) => {}
+            Err(ClusterError::Exec {
+                core: 0,
+                err: ExecError::Bus(_),
+            }) => {}
             other => panic!("expected bus fault, got {other:?}"),
         }
     }
@@ -824,7 +876,10 @@ mod tests {
     #[test]
     fn l2_data_access_slower_than_tcdm() {
         let run_with = |base: u32| {
-            let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+            let mut cl = Cluster::new(ClusterConfig {
+                num_cores: 1,
+                ..ClusterConfig::default()
+            });
             let mut a = Asm::new();
             a.la(R1, base);
             for _ in 0..32 {
@@ -838,7 +893,10 @@ mod tests {
         };
         let tcdm_cycles = run_with(TCDM_BASE);
         let l2_cycles = run_with(L2_BASE + 0x8000);
-        assert!(l2_cycles > tcdm_cycles + 32, "L2 loads must pay the bus latency");
+        assert!(
+            l2_cycles > tcdm_cycles + 32,
+            "L2 loads must pay the bus latency"
+        );
     }
 
     #[test]
@@ -859,7 +917,10 @@ mod tests {
         cl.load_binary(&prog, L2_BASE).unwrap();
         cl.start(L2_BASE, &[], 0);
         let res = cl.run_until_halt(1_000_000).unwrap();
-        assert!(res.activity.tcdm_conflicts > 0, "same-bank traffic must conflict");
+        assert!(
+            res.activity.tcdm_conflicts > 0,
+            "same-bank traffic must conflict"
+        );
 
         // Spread the cores over different banks: far fewer conflicts.
         let mut a = Asm::new();
@@ -887,14 +948,19 @@ mod tests {
         let mut cl = quad();
         let payload: Vec<u8> = (0..=255).collect();
         cl.write_l2(L2_BASE + 0x4000, &payload).unwrap();
-        let done = cl.dma_copy(100, L2_BASE + 0x4000, TCDM_BASE + 0x200, 256).unwrap();
+        let done = cl
+            .dma_copy(100, L2_BASE + 0x4000, TCDM_BASE + 0x200, 256)
+            .unwrap();
         assert_eq!(done, 100 + 10 + 64); // setup 10 + 64 words
         assert_eq!(cl.read_tcdm(TCDM_BASE + 0x200, 256).unwrap(), payload);
     }
 
     #[test]
     fn icache_cold_start_then_warm() {
-        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut cl = Cluster::new(ClusterConfig {
+            num_cores: 1,
+            ..ClusterConfig::default()
+        });
         let mut a = Asm::new();
         a.li(R2, 100);
         let top = a.new_label();
@@ -937,7 +1003,10 @@ mod tests {
         let (prog, check) = build(L2_BASE + target_off);
         assert_eq!(check, target_off);
 
-        let mut cl = Cluster::new(ClusterConfig { num_cores: 1, ..ClusterConfig::default() });
+        let mut cl = Cluster::new(ClusterConfig {
+            num_cores: 1,
+            ..ClusterConfig::default()
+        });
         cl.load_binary(&prog, L2_BASE).unwrap();
         cl.start(L2_BASE, &[], 0);
         cl.run_until_halt(10_000).unwrap();

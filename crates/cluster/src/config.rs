@@ -79,8 +79,14 @@ impl ClusterConfig {
             "num_cores {} out of range 1..=32",
             self.num_cores
         );
-        assert!(self.tcdm_banks.is_power_of_two(), "tcdm_banks must be a power of two");
-        assert!(self.tcdm_size.is_multiple_of(self.tcdm_banks * 4), "tcdm_size must cover whole banks");
+        assert!(
+            self.tcdm_banks.is_power_of_two(),
+            "tcdm_banks must be a power of two"
+        );
+        assert!(
+            self.tcdm_size.is_multiple_of(self.tcdm_banks * 4),
+            "tcdm_size must cover whole banks"
+        );
         assert!(self.icache_line.is_power_of_two() && self.icache_line >= 4);
         assert!(self.icache_size.is_multiple_of(self.icache_line));
         assert!(self.dma_channels >= 1);
@@ -104,12 +110,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "num_cores")]
     fn zero_cores_rejected() {
-        ClusterConfig { num_cores: 0, ..ClusterConfig::default() }.validate();
+        ClusterConfig {
+            num_cores: 0,
+            ..ClusterConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_banks_rejected() {
-        ClusterConfig { tcdm_banks: 3, ..ClusterConfig::default() }.validate();
+        ClusterConfig {
+            tcdm_banks: 3,
+            ..ClusterConfig::default()
+        }
+        .validate();
     }
 }

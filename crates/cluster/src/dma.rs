@@ -101,7 +101,11 @@ impl Dma {
     /// Earliest time at which every outstanding transfer has completed.
     #[must_use]
     pub fn idle_at(&self) -> u64 {
-        self.channels.iter().map(|c| c.busy_until).max().unwrap_or(0)
+        self.channels
+            .iter()
+            .map(|c| c.busy_until)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total channel-busy cycles (activity factor numerator for the power

@@ -57,8 +57,14 @@ impl EventUnit {
     /// Panics if `core` is out of range or arrives twice at the same
     /// barrier generation (both indicate a simulator bug).
     pub fn barrier_arrive(&mut self, core: usize, at: u64) -> Option<u64> {
-        assert!(core < self.participants, "core {core} outside barrier group");
-        assert!(self.arrived[core].is_none(), "core {core} arrived twice at the barrier");
+        assert!(
+            core < self.participants,
+            "core {core} outside barrier group"
+        );
+        assert!(
+            self.arrived[core].is_none(),
+            "core {core} arrived twice at the barrier"
+        );
         self.arrived[core] = Some(at);
         if self.arrived.iter().all(Option::is_some) {
             let release = self.arrived.iter().map(|t| t.unwrap()).max().unwrap();

@@ -20,7 +20,12 @@ impl L2Memory {
     /// Creates a zeroed L2 of `size` bytes at `base`.
     #[must_use]
     pub fn new(base: u32, size: usize) -> Self {
-        L2Memory { base, data: vec![0; size], decoded: DecodeCache::new(size), accesses: 0 }
+        L2Memory {
+            base,
+            data: vec![0; size],
+            decoded: DecodeCache::new(size),
+            accesses: 0,
+        }
     }
 
     /// Base address.
@@ -136,7 +141,9 @@ impl L2Memory {
     #[inline]
     pub fn fetch_insn(&mut self, pc: u32) -> Result<Insn, BusError> {
         let off = self.offset(pc, 4)?;
-        self.decoded.fetch(off, &self.data).ok_or(BusError::Unmapped { addr: pc })
+        self.decoded
+            .fetch(off, &self.data)
+            .ok_or(BusError::Unmapped { addr: pc })
     }
 }
 
@@ -160,8 +167,12 @@ mod tests {
     #[test]
     fn data_roundtrip() {
         let mut l2 = L2Memory::new(0x1C00_0000, 4096);
-        l2.store_raw(0x1C00_0040, MemSize::Word, 0x1234_5678).unwrap();
-        assert_eq!(l2.load_raw(0x1C00_0040, MemSize::Word).unwrap(), 0x1234_5678);
+        l2.store_raw(0x1C00_0040, MemSize::Word, 0x1234_5678)
+            .unwrap();
+        assert_eq!(
+            l2.load_raw(0x1C00_0040, MemSize::Word).unwrap(),
+            0x1234_5678
+        );
         assert_eq!(l2.accesses(), 2);
     }
 

@@ -42,7 +42,9 @@ impl ClusterActivity {
         if self.total_cycles == 0 {
             return 0.0;
         }
-        self.core_active_cycles.get(i).map_or(0.0, |&a| a as f64 / self.total_cycles as f64)
+        self.core_active_cycles
+            .get(i)
+            .map_or(0.0, |&a| a as f64 / self.total_cycles as f64)
     }
 
     /// Mean activity factor across all cores.
@@ -51,7 +53,9 @@ impl ClusterActivity {
         if self.core_active_cycles.is_empty() {
             return 0.0;
         }
-        (0..self.core_active_cycles.len()).map(|i| self.chi_core(i)).sum::<f64>()
+        (0..self.core_active_cycles.len())
+            .map(|i| self.chi_core(i))
+            .sum::<f64>()
             / self.core_active_cycles.len() as f64
     }
 

@@ -284,7 +284,9 @@ mod tests {
         let mut same_bank = tcdm();
         let mut spread = tcdm();
         for i in 0..16u32 {
-            let _ = same_bank.load(0, 0x1000_0000 + i * 32, MemSize::Word).unwrap();
+            let _ = same_bank
+                .load(0, 0x1000_0000 + i * 32, MemSize::Word)
+                .unwrap();
             let _ = spread.load(0, 0x1000_0000 + i * 4, MemSize::Word).unwrap();
         }
         assert!(same_bank.conflicts() > 0);
@@ -294,7 +296,8 @@ mod tests {
     #[test]
     fn unaligned_word_occupies_two_banks() {
         let mut t = tcdm();
-        t.write_bytes(0x1000_0000, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        t.write_bytes(0x1000_0000, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap();
         let (v, ready) = t.load(0, 0x1000_0002, MemSize::Word).unwrap();
         assert_eq!(v, u32::from_le_bytes([3, 4, 5, 6]));
         assert_eq!(ready, 2, "split access takes an extra beat");
@@ -305,7 +308,9 @@ mod tests {
         let mut t = tcdm();
         assert!(t.load(0, 0x1000_0000 + 8 * 1024, MemSize::Word).is_err());
         assert!(t.load(0, 0x0FFF_FFFC, MemSize::Word).is_err());
-        assert!(t.load(0, 0x1000_0000 + 8 * 1024 - 2, MemSize::Word).is_err());
+        assert!(t
+            .load(0, 0x1000_0000 + 8 * 1024 - 2, MemSize::Word)
+            .is_err());
     }
 
     #[test]

@@ -15,23 +15,44 @@ const SIZE: usize = 4096;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Load { addr: u32, size: MemSize },
-    Store { addr: u32, size: MemSize, value: u32 },
-    Tas { addr: u32 },
+    Load {
+        addr: u32,
+        size: MemSize,
+    },
+    Store {
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    },
+    Tas {
+        addr: u32,
+    },
 }
 
 fn any_size() -> impl Strategy<Value = MemSize> {
-    prop_oneof![Just(MemSize::Byte), Just(MemSize::Half), Just(MemSize::Word)]
+    prop_oneof![
+        Just(MemSize::Byte),
+        Just(MemSize::Half),
+        Just(MemSize::Word)
+    ]
 }
 
 fn any_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..(SIZE as u32 - 4), any_size())
-            .prop_map(|(addr, size)| Op::Load { addr: TCDM_BASE + addr, size }),
-        (0u32..(SIZE as u32 - 4), any_size(), any::<u32>())
-            .prop_map(|(addr, size, value)| Op::Store { addr: TCDM_BASE + addr, size, value }),
-        (0u32..(SIZE as u32 / 4 - 1))
-            .prop_map(|w| Op::Tas { addr: TCDM_BASE + w * 4 }),
+        (0u32..(SIZE as u32 - 4), any_size()).prop_map(|(addr, size)| Op::Load {
+            addr: TCDM_BASE + addr,
+            size
+        }),
+        (0u32..(SIZE as u32 - 4), any_size(), any::<u32>()).prop_map(|(addr, size, value)| {
+            Op::Store {
+                addr: TCDM_BASE + addr,
+                size,
+                value,
+            }
+        }),
+        (0u32..(SIZE as u32 / 4 - 1)).prop_map(|w| Op::Tas {
+            addr: TCDM_BASE + w * 4
+        }),
     ]
 }
 

@@ -18,9 +18,18 @@ const SIZE: usize = 4096;
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
-    Load { addr: u32, size: MemSize },
-    Store { addr: u32, size: MemSize, value: u32 },
-    Tas { addr: u32 },
+    Load {
+        addr: u32,
+        size: MemSize,
+    },
+    Store {
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    },
+    Tas {
+        addr: u32,
+    },
 }
 
 fn any_size(rng: &mut XorShiftRng) -> MemSize {
@@ -38,7 +47,9 @@ fn any_op(rng: &mut XorShiftRng) -> Op {
             size: any_size(rng),
             value: rng.gen(),
         },
-        _ => Op::Tas { addr: TCDM_BASE + rng.gen_range(0u32..(SIZE as u32 / 4 - 1)) * 4 },
+        _ => Op::Tas {
+            addr: TCDM_BASE + rng.gen_range(0u32..(SIZE as u32 / 4 - 1)) * 4,
+        },
     }
 }
 
@@ -176,12 +187,14 @@ fn cluster_runs_are_deterministic() {
             let mut cl = Cluster::new(ClusterConfig::default());
             cl.load_binary(&prog, L2_BASE).unwrap();
             for (i, v) in values.iter().enumerate() {
-                cl.write_tcdm(TCDM_BASE + 0x100 + 4 * i as u32, &v.to_le_bytes()).unwrap();
+                cl.write_tcdm(TCDM_BASE + 0x100 + 4 * i as u32, &v.to_le_bytes())
+                    .unwrap();
             }
             cl.start(L2_BASE, &[], 0);
             let res = cl.run_until_halt(10_000_000).unwrap();
-            let sums: Vec<u32> =
-                (0..4).map(|c| cl.read_tcdm_u32(TCDM_BASE + 4 * c).unwrap()).collect();
+            let sums: Vec<u32> = (0..4)
+                .map(|c| cl.read_tcdm_u32(TCDM_BASE + 4 * c).unwrap())
+                .collect();
             (res.cycles, sums)
         };
         let (c1, s1) = run();

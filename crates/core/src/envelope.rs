@@ -24,7 +24,10 @@ pub struct PowerBudget {
 
 impl Default for PowerBudget {
     fn default() -> Self {
-        PowerBudget { total_watts: 10.0e-3, baseline_mcu_hz: 32.0e6 }
+        PowerBudget {
+            total_watts: 10.0e-3,
+            baseline_mcu_hz: 32.0e6,
+        }
     }
 }
 
@@ -77,8 +80,11 @@ pub fn envelope_speedup(
     let residual = budget.total_watts - mcu_power - link_power_watts;
     let baseline_seconds = host_cycles as f64 / budget.baseline_mcu_hz;
 
-    let pulp_point =
-        if residual > 0.0 { power.max_freq_under_power(residual, activity) } else { None };
+    let pulp_point = if residual > 0.0 {
+        power.max_freq_under_power(residual, activity)
+    } else {
+        None
+    };
     let pulp_speedup = pulp_point.map(|op| {
         let t = cluster_cycles as f64 / op.freq_hz;
         baseline_seconds / t

@@ -58,7 +58,11 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { enabled: false, chunk_bytes: DEFAULT_CHUNK_BYTES, window: DEFAULT_WINDOW }
+        PipelineConfig {
+            enabled: false,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            window: DEFAULT_WINDOW,
+        }
     }
 }
 
@@ -66,7 +70,10 @@ impl PipelineConfig {
     /// An enabled config with the default chunk and window.
     #[must_use]
     pub fn enabled() -> Self {
-        PipelineConfig { enabled: true, ..PipelineConfig::default() }
+        PipelineConfig {
+            enabled: true,
+            ..PipelineConfig::default()
+        }
     }
 
     /// The config with both knobs clamped to their legal ranges.
@@ -273,7 +280,10 @@ impl Schedule {
 
     /// End of the last scheduled operation on any resource.
     pub fn makespan(&self) -> u64 {
-        self.link.free_at.max(self.dma.free_at).max(self.core.free_at)
+        self.link
+            .free_at
+            .max(self.dma.free_at)
+            .max(self.core.free_at)
     }
 
     /// The concurrency accounting over everything scheduled so far.
@@ -339,7 +349,11 @@ pub(crate) fn schedule_job(sched: &mut Schedule, job: &PipelineJob) -> u64 {
 
     dma_in_done[0] = stream_inputs(sched, job, 0);
     for i in 0..iters {
-        let compute_ns = if i == 0 { job.compute_cold_ns } else { job.compute_warm_ns };
+        let compute_ns = if i == 0 {
+            job.compute_cold_ns
+        } else {
+            job.compute_warm_ns
+        };
         let mut ready = dma_in_done[i].max(binary_done);
         if i >= 2 {
             ready = ready.max(dma_out_drained[i - 2]);
@@ -386,13 +400,22 @@ mod tests {
     fn chunk_lens_cover_the_payload() {
         assert_eq!(chunk_lens(1000, 512), vec![512, 488]);
         assert_eq!(chunk_lens(512, 512), vec![512]);
-        assert_eq!(chunk_lens(0, 512), Vec::<usize>::new(), "empty map clause: no chunks");
+        assert_eq!(
+            chunk_lens(0, 512),
+            Vec::<usize>::new(),
+            "empty map clause: no chunks"
+        );
         assert_eq!(chunk_lens(5, 2), vec![2, 2, 1]);
     }
 
     #[test]
     fn normalization_clamps_the_knobs() {
-        let n = PipelineConfig { enabled: true, chunk_bytes: 1, window: 99 }.normalized();
+        let n = PipelineConfig {
+            enabled: true,
+            chunk_bytes: 1,
+            window: 99,
+        }
+        .normalized();
         assert_eq!(n.chunk_bytes, MIN_CHUNK_BYTES);
         assert_eq!(n.window, ulp_link::MAX_WINDOW);
         let d = PipelineConfig::default();
@@ -466,7 +489,10 @@ mod tests {
         // still correct by total time: iters × compute dominates.
         let mut s = Schedule::new(8);
         let iters = 6;
-        let done = schedule_job(&mut s, &job(vec![op(10, 5)], vec![op(5, 10)], 10_000, iters));
+        let done = schedule_job(
+            &mut s,
+            &job(vec![op(10, 5)], vec![op(5, 10)], 10_000, iters),
+        );
         // Fill (15 ns) + 6 × 10 µs of compute + final drain (15 ns); every
         // transfer in between hides under compute.
         assert_eq!(done, 15 + 10_000 * iters as u64 + 15);

@@ -121,11 +121,17 @@ mod tests {
         let mut q = OffloadQueue::new();
         q.push(
             matmul::build_sized(MatVariant::Char, &env, 16),
-            OffloadOptions { iterations, ..Default::default() },
+            OffloadOptions {
+                iterations,
+                ..Default::default()
+            },
         );
         q.push(
             matmul::build_sized(MatVariant::Char, &env, 8),
-            OffloadOptions { iterations, ..Default::default() },
+            OffloadOptions {
+                iterations,
+                ..Default::default()
+            },
         );
         q
     }
@@ -143,7 +149,9 @@ mod tests {
     #[test]
     fn pipelined_queue_never_loses_to_serialized() {
         let mut sys = HetSystem::new(HetSystemConfig::default());
-        let r = sys.run_queue(&queue_of(4), PipelineConfig::enabled()).unwrap();
+        let r = sys
+            .run_queue(&queue_of(4), PipelineConfig::enabled())
+            .unwrap();
         assert_eq!(r.reports.len(), 2);
         assert!(r.total_seconds <= r.serialized_seconds);
         assert!(r.speedup() >= 1.0);
@@ -153,7 +161,9 @@ mod tests {
     #[test]
     fn disabled_pipeline_runs_serialized() {
         let mut sys = HetSystem::new(HetSystemConfig::default());
-        let r = sys.run_queue(&queue_of(2), PipelineConfig::default()).unwrap();
+        let r = sys
+            .run_queue(&queue_of(2), PipelineConfig::default())
+            .unwrap();
         assert!(!r.overlap.any());
         assert!((r.total_seconds - r.serialized_seconds).abs() < 1e-15);
         assert!((r.speedup() - 1.0).abs() < 1e-12);
@@ -190,7 +200,10 @@ mod tests {
         let mut sys = HetSystem::new(HetSystemConfig::default());
         let r = sys.run_queue(&q, PipelineConfig::enabled()).unwrap();
         assert!(r.reports[0].binary_seconds > 0.0);
-        assert_eq!(r.reports[1].binary_seconds, 0.0, "second job reuses the binary");
+        assert_eq!(
+            r.reports[1].binary_seconds, 0.0,
+            "second job reuses the binary"
+        );
     }
 
     #[test]
@@ -203,9 +216,14 @@ mod tests {
             },
             ..HetSystemConfig::default()
         });
-        let r = sys.run_queue(&queue_of(2), PipelineConfig::enabled()).unwrap();
+        let r = sys
+            .run_queue(&queue_of(2), PipelineConfig::enabled())
+            .unwrap();
         assert_eq!(r.reports.len(), 2);
-        assert!(!r.overlap.any(), "no cross-kernel pipelining on a faulty link");
+        assert!(
+            !r.overlap.any(),
+            "no cross-kernel pipelining on a faulty link"
+        );
         assert!(r.total_seconds <= r.serialized_seconds + 1e-12);
     }
 }

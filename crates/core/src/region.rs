@@ -94,7 +94,10 @@ impl TargetRegion {
                 },
             })
             .collect();
-        TargetRegion { maps, binary_bytes: build.program.binary_size() }
+        TargetRegion {
+            maps,
+            binary_bytes: build.program.binary_size(),
+        }
     }
 
     /// All map clauses.
@@ -106,13 +109,21 @@ impl TargetRegion {
     /// Bytes transferred host → device on **every** kernel execution.
     #[must_use]
     pub fn bytes_to(&self) -> usize {
-        self.maps.iter().filter(|m| m.dir == MapDir::To).map(|m| m.len).sum()
+        self.maps
+            .iter()
+            .filter(|m| m.dir == MapDir::To)
+            .map(|m| m.len)
+            .sum()
     }
 
     /// Bytes transferred device → host on every kernel execution.
     #[must_use]
     pub fn bytes_from(&self) -> usize {
-        self.maps.iter().filter(|m| m.dir == MapDir::From).map(|m| m.len).sum()
+        self.maps
+            .iter()
+            .filter(|m| m.dir == MapDir::From)
+            .map(|m| m.len)
+            .sum()
     }
 
     /// Bytes of the one-time program offload: text + rodata + constant
@@ -120,7 +131,12 @@ impl TargetRegion {
     #[must_use]
     pub fn offload_bytes(&self) -> usize {
         self.binary_bytes
-            + self.maps.iter().filter(|m| m.dir == MapDir::ToOnce).map(|m| m.len).sum::<usize>()
+            + self
+                .maps
+                .iter()
+                .filter(|m| m.dir == MapDir::ToOnce)
+                .map(|m| m.len)
+                .sum::<usize>()
     }
 }
 
@@ -146,9 +162,7 @@ mod tests {
     fn clauses_follow_buffer_roles() {
         let build = Benchmark::SvmRbf.build(&TargetEnv::pulp_parallel());
         let region = TargetRegion::from_kernel(&build);
-        let dir_of = |name: &str| {
-            region.maps().iter().find(|m| m.name == name).map(|m| m.dir)
-        };
+        let dir_of = |name: &str| region.maps().iter().find(|m| m.name == name).map(|m| m.dir);
         assert_eq!(dir_of("X"), Some(MapDir::To));
         assert_eq!(dir_of("out"), Some(MapDir::From));
         assert_eq!(dir_of("exp_lut"), Some(MapDir::ToOnce));
@@ -170,7 +184,9 @@ mod tests {
         let hist = region.maps().iter().find(|m| m.name == "hist").unwrap();
         assert_eq!(hist.dir, MapDir::Alloc);
         // hist is large; make sure it is not part of any transfer figure.
-        assert!(region.bytes_to() + region.bytes_from() < build.buffers.iter().map(|b| b.len).sum());
+        assert!(
+            region.bytes_to() + region.bytes_from() < build.buffers.iter().map(|b| b.len).sum()
+        );
     }
 
     #[test]

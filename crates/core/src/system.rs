@@ -139,7 +139,8 @@ impl OffloadPolicy {
     #[must_use]
     pub fn backoff_for(&self, attempt: u32) -> u64 {
         if self.exponential_backoff {
-            self.backoff_cycles.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            self.backoff_cycles
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
         } else {
             self.backoff_cycles
         }
@@ -185,7 +186,10 @@ impl fmt::Display for OffloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OffloadError::NotAccelBuild { kernel } => {
-                write!(f, "kernel {kernel} was not built for the accelerator memory map")
+                write!(
+                    f,
+                    "kernel {kernel} was not built for the accelerator memory map"
+                )
             }
             OffloadError::Cluster(e) => write!(f, "accelerator failed: {e}"),
             OffloadError::OutputMismatch(m) => {
@@ -193,12 +197,21 @@ impl fmt::Display for OffloadError {
             }
             OffloadError::Host(e) => write!(f, "host execution failed: {e}"),
             OffloadError::CrcMismatch { frame_bytes } => {
-                write!(f, "CRC mismatch on a {frame_bytes}-byte frame (retries disabled)")
+                write!(
+                    f,
+                    "CRC mismatch on a {frame_bytes}-byte frame (retries disabled)"
+                )
             }
             OffloadError::RetriesExhausted { attempts } => {
-                write!(f, "frame undeliverable after {attempts} transmission attempts")
+                write!(
+                    f,
+                    "frame undeliverable after {attempts} transmission attempts"
+                )
             }
-            OffloadError::WatchdogTimeout { watchdog_cycles, attempts } => write!(
+            OffloadError::WatchdogTimeout {
+                watchdog_cycles,
+                attempts,
+            } => write!(
                 f,
                 "end-of-computation event missing: watchdog ({watchdog_cycles} host cycles) \
                  tripped on all {attempts} attempts"
@@ -379,7 +392,10 @@ impl OffloadReport {
     /// time (both zero on a fault-free link).
     #[must_use]
     pub fn total_seconds(&self) -> f64 {
-        self.binary_seconds + self.input_seconds + self.output_seconds + self.compute_seconds
+        self.binary_seconds
+            + self.input_seconds
+            + self.output_seconds
+            + self.compute_seconds
             + self.sync_seconds
             - self.overlapped_seconds
             + self.resilience.extra_seconds
@@ -390,7 +406,9 @@ impl OffloadReport {
     /// fallback energy (both zero on a fault-free link).
     #[must_use]
     pub fn total_energy_joules(&self) -> f64 {
-        self.mcu_energy_joules + self.pulp_energy_joules + self.link_energy_joules
+        self.mcu_energy_joules
+            + self.pulp_energy_joules
+            + self.link_energy_joules
             + self.resilience.extra_energy_joules
             + self.resilience.fallback_energy_joules
     }
@@ -519,7 +537,9 @@ impl HetSystem {
     /// and the host sleeps (the Fig. 5a steady state).
     #[must_use]
     pub fn compute_phase_power_watts(&self, activity: &ClusterActivity) -> f64 {
-        self.config.power.total_power_w(self.config.pulp_freq_hz, self.config.pulp_vdd, activity)
+        self.config
+            .power
+            .total_power_w(self.config.pulp_freq_hz, self.config.pulp_vdd, activity)
             + self.config.mcu.sleep_power_w()
     }
 
@@ -539,7 +559,9 @@ impl HetSystem {
         // Accelerator builds lay their buffers out in the TCDM window.
         let tcdm = 0x1000_0000u32..0x1100_0000u32;
         if build.buffers.iter().any(|b| !tcdm.contains(&b.addr)) {
-            return Err(OffloadError::NotAccelBuild { kernel: build.name.clone() });
+            return Err(OffloadError::NotAccelBuild {
+                kernel: build.name.clone(),
+            });
         }
         let region = TargetRegion::from_kernel(build);
         self.cluster.load_binary(&build.program, L2_BASE)?;
@@ -615,7 +637,8 @@ impl HetSystem {
 
         // Each mapped buffer travels in one Frame (10-byte header).
         let binary_seconds = if include_binary {
-            self.link.transfer_seconds(cost.offload_bytes + 10, spi_drive_hz)
+            self.link
+                .transfer_seconds(cost.offload_bytes + 10, spi_drive_hz)
         } else {
             0.0
         };
@@ -677,7 +700,11 @@ impl HetSystem {
         // Phases the MCU actively drives; with a direct sensor interface
         // the input phase does not involve the host at all.
         let mcu_driven_transfers = binary_seconds
-            + if opts.sensor_direct { 0.0 } else { input_seconds }
+            + if opts.sensor_direct {
+                0.0
+            } else {
+                input_seconds
+            }
             + output_seconds
             + sync_seconds;
         let mcu_compute_phase_power = if opts.host_task {
@@ -687,17 +714,25 @@ impl HetSystem {
         };
         let mcu_energy = self.config.mcu.run_power_w(transfer_mcu_hz) * mcu_driven_transfers
             + mcu_compute_phase_power * compute_seconds;
-        let host_task_cycles =
-            if opts.host_task { (compute_seconds * mcu_hz) as u64 } else { 0 };
+        let host_task_cycles = if opts.host_task {
+            (compute_seconds * mcu_hz) as u64
+        } else {
+            0
+        };
         let pulp_compute_energy =
-            self.config.power.total_power_w(f_pulp, self.config.pulp_vdd, &cost.activity)
+            self.config
+                .power
+                .total_power_w(f_pulp, self.config.pulp_vdd, &cost.activity)
                 * compute_seconds;
         let pulp_idle_energy =
             self.config.power.leakage_w(self.config.pulp_vdd) * mcu_driven_transfers;
         let link_data_bytes: usize = if opts.sensor_direct { 0 } else { input_bytes }
             + cost.output_frames.iter().sum::<usize>();
-        let link_bytes = if include_binary { cost.offload_bytes as f64 } else { 0.0 }
-            + iterations as f64 * link_data_bytes as f64;
+        let link_bytes = if include_binary {
+            cost.offload_bytes as f64
+        } else {
+            0.0
+        } + iterations as f64 * link_data_bytes as f64;
         let link_energy = link_bytes * 8.0 * SpiLink::DEFAULT_ENERGY_PER_BIT;
 
         OffloadReport {
@@ -748,8 +783,16 @@ impl HetSystem {
         };
         let input_bytes: usize = cost.input_frames.iter().sum();
         PipelineJob {
-            binary: if include_binary { chunked(&[cost.offload_bytes]) } else { Vec::new() },
-            inputs: if opts.sensor_direct { Vec::new() } else { chunked(&cost.input_frames) },
+            binary: if include_binary {
+                chunked(&[cost.offload_bytes])
+            } else {
+                Vec::new()
+            },
+            inputs: if opts.sensor_direct {
+                Vec::new()
+            } else {
+                chunked(&cost.input_frames)
+            },
             outputs: chunked(&cost.output_frames),
             compute_cold_ns: pipeline::ns(cost.cycles_cold as f64 / f_pulp),
             compute_warm_ns: pipeline::ns(cost.cycles_warm as f64 / f_pulp),
@@ -798,8 +841,11 @@ impl HetSystem {
         opts: &OffloadOptions,
     ) -> Result<OffloadReport, OffloadError> {
         // The host baseline is only needed when faults can actually strike.
-        let host =
-            if self.injector.is_active() { Some(self.run_on_host(host_build)?) } else { None };
+        let host = if self.injector.is_active() {
+            Some(self.run_on_host(host_build)?)
+        } else {
+            None
+        };
         self.offload_impl(build, host, opts)
     }
 
@@ -898,11 +944,13 @@ impl HetSystem {
         for (phase, seconds) in spans {
             let ns = (seconds * 1e9) as u64;
             if ns > 0 {
-                self.tracer.emit(Component::Host, EventKind::Phase(phase), at, ns);
+                self.tracer
+                    .emit(Component::Host, EventKind::Phase(phase), at, ns);
             }
             at += ns;
         }
-        self.tracer.advance_host_epoch(((report.total_seconds() * 1e9) as u64).max(at));
+        self.tracer
+            .advance_host_epoch(((report.total_seconds() * 1e9) as u64).max(at));
     }
 
     /// Simulates one frame crossing the faulty link under the retry
@@ -970,9 +1018,13 @@ impl HetSystem {
                     }
                     if attempt >= policy.max_retries {
                         return Err(if policy.max_retries == 0 {
-                            OffloadError::CrcMismatch { frame_bytes: wire_bytes }
+                            OffloadError::CrcMismatch {
+                                frame_bytes: wire_bytes,
+                            }
                         } else {
-                            OffloadError::RetriesExhausted { attempts: attempt + 1 }
+                            OffloadError::RetriesExhausted {
+                                attempts: attempt + 1,
+                            }
                         });
                     }
                     // Backoff pause before the retransmission: both dies
@@ -1021,10 +1073,15 @@ impl HetSystem {
         let (spi_drive_hz, transfer_mcu_hz) = self.link_clocks();
         let run_p = self.config.mcu.run_power_w(transfer_mcu_hz);
         let sleep_p = self.config.mcu.sleep_power_w();
-        let mcu_compute_p =
-            if opts.host_task { self.config.mcu.run_power_w(mcu_hz) } else { sleep_p };
+        let mcu_compute_p = if opts.host_task {
+            self.config.mcu.run_power_w(mcu_hz)
+        } else {
+            sleep_p
+        };
         let pulp_active_p =
-            self.config.power.total_power_w(f_pulp, self.config.pulp_vdd, &cost.activity);
+            self.config
+                .power
+                .total_power_w(f_pulp, self.config.pulp_vdd, &cost.activity);
         let pulp_leak_p = self.config.power.leakage_w(self.config.pulp_vdd);
 
         let t_cold = cost.cycles_cold as f64 / f_pulp;
@@ -1070,9 +1127,14 @@ impl HetSystem {
                 for chunk in cost.input_frames.iter().flat_map(|&len| chunks_of(len)) {
                     let wire = chunk + FRAME_OVERHEAD;
                     input_seconds += self.link.transfer_seconds(wire, spi_drive_hz);
-                    if let Err(e) = self
-                        .transport_frame(wire, spi_drive_hz, run_p, pulp_leak_p, &policy, &mut res)
-                    {
+                    if let Err(e) = self.transport_frame(
+                        wire,
+                        spi_drive_hz,
+                        run_p,
+                        pulp_leak_p,
+                        &policy,
+                        &mut res,
+                    ) {
                         failure = Some(e);
                         break 'iters;
                     }
@@ -1091,7 +1153,10 @@ impl HetSystem {
                     EocOutcome::OnTime => (Some(event_host_cycles), 0.0),
                     EocOutcome::Late(accel_cycles) => {
                         let secs = accel_cycles as f64 / f_pulp;
-                        (Some(event_host_cycles + (secs * mcu_hz).ceil() as u64), secs)
+                        (
+                            Some(event_host_cycles + (secs * mcu_hz).ceil() as u64),
+                            secs,
+                        )
                     }
                     EocOutcome::Hang => (None, 0.0),
                 };
@@ -1116,8 +1181,7 @@ impl HetSystem {
                         // (host asleep, accelerator still active).
                         if late_secs > 0.0 {
                             res.extra_seconds += late_secs;
-                            res.extra_energy_joules +=
-                                (mcu_compute_p + pulp_active_p) * late_secs;
+                            res.extra_energy_joules += (mcu_compute_p + pulp_active_p) * late_secs;
                         }
                         break;
                     }
@@ -1177,20 +1241,28 @@ impl HetSystem {
 
         // -- healthy-ledger energy, mirroring `predict` -------------------
         let mcu_driven_transfers = binary_seconds
-            + if opts.sensor_direct { 0.0 } else { input_seconds }
+            + if opts.sensor_direct {
+                0.0
+            } else {
+                input_seconds
+            }
             + output_seconds
             + sync_seconds;
-        let mcu_energy =
-            run_p * mcu_driven_transfers + mcu_compute_p * compute_seconds;
-        let host_task_cycles =
-            if opts.host_task { (compute_seconds * mcu_hz) as u64 } else { 0 };
-        let pulp_energy =
-            pulp_active_p * compute_seconds + pulp_leak_p * mcu_driven_transfers;
+        let mcu_energy = run_p * mcu_driven_transfers + mcu_compute_p * compute_seconds;
+        let host_task_cycles = if opts.host_task {
+            (compute_seconds * mcu_hz) as u64
+        } else {
+            0
+        };
+        let pulp_energy = pulp_active_p * compute_seconds + pulp_leak_p * mcu_driven_transfers;
         let input_bytes: usize = cost.input_frames.iter().sum();
         let link_data_bytes: usize = if opts.sensor_direct { 0 } else { input_bytes }
             + cost.output_frames.iter().sum::<usize>();
-        let link_bytes = if include_binary { cost.offload_bytes as f64 } else { 0.0 }
-            + completed as f64 * link_data_bytes as f64;
+        let link_bytes = if include_binary {
+            cost.offload_bytes as f64
+        } else {
+            0.0
+        } + completed as f64 * link_data_bytes as f64;
         let link_energy = link_bytes * 8.0 * SpiLink::DEFAULT_ENERGY_PER_BIT;
 
         // Double buffering still hides steady-state transfers behind
@@ -1201,13 +1273,19 @@ impl HetSystem {
             } else {
                 cost.input_frames
                     .iter()
-                    .map(|len| self.link.transfer_seconds(len + FRAME_OVERHEAD, spi_drive_hz))
+                    .map(|len| {
+                        self.link
+                            .transfer_seconds(len + FRAME_OVERHEAD, spi_drive_hz)
+                    })
                     .sum()
             };
             let t_out: f64 = cost
                 .output_frames
                 .iter()
-                .map(|len| self.link.transfer_seconds(len + FRAME_OVERHEAD, spi_drive_hz))
+                .map(|len| {
+                    self.link
+                        .transfer_seconds(len + FRAME_OVERHEAD, spi_drive_hz)
+                })
                 .sum();
             (t_in + t_out).min(t_warm) * (completed - 1) as f64
         } else {
@@ -1223,8 +1301,7 @@ impl HetSystem {
             let job = self.pipeline_job(cost, &jopts, include_binary, pipe);
             let mut sched = Schedule::new(pipe.window);
             pipeline::schedule_job(&mut sched, &job);
-            let gain =
-                pipeline::serial_ns(&job).saturating_sub(sched.makespan()) as f64 / 1e9;
+            let gain = pipeline::serial_ns(&job).saturating_sub(sched.makespan()) as f64 / 1e9;
             let mut o = sched.overlap();
             o.engaged = gain > legacy_overlap && gain > 0.0;
             (legacy_overlap.max(gain), o)
@@ -1267,7 +1344,11 @@ impl HetSystem {
             }
         }
         let run = mcu.run_program(&build.program, &build.args)?;
-        Ok(HostReport { cycles: run.cycles, seconds: run.seconds, energy_joules: run.energy_joules })
+        Ok(HostReport {
+            cycles: run.cycles,
+            seconds: run.seconds,
+            energy_joules: run.energy_joules,
+        })
     }
 
     /// Accumulated link statistics.
@@ -1340,8 +1421,8 @@ impl HetSystem {
             let mut o = *opts;
             o.pipeline = pipe;
             let cost = self.measure_cost(build)?;
-            let ship_binary = o.force_reload
-                || self.resident_kernel.as_deref() != Some(build.name.as_str());
+            let ship_binary =
+                o.force_reload || self.resident_kernel.as_deref() != Some(build.name.as_str());
             if ship_binary {
                 for len in pipeline::chunk_lens(cost.offload_bytes, norm.chunk_bytes) {
                     let _ = self.link.send(len + FRAME_OVERHEAD, mcu_hz);
@@ -1402,7 +1483,12 @@ impl HetSystem {
         if overlap.any() {
             self.tracer.set_overlap(overlap);
         }
-        Ok(QueueReport { reports, serialized_seconds, total_seconds, overlap })
+        Ok(QueueReport {
+            reports,
+            serialized_seconds,
+            total_seconds,
+            overlap,
+        })
     }
 }
 
@@ -1422,8 +1508,13 @@ mod tests {
     #[test]
     fn offload_runs_and_verifies() {
         let mut sys = HetSystem::new(HetSystemConfig::default());
-        let report = sys.offload(&small_build(), &OffloadOptions::default()).unwrap();
-        assert!(report.binary_seconds > 0.0, "first offload ships the binary");
+        let report = sys
+            .offload(&small_build(), &OffloadOptions::default())
+            .unwrap();
+        assert!(
+            report.binary_seconds > 0.0,
+            "first offload ships the binary"
+        );
         assert!(report.compute_seconds > 0.0);
         assert!(report.efficiency() > 0.0 && report.efficiency() < 1.0);
     }
@@ -1435,7 +1526,10 @@ mod tests {
         let r1 = sys.offload(&build, &OffloadOptions::default()).unwrap();
         let r2 = sys.offload(&build, &OffloadOptions::default()).unwrap();
         assert!(r1.binary_seconds > 0.0);
-        assert!((r2.binary_seconds - 0.0).abs() < 1e-15, "binary already resident");
+        assert!(
+            (r2.binary_seconds - 0.0).abs() < 1e-15,
+            "binary already resident"
+        );
         assert!(r2.total_seconds() < r1.total_seconds());
     }
 
@@ -1444,9 +1538,15 @@ mod tests {
         let mut sys = HetSystem::new(HetSystemConfig::default());
         let build = small_build();
         let _ = sys.offload(&build, &OffloadOptions::default()).unwrap();
-        let r =
-            sys.offload(&build, &OffloadOptions { force_reload: true, ..Default::default() })
-                .unwrap();
+        let r = sys
+            .offload(
+                &build,
+                &OffloadOptions {
+                    force_reload: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(r.binary_seconds > 0.0);
     }
 
@@ -1456,9 +1556,15 @@ mod tests {
         let build = small_build();
         let eff = |iters: usize| {
             let mut sys = HetSystem::new(HetSystemConfig::default());
-            sys.offload(&build, &OffloadOptions { iterations: iters, ..Default::default() })
-                .unwrap()
-                .efficiency()
+            sys.offload(
+                &build,
+                &OffloadOptions {
+                    iterations: iters,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .efficiency()
         };
         let e1 = eff(1);
         let e8 = eff(8);
@@ -1473,7 +1579,11 @@ mod tests {
             let mut sys = HetSystem::new(HetSystemConfig::default());
             sys.offload(
                 &build,
-                &OffloadOptions { iterations: 16, double_buffer: db, ..Default::default() },
+                &OffloadOptions {
+                    iterations: 16,
+                    double_buffer: db,
+                    ..Default::default()
+                },
             )
             .unwrap()
         };
@@ -1514,7 +1624,13 @@ mod tests {
         let host_build = Benchmark::Cnn.build(&TargetEnv::host_m4());
         let host = sys.run_on_host(&host_build).unwrap();
         let rep = sys
-            .offload(&accel, &OffloadOptions { iterations: 32, ..Default::default() })
+            .offload(
+                &accel,
+                &OffloadOptions {
+                    iterations: 32,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let per_iter = rep.total_seconds() / 32.0;
         assert!(
@@ -1529,11 +1645,20 @@ mod tests {
         // Fig. 5b's plateau: the SPI clock follows the MCU clock.
         let build = small_build();
         let eff_at = |mcu_hz: f64| {
-            let cfg = HetSystemConfig { mcu_freq_hz: mcu_hz, ..HetSystemConfig::default() };
+            let cfg = HetSystemConfig {
+                mcu_freq_hz: mcu_hz,
+                ..HetSystemConfig::default()
+            };
             let mut sys = HetSystem::new(cfg);
-            sys.offload(&build, &OffloadOptions { iterations: 64, ..Default::default() })
-                .unwrap()
-                .efficiency()
+            sys.offload(
+                &build,
+                &OffloadOptions {
+                    iterations: 64,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .efficiency()
         };
         assert!(eff_at(1.0e6) < eff_at(16.0e6));
     }
@@ -1543,7 +1668,11 @@ mod tests {
         let sys = HetSystem::new(HetSystemConfig::default());
         let act = ulp_power::busy_activity(4, 8);
         let p = sys.compute_phase_power_watts(&act);
-        assert!(p < 10.0e-3, "default operating point draws {:.2} mW", p * 1e3);
+        assert!(
+            p < 10.0e-3,
+            "default operating point draws {:.2} mW",
+            p * 1e3
+        );
     }
 
     #[test]
@@ -1556,7 +1685,10 @@ mod tests {
             ..HetSystemConfig::default()
         });
         let cost = tied_sys.measure_cost(&build).unwrap();
-        let opts = OffloadOptions { iterations: 32, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 32,
+            ..Default::default()
+        };
         let tied = tied_sys.predict(&cost, &opts, true);
 
         let free_sys = HetSystem::new(HetSystemConfig {
@@ -1581,7 +1713,10 @@ mod tests {
             ..HetSystemConfig::default()
         });
         let cost = base_sys.measure_cost(&build).unwrap();
-        let opts = OffloadOptions { iterations: 8, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 8,
+            ..Default::default()
+        };
         let base = base_sys.predict(&cost, &opts, true);
 
         let boosted_sys = HetSystem::new(HetSystemConfig {
@@ -1611,12 +1746,19 @@ mod tests {
         let cost = sys.measure_cost(&build).unwrap();
         let via_link = sys.predict(
             &cost,
-            &OffloadOptions { iterations: 16, ..Default::default() },
+            &OffloadOptions {
+                iterations: 16,
+                ..Default::default()
+            },
             true,
         );
         let direct = sys.predict(
             &cost,
-            &OffloadOptions { iterations: 16, sensor_direct: true, ..Default::default() },
+            &OffloadOptions {
+                iterations: 16,
+                sensor_direct: true,
+                ..Default::default()
+            },
             true,
         );
         assert!(direct.input_seconds < via_link.input_seconds / 10.0);
@@ -1637,12 +1779,19 @@ mod tests {
         let cost = sys.measure_cost(&build).unwrap();
         let idle = sys.predict(
             &cost,
-            &OffloadOptions { iterations: 8, ..Default::default() },
+            &OffloadOptions {
+                iterations: 8,
+                ..Default::default()
+            },
             true,
         );
         let tasked = sys.predict(
             &cost,
-            &OffloadOptions { iterations: 8, host_task: true, ..Default::default() },
+            &OffloadOptions {
+                iterations: 8,
+                host_task: true,
+                ..Default::default()
+            },
             true,
         );
         assert_eq!(idle.host_task_cycles, 0);
@@ -1658,15 +1807,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot reach")]
     fn overclocked_accelerator_rejected() {
-        let cfg =
-            HetSystemConfig { pulp_vdd: 0.5, pulp_freq_hz: 400.0e6, ..HetSystemConfig::default() };
+        let cfg = HetSystemConfig {
+            pulp_vdd: 0.5,
+            pulp_freq_hz: 400.0e6,
+            ..HetSystemConfig::default()
+        };
         let _ = HetSystem::new(cfg);
     }
 
     // ---- resilience ----------------------------------------------------
 
     fn faulty_config(fault: FaultConfig) -> HetSystemConfig {
-        HetSystemConfig { fault, ..HetSystemConfig::default() }
+        HetSystemConfig {
+            fault,
+            ..HetSystemConfig::default()
+        }
     }
 
     #[test]
@@ -1674,13 +1829,19 @@ mod tests {
         // The zero-overhead guarantee: constructing the system with any
         // all-zero fault config takes the exact fault-free path.
         let build = small_build();
-        let opts = OffloadOptions { iterations: 8, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 8,
+            ..Default::default()
+        };
         let mut plain = HetSystem::new(HetSystemConfig::default());
         let mut cfged = HetSystem::new(faulty_config(FaultConfig::default()));
         let a = plain.offload(&build, &opts).unwrap();
         let b = cfged.offload(&build, &opts).unwrap();
         assert_eq!(a.total_seconds().to_bits(), b.total_seconds().to_bits());
-        assert_eq!(a.total_energy_joules().to_bits(), b.total_energy_joules().to_bits());
+        assert_eq!(
+            a.total_energy_joules().to_bits(),
+            b.total_energy_joules().to_bits()
+        );
         assert!(!b.resilience.any());
     }
 
@@ -1689,7 +1850,10 @@ mod tests {
         // An *active* injector whose faults essentially never fire must
         // converge on the fault-free numbers (same formulas, no events).
         let build = small_build();
-        let opts = OffloadOptions { iterations: 4, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 4,
+            ..Default::default()
+        };
         let mut plain = HetSystem::new(HetSystemConfig::default());
         let healthy = plain.offload(&build, &opts).unwrap();
         let mut sys = HetSystem::new(faulty_config(FaultConfig {
@@ -1700,9 +1864,7 @@ mod tests {
         let rep = sys.offload(&build, &opts).unwrap();
         assert_eq!(rep.resilience.retransmissions, 0);
         assert!((rep.total_seconds() - healthy.total_seconds()).abs() < 1e-12);
-        assert!(
-            (rep.total_energy_joules() - healthy.total_energy_joules()).abs() < 1e-15
-        );
+        assert!((rep.total_energy_joules() - healthy.total_energy_joules()).abs() < 1e-15);
     }
 
     #[test]
@@ -1711,7 +1873,10 @@ mod tests {
         // the output was verified against the golden reference inside
         // measure_cost — without ever falling back to the host.
         let build = small_build();
-        let opts = OffloadOptions { iterations: 16, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 16,
+            ..Default::default()
+        };
         let mut sys = HetSystem::new(faulty_config(FaultConfig {
             seed: 0xBEE,
             bit_error_rate: 1e-6,
@@ -1727,7 +1892,10 @@ mod tests {
         // A noisier link: corruptions definitely strike, retransmissions
         // absorb them all, and the recovery surcharge is measurable.
         let build = small_build();
-        let opts = OffloadOptions { iterations: 16, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 16,
+            ..Default::default()
+        };
         let mut sys = HetSystem::new(faulty_config(FaultConfig {
             seed: 0xBEE,
             bit_error_rate: 2e-5,
@@ -1739,7 +1907,10 @@ mod tests {
             rep.resilience.crc_errors_detected > 0,
             "1e-6 BER over dozens of kB must corrupt at least one frame"
         );
-        assert_eq!(rep.resilience.retransmissions, rep.resilience.crc_errors_detected);
+        assert_eq!(
+            rep.resilience.retransmissions,
+            rep.resilience.crc_errors_detected
+        );
         assert!(rep.resilience.extra_seconds > 0.0);
         assert!(rep.resilience.extra_energy_joules > 0.0);
         // The healthy portion of the ledger is undisturbed.
@@ -1753,9 +1924,16 @@ mod tests {
     #[test]
     fn same_seed_and_policy_reproduce_identical_reports() {
         let build = small_build();
-        let opts = OffloadOptions { iterations: 8, ..Default::default() };
-        let fault =
-            FaultConfig { seed: 42, bit_error_rate: 2e-6, drop_rate: 1e-3, ..FaultConfig::default() };
+        let opts = OffloadOptions {
+            iterations: 8,
+            ..Default::default()
+        };
+        let fault = FaultConfig {
+            seed: 42,
+            bit_error_rate: 2e-6,
+            drop_rate: 1e-3,
+            ..FaultConfig::default()
+        };
         let run = || {
             let mut sys = HetSystem::new(faulty_config(fault));
             sys.offload(&build, &opts).unwrap()
@@ -1764,7 +1942,10 @@ mod tests {
         let b = run();
         assert_eq!(a.resilience, b.resilience);
         assert_eq!(a.total_seconds().to_bits(), b.total_seconds().to_bits());
-        assert_eq!(a.total_energy_joules().to_bits(), b.total_energy_joules().to_bits());
+        assert_eq!(
+            a.total_energy_joules().to_bits(),
+            b.total_energy_joules().to_bits()
+        );
     }
 
     #[test]
@@ -1778,12 +1959,23 @@ mod tests {
             &TargetEnv::host_m4(),
             16,
         );
-        let mut sys =
-            HetSystem::new(faulty_config(FaultConfig { seed: 1, stuck_eoc: true, ..FaultConfig::default() }));
-        let opts = OffloadOptions { iterations: 4, ..Default::default() };
-        let rep = sys.offload_with_fallback(&build, &host_build, &opts).unwrap();
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 1,
+            stuck_eoc: true,
+            ..FaultConfig::default()
+        }));
+        let opts = OffloadOptions {
+            iterations: 4,
+            ..Default::default()
+        };
+        let rep = sys
+            .offload_with_fallback(&build, &host_build, &opts)
+            .unwrap();
         assert!(rep.resilience.fell_back_to_host);
-        assert_eq!(rep.resilience.fallback_iterations, 4, "no iteration completed");
+        assert_eq!(
+            rep.resilience.fallback_iterations, 4,
+            "no iteration completed"
+        );
         assert_eq!(
             rep.resilience.watchdog_trips,
             u64::from(opts.policy.max_retries) + 1
@@ -1803,8 +1995,11 @@ mod tests {
     #[test]
     fn hang_without_fallback_is_a_watchdog_timeout() {
         let build = small_build();
-        let mut sys =
-            HetSystem::new(faulty_config(FaultConfig { seed: 1, stuck_eoc: true, ..FaultConfig::default() }));
+        let mut sys = HetSystem::new(faulty_config(FaultConfig {
+            seed: 1,
+            stuck_eoc: true,
+            ..FaultConfig::default()
+        }));
         let err = sys.offload(&build, &OffloadOptions::default()).unwrap_err();
         assert!(matches!(err, OffloadError::WatchdogTimeout { .. }), "{err}");
         // Display + Error trait are wired up.
@@ -1842,7 +2037,10 @@ mod tests {
             ..FaultConfig::default()
         }));
         let opts = OffloadOptions {
-            policy: OffloadPolicy { fallback_to_host: false, ..OffloadPolicy::default() },
+            policy: OffloadPolicy {
+                fallback_to_host: false,
+                ..OffloadPolicy::default()
+            },
             ..Default::default()
         };
         let err = sys.offload(&build, &opts).unwrap_err();
@@ -1862,11 +2060,20 @@ mod tests {
             late_eoc_cycles: 10_000,
             ..FaultConfig::default()
         }));
-        let opts = OffloadOptions { iterations: 4, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 4,
+            ..Default::default()
+        };
         let rep = sys.offload(&build, &opts).unwrap();
         assert!(!rep.resilience.fell_back_to_host);
-        assert_eq!(rep.resilience.watchdog_trips, 0, "late ≠ hung at this magnitude");
-        assert!(rep.resilience.extra_seconds > 0.0, "the host slept through the delay");
+        assert_eq!(
+            rep.resilience.watchdog_trips, 0,
+            "late ≠ hung at this magnitude"
+        );
+        assert!(
+            rep.resilience.extra_seconds > 0.0,
+            "the host slept through the delay"
+        );
         let mut plain = HetSystem::new(HetSystemConfig::default());
         let healthy = plain.offload(&build, &opts).unwrap();
         assert!((rep.compute_seconds - healthy.compute_seconds).abs() < 1e-15);
@@ -1874,15 +2081,25 @@ mod tests {
 
     #[test]
     fn backoff_schedule_is_exponential_when_asked() {
-        let pol = OffloadPolicy { backoff_cycles: 64, ..OffloadPolicy::default() };
+        let pol = OffloadPolicy {
+            backoff_cycles: 64,
+            ..OffloadPolicy::default()
+        };
         assert_eq!(pol.backoff_for(0), 64);
         assert_eq!(pol.backoff_for(1), 128);
         assert_eq!(pol.backoff_for(3), 512);
-        let flat = OffloadPolicy { exponential_backoff: false, ..pol };
+        let flat = OffloadPolicy {
+            exponential_backoff: false,
+            ..pol
+        };
         assert_eq!(flat.backoff_for(3), 64);
         // Saturates instead of overflowing.
         assert_eq!(
-            OffloadPolicy { backoff_cycles: u64::MAX, ..pol }.backoff_for(40),
+            OffloadPolicy {
+                backoff_cycles: u64::MAX,
+                ..pol
+            }
+            .backoff_for(40),
             u64::MAX
         );
     }

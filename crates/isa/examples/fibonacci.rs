@@ -5,8 +5,8 @@
 //! cargo run -p ulp-isa --example fibonacci
 //! ```
 
-use ulp_isa::prelude::*;
 use ulp_isa::parse_program;
+use ulp_isa::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prog = parse_program(
@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ",
     )?;
 
-    for model in [CoreModel::risc_baseline(), CoreModel::cortex_m4(), CoreModel::or10n()] {
+    for model in [
+        CoreModel::risc_baseline(),
+        CoreModel::cortex_m4(),
+        CoreModel::or10n(),
+    ] {
         let mut mem = FlatMemory::new(0, 4096);
         mem.load_program(&prog, 0)?;
         let mut core = Core::new(0, model);

@@ -60,7 +60,10 @@ impl fmt::Display for AsmError {
             AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
             AsmError::RebindLabel(l) => write!(f, "label {l:?} bound twice"),
             AsmError::HwLoopTooShort => {
-                write!(f, "hardware loop body must contain at least two instructions")
+                write!(
+                    f,
+                    "hardware loop body must contain at least two instructions"
+                )
             }
             AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
         }
@@ -221,7 +224,10 @@ impl Asm {
     /// Panics if the label is already bound (programming error in the code
     /// generator).
     pub fn bind(&mut self, label: Label) {
-        assert!(self.labels[label.0].is_none(), "label {label:?} bound twice");
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {label:?} bound twice"
+        );
         self.labels[label.0] = Some(self.slots.len());
     }
 
@@ -276,13 +282,19 @@ impl Asm {
 
     /// Unconditional jump to `label`.
     pub fn jmp(&mut self, label: Label) -> &mut Self {
-        self.slots.push(Slot { insn: Insn::Jal(Reg::ZERO, 0), patch: Some(Patch::Jal(label)) });
+        self.slots.push(Slot {
+            insn: Insn::Jal(Reg::ZERO, 0),
+            patch: Some(Patch::Jal(label)),
+        });
         self
     }
 
     /// Call (`jal rd, label`).
     pub fn jal_to(&mut self, rd: Reg, label: Label) -> &mut Self {
-        self.slots.push(Slot { insn: Insn::Jal(rd, 0), patch: Some(Patch::Jal(label)) });
+        self.slots.push(Slot {
+            insn: Insn::Jal(rd, 0),
+            patch: Some(Patch::Jal(label)),
+        });
         self
     }
 
@@ -298,7 +310,11 @@ impl Asm {
     pub fn hw_loop(&mut self, idx: u8, count: Reg, body: impl FnOnce(&mut Asm)) -> &mut Self {
         let end = self.new_label();
         self.slots.push(Slot {
-            insn: Insn::LpSetup { idx, count, body_end: 0 },
+            insn: Insn::LpSetup {
+                idx,
+                count,
+                body_end: 0,
+            },
             patch: Some(Patch::LoopEnd(end)),
         });
         body(self);
@@ -363,35 +379,77 @@ impl Asm {
 
     /// Word load `rd = mem32[base + offset]`.
     pub fn lw(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Load { rd, base, offset, size: MemSize::Word, signed: true })
+        self.insn(Insn::Load {
+            rd,
+            base,
+            offset,
+            size: MemSize::Word,
+            signed: true,
+        })
     }
     /// Word store `mem32[base + offset] = rs`.
     pub fn sw(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Store { rs, base, offset, size: MemSize::Word })
+        self.insn(Insn::Store {
+            rs,
+            base,
+            offset,
+            size: MemSize::Word,
+        })
     }
     /// Signed halfword load.
     pub fn lh(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Load { rd, base, offset, size: MemSize::Half, signed: true })
+        self.insn(Insn::Load {
+            rd,
+            base,
+            offset,
+            size: MemSize::Half,
+            signed: true,
+        })
     }
     /// Halfword store.
     pub fn sh(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Store { rs, base, offset, size: MemSize::Half })
+        self.insn(Insn::Store {
+            rs,
+            base,
+            offset,
+            size: MemSize::Half,
+        })
     }
     /// Signed byte load.
     pub fn lb(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Load { rd, base, offset, size: MemSize::Byte, signed: true })
+        self.insn(Insn::Load {
+            rd,
+            base,
+            offset,
+            size: MemSize::Byte,
+            signed: true,
+        })
     }
     /// Unsigned byte load.
     pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Load { rd, base, offset, size: MemSize::Byte, signed: false })
+        self.insn(Insn::Load {
+            rd,
+            base,
+            offset,
+            size: MemSize::Byte,
+            signed: false,
+        })
     }
     /// Byte store.
     pub fn sb(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut Self {
-        self.insn(Insn::Store { rs, base, offset, size: MemSize::Byte })
+        self.insn(Insn::Store {
+            rs,
+            base,
+            offset,
+            size: MemSize::Byte,
+        })
     }
 
     fn branch_to(&mut self, make: impl FnOnce(i32) -> Insn, label: Label) -> &mut Self {
-        self.slots.push(Slot { insn: make(0), patch: Some(Patch::Branch(label)) });
+        self.slots.push(Slot {
+            insn: make(0),
+            patch: Some(Patch::Branch(label)),
+        });
         self
     }
 
@@ -464,9 +522,11 @@ impl Asm {
                         return Err(AsmError::HwLoopTooShort);
                     }
                     match slot.insn {
-                        Insn::LpSetup { idx, count, .. } => {
-                            Insn::LpSetup { idx, count, body_end }
-                        }
+                        Insn::LpSetup { idx, count, .. } => Insn::LpSetup {
+                            idx,
+                            count,
+                            body_end,
+                        },
                         other => other,
                     }
                 }
@@ -474,10 +534,18 @@ impl Asm {
             insns.push(insn);
         }
 
-        let words =
-            insns.iter().map(encode).collect::<Result<Vec<_>, _>>().map_err(AsmError::from)?;
+        let words = insns
+            .iter()
+            .map(encode)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(AsmError::from)?;
 
-        Ok(Program { insns, words, rodata: self.rodata, symbols: self.symbols })
+        Ok(Program {
+            insns,
+            words,
+            rodata: self.rodata,
+            symbols: self.symbols,
+        })
     }
 }
 
@@ -534,7 +602,10 @@ mod tests {
         a.halt();
         let prog = a.finish().unwrap();
         assert_eq!(prog.insns()[0], Insn::Lui(R1, 0x1234_5678u32 >> 14));
-        assert_eq!(prog.insns()[1], Insn::Ori(R1, R1, (0x1234_5678u32 & 0x3FFF) as u16));
+        assert_eq!(
+            prog.insns()[1],
+            Insn::Ori(R1, R1, (0x1234_5678u32 & 0x3FFF) as u16)
+        );
     }
 
     #[test]
@@ -549,7 +620,14 @@ mod tests {
         a.halt();
         let prog = a.finish().unwrap();
         // lp.setup at index 1; body = 3 insns at indices 2,3,4.
-        assert_eq!(prog.insns()[1], Insn::LpSetup { idx: 0, count: R1, body_end: 12 });
+        assert_eq!(
+            prog.insns()[1],
+            Insn::LpSetup {
+                idx: 0,
+                count: R1,
+                body_end: 12
+            }
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ impl DecodeCache {
     /// Creates an empty cache covering `size_bytes` of backing memory.
     #[must_use]
     pub fn new(size_bytes: usize) -> Self {
-        DecodeCache { slots: vec![None; size_bytes.div_ceil(4)] }
+        DecodeCache {
+            slots: vec![None; size_bytes.div_ceil(4)],
+        }
     }
 
     /// The already-decoded instruction at byte offset `off`, if any.
@@ -60,8 +62,7 @@ impl DecodeCache {
         if let Some(insn) = self.slots[slot] {
             return Some(insn);
         }
-        let word =
-            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+        let word = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
         let insn = decode(word).ok()?;
         self.slots[slot] = Some(insn);
         Some(insn)
@@ -86,8 +87,7 @@ impl DecodeCache {
         let mut o = (off + 3) & !3;
         while o + 4 <= end {
             if self.slots[o / 4].is_none() {
-                let word =
-                    u32::from_le_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]]);
+                let word = u32::from_le_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]]);
                 if let Ok(insn) = decode(word) {
                     self.slots[o / 4] = Some(insn);
                 }

@@ -46,7 +46,11 @@ pub enum EncodeError {
 impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EncodeError::ImmOutOfRange { value, bits, signed } => write!(
+            EncodeError::ImmOutOfRange {
+                value,
+                bits,
+                signed,
+            } => write!(
                 f,
                 "immediate {value} does not fit {} {bits}-bit field",
                 if *signed { "signed" } else { "unsigned" }
@@ -151,14 +155,22 @@ fn fit_signed(value: i64, bits: u8) -> Result<u32, EncodeError> {
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
     if value < min || value > max {
-        return Err(EncodeError::ImmOutOfRange { value, bits, signed: true });
+        return Err(EncodeError::ImmOutOfRange {
+            value,
+            bits,
+            signed: true,
+        });
     }
     Ok((value as u32) & ((1u32 << bits) - 1))
 }
 
 fn fit_unsigned(value: u32, bits: u8) -> Result<u32, EncodeError> {
     if u64::from(value) >= (1u64 << bits) {
-        return Err(EncodeError::ImmOutOfRange { value: i64::from(value), bits, signed: false });
+        return Err(EncodeError::ImmOutOfRange {
+            value: i64::from(value),
+            bits,
+            signed: false,
+        });
     }
     Ok(value)
 }
@@ -234,12 +246,20 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
         Div(d, a, b) => r(op::DIV, d, a, b),
         Divu(d, a, b) => r(op::DIVU, d, a, b),
         Mac(d, a, b) => r(op::MAC, d, a, b),
-        Mull { rd_hi, rd_lo, ra, rb, signed } => {
-            r(op::MULL, rd_hi, ra, rb) | (u32::from(rd_lo.index()) << 4) | u32::from(signed)
-        }
-        Mlal { rd_hi, rd_lo, ra, rb, signed } => {
-            r(op::MLAL, rd_hi, ra, rb) | (u32::from(rd_lo.index()) << 4) | u32::from(signed)
-        }
+        Mull {
+            rd_hi,
+            rd_lo,
+            ra,
+            rb,
+            signed,
+        } => r(op::MULL, rd_hi, ra, rb) | (u32::from(rd_lo.index()) << 4) | u32::from(signed),
+        Mlal {
+            rd_hi,
+            rd_lo,
+            ra,
+            rb,
+            signed,
+        } => r(op::MLAL, rd_hi, ra, rb) | (u32::from(rd_lo.index()) << 4) | u32::from(signed),
         SdotV4(d, a, b) => r(op::SDOTV4, d, a, b),
         SdotV2(d, a, b) => r(op::SDOTV2, d, a, b),
         AddV4(d, a, b) => r(op::ADDV4, d, a, b),
@@ -257,7 +277,13 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
             let field = fit_unsigned(imm, 18)?;
             (u32::from(op::LUI) << 24) | (u32::from(d.index()) << 19) | field
         }
-        Load { rd, base, offset, size, signed } => {
+        Load {
+            rd,
+            base,
+            offset,
+            size,
+            signed,
+        } => {
             let opcode = match (size, signed) {
                 (MemSize::Byte, true) => op::LB,
                 (MemSize::Byte, false) => op::LBU,
@@ -267,7 +293,13 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
             };
             i_signed(opcode, rd, base, offset)?
         }
-        LoadPi { rd, base, inc, size, signed } => {
+        LoadPi {
+            rd,
+            base,
+            inc,
+            size,
+            signed,
+        } => {
             let opcode = match (size, signed) {
                 (MemSize::Byte, true) => op::LB_PI,
                 (MemSize::Byte, false) => op::LBU_PI,
@@ -277,7 +309,12 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
             };
             i_signed(opcode, rd, base, inc)?
         }
-        Store { rs, base, offset, size } => {
+        Store {
+            rs,
+            base,
+            offset,
+            size,
+        } => {
             let opcode = match size {
                 MemSize::Byte => op::SB,
                 MemSize::Half => op::SH,
@@ -285,7 +322,12 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
             };
             i_signed(opcode, rs, base, offset)?
         }
-        StorePi { rs, base, inc, size } => {
+        StorePi {
+            rs,
+            base,
+            inc,
+            size,
+        } => {
             let opcode = match size {
                 MemSize::Byte => op::SB_PI,
                 MemSize::Half => op::SH_PI,
@@ -305,13 +347,14 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
             (u32::from(op::JAL) << 24) | (u32::from(d.index()) << 19) | field
         }
         Jalr(d, a, imm) => i_signed(op::JALR, d, a, imm)?,
-        LpSetup { idx, count, body_end } => {
+        LpSetup {
+            idx,
+            count,
+            body_end,
+        } => {
             let field = word_offset(body_end, 14)?;
             let idx = fit_unsigned(u32::from(idx), 1)?;
-            (u32::from(op::LP_SETUP) << 24)
-                | (idx << 23)
-                | (u32::from(count.index()) << 14)
-                | field
+            (u32::from(op::LP_SETUP) << 24) | (idx << 23) | (u32::from(count.index()) << 14) | field
         }
         Csrr(d, csr) => {
             (u32::from(op::CSRR) << 24) | (u32::from(d.index()) << 19) | u32::from(csr.id())
@@ -382,9 +425,21 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             let rd_lo = Reg::new(((word >> 4) & 0x1F) as u8);
             let signed = word & 1 != 0;
             if opcode == op::MULL {
-                Mull { rd_hi, rd_lo, ra, rb, signed }
+                Mull {
+                    rd_hi,
+                    rd_lo,
+                    ra,
+                    rb,
+                    signed,
+                }
             } else {
-                Mlal { rd_hi, rd_lo, ra, rb, signed }
+                Mlal {
+                    rd_hi,
+                    rd_lo,
+                    ra,
+                    rb,
+                    signed,
+                }
             }
         }
         op::SDOTV4 => SdotV4(f_rd(word), f_ra(word), f_rb(word)),
@@ -409,7 +464,13 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                 op::LHU => (MemSize::Half, false),
                 _ => (MemSize::Word, true),
             };
-            Load { rd: f_rd(word), base: f_ra(word), offset: f_imm14_s(word), size, signed }
+            Load {
+                rd: f_rd(word),
+                base: f_ra(word),
+                offset: f_imm14_s(word),
+                size,
+                signed,
+            }
         }
         op::LB_PI | op::LBU_PI | op::LH_PI | op::LHU_PI | op::LW_PI => {
             let (size, signed) = match opcode {
@@ -419,7 +480,13 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                 op::LHU_PI => (MemSize::Half, false),
                 _ => (MemSize::Word, true),
             };
-            LoadPi { rd: f_rd(word), base: f_ra(word), inc: f_imm14_s(word), size, signed }
+            LoadPi {
+                rd: f_rd(word),
+                base: f_ra(word),
+                inc: f_imm14_s(word),
+                size,
+                signed,
+            }
         }
         op::SB | op::SH | op::SW => {
             let size = match opcode {
@@ -427,7 +494,12 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                 op::SH => MemSize::Half,
                 _ => MemSize::Word,
             };
-            Store { rs: f_rd(word), base: f_ra(word), offset: f_imm14_s(word), size }
+            Store {
+                rs: f_rd(word),
+                base: f_ra(word),
+                offset: f_imm14_s(word),
+                size,
+            }
         }
         op::SB_PI | op::SH_PI | op::SW_PI => {
             let size = match opcode {
@@ -435,7 +507,12 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                 op::SH_PI => MemSize::Half,
                 _ => MemSize::Word,
             };
-            StorePi { rs: f_rd(word), base: f_ra(word), inc: f_imm14_s(word), size }
+            StorePi {
+                rs: f_rd(word),
+                base: f_ra(word),
+                inc: f_imm14_s(word),
+                size,
+            }
         }
         op::TAS => Tas(f_rd(word), f_ra(word)),
         op::BEQ => Beq(f_rd(word), f_ra(word), f_off14(word)),
@@ -451,7 +528,10 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             count: f_ra(word),
             body_end: f_off14(word),
         },
-        op::CSRR => Csrr(f_rd(word), Csr::from_id((word & 0xFFFF) as u16).ok_or_else(err)?),
+        op::CSRR => Csrr(
+            f_rd(word),
+            Csr::from_id((word & 0xFFFF) as u16).ok_or_else(err)?,
+        ),
         op::NOP => Nop,
         op::HALT => Halt,
         op::WFE => Wfe,
@@ -479,8 +559,20 @@ mod tests {
             Insn::Sub(R31, R30, R29),
             Insn::Mul(R4, R5, R6),
             Insn::Mac(R7, R8, R9),
-            Insn::Mull { rd_hi: R10, rd_lo: R11, ra: R12, rb: R13, signed: true },
-            Insn::Mlal { rd_hi: R14, rd_lo: R15, ra: R16, rb: R17, signed: false },
+            Insn::Mull {
+                rd_hi: R10,
+                rd_lo: R11,
+                ra: R12,
+                rb: R13,
+                signed: true,
+            },
+            Insn::Mlal {
+                rd_hi: R14,
+                rd_lo: R15,
+                ra: R16,
+                rb: R17,
+                signed: false,
+            },
             Insn::SdotV4(R1, R2, R3),
             Insn::SdotV2(R1, R2, R3),
             Insn::Addi(R1, R2, -8191),
@@ -489,16 +581,42 @@ mod tests {
             Insn::Slli(R1, R2, 31),
             Insn::Srai(R1, R2, 13),
             Insn::Lui(R5, 0x3FFFF),
-            Insn::Load { rd: R1, base: R2, offset: -4, size: MemSize::Half, signed: false },
-            Insn::LoadPi { rd: R1, base: R2, inc: 2, size: MemSize::Byte, signed: true },
-            Insn::Store { rs: R1, base: R2, offset: 100, size: MemSize::Word },
-            Insn::StorePi { rs: R1, base: R2, inc: -4, size: MemSize::Half },
+            Insn::Load {
+                rd: R1,
+                base: R2,
+                offset: -4,
+                size: MemSize::Half,
+                signed: false,
+            },
+            Insn::LoadPi {
+                rd: R1,
+                base: R2,
+                inc: 2,
+                size: MemSize::Byte,
+                signed: true,
+            },
+            Insn::Store {
+                rs: R1,
+                base: R2,
+                offset: 100,
+                size: MemSize::Word,
+            },
+            Insn::StorePi {
+                rs: R1,
+                base: R2,
+                inc: -4,
+                size: MemSize::Half,
+            },
             Insn::Tas(R3, R4),
             Insn::Beq(R1, R2, -32),
             Insn::Bgeu(R1, R2, 32764),
             Insn::Jal(R31, -1048576),
             Insn::Jalr(R0, R31, 0),
-            Insn::LpSetup { idx: 1, count: R5, body_end: 64 },
+            Insn::LpSetup {
+                idx: 1,
+                count: R5,
+                body_end: 64,
+            },
             Insn::Csrr(R1, Csr::CoreId),
             Insn::Nop,
             Insn::Halt,

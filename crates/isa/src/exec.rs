@@ -82,8 +82,13 @@ pub trait Bus {
     /// # Errors
     ///
     /// Returns [`BusError`] if the address is unmapped or out of bounds.
-    fn load(&mut self, core_id: usize, now: u64, addr: u32, size: MemSize)
-        -> Result<Access, BusError>;
+    fn load(
+        &mut self,
+        core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+    ) -> Result<Access, BusError>;
 
     /// Performs a data store. Returns the completion time.
     ///
@@ -472,7 +477,11 @@ impl Core {
             }
         }
         crate::perf::add_retired(self.stats.retired - retired_before);
-        Ok(RunSummary { cycles: self.time, retired: self.stats.retired, state: self.state })
+        Ok(RunSummary {
+            cycles: self.time,
+            retired: self.stats.retired,
+            state: self.state,
+        })
     }
 
     fn read(&self, r: Reg) -> u32 {
@@ -494,7 +503,11 @@ impl Core {
         } else if self.model.features.unaligned {
             Ok(self.model.timing.unaligned_penalty)
         } else {
-            Err(ExecError::Misaligned { addr, size: bytes, pc: self.pc })
+            Err(ExecError::Misaligned {
+                addr,
+                size: bytes,
+                pc: self.pc,
+            })
         }
     }
 
@@ -581,7 +594,14 @@ impl Core {
                 cycles = u64::from(t.div);
                 let a = self.read(a) as i32;
                 let b = self.read(b) as i32;
-                alu!(d, if b == 0 { -1i32 as u32 } else { a.wrapping_div(b) as u32 });
+                alu!(
+                    d,
+                    if b == 0 {
+                        -1i32 as u32
+                    } else {
+                        a.wrapping_div(b) as u32
+                    }
+                );
             }
             Divu(d, a, b) => {
                 self.require(f.div)?;
@@ -596,7 +616,13 @@ impl Core {
                 let prod = self.read(a).wrapping_mul(self.read(b));
                 alu!(d, self.read(d).wrapping_add(prod));
             }
-            Mull { rd_hi, rd_lo, ra, rb, signed } => {
+            Mull {
+                rd_hi,
+                rd_lo,
+                ra,
+                rb,
+                signed,
+            } => {
                 self.require(f.mul64)?;
                 cycles = u64::from(t.mull);
                 let prod = if signed {
@@ -607,7 +633,13 @@ impl Core {
                 self.write(rd_lo, prod as u32);
                 self.write(rd_hi, (prod >> 32) as u32);
             }
-            Mlal { rd_hi, rd_lo, ra, rb, signed } => {
+            Mlal {
+                rd_hi,
+                rd_lo,
+                ra,
+                rb,
+                signed,
+            } => {
                 self.require(f.mul64)?;
                 cycles = u64::from(t.mlal);
                 let acc = (u64::from(self.read(rd_hi)) << 32) | u64::from(self.read(rd_lo));
@@ -682,7 +714,13 @@ impl Core {
             Srli(d, a, s) => alu!(d, self.read(a) >> (s & 31)),
             Srai(d, a, s) => alu!(d, ((self.read(a) as i32) >> (s & 31)) as u32),
             Lui(d, imm) => alu!(d, imm << 14),
-            Load { rd, base, offset, size, signed } => {
+            Load {
+                rd,
+                base,
+                offset,
+                size,
+                signed,
+            } => {
                 let addr = self.read(base).wrapping_add(offset as i32 as u32);
                 let penalty = self.check_align(addr, size)?;
                 let acc = bus.load(self.id, self.time, addr, size)?;
@@ -690,7 +728,13 @@ impl Core {
                 self.note_mem_stall(acc.ready_at);
                 self.write(rd, Self::extend(acc.value, size, signed));
             }
-            LoadPi { rd, base, inc, size, signed } => {
+            LoadPi {
+                rd,
+                base,
+                inc,
+                size,
+                signed,
+            } => {
                 self.require(f.post_increment)?;
                 let addr = self.read(base);
                 let penalty = self.check_align(addr, size)?;
@@ -700,14 +744,24 @@ impl Core {
                 self.write(rd, Self::extend(acc.value, size, signed));
                 self.write(base, addr.wrapping_add(inc as i32 as u32));
             }
-            Store { rs, base, offset, size } => {
+            Store {
+                rs,
+                base,
+                offset,
+                size,
+            } => {
                 let addr = self.read(base).wrapping_add(offset as i32 as u32);
                 let penalty = self.check_align(addr, size)?;
                 let done = bus.store(self.id, self.time, addr, size, self.read(rs))?;
                 cycles = (done - self.time) + u64::from(penalty);
                 self.note_mem_stall(done);
             }
-            StorePi { rs, base, inc, size } => {
+            StorePi {
+                rs,
+                base,
+                inc,
+                size,
+            } => {
                 self.require(f.post_increment)?;
                 let addr = self.read(base);
                 let penalty = self.check_align(addr, size)?;
@@ -763,7 +817,11 @@ impl Core {
                 self.write(d, self.pc.wrapping_add(4));
                 taken!(target);
             }
-            LpSetup { idx, count, body_end } => {
+            LpSetup {
+                idx,
+                count,
+                body_end,
+            } => {
                 self.require(f.hw_loops)?;
                 if idx > 1 || body_end < 4 {
                     return Err(ExecError::InvalidHwLoop { pc: self.pc });
@@ -776,7 +834,12 @@ impl Core {
                     taken!(end.wrapping_add(4));
                     self.hwloops[idx as usize].active = false;
                 } else {
-                    self.hwloops[idx as usize] = HwLoop { start, end, count: n, active: true };
+                    self.hwloops[idx as usize] = HwLoop {
+                        start,
+                        end,
+                        count: n,
+                        active: true,
+                    };
                 }
                 self.hwloops_active = self.hwloops[0].active || self.hwloops[1].active;
             }
@@ -833,7 +896,11 @@ impl Core {
         self.time += cycles.max(1);
         if let Some(trace) = &mut self.trace {
             if trace.len() < self.trace_cap {
-                trace.push(TraceEntry { pc: self.pc, insn, retired_at: self.time });
+                trace.push(TraceEntry {
+                    pc: self.pc,
+                    insn,
+                    retired_at: self.time,
+                });
             }
         }
         // Close the current run interval on any transition out of Running.
@@ -968,8 +1035,20 @@ mod tests {
         let (core, _) = run_prog(CoreModel::cortex_m4(), |a| {
             a.li(R1, 100_000);
             a.li(R2, 100_000);
-            a.insn(Insn::Mull { rd_hi: R4, rd_lo: R3, ra: R1, rb: R2, signed: true });
-            a.insn(Insn::Mlal { rd_hi: R4, rd_lo: R3, ra: R1, rb: R2, signed: true });
+            a.insn(Insn::Mull {
+                rd_hi: R4,
+                rd_lo: R3,
+                ra: R1,
+                rb: R2,
+                signed: true,
+            });
+            a.insn(Insn::Mlal {
+                rd_hi: R4,
+                rd_lo: R3,
+                ra: R1,
+                rb: R2,
+                signed: true,
+            });
         });
         let acc = (u64::from(core.reg(R4)) << 32) | u64::from(core.reg(R3));
         assert_eq!(acc, 2 * 100_000u64 * 100_000u64);
@@ -980,7 +1059,13 @@ mod tests {
         let (core, _) = run_prog(CoreModel::cortex_m4(), |a| {
             a.li(R1, -3);
             a.li(R2, 7);
-            a.insn(Insn::Mull { rd_hi: R4, rd_lo: R3, ra: R1, rb: R2, signed: true });
+            a.insn(Insn::Mull {
+                rd_hi: R4,
+                rd_lo: R3,
+                ra: R1,
+                rb: R2,
+                signed: true,
+            });
         });
         let acc = ((u64::from(core.reg(R4)) << 32) | u64::from(core.reg(R3))) as i64;
         assert_eq!(acc, -21);
@@ -991,11 +1076,40 @@ mod tests {
         let (core, mem) = run_prog(CoreModel::risc_baseline(), |a| {
             a.li(R1, 0x1000);
             a.li(R2, -123);
-            a.insn(Insn::Store { rs: R2, base: R1, offset: 0, size: MemSize::Word });
-            a.insn(Insn::Load { rd: R3, base: R1, offset: 0, size: MemSize::Word, signed: true });
-            a.insn(Insn::Load { rd: R4, base: R1, offset: 0, size: MemSize::Byte, signed: true });
-            a.insn(Insn::Load { rd: R5, base: R1, offset: 0, size: MemSize::Byte, signed: false });
-            a.insn(Insn::Load { rd: R6, base: R1, offset: 0, size: MemSize::Half, signed: true });
+            a.insn(Insn::Store {
+                rs: R2,
+                base: R1,
+                offset: 0,
+                size: MemSize::Word,
+            });
+            a.insn(Insn::Load {
+                rd: R3,
+                base: R1,
+                offset: 0,
+                size: MemSize::Word,
+                signed: true,
+            });
+            a.insn(Insn::Load {
+                rd: R4,
+                base: R1,
+                offset: 0,
+                size: MemSize::Byte,
+                signed: true,
+            });
+            a.insn(Insn::Load {
+                rd: R5,
+                base: R1,
+                offset: 0,
+                size: MemSize::Byte,
+                signed: false,
+            });
+            a.insn(Insn::Load {
+                rd: R6,
+                base: R1,
+                offset: 0,
+                size: MemSize::Half,
+                signed: true,
+            });
         });
         assert_eq!(core.reg(R3) as i32, -123);
         assert_eq!(core.reg(R4) as i32, i32::from(-123i8));
@@ -1009,8 +1123,19 @@ mod tests {
         let (core, _) = run_prog(CoreModel::cortex_m4(), |a| {
             a.li(R1, 0x1000);
             a.li(R2, 7);
-            a.insn(Insn::Store { rs: R2, base: R1, offset: 0, size: MemSize::Word });
-            a.insn(Insn::LoadPi { rd: R3, base: R1, inc: 4, size: MemSize::Word, signed: true });
+            a.insn(Insn::Store {
+                rs: R2,
+                base: R1,
+                offset: 0,
+                size: MemSize::Word,
+            });
+            a.insn(Insn::LoadPi {
+                rd: R3,
+                base: R1,
+                inc: 4,
+                size: MemSize::Word,
+                signed: true,
+            });
         });
         assert_eq!(core.reg(R3), 7);
         assert_eq!(core.reg(R1), 0x1004);
@@ -1020,14 +1145,23 @@ mod tests {
     fn misaligned_faults_without_unaligned_feature() {
         let mut a = Asm::new();
         a.li(R1, 0x1001);
-        a.insn(Insn::Load { rd: R2, base: R1, offset: 0, size: MemSize::Word, signed: true });
+        a.insn(Insn::Load {
+            rd: R2,
+            base: R1,
+            offset: 0,
+            size: MemSize::Word,
+            signed: true,
+        });
         a.halt();
         let prog = a.finish().unwrap();
         let mut mem = FlatMemory::new(0, 8192);
         mem.load_program(&prog, 0).unwrap();
         let mut core = Core::new(0, CoreModel::risc_baseline());
         core.reset(0);
-        assert!(matches!(core.run(&mut mem, 1000), Err(ExecError::Misaligned { .. })));
+        assert!(matches!(
+            core.run(&mut mem, 1000),
+            Err(ExecError::Misaligned { .. })
+        ));
     }
 
     #[test]
@@ -1035,8 +1169,19 @@ mod tests {
         let (core, _) = run_prog(CoreModel::or10n(), |a| {
             a.li(R1, 0x1001);
             a.li(R2, 0x0403_0201);
-            a.insn(Insn::Store { rs: R2, base: R1, offset: 0, size: MemSize::Word });
-            a.insn(Insn::Load { rd: R3, base: R1, offset: 0, size: MemSize::Word, signed: true });
+            a.insn(Insn::Store {
+                rs: R2,
+                base: R1,
+                offset: 0,
+                size: MemSize::Word,
+            });
+            a.insn(Insn::Load {
+                rd: R3,
+                base: R1,
+                offset: 0,
+                size: MemSize::Word,
+                signed: true,
+            });
         });
         assert_eq!(core.reg(R3), 0x0403_0201);
     }

@@ -217,7 +217,11 @@ impl CoreModel {
     /// this configuration define a benchmark's "RISC ops".
     #[must_use]
     pub fn risc_baseline() -> Self {
-        CoreModel { name: "risc-baseline", features: Features::baseline(), timing: Timing::unit() }
+        CoreModel {
+            name: "risc-baseline",
+            features: Features::baseline(),
+            timing: Timing::unit(),
+        }
     }
 }
 
@@ -241,15 +245,24 @@ mod tests {
     fn presets_match_paper_feature_matrix() {
         let or10n = CoreModel::or10n();
         assert!(or10n.features.hw_loops && or10n.features.simd_dot && or10n.features.mac);
-        assert!(!or10n.features.mul64, "OR10N must lack the long multiplier (hog slowdown)");
+        assert!(
+            !or10n.features.mul64,
+            "OR10N must lack the long multiplier (hog slowdown)"
+        );
 
         let m4 = CoreModel::cortex_m4();
         assert!(m4.features.mul64 && m4.features.mac);
         assert!(!m4.features.hw_loops && !m4.features.simd_dot);
-        assert!(m4.features.post_increment, "ARM has post-indexed addressing");
+        assert!(
+            m4.features.post_increment,
+            "ARM has post-indexed addressing"
+        );
 
         let m3 = CoreModel::cortex_m3();
-        assert!(m3.timing.mac > m4.timing.mac, "M3 MAC must be slower than M4");
+        assert!(
+            m3.timing.mac > m4.timing.mac,
+            "M3 MAC must be slower than M4"
+        );
         assert!(m3.timing.mull > m4.timing.mull);
 
         let base = CoreModel::risc_baseline();

@@ -373,11 +373,31 @@ impl fmt::Display for Insn {
             Div(d, a, b) => write!(f, "div {d}, {a}, {b}"),
             Divu(d, a, b) => write!(f, "divu {d}, {a}, {b}"),
             Mac(d, a, b) => write!(f, "mac {d}, {a}, {b}"),
-            Mull { rd_hi, rd_lo, ra, rb, signed } => {
-                write!(f, "{}mull {rd_hi}:{rd_lo}, {ra}, {rb}", if signed { "s" } else { "u" })
+            Mull {
+                rd_hi,
+                rd_lo,
+                ra,
+                rb,
+                signed,
+            } => {
+                write!(
+                    f,
+                    "{}mull {rd_hi}:{rd_lo}, {ra}, {rb}",
+                    if signed { "s" } else { "u" }
+                )
             }
-            Mlal { rd_hi, rd_lo, ra, rb, signed } => {
-                write!(f, "{}mlal {rd_hi}:{rd_lo}, {ra}, {rb}", if signed { "s" } else { "u" })
+            Mlal {
+                rd_hi,
+                rd_lo,
+                ra,
+                rb,
+                signed,
+            } => {
+                write!(
+                    f,
+                    "{}mlal {rd_hi}:{rd_lo}, {ra}, {rb}",
+                    if signed { "s" } else { "u" }
+                )
             }
             SdotV4(d, a, b) => write!(f, "sdot.v4 {d}, {a}, {b}"),
             SdotV2(d, a, b) => write!(f, "sdot.v2 {d}, {a}, {b}"),
@@ -393,14 +413,44 @@ impl fmt::Display for Insn {
             Srli(d, a, s) => write!(f, "srli {d}, {a}, {s}"),
             Srai(d, a, s) => write!(f, "srai {d}, {a}, {s}"),
             Lui(d, i) => write!(f, "lui {d}, {i:#x}"),
-            Load { rd, base, offset, size, signed } => {
-                write!(f, "l{size}{} {rd}, {offset}({base})", if signed { "" } else { "u" })
+            Load {
+                rd,
+                base,
+                offset,
+                size,
+                signed,
+            } => {
+                write!(
+                    f,
+                    "l{size}{} {rd}, {offset}({base})",
+                    if signed { "" } else { "u" }
+                )
             }
-            LoadPi { rd, base, inc, size, signed } => {
-                write!(f, "l{size}{}.pi {rd}, ({base})+{inc}", if signed { "" } else { "u" })
+            LoadPi {
+                rd,
+                base,
+                inc,
+                size,
+                signed,
+            } => {
+                write!(
+                    f,
+                    "l{size}{}.pi {rd}, ({base})+{inc}",
+                    if signed { "" } else { "u" }
+                )
             }
-            Store { rs, base, offset, size } => write!(f, "s{size} {rs}, {offset}({base})"),
-            StorePi { rs, base, inc, size } => write!(f, "s{size}.pi {rs}, ({base})+{inc}"),
+            Store {
+                rs,
+                base,
+                offset,
+                size,
+            } => write!(f, "s{size} {rs}, {offset}({base})"),
+            StorePi {
+                rs,
+                base,
+                inc,
+                size,
+            } => write!(f, "s{size}.pi {rs}, ({base})+{inc}"),
             Tas(d, a) => write!(f, "tas {d}, ({a})"),
             Beq(a, b, o) => write!(f, "beq {a}, {b}, {o:+}"),
             Bne(a, b, o) => write!(f, "bne {a}, {b}, {o:+}"),
@@ -410,7 +460,11 @@ impl fmt::Display for Insn {
             Bgeu(a, b, o) => write!(f, "bgeu {a}, {b}, {o:+}"),
             Jal(d, o) => write!(f, "jal {d}, {o:+}"),
             Jalr(d, a, i) => write!(f, "jalr {d}, {a}, {i}"),
-            LpSetup { idx, count, body_end } => {
+            LpSetup {
+                idx,
+                count,
+                body_end,
+            } => {
                 write!(f, "lp.setup l{idx}, {count}, {body_end:+}")
             }
             Csrr(d, c) => write!(f, "csrr {d}, {c:?}"),
@@ -445,8 +499,14 @@ mod tests {
 
     #[test]
     fn classification_predicates() {
-        assert!(Insn::Load { rd: R1, base: R2, offset: 0, size: MemSize::Word, signed: true }
-            .is_mem());
+        assert!(Insn::Load {
+            rd: R1,
+            base: R2,
+            offset: 0,
+            size: MemSize::Word,
+            signed: true
+        }
+        .is_mem());
         assert!(Insn::Beq(R1, R2, -8).is_control());
         assert!(Insn::Mac(R1, R2, R3).is_extension());
         assert!(!Insn::Add(R1, R2, R3).is_extension());
@@ -458,9 +518,25 @@ mod tests {
         let samples = [
             Insn::Nop,
             Insn::Add(R1, R2, R3),
-            Insn::Load { rd: R1, base: R2, offset: -4, size: MemSize::Half, signed: false },
-            Insn::LpSetup { idx: 0, count: R5, body_end: 16 },
-            Insn::Mull { rd_hi: R4, rd_lo: R5, ra: R6, rb: R7, signed: true },
+            Insn::Load {
+                rd: R1,
+                base: R2,
+                offset: -4,
+                size: MemSize::Half,
+                signed: false,
+            },
+            Insn::LpSetup {
+                idx: 0,
+                count: R5,
+                body_end: 16,
+            },
+            Insn::Mull {
+                rd_hi: R4,
+                rd_lo: R5,
+                ra: R6,
+                rb: R7,
+                signed: true,
+            },
         ];
         for insn in samples {
             assert!(!insn.to_string().is_empty());
@@ -471,8 +547,14 @@ mod tests {
     fn display_examples() {
         assert_eq!(Insn::SdotV4(R3, R4, R5).to_string(), "sdot.v4 r3, r4, r5");
         assert_eq!(
-            Insn::Load { rd: R1, base: R2, offset: 8, size: MemSize::Byte, signed: false }
-                .to_string(),
+            Insn::Load {
+                rd: R1,
+                base: R2,
+                offset: 8,
+                size: MemSize::Byte,
+                signed: false
+            }
+            .to_string(),
             "lbu r1, 8(r2)"
         );
     }

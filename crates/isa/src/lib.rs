@@ -76,8 +76,8 @@ pub use asm::{Asm, AsmError, Label, Program};
 pub use decode_cache::DecodeCache;
 pub use encode::{decode, encode, DecodeError};
 pub use exec::{
-    Access, Bus, BusError, Core, CoreState, CoreStats, ExecError, Fetched, RunSummary,
-    StepOutcome, TraceEntry,
+    Access, Bus, BusError, Core, CoreState, CoreStats, ExecError, Fetched, RunSummary, StepOutcome,
+    TraceEntry,
 };
 pub use features::{CoreModel, Features, Timing};
 pub use insn::{Csr, Insn, MemSize};

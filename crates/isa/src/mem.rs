@@ -66,7 +66,11 @@ impl FlatMemory {
     /// Creates a zeroed memory of `size` bytes starting at `base`.
     #[must_use]
     pub fn new(base: u32, size: usize) -> Self {
-        FlatMemory { base, data: vec![0; size], decoded: DecodeCache::new(size) }
+        FlatMemory {
+            base,
+            data: vec![0; size],
+            decoded: DecodeCache::new(size),
+        }
     }
 
     /// Base address of the mapped region.
@@ -173,7 +177,10 @@ impl Bus for FlatMemory {
         addr: u32,
         size: MemSize,
     ) -> Result<Access, BusError> {
-        Ok(Access { value: self.load_raw(addr, size)?, ready_at: now + 1 })
+        Ok(Access {
+            value: self.load_raw(addr, size)?,
+            ready_at: now + 1,
+        })
     }
 
     fn store(
@@ -191,14 +198,22 @@ impl Bus for FlatMemory {
     fn tas(&mut self, _core_id: usize, now: u64, addr: u32) -> Result<Access, BusError> {
         let old = self.load_raw(addr, MemSize::Word)?;
         self.store_raw(addr, MemSize::Word, 1)?;
-        Ok(Access { value: old, ready_at: now + 1 })
+        Ok(Access {
+            value: old,
+            ready_at: now + 1,
+        })
     }
 
     fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
         let off = self.index(pc, 4)?;
-        let insn =
-            self.decoded.fetch(off, &self.data).ok_or(BusError::Unmapped { addr: pc })?;
-        Ok(Fetched { insn, ready_at: now })
+        let insn = self
+            .decoded
+            .fetch(off, &self.data)
+            .ok_or(BusError::Unmapped { addr: pc })?;
+        Ok(Fetched {
+            insn,
+            ready_at: now,
+        })
     }
 }
 

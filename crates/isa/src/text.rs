@@ -53,7 +53,10 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 fn err(message: impl Into<String>) -> ParseError {
-    ParseError { line: 0, message: message.into() }
+    ParseError {
+        line: 0,
+        message: message.into(),
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -65,7 +68,9 @@ fn parse_reg(tok: &str) -> Result<Reg, ParseError> {
     let rest = tok
         .strip_prefix('r')
         .ok_or_else(|| err(format!("expected register, found `{tok}`")))?;
-    let idx: u8 = rest.parse().map_err(|_| err(format!("bad register `{tok}`")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| err(format!("bad register `{tok}`")))?;
     Reg::try_new(idx).ok_or_else(|| err(format!("register `{tok}` out of range")))
 }
 
@@ -97,16 +102,26 @@ fn to_i32(v: i64) -> Result<i32, ParseError> {
 
 /// Splits an operand list on commas, trimming whitespace.
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// Parses `offset(base)` memory operands.
 fn parse_mem_operand(tok: &str) -> Result<(Reg, i16), ParseError> {
-    let open = tok.find('(').ok_or_else(|| err(format!("expected `off(reg)`, found `{tok}`")))?;
-    let close =
-        tok.find(')').ok_or_else(|| err(format!("missing `)` in operand `{tok}`")))?;
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(format!("expected `off(reg)`, found `{tok}`")))?;
+    let close = tok
+        .find(')')
+        .ok_or_else(|| err(format!("missing `)` in operand `{tok}`")))?;
     let off_txt = tok[..open].trim();
-    let offset = if off_txt.is_empty() { 0 } else { to_i16(parse_int(off_txt)?)? };
+    let offset = if off_txt.is_empty() {
+        0
+    } else {
+        to_i16(parse_int(off_txt)?)?
+    };
     let base = parse_reg(tok[open + 1..close].trim())?;
     Ok((base, offset))
 }
@@ -116,7 +131,9 @@ fn parse_pi_operand(tok: &str) -> Result<(Reg, i16), ParseError> {
     let inner = tok
         .strip_prefix('(')
         .ok_or_else(|| err(format!("expected `(reg)+inc`, found `{tok}`")))?;
-    let close = inner.find(')').ok_or_else(|| err(format!("missing `)` in `{tok}`")))?;
+    let close = inner
+        .find(')')
+        .ok_or_else(|| err(format!("missing `)` in `{tok}`")))?;
     let base = parse_reg(inner[..close].trim())?;
     let inc_txt = inner[close + 1..].trim();
     let inc = to_i16(parse_int(inc_txt)?)?;
@@ -125,8 +142,9 @@ fn parse_pi_operand(tok: &str) -> Result<(Reg, i16), ParseError> {
 
 /// Parses `hi:lo` register pairs.
 fn parse_pair(tok: &str) -> Result<(Reg, Reg), ParseError> {
-    let (hi, lo) =
-        tok.split_once(':').ok_or_else(|| err(format!("expected `hi:lo`, found `{tok}`")))?;
+    let (hi, lo) = tok
+        .split_once(':')
+        .ok_or_else(|| err(format!("expected `hi:lo`, found `{tok}`")))?;
     Ok((parse_reg(hi.trim())?, parse_reg(lo.trim())?))
 }
 
@@ -159,9 +177,21 @@ fn parse_csr(tok: &str) -> Result<Csr, ParseError> {
 #[derive(Clone, Debug)]
 enum Parsed {
     Ready(Insn),
-    Branch { mnemonic: String, a: Reg, b: Reg, target: Target },
-    Jal { rd: Reg, target: Target },
-    LpSetup { idx: u8, count: Reg, target: Target },
+    Branch {
+        mnemonic: String,
+        a: Reg,
+        b: Reg,
+        target: Target,
+    },
+    Jal {
+        rd: Reg,
+        target: Target,
+    },
+    LpSetup {
+        idx: u8,
+        count: Reg,
+        target: Target,
+    },
 }
 
 #[allow(clippy::too_many_lines)]
@@ -177,12 +207,18 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
         if nops == n {
             Ok(())
         } else {
-            Err(err(format!("`{mnemonic}` expects {n} operands, found {nops}")))
+            Err(err(format!(
+                "`{mnemonic}` expects {n} operands, found {nops}"
+            )))
         }
     };
     let rrr = |f: fn(Reg, Reg, Reg) -> Insn| -> Result<Parsed, ParseError> {
         want(3)?;
-        Ok(Parsed::Ready(f(parse_reg(ops[0])?, parse_reg(ops[1])?, parse_reg(ops[2])?)))
+        Ok(Parsed::Ready(f(
+            parse_reg(ops[0])?,
+            parse_reg(ops[1])?,
+            parse_reg(ops[2])?,
+        )))
     };
 
     use Insn::*;
@@ -216,9 +252,21 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
             let rb = parse_reg(ops[2])?;
             let signed = mnemonic.starts_with('s');
             Ok(Parsed::Ready(if mnemonic.ends_with("mull") {
-                Mull { rd_hi, rd_lo, ra, rb, signed }
+                Mull {
+                    rd_hi,
+                    rd_lo,
+                    ra,
+                    rb,
+                    signed,
+                }
             } else {
-                Mlal { rd_hi, rd_lo, ra, rb, signed }
+                Mlal {
+                    rd_hi,
+                    rd_lo,
+                    ra,
+                    rb,
+                    signed,
+                }
             }))
         }
         "addi" => {
@@ -272,7 +320,13 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
                 "lb" => (MemSize::Byte, true),
                 _ => (MemSize::Byte, false),
             };
-            Ok(Parsed::Ready(Load { rd, base, offset, size, signed }))
+            Ok(Parsed::Ready(Load {
+                rd,
+                base,
+                offset,
+                size,
+                signed,
+            }))
         }
         "lw.pi" | "lh.pi" | "lhu.pi" | "lb.pi" | "lbu.pi" => {
             want(2)?;
@@ -285,7 +339,13 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
                 "lb.pi" => (MemSize::Byte, true),
                 _ => (MemSize::Byte, false),
             };
-            Ok(Parsed::Ready(LoadPi { rd, base, inc, size, signed }))
+            Ok(Parsed::Ready(LoadPi {
+                rd,
+                base,
+                inc,
+                size,
+                signed,
+            }))
         }
         "sw" | "sh" | "sb" => {
             want(2)?;
@@ -296,7 +356,12 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
                 "sh" => MemSize::Half,
                 _ => MemSize::Byte,
             };
-            Ok(Parsed::Ready(Store { rs, base, offset, size }))
+            Ok(Parsed::Ready(Store {
+                rs,
+                base,
+                offset,
+                size,
+            }))
         }
         "sw.pi" | "sh.pi" | "sb.pi" => {
             want(2)?;
@@ -307,7 +372,12 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
                 "sh.pi" => MemSize::Half,
                 _ => MemSize::Byte,
             };
-            Ok(Parsed::Ready(StorePi { rs, base, inc, size }))
+            Ok(Parsed::Ready(StorePi {
+                rs,
+                base,
+                inc,
+                size,
+            }))
         }
         "tas" => {
             want(2)?;
@@ -329,7 +399,10 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
         }
         "jal" => {
             want(2)?;
-            Ok(Parsed::Jal { rd: parse_reg(ops[0])?, target: parse_target(ops[1])? })
+            Ok(Parsed::Jal {
+                rd: parse_reg(ops[0])?,
+                target: parse_target(ops[1])?,
+            })
         }
         "jalr" => {
             want(3)?;
@@ -346,7 +419,11 @@ fn parse_line(text: &str) -> Result<Parsed, ParseError> {
                 "l1" => 1,
                 other => return Err(err(format!("loop unit must be l0/l1, found `{other}`"))),
             };
-            Ok(Parsed::LpSetup { idx, count: parse_reg(ops[1])?, target: parse_target(ops[2])? })
+            Ok(Parsed::LpSetup {
+                idx,
+                count: parse_reg(ops[1])?,
+                target: parse_target(ops[2])?,
+            })
         }
         "csrr" => {
             want(2)?;
@@ -398,13 +475,25 @@ pub fn parse_insn(text: &str) -> Result<Insn, ParseError> {
     let text = strip_comment(text);
     match parse_line(text)? {
         Parsed::Ready(i) => Ok(i),
-        Parsed::Branch { mnemonic, a, b, target: Target::Offset(o) } => {
-            Ok(make_branch(&mnemonic, a, b, o))
-        }
-        Parsed::Jal { rd, target: Target::Offset(o) } => Ok(Insn::Jal(rd, o)),
-        Parsed::LpSetup { idx, count, target: Target::Offset(o) } => {
-            Ok(Insn::LpSetup { idx, count, body_end: o })
-        }
+        Parsed::Branch {
+            mnemonic,
+            a,
+            b,
+            target: Target::Offset(o),
+        } => Ok(make_branch(&mnemonic, a, b, o)),
+        Parsed::Jal {
+            rd,
+            target: Target::Offset(o),
+        } => Ok(Insn::Jal(rd, o)),
+        Parsed::LpSetup {
+            idx,
+            count,
+            target: Target::Offset(o),
+        } => Ok(Insn::LpSetup {
+            idx,
+            count,
+            body_end: o,
+        }),
         _ => Err(err("symbolic labels need parse_program")),
     }
 }
@@ -438,7 +527,9 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
         while let Some(colon) = line.find(':') {
             let head = line[..colon].trim();
             if head.is_empty()
-                || !head.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                || !head
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
                 || head.starts_with("0x")
             {
                 break;
@@ -491,21 +582,32 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
                 }
             }
         };
-        let insn = match parse_line(line).map_err(|e| ParseError { line: lineno + 1, ..e })? {
+        let insn = match parse_line(line).map_err(|e| ParseError {
+            line: lineno + 1,
+            ..e
+        })? {
             Parsed::Ready(i) => i,
-            Parsed::Branch { mnemonic, a, b, target } => {
-                make_branch(&mnemonic, a, b, resolve(&target, false)?)
-            }
+            Parsed::Branch {
+                mnemonic,
+                a,
+                b,
+                target,
+            } => make_branch(&mnemonic, a, b, resolve(&target, false)?),
             Parsed::Jal { rd, target } => Insn::Jal(rd, resolve(&target, false)?),
-            Parsed::LpSetup { idx, count, target } => {
-                Insn::LpSetup { idx, count, body_end: resolve(&target, true)? }
-            }
+            Parsed::LpSetup { idx, count, target } => Insn::LpSetup {
+                idx,
+                count,
+                body_end: resolve(&target, true)?,
+            },
         };
         asm.insn(insn);
         index += 1;
     }
 
-    asm.finish().map_err(|e| ParseError { line: 0, message: e.to_string() })
+    asm.finish().map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -516,41 +618,93 @@ mod tests {
     #[test]
     fn single_instructions_parse() {
         assert_eq!(parse_insn("add r1, r2, r3").unwrap(), Insn::Add(R1, R2, R3));
-        assert_eq!(parse_insn("addi r1, r0, -42").unwrap(), Insn::Addi(R1, R0, -42));
-        assert_eq!(parse_insn("andi r1, r2, 0x3fff").unwrap(), Insn::Andi(R1, R2, 0x3FFF));
+        assert_eq!(
+            parse_insn("addi r1, r0, -42").unwrap(),
+            Insn::Addi(R1, R0, -42)
+        );
+        assert_eq!(
+            parse_insn("andi r1, r2, 0x3fff").unwrap(),
+            Insn::Andi(R1, R2, 0x3FFF)
+        );
         assert_eq!(
             parse_insn("lw r2, 8(r3)").unwrap(),
-            Insn::Load { rd: R2, base: R3, offset: 8, size: MemSize::Word, signed: true }
+            Insn::Load {
+                rd: R2,
+                base: R3,
+                offset: 8,
+                size: MemSize::Word,
+                signed: true
+            }
         );
         assert_eq!(
             parse_insn("lbu r2, -4(r3)").unwrap(),
-            Insn::Load { rd: R2, base: R3, offset: -4, size: MemSize::Byte, signed: false }
+            Insn::Load {
+                rd: R2,
+                base: R3,
+                offset: -4,
+                size: MemSize::Byte,
+                signed: false
+            }
         );
         assert_eq!(
             parse_insn("lb.pi r2, (r3)+1").unwrap(),
-            Insn::LoadPi { rd: R2, base: R3, inc: 1, size: MemSize::Byte, signed: true }
+            Insn::LoadPi {
+                rd: R2,
+                base: R3,
+                inc: 1,
+                size: MemSize::Byte,
+                signed: true
+            }
         );
         assert_eq!(
             parse_insn("smull r6:r7, r8, r9").unwrap(),
-            Insn::Mull { rd_hi: R6, rd_lo: R7, ra: R8, rb: R9, signed: true }
+            Insn::Mull {
+                rd_hi: R6,
+                rd_lo: R7,
+                ra: R8,
+                rb: R9,
+                signed: true
+            }
         );
         assert_eq!(parse_insn("beq r1, r0, +8").unwrap(), Insn::Beq(R1, R0, 8));
         assert_eq!(
             parse_insn("lp.setup l0, r5, +16").unwrap(),
-            Insn::LpSetup { idx: 0, count: R5, body_end: 16 }
+            Insn::LpSetup {
+                idx: 0,
+                count: R5,
+                body_end: 16
+            }
         );
-        assert_eq!(parse_insn("csrr r4, NumCores").unwrap(), Insn::Csrr(R4, Csr::NumCores));
+        assert_eq!(
+            parse_insn("csrr r4, NumCores").unwrap(),
+            Insn::Csrr(R4, Csr::NumCores)
+        );
         assert_eq!(parse_insn("sev 33").unwrap(), Insn::Sev(33));
         assert_eq!(parse_insn("nop # with comment").unwrap(), Insn::Nop);
     }
 
     #[test]
     fn errors_are_informative() {
-        assert!(parse_insn("frobnicate r1").unwrap_err().message.contains("unknown mnemonic"));
-        assert!(parse_insn("add r1, r2").unwrap_err().message.contains("expects 3"));
-        assert!(parse_insn("add r1, r2, r99").unwrap_err().message.contains("out of range"));
-        assert!(parse_insn("lw r1, r2").unwrap_err().message.contains("off(reg)"));
-        assert!(parse_insn("csrr r1, Bogus").unwrap_err().message.contains("unknown CSR"));
+        assert!(parse_insn("frobnicate r1")
+            .unwrap_err()
+            .message
+            .contains("unknown mnemonic"));
+        assert!(parse_insn("add r1, r2")
+            .unwrap_err()
+            .message
+            .contains("expects 3"));
+        assert!(parse_insn("add r1, r2, r99")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(parse_insn("lw r1, r2")
+            .unwrap_err()
+            .message
+            .contains("off(reg)"));
+        assert!(parse_insn("csrr r1, Bogus")
+            .unwrap_err()
+            .message
+            .contains("unknown CSR"));
     }
 
     #[test]
@@ -590,7 +744,14 @@ mod tests {
         ";
         let prog = parse_program(src).unwrap();
         // Setup at index 1; body = insns 2..=3; end label at 4 → offset 8.
-        assert_eq!(prog.insns()[1], Insn::LpSetup { idx: 0, count: R1, body_end: 8 });
+        assert_eq!(
+            prog.insns()[1],
+            Insn::LpSetup {
+                idx: 0,
+                count: R1,
+                body_end: 8
+            }
+        );
     }
 
     #[test]

@@ -109,11 +109,11 @@ fn run_one(insn: Insn, a: u32, b: u32, d: u32) -> u32 {
     let model = if matches!(
         insn,
         Insn::SdotV4(..)
-        | Insn::SdotV2(..)
-        | Insn::AddV4(..)
-        | Insn::AddV2(..)
-        | Insn::SubV4(..)
-        | Insn::SubV2(..)
+            | Insn::SdotV2(..)
+            | Insn::AddV4(..)
+            | Insn::AddV2(..)
+            | Insn::SubV4(..)
+            | Insn::SubV2(..)
     ) {
         CoreModel::or10n()
     } else {
@@ -138,7 +138,11 @@ macro_rules! alu_case {
             let mut rng = XorShiftRng::seed_from_u64($seed);
             let insn = Insn::$variant(R1, R2, R3);
             for i in 0..TRIPLES {
-                let (a, b, d) = (operand32(&mut rng), operand32(&mut rng), operand32(&mut rng));
+                let (a, b, d) = (
+                    operand32(&mut rng),
+                    operand32(&mut rng),
+                    operand32(&mut rng),
+                );
                 let got = run_one(insn, a, b, d);
                 let want = eval(&insn, a, b, d);
                 assert_eq!(
@@ -182,7 +186,13 @@ fn diff_mlal() {
         let (a, b) = (operand32(&mut rng), operand32(&mut rng));
         let (hi, lo) = (operand32(&mut rng), operand32(&mut rng));
         let signed: bool = rng.gen();
-        let insn = Insn::Mlal { rd_hi: R4, rd_lo: R5, ra: R2, rb: R3, signed };
+        let insn = Insn::Mlal {
+            rd_hi: R4,
+            rd_lo: R5,
+            ra: R2,
+            rb: R3,
+            signed,
+        };
         let mut asm = Asm::new();
         asm.insn(insn);
         asm.halt();
@@ -203,7 +213,11 @@ fn diff_mlal() {
         } else {
             u64::from(a).wrapping_mul(u64::from(b))
         };
-        assert_eq!(got, acc.wrapping_add(prod), "mlal signed={signed} a={a:#x} b={b:#x}");
+        assert_eq!(
+            got,
+            acc.wrapping_add(prod),
+            "mlal signed={signed} a={a:#x} b={b:#x}"
+        );
     }
 }
 
@@ -244,7 +258,11 @@ fn diff_branches() {
         core.set_reg(R2, a);
         core.set_reg(R3, b);
         core.run(&mut mem, 100).unwrap();
-        assert_eq!(core.reg(R6) == 0, taken_expected, "branch kind {kind} a={a:#x} b={b:#x}");
+        assert_eq!(
+            core.reg(R6) == 0,
+            taken_expected,
+            "branch kind {kind} a={a:#x} b={b:#x}"
+        );
     }
 }
 
@@ -265,7 +283,11 @@ fn diff_addi_vs_add() {
         core.reset(0);
         core.set_reg(R2, a);
         core.run(&mut mem, 100).unwrap();
-        assert_eq!(core.reg(R1), a.wrapping_add(imm as i32 as u32), "addi a={a:#x} imm={imm}");
+        assert_eq!(
+            core.reg(R1),
+            a.wrapping_add(imm as i32 as u32),
+            "addi a={a:#x} imm={imm}"
+        );
     }
 }
 

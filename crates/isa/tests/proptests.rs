@@ -13,7 +13,11 @@ fn any_reg() -> impl Strategy<Value = Reg> + Clone {
 }
 
 fn any_mem_size() -> impl Strategy<Value = MemSize> {
-    prop_oneof![Just(MemSize::Byte), Just(MemSize::Half), Just(MemSize::Word)]
+    prop_oneof![
+        Just(MemSize::Byte),
+        Just(MemSize::Half),
+        Just(MemSize::Word)
+    ]
 }
 
 /// Branch-style byte offsets representable in a 14-bit word-offset field.
@@ -41,44 +45,102 @@ fn any_insn() -> impl Strategy<Value = Insn> {
         rrr.clone().prop_map(|(d, a, b)| Insn::SdotV2(d, a, b)),
         rrr.clone().prop_map(|(d, a, b)| Insn::Min(d, a, b)),
         rrr.prop_map(|(d, a, b)| Insn::Max(d, a, b)),
-        (any_reg(), any_reg(), any_reg(), any_reg(), any::<bool>())
-            .prop_map(|(h, l, a, b, s)| Insn::Mull { rd_hi: h, rd_lo: l, ra: a, rb: b, signed: s }),
-        (any_reg(), any_reg(), any_reg(), any_reg(), any::<bool>())
-            .prop_map(|(h, l, a, b, s)| Insn::Mlal { rd_hi: h, rd_lo: l, ra: a, rb: b, signed: s }),
+        (any_reg(), any_reg(), any_reg(), any_reg(), any::<bool>()).prop_map(|(h, l, a, b, s)| {
+            Insn::Mull {
+                rd_hi: h,
+                rd_lo: l,
+                ra: a,
+                rb: b,
+                signed: s,
+            }
+        }),
+        (any_reg(), any_reg(), any_reg(), any_reg(), any::<bool>()).prop_map(|(h, l, a, b, s)| {
+            Insn::Mlal {
+                rd_hi: h,
+                rd_lo: l,
+                ra: a,
+                rb: b,
+                signed: s,
+            }
+        }),
         (any_reg(), any_reg(), imm14_s()).prop_map(|(d, a, i)| Insn::Addi(d, a, i)),
         (any_reg(), any_reg(), imm14_u()).prop_map(|(d, a, i)| Insn::Ori(d, a, i)),
         (any_reg(), any_reg(), 0u8..32).prop_map(|(d, a, s)| Insn::Slli(d, a, s)),
         (any_reg(), any_reg(), 0u8..32).prop_map(|(d, a, s)| Insn::Srai(d, a, s)),
         (any_reg(), 0u32..0x40000).prop_map(|(d, i)| Insn::Lui(d, i)),
-        (any_reg(), any_reg(), imm14_s(), any_mem_size(), any::<bool>()).prop_map(
-            |(rd, base, offset, size, signed)| {
+        (
+            any_reg(),
+            any_reg(),
+            imm14_s(),
+            any_mem_size(),
+            any::<bool>()
+        )
+            .prop_map(|(rd, base, offset, size, signed)| {
                 let signed = signed || size == MemSize::Word;
-                Insn::Load { rd, base, offset, size, signed }
-            }
-        ),
-        (any_reg(), any_reg(), imm14_s(), any_mem_size(), any::<bool>()).prop_map(
-            |(rd, base, inc, size, signed)| {
+                Insn::Load {
+                    rd,
+                    base,
+                    offset,
+                    size,
+                    signed,
+                }
+            }),
+        (
+            any_reg(),
+            any_reg(),
+            imm14_s(),
+            any_mem_size(),
+            any::<bool>()
+        )
+            .prop_map(|(rd, base, inc, size, signed)| {
                 let signed = signed || size == MemSize::Word;
-                Insn::LoadPi { rd, base, inc, size, signed }
+                Insn::LoadPi {
+                    rd,
+                    base,
+                    inc,
+                    size,
+                    signed,
+                }
+            }),
+        (any_reg(), any_reg(), imm14_s(), any_mem_size()).prop_map(|(rs, base, offset, size)| {
+            Insn::Store {
+                rs,
+                base,
+                offset,
+                size,
             }
-        ),
-        (any_reg(), any_reg(), imm14_s(), any_mem_size())
-            .prop_map(|(rs, base, offset, size)| Insn::Store { rs, base, offset, size }),
-        (any_reg(), any_reg(), imm14_s(), any_mem_size())
-            .prop_map(|(rs, base, inc, size)| Insn::StorePi { rs, base, inc, size }),
+        }),
+        (any_reg(), any_reg(), imm14_s(), any_mem_size()).prop_map(|(rs, base, inc, size)| {
+            Insn::StorePi {
+                rs,
+                base,
+                inc,
+                size,
+            }
+        }),
         (any_reg(), any_reg()).prop_map(|(d, a)| Insn::Tas(d, a)),
         (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Beq(a, b, o)),
         (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Bne(a, b, o)),
         (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Blt(a, b, o)),
         (any_reg(), any_reg(), any_off14()).prop_map(|(a, b, o)| Insn::Bgeu(a, b, o)),
-        (any_reg(), (-262144i32..262144).prop_map(|w| w * 4))
-            .prop_map(|(d, o)| Insn::Jal(d, o)),
+        (any_reg(), (-262144i32..262144).prop_map(|w| w * 4)).prop_map(|(d, o)| Insn::Jal(d, o)),
         (any_reg(), any_reg(), imm14_s()).prop_map(|(d, a, i)| Insn::Jalr(d, a, i)),
-        (0u8..2, any_reg(), (2i32..8192).prop_map(|w| w * 4))
-            .prop_map(|(idx, count, body_end)| Insn::LpSetup { idx, count, body_end }),
-        (any_reg(), prop_oneof![
-            Just(Csr::CoreId), Just(Csr::NumCores), Just(Csr::CycleLo), Just(Csr::InstRetLo)
-        ])
+        (0u8..2, any_reg(), (2i32..8192).prop_map(|w| w * 4)).prop_map(|(idx, count, body_end)| {
+            Insn::LpSetup {
+                idx,
+                count,
+                body_end,
+            }
+        }),
+        (
+            any_reg(),
+            prop_oneof![
+                Just(Csr::CoreId),
+                Just(Csr::NumCores),
+                Just(Csr::CycleLo),
+                Just(Csr::InstRetLo)
+            ]
+        )
             .prop_map(|(d, c)| Insn::Csrr(d, c)),
         Just(Insn::Nop),
         Just(Insn::Halt),

@@ -24,9 +24,9 @@
 //!   index `= (v + 32768) >> 7` — no clamping needed by construction;
 //! * weights and the tanh table are constant data shipped with the binary.
 
-use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize};
+use ulp_rng::XorShiftRng;
 
 use crate::codegen::emit::{counted_loop, index_loop, range_loop, spmd_kernel, static_chunk};
 use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
@@ -102,7 +102,9 @@ pub fn generate_params(seed: u64, approx: bool) -> CnnParams {
 #[must_use]
 pub fn generate_image(seed: u64) -> Vec<i16> {
     let mut rng = XorShiftRng::seed_from_u64(seed);
-    (0..IN_W * IN_W).map(|_| rng.gen_range(-8192..8192)).collect()
+    (0..IN_W * IN_W)
+        .map(|_| rng.gen_range(-8192..8192))
+        .collect()
 }
 
 fn tanh_idx(v: i16) -> usize {
@@ -113,7 +115,7 @@ fn tanh_idx(v: i16) -> usize {
 #[must_use]
 pub fn reference(image: &[i16], p: &CnnParams, tanh_lut: &[i16]) -> Vec<i32> {
     let conv_out_w1 = IN_W - K + 1; // 28
-    // conv1 + pool + tanh
+                                    // conv1 + pool + tanh
     let mut p1 = vec![0i16; C1_MAPS * P1_W * P1_W];
     for m in 0..C1_MAPS {
         for pi in 0..P1_W {
@@ -416,7 +418,11 @@ pub fn build(approx: bool, env: &TargetEnv) -> KernelBuild {
     let program = asm.finish().expect("cnn generator emits valid code");
 
     KernelBuild {
-        name: format!("cnn{}[{}]", if approx { " (approx)" } else { "" }, env.model.name),
+        name: format!(
+            "cnn{}[{}]",
+            if approx { " (approx)" } else { "" },
+            env.model.name
+        ),
         program,
         args: vec![(R3, in_addr), (R5, out_addr)],
         buffers,
@@ -486,18 +492,30 @@ mod tests {
     #[test]
     fn fixed_point_arch_speedup_band() {
         let m4 = run(&build(false, &TargetEnv::host_m4()), &TargetEnv::host_m4()).unwrap();
-        let or10n = run(&build(false, &TargetEnv::pulp_single()), &TargetEnv::pulp_single())
-            .unwrap();
+        let or10n = run(
+            &build(false, &TargetEnv::pulp_single()),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
         let s = m4.cycles as f64 / or10n.cycles as f64;
-        assert!((0.9..2.2).contains(&s), "cnn arch speedup {s:.2} outside fixed-point band");
+        assert!(
+            (0.9..2.2).contains(&s),
+            "cnn arch speedup {s:.2} outside fixed-point band"
+        );
     }
 
     #[test]
     fn parallel_speedup_band() {
-        let single = run(&build(false, &TargetEnv::pulp_single()), &TargetEnv::pulp_single())
-            .unwrap();
-        let quad = run(&build(false, &TargetEnv::pulp_parallel()), &TargetEnv::pulp_parallel())
-            .unwrap();
+        let single = run(
+            &build(false, &TargetEnv::pulp_single()),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
+        let quad = run(
+            &build(false, &TargetEnv::pulp_parallel()),
+            &TargetEnv::pulp_parallel(),
+        )
+        .unwrap();
         let s = single.cycles as f64 / quad.cycles as f64;
         // conv2 map-parallelism and the 10-class fc leave some imbalance.
         assert!((2.5..4.0).contains(&s), "cnn 4-core speedup {s:.2}");

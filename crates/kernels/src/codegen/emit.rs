@@ -13,8 +13,8 @@
 //! exactly the paper's two components: Amdahl serial sections and the
 //! runtime's fork/join/barrier overhead (reported at ≈6 % on average).
 
-use ulp_isa::{Asm, Csr, Insn, Label, Reg};
 use ulp_isa::reg::named::*;
+use ulp_isa::{Asm, Csr, Insn, Label, Reg};
 
 use super::{TargetEnv, CORE_ID_REG};
 
@@ -68,14 +68,7 @@ pub fn spmd_kernel(a: &mut Asm, env: &TargetEnv, body: impl FnOnce(&mut Asm, &Ta
 /// the OpenMP `schedule(static)` of the runtime.
 ///
 /// Uses `tmp` as scratch. With one core it degenerates to `0..n`.
-pub fn static_chunk(
-    a: &mut Asm,
-    env: &TargetEnv,
-    n: u32,
-    start_reg: Reg,
-    end_reg: Reg,
-    tmp: Reg,
-) {
+pub fn static_chunk(a: &mut Asm, env: &TargetEnv, n: u32, start_reg: Reg, end_reg: Reg, tmp: Reg) {
     if env.num_cores <= 1 {
         a.li(start_reg, 0);
         a.li(end_reg, n as i32);
@@ -191,7 +184,7 @@ pub fn dynamic_loop(
     a.addi(t0, idx, 1);
     a.sw(t0, t1, 4);
     a.sw(R0, t1, 0); // release
-    // Past the end? Then this core is done.
+                     // Past the end? Then this core is done.
     a.li(t0, n as i32);
     a.bge(idx, t0, done);
     body(a);
@@ -277,7 +270,12 @@ mod tests {
                     a.nop();
                 });
             });
-            assert_eq!(core.reg(R10), 7, "zero-trip body must not run on {}", env.model.name);
+            assert_eq!(
+                core.reg(R10),
+                7,
+                "zero-trip body must not run on {}",
+                env.model.name
+            );
         }
     }
 
@@ -361,14 +359,20 @@ mod tests {
     /// Builds a deliberately imbalanced workload: item `i` performs `i·8`
     /// additions into `out[i]`. Compares `schedule(static)` against
     /// `schedule(dynamic)`.
-    fn imbalanced_build(env: &TargetEnv, dynamic: bool, n: u32, per_item: u32) -> crate::KernelBuild {
+    fn imbalanced_build(
+        env: &TargetEnv,
+        dynamic: bool,
+        n: u32,
+        per_item: u32,
+    ) -> crate::KernelBuild {
         use crate::codegen::DataLayout;
         let mut l = DataLayout::new(env, 64 * 1024);
         let queue = l.scratch("queue", 8);
         let out = l.output("out", n as usize * 4);
         let buffers = l.finish();
-        let expect: Vec<u8> =
-            (0..n).flat_map(|i| (3 * i * per_item).to_le_bytes()).collect();
+        let expect: Vec<u8> = (0..n)
+            .flat_map(|i| (3 * i * per_item).to_le_bytes())
+            .collect();
 
         let mut a = Asm::new();
         spmd_kernel(&mut a, env, |a, env| {

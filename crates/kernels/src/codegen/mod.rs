@@ -54,7 +54,11 @@ impl TargetEnv {
     /// A single OR10N core (the paper's Fig. 4-left configuration).
     #[must_use]
     pub fn pulp_single() -> Self {
-        TargetEnv { model: CoreModel::or10n(), num_cores: 1, data_base: ulp_cluster_tcdm_base() }
+        TargetEnv {
+            model: CoreModel::or10n(),
+            num_cores: 1,
+            data_base: ulp_cluster_tcdm_base(),
+        }
     }
 
     /// A PULP cluster with an arbitrary core count (scaling studies).
@@ -70,19 +74,31 @@ impl TargetEnv {
     /// Host Cortex-M4.
     #[must_use]
     pub fn host_m4() -> Self {
-        TargetEnv { model: CoreModel::cortex_m4(), num_cores: 1, data_base: host_data_base() }
+        TargetEnv {
+            model: CoreModel::cortex_m4(),
+            num_cores: 1,
+            data_base: host_data_base(),
+        }
     }
 
     /// Host Cortex-M3 (the paper's "M4 flags deactivated" estimate).
     #[must_use]
     pub fn host_m3() -> Self {
-        TargetEnv { model: CoreModel::cortex_m3(), num_cores: 1, data_base: host_data_base() }
+        TargetEnv {
+            model: CoreModel::cortex_m3(),
+            num_cores: 1,
+            data_base: host_data_base(),
+        }
     }
 
     /// The RISC-ops reference core (paper footnote 1).
     #[must_use]
     pub fn baseline() -> Self {
-        TargetEnv { model: CoreModel::risc_baseline(), num_cores: 1, data_base: host_data_base() }
+        TargetEnv {
+            model: CoreModel::risc_baseline(),
+            num_cores: 1,
+            data_base: host_data_base(),
+        }
     }
 
     /// The target's ISA feature set.
@@ -159,7 +175,11 @@ impl DataLayout {
     /// the size of the data region (TCDM size on the accelerator).
     #[must_use]
     pub fn new(env: &TargetEnv, capacity: usize) -> Self {
-        DataLayout { next: env.data_base, limit: env.data_base + capacity as u32, buffers: vec![] }
+        DataLayout {
+            next: env.data_base,
+            limit: env.data_base + capacity as u32,
+            buffers: vec![],
+        }
     }
 
     fn alloc(&mut self, name: &'static str, len: usize, init: BufferInit, role: BufferRole) -> u32 {
@@ -172,7 +192,13 @@ impl DataLayout {
             self.limit
         );
         self.next += len as u32;
-        self.buffers.push(Buffer { name, addr, len, init, role });
+        self.buffers.push(Buffer {
+            name,
+            addr,
+            len,
+            init,
+            role,
+        });
         addr
     }
 
@@ -254,7 +280,11 @@ impl KernelBuild {
     }
 
     fn role_bytes(&self, role: BufferRole) -> usize {
-        self.buffers.iter().filter(|b| b.role == role).map(|b| b.len).sum()
+        self.buffers
+            .iter()
+            .filter(|b| b.role == role)
+            .map(|b| b.len)
+            .sum()
     }
 }
 

@@ -27,7 +27,13 @@ use super::TargetEnv;
 pub fn emit_mul64(a: &mut Asm, env: &TargetEnv, hi: Reg, lo: Reg, x: Reg, y: Reg, t: [Reg; 4]) {
     assert_distinct(&[hi, lo, x, y, t[0], t[1], t[2], t[3]]);
     if env.features().mul64 {
-        a.insn(Insn::Mull { rd_hi: hi, rd_lo: lo, ra: x, rb: y, signed: true });
+        a.insn(Insn::Mull {
+            rd_hi: hi,
+            rd_lo: lo,
+            ra: x,
+            rb: y,
+            signed: true,
+        });
         return;
     }
     let [t0, t1, t2, t3] = t;
@@ -42,7 +48,7 @@ pub fn emit_mul64(a: &mut Asm, env: &TargetEnv, hi: Reg, lo: Reg, x: Reg, y: Reg
     a.insn(Insn::Mul(hi, t0, t2)); // p11 = x1*y1
     a.mul(t1, t1, t2); // p01 = x0*y1
     a.mul(t0, t0, t3); // p10 = x1*y0
-    // mid = (p00 >> 16) + (p01 & 0xffff) + (p10 & 0xffff)
+                       // mid = (p00 >> 16) + (p01 & 0xffff) + (p10 & 0xffff)
     a.srli(t2, lo, 16);
     a.slli(t3, t1, 16);
     a.srli(t3, t3, 16);
@@ -86,7 +92,13 @@ pub fn emit_mac64(
     t: [Reg; 6],
 ) {
     if env.features().mul64 {
-        a.insn(Insn::Mlal { rd_hi: acc_hi, rd_lo: acc_lo, ra: x, rb: y, signed: true });
+        a.insn(Insn::Mlal {
+            rd_hi: acc_hi,
+            rd_lo: acc_lo,
+            ra: x,
+            rb: y,
+            signed: true,
+        });
         return;
     }
     let [p_hi, p_lo, t0, t1, t2, t3] = t;
@@ -327,9 +339,9 @@ impl Rtlib {
 mod tests {
     use super::*;
     use crate::fixed;
-    use ulp_rng::XorShiftRng;
     use ulp_isa::prelude::*;
     use ulp_isa::CoreState;
+    use ulp_rng::XorShiftRng;
 
     fn run(env: &TargetEnv, build: impl FnOnce(&mut Asm)) -> Core {
         let mut a = Asm::new();
@@ -371,7 +383,11 @@ mod tests {
             (65536, 65536),
             (-65536, 65537),
         ];
-        for env in [TargetEnv::pulp_single(), TargetEnv::host_m4(), TargetEnv::baseline()] {
+        for env in [
+            TargetEnv::pulp_single(),
+            TargetEnv::host_m4(),
+            TargetEnv::baseline(),
+        ] {
             for &(x, y) in &cases {
                 assert_eq!(
                     mul64_on(&env, x, y),
@@ -459,9 +475,21 @@ mod tests {
     #[test]
     fn isqrt64_matches_reference() {
         let env = TargetEnv::pulp_single();
-        for v in [0u64, 1, 2, 3, 4, 15, 16, 144, 1 << 20, (1 << 20) + 1, u64::from(u32::MAX),
-            1 << 40, u64::MAX]
-        {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            15,
+            16,
+            144,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::from(u32::MAX),
+            1 << 40,
+            u64::MAX,
+        ] {
             assert_eq!(isqrt_on(&env, v), fixed::isqrt_u64(v), "sqrt({v})");
         }
     }
@@ -490,14 +518,26 @@ mod tests {
 
     #[test]
     fn udiv32_matches_reference_on_both_paths() {
-        let cases =
-            [(0u32, 1u32), (1, 1), (100, 7), (u32::MAX, 1), (u32::MAX, u32::MAX), (5, 10), (1 << 31, 3)];
+        let cases = [
+            (0u32, 1u32),
+            (1, 1),
+            (100, 7),
+            (u32::MAX, 1),
+            (u32::MAX, u32::MAX),
+            (5, 10),
+            (1 << 31, 3),
+        ];
         // or10n takes the software loop, M4 the hardware divider.
         for env in [TargetEnv::pulp_single(), TargetEnv::host_m4()] {
             for &(n, d) in &cases {
                 assert_eq!(udiv_on(&env, n, d), n / d, "{n}/{d} on {}", env.model.name);
             }
-            assert_eq!(udiv_on(&env, 123, 0), u32::MAX, "div by zero on {}", env.model.name);
+            assert_eq!(
+                udiv_on(&env, 123, 0),
+                u32::MAX,
+                "div by zero on {}",
+                env.model.name
+            );
         }
     }
 

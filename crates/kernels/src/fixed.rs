@@ -210,7 +210,16 @@ mod tests {
 
     #[test]
     fn isqrt_is_floor_sqrt() {
-        for v in [2u64, 3, 5, 10, 99, 1000, 123_456_789, u64::from(u32::MAX) + 17] {
+        for v in [
+            2u64,
+            3,
+            5,
+            10,
+            99,
+            1000,
+            123_456_789,
+            u64::from(u32::MAX) + 17,
+        ] {
             let r = u64::from(isqrt_u64(v));
             assert!(r * r <= v);
             assert!((r + 1) * (r + 1) > v);

@@ -26,9 +26,9 @@
 //! histogram cell (races are structurally impossible); block rows are
 //! work-shared in the normalization phase, with one barrier in between.
 
-use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn};
+use ulp_rng::XorShiftRng;
 
 use crate::codegen::emit::{counted_loop, range_loop, spmd_kernel, static_chunk};
 use crate::codegen::rtlib::{emit_mac64, emit_mul64, emit_sra64_const, Rtlib};
@@ -81,9 +81,16 @@ impl HogGeometry {
     /// Panics unless `width` is a multiple of `CELL` of at least 8.
     #[must_use]
     pub fn new(width: usize) -> Self {
-        assert!(width >= 2 * CELL && width.is_multiple_of(CELL), "width must be a multiple of {CELL}");
+        assert!(
+            width >= 2 * CELL && width.is_multiple_of(CELL),
+            "width must be a multiple of {CELL}"
+        );
         let cells = width / CELL;
-        HogGeometry { width, cells, blocks: cells - 1 }
+        HogGeometry {
+            width,
+            cells,
+            blocks: cells - 1,
+        }
     }
 
     /// Histogram size in bytes (`cells² × 9 × 4`).
@@ -119,15 +126,17 @@ pub fn reference(image: &[i32], geo: HogGeometry) -> Vec<i32> {
             let mut best = -1i32;
             let mut bin = 0usize;
             for k in 0..BINS {
-                let proj = dx.wrapping_mul(cos[k]).wrapping_add(dy.wrapping_mul(sin[k]));
+                let proj = dx
+                    .wrapping_mul(cos[k])
+                    .wrapping_add(dy.wrapping_mul(sin[k]));
                 let mag = wrapping_abs_xor(proj);
                 if mag > best {
                     best = mag;
                     bin = k;
                 }
             }
-            let sq = (i64::from(dx) * i64::from(dx)) as u64
-                + (i64::from(dy) * i64::from(dy)) as u64;
+            let sq =
+                (i64::from(dx) * i64::from(dx)) as u64 + (i64::from(dy) * i64::from(dy)) as u64;
             let mag = isqrt_u64(sq);
             let (cy, cx) = (y / CELL, x / CELL);
             let idx = (cy * geo.cells + cx) * BINS + bin;
@@ -165,7 +174,9 @@ pub fn reference(image: &[i32], geo: HogGeometry) -> Vec<i32> {
 #[must_use]
 pub fn generate_image(width: usize, seed: u64) -> Vec<i32> {
     let mut rng = XorShiftRng::seed_from_u64(seed);
-    (0..width * width).map(|_| rng.gen_range(-32768..32768)).collect()
+    (0..width * width)
+        .map(|_| rng.gen_range(-32768..32768))
+        .collect()
 }
 
 /// Builds the Table I HOG kernel (64×64 image).
@@ -180,13 +191,21 @@ pub fn build(env: &TargetEnv) -> KernelBuild {
 #[allow(clippy::too_many_lines)]
 pub fn build_sized(env: &TargetEnv, width: usize) -> KernelBuild {
     let geo = HogGeometry::new(width);
-    assert!(geo.cells.is_power_of_two(), "cell count must be a power of two (shift addressing)");
+    assert!(
+        geo.cells.is_power_of_two(),
+        "cell count must be a power of two (shift addressing)"
+    );
     let image = generate_image(width, 0x09_0609);
-    let expect: Vec<u8> =
-        reference(&image, geo).iter().flat_map(|v| v.to_le_bytes()).collect();
+    let expect: Vec<u8> = reference(&image, geo)
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
 
     let mut l = DataLayout::new(env, 64 * 1024);
-    let img_addr = l.input("image", image.iter().flat_map(|v| v.to_le_bytes()).collect());
+    let img_addr = l.input(
+        "image",
+        image.iter().flat_map(|v| v.to_le_bytes()).collect(),
+    );
     let out_addr = l.output("descriptor", geo.descriptor_bytes());
     let hist_addr = l.scratch("hist", geo.hist_bytes());
     let buffers = l.finish();
@@ -412,10 +431,16 @@ mod tests {
     fn architectural_slowdown_on_or10n() {
         // The paper's headline hog result: OR10N is *slower* per cycle
         // than Cortex-M4 because of the software 64-bit arithmetic.
-        let m4 = run(&build_sized(&TargetEnv::host_m4(), TEST_W), &TargetEnv::host_m4()).unwrap();
-        let or10n =
-            run(&build_sized(&TargetEnv::pulp_single(), TEST_W), &TargetEnv::pulp_single())
-                .unwrap();
+        let m4 = run(
+            &build_sized(&TargetEnv::host_m4(), TEST_W),
+            &TargetEnv::host_m4(),
+        )
+        .unwrap();
+        let or10n = run(
+            &build_sized(&TargetEnv::pulp_single(), TEST_W),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
         let s = m4.cycles as f64 / or10n.cycles as f64;
         assert!(
             (0.4..1.0).contains(&s),
@@ -425,11 +450,16 @@ mod tests {
 
     #[test]
     fn parallel_speedup_band() {
-        let single = run(&build_sized(&TargetEnv::pulp_single(), TEST_W), &TargetEnv::pulp_single())
-            .unwrap();
-        let quad =
-            run(&build_sized(&TargetEnv::pulp_parallel(), TEST_W), &TargetEnv::pulp_parallel())
-                .unwrap();
+        let single = run(
+            &build_sized(&TargetEnv::pulp_single(), TEST_W),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
+        let quad = run(
+            &build_sized(&TargetEnv::pulp_parallel(), TEST_W),
+            &TargetEnv::pulp_parallel(),
+        )
+        .unwrap();
         let s = single.cycles as f64 / quad.cycles as f64;
         assert!((2.8..4.0).contains(&s), "hog 4-core speedup {s:.2}");
     }

@@ -21,9 +21,9 @@
 //! the MAC nor the SIMD dot product applies — exactly why the paper's
 //! fixed-point kernels gain less from the OR10N extensions.
 
-use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize, Reg};
+use ulp_rng::XorShiftRng;
 
 use crate::codegen::emit::{counted_loop, range_loop, spmd_kernel, static_chunk};
 use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
@@ -170,12 +170,36 @@ fn emit_dot(a: &mut Asm, env: &TargetEnv, variant: MatVariant, n: usize) {
             counted_loop(a, env, 0, R7, R1, |a| {
                 for u in 0..4i16 {
                     if f.post_increment {
-                        a.insn(Insn::LoadPi { rd: t0, base: ap, inc: step, size, signed: true });
-                        a.insn(Insn::LoadPi { rd: t1, base: bp, inc: step, size, signed: true });
+                        a.insn(Insn::LoadPi {
+                            rd: t0,
+                            base: ap,
+                            inc: step,
+                            size,
+                            signed: true,
+                        });
+                        a.insn(Insn::LoadPi {
+                            rd: t1,
+                            base: bp,
+                            inc: step,
+                            size,
+                            signed: true,
+                        });
                     } else {
                         let off = u * step;
-                        a.insn(Insn::Load { rd: t0, base: ap, offset: off, size, signed: true });
-                        a.insn(Insn::Load { rd: t1, base: bp, offset: off, size, signed: true });
+                        a.insn(Insn::Load {
+                            rd: t0,
+                            base: ap,
+                            offset: off,
+                            size,
+                            signed: true,
+                        });
+                        a.insn(Insn::Load {
+                            rd: t1,
+                            base: bp,
+                            offset: off,
+                            size,
+                            signed: true,
+                        });
                     }
                     a.mac(acc, t0, t1);
                 }
@@ -227,8 +251,20 @@ fn emit_dot(a: &mut Asm, env: &TargetEnv, variant: MatVariant, n: usize) {
             };
             a.li(R7, n as i32);
             counted_loop(a, env, 0, R7, R1, |a| {
-                a.insn(Insn::Load { rd: t0, base: ap, offset: 0, size, signed: true });
-                a.insn(Insn::Load { rd: t1, base: bp, offset: 0, size, signed: true });
+                a.insn(Insn::Load {
+                    rd: t0,
+                    base: ap,
+                    offset: 0,
+                    size,
+                    signed: true,
+                });
+                a.insn(Insn::Load {
+                    rd: t1,
+                    base: bp,
+                    offset: 0,
+                    size,
+                    signed: true,
+                });
                 a.mul(t2, t0, t1);
                 if variant == MatVariant::Fixed {
                     a.srai(t2, t2, 13);
@@ -257,7 +293,10 @@ pub fn build(variant: MatVariant, env: &TargetEnv) -> KernelBuild {
 /// shift-based addressing).
 #[must_use]
 pub fn build_sized(variant: MatVariant, env: &TargetEnv, n: usize) -> KernelBuild {
-    assert!(n >= 8 && n.is_power_of_two(), "n must be a power of two ≥ 8");
+    assert!(
+        n >= 8 && n.is_power_of_two(),
+        "n must be a power of two ≥ 8"
+    );
     let mut rng = XorShiftRng::seed_from_u64(0xDA7E_2016 ^ n as u64 ^ variant.elem_bytes() as u64);
 
     let esz = variant.elem_bytes();
@@ -323,7 +362,12 @@ pub fn build_sized(variant: MatVariant, env: &TargetEnv, n: usize) -> KernelBuil
                     MatVariant::Char => MemSize::Byte,
                     _ => MemSize::Half,
                 };
-                a.insn(Insn::Store { rs: R17, base: R15, offset: 0, size });
+                a.insn(Insn::Store {
+                    rs: R17,
+                    base: R15,
+                    offset: 0,
+                    size,
+                });
                 a.addi(R15, R15, esz as i16);
             });
         });
@@ -406,11 +450,16 @@ mod tests {
             (MatVariant::Short, 1.5, 3.5),
             (MatVariant::Fixed, 1.0, 2.2),
         ] {
-            let m4 = run(&build_sized(variant, &TargetEnv::host_m4(), n), &TargetEnv::host_m4())
-                .unwrap();
-            let or10n =
-                run(&build_sized(variant, &TargetEnv::pulp_single(), n), &TargetEnv::pulp_single())
-                    .unwrap();
+            let m4 = run(
+                &build_sized(variant, &TargetEnv::host_m4(), n),
+                &TargetEnv::host_m4(),
+            )
+            .unwrap();
+            let or10n = run(
+                &build_sized(variant, &TargetEnv::pulp_single(), n),
+                &TargetEnv::pulp_single(),
+            )
+            .unwrap();
             let speedup = m4.cycles as f64 / or10n.cycles as f64;
             assert!(
                 (lo..hi).contains(&speedup),
@@ -423,9 +472,11 @@ mod tests {
     #[test]
     fn parallel_speedup_near_ideal() {
         let n = 32;
-        let single =
-            run(&build_sized(MatVariant::Char, &TargetEnv::pulp_single(), n), &TargetEnv::pulp_single())
-                .unwrap();
+        let single = run(
+            &build_sized(MatVariant::Char, &TargetEnv::pulp_single(), n),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
         let quad = run(
             &build_sized(MatVariant::Char, &TargetEnv::pulp_parallel(), n),
             &TargetEnv::pulp_parallel(),
@@ -442,10 +493,16 @@ mod tests {
     fn m3_not_faster_than_m4() {
         let n = 16;
         for variant in [MatVariant::Char, MatVariant::Fixed] {
-            let m4 = run(&build_sized(variant, &TargetEnv::host_m4(), n), &TargetEnv::host_m4())
-                .unwrap();
-            let m3 = run(&build_sized(variant, &TargetEnv::host_m3(), n), &TargetEnv::host_m3())
-                .unwrap();
+            let m4 = run(
+                &build_sized(variant, &TargetEnv::host_m4(), n),
+                &TargetEnv::host_m4(),
+            )
+            .unwrap();
+            let m3 = run(
+                &build_sized(variant, &TargetEnv::host_m3(), n),
+                &TargetEnv::host_m3(),
+            )
+            .unwrap();
             assert!(m3.cycles >= m4.cycles, "{}", variant.name());
         }
     }

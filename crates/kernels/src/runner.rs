@@ -97,11 +97,17 @@ pub fn run_on_flat(build: &KernelBuild, model: CoreModel) -> Result<KernelRun, R
     if summary.state != CoreState::Halted {
         return Err(RunError::Timeout);
     }
-    let mismatches = verify(build, |addr, len| mem.read_bytes(addr, len).map(<[u8]>::to_vec));
+    let mismatches = verify(build, |addr, len| {
+        mem.read_bytes(addr, len).map(<[u8]>::to_vec)
+    });
     if !mismatches.is_empty() {
         return Err(RunError::OutputMismatch(mismatches));
     }
-    Ok(KernelRun { cycles: summary.cycles, retired: summary.retired, activity: None })
+    Ok(KernelRun {
+        cycles: summary.cycles,
+        retired: summary.retired,
+        activity: None,
+    })
 }
 
 /// Runs a PULP build on a cluster configured for the build's core count
@@ -111,8 +117,10 @@ pub fn run_on_flat(build: &KernelBuild, model: CoreModel) -> Result<KernelRun, R
 ///
 /// Returns [`RunError`] on faults, deadlock, timeout, or output mismatch.
 pub fn run_on_cluster(build: &KernelBuild, env: &TargetEnv) -> Result<KernelRun, RunError> {
-    let mut cluster =
-        Cluster::new(ClusterConfig { num_cores: env.num_cores, ..ClusterConfig::default() });
+    let mut cluster = Cluster::new(ClusterConfig {
+        num_cores: env.num_cores,
+        ..ClusterConfig::default()
+    });
     run_on_existing_cluster(build, &mut cluster)
 }
 
@@ -149,9 +157,13 @@ pub fn run_on_existing_cluster(
     let res = cluster.run_until_halt(MAX_KERNEL_CYCLES)?;
     let mismatches = verify(build, |addr, len| {
         if in_l2(addr) {
-            cluster.read_l2(addr, len).map_err(|_| ulp_isa::BusError::Unmapped { addr })
+            cluster
+                .read_l2(addr, len)
+                .map_err(|_| ulp_isa::BusError::Unmapped { addr })
         } else {
-            cluster.read_tcdm(addr, len).map_err(|_| ulp_isa::BusError::Unmapped { addr })
+            cluster
+                .read_tcdm(addr, len)
+                .map_err(|_| ulp_isa::BusError::Unmapped { addr })
         }
     });
     if !mismatches.is_empty() {
@@ -179,21 +191,26 @@ pub fn run(build: &KernelBuild, env: &TargetEnv) -> Result<KernelRun, RunError> 
     }
 }
 
-fn verify<E>(
-    build: &KernelBuild,
-    read: impl Fn(u32, usize) -> Result<Vec<u8>, E>,
-) -> Vec<String> {
+fn verify<E>(build: &KernelBuild, read: impl Fn(u32, usize) -> Result<Vec<u8>, E>) -> Vec<String> {
     let mut mismatches = Vec::new();
     for (idx, expected) in &build.expected {
         let buf = &build.buffers[*idx];
-        assert_eq!(expected.len(), buf.len, "golden output length for {}", buf.name);
+        assert_eq!(
+            expected.len(),
+            buf.len,
+            "golden output length for {}",
+            buf.name
+        );
         let Ok(actual) = read(buf.addr, buf.len) else {
             mismatches.push(format!("{}: unreadable", buf.name));
             continue;
         };
         if &actual != expected {
-            let first =
-                actual.iter().zip(expected).position(|(a, b)| a != b).unwrap_or(0);
+            let first = actual
+                .iter()
+                .zip(expected)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
             mismatches.push(format!(
                 "{}: first diff at byte {first} (got {:#04x}, want {:#04x})",
                 buf.name, actual[first], expected[first]
@@ -215,8 +232,11 @@ mod tests {
     fn vec_add_build(env: &TargetEnv, n: usize) -> KernelBuild {
         let xs: Vec<i32> = (0..n as i32).collect();
         let ys: Vec<i32> = (0..n as i32).map(|v| v * 10).collect();
-        let expect: Vec<u8> =
-            xs.iter().zip(&ys).flat_map(|(x, y)| (x + y).to_le_bytes()).collect();
+        let expect: Vec<u8> = xs
+            .iter()
+            .zip(&ys)
+            .flat_map(|(x, y)| (x + y).to_le_bytes())
+            .collect();
 
         let mut l = DataLayout::new(env, 64 * 1024);
         let xa = l.input("x", xs.iter().flat_map(|v| v.to_le_bytes()).collect());
@@ -265,7 +285,10 @@ mod tests {
         ] {
             let build = vec_add_build(&env, 64);
             let run = run(&build, &env).unwrap_or_else(|e| {
-                panic!("vec_add failed on {} ({} cores): {e}", env.model.name, env.num_cores)
+                panic!(
+                    "vec_add failed on {} ({} cores): {e}",
+                    env.model.name, env.num_cores
+                )
             });
             assert!(run.cycles > 0);
         }
@@ -274,11 +297,16 @@ mod tests {
     #[test]
     fn parallel_run_is_faster_than_single() {
         let n = 512;
-        let single = run(&vec_add_build(&TargetEnv::pulp_single(), n), &TargetEnv::pulp_single())
-            .unwrap();
-        let quad =
-            run(&vec_add_build(&TargetEnv::pulp_parallel(), n), &TargetEnv::pulp_parallel())
-                .unwrap();
+        let single = run(
+            &vec_add_build(&TargetEnv::pulp_single(), n),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
+        let quad = run(
+            &vec_add_build(&TargetEnv::pulp_parallel(), n),
+            &TargetEnv::pulp_parallel(),
+        )
+        .unwrap();
         let speedup = single.cycles as f64 / quad.cycles as f64;
         assert!(
             speedup > 2.0 && speedup <= 4.0,
@@ -313,11 +341,20 @@ mod tests {
         // The whole point of the RISC-ops methodology: the featureless
         // baseline retires at least as many instructions.
         let n = 256;
-        let base =
-            run(&vec_add_build(&TargetEnv::baseline(), n), &TargetEnv::baseline()).unwrap();
-        let or10n =
-            run(&vec_add_build(&TargetEnv::pulp_single(), n), &TargetEnv::pulp_single()).unwrap();
+        let base = run(
+            &vec_add_build(&TargetEnv::baseline(), n),
+            &TargetEnv::baseline(),
+        )
+        .unwrap();
+        let or10n = run(
+            &vec_add_build(&TargetEnv::pulp_single(), n),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
         assert!(base.retired >= or10n.retired);
-        assert!(base.cycles > or10n.cycles, "hw loops + post-increment must win cycles");
+        assert!(
+            base.cycles > or10n.cycles,
+            "hw loops + post-increment must win cycles"
+        );
     }
 }

@@ -18,9 +18,9 @@
 //! operand sums and of the base matmul, with HW barriers between phases —
 //! a sequence of `#pragma omp for` regions in OpenMP terms.
 
-use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize};
+use ulp_rng::XorShiftRng;
 
 use crate::codegen::emit::{counted_loop, range_loop, spmd_kernel, static_chunk};
 use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
@@ -51,13 +51,22 @@ struct Operand {
 }
 
 fn op1(first: Blk) -> Operand {
-    Operand { first, second: None }
+    Operand {
+        first,
+        second: None,
+    }
 }
 fn add(first: Blk, second: Blk) -> Operand {
-    Operand { first, second: Some((second, false)) }
+    Operand {
+        first,
+        second: Some((second, false)),
+    }
 }
 fn sub(first: Blk, second: Blk) -> Operand {
-    Operand { first, second: Some((second, true)) }
+    Operand {
+        first,
+        second: Some((second, true)),
+    }
 }
 
 /// The seven products, phrased over `A` and `Bᵀ` blocks.
@@ -98,13 +107,21 @@ pub fn reference(a: &[i8], bt: &[i8]) -> Vec<i8> {
                 let mut va = blk(a, oa.first, i, j);
                 if let Some((s, neg)) = oa.second {
                     let v2 = blk(a, s, i, j);
-                    va = if neg { va.wrapping_sub(v2) } else { va.wrapping_add(v2) };
+                    va = if neg {
+                        va.wrapping_sub(v2)
+                    } else {
+                        va.wrapping_add(v2)
+                    };
                 }
                 sa[i * H + j] = va;
                 let mut vb = blk(bt, ob.first, i, j);
                 if let Some((s, neg)) = ob.second {
                     let v2 = blk(bt, s, i, j);
-                    vb = if neg { vb.wrapping_sub(v2) } else { vb.wrapping_add(v2) };
+                    vb = if neg {
+                        vb.wrapping_sub(v2)
+                    } else {
+                        vb.wrapping_add(v2)
+                    };
                 }
                 sb[i * H + j] = vb;
             }
@@ -130,7 +147,11 @@ pub fn reference(a: &[i8], bt: &[i8]) -> Vec<i8> {
                 let mut acc = 0i8;
                 for &(p, neg) in &combo {
                     let v = ms[p][i * H + j];
-                    acc = if neg { acc.wrapping_sub(v) } else { acc.wrapping_add(v) };
+                    acc = if neg {
+                        acc.wrapping_sub(v)
+                    } else {
+                        acc.wrapping_add(v)
+                    };
                 }
                 c[(blk_pos.0 * H + i) * N + blk_pos.1 * H + j] = acc;
             }
@@ -150,7 +171,10 @@ pub fn build(env: &TargetEnv) -> KernelBuild {
     let mut rng = XorShiftRng::seed_from_u64(0x5714_55E2);
     let a_data: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
     let bt_data: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
-    let expect: Vec<u8> = reference(&a_data, &bt_data).iter().map(|v| *v as u8).collect();
+    let expect: Vec<u8> = reference(&a_data, &bt_data)
+        .iter()
+        .map(|v| *v as u8)
+        .collect();
 
     let mut l = DataLayout::new(env, 64 * 1024);
     let a_addr = l.input("A", a_data.iter().map(|v| *v as u8).collect());
@@ -171,9 +195,7 @@ pub fn build(env: &TargetEnv) -> KernelBuild {
             // ---- phase 1: operand sums into SA / SB, rows split --------
             static_chunk(a, env, H as u32, R10, R11, R12);
             range_loop(a, R12, R10, R11, |a| {
-                for (dst, src_base_reg, operand) in
-                    [(sa_addr, R3, oa), (sb_addr, R4, ob)]
-                {
+                for (dst, src_base_reg, operand) in [(sa_addr, R3, oa), (sb_addr, R4, ob)] {
                     // src row pointers (stride N), dst row (stride H)
                     // R13 = i*N + blk_offset(first)
                     a.li(R13, N as i32);
@@ -279,7 +301,12 @@ pub fn build(env: &TargetEnv) -> KernelBuild {
                 counted_loop(a, env, 1, R6, R2, |a| {
                     a.mv(R18, R16);
                     emit_char_dot(a, env, H);
-                    a.insn(Insn::Store { rs: R17, base: R15, offset: 0, size: MemSize::Byte });
+                    a.insn(Insn::Store {
+                        rs: R17,
+                        base: R15,
+                        offset: 0,
+                        size: MemSize::Byte,
+                    });
                     a.addi(R15, R15, 1);
                 });
             });
@@ -298,7 +325,7 @@ pub fn build(env: &TargetEnv) -> KernelBuild {
                 a.add(R13, R13, R5);
                 a.li(R14, (blk_pos.0 * H * N + blk_pos.1 * H) as i32);
                 a.add(R13, R13, R14); // dst
-                // m_ptrs = M_p + i*H
+                                      // m_ptrs = M_p + i*H
                 a.li(R14, H as i32);
                 a.mul(R14, R12, R14);
                 a.li(R6, H as i32);
@@ -404,7 +431,10 @@ mod tests {
         let mut rng = XorShiftRng::seed_from_u64(99);
         let a: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
         let bt: Vec<i8> = (0..N * N).map(|_| rng.gen()).collect();
-        assert_eq!(reference(&a, &bt), crate::matmul::reference_char(&a, &bt, N));
+        assert_eq!(
+            reference(&a, &bt),
+            crate::matmul::reference_char(&a, &bt, N)
+        );
     }
 
     #[test]
@@ -435,7 +465,11 @@ mod tests {
         // the plain char matmul.
         let env = TargetEnv::baseline();
         let st = run(&build(&env), &env).unwrap();
-        let mm = run(&crate::matmul::build(crate::matmul::MatVariant::Char, &env), &env).unwrap();
+        let mm = run(
+            &crate::matmul::build(crate::matmul::MatVariant::Char, &env),
+            &env,
+        )
+        .unwrap();
         assert!(
             st.retired < mm.retired,
             "strassen {} ops must be below matmul {} ops",
@@ -458,7 +492,11 @@ mod tests {
     #[test]
     fn parallel_speedup_reasonable() {
         let single = run(&build(&TargetEnv::pulp_single()), &TargetEnv::pulp_single()).unwrap();
-        let quad = run(&build(&TargetEnv::pulp_parallel()), &TargetEnv::pulp_parallel()).unwrap();
+        let quad = run(
+            &build(&TargetEnv::pulp_parallel()),
+            &TargetEnv::pulp_parallel(),
+        )
+        .unwrap();
         let speedup = single.cycles as f64 / quad.cycles as f64;
         assert!(
             (2.5..4.0).contains(&speedup),

@@ -16,9 +16,9 @@
 //! Both variants are verified bit-exact against the Rust reference; the
 //! cycle difference is the measured overlap win.
 
-use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::Asm;
+use ulp_rng::XorShiftRng;
 
 use crate::codegen::emit::{counted_loop, spmd_kernel};
 use crate::codegen::{Buffer, BufferInit, BufferRole, DataLayout, KernelBuild, TargetEnv};
@@ -38,7 +38,10 @@ pub const DMA_MMIO: u32 = 0x1B00_0000;
 /// Bit-exact reference: `out[i] = 3·in[i] + 1` (wrapping).
 #[must_use]
 pub fn reference(input: &[i32]) -> Vec<i32> {
-    input.iter().map(|v| v.wrapping_mul(3).wrapping_add(1)).collect()
+    input
+        .iter()
+        .map(|v| v.wrapping_mul(3).wrapping_add(1))
+        .collect()
 }
 
 /// Deterministic input data.
@@ -58,10 +61,16 @@ pub fn generate_input(seed: u64) -> Vec<i32> {
 #[must_use]
 pub fn build(env: &TargetEnv, double_buffer: bool) -> KernelBuild {
     assert_eq!(env.num_cores, 1, "the streaming demo is single-core");
-    assert_eq!(env.data_base, 0x1000_0000, "the streaming demo targets the cluster");
+    assert_eq!(
+        env.data_base, 0x1000_0000,
+        "the streaming demo targets the cluster"
+    );
 
     let input = generate_input(0x57AE_AA11);
-    let expect: Vec<u8> = reference(&input).iter().flat_map(|v| v.to_le_bytes()).collect();
+    let expect: Vec<u8> = reference(&input)
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
 
     // TCDM: output + two tile buffers. Input stages in L2.
     let mut l = DataLayout::new(env, 64 * 1024);
@@ -155,7 +164,11 @@ pub fn build(env: &TargetEnv, double_buffer: bool) -> KernelBuild {
     KernelBuild {
         name: format!(
             "streaming/{}[{}]",
-            if double_buffer { "double-buffered" } else { "sequential" },
+            if double_buffer {
+                "double-buffered"
+            } else {
+                "sequential"
+            },
             env.model.name
         ),
         program,
@@ -206,11 +219,9 @@ mod tests {
 
     #[test]
     fn reference_semantics() {
-        assert_eq!(reference(&[0, 1, -1, i32::MAX]), vec![
-            1,
-            4,
-            -2,
-            i32::MAX.wrapping_mul(3).wrapping_add(1)
-        ]);
+        assert_eq!(
+            reference(&[0, 1, -1, i32::MAX]),
+            vec![1, 4, -2, i32::MAX.wrapping_mul(3).wrapping_add(1)]
+        );
     }
 }

@@ -106,9 +106,7 @@ impl Benchmark {
             Benchmark::Strassen => "Strassen algorithm for fast matrix multiplication",
             Benchmark::SvmLinear => "Support Vector Machine classifier (linear kernel)",
             Benchmark::SvmPoly => "Support Vector Machine classifier (polynomial kernel)",
-            Benchmark::SvmRbf => {
-                "Support Vector Machine classifier (radial basis function kernel)"
-            }
+            Benchmark::SvmRbf => "Support Vector Machine classifier (radial basis function kernel)",
             Benchmark::Cnn => "Convolutional Neural Network",
             Benchmark::CnnApprox => "Convolutional Neural Network (approximated)",
             Benchmark::Hog => "Histogram of Oriented Gradients feature descriptor",
@@ -238,11 +236,21 @@ mod tests {
 
     #[test]
     fn fixed_point_group_matches_paper() {
-        let fixed: Vec<_> =
-            Benchmark::ALL.iter().filter(|b| b.is_fixed_point()).map(|b| b.name()).collect();
+        let fixed: Vec<_> = Benchmark::ALL
+            .iter()
+            .filter(|b| b.is_fixed_point())
+            .map(|b| b.name())
+            .collect();
         assert_eq!(
             fixed,
-            ["matmul (fixed)", "svm (linear)", "svm (poly)", "svm (RBF)", "cnn", "cnn (approx)"]
+            [
+                "matmul (fixed)",
+                "svm (linear)",
+                "svm (poly)",
+                "svm (RBF)",
+                "cnn",
+                "cnn (approx)"
+            ]
         );
     }
 

@@ -24,9 +24,9 @@
 //! OR10N's advantage comes from hardware loops only, which is why the
 //! paper's svm bars sit in the low architectural-speedup group.
 
-use ulp_rng::XorShiftRng;
 use ulp_isa::reg::named::*;
 use ulp_isa::{Asm, Insn, MemSize};
+use ulp_rng::XorShiftRng;
 
 use crate::codegen::emit::{counted_loop, range_loop, spmd_kernel, static_chunk};
 use crate::codegen::{DataLayout, KernelBuild, TargetEnv};
@@ -88,8 +88,12 @@ pub struct SvmData {
 pub fn generate_data(seed: u64) -> SvmData {
     let mut rng = XorShiftRng::seed_from_u64(seed);
     SvmData {
-        x: (0..SAMPLES * FEATURES).map(|_| rng.gen_range(-8192..8192)).collect(),
-        sv: (0..NSV * FEATURES).map(|_| rng.gen_range(-8192..8192)).collect(),
+        x: (0..SAMPLES * FEATURES)
+            .map(|_| rng.gen_range(-8192..8192))
+            .collect(),
+        sv: (0..NSV * FEATURES)
+            .map(|_| rng.gen_range(-8192..8192))
+            .collect(),
         alpha: (0..NSV).map(|_| rng.gen_range(-4096..4096)).collect(),
     }
 }
@@ -177,10 +181,16 @@ pub fn build(kind: SvmKernel, env: &TargetEnv) -> KernelBuild {
     let mut l = DataLayout::new(env, 64 * 1024);
     let x_addr = l.input("X", data.x.iter().flat_map(|v| v.to_le_bytes()).collect());
     let sv_addr = l.input("SV", data.sv.iter().flat_map(|v| v.to_le_bytes()).collect());
-    let alpha_addr = l.input("alpha", data.alpha.iter().flat_map(|v| v.to_le_bytes()).collect());
+    let alpha_addr = l.input(
+        "alpha",
+        data.alpha.iter().flat_map(|v| v.to_le_bytes()).collect(),
+    );
     let out_addr = l.output("out", SAMPLES * 8);
     let lut_addr = if kind == SvmKernel::Rbf {
-        l.constant("exp_lut", exp_lut.iter().flat_map(|v| v.to_le_bytes()).collect())
+        l.constant(
+            "exp_lut",
+            exp_lut.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        )
     } else {
         0
     };
@@ -206,7 +216,7 @@ pub fn build(kind: SvmKernel, env: &TargetEnv) -> KernelBuild {
             a.li(R6, NSV as i32);
             counted_loop(a, env, 1, R6, R2, |a| {
                 a.mv(R18, R16); // x_ptr
-                // ---- inner feature loop: dot or distance² --------------
+                                // ---- inner feature loop: dot or distance² --------------
                 a.li(R17, 0);
                 let rbf = kind == SvmKernel::Rbf;
                 a.li(R7, (FEATURES / 2) as i32);
@@ -331,7 +341,12 @@ pub fn build(kind: SvmKernel, env: &TargetEnv) -> KernelBuild {
     });
     let program = asm.finish().expect("svm generator emits valid code");
 
-    let mut args = vec![(R3, x_addr), (R4, sv_addr), (R5, alpha_addr), (R8, out_addr)];
+    let mut args = vec![
+        (R3, x_addr),
+        (R4, sv_addr),
+        (R5, alpha_addr),
+        (R8, out_addr),
+    ];
     if kind == SvmKernel::Rbf {
         args.push((R9, lut_addr));
     }
@@ -398,7 +413,10 @@ mod tests {
         let lin = run(&build(SvmKernel::Linear, &env), &env).unwrap().retired;
         let poly = run(&build(SvmKernel::Poly, &env), &env).unwrap().retired;
         let rbf = run(&build(SvmKernel::Rbf, &env), &env).unwrap().retired;
-        assert!(lin < poly && poly < rbf, "ordering {lin} < {poly} < {rbf} violated");
+        assert!(
+            lin < poly && poly < rbf,
+            "ordering {lin} < {poly} < {rbf} violated"
+        );
         // Within a factor-2 band of the paper's absolute counts.
         for (ops, anchor) in [(lin, 650_000.0), (poly, 684_000.0), (rbf, 781_000.0)] {
             let ratio = ops as f64 / anchor;
@@ -418,7 +436,12 @@ mod tests {
             data.x[FEATURES + k] = data.sv[k].wrapping_add(8000);
         }
         let lut = exp_neg_lut_q13(EXP_LUT_N, EXP_LUT_RANGE);
-        let near = kernel_value(SvmKernel::Rbf, &data.x[0..FEATURES], &data.sv[0..FEATURES], &lut);
+        let near = kernel_value(
+            SvmKernel::Rbf,
+            &data.x[0..FEATURES],
+            &data.sv[0..FEATURES],
+            &lut,
+        );
         let far = kernel_value(
             SvmKernel::Rbf,
             &data.x[FEATURES..2 * FEATURES],
@@ -432,22 +455,35 @@ mod tests {
     #[test]
     fn fixed_point_arch_speedup_band() {
         // svm belongs to the paper's low (fixed-point) speedup group.
-        let m4 = run(&build(SvmKernel::Linear, &TargetEnv::host_m4()), &TargetEnv::host_m4())
-            .unwrap();
-        let or10n =
-            run(&build(SvmKernel::Linear, &TargetEnv::pulp_single()), &TargetEnv::pulp_single())
-                .unwrap();
+        let m4 = run(
+            &build(SvmKernel::Linear, &TargetEnv::host_m4()),
+            &TargetEnv::host_m4(),
+        )
+        .unwrap();
+        let or10n = run(
+            &build(SvmKernel::Linear, &TargetEnv::pulp_single()),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
         let s = m4.cycles as f64 / or10n.cycles as f64;
-        assert!((0.9..2.2).contains(&s), "svm arch speedup {s:.2} outside fixed-point band");
+        assert!(
+            (0.9..2.2).contains(&s),
+            "svm arch speedup {s:.2} outside fixed-point band"
+        );
     }
 
     #[test]
     fn parallel_speedup_band() {
-        let single = run(&build(SvmKernel::Rbf, &TargetEnv::pulp_single()), &TargetEnv::pulp_single())
-            .unwrap();
-        let quad =
-            run(&build(SvmKernel::Rbf, &TargetEnv::pulp_parallel()), &TargetEnv::pulp_parallel())
-                .unwrap();
+        let single = run(
+            &build(SvmKernel::Rbf, &TargetEnv::pulp_single()),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
+        let quad = run(
+            &build(SvmKernel::Rbf, &TargetEnv::pulp_parallel()),
+            &TargetEnv::pulp_parallel(),
+        )
+        .unwrap();
         let s = single.cycles as f64 / quad.cycles as f64;
         assert!((3.0..4.0).contains(&s), "svm 4-core speedup {s:.2}");
     }

@@ -28,13 +28,21 @@ fn fig4_shape_holds_at_full_size() {
     // and hog sits below 1.
     let arch = |b: Benchmark| {
         let m4 = run(&b.build(&TargetEnv::host_m4()), &TargetEnv::host_m4()).unwrap();
-        let or = run(&b.build(&TargetEnv::pulp_single()), &TargetEnv::pulp_single()).unwrap();
+        let or = run(
+            &b.build(&TargetEnv::pulp_single()),
+            &TargetEnv::pulp_single(),
+        )
+        .unwrap();
         m4.cycles as f64 / or.cycles as f64
     };
-    let integer_min = [Benchmark::MatMul, Benchmark::MatMulShort, Benchmark::Strassen]
-        .map(arch)
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let integer_min = [
+        Benchmark::MatMul,
+        Benchmark::MatMulShort,
+        Benchmark::Strassen,
+    ]
+    .map(arch)
+    .into_iter()
+    .fold(f64::INFINITY, f64::min);
     let fixed_max = [Benchmark::MatMulFixed, Benchmark::SvmLinear, Benchmark::Cnn]
         .map(arch)
         .into_iter()

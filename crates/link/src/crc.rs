@@ -37,7 +37,11 @@ pub fn crc16(bytes: &[u8]) -> u16 {
 pub fn crc16_step(mut crc: u16, byte: u8) -> u16 {
     crc ^= u16::from(byte) << 8;
     for _ in 0..8 {
-        crc = if crc & 0x8000 != 0 { (crc << 1) ^ CRC16_POLY } else { crc << 1 };
+        crc = if crc & 0x8000 != 0 {
+            (crc << 1) ^ CRC16_POLY
+        } else {
+            crc << 1
+        };
     }
     crc
 }

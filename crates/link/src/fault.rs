@@ -152,7 +152,11 @@ impl FaultInjector {
     /// Creates an injector for the given fault model.
     #[must_use]
     pub fn new(cfg: FaultConfig) -> Self {
-        FaultInjector { cfg, rng: XorShiftRng::seed_from_u64(cfg.seed), stats: FaultStats::default() }
+        FaultInjector {
+            cfg,
+            rng: XorShiftRng::seed_from_u64(cfg.seed),
+            stats: FaultStats::default(),
+        }
     }
 
     /// The fault model.
@@ -312,14 +316,20 @@ mod tests {
     use crate::Frame;
 
     fn cfg(seed: u64) -> FaultConfig {
-        FaultConfig { seed, ..FaultConfig::default() }
+        FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        }
     }
 
     #[test]
     fn default_config_is_inactive_and_transparent() {
         assert!(!FaultConfig::default().is_active());
         let mut inj = FaultInjector::new(FaultConfig::default());
-        let frame = Frame::Write { addr: 0, data: vec![7; 64] };
+        let frame = Frame::Write {
+            addr: 0,
+            data: vec![7; 64],
+        };
         let mut wire = frame.to_wire();
         let orig = wire.clone();
         assert_eq!(inj.transmit(&mut wire), TxOutcome::Delivered);
@@ -349,7 +359,10 @@ mod tests {
 
     #[test]
     fn reset_replays_from_the_seed() {
-        let c = FaultConfig { bit_error_rate: 1e-2, ..cfg(9) };
+        let c = FaultConfig {
+            bit_error_rate: 1e-2,
+            ..cfg(9)
+        };
         let mut inj = FaultInjector::new(c);
         let first: Vec<TxOutcome> = (0..64).map(|_| inj.assess(128)).collect();
         inj.reset();
@@ -359,7 +372,10 @@ mod tests {
 
     #[test]
     fn bit_error_rate_tracks_expectation() {
-        let c = FaultConfig { bit_error_rate: 1e-3, ..cfg(3) };
+        let c = FaultConfig {
+            bit_error_rate: 1e-3,
+            ..cfg(3)
+        };
         let mut inj = FaultInjector::new(c);
         let frames = 2000usize;
         let bytes = 128usize;
@@ -373,9 +389,15 @@ mod tests {
 
     #[test]
     fn corruption_is_detected_by_the_frame_parser() {
-        let c = FaultConfig { bit_error_rate: 5e-3, ..cfg(77) };
+        let c = FaultConfig {
+            bit_error_rate: 5e-3,
+            ..cfg(77)
+        };
         let mut inj = FaultInjector::new(c);
-        let frame = Frame::Write { addr: 0x20, data: vec![0x5A; 256] };
+        let frame = Frame::Write {
+            addr: 0x20,
+            data: vec![0x5A; 256],
+        };
         let mut corrupted = 0;
         for _ in 0..200 {
             let mut wire = frame.to_wire();
@@ -398,7 +420,11 @@ mod tests {
     fn dropped_and_truncated_frames_counted() {
         // Every non-dropped frame is truncated: the two counters partition
         // the total.
-        let c = FaultConfig { drop_rate: 0.5, truncate_rate: 1.0, ..cfg(11) };
+        let c = FaultConfig {
+            drop_rate: 0.5,
+            truncate_rate: 1.0,
+            ..cfg(11)
+        };
         let mut inj = FaultInjector::new(c);
         for _ in 0..100 {
             let mut wire = Frame::Ack { seq: 1 }.to_wire();
@@ -412,7 +438,10 @@ mod tests {
 
     #[test]
     fn stuck_wires_always_hang() {
-        let mut inj = FaultInjector::new(FaultConfig { stuck_eoc: true, ..cfg(0) });
+        let mut inj = FaultInjector::new(FaultConfig {
+            stuck_eoc: true,
+            ..cfg(0)
+        });
         for _ in 0..10 {
             assert_eq!(inj.eoc(), EocOutcome::Hang);
         }
@@ -420,14 +449,21 @@ mod tests {
         assert!(inj.wire_stuck(GpioEvent::EndOfComputation));
         assert!(!inj.wire_stuck(GpioEvent::FetchEnable));
 
-        let mut inj = FaultInjector::new(FaultConfig { stuck_fetch_enable: true, ..cfg(0) });
+        let mut inj = FaultInjector::new(FaultConfig {
+            stuck_fetch_enable: true,
+            ..cfg(0)
+        });
         assert_eq!(inj.eoc(), EocOutcome::Hang);
         assert!(inj.wire_stuck(GpioEvent::FetchEnable));
     }
 
     #[test]
     fn late_eoc_reports_the_configured_delay() {
-        let c = FaultConfig { late_eoc_rate: 1.0, late_eoc_cycles: 4096, ..cfg(5) };
+        let c = FaultConfig {
+            late_eoc_rate: 1.0,
+            late_eoc_cycles: 4096,
+            ..cfg(5)
+        };
         let mut inj = FaultInjector::new(c);
         assert_eq!(inj.eoc(), EocOutcome::Late(4096));
         assert_eq!(inj.stats().late_eocs, 1);

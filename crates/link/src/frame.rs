@@ -111,7 +111,10 @@ impl fmt::Display for FrameError {
             FrameError::Truncated => f.write_str("frame truncated"),
             FrameError::BadCommand(c) => write!(f, "unknown command nibble {c:#03x}"),
             FrameError::BadLength { expected, actual } => {
-                write!(f, "length mismatch: header says {expected}, buffer has {actual}")
+                write!(
+                    f,
+                    "length mismatch: header says {expected}, buffer has {actual}"
+                )
             }
             FrameError::BadChecksum => f.write_str("CRC-16 mismatch"),
         }
@@ -144,11 +147,17 @@ impl Frame {
     pub fn to_wire_seq(&self, seq: u8) -> Vec<u8> {
         let (cmd, addr, len, payload): (u8, u32, usize, &[u8]) = match self {
             Frame::Write { addr, data } => {
-                assert!(data.len() <= MAX_PAYLOAD, "Write payload exceeds 24-bit length field");
+                assert!(
+                    data.len() <= MAX_PAYLOAD,
+                    "Write payload exceeds 24-bit length field"
+                );
                 (CMD_WRITE, *addr, data.len(), data)
             }
             Frame::Read { addr, len } => {
-                assert!((*len as usize) <= MAX_PAYLOAD, "Read length exceeds 24-bit length field");
+                assert!(
+                    (*len as usize) <= MAX_PAYLOAD,
+                    "Read length exceeds 24-bit length field"
+                );
                 (CMD_READ, *addr, *len as usize, &[])
             }
             Frame::SetEntry { entry } => (CMD_SET_ENTRY, *entry, 0, &[]),
@@ -196,19 +205,38 @@ impl Frame {
         match cmd {
             CMD_WRITE => {
                 if payload.len() != len {
-                    return Err(FrameError::BadLength { expected: len, actual: payload.len() });
+                    return Err(FrameError::BadLength {
+                        expected: len,
+                        actual: payload.len(),
+                    });
                 }
-                Ok((seq, Frame::Write { addr, data: payload.to_vec() }))
+                Ok((
+                    seq,
+                    Frame::Write {
+                        addr,
+                        data: payload.to_vec(),
+                    },
+                ))
             }
             CMD_READ | CMD_SET_ENTRY | CMD_ACK | CMD_NACK => {
                 if !payload.is_empty() {
-                    return Err(FrameError::BadLength { expected: 0, actual: payload.len() });
+                    return Err(FrameError::BadLength {
+                        expected: 0,
+                        actual: payload.len(),
+                    });
                 }
                 let frame = match cmd {
-                    CMD_READ => Frame::Read { addr, len: len as u32 },
+                    CMD_READ => Frame::Read {
+                        addr,
+                        len: len as u32,
+                    },
                     CMD_SET_ENTRY => Frame::SetEntry { entry: addr },
-                    CMD_ACK => Frame::Ack { seq: (addr & 0x0F) as u8 },
-                    _ => Frame::Nack { seq: (addr & 0x0F) as u8 },
+                    CMD_ACK => Frame::Ack {
+                        seq: (addr & 0x0F) as u8,
+                    },
+                    _ => Frame::Nack {
+                        seq: (addr & 0x0F) as u8,
+                    },
                 };
                 Ok((seq, frame))
             }
@@ -232,7 +260,10 @@ mod tests {
 
     #[test]
     fn frame_roundtrip_write() {
-        let f = Frame::Write { addr: 0x1000_0000, data: vec![1, 2, 3, 4, 5] };
+        let f = Frame::Write {
+            addr: 0x1000_0000,
+            data: vec![1, 2, 3, 4, 5],
+        };
         let wire = f.to_wire();
         assert_eq!(wire.len(), f.wire_bytes());
         assert_eq!(Frame::from_wire(&wire).unwrap(), f);
@@ -241,7 +272,10 @@ mod tests {
     #[test]
     fn frame_roundtrip_all_commands() {
         for f in [
-            Frame::Read { addr: 0x1C00_0000, len: 4096 },
+            Frame::Read {
+                addr: 0x1C00_0000,
+                len: 4096,
+            },
             Frame::SetEntry { entry: 0x1C00_0100 },
             Frame::Ack { seq: 7 },
             Frame::Nack { seq: 15 },
@@ -254,7 +288,10 @@ mod tests {
 
     #[test]
     fn sequence_number_survives_the_roundtrip() {
-        let f = Frame::Write { addr: 0x10, data: vec![0xAB; 8] };
+        let f = Frame::Write {
+            addr: 0x10,
+            data: vec![0xAB; 8],
+        };
         for seq in 0..16u8 {
             let wire = f.to_wire_seq(seq);
             let (got, frame) = Frame::from_wire_seq(&wire).unwrap();
@@ -269,16 +306,31 @@ mod tests {
     fn overhead_is_ten_bytes_like_the_legacy_format() {
         assert_eq!(FRAME_OVERHEAD, 10);
         assert_eq!(Frame::Read { addr: 0, len: 1 }.to_wire().len(), 10);
-        assert_eq!(Frame::Write { addr: 0, data: vec![0; 5] }.to_wire().len(), 15);
+        assert_eq!(
+            Frame::Write {
+                addr: 0,
+                data: vec![0; 5]
+            }
+            .to_wire()
+            .len(),
+            15
+        );
     }
 
     #[test]
     fn corrupted_frame_detected() {
-        let f = Frame::Write { addr: 0x10, data: vec![9; 16] };
+        let f = Frame::Write {
+            addr: 0x10,
+            data: vec![9; 16],
+        };
         for byte in 0..f.wire_bytes() {
             let mut wire = f.to_wire();
             wire[byte] ^= 0x40;
-            assert_eq!(Frame::from_wire(&wire), Err(FrameError::BadChecksum), "byte {byte}");
+            assert_eq!(
+                Frame::from_wire(&wire),
+                Err(FrameError::BadChecksum),
+                "byte {byte}"
+            );
         }
     }
 
@@ -295,14 +347,23 @@ mod tests {
 
     #[test]
     fn length_field_lies_detected() {
-        let f = Frame::Write { addr: 0, data: vec![1, 2, 3] };
+        let f = Frame::Write {
+            addr: 0,
+            data: vec![1, 2, 3],
+        };
         let mut wire = f.to_wire();
         // Claim 4 bytes but carry 3, with a recomputed (valid) CRC.
         wire[5] = 4;
         let body_end = wire.len() - 2;
         let crc = crc16(&wire[..body_end]);
         wire[body_end..].copy_from_slice(&crc.to_be_bytes());
-        assert_eq!(Frame::from_wire(&wire), Err(FrameError::BadLength { expected: 4, actual: 3 }));
+        assert_eq!(
+            Frame::from_wire(&wire),
+            Err(FrameError::BadLength {
+                expected: 4,
+                actual: 3
+            })
+        );
     }
 
     #[test]
@@ -314,14 +375,16 @@ mod tests {
         wire.extend_from_slice(&crc.to_be_bytes());
         assert_eq!(
             Frame::from_wire(&wire),
-            Err(FrameError::BadLength { expected: 0, actual: 1 })
+            Err(FrameError::BadLength {
+                expected: 0,
+                actual: 1
+            })
         );
     }
 
     #[test]
     fn errors_display_and_compose() {
-        let err: Box<dyn std::error::Error> =
-            Box::new(Frame::from_wire(&[0u8; 3]).unwrap_err());
+        let err: Box<dyn std::error::Error> = Box::new(Frame::from_wire(&[0u8; 3]).unwrap_err());
         assert_eq!(err.to_string(), "frame truncated");
         fn parse(bytes: &[u8]) -> Result<Frame, Box<dyn std::error::Error>> {
             Ok(Frame::from_wire(bytes)?)

@@ -160,7 +160,12 @@ impl SpiLink {
     /// seconds.
     pub fn send(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
         let t = self.transfer_seconds(bytes, mcu_hz);
-        self.emit_frame(EventKind::FrameTx { bytes: bytes as u32 }, t);
+        self.emit_frame(
+            EventKind::FrameTx {
+                bytes: bytes as u32,
+            },
+            t,
+        );
         self.stats.bytes_tx += bytes as u64;
         self.stats.transactions += 1;
         self.stats.busy_seconds += t;
@@ -172,7 +177,12 @@ impl SpiLink {
     /// seconds.
     pub fn receive(&mut self, bytes: usize, mcu_hz: f64) -> f64 {
         let t = self.transfer_seconds(bytes, mcu_hz);
-        self.emit_frame(EventKind::FrameRx { bytes: bytes as u32 }, t);
+        self.emit_frame(
+            EventKind::FrameRx {
+                bytes: bytes as u32,
+            },
+            t,
+        );
         self.stats.bytes_rx += bytes as u64;
         self.stats.transactions += 1;
         self.stats.busy_seconds += t;

@@ -64,7 +64,11 @@ impl WindowReceiver {
     /// A receiver for the given window (clamped to `1..=`[`MAX_WINDOW`]).
     #[must_use]
     pub fn new(window: usize) -> Self {
-        WindowReceiver { window: window.clamp(1, MAX_WINDOW), base: 0, pending: BTreeMap::new() }
+        WindowReceiver {
+            window: window.clamp(1, MAX_WINDOW),
+            base: 0,
+            pending: BTreeMap::new(),
+        }
     }
 
     /// Absolute index of the next in-order frame the receiver expects.
@@ -150,7 +154,11 @@ pub struct WindowExhausted {
 
 impl std::fmt::Display for WindowExhausted {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "frame {} undelivered after {} attempts", self.frame, self.attempts)
+        write!(
+            f,
+            "frame {} undelivered after {} attempts",
+            self.frame, self.attempts
+        )
     }
 }
 
@@ -172,7 +180,11 @@ impl SlidingWindow {
     #[must_use]
     pub fn new(window: usize) -> Self {
         let window = window.clamp(1, MAX_WINDOW);
-        SlidingWindow { window, next_abs: 0, receiver: WindowReceiver::new(window) }
+        SlidingWindow {
+            window,
+            next_abs: 0,
+            receiver: WindowReceiver::new(window),
+        }
     }
 
     /// The clamped window size.
@@ -198,7 +210,10 @@ impl SlidingWindow {
         injector: &mut FaultInjector,
         max_attempts: u32,
     ) -> Result<(Vec<Frame>, WindowStats), WindowExhausted> {
-        let mut stats = WindowStats { frames: frames.len() as u64, ..WindowStats::default() };
+        let mut stats = WindowStats {
+            frames: frames.len() as u64,
+            ..WindowStats::default()
+        };
         let mut delivered = Vec::with_capacity(frames.len());
         let mut acked = vec![false; frames.len()];
         let mut attempts = vec![0u32; frames.len()];
@@ -212,7 +227,10 @@ impl SlidingWindow {
                     continue;
                 }
                 if attempts[i] >= max_attempts {
-                    return Err(WindowExhausted { frame: i, attempts: attempts[i] });
+                    return Err(WindowExhausted {
+                        frame: i,
+                        attempts: attempts[i],
+                    });
                 }
                 attempts[i] += 1;
                 stats.transmissions += 1;
@@ -319,7 +337,10 @@ mod tests {
     fn receiver_discards_duplicates_and_rejects_garbage() {
         let frames = payload_frames(3);
         let mut rx = WindowReceiver::new(4);
-        assert!(matches!(rx.accept(&frames[0].to_wire_seq(0)), RxAction::Deliver(_)));
+        assert!(matches!(
+            rx.accept(&frames[0].to_wire_seq(0)),
+            RxAction::Deliver(_)
+        ));
         // The same frame again: its ACK was lost, the sender retried.
         assert_eq!(rx.accept(&frames[0].to_wire_seq(0)), RxAction::Duplicate);
         // A buffered out-of-order frame retried is also a duplicate.
@@ -336,7 +357,10 @@ mod tests {
     fn exhausted_retries_surface_as_an_error() {
         let frames = payload_frames(3);
         let mut win = SlidingWindow::new(2);
-        let mut inj = FaultInjector::new(FaultConfig { drop_rate: 1.0, ..FaultConfig::default() });
+        let mut inj = FaultInjector::new(FaultConfig {
+            drop_rate: 1.0,
+            ..FaultConfig::default()
+        });
         let err = win.deliver(&frames, &mut inj, 3).unwrap_err();
         assert_eq!(err.frame, 0);
         assert_eq!(err.attempts, 3);

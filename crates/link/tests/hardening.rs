@@ -18,11 +18,21 @@ use ulp_rng::XorShiftRng;
 fn sample_frames(rng: &mut XorShiftRng) -> Vec<Frame> {
     let payload = byte_vec(rng, 0..=511);
     vec![
-        Frame::Write { addr: rng.gen(), data: payload },
-        Frame::Read { addr: rng.gen(), len: rng.gen_range(0u32..0x00FF_FFFF) },
+        Frame::Write {
+            addr: rng.gen(),
+            data: payload,
+        },
+        Frame::Read {
+            addr: rng.gen(),
+            len: rng.gen_range(0u32..0x00FF_FFFF),
+        },
         Frame::SetEntry { entry: rng.gen() },
-        Frame::Ack { seq: rng.gen_range(0u8..16) },
-        Frame::Nack { seq: rng.gen_range(0u8..16) },
+        Frame::Ack {
+            seq: rng.gen_range(0u8..16),
+        },
+        Frame::Nack {
+            seq: rng.gen_range(0u8..16),
+        },
     ]
 }
 
@@ -111,7 +121,10 @@ fn length_field_lies_never_over_allocate() {
                 assert_eq!(claimed, actual);
                 assert_eq!(data.len(), actual);
             }
-            Err(FrameError::BadLength { expected, actual: got }) => {
+            Err(FrameError::BadLength {
+                expected,
+                actual: got,
+            }) => {
                 assert_eq!(expected, claimed);
                 assert_eq!(got, actual);
             }
@@ -142,7 +155,10 @@ fn roundtrip_survives_the_mutation_campaign_when_unmutated() {
 /// engine pushes through the window.
 fn window_batch(rng: &mut XorShiftRng, n: usize) -> Vec<Frame> {
     (0..n)
-        .map(|i| Frame::Write { addr: 0x1000_0000 + (i as u32) * 0x200, data: byte_vec(rng, 1..=256) })
+        .map(|i| Frame::Write {
+            addr: 0x1000_0000 + (i as u32) * 0x200,
+            data: byte_vec(rng, 1..=256),
+        })
         .collect()
 }
 
@@ -157,14 +173,21 @@ fn window_batch(rng: &mut XorShiftRng, n: usize) -> Vec<Frame> {
 ///   did to the wire, and every corrupted frame either drew a reject or
 ///   slipped through as `delivered_corrupt`.
 fn assert_exact_accounting(stats: &WindowStats, inj: &FaultInjector, ctx: &str) {
-    assert_eq!(stats.transmissions, stats.frames + stats.retransmissions, "{ctx}: {stats:?}");
+    assert_eq!(
+        stats.transmissions,
+        stats.frames + stats.retransmissions,
+        "{ctx}: {stats:?}"
+    );
     assert_eq!(
         stats.retransmissions,
         stats.dropped + stats.truncated + stats.rejected,
         "{ctx}: {stats:?}"
     );
     let f = inj.stats();
-    assert_eq!(stats.transmissions, f.frames, "{ctx}: injector saw a different frame count");
+    assert_eq!(
+        stats.transmissions, f.frames,
+        "{ctx}: injector saw a different frame count"
+    );
     assert_eq!(stats.dropped, f.frames_dropped, "{ctx}");
     assert_eq!(stats.truncated, f.frames_truncated, "{ctx}");
     assert_eq!(
@@ -195,18 +218,25 @@ fn sliding_window_converges_under_mixed_faults_with_exact_accounting() {
             let mut win = SlidingWindow::new(window);
             let mut inj = FaultInjector::new(faulty(seed));
             let ctx = format!("window {window}, seed {seed:#x}");
-            let (got, stats) =
-                win.deliver(&frames, &mut inj, 64).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            let (got, stats) = win
+                .deliver(&frames, &mut inj, 64)
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
             assert_eq!(got.len(), frames.len(), "{ctx}: frame count");
             if stats.delivered_corrupt == 0 {
-                assert_eq!(got, frames, "{ctx}: delivery must be bit-identical and in order");
+                assert_eq!(
+                    got, frames,
+                    "{ctx}: delivery must be bit-identical and in order"
+                );
             }
             assert!(stats.max_in_flight <= window, "{ctx}: {stats:?}");
             assert_exact_accounting(&stats, &inj, &ctx);
             total_retries += stats.retransmissions;
         }
     }
-    assert!(total_retries > 50, "the campaign barely faulted ({total_retries} retries)");
+    assert!(
+        total_retries > 50,
+        "the campaign barely faulted ({total_retries} retries)"
+    );
 }
 
 /// A window of one degenerates to stop-and-wait: never more than one
@@ -247,7 +277,10 @@ fn bit_errors_mid_window_draw_rejects_and_converge() {
     let (got, stats) = win.deliver(&frames, &mut inj, 64).unwrap();
     assert_eq!(stats.dropped, 0);
     assert_eq!(stats.truncated, 0);
-    assert!(stats.rejected > 0, "no corruption at this error rate: {stats:?}");
+    assert!(
+        stats.rejected > 0,
+        "no corruption at this error rate: {stats:?}"
+    );
     assert_eq!(stats.retransmissions, stats.rejected);
     if stats.delivered_corrupt == 0 {
         assert_eq!(got, frames);

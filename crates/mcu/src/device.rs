@@ -122,7 +122,9 @@ pub mod datasheet {
             vdd: 3.0,
             sleep_a: 6.5e-6,
             cycle_factor: 1.0,
-            sweep_hz: &[80.0e6, 48.0e6, 32.0e6, 26.0e6, 16.0e6, 8.0e6, 4.0e6, 2.0e6, 1.0e6],
+            sweep_hz: &[
+                80.0e6, 48.0e6, 32.0e6, 26.0e6, 16.0e6, 8.0e6, 4.0e6, 2.0e6, 1.0e6,
+            ],
         }
     }
 
@@ -243,7 +245,11 @@ mod tests {
         // The Fig. 5 baseline: "clocking the STM32-L476 MCU at 32 MHz …
         // there is no additional room for acceleration" in a 10 mW budget.
         let p = datasheet::stm32l476().run_power_w(32.0e6);
-        assert!((8.0e-3..11.0e-3).contains(&p), "L476@32MHz draws {:.2} mW", p * 1e3);
+        assert!(
+            (8.0e-3..11.0e-3).contains(&p),
+            "L476@32MHz draws {:.2} mW",
+            p * 1e3
+        );
     }
 
     #[test]
@@ -277,7 +283,11 @@ mod tests {
     #[test]
     fn sleep_far_below_run() {
         for d in datasheet::all() {
-            assert!(d.sleep_power_w() < d.run_power_w(d.fmax_hz) / 20.0, "{}", d.name);
+            assert!(
+                d.sleep_power_w() < d.run_power_w(d.fmax_hz) / 20.0,
+                "{}",
+                d.name
+            );
         }
     }
 

@@ -229,7 +229,8 @@ mod tests {
     fn runs_kernel_over_sram_data() {
         let mut mcu = Mcu::new(datasheet::stm32l476(), 32.0e6);
         for i in 0..8u32 {
-            mcu.write_mem(MCU_DATA_BASE + 4 * i, &(i + 1).to_le_bytes()).unwrap();
+            mcu.write_mem(MCU_DATA_BASE + 4 * i, &(i + 1).to_le_bytes())
+                .unwrap();
         }
         let run = mcu.run_program(&sum_prog(), &[]).unwrap();
         assert_eq!(mcu.reg(R3), 36);
@@ -273,8 +274,10 @@ mod tests {
         let mut msp = Mcu::new(datasheet::msp430(), 16.0e6);
         let mut efm = Mcu::new(datasheet::efm32(), 16.0e6);
         for i in 0..8u32 {
-            msp.write_mem(MCU_DATA_BASE + 4 * i, &1u32.to_le_bytes()).unwrap();
-            efm.write_mem(MCU_DATA_BASE + 4 * i, &1u32.to_le_bytes()).unwrap();
+            msp.write_mem(MCU_DATA_BASE + 4 * i, &1u32.to_le_bytes())
+                .unwrap();
+            efm.write_mem(MCU_DATA_BASE + 4 * i, &1u32.to_le_bytes())
+                .unwrap();
         }
         let rm = msp.run_program(&prog, &[]).unwrap();
         let re = efm.run_program(&prog, &[]).unwrap();

@@ -56,11 +56,18 @@ impl WfeWait {
 #[must_use]
 pub fn wfe_wait(event_at_cycles: Option<u64>, watchdog_cycles: Option<u64>) -> WfeWait {
     match (event_at_cycles, watchdog_cycles) {
-        (Some(ev), Some(wd)) if ev <= wd => WfeWait { slept_cycles: ev, woke_by: WakeReason::Event },
-        (Some(_), Some(wd)) | (None, Some(wd)) => {
-            WfeWait { slept_cycles: wd, woke_by: WakeReason::Watchdog }
-        }
-        (Some(ev), None) => WfeWait { slept_cycles: ev, woke_by: WakeReason::Event },
+        (Some(ev), Some(wd)) if ev <= wd => WfeWait {
+            slept_cycles: ev,
+            woke_by: WakeReason::Event,
+        },
+        (Some(_), Some(wd)) | (None, Some(wd)) => WfeWait {
+            slept_cycles: wd,
+            woke_by: WakeReason::Watchdog,
+        },
+        (Some(ev), None) => WfeWait {
+            slept_cycles: ev,
+            woke_by: WakeReason::Event,
+        },
         (None, None) => panic!("WFE with no event and no watchdog sleeps forever"),
     }
 }
@@ -85,7 +92,12 @@ pub fn wfe_wait_traced(
     let wait = wfe_wait(event_at_cycles, watchdog_cycles);
     if tracer.is_enabled() {
         let slept_ns = (wait.slept_seconds(mcu_hz) * 1e9) as u64;
-        tracer.emit(ulp_trace::Component::Host, ulp_trace::EventKind::WfeSleep, at_ns, slept_ns);
+        tracer.emit(
+            ulp_trace::Component::Host,
+            ulp_trace::EventKind::WfeSleep,
+            at_ns,
+            slept_ns,
+        );
         if wait.woke_by == WakeReason::Watchdog {
             tracer.emit(
                 ulp_trace::Component::Host,
@@ -105,13 +117,25 @@ mod tests {
     #[test]
     fn event_wins_when_it_arrives_first() {
         let w = wfe_wait(Some(1000), Some(5000));
-        assert_eq!(w, WfeWait { slept_cycles: 1000, woke_by: WakeReason::Event });
+        assert_eq!(
+            w,
+            WfeWait {
+                slept_cycles: 1000,
+                woke_by: WakeReason::Event
+            }
+        );
     }
 
     #[test]
     fn watchdog_wins_on_a_late_event() {
         let w = wfe_wait(Some(9000), Some(5000));
-        assert_eq!(w, WfeWait { slept_cycles: 5000, woke_by: WakeReason::Watchdog });
+        assert_eq!(
+            w,
+            WfeWait {
+                slept_cycles: 5000,
+                woke_by: WakeReason::Watchdog
+            }
+        );
     }
 
     #[test]

@@ -106,9 +106,8 @@ where
                     if i >= items.len() || panicked.load(Ordering::Relaxed) {
                         break;
                     }
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        f(i, &items[i])
-                    }));
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, &items[i])));
                     match result {
                         Ok(v) => produced.push((i, v)),
                         Err(payload) => {
@@ -132,7 +131,10 @@ where
         }
     });
 
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ pub fn lagrange(xs: &[f64], ys: &[f64], x: f64) -> f64 {
 pub fn log_linear(xs: &[f64], ys: &[f64], x: f64) -> f64 {
     assert_eq!(xs.len(), ys.len(), "anchor vectors must match");
     assert!(!xs.is_empty(), "need at least one anchor");
-    assert!(ys.iter().all(|&y| y > 0.0), "log interpolation needs positive values");
+    assert!(
+        ys.iter().all(|&y| y > 0.0),
+        "log interpolation needs positive values"
+    );
     if x <= xs[0] {
         return ys[0];
     }
@@ -81,7 +84,10 @@ mod tests {
         let mut v = 0.505;
         while v <= 1.0 {
             let cur = lagrange(&xs, &ys, v);
-            assert!(cur >= prev - 1e-6, "fmax interpolation must not decrease at {v}");
+            assert!(
+                cur >= prev - 1e-6,
+                "fmax interpolation must not decrease at {v}"
+            );
             prev = cur;
             v += 0.005;
         }

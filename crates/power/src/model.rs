@@ -99,7 +99,10 @@ impl PulpPowerModel {
     /// Panics if `vdd` is outside the tabulated 0.5–1.0 V range.
     #[must_use]
     pub fn fmax_hz(&self, vdd: f64) -> f64 {
-        assert!((0.5..=1.0).contains(&vdd), "vdd {vdd} outside the 0.5-1.0 V range");
+        assert!(
+            (0.5..=1.0).contains(&vdd),
+            "vdd {vdd} outside the 0.5-1.0 V range"
+        );
         lagrange(&VDD_ANCHORS, &self.fmax_mhz, vdd).max(0.0) * 1.0e6
     }
 
@@ -110,7 +113,10 @@ impl PulpPowerModel {
     /// Panics if `vdd` is outside the tabulated 0.5–1.0 V range.
     #[must_use]
     pub fn leakage_w(&self, vdd: f64) -> f64 {
-        assert!((0.5..=1.0).contains(&vdd), "vdd {vdd} outside the 0.5-1.0 V range");
+        assert!(
+            (0.5..=1.0).contains(&vdd),
+            "vdd {vdd} outside the 0.5-1.0 V range"
+        );
         log_linear(&VDD_ANCHORS, &self.leak_w, vdd)
     }
 
@@ -177,8 +183,11 @@ impl PulpPowerModel {
             if leak < budget_w {
                 let f_budget = (budget_w - leak) / self.effective_density(v, activity);
                 let fmax = self.fmax_hz(v);
-                let (f, timing_limited) =
-                    if f_budget >= fmax { (fmax, true) } else { (f_budget, false) };
+                let (f, timing_limited) = if f_budget >= fmax {
+                    (fmax, true)
+                } else {
+                    (f_budget, false)
+                };
                 let point = EnvelopePoint {
                     vdd: v,
                     freq_hz: f,
@@ -294,7 +303,10 @@ mod tests {
         };
         let p_busy = m.dynamic_power_w(60.0e6, 0.5, &busy);
         let p_idle = m.dynamic_power_w(60.0e6, 0.5, &idle);
-        assert!(p_idle < p_busy / 5.0, "clock-gated cores must slash dynamic power");
+        assert!(
+            p_idle < p_busy / 5.0,
+            "clock-gated cores must slash dynamic power"
+        );
     }
 
     #[test]
@@ -326,7 +338,10 @@ mod tests {
         let act = busy_activity(4, 8);
         for budget in [0.5e-3, 2.0e-3, 5.0e-3, 9.0e-3, 50.0e-3] {
             if let Some(op) = m.max_freq_under_power(budget, &act) {
-                assert!(op.total_power_w <= budget * 1.0001, "budget {budget} violated");
+                assert!(
+                    op.total_power_w <= budget * 1.0001,
+                    "budget {budget} violated"
+                );
                 assert!(op.freq_hz > 0.0);
             }
         }

@@ -50,7 +50,9 @@ impl XorShiftRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        XorShiftRng { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+        XorShiftRng {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
     }
 
     /// Next raw 64-bit value (xorshift64\*).

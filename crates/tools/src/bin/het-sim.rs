@@ -80,7 +80,10 @@ fn run() -> Result<(), String> {
         ulp_par::set_jobs(Some(jobs));
     }
 
-    let mut cfg = HetSystemConfig { mcu_freq_hz: mcu_hz, ..HetSystemConfig::default() };
+    let mut cfg = HetSystemConfig {
+        mcu_freq_hz: mcu_hz,
+        ..HetSystemConfig::default()
+    };
     if let Some(link) = args.get("link") {
         cfg.link_width = match link {
             "spi" => SpiWidth::Single,
@@ -89,11 +92,13 @@ fn run() -> Result<(), String> {
         };
     }
     if args.has("link-clock") {
-        cfg.link_clocking =
-            LinkClocking::Independent { spi_hz: args.get_f64("link-clock", 25.0)? * 1e6 };
+        cfg.link_clocking = LinkClocking::Independent {
+            spi_hz: args.get_f64("link-clock", 25.0)? * 1e6,
+        };
     } else if args.has("boost-mhz") {
-        cfg.link_clocking =
-            LinkClocking::BoostedMcu { mcu_hz: args.get_f64("boost-mhz", 32.0)? * 1e6 };
+        cfg.link_clocking = LinkClocking::BoostedMcu {
+            mcu_hz: args.get_f64("boost-mhz", 32.0)? * 1e6,
+        };
     }
     cfg.fault = FaultConfig {
         seed: args.get_usize("fault-seed", 1)? as u64,
@@ -126,7 +131,11 @@ fn run() -> Result<(), String> {
     };
     sys.set_tracer(tracer.clone());
     let build = benchmark.build(&TargetEnv::pulp_parallel());
-    println!("benchmark : {} — {}", benchmark.name(), benchmark.description());
+    println!(
+        "benchmark : {} — {}",
+        benchmark.name(),
+        benchmark.description()
+    );
     println!("region    : {}", TargetRegion::from_kernel(&build));
     println!(
         "platform  : {} @{:.0} MHz + PULP @{:.0} MHz ({:.2} V) over {} ({:?})",
@@ -172,12 +181,22 @@ fn run() -> Result<(), String> {
     println!("\noffload ({iterations} iterations):");
     println!("  binary    {:>10.3} ms", report.binary_seconds * 1e3);
     println!("  inputs    {:>10.3} ms", report.input_seconds * 1e3);
-    println!("  compute   {:>10.3} ms   ({} cycles cold / {} warm)",
-        report.compute_seconds * 1e3, report.cycles_cold, report.cycles_warm);
+    println!(
+        "  compute   {:>10.3} ms   ({} cycles cold / {} warm)",
+        report.compute_seconds * 1e3,
+        report.cycles_cold,
+        report.cycles_warm
+    );
     println!("  outputs   {:>10.3} ms", report.output_seconds * 1e3);
-    println!("  overlap   {:>10.3} ms hidden", report.overlapped_seconds * 1e3);
-    println!("  total     {:>10.3} ms   efficiency {:.1}%",
-        report.total_seconds() * 1e3, report.efficiency() * 100.0);
+    println!(
+        "  overlap   {:>10.3} ms hidden",
+        report.overlapped_seconds * 1e3
+    );
+    println!(
+        "  total     {:>10.3} ms   efficiency {:.1}%",
+        report.total_seconds() * 1e3,
+        report.efficiency() * 100.0
+    );
     println!(
         "  energy    mcu {:.1} µJ + pulp {:.1} µJ + link {:.2} µJ = {:.1} µJ",
         report.mcu_energy_joules * 1e6,
@@ -195,11 +214,18 @@ fn run() -> Result<(), String> {
             serialized * 1e3,
             report.total_seconds() * 1e3,
             report.overlapped_seconds / serialized.max(f64::MIN_POSITIVE) * 100.0,
-            if report.overlap.engaged { "" } else { "; legacy double-buffer bound won" }
+            if report.overlap.engaged {
+                ""
+            } else {
+                "; legacy double-buffer bound won"
+            }
         );
     }
     if report.host_task_cycles > 0 {
-        println!("  host task {:.2} M cycles gained", report.host_task_cycles as f64 / 1e6);
+        println!(
+            "  host task {:.2} M cycles gained",
+            report.host_task_cycles as f64 / 1e6
+        );
     }
     println!(
         "  compute-phase platform power {:.2} mW",
@@ -208,7 +234,11 @@ fn run() -> Result<(), String> {
     if args.has("perf") {
         println!(
             "\nsimulator perf ({} engine):",
-            if ulp_cluster::default_turbo() { "turbo" } else { "reference" }
+            if ulp_cluster::default_turbo() {
+                "turbo"
+            } else {
+                "reference"
+            }
         );
         println!("  host wall-clock  {perf_host_seconds:>10.4} s");
         println!("  target retired   {perf_retired:>10} insns");
@@ -246,7 +276,11 @@ fn run() -> Result<(), String> {
 
     let host = sys.run_on_host(&host_build).map_err(|e| e.to_string())?;
     let per_iter = report.total_seconds() / iterations as f64;
-    println!("\nhost only : {:.3} ms, {:.1} µJ", host.seconds * 1e3, host.energy_joules * 1e6);
+    println!(
+        "\nhost only : {:.3} ms, {:.1} µJ",
+        host.seconds * 1e3,
+        host.energy_joules * 1e6
+    );
     println!(
         "speedup   : {:.1}×   energy gain {:.1}×",
         host.seconds / per_iter,

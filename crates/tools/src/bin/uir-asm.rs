@@ -15,7 +15,11 @@ fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1), &["listing", "help"]);
     if args.has("help") || args.positional.is_empty() {
         eprintln!("usage: uir-asm <input.s> [-o|--output out.uir] [--listing]");
-        return if args.has("help") { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if args.has("help") {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let input = &args.positional[0];
     let source = match fs::read_to_string(input) {
@@ -35,7 +39,10 @@ fn main() -> ExitCode {
     if args.has("listing") {
         print!("{}", prog.listing());
     }
-    let output = args.get("output").or_else(|| args.get("o")).unwrap_or("a.uir");
+    let output = args
+        .get("output")
+        .or_else(|| args.get("o"))
+        .unwrap_or("a.uir");
     let image = to_image(&prog);
     if let Err(e) = fs::write(output, &image) {
         eprintln!("uir-asm: cannot write {output}: {e}");

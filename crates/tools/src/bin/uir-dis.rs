@@ -13,7 +13,11 @@ fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1), &["help"]);
     if args.has("help") || args.positional.is_empty() {
         eprintln!("usage: uir-dis <image.uir>");
-        return if args.has("help") { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if args.has("help") {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let input = &args.positional[0];
     let bytes = match fs::read(input) {
@@ -27,8 +31,11 @@ fn main() -> ExitCode {
         Ok(prog) => {
             print!("{}", prog.listing());
             if !prog.rodata().is_empty() {
-                println!("# rodata: {} bytes at text+{:#x}", prog.rodata().len(),
-                    prog.rodata_offset());
+                println!(
+                    "# rodata: {} bytes at text+{:#x}",
+                    prog.rodata().len(),
+                    prog.rodata_offset()
+                );
             }
             ExitCode::SUCCESS
         }

@@ -32,7 +32,9 @@ fn load_input(path: &str) -> Result<Program, String> {
 fn parse_reg_assignments(args: &Args) -> Result<Vec<(Reg, u32)>, String> {
     let mut out = Vec::new();
     for v in args.values("reg") {
-        let (r, val) = v.split_once('=').ok_or_else(|| format!("--reg {v}: expected rN=VALUE"))?;
+        let (r, val) = v
+            .split_once('=')
+            .ok_or_else(|| format!("--reg {v}: expected rN=VALUE"))?;
         let idx: u8 = r
             .trim_start_matches('r')
             .parse()
@@ -80,11 +82,17 @@ fn run() -> Result<(), String> {
 
     if args.has("cluster") {
         let cores = args.get_usize("cluster", 4)?;
-        let mut cluster =
-            Cluster::new(ClusterConfig { num_cores: cores, ..ClusterConfig::default() });
-        cluster.load_binary(&prog, L2_BASE).map_err(|e| e.to_string())?;
+        let mut cluster = Cluster::new(ClusterConfig {
+            num_cores: cores,
+            ..ClusterConfig::default()
+        });
+        cluster
+            .load_binary(&prog, L2_BASE)
+            .map_err(|e| e.to_string())?;
         cluster.start(L2_BASE, &regs, 0);
-        let res = cluster.run_until_halt(max_cycles).map_err(|e| e.to_string())?;
+        let res = cluster
+            .run_until_halt(max_cycles)
+            .map_err(|e| e.to_string())?;
         println!("cluster: {} cores, {} cycles", cores, res.cycles);
         if let Some(eoc) = res.eoc_at {
             println!("end-of-computation at cycle {eoc}");
@@ -125,7 +133,12 @@ fn run() -> Result<(), String> {
             summary.retired as f64 / summary.cycles as f64
         );
         for t in core.trace() {
-            println!("  {:#010x}  {:<30} @{}", t.pc, t.insn.to_string(), t.retired_at);
+            println!(
+                "  {:#010x}  {:<30} @{}",
+                t.pc,
+                t.insn.to_string(),
+                t.retired_at
+            );
         }
         for r in dump {
             println!("{r} = {:#010x} ({})", core.reg(r), core.reg(r) as i32);

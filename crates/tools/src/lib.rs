@@ -92,8 +92,7 @@ pub fn from_image(bytes: &[u8]) -> Result<Program, ImageError> {
     let mut asm = Asm::new();
     for i in 0..words {
         let off = 12 + i * 4;
-        let word =
-            u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+        let word = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
         let insn = decode(word).map_err(|_| ImageError::BadWord { index: i, word })?;
         asm.insn(insn);
     }
@@ -166,7 +165,9 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected a number, got `{v}`")),
         }
     }
 
@@ -178,7 +179,9 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: expected an integer, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected an integer, got `{v}`")),
         }
     }
 }
@@ -222,7 +225,9 @@ pub fn parse_model(name: &str) -> Result<ulp_isa::CoreModel, String> {
         "m3" | "cortex-m3" => ulp_isa::CoreModel::cortex_m3(),
         "baseline" | "risc" => ulp_isa::CoreModel::risc_baseline(),
         other => {
-            return Err(format!("unknown model `{other}`; choose or10n, m4, m3 or baseline"))
+            return Err(format!(
+                "unknown model `{other}`; choose or10n, m4, m3 or baseline"
+            ))
         }
     })
 }
@@ -254,14 +259,20 @@ mod tests {
     #[test]
     fn image_errors() {
         assert_eq!(from_image(b"bogus"), Err(ImageError::Truncated));
-        assert_eq!(from_image(b"NOPE\0\0\0\0\0\0\0\0"), Err(ImageError::BadMagic));
+        assert_eq!(
+            from_image(b"NOPE\0\0\0\0\0\0\0\0"),
+            Err(ImageError::BadMagic)
+        );
         let mut img = to_image(&sample_program());
         img.truncate(img.len() - 3);
         assert_eq!(from_image(&img), Err(ImageError::Truncated));
         // Corrupt an instruction word (opcode 0xFF is invalid).
         let mut img = to_image(&sample_program());
         img[15] = 0xFF;
-        assert!(matches!(from_image(&img), Err(ImageError::BadWord { index: 0, .. })));
+        assert!(matches!(
+            from_image(&img),
+            Err(ImageError::BadWord { index: 0, .. })
+        ));
     }
 
     #[test]
@@ -282,7 +293,10 @@ mod tests {
 
     #[test]
     fn benchmark_and_model_lookup() {
-        assert_eq!(parse_benchmark("svm-rbf").unwrap(), ulp_kernels::Benchmark::SvmRbf);
+        assert_eq!(
+            parse_benchmark("svm-rbf").unwrap(),
+            ulp_kernels::Benchmark::SvmRbf
+        );
         assert!(parse_benchmark("quicksort").is_err());
         assert_eq!(parse_model("M4").unwrap().name, "cortex-m4");
         assert!(parse_model("z80").is_err());

@@ -33,11 +33,18 @@ fn asm_dis_run_pipeline() {
         .args(["--output", img.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "uir-asm failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "uir-asm failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(img.exists());
 
     // Disassemble: the listing must contain the loop body.
-    let out = Command::new(env!("CARGO_BIN_EXE_uir-dis")).arg(&img).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-dis"))
+        .arg(&img)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let listing = String::from_utf8_lossy(&out.stdout);
     assert!(listing.contains("add r3, r3, r1"), "listing:\n{listing}");
@@ -50,7 +57,11 @@ fn asm_dis_run_pipeline() {
             .args(["--model", model, "--dump", "r3"])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{model}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{model}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("(5050)"), "{model} output:\n{stdout}");
     }
@@ -71,7 +82,10 @@ fn run_accepts_assembly_source_directly_with_trace() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("(28)"), "{stdout}");
-    assert!(stdout.contains("slli r5, r5, 2"), "trace missing:\n{stdout}");
+    assert!(
+        stdout.contains("slli r5, r5, 2"),
+        "trace missing:\n{stdout}"
+    );
     let _ = fs::remove_file(src);
 }
 
@@ -101,7 +115,11 @@ eoc:
         .args(["--cluster", "4"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("cluster: 4 cores"), "{stdout}");
     assert!(stdout.contains("end-of-computation"), "{stdout}");
@@ -111,10 +129,21 @@ eoc:
 #[test]
 fn het_sim_smoke() {
     let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
-        .args(["--benchmark", "svm-linear", "--mcu-mhz", "16", "--iterations", "4"])
+        .args([
+            "--benchmark",
+            "svm-linear",
+            "--mcu-mhz",
+            "16",
+            "--iterations",
+            "4",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("svm (linear)"));
     assert!(stdout.contains("speedup"));
@@ -134,7 +163,10 @@ fn bad_inputs_fail_cleanly() {
     // Syntax error with the line number.
     let src = tmp("bad.s");
     fs::write(&src, "nop\nfrobnicate r1\n").unwrap();
-    let out = Command::new(env!("CARGO_BIN_EXE_uir-asm")).arg(&src).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_uir-asm"))
+        .arg(&src)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
     let _ = fs::remove_file(src);

@@ -13,7 +13,11 @@ const CLUSTER_PID: u32 = 1;
 const HOST_PID: u32 = 2;
 
 fn pid_of(c: Component) -> u32 {
-    if c.is_cluster_domain() { CLUSTER_PID } else { HOST_PID }
+    if c.is_cluster_domain() {
+        CLUSTER_PID
+    } else {
+        HOST_PID
+    }
 }
 
 fn tid_of(c: Component) -> u32 {
@@ -34,7 +38,9 @@ fn describe(kind: EventKind) -> (&'static str, &'static str, Option<(&'static st
         EventKind::CoreRun => ("run", "core", None),
         EventKind::CoreSleep => ("sleep", "core", None),
         EventKind::CoreMemStall => ("mem-stall", "core", None),
-        EventKind::BankConflict { bank } => ("bank-conflict", "tcdm", Some(("bank", u64::from(bank)))),
+        EventKind::BankConflict { bank } => {
+            ("bank-conflict", "tcdm", Some(("bank", u64::from(bank))))
+        }
         EventKind::IcacheMiss => ("miss", "icache", None),
         EventKind::DmaBurst { bytes } => ("burst", "dma", Some(("bytes", u64::from(bytes)))),
         EventKind::FrameTx { bytes } => ("frame-tx", "link", Some(("bytes", u64::from(bytes)))),
@@ -114,7 +120,13 @@ pub(crate) fn export(tracer: &Tracer) -> String {
     }
     for &c in &components {
         sep(&mut out);
-        push_metadata(&mut out, pid_of(c), Some(tid_of(c)), "thread_name", &c.label());
+        push_metadata(
+            &mut out,
+            pid_of(c),
+            Some(tid_of(c)),
+            "thread_name",
+            &c.label(),
+        );
     }
 
     for ev in &events {
@@ -137,7 +149,11 @@ mod tests {
             let mut i = 0;
             value(b, &mut i)?;
             skip_ws(b, &mut i);
-            if i == b.len() { Ok(()) } else { Err(format!("trailing bytes at {i}")) }
+            if i == b.len() {
+                Ok(())
+            } else {
+                Err(format!("trailing bytes at {i}"))
+            }
         }
 
         fn skip_ws(b: &[u8], i: &mut usize) {
@@ -174,10 +190,16 @@ mod tests {
                 *i += 1;
             }
             let start = *i;
-            while *i < b.len() && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-')) {
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
                 *i += 1;
             }
-            if *i == start { Err(format!("bad number at {start}")) } else { Ok(()) }
+            if *i == start {
+                Err(format!("bad number at {start}"))
+            } else {
+                Ok(())
+            }
         }
 
         fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
@@ -258,7 +280,12 @@ mod tests {
         t.emit(Component::Cluster, EventKind::Barrier, 99, 0);
         t.emit(Component::Link, EventKind::FrameTx { bytes: 74 }, 0, 4500);
         t.emit(Component::Link, EventKind::Retry { attempt: 1 }, 4500, 0);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 100, 9000);
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Compute),
+            100,
+            9000,
+        );
         t.emit(Component::Host, EventKind::WfeSleep, 100, 8000);
         t.emit(Component::Host, EventKind::Watchdog, 8100, 0);
         t

@@ -272,15 +272,23 @@ impl Overlap {
         ];
         for (name, pair, a, b) in pairs {
             if pair > a.min(b) {
-                return Err(format!("{name} overlap {pair} exceeds member busy {}", a.min(b)));
+                return Err(format!(
+                    "{name} overlap {pair} exceeds member busy {}",
+                    a.min(b)
+                ));
             }
             if self.triple > pair {
-                return Err(format!("triple overlap {} exceeds {name} {pair}", self.triple));
+                return Err(format!(
+                    "triple overlap {} exceeds {name} {pair}",
+                    self.triple
+                ));
             }
         }
-        for (name, busy) in
-            [("link", self.link_busy), ("dma", self.dma_busy), ("core", self.core_busy)]
-        {
+        for (name, busy) in [
+            ("link", self.link_busy),
+            ("dma", self.dma_busy),
+            ("core", self.core_busy),
+        ] {
             if busy > self.span {
                 return Err(format!("{name} busy {busy} exceeds span {}", self.span));
             }
@@ -359,7 +367,11 @@ impl TraceState {
             dropped: 0,
         });
         self.rings.sort_by_key(|r| r.component);
-        let i = self.rings.iter().position(|r| r.component == component).expect("just inserted");
+        let i = self
+            .rings
+            .iter()
+            .position(|r| r.component == component)
+            .expect("just inserted");
         &mut self.rings[i]
     }
 }
@@ -431,7 +443,12 @@ impl Tracer {
             Component::Host => s.host_epoch,
             _ => 0,
         };
-        let ev = TraceEvent { component, kind, start: start + epoch, dur };
+        let ev = TraceEvent {
+            component,
+            kind,
+            start: start + epoch,
+            dur,
+        };
         s.ring_mut(component).push(ev);
     }
 
@@ -497,7 +514,11 @@ impl Tracer {
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner.as_ref().map_or_else(Vec::new, |s| {
-            s.borrow().rings.iter().flat_map(|r| r.events.iter().copied()).collect()
+            s.borrow()
+                .rings
+                .iter()
+                .flat_map(|r| r.events.iter().copied())
+                .collect()
         })
     }
 
@@ -517,20 +538,28 @@ impl Tracer {
     /// Total events dropped across all rings (ring capacity exceeded).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |s| s.borrow().rings.iter().map(|r| r.dropped).sum())
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.borrow().rings.iter().map(|r| r.dropped).sum())
     }
 
     /// All counters, in component order.
     #[must_use]
     pub fn counters(&self) -> Vec<(Component, Counter)> {
-        self.inner.as_ref().map_or_else(Vec::new, |s| s.borrow().counters.clone())
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.borrow().counters.clone())
     }
 
     /// The counter of one component, if set.
     #[must_use]
     pub fn counter(&self, component: Component) -> Option<Counter> {
         self.inner.as_ref().and_then(|s| {
-            s.borrow().counters.iter().find(|(c, _)| *c == component).map(|(_, k)| *k)
+            s.borrow()
+                .counters
+                .iter()
+                .find(|(c, _)| *c == component)
+                .map(|(_, k)| *k)
         })
     }
 
@@ -627,14 +656,23 @@ mod tests {
         let core = t.events_of(Component::Core(0));
         assert_eq!(core[0].start, 10);
         assert_eq!(core[1].start, 1010);
-        assert_eq!(t.events_of(Component::Link)[0].start, 10, "link has no cluster epoch");
+        assert_eq!(
+            t.events_of(Component::Link)[0].start,
+            10,
+            "link has no cluster epoch"
+        );
     }
 
     #[test]
     fn host_epoch_offsets_host_events() {
         let t = Tracer::enabled();
         t.advance_host_epoch(500);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 20, 30);
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Compute),
+            20,
+            30,
+        );
         t.emit(Component::Core(0), EventKind::CoreRun, 20, 30);
         assert_eq!(t.events_of(Component::Host)[0].start, 520);
         assert_eq!(t.events_of(Component::Core(0))[0].start, 20);
@@ -659,7 +697,10 @@ mod tests {
         t.set_counter(Component::Core(0), 1, 2);
         t.set_counter(Component::Tcdm, 1, 2);
         let order: Vec<Component> = t.counters().iter().map(|(c, _)| *c).collect();
-        assert_eq!(order, vec![Component::Core(0), Component::Tcdm, Component::Dma]);
+        assert_eq!(
+            order,
+            vec![Component::Core(0), Component::Tcdm, Component::Dma]
+        );
     }
 
     #[test]
@@ -689,8 +730,16 @@ mod tests {
     fn overlap_overwrites_and_clears() {
         let t = Tracer::enabled();
         assert!(t.overlap().is_none());
-        t.set_overlap(Overlap { link_busy: 10, span: 20, ..Default::default() });
-        t.set_overlap(Overlap { link_busy: 15, span: 30, ..Default::default() });
+        t.set_overlap(Overlap {
+            link_busy: 10,
+            span: 20,
+            ..Default::default()
+        });
+        t.set_overlap(Overlap {
+            link_busy: 15,
+            span: 30,
+            ..Default::default()
+        });
         assert_eq!(t.overlap().unwrap().link_busy, 15);
         t.clear();
         assert!(t.overlap().is_none());
@@ -699,7 +748,10 @@ mod tests {
     #[test]
     fn overlap_on_disabled_tracer_is_inert() {
         let t = Tracer::disabled();
-        t.set_overlap(Overlap { span: 1, ..Default::default() });
+        t.set_overlap(Overlap {
+            span: 1,
+            ..Default::default()
+        });
         assert!(t.overlap().is_none());
     }
 
@@ -725,8 +777,13 @@ mod tests {
 
     #[test]
     fn overlap_check_rejects_inconsistent_counters() {
-        let pair_over_busy =
-            Overlap { link_busy: 10, dma_busy: 10, link_dma: 11, span: 100, ..Default::default() };
+        let pair_over_busy = Overlap {
+            link_busy: 10,
+            dma_busy: 10,
+            link_dma: 11,
+            span: 100,
+            ..Default::default()
+        };
         assert!(pair_over_busy.check().is_err());
         let triple_over_pair = Overlap {
             link_busy: 50,
@@ -740,7 +797,11 @@ mod tests {
             ..Default::default()
         };
         assert!(triple_over_pair.check().is_err());
-        let busy_over_span = Overlap { core_busy: 200, span: 100, ..Default::default() };
+        let busy_over_span = Overlap {
+            core_busy: 200,
+            span: 100,
+            ..Default::default()
+        };
         assert!(busy_over_span.check().is_err());
     }
 }

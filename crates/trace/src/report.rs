@@ -31,7 +31,10 @@ pub(crate) fn phase_table(tracer: &Tracer) -> String {
     let mut totals = [0u64; PhaseKind::ALL.len()];
     for ev in tracer.events_of(Component::Host) {
         if let EventKind::Phase(p) = ev.kind {
-            let slot = PhaseKind::ALL.iter().position(|q| *q == p).expect("phase in ALL");
+            let slot = PhaseKind::ALL
+                .iter()
+                .position(|q| *q == p)
+                .expect("phase in ALL");
             totals[slot] += ev.dur;
         }
     }
@@ -51,7 +54,12 @@ pub(crate) fn phase_table(tracer: &Tracer) -> String {
             ns as f64 / grand as f64 * 100.0
         ));
     }
-    out.push_str(&format!("{:<10} {:>13.3} {:>6.1}%\n", "total", grand as f64 / 1e6, 100.0));
+    out.push_str(&format!(
+        "{:<10} {:>13.3} {:>6.1}%\n",
+        "total",
+        grand as f64 / 1e6,
+        100.0
+    ));
     out
 }
 
@@ -81,7 +89,12 @@ pub(crate) fn overlap_table(tracer: &Tracer) -> String {
         ("all three", o.triple),
     ];
     for (name, ns) in rows {
-        out.push_str(&format!("{:<14} {:>11.3} {:>8.1}%\n", name, ns as f64 / 1e6, share(ns)));
+        out.push_str(&format!(
+            "{:<14} {:>11.3} {:>8.1}%\n",
+            name,
+            ns as f64 / 1e6,
+            share(ns)
+        ));
     }
     out.push_str(&format!(
         "{:<14} {:>11.3}   {} chunks, {}\n",
@@ -117,10 +130,30 @@ mod tests {
     #[test]
     fn phase_table_shares_sum_to_total() {
         let t = Tracer::enabled();
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Binary), 0, 1_000_000);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Input), 1_000_000, 2_000_000);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 3_000_000, 6_000_000);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Output), 9_000_000, 1_000_000);
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Binary),
+            0,
+            1_000_000,
+        );
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Input),
+            1_000_000,
+            2_000_000,
+        );
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Compute),
+            3_000_000,
+            6_000_000,
+        );
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Output),
+            9_000_000,
+            1_000_000,
+        );
         let table = t.phase_table();
         assert!(table.contains("binary"));
         assert!(table.contains("compute"));
@@ -132,8 +165,18 @@ mod tests {
     fn phase_table_accumulates_repeated_phases() {
         let t = Tracer::enabled();
         t.emit(Component::Host, EventKind::Phase(PhaseKind::Input), 0, 500);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Input), 500, 500);
-        t.emit(Component::Host, EventKind::Phase(PhaseKind::Compute), 1000, 1000);
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Input),
+            500,
+            500,
+        );
+        t.emit(
+            Component::Host,
+            EventKind::Phase(PhaseKind::Compute),
+            1000,
+            1000,
+        );
         let table = t.phase_table();
         assert!(table.contains("50.0%"));
     }
@@ -168,6 +211,8 @@ mod tests {
 
     #[test]
     fn overlap_table_empty_placeholder() {
-        assert!(Tracer::enabled().overlap_table().contains("no overlap recorded"));
+        assert!(Tracer::enabled()
+            .overlap_table()
+            .contains("no overlap recorded"));
     }
 }

@@ -24,7 +24,10 @@ fn battery_days(active_j: f64, active_s: f64, sleep_w: f64) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Host-only node at 32 MHz.
-    let sys = HetSystem::new(HetSystemConfig { mcu_freq_hz: 32.0e6, ..Default::default() });
+    let sys = HetSystem::new(HetSystemConfig {
+        mcu_freq_hz: 32.0e6,
+        ..Default::default()
+    });
     let host = sys.run_on_host(&Benchmark::SvmRbf.build(&TargetEnv::host_m4()))?;
     let mcu_sleep = sys.config().mcu.sleep_power_w();
     let host_days = battery_days(host.energy_joules, host.seconds, mcu_sleep);
@@ -38,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steady = het.offload(&build, &OffloadOptions::default())?;
     // While sleeping, both dies leak.
     let het_sleep = mcu_sleep + het.config().power.leakage_w(het.config().pulp_vdd);
-    let het_days =
-        battery_days(steady.total_energy_joules(), steady.total_seconds(), het_sleep);
+    let het_days = battery_days(
+        steady.total_energy_joules(),
+        steady.total_seconds(),
+        het_sleep,
+    );
 
     println!("wearable ECG-class node — one SVM (RBF) classification every 500 ms\n");
     println!("                       active time   energy/classif.   CR2032 life");
@@ -57,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "\nfirst offload ships {:.1} kB of binary ({:.2} ms, then resident)",
-        Benchmark::SvmRbf.build(&TargetEnv::pulp_parallel()).offload_binary_bytes() as f64
+        Benchmark::SvmRbf
+            .build(&TargetEnv::pulp_parallel())
+            .offload_binary_bytes() as f64
             / 1024.0,
         first.binary_seconds * 1e3
     );
@@ -69,9 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if het_days > host_days {
         println!("battery life extended {:.1}×", het_days / host_days);
     } else {
-        println!(
-            "note: at this duty cycle sleep dominates; accelerator pays off at higher rates"
-        );
+        println!("note: at this duty cycle sleep dominates; accelerator pays off at higher rates");
     }
     Ok(())
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mcu = datasheet::stm32l476();
 
     // Host-only reference at the 32 MHz envelope limit.
-    let host_sys = HetSystem::new(HetSystemConfig { mcu_freq_hz: 32.0e6, ..Default::default() });
+    let host_sys = HetSystem::new(HetSystemConfig {
+        mcu_freq_hz: 32.0e6,
+        ..Default::default()
+    });
     let host = host_sys.run_on_host(&Benchmark::Hog.build(&TargetEnv::host_m4()))?;
     println!(
         "HOG 64×64 descriptor under a 10 mW platform budget\n\
@@ -49,14 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let frames = 16;
         let rep = sys.offload(
             &build,
-            &OffloadOptions { iterations: frames, double_buffer: true, ..Default::default() },
+            &OffloadOptions {
+                iterations: frames,
+                double_buffer: true,
+                ..Default::default()
+            },
         )?;
         let per_frame = rep.total_seconds() / frames as f64;
         let fps = 1.0 / per_frame;
-        let platform_mw = (mcu.run_power_w(mcu_hz)
-            + op.total_power_w
-            + LINK_W)
-            * 1e3;
+        let platform_mw = (mcu.run_power_w(mcu_hz) + op.total_power_w + LINK_W) * 1e3;
         println!(
             "{:>7.0}  {:>5.0} MHz @{:.2}V   {:>8.2}   {:>5.1}   {:>3.0}%   {:>6.2}",
             mcu_mhz,
@@ -94,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         let rep = sys.offload(
             &build,
-            &OffloadOptions { iterations: 16, double_buffer: true, ..Default::default() },
+            &OffloadOptions {
+                iterations: 16,
+                double_buffer: true,
+                ..Default::default()
+            },
         )?;
         println!(
             "  {:>5}: {:>6.2} ms/frame, efficiency {:>3.0}%",

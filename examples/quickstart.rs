@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let iterations = 16;
     let report = sys.offload(
         &accel_build,
-        &OffloadOptions { iterations, double_buffer: true, ..Default::default() },
+        &OffloadOptions {
+            iterations,
+            double_buffer: true,
+            ..Default::default()
+        },
     )?;
 
     let per_iter_s = report.total_seconds() / iterations as f64;

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost = proto.measure_cost(&build)?;
     let base = proto.predict(
         &cost,
-        &OffloadOptions { iterations: frames, double_buffer: true, ..Default::default() },
+        &OffloadOptions {
+            iterations: frames,
+            double_buffer: true,
+            ..Default::default()
+        },
         true,
     );
 

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Host-only camera: the MCU runs the CNN itself. To stay within the
     // 10 mW envelope the L476 may clock up to 32 MHz.
-    let host_cfg = HetSystemConfig { mcu_freq_hz: 32.0e6, ..HetSystemConfig::default() };
+    let host_cfg = HetSystemConfig {
+        mcu_freq_hz: 32.0e6,
+        ..HetSystemConfig::default()
+    };
     let host_sys = HetSystem::new(host_cfg);
     let host = host_sys.run_on_host(&Benchmark::Cnn.build(&TargetEnv::host_m4()))?;
     let host_fps = 1.0 / host.seconds;
@@ -30,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let build = Benchmark::Cnn.build(&TargetEnv::pulp_parallel());
     let report = sys.offload(
         &build,
-        &OffloadOptions { iterations: frames, double_buffer: true, ..Default::default() },
+        &OffloadOptions {
+            iterations: frames,
+            double_buffer: true,
+            ..Default::default()
+        },
     )?;
     let het_fps = frames as f64 / report.total_seconds();
     let per_frame_j = report.total_energy_joules() / frames as f64;

@@ -82,7 +82,10 @@ mod tests {
             ulp_cluster::EVT_EOC,
             "end-of-computation event ids must match"
         );
-        assert_eq!(ulp_kernels::codegen::emit::EVT_BROADCAST, ulp_cluster::EVT_BROADCAST);
+        assert_eq!(
+            ulp_kernels::codegen::emit::EVT_BROADCAST,
+            ulp_cluster::EVT_BROADCAST
+        );
     }
 
     #[test]

@@ -13,7 +13,13 @@ fn every_benchmark_offloads_end_to_end() {
     for b in Benchmark::ALL {
         let build = b.build(&TargetEnv::pulp_parallel());
         let report = sys
-            .offload(&build, &OffloadOptions { iterations: 2, ..Default::default() })
+            .offload(
+                &build,
+                &OffloadOptions {
+                    iterations: 2,
+                    ..Default::default()
+                },
+            )
             .unwrap_or_else(|e| panic!("{b}: {e}"));
         assert!(report.compute_seconds > 0.0, "{b}");
         // Warm runs drop the cold I$ misses, but cores left in closer
@@ -36,23 +42,39 @@ fn every_benchmark_offloads_end_to_end() {
 /// compute.
 #[test]
 fn headline_order_of_magnitude_speedup_under_10mw() {
-    let host_sys = HetSystem::new(HetSystemConfig { mcu_freq_hz: 32.0e6, ..Default::default() });
+    let host_sys = HetSystem::new(HetSystemConfig {
+        mcu_freq_hz: 32.0e6,
+        ..Default::default()
+    });
     for b in [Benchmark::Strassen, Benchmark::SvmRbf, Benchmark::Cnn] {
-        let host = host_sys.run_on_host(&b.build(&TargetEnv::host_m4())).unwrap();
+        let host = host_sys
+            .run_on_host(&b.build(&TargetEnv::host_m4()))
+            .unwrap();
 
         let mut sys = HetSystem::new(HetSystemConfig::default());
         let report = sys
             .offload(
                 &b.build(&TargetEnv::pulp_parallel()),
-                &OffloadOptions { iterations: 32, double_buffer: true, ..Default::default() },
+                &OffloadOptions {
+                    iterations: 32,
+                    double_buffer: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
         let per_iter = report.total_seconds() / 32.0;
         let speedup = host.seconds / per_iter;
-        assert!(speedup > 10.0, "{b}: end-to-end speedup {speedup:.1}× below one order");
+        assert!(
+            speedup > 10.0,
+            "{b}: end-to-end speedup {speedup:.1}× below one order"
+        );
 
         let power = sys.compute_phase_power_watts(&report.activity);
-        assert!(power < 10.0e-3, "{b}: compute-phase power {:.2} mW", power * 1e3);
+        assert!(
+            power < 10.0e-3,
+            "{b}: compute-phase power {:.2} mW",
+            power * 1e3
+        );
     }
 }
 
@@ -61,7 +83,11 @@ fn headline_order_of_magnitude_speedup_under_10mw() {
 /// host and accelerator implementations agree functionally.
 #[test]
 fn host_and_accelerator_agree_functionally() {
-    for b in [Benchmark::MatMulFixed, Benchmark::SvmPoly, Benchmark::CnnApprox] {
+    for b in [
+        Benchmark::MatMulFixed,
+        Benchmark::SvmPoly,
+        Benchmark::CnnApprox,
+    ] {
         let host_env = TargetEnv::host_m4();
         ulp_kernels::run(&b.build(&host_env), &host_env).unwrap_or_else(|e| panic!("{b}: {e}"));
         let accel_env = TargetEnv::pulp_parallel();
@@ -95,13 +121,23 @@ fn link_accounting_is_consistent() {
     let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
     let iters = 4;
     let _ = sys
-        .offload(&build, &OffloadOptions { iterations: iters, ..Default::default() })
+        .offload(
+            &build,
+            &OffloadOptions {
+                iterations: iters,
+                ..Default::default()
+            },
+        )
         .unwrap();
     let stats = sys.link_stats();
     // binary + iters × inputs (plus frame headers).
     let min_tx = build.offload_binary_bytes() + iters * build.input_bytes();
     let min_rx = iters * build.output_bytes();
-    assert!(stats.bytes_tx >= min_tx as u64, "{} < {min_tx}", stats.bytes_tx);
+    assert!(
+        stats.bytes_tx >= min_tx as u64,
+        "{} < {min_tx}",
+        stats.bytes_tx
+    );
     assert!(stats.bytes_rx >= min_rx as u64);
     assert!(stats.busy_seconds > 0.0);
 }
@@ -118,7 +154,10 @@ fn core_count_scaling() {
     let c2 = cycles_with(2);
     let c4 = cycles_with(4);
     let c8 = cycles_with(8);
-    assert!(c1 > c2 && c2 > c4 && c4 > c8, "{c1} > {c2} > {c4} > {c8} violated");
+    assert!(
+        c1 > c2 && c2 > c4 && c4 > c8,
+        "{c1} > {c2} > {c4} > {c8} violated"
+    );
     let s8 = c1 as f64 / c8 as f64;
     assert!(s8 > 5.0 && s8 < 8.0, "8-core speedup {s8:.2}");
 }
@@ -202,7 +241,11 @@ fn empty_map_clauses_are_a_no_op() {
     let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
     let padded = with_empty_maps(&build);
     for pipeline in [PipelineConfig::default(), PipelineConfig::enabled()] {
-        let opts = OffloadOptions { iterations: 3, pipeline, ..Default::default() };
+        let opts = OffloadOptions {
+            iterations: 3,
+            pipeline,
+            ..Default::default()
+        };
         let mut plain_sys = HetSystem::new(HetSystemConfig::default());
         let plain = plain_sys.offload(&build, &opts).unwrap();
         let mut padded_sys = HetSystem::new(HetSystemConfig::default());
@@ -212,8 +255,14 @@ fn empty_map_clauses_are_a_no_op() {
         assert_eq!(plain.overlapped_seconds, padded_report.overlapped_seconds);
         assert_eq!(plain.total_seconds(), padded_report.total_seconds());
         assert_eq!(plain.link_energy_joules, padded_report.link_energy_joules);
-        assert_eq!(plain_sys.link_stats().bytes_tx, padded_sys.link_stats().bytes_tx);
-        assert_eq!(plain_sys.link_stats().bytes_rx, padded_sys.link_stats().bytes_rx);
+        assert_eq!(
+            plain_sys.link_stats().bytes_tx,
+            padded_sys.link_stats().bytes_tx
+        );
+        assert_eq!(
+            plain_sys.link_stats().bytes_rx,
+            padded_sys.link_stats().bytes_rx
+        );
     }
 }
 

@@ -28,7 +28,9 @@ fn kernel_costs() -> Vec<(String, OffloadCost)> {
     builds
         .into_iter()
         .map(|b| {
-            let cost = sys.measure_cost(&b).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let cost = sys
+                .measure_cost(&b)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             (b.name, cost)
         })
         .collect()
@@ -39,7 +41,11 @@ fn sample(rng: &mut XorShiftRng) -> (HetSystemConfig, OffloadOptions, OffloadOpt
     let mcu_freq_hz = [8.0e6, 16.0e6, 32.0e6, 48.0e6][rng.gen_range(0usize..4)];
     let cfg = HetSystemConfig {
         mcu_freq_hz,
-        link_width: if rng.gen_bool(0.5) { SpiWidth::Quad } else { SpiWidth::Single },
+        link_width: if rng.gen_bool(0.5) {
+            SpiWidth::Quad
+        } else {
+            SpiWidth::Single
+        },
         link_prescaler: [2u32, 4, 8][rng.gen_range(0usize..3)],
         link_clocking: match rng.gen_range(0u32..3) {
             0 => LinkClocking::McuDivided,
@@ -74,11 +80,27 @@ fn assert_phases_bit_identical(s: &OffloadReport, p: &OffloadReport, ctx: &str) 
         ("output_seconds", s.output_seconds, p.output_seconds),
         ("compute_seconds", s.compute_seconds, p.compute_seconds),
         ("sync_seconds", s.sync_seconds, p.sync_seconds),
-        ("mcu_energy_joules", s.mcu_energy_joules, p.mcu_energy_joules),
-        ("pulp_energy_joules", s.pulp_energy_joules, p.pulp_energy_joules),
-        ("link_energy_joules", s.link_energy_joules, p.link_energy_joules),
+        (
+            "mcu_energy_joules",
+            s.mcu_energy_joules,
+            p.mcu_energy_joules,
+        ),
+        (
+            "pulp_energy_joules",
+            s.pulp_energy_joules,
+            p.pulp_energy_joules,
+        ),
+        (
+            "link_energy_joules",
+            s.link_energy_joules,
+            p.link_energy_joules,
+        ),
     ] {
-        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: {name} drifted ({a} vs {b})");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{ctx}: {name} drifted ({a} vs {b})"
+        );
     }
     assert_eq!(s.iterations, p.iterations, "{ctx}");
     assert_eq!(s.cycles_cold, p.cycles_cold, "{ctx}");
@@ -121,22 +143,42 @@ fn pipelined_predictions_differ_only_in_overlap_across_1200_configs() {
         );
         // The engine's own concurrency ledger reconciles.
         p.overlap.check().unwrap_or_else(|e| panic!("{ctx}: {e}"));
-        assert!(s.overlap == Overlap::default(), "{ctx}: serialized run grew overlap counters");
+        assert!(
+            s.overlap == Overlap::default(),
+            "{ctx}: serialized run grew overlap counters"
+        );
         if p.overlap.engaged {
             engaged += 1;
             assert!(p.overlap.chunks > 0, "{ctx}: engaged without chunks");
-            assert!(p.overlap.hidden_ns() > 0, "{ctx}: engaged without concurrency");
+            assert!(
+                p.overlap.hidden_ns() > 0,
+                "{ctx}: engaged without concurrency"
+            );
         }
 
         // Determinism: the same prediction twice is bit-identical.
         let p2 = sys.predict(cost, &opts_p, include_binary);
-        assert_eq!(p.total_seconds().to_bits(), p2.total_seconds().to_bits(), "{ctx}");
-        assert_eq!(p.overlapped_seconds.to_bits(), p2.overlapped_seconds.to_bits(), "{ctx}");
-        assert!(p.overlap == p2.overlap, "{ctx}: overlap counters nondeterministic");
+        assert_eq!(
+            p.total_seconds().to_bits(),
+            p2.total_seconds().to_bits(),
+            "{ctx}"
+        );
+        assert_eq!(
+            p.overlapped_seconds.to_bits(),
+            p2.overlapped_seconds.to_bits(),
+            "{ctx}"
+        );
+        assert!(
+            p.overlap == p2.overlap,
+            "{ctx}: overlap counters nondeterministic"
+        );
     }
     // The battery must actually exercise the engine, not trivially pass
     // with every schedule rejected.
-    assert!(engaged > 300, "engine engaged in only {engaged}/1200 configs");
+    assert!(
+        engaged > 300,
+        "engine engaged in only {engaged}/1200 configs"
+    );
 }
 
 /// The whole battery replays bit-identically from its seed: running it
@@ -167,11 +209,21 @@ fn the_battery_itself_is_deterministic() {
 /// path produces bit-identical results, not just bit-identical ledgers.
 #[test]
 fn full_offloads_stay_bit_identical_with_pipelining_on() {
-    for b in [Benchmark::MatMulFixed, Benchmark::SvmRbf, Benchmark::CnnApprox] {
+    for b in [
+        Benchmark::MatMulFixed,
+        Benchmark::SvmRbf,
+        Benchmark::CnnApprox,
+    ] {
         let build = b.build(&TargetEnv::pulp_parallel());
         let mut serial_sys = HetSystem::new(HetSystemConfig::default());
         let serial = serial_sys
-            .offload(&build, &OffloadOptions { iterations: 4, ..Default::default() })
+            .offload(
+                &build,
+                &OffloadOptions {
+                    iterations: 4,
+                    ..Default::default()
+                },
+            )
             .unwrap_or_else(|e| panic!("{b}: {e}"));
         let mut pipe_sys = HetSystem::new(HetSystemConfig::default());
         let pipelined = pipe_sys
@@ -187,12 +239,21 @@ fn full_offloads_stay_bit_identical_with_pipelining_on() {
 
         let ctx = format!("{b}");
         assert_phases_bit_identical(&serial, &pipelined, &ctx);
-        assert!(pipelined.total_seconds() <= serial.total_seconds() * (1.0 + 1e-12), "{ctx}");
-        pipelined.overlap.check().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        assert!(
+            pipelined.total_seconds() <= serial.total_seconds() * (1.0 + 1e-12),
+            "{ctx}"
+        );
+        pipelined
+            .overlap
+            .check()
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
         // The chunked transfer moves the same payload bytes; only frame
         // headers multiply (one per chunk instead of one per buffer).
         let (s_stats, p_stats) = (serial_sys.link_stats(), pipe_sys.link_stats());
-        assert!(p_stats.bytes_tx >= s_stats.bytes_tx, "{ctx}: chunking lost payload bytes");
+        assert!(
+            p_stats.bytes_tx >= s_stats.bytes_tx,
+            "{ctx}: chunking lost payload bytes"
+        );
         assert!(p_stats.bytes_rx >= s_stats.bytes_rx, "{ctx}");
     }
 }

@@ -98,7 +98,10 @@ fn power_model_is_smooth() {
         let p = model.total_power_w(model.fmax_hz(v), v, &act);
         if let Some(q) = prev {
             let ratio = p / q;
-            assert!((0.9..1.6).contains(&ratio), "power cliff at {v:.3} V: ×{ratio:.2}");
+            assert!(
+                (0.9..1.6).contains(&ratio),
+                "power cliff at {v:.3} V: ×{ratio:.2}"
+            );
         }
         prev = Some(p);
         v += 0.01;

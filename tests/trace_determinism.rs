@@ -13,7 +13,11 @@ fn offload_traced(tracer: &Tracer) -> OffloadReport {
     let mut sys = HetSystem::new(HetSystemConfig::default());
     sys.set_tracer(tracer.clone());
     let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
-    let opts = OffloadOptions { iterations: 4, double_buffer: true, ..Default::default() };
+    let opts = OffloadOptions {
+        iterations: 4,
+        double_buffer: true,
+        ..Default::default()
+    };
     sys.offload(&build, &opts).unwrap()
 }
 
@@ -38,7 +42,10 @@ fn chrome_export_is_deterministic_under_drops() {
     offload_traced(&t1);
     let t2 = Tracer::with_capacity(256);
     offload_traced(&t2);
-    assert!(t1.dropped() > 0, "capacity 256 must overflow on this workload");
+    assert!(
+        t1.dropped() > 0,
+        "capacity 256 must overflow on this workload"
+    );
     assert_eq!(t1.dropped(), t2.dropped());
     assert_eq!(t1.chrome_json(), t2.chrome_json());
 }
@@ -52,7 +59,12 @@ fn counters_are_internally_consistent() {
     let counters = tracer.counters();
     assert!(!counters.is_empty());
     for (component, k) in counters {
-        assert!(k.busy <= k.total, "{component:?}: busy {} > total {}", k.busy, k.total);
+        assert!(
+            k.busy <= k.total,
+            "{component:?}: busy {} > total {}",
+            k.busy,
+            k.total
+        );
         assert_eq!(k.busy + k.idle(), k.total, "{component:?}");
         assert!((0.0..=1.0).contains(&k.utilization()), "{component:?}");
     }
@@ -73,7 +85,10 @@ fn counters_reconcile_with_offload_report() {
     }
     let tcdm = tracer.counter(Component::Tcdm).unwrap();
     assert_eq!(tcdm.busy, activity.tcdm_busy_cycles);
-    assert_eq!(tcdm.total, activity.total_cycles * activity.tcdm_banks as u64);
+    assert_eq!(
+        tcdm.total,
+        activity.total_cycles * activity.tcdm_banks as u64
+    );
     let dma = tracer.counter(Component::Dma).unwrap();
     assert_eq!(dma.busy, activity.dma_busy_cycles);
 }
@@ -85,7 +100,11 @@ fn counters_reconcile_with_offload_report() {
 fn tracer_does_not_perturb_the_report() {
     let mut plain = HetSystem::new(HetSystemConfig::default());
     let build = Benchmark::MatMul.build(&TargetEnv::pulp_parallel());
-    let opts = OffloadOptions { iterations: 4, double_buffer: true, ..Default::default() };
+    let opts = OffloadOptions {
+        iterations: 4,
+        double_buffer: true,
+        ..Default::default()
+    };
     let without = plain.offload(&build, &opts).unwrap();
 
     let with = offload_traced(&Tracer::enabled());
@@ -114,10 +133,15 @@ fn offload_pipelined(tracer: &Tracer) -> OffloadReport {
 fn pipelined_overlap_counters_reconcile() {
     let tracer = Tracer::enabled();
     let report = offload_pipelined(&tracer);
-    let overlap = tracer.overlap().expect("pipelined offload must publish overlap counters");
+    let overlap = tracer
+        .overlap()
+        .expect("pipelined offload must publish overlap counters");
     assert_eq!(overlap, report.overlap, "tracer and report disagree");
     overlap.check().unwrap();
-    assert!(overlap.engaged, "the reference workload must engage the engine");
+    assert!(
+        overlap.engaged,
+        "the reference workload must engage the engine"
+    );
     assert!(overlap.chunks > 0);
     // The hidden time is what the report subtracts (up to ns rounding of
     // the schedule, and never more than the engine's concurrency).
@@ -130,8 +154,17 @@ fn pipelined_overlap_counters_reconcile() {
     );
     // The overlap table renders every row from these counters.
     let table = tracer.overlap_table();
-    for needle in ["link busy", "dma busy", "core busy", "all three", "pipelined"] {
-        assert!(table.contains(needle), "overlap table missing {needle:?}:\n{table}");
+    for needle in [
+        "link busy",
+        "dma busy",
+        "core busy",
+        "all three",
+        "pipelined",
+    ] {
+        assert!(
+            table.contains(needle),
+            "overlap table missing {needle:?}:\n{table}"
+        );
     }
 }
 
@@ -181,5 +214,8 @@ fn phase_spans_cover_the_report_breakdown() {
         * 1e9;
     let diff = (phase_ns as f64 - report_ns).abs();
     // One ns of truncation per emitted span is the worst case.
-    assert!(diff <= 8.0, "phase spans {phase_ns} ns vs report {report_ns:.0} ns");
+    assert!(
+        diff <= 8.0,
+        "phase spans {phase_ns} ns vs report {report_ns:.0} ns"
+    );
 }

@@ -86,8 +86,11 @@ fn random_program(rng: &mut XorShiftRng) -> Program {
                 a.jmp(spin);
             }
             0..=349 => {
-                let (rd, ra, rb) =
-                    (*choose(rng, &regs), *choose(rng, &regs), *choose(rng, &regs));
+                let (rd, ra, rb) = (
+                    *choose(rng, &regs),
+                    *choose(rng, &regs),
+                    *choose(rng, &regs),
+                );
                 match rng.gen_range(0u32..5) {
                     0 => a.add(rd, ra, rb),
                     1 => a.sub(rd, ra, rb),
@@ -129,8 +132,11 @@ fn random_program(rng: &mut XorShiftRng) -> Program {
                     _ => a.bgeu(ra, rb, skip),
                 };
                 for _ in 0..rng.gen_range(1usize..=2) {
-                    let (rd, r1, r2) =
-                        (*choose(rng, &regs), *choose(rng, &regs), *choose(rng, &regs));
+                    let (rd, r1, r2) = (
+                        *choose(rng, &regs),
+                        *choose(rng, &regs),
+                        *choose(rng, &regs),
+                    );
                     a.add(rd, r1, r2);
                 }
                 a.bind(skip);
@@ -167,7 +173,9 @@ fn run_engine(
     cl.load_binary(prog, L2_BASE).expect("program fits in L2");
     cl.start(L2_BASE, &[], 0);
     let result = cl.run_until_halt(200_000);
-    let scratch = cl.read_tcdm(TCDM_BASE, SCRATCH_BYTES).expect("scratch readback");
+    let scratch = cl
+        .read_tcdm(TCDM_BASE, SCRATCH_BYTES)
+        .expect("scratch readback");
     (result, scratch)
 }
 
@@ -185,13 +193,19 @@ fn turbo_matches_reference_on_600_random_programs() {
         let prog = random_program(&mut rng);
         let trace = case % 16 == 0;
         let (turbo_tracer, ref_tracer) = if trace {
-            (Some(Tracer::with_capacity(8192)), Some(Tracer::with_capacity(8192)))
+            (
+                Some(Tracer::with_capacity(8192)),
+                Some(Tracer::with_capacity(8192)),
+            )
         } else {
             (None, None)
         };
         let (fast, fast_mem) = run_engine(&cfg, &prog, true, turbo_tracer.clone());
         let (slow, slow_mem) = run_engine(&cfg, &prog, false, ref_tracer.clone());
-        let ctx = format!("case {case} ({} cores, {} banks)", cfg.num_cores, cfg.tcdm_banks);
+        let ctx = format!(
+            "case {case} ({} cores, {} banks)",
+            cfg.num_cores, cfg.tcdm_banks
+        );
         assert_eq!(fast, slow, "{ctx}: result diverged");
         assert_eq!(fast_mem, slow_mem, "{ctx}: TCDM image diverged");
         if let (Some(ft), Some(rt)) = (turbo_tracer, ref_tracer) {
@@ -204,7 +218,10 @@ fn turbo_matches_reference_on_600_random_programs() {
     }
     // The battery must exercise both completion and failure paths.
     assert!(halted >= 400, "only {halted}/600 programs completed");
-    assert!(errored >= 10, "only {errored}/600 programs hit an error path");
+    assert!(
+        errored >= 10,
+        "only {errored}/600 programs hit an error path"
+    );
 }
 
 /// Part B: the full offload pipeline on every Table I benchmark, link
@@ -231,10 +248,15 @@ fn turbo_matches_reference_on_all_benchmarks_with_and_without_faults() {
         let host = benchmark.build(&TargetEnv::host_m4());
         for fault in &fault_modes {
             let observe = |turbo: bool| {
-                let mut sys =
-                    HetSystem::new(HetSystemConfig { fault: *fault, ..HetSystemConfig::default() });
+                let mut sys = HetSystem::new(HetSystemConfig {
+                    fault: *fault,
+                    ..HetSystemConfig::default()
+                });
                 sys.set_turbo(turbo);
-                let opts = OffloadOptions { iterations: 2, ..OffloadOptions::default() };
+                let opts = OffloadOptions {
+                    iterations: 2,
+                    ..OffloadOptions::default()
+                };
                 let report = sys
                     .offload_with_fallback(&accel, &host, &opts)
                     .unwrap_or_else(|e| panic!("{benchmark:?} offload failed: {e}"));
