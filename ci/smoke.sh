@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Smoke-runs every user-facing binary and checks the committed golden
+# snapshots, mirroring the `smoke` leg of the CI matrix. Runnable
+# locally: `ci/smoke.sh`.
+#
+# Outputs:
+#   ci-artifacts/          tool stdout, golden diffs, BENCH_simulator.json
+#                          (gitignored; CI uploads it when the job fails)
+#   $RUNNER_TEMP (or mktemp) scratch for files nobody needs afterwards —
+#                          notably simperf's BENCH_reference.json, which
+#                          used to be dropped untracked into the workspace
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACTS=ci-artifacts
+SCRATCH=${RUNNER_TEMP:-$(mktemp -d)}
+mkdir -p "$ARTIFACTS"
+rm -f "$ARTIFACTS"/*.diff "$ARTIFACTS"/*.actual
+
+fail=0
+
+# golden NAME EXPECTED ACTUAL — on mismatch, keep a unified diff and the
+# actual bytes under ci-artifacts/ instead of losing them in the log.
+golden() {
+  local name=$1 expected=$2 actual=$3
+  if diff -u "$expected" "$actual" > "$ARTIFACTS/$name.diff"; then
+    rm -f "$ARTIFACTS/$name.diff"
+    echo "golden ok : $name"
+  else
+    cp "$actual" "$ARTIFACTS/$name.actual"
+    echo "GOLDEN DIVERGED: $name (diff kept at $ARTIFACTS/$name.diff)" >&2
+    sed -n 1,40p "$ARTIFACTS/$name.diff" >&2
+    fail=1
+  fi
+}
+
+echo "== figures smoke =="
+cargo run --release -q -p ulp-bench --bin table1 > /dev/null
+cargo run --release -q -p ulp-bench --bin faults > /dev/null
+
+echo "== trace smoke =="
+cargo run --release -q -p ulp-tools --bin het-sim -- \
+  --benchmark matmul --iterations 4 --double-buffer \
+  --trace "$ARTIFACTS/trace.json" --counters | tee "$ARTIFACTS/sim.out"
+# The export must be well-formed JSON...
+python3 -m json.tool "$ARTIFACTS/trace.json" > /dev/null
+# ...non-trivial (events recorded, counters busy)...
+grep -q '"ph":"X"' "$ARTIFACTS/trace.json"
+grep -E -q 'core0 +[1-9]' "$ARTIFACTS/sim.out"
+# ...and the counters section must have been printed.
+grep -q 'per-component utilization' "$ARTIFACTS/sim.out"
+
+echo "== pipeline smoke =="
+# The pipelined engine must engage on the CNN workload and print its
+# overlap accounting; the study table must match the pinned snapshot.
+cargo run --release -q -p ulp-tools --bin het-sim -- \
+  --benchmark cnn --iterations 16 --pipeline --counters | tee "$ARTIFACTS/pipe.out"
+grep -q 'pipeline  chunk' "$ARTIFACTS/pipe.out"
+grep -q 'pipeline overlap (engine schedule):' "$ARTIFACTS/pipe.out"
+cargo run --release -q -p ulp-bench --bin pipeline_table > "$SCRATCH/pipeline_table.txt"
+golden pipeline_table tests/golden/pipeline_table.txt "$SCRATCH/pipeline_table.txt"
+
+echo "== serve smoke =="
+# The serving layer end to end: het-sim front-end with batching and
+# fairness on, then the study binary against both committed snapshots
+# (the plain-text table and BENCH_serve.json must re-render exactly).
+cargo run --release -q -p ulp-tools --bin het-sim -- \
+  --serve --benchmark matmul --pool 2 --tenants 2 --duration-ms 400 \
+  --counters | tee "$ARTIFACTS/serve.out"
+grep -q 'serve     : hot kernel matmul' "$ARTIFACTS/serve.out"
+grep -q 'batching  : mean batch' "$ARTIFACTS/serve.out"
+grep -q 'per tenant:' "$ARTIFACTS/serve.out"
+grep -q 'per-worker utilization counters:' "$ARTIFACTS/serve.out"
+cargo run --release -q -p ulp-bench --bin serve -- \
+  --json "$SCRATCH/BENCH_serve.json" > "$SCRATCH/serve_table.txt"
+golden serve_table tests/golden/serve_table.txt "$SCRATCH/serve_table.txt"
+golden BENCH_serve BENCH_serve.json "$SCRATCH/BENCH_serve.json"
+
+echo "== simulator perf smoke =="
+# Tracks the simulator's own wall-clock cost. The shared runner is noisy,
+# so this validates the tooling (report shape, engine bit-identity
+# re-check, --jobs/--no-turbo paths) rather than asserting a speedup; the
+# numbers land in the uploaded artifact for trend inspection. The
+# reference-engine report is scratch output: nothing consumes it, so it
+# stays out of the workspace.
+cargo run --release -q -p ulp-bench --bin simperf -- \
+  --jobs 2 --reps 1 --out "$ARTIFACTS/BENCH_simulator.json"
+python3 -m json.tool "$ARTIFACTS/BENCH_simulator.json" > /dev/null
+grep -q '"engine_comparison"' "$ARTIFACTS/BENCH_simulator.json"
+grep -q '"simulated_mips"' "$ARTIFACTS/BENCH_simulator.json"
+cargo run --release -q -p ulp-bench --bin simperf -- \
+  --no-turbo --skip-comparison --out "$SCRATCH/BENCH_reference.json"
+python3 -m json.tool "$SCRATCH/BENCH_reference.json" > /dev/null
+
+if [ "$fail" -ne 0 ]; then
+  echo "smoke: golden snapshot(s) diverged — see $ARTIFACTS/" >&2
+  exit 1
+fi
+echo "smoke: all checks passed"

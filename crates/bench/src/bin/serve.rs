@@ -1,0 +1,35 @@
+//! Serving-layer batching study: runs the batched-vs-serial sweep
+//! across pool sizes and the ten paper benchmarks, prints the table,
+//! and optionally writes `BENCH_serve.json`.
+//!
+//! Usage: `serve [--jobs N] [--json PATH]`
+//!
+//! The study runs on the virtual clock, so the JSON is byte-identical
+//! for every `--jobs` setting — `--jobs` only changes how many
+//! scenarios simulate concurrently.
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--jobs N] [--json PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut rest = ulp_bench::init_jobs_from_args().into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(rest.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let cells = ulp_bench::serve::study();
+    print!("{}", ulp_bench::serve::render_table(&cells));
+    if let Some(path) = json_path {
+        let json = ulp_bench::serve::render_json(&cells);
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("serve: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("serve: wrote {path}");
+    }
+}

@@ -14,6 +14,7 @@
 //! | core-count scaling study                | [`scaling`] | `cargo run --bin scaling` |
 //! | fault-injection resilience study        | [`faults`] | `cargo run --bin faults` |
 //! | pipelined-offload study                 | [`pipeline`] | `cargo run --bin pipeline_table` |
+//! | serving-layer batching study            | [`serve`]  | `cargo run --bin serve` |
 //! | simulator wall-clock perf tracking      | [`simperf`] | `cargo run --bin simperf` |
 //!
 //! `cargo run --bin all_experiments` prints everything (the source of
@@ -31,6 +32,7 @@ pub mod fig5b;
 pub mod measure;
 pub mod pipeline;
 pub mod scaling;
+pub mod serve;
 pub mod simperf;
 pub mod table1;
 

@@ -58,7 +58,7 @@ pub use queue::{OffloadQueue, QueueReport};
 pub use region::{MapClause, MapDir, TargetRegion};
 pub use system::{
     HetSystem, HetSystemConfig, HostReport, LinkClocking, OffloadCost, OffloadError,
-    OffloadOptions, OffloadPolicy, OffloadReport, ResilienceStats,
+    OffloadOptions, OffloadPolicy, OffloadReport, PlannedJob, ResilienceStats,
 };
 // Re-exported so offload users can configure fault injection without
 // depending on ulp-link directly, and the overlap accounting the

@@ -36,9 +36,18 @@ use ulp_trace::Overlap;
 use crate::system::{OffloadOptions, OffloadReport};
 
 /// An ordered batch of offload jobs awaiting execution.
+///
+/// A queue is consumed *by generation*: once
+/// [`HetSystem::run_queue`](crate::HetSystem::run_queue) has executed the
+/// queued jobs, the queue is marked consumed. The next [`push`] then
+/// starts a **fresh generation** — the already-executed jobs are dropped
+/// and [`generation`](OffloadQueue::generation) increments — instead of
+/// silently accumulating jobs that a re-run would execute twice.
 #[derive(Clone, Debug, Default)]
 pub struct OffloadQueue {
     jobs: Vec<(KernelBuild, OffloadOptions)>,
+    generation: u64,
+    consumed: std::cell::Cell<bool>,
 }
 
 impl OffloadQueue {
@@ -49,8 +58,35 @@ impl OffloadQueue {
     }
 
     /// Appends a kernel with its invocation options.
+    ///
+    /// If the queue was already consumed by a run, the executed jobs are
+    /// dropped first and a fresh generation begins with this job.
     pub fn push(&mut self, build: KernelBuild, opts: OffloadOptions) {
+        if self.consumed.get() {
+            self.jobs.clear();
+            self.generation += 1;
+            self.consumed.set(false);
+        }
         self.jobs.push((build, opts));
+    }
+
+    /// The queue's generation: 0 for a fresh queue, incremented every
+    /// time a post-run [`push`](OffloadQueue::push) starts over.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True once a run has executed the queued jobs; the next
+    /// [`push`](OffloadQueue::push) will start a fresh generation.
+    #[must_use]
+    pub fn is_consumed(&self) -> bool {
+        self.consumed.get()
+    }
+
+    /// Marks the queue consumed (called by the run that executes it).
+    pub(crate) fn mark_consumed(&self) {
+        self.consumed.set(true);
     }
 
     /// Queued jobs, in execution order.
@@ -204,6 +240,31 @@ mod tests {
             r.reports[1].binary_seconds, 0.0,
             "second job reuses the binary"
         );
+    }
+
+    #[test]
+    fn post_run_push_starts_a_fresh_generation() {
+        // Regression: pushing after a run used to silently append to the
+        // already-executed jobs, so a second run re-ran the whole history.
+        let env = TargetEnv::pulp_parallel();
+        let mut sys = HetSystem::new(HetSystemConfig::default());
+        let mut q = queue_of(2);
+        assert_eq!(q.generation(), 0);
+        assert!(!q.is_consumed());
+        let first = sys.run_queue(&q, PipelineConfig::enabled()).unwrap();
+        assert_eq!(first.reports.len(), 2);
+        assert!(q.is_consumed(), "a run must mark the queue consumed");
+
+        q.push(
+            matmul::build_sized(MatVariant::Char, &env, 8),
+            OffloadOptions::default(),
+        );
+        assert_eq!(q.generation(), 1, "post-run push starts a new generation");
+        assert_eq!(q.len(), 1, "executed jobs are dropped, not re-queued");
+        assert!(!q.is_consumed());
+        let second = sys.run_queue(&q, PipelineConfig::enabled()).unwrap();
+        assert_eq!(second.reports.len(), 1, "only the fresh job runs");
+        assert!(q.is_consumed());
     }
 
     #[test]

@@ -302,6 +302,19 @@ pub struct OffloadCost {
     pub activity: ClusterActivity,
 }
 
+/// One job of a planned (not executed) queue: a measured cost, the
+/// invocation options, and whether the one-time program offload is paid
+/// by this job. Input to [`HetSystem::plan_queue`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedJob<'a> {
+    /// Measured cost parameters of the kernel.
+    pub cost: &'a OffloadCost,
+    /// Invocation options (the planner forces `pipeline` to the queue's).
+    pub opts: OffloadOptions,
+    /// True when the program binary must be shipped before this job.
+    pub ship_binary: bool,
+}
+
 /// What resilience cost on top of the healthy offload: recovery events and
 /// the extra wall-clock / energy they charged. All-zero on a fault-free
 /// link, which keeps every fault-free figure bit-identical.
@@ -1386,10 +1399,11 @@ impl HetSystem {
         pipe: PipelineConfig,
     ) -> Result<QueueReport, OffloadError> {
         let norm = pipe.normalized();
-        let mut reports: Vec<OffloadReport> = Vec::with_capacity(queue.len());
-        let mut serialized_seconds = 0.0f64;
+        queue.mark_consumed();
 
         if self.injector.is_active() || !norm.enabled {
+            let mut reports: Vec<OffloadReport> = Vec::with_capacity(queue.len());
+            let mut serialized_seconds = 0.0f64;
             let mut total_seconds = 0.0f64;
             for (build, opts) in queue.jobs() {
                 let mut o = *opts;
@@ -1413,10 +1427,12 @@ impl HetSystem {
             });
         }
 
+        // Execute the side effects — cost measurement on the cluster, link
+        // statistics, binary residency — then hand the measured jobs to the
+        // pure planner shared with the serving layer.
         let mcu_hz = self.config.mcu_freq_hz;
-        let mut sched = Schedule::new(norm.window);
-        let mut sync_total = 0.0f64;
-        let mut sequential_total = 0.0f64;
+        let mut measured: Vec<(OffloadCost, OffloadOptions, bool)> =
+            Vec::with_capacity(queue.len());
         for (build, opts) in queue.jobs() {
             let mut o = *opts;
             o.pipeline = pipe;
@@ -1457,8 +1473,73 @@ impl HetSystem {
                     let _ = self.link.receive(chunk + FRAME_OVERHEAD, mcu_hz);
                 }
             }
+            measured.push((cost, o, ship_binary));
+        }
 
-            let report = self.predict(&cost, &o, ship_binary);
+        let jobs: Vec<PlannedJob<'_>> = measured
+            .iter()
+            .map(|(cost, opts, ship_binary)| PlannedJob {
+                cost,
+                opts: *opts,
+                ship_binary: *ship_binary,
+            })
+            .collect();
+        let qr = self.plan_queue(&jobs, pipe);
+        for report in &qr.reports {
+            self.emit_phases(report);
+        }
+        if qr.overlap.any() {
+            self.tracer.set_overlap(qr.overlap);
+        }
+        Ok(qr)
+    }
+
+    /// Plans an ordered sequence of offload jobs through one shared
+    /// pipeline schedule **without touching any simulator state** — no
+    /// cluster runs, no link statistics, no residency changes. Each job
+    /// carries a measured [`OffloadCost`] (see [`HetSystem::measure_cost`])
+    /// plus whether the program offload is paid; this is exactly the
+    /// arithmetic [`HetSystem::run_queue`] performs after its side
+    /// effects, factored out so a serving layer can price thousands of
+    /// candidate batches against cached costs.
+    ///
+    /// With the pipeline disabled the jobs are planned strictly
+    /// serialized and `total_seconds == serialized_seconds`.
+    #[must_use]
+    pub fn plan_queue(&self, jobs: &[PlannedJob<'_>], pipe: PipelineConfig) -> QueueReport {
+        let norm = pipe.normalized();
+        let mut reports: Vec<OffloadReport> = Vec::with_capacity(jobs.len());
+        let mut serialized_seconds = 0.0f64;
+
+        if !norm.enabled {
+            let mut total_seconds = 0.0f64;
+            for job in jobs {
+                let mut o = job.opts;
+                o.pipeline = pipe;
+                let r = self.predict(job.cost, &o, job.ship_binary);
+                serialized_seconds += r.binary_seconds
+                    + r.input_seconds
+                    + r.output_seconds
+                    + r.compute_seconds
+                    + r.sync_seconds;
+                total_seconds += r.total_seconds();
+                reports.push(r);
+            }
+            return QueueReport {
+                reports,
+                serialized_seconds,
+                total_seconds,
+                overlap: Overlap::default(),
+            };
+        }
+
+        let mut sched = Schedule::new(norm.window);
+        let mut sync_total = 0.0f64;
+        let mut sequential_total = 0.0f64;
+        for job in jobs {
+            let mut o = job.opts;
+            o.pipeline = pipe;
+            let report = self.predict(job.cost, &o, job.ship_binary);
             serialized_seconds += report.binary_seconds
                 + report.input_seconds
                 + report.output_seconds
@@ -1466,9 +1547,8 @@ impl HetSystem {
                 + report.sync_seconds;
             sync_total += report.sync_seconds;
             sequential_total += report.total_seconds();
-            let job = self.pipeline_job(&cost, &o, ship_binary, norm);
-            let _ = pipeline::schedule_job(&mut sched, &job);
-            self.emit_phases(&report);
+            let engine_job = self.pipeline_job(job.cost, &o, job.ship_binary, norm);
+            pipeline::schedule_job(&mut sched, &engine_job);
             reports.push(report);
         }
 
@@ -1480,15 +1560,12 @@ impl HetSystem {
         let total_seconds = pipelined.min(sequential_total).min(serialized_seconds);
         let mut overlap = sched.overlap();
         overlap.engaged = pipelined < serialized_seconds;
-        if overlap.any() {
-            self.tracer.set_overlap(overlap);
-        }
-        Ok(QueueReport {
+        QueueReport {
             reports,
             serialized_seconds,
             total_seconds,
             overlap,
-        })
+        }
     }
 }
 

@@ -128,28 +128,47 @@ fn run_one(insn: Insn, a: u32, b: u32, d: u32) -> u32 {
     core.reg(R1)
 }
 
-/// Operand triples per opcode in the always-on battery.
+/// Operand triples per opcode in the always-on battery, multiplied by
+/// `ULP_BATTERY_SCALE` (default 1; the nightly CI job raises it).
 const TRIPLES: usize = 10_000;
+
+/// Triples to run right now, honouring the scale knob.
+fn scaled_triples() -> usize {
+    TRIPLES * ulp_par::battery_scale()
+}
 
 macro_rules! alu_case {
     ($name:ident, $variant:ident, $seed:expr) => {
         #[test]
         fn $name() {
+            let scale = ulp_par::battery_scale();
             let mut rng = XorShiftRng::seed_from_u64($seed);
             let insn = Insn::$variant(R1, R2, R3);
-            for i in 0..TRIPLES {
+            for i in 0..scaled_triples() {
                 let (a, b, d) = (
                     operand32(&mut rng),
                     operand32(&mut rng),
                     operand32(&mut rng),
                 );
-                let got = run_one(insn, a, b, d);
-                let want = eval(&insn, a, b, d);
-                assert_eq!(
-                    got, want,
-                    "{insn} diverged on triple #{i}: a={a:#010x} b={b:#010x} d={d:#010x} \
-                     (got {got:#010x}, want {want:#010x})"
+                // A failing triple appends its reproduction line to
+                // target/battery-failures/ before panicking, so the
+                // nightly job can upload it as an artifact.
+                let repro = format!(
+                    "{}: seed={:#x} triple={} ULP_BATTERY_SCALE={}",
+                    stringify!($name),
+                    $seed,
+                    i,
+                    scale
                 );
+                ulp_par::battery_case("isa_differential", &repro, || {
+                    let got = run_one(insn, a, b, d);
+                    let want = eval(&insn, a, b, d);
+                    assert_eq!(
+                        got, want,
+                        "{insn} diverged on triple #{i}: a={a:#010x} b={b:#010x} d={d:#010x} \
+                         (got {got:#010x}, want {want:#010x})"
+                    );
+                });
             }
         }
     };
@@ -182,7 +201,7 @@ alu_case!(diff_divu, Divu, 0x0A16);
 #[test]
 fn diff_mlal() {
     let mut rng = XorShiftRng::seed_from_u64(0x0B01);
-    for _ in 0..TRIPLES {
+    for _ in 0..scaled_triples() {
         let (a, b) = (operand32(&mut rng), operand32(&mut rng));
         let (hi, lo) = (operand32(&mut rng), operand32(&mut rng));
         let signed: bool = rng.gen();
@@ -226,7 +245,7 @@ fn diff_mlal() {
 #[test]
 fn diff_branches() {
     let mut rng = XorShiftRng::seed_from_u64(0x0B02);
-    for _ in 0..TRIPLES {
+    for _ in 0..scaled_triples() {
         let (a, b) = (operand32(&mut rng), operand32(&mut rng));
         let kind = rng.gen_range(0usize..6);
         let taken_expected = match kind {
@@ -270,7 +289,7 @@ fn diff_branches() {
 #[test]
 fn diff_addi_vs_add() {
     let mut rng = XorShiftRng::seed_from_u64(0x0B03);
-    for _ in 0..TRIPLES {
+    for _ in 0..scaled_triples() {
         let a = operand32(&mut rng);
         let imm: i16 = rng.gen_range(-8192i16..8192);
         let mut asm = Asm::new();

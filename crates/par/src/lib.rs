@@ -65,6 +65,71 @@ pub fn effective_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Multiplier for the seeded differential batteries, from the
+/// `ULP_BATTERY_SCALE` environment variable.
+///
+/// The default `cargo test` run uses scale 1; the nightly CI job exports
+/// a larger value to run the same seeded batteries over proportionally
+/// more cases. Unset, empty, zero, or unparsable values mean 1; the
+/// knob is clamped to 1000 so a typo cannot wedge CI for days.
+#[must_use]
+pub fn battery_scale() -> usize {
+    match std::env::var("ULP_BATTERY_SCALE") {
+        Ok(v) => v.trim().parse::<usize>().map_or(1, |n| n.clamp(1, 1000)),
+        Err(_) => 1,
+    }
+}
+
+/// Runs one battery case, appending `repro` to
+/// `target/battery-failures/<battery>.txt` if the case panics (then
+/// re-raising the panic). The repro line should carry everything needed
+/// to replay the case — seed, case index, and the active
+/// [`battery_scale`] — so CI can upload the file as an artifact and a
+/// developer can reproduce the failure locally without rerunning the
+/// whole battery.
+///
+/// Recording is best-effort: if the workspace root (the directory
+/// holding `Cargo.lock`) cannot be found or written to, the panic still
+/// propagates and only the side file is lost.
+pub fn battery_case<T>(battery: &str, repro: &str, f: impl FnOnce() -> T) -> T {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            if let Some(path) = record_battery_failure(battery, repro) {
+                eprintln!("battery repro appended to {}", path.display());
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Appends `repro` to `target/battery-failures/<battery>.txt` under the
+/// workspace root, creating the directory as needed, and returns the
+/// path. Returns `None` (never panics) if the root or the file is
+/// unreachable.
+fn record_battery_failure(battery: &str, repro: &str) -> Option<std::path::PathBuf> {
+    use std::io::Write;
+    // Tests run with the *package* directory as cwd; walk up to the
+    // workspace root (the directory holding Cargo.lock) so every
+    // battery, whichever crate hosts it, records to the same place.
+    let mut root = std::env::current_dir().ok()?;
+    while !root.join("Cargo.lock").exists() {
+        if !root.pop() {
+            return None;
+        }
+    }
+    let dir = root.join("target").join("battery-failures");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{battery}.txt"));
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .ok()?;
+    writeln!(file, "{repro}").ok()?;
+    Some(path)
+}
+
 /// Applies `f` to every item of `items` (with its index), fanning out over
 /// [`effective_jobs`] scoped threads, and returns the results **in input
 /// order**. Equivalent to
@@ -187,6 +252,43 @@ mod tests {
     fn empty_input() {
         let out: Vec<u32> = par_map(&[] as &[u32], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn battery_scale_parses_and_clamps() {
+        let _g = jobs_guard();
+        let prior = std::env::var("ULP_BATTERY_SCALE").ok();
+        std::env::set_var("ULP_BATTERY_SCALE", "5");
+        assert_eq!(battery_scale(), 5);
+        std::env::set_var("ULP_BATTERY_SCALE", "0");
+        assert_eq!(battery_scale(), 1);
+        std::env::set_var("ULP_BATTERY_SCALE", "9999999");
+        assert_eq!(battery_scale(), 1000);
+        std::env::set_var("ULP_BATTERY_SCALE", "banana");
+        assert_eq!(battery_scale(), 1);
+        std::env::remove_var("ULP_BATTERY_SCALE");
+        assert_eq!(battery_scale(), 1);
+        if let Some(v) = prior {
+            std::env::set_var("ULP_BATTERY_SCALE", v);
+        }
+    }
+
+    #[test]
+    fn battery_case_records_repro_and_rethrows() {
+        let marker = "unit-test-battery-case";
+        let caught = std::panic::catch_unwind(|| {
+            battery_case("par_unit_test", marker, || panic!("expected"));
+        });
+        assert!(caught.is_err(), "panic must propagate");
+        let path = record_battery_failure("par_unit_test", marker).expect("recordable");
+        let recorded = std::fs::read_to_string(&path).expect("repro file");
+        assert!(recorded.contains(marker));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn battery_case_passes_value_through() {
+        assert_eq!(battery_case("par_unit_test", "unused", || 42), 42);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Multi-tenant serving layer for the heterogeneous offload model.
+//!
+//! The paper exercises the STM32-L476 → PULP offload path one request
+//! at a time; the ROADMAP north star is a system serving heavy traffic
+//! from many concurrent users. This crate models that front-end:
+//!
+//! * **Admission control** — bounded per-tenant queues; arrivals past a
+//!   tenant's cap are rejected (backpressure) instead of growing an
+//!   unbounded backlog.
+//! * **Kernel-aware batching** — same-kernel requests coalesce into one
+//!   dispatch, so one program upload and one shared pipeline schedule
+//!   amortize across N payloads (see [`server`] for why that wins).
+//! * **Weighted fairness** — a virtual-time scheduler gives each tenant
+//!   service proportional to its weight; one hot tenant cannot starve
+//!   the rest.
+//! * **Seeded determinism** — the load generator and the scheduler both
+//!   run on a virtual clock from `ulp-rng` seeds; reports are
+//!   byte-stable across machines and `--jobs` settings.
+//!
+//! ```
+//! use ulp_kernels::{Benchmark, TargetEnv};
+//! use ulp_offload::HetSystemConfig;
+//! use ulp_serve::{
+//!     CostBook, ServeConfig, ServePool, TenantLoad, TenantSpec, WorkloadSpec,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let env = TargetEnv::pulp_parallel();
+//! let config = HetSystemConfig::default();
+//! let kernels = [Benchmark::MatMul, Benchmark::Cnn];
+//! let book = CostBook::measure(&env, &config, &kernels)?;
+//!
+//! let tenants = vec![TenantSpec::new("app"), TenantSpec::weighted("batch", 2)];
+//! let workload = WorkloadSpec {
+//!     seed: 42,
+//!     duration_ns: 500_000_000,
+//!     tenants: vec![
+//!         TenantLoad::uniform(tenants[0].clone(), 60.0, &kernels),
+//!         TenantLoad::uniform(tenants[1].clone(), 30.0, &kernels),
+//!     ],
+//! };
+//! let mut pool = ServePool::new(&config, tenants, book, ServeConfig {
+//!     pool: 2,
+//!     ..ServeConfig::default()
+//! });
+//! let report = pool.run(&workload.generate());
+//! assert!(report.completed > 0);
+//! assert!(report.throughput_rps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod loadgen;
+mod metrics;
+mod request;
+pub mod server;
+
+pub use loadgen::{TenantLoad, WorkloadSpec};
+pub use metrics::{fmt_ms, percentile_ns, LatencyStats, ServeReport, TenantReport};
+pub use request::{DeadlineClass, ServeRequest, TenantSpec};
+pub use server::{BatchPolicy, CostBook, ServeConfig, ServePool};

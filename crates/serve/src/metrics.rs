@@ -1,0 +1,190 @@
+//! Latency, throughput, and fairness accounting of a serve run.
+//!
+//! Percentiles use the nearest-rank method on the exact latency samples
+//! (no buckets, no interpolation), so a report is a pure function of the
+//! completion set and re-renders byte-identically.
+
+/// Nearest-rank percentile of a **sorted** sample set, in the sample
+/// unit. Returns 0 for an empty set.
+#[must_use]
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency summary of one population of completed requests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Completed request count.
+    pub count: u64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes a latency sample set (need not be sorted).
+    #[must_use]
+    pub fn of(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&x| u128::from(x)).sum();
+        LatencyStats {
+            count: sorted.len() as u64,
+            p50_ns: percentile_ns(&sorted, 50.0),
+            p95_ns: percentile_ns(&sorted, 95.0),
+            p99_ns: percentile_ns(&sorted, 99.0),
+            mean_ns: (sum / sorted.len() as u128) as u64,
+        }
+    }
+}
+
+/// Per-tenant slice of a [`ServeReport`].
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant name, from its [`TenantSpec`](crate::TenantSpec).
+    pub name: String,
+    /// Fairness weight the scheduler used.
+    pub weight: u32,
+    /// Latency summary of the tenant's completions.
+    pub latency: LatencyStats,
+    /// Arrivals turned away by admission control.
+    pub rejected: u64,
+    /// Completions later than their class deadline.
+    pub deadline_misses: u64,
+}
+
+/// Everything a serve run measured.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests that completed.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Completions later than their class deadline.
+    pub deadline_misses: u64,
+    /// Virtual instant the last batch finished, nanoseconds.
+    pub makespan_ns: u64,
+    /// Overall latency summary.
+    pub latency: LatencyStats,
+    /// Per-tenant summaries, in tenant-table order.
+    pub tenants: Vec<TenantReport>,
+    /// `hist[k]` counts dispatched batches of size `k + 1`.
+    pub batch_hist: Vec<u64>,
+    /// Program binaries shipped (cold uploads the batching amortized
+    /// away do not appear here).
+    pub uploads: u64,
+    /// Busy nanoseconds per worker, pool order.
+    pub worker_busy_ns: Vec<u64>,
+    /// Highest total queued depth observed at any scheduling instant.
+    pub max_queue_depth: usize,
+}
+
+impl ServeReport {
+    /// Completed requests per second of virtual time (0 when nothing
+    /// completed).
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+
+    /// Mean dispatched batch size (0 when nothing dispatched).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        let batches: u64 = self.batch_hist.iter().sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let requests: u64 = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum();
+        requests as f64 / batches as f64
+    }
+
+    /// Pool utilization: busy time summed over workers divided by
+    /// `pool × makespan`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ns == 0 || self.worker_busy_ns.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        busy as f64 / (self.makespan_ns as f64 * self.worker_busy_ns.len() as f64)
+    }
+}
+
+/// Renders nanoseconds as fixed-point milliseconds ("12.345"), the only
+/// latency format reports and tables use — fixed precision keeps golden
+/// snapshots stable.
+#[must_use]
+pub fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&s, 50.0), 50);
+        assert_eq!(percentile_ns(&s, 95.0), 95);
+        assert_eq!(percentile_ns(&s, 99.0), 99);
+        assert_eq!(percentile_ns(&s, 100.0), 100);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn latency_stats_summarize() {
+        let st = LatencyStats::of(&[30, 10, 20]);
+        assert_eq!(st.count, 3);
+        assert_eq!(st.p50_ns, 20);
+        assert_eq!(st.p99_ns, 30);
+        assert_eq!(st.mean_ns, 20);
+    }
+
+    #[test]
+    fn fixed_point_millis() {
+        assert_eq!(fmt_ms(0), "0.000");
+        assert_eq!(fmt_ms(1_234_567), "1.234");
+        assert_eq!(fmt_ms(50_000_000), "50.000");
+    }
+
+    #[test]
+    fn batch_histogram_mean() {
+        let r = ServeReport {
+            completed: 10,
+            rejected: 0,
+            deadline_misses: 0,
+            makespan_ns: 2_000_000_000,
+            latency: LatencyStats::default(),
+            tenants: Vec::new(),
+            batch_hist: vec![2, 0, 0, 2], // 2 singles + 2 fours = 10 reqs
+            uploads: 0,
+            worker_busy_ns: vec![1_000_000_000],
+            max_queue_depth: 4,
+        };
+        assert!((r.mean_batch() - 2.5).abs() < 1e-12);
+        assert!((r.throughput_rps() - 5.0).abs() < 1e-12);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Request and tenant vocabulary of the serving layer.
+
+use ulp_kernels::Benchmark;
+
+/// Latency expectation attached to a request. The class orders requests
+/// inside a tenant's queue (interactive work jumps ahead of batch work)
+/// and defines the deadline the metrics check completions against.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DeadlineClass {
+    /// User-facing request: 50 ms deadline.
+    Interactive,
+    /// Default class: 250 ms deadline.
+    Standard,
+    /// Throughput-oriented background work: 2 s deadline.
+    Batch,
+}
+
+impl DeadlineClass {
+    /// All classes, in priority order (highest first).
+    pub const ALL: [DeadlineClass; 3] = [
+        DeadlineClass::Interactive,
+        DeadlineClass::Standard,
+        DeadlineClass::Batch,
+    ];
+
+    /// Completion deadline relative to arrival, in nanoseconds of
+    /// virtual time.
+    #[must_use]
+    pub fn deadline_ns(self) -> u64 {
+        match self {
+            DeadlineClass::Interactive => 50_000_000,
+            DeadlineClass::Standard => 250_000_000,
+            DeadlineClass::Batch => 2_000_000_000,
+        }
+    }
+
+    /// Scheduling rank: lower is served first within a tenant.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            DeadlineClass::Interactive => 0,
+            DeadlineClass::Standard => 1,
+            DeadlineClass::Batch => 2,
+        }
+    }
+
+    /// Short label used in tables and traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineClass::Interactive => "interactive",
+            DeadlineClass::Standard => "standard",
+            DeadlineClass::Batch => "batch",
+        }
+    }
+}
+
+/// Static description of one tenant of the serving layer.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (also the key in reports).
+    pub name: String,
+    /// Weight of the tenant's share of accelerator time. A tenant with
+    /// weight 2 is entitled to twice the service of a weight-1 tenant
+    /// when both are backlogged. Must be ≥ 1.
+    pub weight: u32,
+    /// Admission-control bound: at most this many requests may wait in
+    /// the tenant's queue; arrivals beyond it are rejected.
+    pub queue_cap: usize,
+}
+
+impl TenantSpec {
+    /// A weight-1 tenant with the default queue bound of 64.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        TenantSpec {
+            name: name.to_owned(),
+            weight: 1,
+            queue_cap: 64,
+        }
+    }
+
+    /// Same, with an explicit fairness weight.
+    #[must_use]
+    pub fn weighted(name: &str, weight: u32) -> Self {
+        TenantSpec {
+            weight: weight.max(1),
+            ..TenantSpec::new(name)
+        }
+    }
+}
+
+/// One offload request in flight through the serving layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeRequest {
+    /// Globally unique, assigned in arrival order by the load generator.
+    pub id: u64,
+    /// Index into the pool's tenant table.
+    pub tenant: usize,
+    /// Which paper benchmark the payload runs.
+    pub benchmark: Benchmark,
+    /// Kernel iterations the payload asks for (≥ 1).
+    pub iterations: usize,
+    /// Latency class.
+    pub class: DeadlineClass,
+    /// Arrival instant on the virtual clock, in nanoseconds.
+    pub arrival_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_classes_are_ordered() {
+        assert!(DeadlineClass::Interactive.rank() < DeadlineClass::Standard.rank());
+        assert!(DeadlineClass::Standard.rank() < DeadlineClass::Batch.rank());
+        assert!(DeadlineClass::Interactive.deadline_ns() < DeadlineClass::Batch.deadline_ns());
+    }
+
+    #[test]
+    fn tenant_weight_is_clamped() {
+        assert_eq!(TenantSpec::weighted("t", 0).weight, 1);
+        assert_eq!(TenantSpec::new("t").weight, 1);
+    }
+}

@@ -46,6 +46,9 @@ fn run() -> Result<(), String> {
             "counters",
             "perf",
             "no-turbo",
+            "serve",
+            "serial",
+            "no-fair",
             "help",
         ],
     );
@@ -60,7 +63,9 @@ fn run() -> Result<(), String> {
              [--stuck-fetch-enable] [--fault-seed N] [--max-retries N] \
              [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback] \
              [--trace FILE] [--trace-cap N] [--counters] \
-             [--perf] [--no-turbo] [--jobs N]"
+             [--perf] [--no-turbo] [--jobs N] \
+             [--serve] [--pool N] [--max-batch N] [--serial] [--no-fair] \
+             [--serve-seed N] [--duration-ms N] [--tenants N]"
                 .to_owned(),
         );
     }
@@ -120,6 +125,10 @@ fn run() -> Result<(), String> {
             .ok_or_else(|| format!("the MCU alone exceeds the {:.1} mW budget", budget * 1e3))?;
         cfg.pulp_vdd = op.vdd;
         cfg.pulp_freq_hz = op.freq_hz;
+    }
+
+    if args.has("serve") {
+        return run_serve(&args, benchmark, &cfg);
     }
 
     let mut sys = HetSystem::new(cfg);
@@ -310,6 +319,177 @@ fn run() -> Result<(), String> {
                 String::new()
             }
         );
+    }
+    Ok(())
+}
+
+/// `--serve`: run the multi-tenant serving layer over a pool of
+/// simulated workers, with the selected benchmark as the hot kernel.
+fn run_serve(
+    args: &Args,
+    hot: ulp_kernels::Benchmark,
+    cfg: &HetSystemConfig,
+) -> Result<(), String> {
+    use ulp_kernels::Benchmark;
+    use ulp_serve::{
+        fmt_ms, BatchPolicy, CostBook, ServeConfig, ServePool, TenantLoad, TenantSpec, WorkloadSpec,
+    };
+
+    let pool = args.get_usize("pool", 2)?.max(1);
+    let max_batch = args.get_usize("max-batch", 8)?.max(1);
+    let seed = args.get_usize("serve-seed", 42)? as u64;
+    let duration_ms = args.get_usize("duration-ms", 1000)?.max(1);
+    let n_tenants = args.get_usize("tenants", 2)?.max(1);
+    let serial = args.has("serial");
+    let fair = !args.has("no-fair");
+
+    let trace_file = args.get("trace").map(str::to_owned);
+    let tracer = if trace_file.is_some() || args.has("counters") {
+        Tracer::with_capacity(args.get_usize("trace-cap", ulp_trace::DEFAULT_RING_CAP)?)
+    } else {
+        Tracer::disabled()
+    };
+
+    let env = TargetEnv::pulp_parallel();
+    let book =
+        CostBook::measure(&env, cfg, &Benchmark::ALL).map_err(|e| format!("cost book: {e}"))?;
+    let mix: Vec<(Benchmark, f64)> = Benchmark::ALL
+        .iter()
+        .map(|&b| (b, if b == hot { 9.0 } else { 1.0 }))
+        .collect();
+    let mix_total: f64 = mix.iter().map(|(_, w)| *w).sum();
+    let mean_ns: f64 = mix
+        .iter()
+        .map(|&(b, w)| book.est_ns(b, 1) as f64 * w / mix_total)
+        .sum();
+    // Offered load sized to keep the pool saturated, split evenly.
+    let rate = 1.5 * pool as f64 * 1e9 / mean_ns;
+
+    let tenants: Vec<TenantSpec> = (0..n_tenants)
+        .map(|i| {
+            let mut t = if i == 0 {
+                TenantSpec::weighted("app", 2)
+            } else {
+                TenantSpec::new(&format!("bg{i}"))
+            };
+            t.queue_cap = 256;
+            t
+        })
+        .collect();
+    let workload = WorkloadSpec {
+        seed,
+        duration_ns: duration_ms as u64 * 1_000_000,
+        tenants: tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TenantLoad {
+                spec: spec.clone(),
+                rate_rps: rate / n_tenants as f64,
+                kernel_mix: mix.clone(),
+                class_mix: if i == 0 {
+                    [0.3, 0.6, 0.1]
+                } else {
+                    [0.0, 0.6, 0.4]
+                },
+                iterations: 1,
+            })
+            .collect(),
+    };
+    let requests = workload.generate();
+
+    let policy = if serial {
+        BatchPolicy::Serial
+    } else {
+        BatchPolicy::KernelAware { max_batch }
+    };
+    let mut serve_pool = ServePool::new(
+        cfg,
+        tenants,
+        book,
+        ServeConfig {
+            pool,
+            policy,
+            fair,
+            ..ServeConfig::default()
+        },
+    )
+    .with_tracer(tracer.clone());
+    let report = serve_pool.run(&requests);
+
+    println!(
+        "serve     : hot kernel {}, pool {pool}, {} dispatch{}, {} tenants, seed {seed}",
+        hot.name(),
+        if serial {
+            "serial".to_owned()
+        } else {
+            format!("batched (max {max_batch})")
+        },
+        if fair { ", weighted-fair" } else { ", FIFO" },
+        n_tenants,
+    );
+    println!(
+        "load      : {} requests over {duration_ms} ms of virtual time ({:.1} rps offered)",
+        requests.len(),
+        rate
+    );
+    println!(
+        "\nserved    : {} completed, {} rejected, {} deadline misses",
+        report.completed, report.rejected, report.deadline_misses
+    );
+    println!(
+        "throughput: {:.1} rps over {} ms makespan",
+        report.throughput_rps(),
+        fmt_ms(report.makespan_ns)
+    );
+    println!(
+        "batching  : mean batch {:.2}, {} binary uploads, max queue depth {}",
+        report.mean_batch(),
+        report.uploads,
+        report.max_queue_depth
+    );
+    println!(
+        "latency   : p50 {} ms, p95 {} ms, p99 {} ms",
+        fmt_ms(report.latency.p50_ns),
+        fmt_ms(report.latency.p95_ns),
+        fmt_ms(report.latency.p99_ns)
+    );
+    println!(
+        "pool      : utilization {:.1}%  busy ms per worker: {}",
+        report.utilization() * 100.0,
+        report
+            .worker_busy_ns
+            .iter()
+            .map(|&ns| fmt_ms(ns))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("\nper tenant:");
+    println!(
+        "  {:<8} {:>6} {:>9} {:>10} {:>10} {:>10} {:>8} {:>7}",
+        "name", "weight", "completed", "p50 ms", "p95 ms", "p99 ms", "rejected", "misses"
+    );
+    for t in &report.tenants {
+        println!(
+            "  {:<8} {:>6} {:>9} {:>10} {:>10} {:>10} {:>8} {:>7}",
+            t.name,
+            t.weight,
+            t.latency.count,
+            fmt_ms(t.latency.p50_ns),
+            fmt_ms(t.latency.p95_ns),
+            fmt_ms(t.latency.p99_ns),
+            t.rejected,
+            t.deadline_misses
+        );
+    }
+
+    if args.has("counters") {
+        println!("\nper-worker utilization counters:");
+        print!("{}", tracer.counters_table());
+    }
+    if let Some(path) = trace_file {
+        let json = tracer.chrome_json();
+        std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\ntrace     : {} events → {path}", tracer.events().len());
     }
     Ok(())
 }

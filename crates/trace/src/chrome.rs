@@ -29,6 +29,7 @@ fn tid_of(c: Component) -> u32 {
         Component::Cluster => 23,
         Component::Host => 1,
         Component::Link => 2,
+        Component::Worker(i) => 30 + u32::from(i),
     }
 }
 
@@ -50,6 +51,10 @@ fn describe(kind: EventKind) -> (&'static str, &'static str, Option<(&'static st
         EventKind::Watchdog => ("watchdog", "host", None),
         EventKind::Phase(p) => (p.name(), "phase", None),
         EventKind::Barrier => ("barrier", "cluster", None),
+        EventKind::Batch { size } => ("batch", "serve", Some(("size", u64::from(size)))),
+        EventKind::QueueDepth { depth } => {
+            ("queue-depth", "serve", Some(("depth", u64::from(depth))))
+        }
     }
 }
 

@@ -76,6 +76,10 @@ pub enum Component {
     Link,
     /// The host MCU (offload phases, WFE sleeps).
     Host,
+    /// One serving-layer worker (a pooled accelerator system), by index.
+    /// Host-domain: timestamps are virtual-clock nanoseconds of the
+    /// serving schedule.
+    Worker(u8),
 }
 
 impl Component {
@@ -104,6 +108,7 @@ impl Component {
             Component::Cluster => "cluster".to_owned(),
             Component::Link => "link".to_owned(),
             Component::Host => "host".to_owned(),
+            Component::Worker(i) => format!("worker{i}"),
         }
     }
 }
@@ -190,6 +195,18 @@ pub enum EventKind {
     Phase(PhaseKind),
     /// A cluster barrier completed.
     Barrier,
+    /// A serving-layer worker executed one coalesced batch of offload
+    /// requests (the interval spans the batch's modeled service time).
+    Batch {
+        /// Requests coalesced into the batch.
+        size: u32,
+    },
+    /// Instantaneous sample of the serving layer's admitted backlog
+    /// (requests queued across all tenants), taken at each dispatch.
+    QueueDepth {
+        /// Queued requests at the sample instant.
+        depth: u32,
+    },
 }
 
 /// One recorded event: a component, a kind, and a `[start, start + dur)`

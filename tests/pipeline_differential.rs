@@ -107,14 +107,21 @@ fn assert_phases_bit_identical(s: &OffloadReport, p: &OffloadReport, ctx: &str) 
     assert_eq!(s.cycles_warm, p.cycles_warm, "{ctx}");
 }
 
-/// The battery: 1200 seeded configurations through `predict`, serialized
-/// vs pipelined.
+/// Seed of the prediction battery stream.
+const BATTERY_SEED: u64 = 0x00D1_FFE6;
+
+/// The battery: 1200 seeded configurations per unit of
+/// `ULP_BATTERY_SCALE` (default 1; the nightly CI job raises it) through
+/// `predict`, serialized vs pipelined. A failing case appends its
+/// reproduction line to `target/battery-failures/` before panicking.
 #[test]
 fn pipelined_predictions_differ_only_in_overlap_across_1200_configs() {
+    let scale = ulp_par::battery_scale();
+    let cases = 1200 * scale;
     let costs = kernel_costs();
-    let mut rng = XorShiftRng::seed_from_u64(0x00D1_FFE6);
+    let mut rng = XorShiftRng::seed_from_u64(BATTERY_SEED);
     let mut engaged = 0usize;
-    for case in 0..1200 {
+    for case in 0..cases {
         let (name, cost) = &costs[rng.gen_range(0..costs.len())];
         let (cfg, opts_s, opts_p) = sample(&mut rng);
         let include_binary = rng.gen_bool(0.8);
@@ -125,59 +132,67 @@ fn pipelined_predictions_differ_only_in_overlap_across_1200_configs() {
             "case {case} ({name}, chunk {} B, window {}, iters {})",
             opts_p.pipeline.chunk_bytes, opts_p.pipeline.window, opts_p.iterations
         );
+        let repro = format!(
+            "pipelined_predictions_differ_only_in_overlap_across_1200_configs: \
+             seed={BATTERY_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
+        );
 
-        // Identical ledger, modulo the one field pipelining may grow.
-        assert_phases_bit_identical(&s, &p, &ctx);
-        assert!(
-            p.overlapped_seconds >= s.overlapped_seconds,
-            "{ctx}: pipelining shrank the hidden time ({} < {})",
-            p.overlapped_seconds,
-            s.overlapped_seconds
-        );
-        // Modeled cycles never exceed the serialized schedule.
-        assert!(
-            p.total_seconds() <= s.total_seconds() * (1.0 + 1e-12),
-            "{ctx}: pipelined {} > serialized {}",
-            p.total_seconds(),
-            s.total_seconds()
-        );
-        // The engine's own concurrency ledger reconciles.
-        p.overlap.check().unwrap_or_else(|e| panic!("{ctx}: {e}"));
-        assert!(
-            s.overlap == Overlap::default(),
-            "{ctx}: serialized run grew overlap counters"
-        );
+        ulp_par::battery_case("pipeline_differential", &repro, || {
+            // Identical ledger, modulo the one field pipelining may grow.
+            assert_phases_bit_identical(&s, &p, &ctx);
+            assert!(
+                p.overlapped_seconds >= s.overlapped_seconds,
+                "{ctx}: pipelining shrank the hidden time ({} < {})",
+                p.overlapped_seconds,
+                s.overlapped_seconds
+            );
+            // Modeled cycles never exceed the serialized schedule.
+            assert!(
+                p.total_seconds() <= s.total_seconds() * (1.0 + 1e-12),
+                "{ctx}: pipelined {} > serialized {}",
+                p.total_seconds(),
+                s.total_seconds()
+            );
+            // The engine's own concurrency ledger reconciles.
+            p.overlap.check().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert!(
+                s.overlap == Overlap::default(),
+                "{ctx}: serialized run grew overlap counters"
+            );
+            if p.overlap.engaged {
+                assert!(p.overlap.chunks > 0, "{ctx}: engaged without chunks");
+                assert!(
+                    p.overlap.hidden_ns() > 0,
+                    "{ctx}: engaged without concurrency"
+                );
+            }
+
+            // Determinism: the same prediction twice is bit-identical.
+            let p2 = sys.predict(cost, &opts_p, include_binary);
+            assert_eq!(
+                p.total_seconds().to_bits(),
+                p2.total_seconds().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                p.overlapped_seconds.to_bits(),
+                p2.overlapped_seconds.to_bits(),
+                "{ctx}"
+            );
+            assert!(
+                p.overlap == p2.overlap,
+                "{ctx}: overlap counters nondeterministic"
+            );
+        });
         if p.overlap.engaged {
             engaged += 1;
-            assert!(p.overlap.chunks > 0, "{ctx}: engaged without chunks");
-            assert!(
-                p.overlap.hidden_ns() > 0,
-                "{ctx}: engaged without concurrency"
-            );
         }
-
-        // Determinism: the same prediction twice is bit-identical.
-        let p2 = sys.predict(cost, &opts_p, include_binary);
-        assert_eq!(
-            p.total_seconds().to_bits(),
-            p2.total_seconds().to_bits(),
-            "{ctx}"
-        );
-        assert_eq!(
-            p.overlapped_seconds.to_bits(),
-            p2.overlapped_seconds.to_bits(),
-            "{ctx}"
-        );
-        assert!(
-            p.overlap == p2.overlap,
-            "{ctx}: overlap counters nondeterministic"
-        );
     }
     // The battery must actually exercise the engine, not trivially pass
     // with every schedule rejected.
     assert!(
-        engaged > 300,
-        "engine engaged in only {engaged}/1200 configs"
+        engaged * 4 > cases,
+        "engine engaged in only {engaged}/{cases} configs"
     );
 }
 

@@ -1,0 +1,135 @@
+//! Seeded-determinism and fairness regressions for the serving layer.
+//!
+//! The serving layer's claim is that everything it reports is a pure
+//! function of the workload seed: the committed `BENCH_serve.json` must
+//! re-render byte-identically on any machine and under any `--jobs`
+//! setting, and the weighted-fair scheduler must protect a background
+//! tenant from a hot tenant at 10× its offered load.
+
+use ulp_kernels::Benchmark;
+use ulp_offload::{HetSystemConfig, PipelineConfig};
+use ulp_serve::{
+    BatchPolicy, CostBook, ServeConfig, ServePool, TenantLoad, TenantSpec, WorkloadSpec,
+};
+
+/// The committed artifact and the golden table must both re-render
+/// byte-identically whether the study simulates serially (`--jobs 1`)
+/// or in parallel (`--jobs 4`): `par_map` is order-preserving and every
+/// scheduling decision lives on the virtual clock.
+#[test]
+fn bench_serve_json_is_byte_identical_across_jobs() {
+    ulp_par::set_jobs(Some(1));
+    let serial_cells = ulp_bench::serve::study();
+    ulp_par::set_jobs(Some(4));
+    let parallel_cells = ulp_bench::serve::study();
+    ulp_par::set_jobs(None);
+
+    let json_1 = ulp_bench::serve::render_json(&serial_cells);
+    let json_4 = ulp_bench::serve::render_json(&parallel_cells);
+    assert_eq!(json_1, json_4, "BENCH_serve.json must not depend on --jobs");
+    assert_eq!(
+        json_1,
+        include_str!("../BENCH_serve.json"),
+        "committed BENCH_serve.json is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin serve -- --json BENCH_serve.json`"
+    );
+    assert_eq!(
+        ulp_bench::serve::render_table(&serial_cells),
+        include_str!("golden/serve_table.txt"),
+        "golden serve table is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin serve > tests/golden/serve_table.txt`"
+    );
+}
+
+/// The acceptance claim of the study itself: at the largest pool size,
+/// kernel-aware batching beats serial per-request dispatch by ≥ 1.5×
+/// throughput on at least half the paper benchmarks.
+#[test]
+fn batching_beats_serial_on_at_least_five_benchmarks() {
+    let cells = ulp_bench::serve::study();
+    let top = *ulp_bench::serve::POOLS.last().unwrap();
+    let wins = cells
+        .iter()
+        .filter(|c| c.pool == top && c.speedup() >= 1.5)
+        .count();
+    assert!(
+        wins >= 5,
+        "only {wins}/10 benchmarks at >= 1.5x, pool {top}"
+    );
+}
+
+/// Fairness regression: a hot tenant offering 10× the background
+/// tenant's load must not push the background tenant's p99 past what
+/// the pre-serving-layer runtime — serial per-request FIFO dispatch
+/// with no tenant isolation — would have given it under the identical
+/// request stream.
+#[test]
+fn hot_tenant_cannot_starve_background_past_serial_baseline() {
+    let kernels = [Benchmark::MatMul, Benchmark::Cnn, Benchmark::SvmLinear];
+    let config = HetSystemConfig::default();
+    let book = CostBook::measure(&ulp_kernels::TargetEnv::pulp_parallel(), &config, &kernels)
+        .expect("cost book");
+
+    let mut bg = TenantSpec::new("bg");
+    bg.queue_cap = 1024;
+    let mut hot = TenantSpec::new("hot");
+    hot.queue_cap = 1024;
+
+    // Saturating mix: hot at 10× the background's offered load, enough
+    // combined to overload the 2-worker pool so queueing discipline is
+    // what decides the background tenant's latency.
+    let mean_ns: f64 = kernels
+        .iter()
+        .map(|&b| book.est_ns(b, 1) as f64)
+        .sum::<f64>()
+        / kernels.len() as f64;
+    let capacity_rps = 2.0 * 1e9 / mean_ns;
+    let bg_rate = capacity_rps * 0.15;
+    let workload = WorkloadSpec {
+        seed: 77,
+        duration_ns: 2_000_000_000,
+        tenants: vec![
+            TenantLoad::uniform(bg.clone(), bg_rate, &kernels),
+            TenantLoad::uniform(hot.clone(), bg_rate * 10.0, &kernels),
+        ],
+    };
+    let requests = workload.generate();
+    let tenants = vec![bg, hot];
+
+    let mut serving = ServePool::new(
+        &config,
+        tenants.clone(),
+        book.clone(),
+        ServeConfig {
+            pool: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut legacy = ServePool::new(
+        &config,
+        tenants,
+        book,
+        ServeConfig {
+            pool: 2,
+            policy: BatchPolicy::Serial,
+            fair: false,
+            pipeline: PipelineConfig::default(),
+            ..ServeConfig::default()
+        },
+    );
+    let fair = serving.run(&requests);
+    let fifo = legacy.run(&requests);
+
+    let bg_fair = &fair.tenants[0];
+    let bg_fifo = &fifo.tenants[0];
+    assert!(bg_fair.latency.count > 0 && bg_fifo.latency.count > 0);
+    assert!(
+        bg_fair.latency.p99_ns <= bg_fifo.latency.p99_ns,
+        "background p99 under the serving layer ({} ns) exceeds its \
+         serial-FIFO baseline ({} ns) despite the 10x hot tenant",
+        bg_fair.latency.p99_ns,
+        bg_fifo.latency.p99_ns
+    );
+    // The hot tenant is throttled to its share, not starved out.
+    assert!(fair.tenants[1].latency.count > 0);
+}

@@ -179,16 +179,23 @@ fn run_engine(
     (result, scratch)
 }
 
-/// Part A: 600 seeded random (config, program) pairs, both engines, every
-/// observable compared for equality. Every 16th pair also runs with a
-/// tracer attached on both sides and compares the exported Chrome JSON
-/// byte-for-byte.
+/// Seed of the Part A battery stream.
+const BATTERY_SEED: u64 = 0x70B0_D1FF;
+
+/// Part A: 600 seeded random (config, program) pairs per unit of
+/// `ULP_BATTERY_SCALE` (default 1; the nightly CI job raises it), both
+/// engines, every observable compared for equality. Every 16th pair also
+/// runs with a tracer attached on both sides and compares the exported
+/// Chrome JSON byte-for-byte. A failing case appends its reproduction
+/// line to `target/battery-failures/` before panicking.
 #[test]
 fn turbo_matches_reference_on_600_random_programs() {
-    let mut rng = XorShiftRng::seed_from_u64(0x70B0_D1FF);
+    let scale = ulp_par::battery_scale();
+    let cases = 600 * scale;
+    let mut rng = XorShiftRng::seed_from_u64(BATTERY_SEED);
     let mut halted = 0usize;
     let mut errored = 0usize;
-    for case in 0..600 {
+    for case in 0..cases {
         let cfg = random_config(&mut rng);
         let prog = random_program(&mut rng);
         let trace = case % 16 == 0;
@@ -206,21 +213,30 @@ fn turbo_matches_reference_on_600_random_programs() {
             "case {case} ({} cores, {} banks)",
             cfg.num_cores, cfg.tcdm_banks
         );
-        assert_eq!(fast, slow, "{ctx}: result diverged");
-        assert_eq!(fast_mem, slow_mem, "{ctx}: TCDM image diverged");
-        if let (Some(ft), Some(rt)) = (turbo_tracer, ref_tracer) {
-            assert_eq!(ft.chrome_json(), rt.chrome_json(), "{ctx}: trace diverged");
-        }
+        let repro = format!(
+            "turbo_matches_reference_on_600_random_programs: \
+             seed={BATTERY_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
+        );
+        ulp_par::battery_case("turbo_differential", &repro, || {
+            assert_eq!(fast, slow, "{ctx}: result diverged");
+            assert_eq!(fast_mem, slow_mem, "{ctx}: TCDM image diverged");
+            if let (Some(ft), Some(rt)) = (&turbo_tracer, &ref_tracer) {
+                assert_eq!(ft.chrome_json(), rt.chrome_json(), "{ctx}: trace diverged");
+            }
+        });
         match fast {
             Ok(_) => halted += 1,
             Err(_) => errored += 1,
         }
     }
     // The battery must exercise both completion and failure paths.
-    assert!(halted >= 400, "only {halted}/600 programs completed");
     assert!(
-        errored >= 10,
-        "only {errored}/600 programs hit an error path"
+        halted * 3 >= cases * 2,
+        "only {halted}/{cases} programs completed"
+    );
+    assert!(
+        errored * 60 >= cases,
+        "only {errored}/{cases} programs hit an error path"
     );
 }
 
