@@ -76,6 +76,23 @@ cargo run --release -q -p ulp-bench --bin serve -- \
 golden serve_table tests/golden/serve_table.txt "$SCRATCH/serve_table.txt"
 golden BENCH_serve BENCH_serve.json "$SCRATCH/BENCH_serve.json"
 
+echo "== soak smoke =="
+# Chaos end to end: het-sim soak mode with faults, a flash crowd, a
+# blackout, and residency churn must conserve every request and report
+# a clean invariant verdict; then the million-request study binary
+# against both committed snapshots.
+cargo run --release -q -p ulp-tools --bin het-sim -- \
+  --soak --benchmark cnn --pool 4 --duration-ms 400 \
+  --drop-rate 0.01 --hang-rate 0.005 --burst-factor 50 | tee "$ARTIFACTS/soak.out"
+grep -q 'soak      : hot kernel cnn' "$ARTIFACTS/soak.out"
+grep -q 'chaos (seed' "$ARTIFACTS/soak.out"
+grep -q 'SLO ledger (tenant x class: finished/missed):' "$ARTIFACTS/soak.out"
+grep -q 'invariants: OK' "$ARTIFACTS/soak.out"
+cargo run --release -q -p ulp-bench --bin soak -- \
+  --json "$SCRATCH/BENCH_soak.json" > "$SCRATCH/soak_table.txt"
+golden soak_table tests/golden/soak_table.txt "$SCRATCH/soak_table.txt"
+golden BENCH_soak BENCH_soak.json "$SCRATCH/BENCH_soak.json"
+
 echo "== simulator perf smoke =="
 # Tracks the simulator's own wall-clock cost. The shared runner is noisy,
 # so this validates the tooling (report shape, engine bit-identity

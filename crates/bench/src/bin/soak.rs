@@ -1,0 +1,46 @@
+//! Chaos soak study: runs the calm-control and full-chaos endurance
+//! cells (≥ 1 M seeded requests), prints the table, and optionally
+//! writes `BENCH_soak.json`.
+//!
+//! Usage: `soak [--jobs N] [--json PATH]`
+//!
+//! The study runs on the virtual clock, so the JSON is byte-identical
+//! for every `--jobs` setting — `--jobs` only changes whether the two
+//! cells simulate concurrently. Exits non-zero if any invariant of
+//! either cell is violated.
+
+fn usage() -> ! {
+    eprintln!("usage: soak [--jobs N] [--json PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut rest = ulp_bench::init_jobs_from_args().into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(rest.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let cells = ulp_bench::soak::study();
+    print!("{}", ulp_bench::soak::render_table(&cells));
+    if let Some(path) = json_path {
+        let json = ulp_bench::soak::render_json(&cells);
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("soak: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("soak: wrote {path}");
+    }
+    let violations: Vec<&String> = cells
+        .iter()
+        .flat_map(|c| c.outcome.violations.iter())
+        .collect();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("soak: INVARIANT VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,7 @@
 //! | fault-injection resilience study        | [`faults`] | `cargo run --bin faults` |
 //! | pipelined-offload study                 | [`pipeline`] | `cargo run --bin pipeline_table` |
 //! | serving-layer batching study            | [`serve`]  | `cargo run --bin serve` |
+//! | chaos soak study (million-request)      | [`soak`]   | `cargo run --bin soak` |
 //! | simulator wall-clock perf tracking      | [`simperf`] | `cargo run --bin simperf` |
 //!
 //! `cargo run --bin all_experiments` prints everything (the source of
@@ -34,6 +35,7 @@ pub mod pipeline;
 pub mod scaling;
 pub mod serve;
 pub mod simperf;
+pub mod soak;
 pub mod table1;
 
 /// Consumes a leading `--jobs N` / `--jobs=N` pair from the process

@@ -74,7 +74,9 @@ pub fn study() -> Vec<ServeCell> {
     par_map(&scenarios, |_, &(benchmark, pool)| {
         let (tenants, requests) = scenario(&book, benchmark);
         let run = |cfg: ServeConfig| {
-            ServePool::new(&config, tenants.clone(), book.clone(), cfg).run(&requests)
+            ServePool::new(&config, tenants.clone(), book.clone(), cfg)
+                .run(&requests)
+                .expect("study workload fits the pool configuration")
         };
         // The serial baseline is the paper's blocking runtime: one
         // request per dispatch, no pipelined engine. The batched run is

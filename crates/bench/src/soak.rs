@@ -1,0 +1,392 @@
+//! Chaos-at-serve-scale soak study: a million-request seeded endurance
+//! run under fault injection and scripted disruptions, next to a calm
+//! control cell, rendered as a table and as `BENCH_soak.json`.
+//!
+//! The chaos cell arms every worker with a seeded fault profile (two
+//! profiles round-robin: a mildly lossy link and a degraded worker whose
+//! drops occasionally exhaust the retry budget and fail batches over to
+//! the host), scripts two 100× flash crowds, two worker blackouts, and
+//! periodic residency churn — then serves ≥ 1 M requests and
+//! cross-checks every invariant of the resulting report against the raw
+//! per-request outcomes. The calm cell serves the identical base
+//! workload with chaos off, so the table reads as "what the disruption
+//! budget cost".
+//!
+//! Everything runs on the virtual clock, so the study (and its JSON) is
+//! a pure function of [`SEED`]: byte-identical on every machine and
+//! under every `--jobs` setting.
+
+use ulp_kernels::{Benchmark, TargetEnv};
+use ulp_offload::HetSystemConfig;
+use ulp_par::par_map;
+use ulp_serve::{
+    fmt_ms, run_soak, BatchPolicy, Blackout, Burst, ChaosConfig, CostBook, DeadlineClass,
+    FaultProfile, ServeConfig, SoakOutcome, SoakSpec, TenantLoad, TenantSpec, WorkloadSpec,
+};
+
+/// Worker-pool size of the soak.
+pub const POOL: usize = 4;
+/// Largest batch a kernel-aware dispatch may carry.
+pub const MAX_BATCH: usize = 16;
+/// Workload seed (the soak's identity).
+pub const SEED: u64 = 20_260_809;
+/// Requests the base streams aim to offer (the bursts add ~10% more).
+const TARGET_REQUESTS: f64 = 1_000_000.0;
+/// Offered load as a fraction of the pool's serial capacity: high
+/// enough that disruptions bite, low enough that the flash crowds (not
+/// steady-state overload) are what drives rejections.
+const SATURATION: f64 = 0.8;
+
+/// One cell of the study: a named soak outcome.
+#[derive(Clone, Debug)]
+pub struct SoakCell {
+    /// "calm" (control, chaos off) or "chaos" (full disruption budget).
+    pub label: &'static str,
+    /// The soak's report, offered-request count, and invariant verdict.
+    pub outcome: SoakOutcome,
+}
+
+/// The pool's fault profiles, assigned round-robin to workers: three
+/// workers get a mildly lossy link; the last is a degraded unit whose
+/// drop rate occasionally exhausts the retry budget and sends whole
+/// batches to the host fallback.
+fn profiles() -> Vec<FaultProfile> {
+    let mild = FaultProfile {
+        bit_error_rate: 1e-6,
+        drop_rate: 0.002,
+        hang_rate: 0.001,
+        ..FaultProfile::default()
+    };
+    let degraded = FaultProfile {
+        bit_error_rate: 1e-5,
+        drop_rate: 0.1,
+        truncate_rate: 0.002,
+        hang_rate: 0.02,
+        late_eoc_rate: 0.05,
+        late_eoc_cycles: 2_048,
+    };
+    vec![mild, mild, mild, degraded]
+}
+
+/// The shared base workload: two tenants (app at weight 2, bg) mixing
+/// all ten paper benchmarks, sized so the base streams offer about
+/// [`TARGET_REQUESTS`] requests.
+fn workload(book: &CostBook) -> WorkloadSpec {
+    let mix: Vec<(Benchmark, f64)> = Benchmark::ALL.iter().map(|&b| (b, 1.0)).collect();
+    let mean_ns: f64 = mix
+        .iter()
+        .map(|&(b, _)| book.est_ns(b, 1) as f64)
+        .sum::<f64>()
+        / mix.len() as f64;
+    let rate = SATURATION * POOL as f64 * 1e9 / mean_ns;
+
+    let mut app = TenantSpec::weighted("app", 2);
+    app.queue_cap = 512;
+    let mut bg = TenantSpec::new("bg");
+    bg.queue_cap = 512;
+
+    let mk = |spec: TenantSpec, share: f64, class_mix: [f64; 3]| TenantLoad {
+        spec,
+        rate_rps: rate * share,
+        kernel_mix: mix.clone(),
+        class_mix,
+        iterations: 1,
+    };
+    WorkloadSpec {
+        seed: SEED,
+        duration_ns: (TARGET_REQUESTS / rate * 1e9) as u64,
+        tenants: vec![mk(app, 0.7, [0.3, 0.6, 0.1]), mk(bg, 0.3, [0.0, 0.5, 0.5])],
+    }
+}
+
+/// The chaos cell's spec: the base workload plus the full disruption
+/// budget — two 100× flash crowds, two worker blackouts, residency churn
+/// every 1/64th of the run, and round-robin fault profiles.
+#[must_use]
+pub fn chaos_spec(book: &CostBook) -> SoakSpec {
+    let workload = workload(book);
+    let d = workload.duration_ns;
+    let serve = serve_config();
+    SoakSpec {
+        workload,
+        bursts: vec![
+            Burst {
+                tenant: 0,
+                start_ns: d / 5,
+                end_ns: d / 5 + d / 1024,
+                factor: 100.0,
+            },
+            Burst {
+                tenant: 1,
+                start_ns: d * 3 / 5,
+                end_ns: d * 3 / 5 + d / 1024,
+                factor: 100.0,
+            },
+        ],
+        blackouts: vec![
+            Blackout {
+                worker: 0,
+                start_ns: d * 3 / 10,
+                end_ns: d * 3 / 10 + d / 16,
+            },
+            Blackout {
+                worker: 2,
+                start_ns: d * 7 / 10,
+                end_ns: d * 7 / 10 + d / 32,
+            },
+        ],
+        churn_period_ns: d / 64,
+        chaos: ChaosConfig {
+            seed: SEED ^ 0xC4A0_5CA1E,
+            profiles: profiles(),
+            ..ChaosConfig::default()
+        },
+        serve,
+    }
+}
+
+/// The calm control cell: identical base workload, chaos off.
+#[must_use]
+pub fn calm_spec(book: &CostBook) -> SoakSpec {
+    SoakSpec::calm(workload(book), serve_config())
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        pool: POOL,
+        policy: BatchPolicy::KernelAware {
+            max_batch: MAX_BATCH,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs both cells (calm control first, then chaos) and returns them in
+/// that order.
+///
+/// # Panics
+///
+/// Panics if kernel measurement fails or a spec misconfigures the pool —
+/// configuration bugs, not runtime conditions.
+#[must_use]
+pub fn study() -> Vec<SoakCell> {
+    let config = HetSystemConfig::default();
+    let book = CostBook::measure_with_host(
+        &TargetEnv::pulp_parallel(),
+        &TargetEnv::host_m4(),
+        &config,
+        &Benchmark::ALL,
+    )
+    .expect("cost measurement");
+    let cells: Vec<(&'static str, SoakSpec)> =
+        vec![("calm", calm_spec(&book)), ("chaos", chaos_spec(&book))];
+    par_map(&cells, |_, (label, spec)| SoakCell {
+        label,
+        outcome: run_soak(&config, book.clone(), spec).expect("soak spec fits the pool"),
+    })
+}
+
+/// Plain-text study table (the golden `soak_table.txt` snapshot).
+#[must_use]
+pub fn render_table(cells: &[SoakCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let r = &c.outcome.report;
+            vec![
+                c.label.to_owned(),
+                c.outcome.requests.to_string(),
+                r.completed.to_string(),
+                r.rejected.to_string(),
+                r.failed_over.to_string(),
+                r.failed.to_string(),
+                format!("{:.1}", r.throughput_rps()),
+                fmt_ms(r.latency.p99_ns),
+                r.deadline_misses.to_string(),
+                r.chaos.retransmissions.to_string(),
+                r.chaos.watchdog_fires.to_string(),
+                if c.outcome.violations.is_empty() {
+                    "OK".to_owned()
+                } else {
+                    c.outcome.violations.len().to_string()
+                },
+            ]
+        })
+        .collect();
+    let mut out = String::from("Soak study: calm control vs full chaos budget\n");
+    out.push_str(&format!(
+        "(pool {POOL}, max batch {MAX_BATCH}, seed {SEED}; chaos = per-worker faults, \
+         100x flash crowds, worker blackouts, residency churn)\n\n"
+    ));
+    out.push_str(&crate::render_table(
+        &[
+            "cell",
+            "offered",
+            "completed",
+            "rejected",
+            "failed over",
+            "failed",
+            "rps",
+            "p99",
+            "slo miss",
+            "retrans",
+            "watchdog",
+            "invariants",
+        ],
+        &rows,
+    ));
+    let offered: u64 = cells.iter().map(|c| c.outcome.requests).sum();
+    let violations: usize = cells.iter().map(|c| c.outcome.violations.len()).sum();
+    out.push_str(&format!(
+        "\n{offered} requests conserved across {} cells, {violations} invariant violations\n",
+        cells.len(),
+    ));
+    out
+}
+
+/// Renders the committed `BENCH_soak.json`: per-cell conservation,
+/// degradation, chaos, and SLO-ledger numbers. Deliberately excludes the
+/// `--jobs` setting and every other machine fact — the file is a claim
+/// about the *model*, and must be byte-identical however it was
+/// produced.
+#[must_use]
+pub fn render_json(cells: &[SoakCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"het-accel-soak-v1\",\n");
+    out.push_str("  \"time_basis\": \"virtual nanoseconds (seeded, machine-independent)\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"pool\": {POOL},\n"));
+    out.push_str(&format!("  \"max_batch\": {MAX_BATCH},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.outcome.report;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"cell\": \"{}\",\n", c.label));
+        out.push_str(&format!(
+            "      \"conservation\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
+             \"rejected\": {}, \"failed_over\": {}, \"failed\": {}, \"stranded\": {}}},\n",
+            c.outcome.requests,
+            r.admitted,
+            r.completed,
+            r.rejected,
+            r.failed_over,
+            r.failed,
+            r.stranded
+        ));
+        out.push_str(&format!(
+            "      \"service\": {{\"throughput_rps\": {:.3}, \"mean_batch\": {:.3}, \
+             \"p50_ms\": \"{}\", \"p99_ms\": \"{}\", \"deadline_misses\": {}, \
+             \"uploads\": {}, \"makespan_ns\": {}}},\n",
+            r.throughput_rps(),
+            r.mean_batch(),
+            fmt_ms(r.latency.p50_ns),
+            fmt_ms(r.latency.p99_ns),
+            r.deadline_misses,
+            r.uploads,
+            r.makespan_ns
+        ));
+        out.push_str(&format!(
+            "      \"chaos\": {{\"frames\": {}, \"frames_damaged\": {}, \"bits_flipped\": {}, \
+             \"crc_escapes\": {}, \"retransmissions\": {}, \"watchdog_fires\": {}, \
+             \"late_events\": {}, \"fallback_batches\": {}, \"fallback_requests\": {}, \
+             \"failed_requests\": {}, \"residency_flushes\": {}, \"blackout_windows\": {}}},\n",
+            r.chaos.frames,
+            r.chaos.frames_damaged,
+            r.chaos.bits_flipped,
+            r.chaos.crc_escapes,
+            r.chaos.retransmissions,
+            r.chaos.watchdog_fires,
+            r.chaos.late_events,
+            r.chaos.fallback_batches,
+            r.chaos.fallback_requests,
+            r.chaos.failed_requests,
+            r.chaos.residency_flushes,
+            r.chaos.blackout_windows
+        ));
+        out.push_str("      \"slo\": [\n");
+        for (t, tenant) in r.tenants.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"tenant\": \"{}\", \"classes\": [",
+                tenant.name
+            ));
+            for (k, class) in DeadlineClass::ALL.iter().enumerate() {
+                let cell = r.slo.cells[t][class.rank() as usize];
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"class\": \"{}\", \"completed\": {}, \"failed_over\": {}, \
+                     \"failed\": {}, \"rejected\": {}, \"missed\": {}}}",
+                    class.name(),
+                    cell.completed,
+                    cell.failed_over,
+                    cell.failed,
+                    cell.rejected,
+                    cell.missed
+                ));
+            }
+            out.push_str(if t + 1 == r.tenants.len() {
+                "]}\n"
+            } else {
+                "]},\n"
+            });
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"invariant_violations\": {}\n",
+            c.outcome.violations.len()
+        ));
+        out.push_str(if i + 1 == cells.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let offered: u64 = cells.iter().map(|c| c.outcome.requests).sum();
+    out.push_str(&format!("  \"total_offered\": {offered}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the full study and returns the table (the `soak` binary's
+/// stdout).
+#[must_use]
+pub fn run() -> String {
+    render_table(&study())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_spec_offers_more_than_the_calm_spec() {
+        let book = CostBook::measure_with_host(
+            &TargetEnv::pulp_parallel(),
+            &TargetEnv::host_m4(),
+            &HetSystemConfig::default(),
+            &Benchmark::ALL,
+        )
+        .expect("cost measurement");
+        // Sizing sanity on the spec level only (the full million-request
+        // run lives in the integration suite): the burst windows and
+        // blackouts must fall inside the workload window.
+        let chaos = chaos_spec(&book);
+        let calm = calm_spec(&book);
+        assert_eq!(chaos.workload.duration_ns, calm.workload.duration_ns);
+        let d = chaos.workload.duration_ns;
+        for b in &chaos.bursts {
+            assert!(b.start_ns < b.end_ns && b.end_ns < d);
+            assert!((b.factor - 100.0).abs() < f64::EPSILON);
+        }
+        for b in &chaos.blackouts {
+            assert!(b.start_ns < b.end_ns && b.end_ns < d);
+            assert!(b.worker < POOL);
+        }
+        assert!(chaos.churn_period_ns > 0 && chaos.churn_period_ns < d);
+        assert!(chaos.chaos.is_active());
+        assert!(!calm.chaos.is_active());
+    }
+}

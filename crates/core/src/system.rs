@@ -74,6 +74,23 @@ pub struct HetSystemConfig {
     pub fault: FaultConfig,
 }
 
+impl HetSystemConfig {
+    /// The clock that drives the SPI shifter under the configured
+    /// link-clocking scheme, expressed as the equivalent MCU core clock
+    /// that [`SpiLink::transfer_seconds`] expects (the link divides by
+    /// the prescaler internally). This is the figure a serving layer
+    /// needs to price frame retransmissions without instantiating a
+    /// [`HetSystem`].
+    #[must_use]
+    pub fn link_drive_hz(&self) -> f64 {
+        match self.link_clocking {
+            LinkClocking::McuDivided => self.mcu_freq_hz,
+            LinkClocking::BoostedMcu { mcu_hz } => mcu_hz,
+            LinkClocking::Independent { spi_hz } => spi_hz * f64::from(self.link_prescaler),
+        }
+    }
+}
+
 impl Default for HetSystemConfig {
     /// The paper's prototype shape: STM32-L476 host at 16 MHz, QSPI link,
     /// quad-core PULP at 0.65 V.
@@ -535,15 +552,12 @@ impl HetSystem {
     /// scheme.
     fn link_clocks(&self) -> (f64, f64) {
         let mcu_hz = self.config.mcu_freq_hz;
-        match self.config.link_clocking {
-            LinkClocking::McuDivided => (mcu_hz, mcu_hz),
-            LinkClocking::BoostedMcu { mcu_hz: boost } => (boost, boost),
-            LinkClocking::Independent { spi_hz } => {
-                // transfer_seconds divides by the prescaler internally;
-                // feed it the equivalent core clock.
-                (spi_hz * f64::from(self.link.prescaler()), mcu_hz)
-            }
-        }
+        let transfer_mcu_hz = match self.config.link_clocking {
+            LinkClocking::McuDivided => mcu_hz,
+            LinkClocking::BoostedMcu { mcu_hz: boost } => boost,
+            LinkClocking::Independent { .. } => mcu_hz,
+        };
+        (self.config.link_drive_hz(), transfer_mcu_hz)
     }
 
     /// Power drawn by the whole platform while the accelerator computes

@@ -92,10 +92,18 @@ pub fn battery_scale() -> usize {
 /// holding `Cargo.lock`) cannot be found or written to, the panic still
 /// propagates and only the side file is lost.
 pub fn battery_case<T>(battery: &str, repro: &str, f: impl FnOnce() -> T) -> T {
+    battery_case_in("battery-failures", battery, repro, f)
+}
+
+/// Like [`battery_case`], but recording failures under
+/// `target/<dir>/<battery>.txt` — the soak batteries use
+/// `"soak-failures"` so the nightly CI job can upload chaos seeds as a
+/// separate artifact from the differential-battery repros.
+pub fn battery_case_in<T>(dir: &str, battery: &str, repro: &str, f: impl FnOnce() -> T) -> T {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(v) => v,
         Err(payload) => {
-            if let Some(path) = record_battery_failure(battery, repro) {
+            if let Some(path) = record_battery_failure(dir, battery, repro) {
                 eprintln!("battery repro appended to {}", path.display());
             }
             std::panic::resume_unwind(payload);
@@ -103,11 +111,11 @@ pub fn battery_case<T>(battery: &str, repro: &str, f: impl FnOnce() -> T) -> T {
     }
 }
 
-/// Appends `repro` to `target/battery-failures/<battery>.txt` under the
-/// workspace root, creating the directory as needed, and returns the
-/// path. Returns `None` (never panics) if the root or the file is
+/// Appends `repro` to `target/<dir>/<battery>.txt` under the workspace
+/// root, creating the directory as needed, and returns the path.
+/// Returns `None` (never panics) if the root or the file is
 /// unreachable.
-fn record_battery_failure(battery: &str, repro: &str) -> Option<std::path::PathBuf> {
+fn record_battery_failure(dir: &str, battery: &str, repro: &str) -> Option<std::path::PathBuf> {
     use std::io::Write;
     // Tests run with the *package* directory as cwd; walk up to the
     // workspace root (the directory holding Cargo.lock) so every
@@ -118,7 +126,7 @@ fn record_battery_failure(battery: &str, repro: &str) -> Option<std::path::PathB
             return None;
         }
     }
-    let dir = root.join("target").join("battery-failures");
+    let dir = root.join("target").join(dir);
     std::fs::create_dir_all(&dir).ok()?;
     let path = dir.join(format!("{battery}.txt"));
     let mut file = std::fs::OpenOptions::new()
@@ -280,7 +288,25 @@ mod tests {
             battery_case("par_unit_test", marker, || panic!("expected"));
         });
         assert!(caught.is_err(), "panic must propagate");
-        let path = record_battery_failure("par_unit_test", marker).expect("recordable");
+        let path = record_battery_failure("battery-failures", "par_unit_test", marker)
+            .expect("recordable");
+        let recorded = std::fs::read_to_string(&path).expect("repro file");
+        assert!(recorded.contains(marker));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn battery_case_in_records_to_the_named_directory() {
+        let marker = "unit-test-soak-case";
+        let caught = std::panic::catch_unwind(|| {
+            battery_case_in("soak-failures", "par_unit_test", marker, || {
+                panic!("expected")
+            });
+        });
+        assert!(caught.is_err(), "panic must propagate");
+        let path =
+            record_battery_failure("soak-failures", "par_unit_test", marker).expect("recordable");
+        assert!(path.ends_with("target/soak-failures/par_unit_test.txt"));
         let recorded = std::fs::read_to_string(&path).expect("repro file");
         assert!(recorded.contains(marker));
         std::fs::remove_file(&path).ok();

@@ -16,6 +16,12 @@
 //! * **Seeded determinism** — the load generator and the scheduler both
 //!   run on a virtual clock from `ulp-rng` seeds; reports are
 //!   byte-stable across machines and `--jobs` settings.
+//! * **Chaos under contract** — per-worker fault injection ([`chaos`]),
+//!   scripted disruption timelines (bursts, blackouts, residency
+//!   churn), an exact per-tenant × deadline-class SLO-miss ledger, and
+//!   an invariant checker ([`invariants`]) that reconciles every
+//!   aggregate against raw per-request outcomes. The [`soak`] harness
+//!   ties it together for million-request seeded endurance runs.
 //!
 //! ```
 //! use ulp_kernels::{Benchmark, TargetEnv};
@@ -43,7 +49,7 @@
 //!     pool: 2,
 //!     ..ServeConfig::default()
 //! });
-//! let report = pool.run(&workload.generate());
+//! let report = pool.run(&workload.generate())?;
 //! assert!(report.completed > 0);
 //! assert!(report.throughput_rps() > 0.0);
 //! # Ok(())
@@ -52,12 +58,22 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+mod error;
+pub mod invariants;
 mod loadgen;
 mod metrics;
 mod request;
 pub mod server;
+pub mod soak;
 
-pub use loadgen::{TenantLoad, WorkloadSpec};
-pub use metrics::{fmt_ms, percentile_ns, LatencyStats, ServeReport, TenantReport};
+pub use chaos::{Blackout, ChaosConfig, ChaosStats, FaultProfile, Timeline};
+pub use error::ServeError;
+pub use loadgen::{Burst, TenantLoad, WorkloadSpec};
+pub use metrics::{
+    fmt_ms, percentile_ns, LatencyStats, OutcomeKind, RequestOutcome, ServeReport, SloCell,
+    SloLedger, TenantReport,
+};
 pub use request::{DeadlineClass, ServeRequest, TenantSpec};
 pub use server::{BatchPolicy, CostBook, ServeConfig, ServePool};
+pub use soak::{run_soak, SoakOutcome, SoakSpec};

@@ -1,8 +1,19 @@
-//! Latency, throughput, and fairness accounting of a serve run.
+//! Latency, throughput, fairness, and degradation accounting of a serve
+//! run.
 //!
 //! Percentiles use the nearest-rank method on the exact latency samples
 //! (no buckets, no interpolation), so a report is a pure function of the
 //! completion set and re-renders byte-identically.
+//!
+//! Every request leaves exactly one [`RequestOutcome`] behind, and the
+//! aggregated counters — including the per-tenant×deadline-class
+//! [`SloLedger`] — are required to reconcile **exactly** with those raw
+//! outcomes; [`crate::invariants::check`] recomputes the whole ledger
+//! from scratch and diffs it bit-for-bit.
+
+use crate::chaos::ChaosStats;
+use crate::request::DeadlineClass;
+use ulp_kernels::Benchmark;
 
 /// Nearest-rank percentile of a **sorted** sample set, in the sample
 /// unit. Returns 0 for an empty set.
@@ -50,6 +61,129 @@ impl LatencyStats {
     }
 }
 
+/// How one admitted-or-rejected request ultimately left the system.
+///
+/// Exactly one kind per request: the conservation invariant
+/// `total = completed + rejected + failed_over + failed` is checked
+/// against these raw records after every run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Served to completion on an accelerator worker.
+    Completed,
+    /// Turned away by admission control (full tenant queue).
+    Rejected,
+    /// Accelerator dispatch failed (retry budget exhausted or watchdog
+    /// gave up) and the request finished on the host instead.
+    FailedOver,
+    /// Dispatch failed and no host fallback was available.
+    Failed,
+}
+
+/// Raw per-request record a serve run leaves behind.
+///
+/// The aggregate counters in [`ServeReport`] and the [`SloLedger`] are
+/// required to be recomputable bit-for-bit from these.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestOutcome {
+    /// Request id, unique within the workload.
+    pub id: u64,
+    /// Tenant index into the pool's tenant table.
+    pub tenant: usize,
+    /// Deadline class the request was admitted under.
+    pub class: DeadlineClass,
+    /// Kernel the request asked for.
+    pub benchmark: Benchmark,
+    /// Arrival instant on the virtual clock, nanoseconds.
+    pub arrival_ns: u64,
+    /// Instant the request left the system (completion, failover
+    /// completion, failure, or — for rejections — the arrival instant).
+    pub done_ns: u64,
+    /// How the request left the system.
+    pub kind: OutcomeKind,
+}
+
+/// One tenant × deadline-class cell of the [`SloLedger`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SloCell {
+    /// Requests of this cell served on an accelerator.
+    pub completed: u64,
+    /// Requests of this cell that finished via host fallback.
+    pub failed_over: u64,
+    /// Requests of this cell that failed outright.
+    pub failed: u64,
+    /// Requests of this cell rejected at admission.
+    pub rejected: u64,
+    /// Finished requests (completed or failed-over) whose latency
+    /// exceeded the class deadline.
+    pub missed: u64,
+}
+
+/// Exact per-tenant × per-deadline-class SLO-miss ledger.
+///
+/// `cells[tenant][class.rank() as usize]` — the run updates it once per request
+/// outcome, and [`crate::invariants::check`] recomputes the whole table
+/// from the raw [`RequestOutcome`] records and diffs it bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SloLedger {
+    /// Row per tenant (tenant-table order), column per deadline class
+    /// ([`DeadlineClass::rank`] order).
+    pub cells: Vec<[SloCell; DeadlineClass::ALL.len()]>,
+}
+
+impl SloLedger {
+    /// Ledger of `tenants` all-zero rows.
+    #[must_use]
+    pub fn new(tenants: usize) -> Self {
+        SloLedger {
+            cells: vec![[SloCell::default(); DeadlineClass::ALL.len()]; tenants],
+        }
+    }
+
+    /// Mutable cell for a tenant × class pair.
+    pub fn cell_mut(&mut self, tenant: usize, class: DeadlineClass) -> &mut SloCell {
+        &mut self.cells[tenant][class.rank() as usize]
+    }
+
+    /// Posts one raw outcome to the ledger; `missed` marks a finished
+    /// request that blew its class deadline.
+    pub fn post(&mut self, o: &RequestOutcome) {
+        let cell = self.cell_mut(o.tenant, o.class);
+        match o.kind {
+            OutcomeKind::Completed => cell.completed += 1,
+            OutcomeKind::FailedOver => cell.failed_over += 1,
+            OutcomeKind::Failed => cell.failed += 1,
+            OutcomeKind::Rejected => cell.rejected += 1,
+        }
+        if matches!(o.kind, OutcomeKind::Completed | OutcomeKind::FailedOver)
+            && o.done_ns.saturating_sub(o.arrival_ns) > o.class.deadline_ns()
+        {
+            cell.missed += 1;
+        }
+    }
+
+    /// Rebuilds a ledger purely from raw outcome records. Used by the
+    /// invariant checker to cross-examine the incrementally maintained
+    /// ledger.
+    #[must_use]
+    pub fn recompute(tenants: usize, outcomes: &[RequestOutcome]) -> Self {
+        let mut ledger = SloLedger::new(tenants);
+        for o in outcomes {
+            ledger.post(o);
+        }
+        ledger
+    }
+
+    /// Total deadline misses across all cells.
+    #[must_use]
+    pub fn total_missed(&self) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|c| c.missed)
+            .sum()
+    }
+}
+
 /// Per-tenant slice of a [`ServeReport`].
 #[derive(Clone, Debug)]
 pub struct TenantReport {
@@ -57,22 +191,38 @@ pub struct TenantReport {
     pub name: String,
     /// Fairness weight the scheduler used.
     pub weight: u32,
-    /// Latency summary of the tenant's completions.
+    /// Latency summary of the tenant's finished requests (accelerator
+    /// completions plus host failovers).
     pub latency: LatencyStats,
     /// Arrivals turned away by admission control.
     pub rejected: u64,
-    /// Completions later than their class deadline.
+    /// Finished requests later than their class deadline.
     pub deadline_misses: u64,
+    /// Requests that finished via host fallback.
+    pub failed_over: u64,
+    /// Requests that failed outright (no fallback available).
+    pub failed: u64,
 }
 
 /// Everything a serve run measured.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
-    /// Requests that completed.
+    /// Arrivals admitted past admission control
+    /// (`admitted + rejected` = offered workload).
+    pub admitted: u64,
+    /// Requests served to completion on an accelerator.
     pub completed: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
-    /// Completions later than their class deadline.
+    /// Requests that finished on the host after accelerator dispatch
+    /// failed under fault injection.
+    pub failed_over: u64,
+    /// Requests that failed outright (dispatch failed, no fallback).
+    pub failed: u64,
+    /// Admitted requests still queued when the run ended. Must be zero —
+    /// the invariant checker treats anything else as a request leak.
+    pub stranded: u64,
+    /// Finished requests later than their class deadline.
     pub deadline_misses: u64,
     /// Virtual instant the last batch finished, nanoseconds.
     pub makespan_ns: u64,
@@ -89,6 +239,14 @@ pub struct ServeReport {
     pub worker_busy_ns: Vec<u64>,
     /// Highest total queued depth observed at any scheduling instant.
     pub max_queue_depth: usize,
+    /// Fault-injection and recovery counters (all zero when chaos is
+    /// off).
+    pub chaos: ChaosStats,
+    /// Exact SLO-miss ledger, per tenant × deadline class.
+    pub slo: SloLedger,
+    /// Raw per-request outcome records, in outcome order (rejections at
+    /// arrival, finishes at service completion).
+    pub outcomes: Vec<RequestOutcome>,
 }
 
 impl ServeReport {
@@ -100,6 +258,13 @@ impl ServeReport {
             return 0.0;
         }
         self.completed as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+
+    /// Requests that finished service: accelerator completions plus
+    /// host failovers.
+    #[must_use]
+    pub fn finished(&self) -> u64 {
+        self.completed + self.failed_over
     }
 
     /// Mean dispatched batch size (0 when nothing dispatched).
@@ -172,8 +337,12 @@ mod tests {
     #[test]
     fn batch_histogram_mean() {
         let r = ServeReport {
+            admitted: 10,
             completed: 10,
             rejected: 0,
+            failed_over: 0,
+            failed: 0,
+            stranded: 0,
             deadline_misses: 0,
             makespan_ns: 2_000_000_000,
             latency: LatencyStats::default(),
@@ -182,9 +351,76 @@ mod tests {
             uploads: 0,
             worker_busy_ns: vec![1_000_000_000],
             max_queue_depth: 4,
+            chaos: ChaosStats::default(),
+            slo: SloLedger::default(),
+            outcomes: Vec::new(),
         };
         assert!((r.mean_batch() - 2.5).abs() < 1e-12);
         assert!((r.throughput_rps() - 5.0).abs() < 1e-12);
         assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(r.finished(), 10);
+    }
+
+    #[test]
+    fn ledger_posts_and_recomputes_exactly() {
+        let outcomes = [
+            RequestOutcome {
+                id: 0,
+                tenant: 0,
+                class: DeadlineClass::Interactive,
+                benchmark: Benchmark::ALL[0],
+                arrival_ns: 0,
+                done_ns: 10_000_000, // 10 ms < 50 ms deadline
+                kind: OutcomeKind::Completed,
+            },
+            RequestOutcome {
+                id: 1,
+                tenant: 0,
+                class: DeadlineClass::Interactive,
+                benchmark: Benchmark::ALL[0],
+                arrival_ns: 0,
+                done_ns: 90_000_000, // 90 ms > 50 ms: miss
+                kind: OutcomeKind::FailedOver,
+            },
+            RequestOutcome {
+                id: 2,
+                tenant: 1,
+                class: DeadlineClass::Batch,
+                benchmark: Benchmark::ALL[0],
+                arrival_ns: 5,
+                done_ns: 5,
+                kind: OutcomeKind::Rejected,
+            },
+            RequestOutcome {
+                id: 3,
+                tenant: 1,
+                class: DeadlineClass::Standard,
+                benchmark: Benchmark::ALL[0],
+                arrival_ns: 0,
+                done_ns: 400_000_000, // failed: never finished, no miss
+                kind: OutcomeKind::Failed,
+            },
+        ];
+        let ledger = SloLedger::recompute(2, &outcomes);
+        let cell = ledger.cells[0][DeadlineClass::Interactive.rank() as usize];
+        assert_eq!(cell.completed, 1);
+        assert_eq!(cell.failed_over, 1);
+        assert_eq!(cell.missed, 1);
+        assert_eq!(
+            ledger.cells[1][DeadlineClass::Batch.rank() as usize].rejected,
+            1
+        );
+        assert_eq!(
+            ledger.cells[1][DeadlineClass::Standard.rank() as usize].failed,
+            1
+        );
+        assert_eq!(ledger.total_missed(), 1);
+
+        // Incremental maintenance must equal the batch recompute.
+        let mut incremental = SloLedger::new(2);
+        for o in &outcomes {
+            incremental.post(o);
+        }
+        assert_eq!(incremental, ledger);
     }
 }

@@ -10,6 +10,9 @@
 //! cluster simulations out with `ulp_par::par_map`; `par_map` is
 //! order-preserving and each simulation is independent, so the book (and
 //! everything downstream of it) is identical under any `--jobs` setting.
+//! Chaos draws ([`ChaosConfig`]) come from per-worker seeded streams
+//! that advance exactly once per assessed frame, so a faulty run is just
+//! as replayable as a clean one.
 //!
 //! # Why batching wins
 //!
@@ -22,16 +25,35 @@
 //! input stream under request k's compute — the two amortizations
 //! arXiv:2404.01908 and arXiv:2505.05911 identify.
 
+use std::collections::BTreeMap;
+
 use ulp_kernels::{Benchmark, TargetEnv};
+use ulp_link::FaultInjector;
 use ulp_offload::{
-    HetSystem, HetSystemConfig, OffloadCost, OffloadError, OffloadOptions, PipelineConfig,
-    PlannedJob,
+    HetSystem, HetSystemConfig, OffloadCost, OffloadOptions, PipelineConfig, PlannedJob,
 };
 use ulp_par::par_map;
 use ulp_trace::{Component, EventKind, Tracer};
 
-use crate::metrics::{LatencyStats, ServeReport, TenantReport};
+use crate::chaos::{
+    degrade, BatchFate, ChaosConfig, ChaosStats, DispatchJob, LinkTiming, Timeline,
+};
+use crate::error::ServeError;
+use crate::metrics::{
+    LatencyStats, OutcomeKind, RequestOutcome, ServeReport, SloLedger, TenantReport,
+};
 use crate::request::{ServeRequest, TenantSpec};
+
+/// One measured kernel of a [`CostBook`].
+#[derive(Clone, Debug)]
+struct BookEntry {
+    benchmark: Benchmark,
+    cost: OffloadCost,
+    /// Serialized one-iteration offload estimate, ns (fair-share charge).
+    est_ns: u64,
+    /// Host-only cost of one iteration, ns; 0 = never measured.
+    host_est_ns: u64,
+}
 
 /// Measured offload costs of the kernels a pool serves, plus the serial
 /// cost estimate the fair scheduler charges tenants with.
@@ -41,9 +63,13 @@ use crate::request::{ServeRequest, TenantSpec};
 /// out across kernels with `ulp-par`. Scheduling then never touches the
 /// cluster again: batches are priced with the pure
 /// [`HetSystem::plan_queue`] planner against these cached costs.
+///
+/// [`CostBook::measure_with_host`] additionally prices each kernel on
+/// the host alone, which arms the chaos layer's host fallback
+/// ([`ChaosConfig::fallback_to_host`]).
 #[derive(Clone, Debug)]
 pub struct CostBook {
-    entries: Vec<(Benchmark, OffloadCost, u64)>,
+    entries: Vec<BookEntry>,
 }
 
 impl CostBook {
@@ -53,13 +79,39 @@ impl CostBook {
     ///
     /// # Errors
     ///
-    /// Returns the first [`OffloadError`] any kernel measurement hit.
+    /// Returns the first measurement error any kernel hit.
     pub fn measure(
         env: &TargetEnv,
         config: &HetSystemConfig,
         benchmarks: &[Benchmark],
-    ) -> Result<CostBook, OffloadError> {
-        let measured = par_map(benchmarks, |_, &b| -> Result<_, OffloadError> {
+    ) -> Result<CostBook, ServeError> {
+        Self::measure_inner(env, None, config, benchmarks)
+    }
+
+    /// Like [`CostBook::measure`], but also runs each kernel's
+    /// host-targeted build on the MCU alone and records its per-iteration
+    /// cost — required before a pool may fail batches over to the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first measurement error any kernel hit (accelerator
+    /// or host side).
+    pub fn measure_with_host(
+        env: &TargetEnv,
+        host_env: &TargetEnv,
+        config: &HetSystemConfig,
+        benchmarks: &[Benchmark],
+    ) -> Result<CostBook, ServeError> {
+        Self::measure_inner(env, Some(host_env), config, benchmarks)
+    }
+
+    fn measure_inner(
+        env: &TargetEnv,
+        host_env: Option<&TargetEnv>,
+        config: &HetSystemConfig,
+        benchmarks: &[Benchmark],
+    ) -> Result<CostBook, ServeError> {
+        let measured = par_map(benchmarks, |_, &b| -> Result<_, ServeError> {
             let mut sys = HetSystem::new(config.clone());
             let build = b.build(env);
             let cost = sys.measure_cost(&build)?;
@@ -72,7 +124,19 @@ impl CostBook {
                 PipelineConfig::default(),
             );
             let est_ns = (est.serialized_seconds * 1e9).round() as u64;
-            Ok((b, cost, est_ns))
+            let host_est_ns = match host_env {
+                Some(henv) => {
+                    let host = sys.run_on_host(&b.build(henv))?;
+                    ((host.seconds * 1e9).round() as u64).max(1)
+                }
+                None => 0,
+            };
+            Ok(BookEntry {
+                benchmark: b,
+                cost,
+                est_ns,
+                host_est_ns,
+            })
         });
         let mut entries = Vec::with_capacity(benchmarks.len());
         for r in measured {
@@ -86,29 +150,52 @@ impl CostBook {
     /// # Panics
     ///
     /// Panics when the kernel was not measured — requests for unknown
-    /// kernels are a pool configuration bug.
+    /// kernels are a pool configuration bug. [`ServePool::run`] validates
+    /// its whole request stream up front and reports
+    /// [`ServeError::UnknownKernel`] instead of panicking.
     #[must_use]
     pub fn cost(&self, b: Benchmark) -> &OffloadCost {
-        &self.entry(b).1
+        &self.entry(b).cost
     }
 
     /// Serialized single-iteration cost estimate of one kernel, in
     /// nanoseconds — the fair scheduler's charging unit.
     #[must_use]
     pub fn est_ns(&self, b: Benchmark, iterations: usize) -> u64 {
-        self.entry(b).2.saturating_mul(iterations.max(1) as u64)
+        self.entry(b)
+            .est_ns
+            .saturating_mul(iterations.max(1) as u64)
+    }
+
+    /// Host-only cost of one iteration of a kernel, in nanoseconds.
+    /// Zero when the book was built without host measurements.
+    #[must_use]
+    pub fn host_est_ns(&self, b: Benchmark) -> u64 {
+        self.index_of(b).map_or(0, |i| self.entries[i].host_est_ns)
     }
 
     /// Kernels in the book, in measurement order.
     #[must_use]
     pub fn benchmarks(&self) -> Vec<Benchmark> {
-        self.entries.iter().map(|e| e.0).collect()
+        self.entries.iter().map(|e| e.benchmark).collect()
     }
 
-    fn entry(&self, b: Benchmark) -> &(Benchmark, OffloadCost, u64) {
+    /// Position of a kernel in the book, or `None` if unmeasured.
+    #[must_use]
+    pub fn index_of(&self, b: Benchmark) -> Option<usize> {
+        self.entries.iter().position(|e| e.benchmark == b)
+    }
+
+    /// Position of a kernel, as a contextful error for soak harnesses.
+    fn try_index(&self, b: Benchmark) -> Result<usize, ServeError> {
+        self.index_of(b)
+            .ok_or(ServeError::UnknownKernel { kernel: b.name() })
+    }
+
+    fn entry(&self, b: Benchmark) -> &BookEntry {
         self.entries
             .iter()
-            .find(|e| e.0 == b)
+            .find(|e| e.benchmark == b)
             .expect("benchmark not in cost book")
     }
 }
@@ -189,6 +276,19 @@ struct TenantState {
     latencies: Vec<u64>,
     rejected: u64,
     deadline_misses: u64,
+    failed_over: u64,
+    failed: u64,
+}
+
+/// Healthy price of one dispatch shape, cached so a million-request soak
+/// calls the queue planner once per distinct (kernel, batch size, ship)
+/// triple instead of once per dispatch.
+#[derive(Clone, Copy, Debug)]
+struct Price {
+    /// Fault-free service time including dispatch overhead, ns.
+    base_ns: u64,
+    /// Accelerator compute portion (arms the automatic watchdog), ns.
+    compute_ns: u64,
 }
 
 /// The multi-tenant serving front-end: a pool of simulated accelerator
@@ -196,6 +296,9 @@ struct TenantState {
 ///
 /// See the [module docs](crate::server) for the scheduling model;
 /// [`ServePool::run`] executes one request stream to completion.
+/// [`ServePool::with_chaos`] and [`ServePool::with_timeline`] attach
+/// fault injection and scripted disruptions; with neither attached a run
+/// is bit-identical to a chaos-free build of the pool.
 pub struct ServePool {
     cfg: ServeConfig,
     book: CostBook,
@@ -203,6 +306,10 @@ pub struct ServePool {
     workers: Vec<Worker>,
     mcu_hz: f64,
     tracer: Tracer,
+    chaos: ChaosConfig,
+    timeline: Timeline,
+    timing: LinkTiming,
+    price_cache: BTreeMap<(usize, usize, bool), Price>,
 }
 
 impl ServePool {
@@ -229,6 +336,10 @@ impl ServePool {
             workers,
             mcu_hz: sys_config.mcu_freq_hz,
             tracer: Tracer::disabled(),
+            chaos: ChaosConfig::default(),
+            timeline: Timeline::default(),
+            timing: LinkTiming::new(sys_config),
+            price_cache: BTreeMap::new(),
         }
     }
 
@@ -237,6 +348,23 @@ impl ServePool {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches per-worker fault injection. An inactive config (no
+    /// profiles, or all-zero rates) leaves every run bit-identical to a
+    /// pool without it.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Attaches a scripted disruption timeline (worker blackouts and
+    /// residency flushes).
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Timeline) -> Self {
+        self.timeline = timeline;
         self
     }
 
@@ -250,11 +378,35 @@ impl ServePool {
     /// reports what happened. Worker state is reset first, so repeated
     /// runs of the same stream produce identical reports.
     ///
-    /// # Panics
+    /// The stream is validated up front: every request must name a
+    /// tenant inside the tenant table and a kernel the cost book
+    /// measured, and — when fault injection could fail a batch over to
+    /// the host — every requested kernel must carry a host cost. A
+    /// misconfiguration is reported before any virtual time elapses, so
+    /// soak harnesses can attach the workload seed to the error.
     ///
-    /// Panics if a request names a tenant outside the tenant table or a
-    /// kernel outside the cost book.
-    pub fn run(&mut self, requests: &[ServeRequest]) -> ServeReport {
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`], [`ServeError::UnknownKernel`], or
+    /// [`ServeError::MissingHostCost`] on a request stream the pool was
+    /// not configured for.
+    pub fn run(&mut self, requests: &[ServeRequest]) -> Result<ServeReport, ServeError> {
+        let need_host = self.chaos.is_active() && self.chaos.fallback_to_host;
+        for r in requests {
+            if r.tenant >= self.tenants.len() {
+                return Err(ServeError::UnknownTenant {
+                    index: r.tenant,
+                    tenants: self.tenants.len(),
+                });
+            }
+            let bidx = self.book.try_index(r.benchmark)?;
+            if need_host && self.book.entries[bidx].host_est_ns == 0 {
+                return Err(ServeError::MissingHostCost {
+                    kernel: r.benchmark.name(),
+                });
+            }
+        }
+
         for w in &mut self.workers {
             w.resident = None;
             w.free_at_ns = 0;
@@ -270,7 +422,12 @@ impl ServePool {
                 latencies: Vec::new(),
                 rejected: 0,
                 deadline_misses: 0,
+                failed_over: 0,
+                failed: 0,
             })
+            .collect();
+        let mut injectors: Vec<Option<FaultInjector>> = (0..self.workers.len())
+            .map(|i| self.chaos.injector_for(i))
             .collect();
 
         let max_batch = self.cfg.policy.max_batch();
@@ -281,8 +438,26 @@ impl ServePool {
         let mut uploads = 0u64;
         let mut makespan = 0u64;
         let mut max_depth = 0usize;
+        let mut flush_idx = 0usize;
+        let mut admitted = 0u64;
+        let mut completed = 0u64;
+        let mut stats = ChaosStats::default();
+        let mut ledger = SloLedger::new(tenants.len());
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
 
         loop {
+            // Apply residency-churn flushes that have come due: every
+            // worker forgets its resident binary, so the next dispatch
+            // pays the upload again.
+            while flush_idx < self.timeline.flushes.len() && self.timeline.flushes[flush_idx] <= now
+            {
+                flush_idx += 1;
+                stats.residency_flushes += 1;
+                for w in &mut self.workers {
+                    w.resident = None;
+                }
+            }
+
             // Admit everything that has arrived by `now`.
             while next_arrival < requests.len() && requests[next_arrival].arrival_ns <= now {
                 let r = requests[next_arrival];
@@ -290,8 +465,20 @@ impl ServePool {
                 let t = &mut tenants[r.tenant];
                 if t.queue.len() >= t.spec.queue_cap {
                     t.rejected += 1;
+                    let o = RequestOutcome {
+                        id: r.id,
+                        tenant: r.tenant,
+                        class: r.class,
+                        benchmark: r.benchmark,
+                        arrival_ns: r.arrival_ns,
+                        done_ns: r.arrival_ns,
+                        kind: OutcomeKind::Rejected,
+                    };
+                    ledger.post(&o);
+                    outcomes.push(o);
                     continue;
                 }
+                admitted += 1;
                 if t.queue.is_empty() {
                     // A tenant returning from idle starts at the current
                     // fairness floor instead of spending banked credit.
@@ -304,18 +491,57 @@ impl ServePool {
             // Dispatch while a worker is idle and work is queued.
             while tenants.iter().any(|t| !t.queue.is_empty()) {
                 let Some(widx) = self.idle_worker(&tenants, now) else {
+                    // Stalled purely by the timeline (an otherwise-idle
+                    // worker exists but is blacked out)? Count it — the
+                    // scheduler will wake at the blackout's end.
+                    if self
+                        .workers
+                        .iter()
+                        .enumerate()
+                        .any(|(i, w)| w.free_at_ns <= now && self.timeline.blacked_out(i, now))
+                    {
+                        stats.blackout_windows += 1;
+                    }
                     break;
                 };
                 let batch = self.take_batch(&mut tenants, &mut vnow, max_batch);
                 let kernel = batch[0].benchmark;
+                let bidx = self.book.try_index(kernel)?;
                 let ship = self.workers[widx].resident != Some(kernel);
-                let service_ns = self.price_batch(widx, &batch, ship);
+                let iterations: usize = batch.iter().map(|r| r.iterations.max(1)).sum();
+                let price = self.price(bidx, iterations, ship);
+
+                let (service_ns, fate) = match injectors[widx].as_mut() {
+                    Some(inj) => {
+                        let entry = &self.book.entries[bidx];
+                        let d = degrade(
+                            inj,
+                            &self.chaos,
+                            &self.timing,
+                            &DispatchJob {
+                                cost: &entry.cost,
+                                iterations,
+                                ship,
+                                base_ns: price.base_ns,
+                                compute_ns: price.compute_ns,
+                                host_est_ns: entry.host_est_ns,
+                            },
+                        );
+                        stats.retransmissions += d.retransmissions;
+                        stats.watchdog_fires += d.watchdog_fires;
+                        stats.late_events += d.late_events;
+                        (d.service_ns, d.fate)
+                    }
+                    None => (price.base_ns, BatchFate::Served),
+                };
 
                 let w = &mut self.workers[widx];
-                w.resident = Some(kernel);
+                // A failed dispatch leaves the accelerator in an unknown
+                // state; the watchdog restart wipes residency.
+                w.resident = (fate == BatchFate::Served).then_some(kernel);
                 w.free_at_ns = now + service_ns;
                 w.busy_ns += service_ns;
-                uploads += u64::from(ship);
+                uploads += u64::from(ship && fate == BatchFate::Served);
                 makespan = makespan.max(w.free_at_ns);
 
                 if batch_hist.len() < batch.len() {
@@ -341,17 +567,54 @@ impl ServePool {
                 );
 
                 let done = now + service_ns;
+                let kind = match fate {
+                    BatchFate::Served => OutcomeKind::Completed,
+                    BatchFate::FailedOver => OutcomeKind::FailedOver,
+                    BatchFate::Failed => OutcomeKind::Failed,
+                };
                 for r in &batch {
-                    let latency = done - r.arrival_ns;
                     let t = &mut tenants[r.tenant];
-                    t.latencies.push(latency);
-                    if latency > r.class.deadline_ns() {
-                        t.deadline_misses += 1;
+                    match fate {
+                        BatchFate::Served | BatchFate::FailedOver => {
+                            let latency = done - r.arrival_ns;
+                            t.latencies.push(latency);
+                            if latency > r.class.deadline_ns() {
+                                t.deadline_misses += 1;
+                            }
+                            if fate == BatchFate::FailedOver {
+                                t.failed_over += 1;
+                            } else {
+                                completed += 1;
+                            }
+                        }
+                        BatchFate::Failed => t.failed += 1,
                     }
+                    let o = RequestOutcome {
+                        id: r.id,
+                        tenant: r.tenant,
+                        class: r.class,
+                        benchmark: r.benchmark,
+                        arrival_ns: r.arrival_ns,
+                        done_ns: done,
+                        kind,
+                    };
+                    ledger.post(&o);
+                    outcomes.push(o);
+                }
+                match fate {
+                    BatchFate::FailedOver => {
+                        stats.fallback_batches += 1;
+                        stats.fallback_requests += batch.len() as u64;
+                    }
+                    BatchFate::Failed => stats.failed_requests += batch.len() as u64,
+                    BatchFate::Served => {}
                 }
             }
 
-            // Advance the virtual clock to the next event.
+            // Advance the virtual clock to the next event. A scheduler
+            // stalled by blackouts with work still queued must wake when
+            // the earliest blackout lifts, or requests would strand.
+            let queued = tenants.iter().any(|t| !t.queue.is_empty());
             let next_t = [
                 (next_arrival < requests.len()).then(|| requests[next_arrival].arrival_ns),
                 self.workers
@@ -359,6 +622,11 @@ impl ServePool {
                     .filter(|w| w.free_at_ns > now)
                     .map(|w| w.free_at_ns)
                     .min(),
+                if queued {
+                    self.timeline.next_blackout_end(now)
+                } else {
+                    None
+                },
             ]
             .into_iter()
             .flatten()
@@ -369,6 +637,7 @@ impl ServePool {
             }
         }
 
+        let stranded: u64 = tenants.iter().map(|t| t.queue.len() as u64).sum();
         let mut all: Vec<u64> = Vec::new();
         for t in &tenants {
             all.extend_from_slice(&t.latencies);
@@ -377,9 +646,16 @@ impl ServePool {
             self.tracer
                 .set_counter(Component::Worker(i as u8), w.busy_ns, makespan);
         }
-        ServeReport {
-            completed: all.len() as u64,
+        for inj in injectors.iter().flatten() {
+            stats.absorb(inj.stats());
+        }
+        Ok(ServeReport {
+            admitted,
+            completed,
             rejected: tenants.iter().map(|t| t.rejected).sum(),
+            failed_over: tenants.iter().map(|t| t.failed_over).sum(),
+            failed: tenants.iter().map(|t| t.failed).sum(),
+            stranded,
             deadline_misses: tenants.iter().map(|t| t.deadline_misses).sum(),
             makespan_ns: makespan,
             latency: LatencyStats::of(&all),
@@ -391,23 +667,28 @@ impl ServePool {
                     latency: LatencyStats::of(&t.latencies),
                     rejected: t.rejected,
                     deadline_misses: t.deadline_misses,
+                    failed_over: t.failed_over,
+                    failed: t.failed,
                 })
                 .collect(),
             batch_hist,
             uploads,
             worker_busy_ns: self.workers.iter().map(|w| w.busy_ns).collect(),
             max_queue_depth: max_depth,
-        }
+            chaos: stats,
+            slo: ledger,
+            outcomes,
+        })
     }
 
-    /// Picks an idle worker, preferring one whose resident kernel will
-    /// match the next dispatch (lowest index wins ties for
-    /// determinism). `None` when every worker is busy.
+    /// Picks an idle, non-blacked-out worker, preferring one whose
+    /// resident kernel will match the next dispatch (lowest index wins
+    /// ties for determinism). `None` when every worker is busy or out.
     fn idle_worker(&self, tenants: &[TenantState], now: u64) -> Option<usize> {
         let head = self.head_request(tenants)?;
         let mut first_idle = None;
         for (i, w) in self.workers.iter().enumerate() {
-            if w.free_at_ns > now {
+            if w.free_at_ns > now || self.timeline.blacked_out(i, now) {
                 continue;
             }
             if w.resident == Some(head.benchmark) {
@@ -505,32 +786,41 @@ impl ServePool {
         batch
     }
 
-    /// Prices a batch on one worker with the pure queue planner. A
-    /// batch is same-kernel by construction, so it **fuses** into one
-    /// planned job whose iteration count is the batch's total payload
-    /// count: the binary ships (at most) once, the instruction cache
-    /// warms once, and every payload after the first streams through
-    /// the pipeline schedule at the steady-state rate. A serial dispatch
-    /// (batch of one) degenerates to the ordinary single offload.
-    fn price_batch(&self, widx: usize, batch: &[ServeRequest], ship: bool) -> u64 {
-        let iterations: usize = batch.iter().map(|r| r.iterations.max(1)).sum();
+    /// Healthy price of a batch on one worker, via the pure queue
+    /// planner with a memo per dispatch shape. A batch is same-kernel by
+    /// construction, so it **fuses** into one planned job whose
+    /// iteration count is the batch's total payload count: the binary
+    /// ships (at most) once, the instruction cache warms once, and every
+    /// payload after the first streams through the pipeline schedule at
+    /// the steady-state rate. A serial dispatch (batch of one)
+    /// degenerates to the ordinary single offload.
+    fn price(&mut self, bidx: usize, iterations: usize, ship: bool) -> Price {
+        if let Some(&p) = self.price_cache.get(&(bidx, iterations, ship)) {
+            return p;
+        }
         let job = PlannedJob {
-            cost: self.book.cost(batch[0].benchmark),
+            cost: &self.book.entries[bidx].cost,
             opts: OffloadOptions {
                 iterations,
                 ..OffloadOptions::default()
             },
             ship_binary: ship,
         };
-        let plan = self.workers[widx].sys.plan_queue(&[job], self.cfg.pipeline);
+        let plan = self.workers[0].sys.plan_queue(&[job], self.cfg.pipeline);
         let overhead_ns = (self.cfg.dispatch_overhead_cycles as f64 * 1e9 / self.mcu_hz).round();
-        (plan.total_seconds * 1e9 + overhead_ns).round() as u64
+        let price = Price {
+            base_ns: (plan.total_seconds * 1e9 + overhead_ns).round() as u64,
+            compute_ns: (plan.reports[0].compute_seconds * 1e9).round() as u64,
+        };
+        self.price_cache.insert((bidx, iterations, ship), price);
+        price
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{Blackout, FaultProfile};
     use crate::loadgen::{TenantLoad, WorkloadSpec};
 
     fn kernels() -> Vec<Benchmark> {
@@ -543,7 +833,17 @@ mod tests {
             &HetSystemConfig::default(),
             &kernels(),
         )
-        .unwrap()
+        .expect("kernel measurement must succeed")
+    }
+
+    fn host_book() -> CostBook {
+        CostBook::measure_with_host(
+            &TargetEnv::pulp_parallel(),
+            &TargetEnv::host_m4(),
+            &HetSystemConfig::default(),
+            &kernels(),
+        )
+        .expect("kernel measurement must succeed")
     }
 
     fn workload(seed: u64, rate: f64) -> Vec<ServeRequest> {
@@ -572,8 +872,10 @@ mod tests {
     fn batching_amortizes_uploads_and_lifts_throughput() {
         let book = book();
         let reqs = workload(3, 400.0);
-        let serial = pool(BatchPolicy::Serial, book.clone()).run(&reqs);
-        let batched = pool(BatchPolicy::KernelAware { max_batch: 8 }, book).run(&reqs);
+        let serial = pool(BatchPolicy::Serial, book.clone()).run(&reqs).unwrap();
+        let batched = pool(BatchPolicy::KernelAware { max_batch: 8 }, book)
+            .run(&reqs)
+            .unwrap();
         assert_eq!(serial.completed + serial.rejected, reqs.len() as u64);
         assert!(batched.completed >= serial.completed);
         assert!(
@@ -595,8 +897,8 @@ mod tests {
     fn runs_are_repeatable() {
         let reqs = workload(9, 300.0);
         let mut p = pool(BatchPolicy::KernelAware { max_batch: 8 }, book());
-        let a = p.run(&reqs);
-        let b = p.run(&reqs);
+        let a = p.run(&reqs).unwrap();
+        let b = p.run(&reqs).unwrap();
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.makespan_ns, b.makespan_ns);
         assert_eq!(a.latency.p99_ns, b.latency.p99_ns);
@@ -619,7 +921,7 @@ mod tests {
             },
         );
         // Heavy overload on one worker: the bound must trip.
-        let r = p.run(&workload(5, 5_000.0));
+        let r = p.run(&workload(5, 5_000.0)).unwrap();
         assert!(r.rejected > 0, "queue cap 2 must reject under overload");
         assert!(r.max_queue_depth <= 2);
     }
@@ -650,8 +952,8 @@ mod tests {
             ],
         }
         .generate();
-        let fair = mk(true).run(&reqs);
-        let fifo = mk(false).run(&reqs);
+        let fair = mk(true).run(&reqs).unwrap();
+        let fifo = mk(false).run(&reqs).unwrap();
         let bg_fair = fair.tenants[0].latency.p99_ns;
         let bg_fifo = fifo.tenants[0].latency.p99_ns;
         assert!(
@@ -671,7 +973,7 @@ mod tests {
             ServeConfig::default(),
         )
         .with_tracer(tracer.clone());
-        let r = p.run(&reqs);
+        let r = p.run(&reqs).unwrap();
         let events = tracer.events();
         let batches = events
             .iter()
@@ -682,5 +984,149 @@ mod tests {
         assert!(counters
             .iter()
             .any(|(c, k)| *c == Component::Worker(0) && k.total == r.makespan_ns));
+    }
+
+    #[test]
+    fn bad_requests_are_reported_not_panicked() {
+        let mut p = pool(BatchPolicy::Serial, book());
+        let mut r = workload(1, 50.0);
+        r[0].tenant = 9;
+        match p.run(&r) {
+            Err(ServeError::UnknownTenant {
+                index: 9,
+                tenants: 1,
+            }) => {}
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+
+        // A chaos pool with host fallback demands host costs up front.
+        let mut p = pool(BatchPolicy::Serial, book()).with_chaos(ChaosConfig::uniform(
+            1,
+            FaultProfile {
+                drop_rate: 0.5,
+                ..FaultProfile::default()
+            },
+        ));
+        match p.run(&workload(1, 50.0)) {
+            Err(ServeError::MissingHostCost { .. }) => {}
+            other => panic!("expected MissingHostCost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_conserves_every_request() {
+        let reqs = workload(21, 500.0);
+        let chaos = ChaosConfig::uniform(
+            77,
+            FaultProfile {
+                bit_error_rate: 1e-5,
+                drop_rate: 0.02,
+                hang_rate: 0.01,
+                ..FaultProfile::default()
+            },
+        );
+        let mut p = pool(BatchPolicy::KernelAware { max_batch: 8 }, host_book()).with_chaos(chaos);
+        let r = p.run(&reqs).unwrap();
+        assert_eq!(
+            r.completed + r.rejected + r.failed_over + r.failed,
+            reqs.len() as u64,
+            "every request must be accounted for exactly once"
+        );
+        assert_eq!(r.stranded, 0);
+        assert_eq!(r.admitted + r.rejected, reqs.len() as u64);
+        assert!(r.chaos.any(), "faults at these rates must leave a trace");
+        assert_eq!(r.outcomes.len(), reqs.len());
+        assert_eq!(r.slo, SloLedger::recompute(1, &r.outcomes));
+    }
+
+    #[test]
+    fn certain_hang_fails_over_every_batch() {
+        let reqs = workload(4, 100.0);
+        let chaos = ChaosConfig::uniform(
+            5,
+            FaultProfile {
+                hang_rate: 1.0,
+                ..FaultProfile::default()
+            },
+        );
+        let mut p = pool(BatchPolicy::Serial, host_book()).with_chaos(chaos);
+        let r = p.run(&reqs).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.failed_over + r.rejected, reqs.len() as u64);
+        assert!(r.chaos.watchdog_fires > 0);
+        assert!(r.chaos.fallback_requests > 0);
+    }
+
+    #[test]
+    fn blackout_delays_but_strands_nothing() {
+        let reqs = workload(6, 200.0);
+        let clean = pool(BatchPolicy::Serial, book()).run(&reqs).unwrap();
+        let mut p = pool(BatchPolicy::Serial, book()).with_timeline(Timeline {
+            blackouts: vec![
+                Blackout {
+                    worker: 0,
+                    start_ns: 0,
+                    end_ns: 400_000_000,
+                },
+                Blackout {
+                    worker: 1,
+                    start_ns: 0,
+                    end_ns: 400_000_000,
+                },
+            ],
+            flushes: Vec::new(),
+        });
+        let r = p.run(&reqs).unwrap();
+        assert_eq!(r.stranded, 0);
+        assert_eq!(
+            r.completed + r.rejected,
+            reqs.len() as u64,
+            "a lifted blackout must not lose requests"
+        );
+        assert!(
+            r.latency.p99_ns >= clean.latency.p99_ns,
+            "a pool-wide outage cannot make tails better"
+        );
+        assert!(r.chaos.blackout_windows > 0);
+    }
+
+    #[test]
+    fn residency_churn_costs_uploads() {
+        let reqs = workload(8, 300.0);
+        let clean = pool(BatchPolicy::KernelAware { max_batch: 8 }, book())
+            .run(&reqs)
+            .unwrap();
+        let flushes: Vec<u64> = (1..20).map(|i| i * 50_000_000).collect();
+        let mut p =
+            pool(BatchPolicy::KernelAware { max_batch: 8 }, book()).with_timeline(Timeline {
+                blackouts: Vec::new(),
+                flushes,
+            });
+        let churned = p.run(&reqs).unwrap();
+        assert!(churned.chaos.residency_flushes > 0);
+        assert!(
+            churned.uploads > clean.uploads,
+            "churn {} uploads must exceed clean {}",
+            churned.uploads,
+            clean.uploads
+        );
+    }
+
+    #[test]
+    fn inactive_chaos_is_bit_identical_to_none() {
+        let reqs = workload(13, 350.0);
+        let plain = pool(BatchPolicy::KernelAware { max_batch: 8 }, book())
+            .run(&reqs)
+            .unwrap();
+        let mut p = pool(BatchPolicy::KernelAware { max_batch: 8 }, book())
+            .with_chaos(ChaosConfig::uniform(9, FaultProfile::default()))
+            .with_timeline(Timeline::default());
+        let idle = p.run(&reqs).unwrap();
+        assert_eq!(plain.completed, idle.completed);
+        assert_eq!(plain.makespan_ns, idle.makespan_ns);
+        assert_eq!(plain.batch_hist, idle.batch_hist);
+        assert_eq!(plain.uploads, idle.uploads);
+        assert_eq!(plain.latency.p99_ns, idle.latency.p99_ns);
+        assert!(!idle.chaos.any());
     }
 }

@@ -47,6 +47,7 @@ fn run() -> Result<(), String> {
             "perf",
             "no-turbo",
             "serve",
+            "soak",
             "serial",
             "no-fair",
             "help",
@@ -65,7 +66,8 @@ fn run() -> Result<(), String> {
              [--trace FILE] [--trace-cap N] [--counters] \
              [--perf] [--no-turbo] [--jobs N] \
              [--serve] [--pool N] [--max-batch N] [--serial] [--no-fair] \
-             [--serve-seed N] [--duration-ms N] [--tenants N]"
+             [--serve-seed N] [--duration-ms N] [--tenants N] \
+             [--soak] [--burst-factor F] [--blackout-ms N] [--churn-ms N]"
                 .to_owned(),
         );
     }
@@ -127,8 +129,8 @@ fn run() -> Result<(), String> {
         cfg.pulp_freq_hz = op.freq_hz;
     }
 
-    if args.has("serve") {
-        return run_serve(&args, benchmark, &cfg);
+    if args.has("serve") || args.has("soak") {
+        return run_serve(&args, benchmark, &cfg, args.has("soak"));
     }
 
     let mut sys = HetSystem::new(cfg);
@@ -323,17 +325,33 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
-/// `--serve`: run the multi-tenant serving layer over a pool of
-/// simulated workers, with the selected benchmark as the hot kernel.
+/// `--serve` / `--soak`: run the multi-tenant serving layer over a pool
+/// of simulated workers, with the selected benchmark as the hot kernel.
+/// The single-offload fault knobs (`--ber`, `--drop-rate`, `--hang-rate`,
+/// …) arm per-worker chaos injection; `--soak` adds scripted disruption
+/// phases (tenant bursts, a worker blackout, residency churn) and
+/// cross-checks every accounting invariant of the resulting report.
+#[allow(clippy::too_many_lines)]
 fn run_serve(
     args: &Args,
     hot: ulp_kernels::Benchmark,
     cfg: &HetSystemConfig,
+    soak: bool,
 ) -> Result<(), String> {
     use ulp_kernels::Benchmark;
     use ulp_serve::{
-        fmt_ms, BatchPolicy, CostBook, ServeConfig, ServePool, TenantLoad, TenantSpec, WorkloadSpec,
+        fmt_ms, BatchPolicy, Blackout, Burst, ChaosConfig, CostBook, FaultProfile, ServeConfig,
+        ServePool, SoakSpec, TenantLoad, TenantSpec, WorkloadSpec,
     };
+
+    let mode = if soak { "--soak" } else { "--serve" };
+    if cfg.fault.stuck_eoc || cfg.fault.stuck_fetch_enable {
+        return Err(format!(
+            "--stuck-eoc / --stuck-fetch-enable model a permanently wedged wire and cannot \
+             apply to {mode}: the pool would simply never schedule that worker. Script a \
+             finite outage with {mode}'s --blackout-ms instead."
+        ));
+    }
 
     let pool = args.get_usize("pool", 2)?.max(1);
     let max_batch = args.get_usize("max-batch", 8)?.max(1);
@@ -343,6 +361,27 @@ fn run_serve(
     let serial = args.has("serial");
     let fair = !args.has("no-fair");
 
+    // The single-offload fault knobs translate directly into a uniform
+    // per-worker chaos profile on the pool's virtual clock.
+    let profile = FaultProfile {
+        bit_error_rate: cfg.fault.bit_error_rate,
+        drop_rate: cfg.fault.drop_rate,
+        truncate_rate: cfg.fault.truncate_rate,
+        hang_rate: cfg.fault.hang_rate,
+        late_eoc_rate: cfg.fault.late_eoc_rate,
+        late_eoc_cycles: cfg.fault.late_eoc_cycles,
+    };
+    let watchdog_cycles = args.get_usize("watchdog-cycles", 0)? as u64;
+    let chaos = ChaosConfig {
+        seed: cfg.fault.seed,
+        profiles: vec![profile],
+        max_retries: u32::try_from(args.get_usize("max-retries", 3)?)
+            .map_err(|_| "--max-retries out of range".to_owned())?,
+        backoff_cycles: args.get_usize("backoff-cycles", 64)? as u64,
+        watchdog_ns: (watchdog_cycles as f64 * 1e9 / cfg.pulp_freq_hz).round() as u64,
+        fallback_to_host: !args.has("no-fallback"),
+    };
+
     let trace_file = args.get("trace").map(str::to_owned);
     let tracer = if trace_file.is_some() || args.has("counters") {
         Tracer::with_capacity(args.get_usize("trace-cap", ulp_trace::DEFAULT_RING_CAP)?)
@@ -351,8 +390,12 @@ fn run_serve(
     };
 
     let env = TargetEnv::pulp_parallel();
-    let book =
-        CostBook::measure(&env, cfg, &Benchmark::ALL).map_err(|e| format!("cost book: {e}"))?;
+    let book = if chaos.is_active() && chaos.fallback_to_host {
+        CostBook::measure_with_host(&env, &TargetEnv::host_m4(), cfg, &Benchmark::ALL)
+    } else {
+        CostBook::measure(&env, cfg, &Benchmark::ALL)
+    }
+    .map_err(|e| format!("cost book: {e}"))?;
     let mix: Vec<(Benchmark, f64)> = Benchmark::ALL
         .iter()
         .map(|&b| (b, if b == hot { 9.0 } else { 1.0 }))
@@ -395,29 +438,60 @@ fn run_serve(
             })
             .collect(),
     };
-    let requests = workload.generate();
-
     let policy = if serial {
         BatchPolicy::Serial
     } else {
         BatchPolicy::KernelAware { max_batch }
     };
-    let mut serve_pool = ServePool::new(
-        cfg,
-        tenants,
-        book,
-        ServeConfig {
-            pool,
-            policy,
-            fair,
-            ..ServeConfig::default()
-        },
-    )
-    .with_tracer(tracer.clone());
-    let report = serve_pool.run(&requests);
+    let serve_cfg = ServeConfig {
+        pool,
+        policy,
+        fair,
+        ..ServeConfig::default()
+    };
+
+    let duration_ns = duration_ms as u64 * 1_000_000;
+    let (report, offered, violations) = if soak {
+        // Scripted disruption phases: a flash crowd on the app tenant, a
+        // mid-run blackout of worker 0, and periodic residency churn.
+        let burst_factor = args.get_f64("burst-factor", 100.0)?;
+        let blackout_ms = args.get_usize("blackout-ms", duration_ms / 10)? as u64;
+        let churn_ms = args.get_usize("churn-ms", duration_ms / 4)? as u64;
+        let spec = SoakSpec {
+            workload,
+            bursts: vec![Burst {
+                tenant: 0,
+                start_ns: duration_ns * 2 / 5,
+                end_ns: duration_ns * 9 / 20,
+                factor: burst_factor,
+            }],
+            blackouts: if blackout_ms > 0 {
+                vec![Blackout {
+                    worker: 0,
+                    start_ns: duration_ns / 2,
+                    end_ns: duration_ns / 2 + blackout_ms * 1_000_000,
+                }]
+            } else {
+                Vec::new()
+            },
+            churn_period_ns: churn_ms * 1_000_000,
+            chaos,
+            serve: serve_cfg,
+        };
+        let out = ulp_serve::run_soak(cfg, book, &spec)?;
+        (out.report, out.requests, out.violations)
+    } else {
+        let requests = workload.generate();
+        let mut serve_pool = ServePool::new(cfg, tenants, book, serve_cfg)
+            .with_chaos(chaos)
+            .with_tracer(tracer.clone());
+        let report = serve_pool.run(&requests).map_err(|e| e.to_string())?;
+        (report, requests.len() as u64, Vec::new())
+    };
 
     println!(
-        "serve     : hot kernel {}, pool {pool}, {} dispatch{}, {} tenants, seed {seed}",
+        "{}     : hot kernel {}, pool {pool}, {} dispatch{}, {} tenants, seed {seed}",
+        if soak { "soak " } else { "serve" },
         hot.name(),
         if serial {
             "serial".to_owned()
@@ -428,13 +502,15 @@ fn run_serve(
         n_tenants,
     );
     println!(
-        "load      : {} requests over {duration_ms} ms of virtual time ({:.1} rps offered)",
-        requests.len(),
-        rate
+        "load      : {offered} requests over {duration_ms} ms of virtual time ({rate:.1} rps base)"
     );
     println!(
-        "\nserved    : {} completed, {} rejected, {} deadline misses",
-        report.completed, report.rejected, report.deadline_misses
+        "\nserved    : {} completed, {} rejected, {} failed over, {} failed, {} deadline misses",
+        report.completed,
+        report.rejected,
+        report.failed_over,
+        report.failed,
+        report.deadline_misses
     );
     println!(
         "throughput: {:.1} rps over {} ms makespan",
@@ -480,6 +556,60 @@ fn run_serve(
             t.rejected,
             t.deadline_misses
         );
+    }
+
+    if report.chaos.any() {
+        let c = &report.chaos;
+        println!("\nchaos (seed {}):", cfg.fault.seed);
+        println!(
+            "  link      : {} frames, {} damaged, {} bits flipped, {} crc escapes",
+            c.frames, c.frames_damaged, c.bits_flipped, c.crc_escapes
+        );
+        println!(
+            "  recovery  : {} retransmissions, {} watchdog fires, {} late events",
+            c.retransmissions, c.watchdog_fires, c.late_events
+        );
+        println!(
+            "  fallback  : {} batches / {} requests to host, {} requests failed",
+            c.fallback_batches, c.fallback_requests, c.failed_requests
+        );
+        println!(
+            "  timeline  : {} residency flushes, {} blackout stalls",
+            c.residency_flushes, c.blackout_windows
+        );
+        println!("\nSLO ledger (tenant x class: finished/missed):");
+        for (ti, row) in report.slo.cells.iter().enumerate() {
+            let cells: Vec<String> = ulp_serve::DeadlineClass::ALL
+                .iter()
+                .zip(row.iter())
+                .map(|(cl, cell)| {
+                    format!(
+                        "{} {}/{}",
+                        cl.name(),
+                        cell.completed + cell.failed_over,
+                        cell.missed
+                    )
+                })
+                .collect();
+            println!("  {:<8} {}", report.tenants[ti].name, cells.join("  "));
+        }
+    }
+
+    if soak {
+        if violations.is_empty() {
+            println!(
+                "\ninvariants: OK — {} requests conserved, ledger exact, no queue leaks",
+                offered
+            );
+        } else {
+            for v in &violations {
+                eprintln!("invariant VIOLATION: {v}");
+            }
+            return Err(format!(
+                "{} invariant violation(s) in soak seed {seed}",
+                violations.len()
+            ));
+        }
     }
 
     if args.has("counters") {

@@ -117,8 +117,8 @@ fn hot_tenant_cannot_starve_background_past_serial_baseline() {
             ..ServeConfig::default()
         },
     );
-    let fair = serving.run(&requests);
-    let fifo = legacy.run(&requests);
+    let fair = serving.run(&requests).expect("serving pool must run");
+    let fifo = legacy.run(&requests).expect("legacy pool must run");
 
     let bg_fair = &fair.tenants[0];
     let bg_fifo = &fifo.tenants[0];

@@ -1,0 +1,297 @@
+//! Chaos-at-serve-scale regressions: the million-request soak study is
+//! a pure function of its seed, every invariant of its reports holds,
+//! the SLO-miss ledger is exact against raw outcomes, and a 100× flash
+//! crowd cannot break queue bounds or starve the background tenant.
+//!
+//! The committed `BENCH_soak.json` and the golden `soak_table.txt` must
+//! re-render byte-identically on any machine and under any `--jobs`
+//! setting — the whole soak (faults, bursts, blackouts, churn) lives on
+//! the virtual clock.
+
+use ulp_kernels::{Benchmark, TargetEnv};
+use ulp_offload::{HetSystemConfig, PipelineConfig};
+use ulp_serve::{
+    run_soak, BatchPolicy, Burst, ChaosConfig, CostBook, FaultProfile, ServeConfig, ServePool,
+    SloLedger, SoakSpec, TenantLoad, TenantSpec, WorkloadSpec,
+};
+
+/// The committed artifact and the golden table must both re-render
+/// byte-identically whether the two soak cells simulate serially
+/// (`--jobs 1`) or concurrently (`--jobs 4`), and the chaos cell must
+/// clear one million offered requests with zero invariant violations.
+#[test]
+fn bench_soak_json_is_byte_identical_across_jobs() {
+    ulp_par::set_jobs(Some(1));
+    let serial_cells = ulp_bench::soak::study();
+    let json_1 = ulp_bench::soak::render_json(&serial_cells);
+    let table_1 = ulp_bench::soak::render_table(&serial_cells);
+    for c in &serial_cells {
+        assert!(
+            c.outcome.violations.is_empty(),
+            "cell {}: {:?}",
+            c.label,
+            c.outcome.violations
+        );
+    }
+    let chaos = serial_cells
+        .iter()
+        .find(|c| c.label == "chaos")
+        .expect("chaos cell");
+    assert!(
+        chaos.outcome.requests >= 1_000_000,
+        "the soak must offer at least a million requests, got {}",
+        chaos.outcome.requests
+    );
+    assert!(
+        chaos.outcome.report.chaos.any(),
+        "the chaos cell must record fault activity"
+    );
+    drop(serial_cells); // two studies of raw outcomes need not coexist
+
+    ulp_par::set_jobs(Some(4));
+    let parallel_cells = ulp_bench::soak::study();
+    ulp_par::set_jobs(None);
+    let json_4 = ulp_bench::soak::render_json(&parallel_cells);
+    assert_eq!(json_1, json_4, "BENCH_soak.json must not depend on --jobs");
+    assert_eq!(
+        json_1,
+        include_str!("../BENCH_soak.json"),
+        "committed BENCH_soak.json is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin soak -- --json BENCH_soak.json`"
+    );
+    assert_eq!(
+        table_1,
+        include_str!("golden/soak_table.txt"),
+        "golden soak table is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin soak > tests/golden/soak_table.txt`"
+    );
+}
+
+fn full_book(config: &HetSystemConfig) -> CostBook {
+    CostBook::measure_with_host(
+        &TargetEnv::pulp_parallel(),
+        &TargetEnv::host_m4(),
+        config,
+        &Benchmark::ALL,
+    )
+    .expect("cost book")
+}
+
+/// A small two-tenant workload with a scripted 100× flash crowd on the
+/// hot tenant.
+fn burst_workload(seed: u64, book: &CostBook) -> (Vec<TenantSpec>, WorkloadSpec, Burst) {
+    let kernels = [Benchmark::MatMul, Benchmark::Cnn, Benchmark::SvmLinear];
+    let mean_ns: f64 = kernels
+        .iter()
+        .map(|&b| book.est_ns(b, 1) as f64)
+        .sum::<f64>()
+        / kernels.len() as f64;
+    let capacity_rps = 2.0 * 1e9 / mean_ns;
+
+    let mut bg = TenantSpec::new("bg");
+    bg.queue_cap = 64;
+    let mut hot = TenantSpec::weighted("hot", 2);
+    hot.queue_cap = 64;
+    let workload = WorkloadSpec {
+        seed,
+        duration_ns: 2_000_000_000,
+        tenants: vec![
+            TenantLoad::uniform(bg.clone(), capacity_rps * 0.2, &kernels),
+            TenantLoad::uniform(hot.clone(), capacity_rps * 0.5, &kernels),
+        ],
+    };
+    let burst = Burst {
+        tenant: 1,
+        start_ns: 600_000_000,
+        end_ns: 800_000_000,
+        factor: 100.0,
+    };
+    (vec![bg, hot], workload, burst)
+}
+
+/// A 100× flash crowd on the hot tenant must be absorbed by admission
+/// control — queues stay within their caps, the overflow is rejected
+/// explicitly (never dropped silently: conservation still holds), and
+/// the background tenant's p99 stays within its serial-FIFO baseline.
+#[test]
+fn flash_crowd_is_rejected_not_absorbed_unboundedly() {
+    let config = HetSystemConfig::default();
+    let book = full_book(&config);
+    let (tenants, workload, burst) = burst_workload(1_001, &book);
+    let requests = workload.generate_with_bursts(&[burst]);
+    let base_requests = workload.generate();
+    assert!(
+        requests.len() >= base_requests.len() + 1_000,
+        "the 100x window must add real load ({} vs {})",
+        requests.len(),
+        base_requests.len()
+    );
+
+    let cap_sum: usize = tenants.iter().map(|t| t.queue_cap).sum();
+    let mut fair = ServePool::new(
+        &config,
+        tenants.clone(),
+        book.clone(),
+        ServeConfig {
+            pool: 2,
+            policy: BatchPolicy::KernelAware { max_batch: 8 },
+            ..ServeConfig::default()
+        },
+    );
+    let report = fair.run(&requests).expect("pool must serve the burst");
+
+    // Bounded queues, explicit rejections, exact conservation.
+    assert!(
+        report.max_queue_depth <= cap_sum,
+        "queue depth {} exceeded the cap sum {cap_sum}",
+        report.max_queue_depth
+    );
+    assert!(
+        report.rejected > 0,
+        "a 100x flash crowd over bounded queues must reject overflow"
+    );
+    let violations = ulp_serve::invariants::check(requests.len() as u64, &report);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Fairness under the burst: the background tenant's p99 must not
+    // exceed what serial per-request FIFO dispatch (no tenant isolation)
+    // gives it under the identical bursty stream.
+    let mut fifo = ServePool::new(
+        &config,
+        tenants,
+        book,
+        ServeConfig {
+            pool: 2,
+            policy: BatchPolicy::Serial,
+            fair: false,
+            pipeline: PipelineConfig::default(),
+            ..ServeConfig::default()
+        },
+    );
+    let fifo_report = fifo.run(&requests).expect("baseline must serve the burst");
+    let bg_fair = &report.tenants[0];
+    let bg_fifo = &fifo_report.tenants[0];
+    assert!(bg_fair.latency.count > 0 && bg_fifo.latency.count > 0);
+    assert!(
+        bg_fair.latency.p99_ns <= bg_fifo.latency.p99_ns,
+        "background p99 {} ns exceeds its serial-FIFO baseline {} ns \
+         despite weighted fairness under the 100x burst",
+        bg_fair.latency.p99_ns,
+        bg_fifo.latency.p99_ns
+    );
+}
+
+/// SLO-ledger exactness: per-tenant × deadline-class miss counts
+/// recomputed from the raw per-request outcomes must match the
+/// incrementally maintained ledger bit-for-bit, and the per-tenant
+/// aggregates must agree with the ledger's rows.
+#[test]
+fn slo_ledger_is_exact_against_raw_outcomes() {
+    let config = HetSystemConfig::default();
+    let book = full_book(&config);
+    let (tenants, workload, burst) = burst_workload(7_373, &book);
+    let requests = workload.generate_with_bursts(&[burst]);
+
+    let mut pool = ServePool::new(
+        &config,
+        tenants,
+        book,
+        ServeConfig {
+            pool: 2,
+            policy: BatchPolicy::KernelAware { max_batch: 8 },
+            ..ServeConfig::default()
+        },
+    )
+    .with_chaos(ChaosConfig::uniform(
+        99,
+        FaultProfile {
+            bit_error_rate: 1e-5,
+            drop_rate: 0.02,
+            hang_rate: 0.01,
+            ..FaultProfile::default()
+        },
+    ));
+    let report = pool.run(&requests).expect("chaos pool must serve");
+    assert!(report.chaos.any(), "chaos must leave a trace");
+
+    let recomputed = SloLedger::recompute(report.tenants.len(), &report.outcomes);
+    assert_eq!(
+        recomputed, report.slo,
+        "incremental SLO ledger drifted from the raw outcomes"
+    );
+    assert_eq!(report.slo.total_missed(), report.deadline_misses);
+    for (t, tenant) in report.tenants.iter().enumerate() {
+        let row = &report.slo.cells[t];
+        let missed: u64 = row.iter().map(|c| c.missed).sum();
+        let rejected: u64 = row.iter().map(|c| c.rejected).sum();
+        let finished: u64 = row.iter().map(|c| c.completed + c.failed_over).sum();
+        assert_eq!(missed, tenant.deadline_misses, "tenant {}", tenant.name);
+        assert_eq!(rejected, tenant.rejected, "tenant {}", tenant.name);
+        assert_eq!(finished, tenant.latency.count, "tenant {}", tenant.name);
+    }
+}
+
+/// Seeded chaos battery: every seed must produce a soak whose report
+/// holds every invariant. Scaled by `ULP_BATTERY_SCALE`; a failing seed
+/// is recorded to `target/soak-failures/` for the CI artifact upload.
+#[test]
+fn chaos_soak_battery_holds_invariants_for_every_seed() {
+    let config = HetSystemConfig::default();
+    let book = full_book(&config);
+    let cases = 3 * ulp_par::battery_scale();
+    let seeds: Vec<u64> = (0..cases).map(|i| 0x50AC_2026_u64 + i as u64).collect();
+    let specs: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
+    let verdicts = ulp_par::par_map(&specs, |_, &(case, seed)| {
+        let repro = format!(
+            "soak battery case {case}: seed {seed} scale {} — rerun with \
+             ULP_BATTERY_SCALE={} cargo test chaos_soak_battery",
+            ulp_par::battery_scale(),
+            ulp_par::battery_scale()
+        );
+        ulp_par::battery_case_in("soak-failures", "chaos_soak", &repro, || {
+            let kernels = [Benchmark::MatMul, Benchmark::Hog, Benchmark::Cnn];
+            let spec = SoakSpec {
+                workload: WorkloadSpec {
+                    seed,
+                    duration_ns: 400_000_000,
+                    tenants: vec![
+                        TenantLoad::uniform(TenantSpec::weighted("app", 2), 400.0, &kernels),
+                        TenantLoad::uniform(TenantSpec::new("bg"), 100.0, &kernels),
+                    ],
+                },
+                bursts: vec![Burst {
+                    tenant: 0,
+                    start_ns: 100_000_000,
+                    end_ns: 120_000_000,
+                    factor: 50.0,
+                }],
+                blackouts: vec![ulp_serve::Blackout {
+                    worker: seed as usize % 2,
+                    start_ns: 200_000_000,
+                    end_ns: 260_000_000,
+                }],
+                churn_period_ns: 100_000_000,
+                chaos: ChaosConfig::uniform(
+                    seed.rotate_left(17),
+                    FaultProfile {
+                        bit_error_rate: 1e-5,
+                        drop_rate: 0.01 + (seed % 5) as f64 * 0.01,
+                        hang_rate: 0.005,
+                        late_eoc_rate: 0.02,
+                        late_eoc_cycles: 1_024,
+                        ..FaultProfile::default()
+                    },
+                ),
+                serve: ServeConfig {
+                    pool: 2,
+                    policy: BatchPolicy::KernelAware { max_batch: 8 },
+                    ..ServeConfig::default()
+                },
+            };
+            let out = run_soak(&config, book.clone(), &spec).expect("soak spec fits the pool");
+            assert!(out.violations.is_empty(), "{:?}", out.violations);
+            out.requests
+        })
+    });
+    assert!(verdicts.iter().all(|&n| n > 0));
+}
