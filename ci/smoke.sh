@@ -104,6 +104,7 @@ cargo run --release -q -p ulp-bench --bin simperf -- \
   --jobs 2 --reps 1 --out "$ARTIFACTS/BENCH_simulator.json"
 python3 -m json.tool "$ARTIFACTS/BENCH_simulator.json" > /dev/null
 grep -q '"engine_comparison"' "$ARTIFACTS/BENCH_simulator.json"
+grep -q '"core_peak"' "$ARTIFACTS/BENCH_simulator.json"
 grep -q '"simulated_mips"' "$ARTIFACTS/BENCH_simulator.json"
 cargo run --release -q -p ulp-bench --bin simperf -- \
   --no-turbo --skip-comparison --out "$SCRATCH/BENCH_reference.json"

@@ -1,21 +1,25 @@
 //! Simulator wall-clock performance tracker: times the evaluation suites,
-//! meters simulated MIPS, runs the in-process turbo-vs-reference engine
-//! comparison, and writes `BENCH_simulator.json`.
+//! meters simulated MIPS, runs the in-process three-way engine comparison
+//! (reference vs turbo vs micro-op), and writes `BENCH_simulator.json`.
 //!
-//! Usage: `simperf [--jobs N] [--out PATH] [--reps N] [--no-turbo]
-//! [--skip-comparison]`
+//! Usage: `simperf [--jobs N] [--out PATH] [--reps N]
+//! [--engine reference|turbo|microop] [--no-turbo] [--skip-comparison]`
 
 use ulp_bench::simperf::{self, SuitePerf};
+use ulp_cluster::Engine;
 
 fn usage() -> ! {
-    eprintln!("usage: simperf [--jobs N] [--out PATH] [--reps N] [--no-turbo] [--skip-comparison]");
+    eprintln!(
+        "usage: simperf [--jobs N] [--out PATH] [--reps N] \
+         [--engine reference|turbo|microop] [--no-turbo] [--skip-comparison]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut out_path = String::from("BENCH_simulator.json");
     let mut reps = 3usize;
-    let mut turbo = true;
+    let mut engine = Engine::Microop;
     let mut comparison_enabled = true;
     let mut rest = ulp_bench::init_jobs_from_args().into_iter();
     while let Some(arg) = rest.next() {
@@ -28,14 +32,20 @@ fn main() {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage());
             }
-            "--no-turbo" => turbo = false,
+            "--engine" => {
+                engine = rest
+                    .next()
+                    .and_then(|v| Engine::from_name(&v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-turbo" => engine = Engine::Reference,
             "--skip-comparison" => comparison_enabled = false,
             _ => usage(),
         }
     }
-    ulp_cluster::set_default_turbo(turbo);
+    ulp_cluster::set_default_engine(engine);
     let jobs = ulp_par::effective_jobs();
-    eprintln!("simperf: jobs={jobs} turbo={turbo} reps={reps}");
+    eprintln!("simperf: jobs={jobs} engine={} reps={reps}", engine.name());
 
     // Warm-up pass so one-time costs (page faults, lazy statics) don't
     // land on the first timed suite.
@@ -70,21 +80,32 @@ fn main() {
         );
     }
 
-    let comparison = if comparison_enabled {
-        let c = simperf::compare_engines(reps, turbo);
+    let (comparison, peak) = if comparison_enabled {
+        let c = simperf::compare_engines(reps, engine);
         eprintln!(
-            "simperf: engine comparison (min of {}): reference {:.3} cpu-s, turbo {:.3} cpu-s, speedup {:.3}x",
+            "simperf: engine comparison (min of {}): reference {:.3} cpu-s, turbo {:.3} cpu-s \
+             ({:.3}x), microop {:.3} cpu-s ({:.3}x)",
             c.reps,
             c.reference_cpu_seconds,
             c.turbo_cpu_seconds,
-            c.speedup()
+            c.turbo_speedup(),
+            c.microop_cpu_seconds,
+            c.microop_speedup()
         );
-        Some(c)
+        let p = simperf::core_peak(reps);
+        eprintln!(
+            "simperf: core peak (best of {reps}): reference {:.2} MIPS, microop {:.2} MIPS \
+             ({:.3}x)",
+            p.reference_mips,
+            p.microop_mips,
+            p.microop_speedup()
+        );
+        (Some(c), Some(p))
     } else {
-        None
+        (None, None)
     };
 
-    let json = simperf::render_json(&suites, comparison.as_ref(), jobs, turbo);
+    let json = simperf::render_json(&suites, comparison.as_ref(), peak.as_ref(), jobs, engine);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("simperf: cannot write {out_path}: {e}");
         std::process::exit(1);

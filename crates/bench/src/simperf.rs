@@ -12,8 +12,9 @@
 //!   take the minimum of several repetitions, interleaving the engines
 //!   being compared so slow drift hits both equally.
 //! * **Apples to apples.** The only comparison made in-process — and thus
-//!   the only defensible ratio — is turbo engine vs reference engine on the
-//!   same build and the same host state. The pre-PR baseline seconds are
+//!   the only defensible ratio — is engine vs engine (reference, turbo,
+//!   micro-op) on the same build and the same host state. The pre-PR
+//!   baseline seconds are
 //!   recorded in the report for context, but they were captured on a
 //!   different checkout and host state, so ratios against them are
 //!   informational only.
@@ -75,10 +76,10 @@ pub fn time_suite(name: &'static str, suite: impl FnOnce() -> String) -> SuitePe
     }
 }
 
-/// In-process engine comparison: the full measurement sweep under the
-/// reference cluster engine vs the turbo engine, interleaved, min-of-`reps`
-/// CPU seconds each. This is the defensible speedup number — same build,
-/// same host state, only the engine differs.
+/// In-process engine comparison: the full measurement sweep under each of
+/// the three cluster engines (reference, turbo, micro-op), interleaved,
+/// min-of-`reps` CPU seconds each. This is the defensible speedup number —
+/// same build, same host state, only the engine differs.
 #[derive(Clone, Debug)]
 pub struct EngineComparison {
     /// Repetitions per engine (minimum is reported).
@@ -87,23 +88,36 @@ pub struct EngineComparison {
     pub reference_cpu_seconds: f64,
     /// Best-of-reps CPU seconds for the turbo engine.
     pub turbo_cpu_seconds: f64,
+    /// Best-of-reps CPU seconds for the micro-op block engine.
+    pub microop_cpu_seconds: f64,
 }
 
 impl EngineComparison {
     /// Reference time over turbo time (> 1 means turbo is faster).
     #[must_use]
-    pub fn speedup(&self) -> f64 {
+    pub fn turbo_speedup(&self) -> f64 {
         self.reference_cpu_seconds / self.turbo_cpu_seconds.max(1e-9)
+    }
+
+    /// Reference time over micro-op time (> 1 means micro-op is faster).
+    #[must_use]
+    pub fn microop_speedup(&self) -> f64 {
+        self.reference_cpu_seconds / self.microop_cpu_seconds.max(1e-9)
     }
 }
 
-/// The engine-comparison workload: every benchmark on the two *cluster*
-/// targets only. The flat-core hosts (baseline/M3/M4) execute identical
-/// code under either engine, so including them would only dilute the
-/// ratio toward 1 and add noise.
-fn cluster_sweep() {
+/// The engine-comparison workload: every benchmark on the M4 flat host
+/// and the two cluster targets — the same flat/cluster mix `table1`
+/// itself simulates. Flat hosts stopped being engine-independent when the
+/// micro-op block engine landed ([`ulp_isa::Core::run`] replays blocks on
+/// flat cores too), so the sweep covers both paths.
+fn engine_sweep() {
     use ulp_kernels::{runner, Benchmark, TargetEnv};
-    for env in [TargetEnv::pulp_single(), TargetEnv::pulp_parallel()] {
+    for env in [
+        TargetEnv::host_m4(),
+        TargetEnv::pulp_single(),
+        TargetEnv::pulp_parallel(),
+    ] {
         for b in Benchmark::ALL {
             let build = b.build(&env);
             let r =
@@ -114,29 +128,109 @@ fn cluster_sweep() {
 }
 
 /// Runs the engine comparison. Toggles the process-wide default engine
-/// around each sweep (restored to `turbo_after` on exit), so it must not
+/// around each sweep (restored to `restore` on exit), so it must not
 /// race with concurrent simulations outside this call.
 #[must_use]
-pub fn compare_engines(reps: usize, turbo_after: bool) -> EngineComparison {
-    let mut best_ref = f64::INFINITY;
-    let mut best_turbo = f64::INFINITY;
+pub fn compare_engines(reps: usize, restore: ulp_cluster::Engine) -> EngineComparison {
+    use ulp_cluster::Engine;
+    // Interleave the engines so slow host drift biases none of them.
+    let mut best = [f64::INFINITY; 3];
     for _ in 0..reps.max(1) {
-        // Interleave the engines so slow host drift biases neither side.
-        ulp_cluster::set_default_turbo(false);
-        let t0 = cpu_seconds();
-        cluster_sweep();
-        best_ref = best_ref.min(cpu_seconds() - t0);
-
-        ulp_cluster::set_default_turbo(true);
-        let t0 = cpu_seconds();
-        cluster_sweep();
-        best_turbo = best_turbo.min(cpu_seconds() - t0);
+        for (slot, engine) in [Engine::Reference, Engine::Turbo, Engine::Microop]
+            .into_iter()
+            .enumerate()
+        {
+            ulp_cluster::set_default_engine(engine);
+            let t0 = cpu_seconds();
+            engine_sweep();
+            best[slot] = best[slot].min(cpu_seconds() - t0);
+        }
     }
-    ulp_cluster::set_default_turbo(turbo_after);
+    ulp_cluster::set_default_engine(restore);
     EngineComparison {
         reps: reps.max(1),
-        reference_cpu_seconds: best_ref,
-        turbo_cpu_seconds: best_turbo,
+        reference_cpu_seconds: best[0],
+        turbo_cpu_seconds: best[1],
+        microop_cpu_seconds: best[2],
+    }
+}
+
+/// Peak interpreter throughput per engine: simulated MIPS on a dense
+/// arithmetic/memory loop run on a flat M4 core. This isolates the
+/// engine's own hot loop from kernel build/verify overhead and from
+/// cluster-parallel arbitration (whose exact (time, index) interleaving
+/// bounds batch sizes regardless of engine), both of which dilute the
+/// end-to-end sweep ratio in [`EngineComparison`].
+#[derive(Clone, Debug)]
+pub struct CorePeak {
+    /// Best-of-reps simulated MIPS through the reference step loop.
+    pub reference_mips: f64,
+    /// Best-of-reps simulated MIPS through the micro-op block engine.
+    pub microop_mips: f64,
+}
+
+impl CorePeak {
+    /// Micro-op MIPS over reference MIPS (> 1 means micro-op is faster).
+    #[must_use]
+    pub fn microop_speedup(&self) -> f64 {
+        self.microop_mips / self.reference_mips.max(1e-9)
+    }
+}
+
+/// Measures [`CorePeak`]: a 20M-instruction dense ALU loop on a flat M4
+/// core, best-of-`reps` per engine, interleaved like
+/// [`compare_engines`]. Timed with the wall clock rather than CPU ticks:
+/// one run is tens of milliseconds, below the 10 ms granularity of
+/// `/proc/self/stat`, and taking the best of several reps sheds
+/// scheduling noise the same way the minimum CPU time does.
+#[must_use]
+pub fn core_peak(reps: usize) -> CorePeak {
+    use std::time::Instant;
+    use ulp_isa::prelude::*;
+    use ulp_isa::{Core, CoreModel, FlatMemory};
+
+    // 2M iterations x 10 instructions of straight-line ALU work plus the
+    // loop branch: no data memory traffic, so the engines' own dispatch
+    // and retire paths are all that is being timed — the load/store and
+    // arbitration models are shared between engines and would only add a
+    // common constant.
+    let mut a = Asm::new();
+    a.li(R9, 2_000_000);
+    let top = a.new_label();
+    a.bind(top);
+    a.add(R1, R2, R3);
+    a.sub(R4, R4, R3);
+    a.sub(R5, R5, R1);
+    a.add(R6, R1, R4);
+    a.slli(R7, R6, 1);
+    a.srli(R8, R6, 2);
+    a.add(R11, R7, R8);
+    a.sub(R12, R11, R1);
+    a.addi(R9, R9, -1);
+    a.bne(R9, R0, top);
+    a.halt();
+    let prog = a.finish().expect("core_peak loop assembles");
+
+    let mut best = [0.0f64; 2];
+    for _ in 0..reps.max(1) {
+        for (slot, microop) in [false, true].into_iter().enumerate() {
+            let mut mem = FlatMemory::new(0, 1 << 16);
+            mem.load_program(&prog, 0).expect("program fits");
+            let mut core = Core::new(0, CoreModel::cortex_m4());
+            core.set_microop(microop);
+            core.reset(0);
+            let retired_before = ulp_isa::perf::retired_total();
+            let t0 = Instant::now();
+            core.run(&mut mem, u64::MAX).expect("loop halts");
+            let secs = t0.elapsed().as_secs_f64();
+            let retired = ulp_isa::perf::retired_total() - retired_before;
+            let mips = retired as f64 / secs.max(1e-9) / 1e6;
+            best[slot] = best[slot].max(mips);
+        }
+    }
+    CorePeak {
+        reference_mips: best[0],
+        microop_mips: best[1],
     }
 }
 
@@ -164,15 +258,16 @@ fn json_escape(s: &str) -> String {
 pub fn render_json(
     suites: &[SuitePerf],
     comparison: Option<&EngineComparison>,
+    peak: Option<&CorePeak>,
     jobs: usize,
-    turbo: bool,
+    engine: ulp_cluster::Engine,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"het-accel-simperf-v1\",\n");
     out.push_str("  \"time_basis\": \"process CPU seconds (user+sys)\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
-    out.push_str(&format!("  \"turbo\": {turbo},\n"));
+    out.push_str(&format!("  \"engine\": \"{}\",\n", engine.name()));
     out.push_str("  \"pre_pr_baseline\": {\n");
     out.push_str(&format!(
         "    \"rev\": \"{}\",\n",
@@ -219,7 +314,7 @@ pub fn render_json(
         Some(c) => {
             out.push_str("  \"engine_comparison\": {\n");
             out.push_str(
-                "    \"workload\": \"cluster sweep (10 benchmarks x pulp_single+pulp_parallel)\",\n",
+                "    \"workload\": \"engine sweep (10 benchmarks x host_m4+pulp_single+pulp_parallel)\",\n",
             );
             out.push_str(&format!("    \"reps\": {},\n", c.reps));
             out.push_str(&format!(
@@ -230,10 +325,41 @@ pub fn render_json(
                 "    \"turbo_cpu_seconds\": {:.4},\n",
                 c.turbo_cpu_seconds
             ));
-            out.push_str(&format!("    \"speedup\": {:.3}\n", c.speedup()));
+            out.push_str(&format!(
+                "    \"microop_cpu_seconds\": {:.4},\n",
+                c.microop_cpu_seconds
+            ));
+            out.push_str(&format!(
+                "    \"turbo_speedup\": {:.3},\n",
+                c.turbo_speedup()
+            ));
+            out.push_str(&format!(
+                "    \"microop_speedup\": {:.3}\n",
+                c.microop_speedup()
+            ));
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"engine_comparison\": null,\n"),
+    }
+    match peak {
+        Some(p) => {
+            out.push_str("  \"core_peak\": {\n");
+            out.push_str(
+                "    \"workload\": \"20M-instruction dense ALU loop, \
+                 flat M4 core, best-of-reps wall clock\",\n",
+            );
+            out.push_str(&format!(
+                "    \"reference_mips\": {:.2},\n",
+                p.reference_mips
+            ));
+            out.push_str(&format!("    \"microop_mips\": {:.2},\n", p.microop_mips));
+            out.push_str(&format!(
+                "    \"microop_speedup\": {:.3}\n",
+                p.microop_speedup()
+            ));
             out.push_str("  }\n");
         }
-        None => out.push_str("  \"engine_comparison\": null\n"),
+        None => out.push_str("  \"core_peak\": null\n"),
     }
     out.push_str("}\n");
     out
@@ -280,16 +406,33 @@ mod tests {
             reps: 3,
             reference_cpu_seconds: 2.0,
             turbo_cpu_seconds: 1.0,
+            microop_cpu_seconds: 0.25,
         };
-        let json = render_json(&suites, Some(&cmp), 4, true);
+        let peak = CorePeak {
+            reference_mips: 50.0,
+            microop_mips: 250.0,
+        };
+        let json = render_json(
+            &suites,
+            Some(&cmp),
+            Some(&peak),
+            4,
+            ulp_cluster::Engine::Microop,
+        );
         // Structural smoke checks (no JSON parser in the workspace).
         assert!(json.starts_with("{\n") && json.ends_with("}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"engine\": \"microop\""));
         assert!(json.contains("\"simulated_mips\": 33.60"));
-        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"turbo_speedup\": 2.000"));
+        assert!(json.contains("\"microop_speedup\": 8.000"));
+        assert!(json.contains("\"reference_mips\": 50.00"));
+        assert!(json.contains("\"microop_speedup\": 5.000"));
         assert!(json.contains(PRE_PR_BASELINE_REV));
-        let no_cmp = render_json(&suites, None, 1, false);
+        let no_cmp = render_json(&suites, None, None, 1, ulp_cluster::Engine::Reference);
+        assert!(no_cmp.contains("\"engine\": \"reference\""));
         assert!(no_cmp.contains("\"engine_comparison\": null"));
+        assert!(no_cmp.contains("\"core_peak\": null"));
     }
 }

@@ -2,9 +2,11 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use ulp_isa::{
-    Access, Bus, BusError, Core, CoreState, ExecError, Fetched, MemSize, Program, Reg, StepOutcome,
+    Access, Block, BlockExit, Bus, BusError, Core, CoreModel, CoreState, ExecError, Fetched,
+    MemSize, Program, Reg, StepOutcome,
 };
 use ulp_trace::{Component, EventKind, Tracer};
 
@@ -209,7 +211,16 @@ impl Bus for ClusterBus {
         }
     }
 
-    fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
+    fn fetch(&mut self, core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
+        // Timing first so the I$ model (and its trace events) sees the
+        // access even when the word turns out to be undecodable, exactly
+        // like the hardware front-end.
+        let ready_at = self.fetch_timing(core_id, now, pc);
+        let insn = self.l2.fetch_insn(pc)?;
+        Ok(Fetched { insn, ready_at })
+    }
+
+    fn fetch_timing(&mut self, _core_id: usize, now: u64, pc: u32) -> u64 {
         let penalty = self.icache.access(pc);
         if penalty > 0 {
             self.tracer.emit(
@@ -219,11 +230,17 @@ impl Bus for ClusterBus {
                 u64::from(penalty),
             );
         }
-        let insn = self.l2.fetch_insn(pc)?;
-        Ok(Fetched {
-            insn,
-            ready_at: now + u64::from(penalty),
-        })
+        now + u64::from(penalty)
+    }
+
+    fn microop_block(&mut self, _core_id: usize, pc: u32, model: &CoreModel) -> Option<Arc<Block>> {
+        self.l2.microop_block(pc, model)
+    }
+
+    fn code_generation(&self) -> u64 {
+        // Only L2 serves instruction fetches, so only its decoded side
+        // table can go stale under self-modifying stores.
+        self.l2.decode_generation()
     }
 }
 
@@ -239,7 +256,7 @@ pub struct Cluster {
     event_unit: EventUnit,
     start_time: u64,
     tracer: Tracer,
-    turbo: bool,
+    engine: crate::Engine,
 }
 
 impl Cluster {
@@ -282,22 +299,43 @@ impl Cluster {
             config,
             start_time: 0,
             tracer: Tracer::disabled(),
-            turbo: crate::default_turbo(),
+            engine: crate::default_engine(),
         }
     }
 
-    /// Selects the scheduling engine for this cluster: `true` = turbo
-    /// batching scheduler, `false` = reference one-instruction-per-scan
-    /// scheduler. Both are bit-identical in every observable output; see
-    /// [`crate::set_default_turbo`] for the process-wide default.
-    pub fn set_turbo(&mut self, on: bool) {
-        self.turbo = on;
+    /// Selects the execution engine for this cluster. All engines are
+    /// bit-identical in every observable output; see
+    /// [`crate::set_default_engine`] for the process-wide default.
+    ///
+    /// The micro-op flag on the cores themselves only matters on the host
+    /// path (`ulp_isa::Core::run`); inside the cluster the engine choice is
+    /// entirely the scheduler's, so this is the single knob.
+    pub fn set_engine(&mut self, engine: crate::Engine) {
+        self.engine = engine;
     }
 
-    /// Which scheduling engine this cluster uses.
+    /// Which execution engine this cluster uses.
+    #[must_use]
+    pub fn engine(&self) -> crate::Engine {
+        self.engine
+    }
+
+    /// Compatibility shim for the original two-engine knob: `true` selects
+    /// the fastest batching engine ([`crate::Engine::Microop`]), `false`
+    /// the reference scheduler. Prefer [`Cluster::set_engine`].
+    pub fn set_turbo(&mut self, on: bool) {
+        self.engine = if on {
+            crate::Engine::Microop
+        } else {
+            crate::Engine::Reference
+        };
+    }
+
+    /// Whether this cluster uses a batching engine (anything other than
+    /// [`crate::Engine::Reference`]).
     #[must_use]
     pub fn turbo(&self) -> bool {
-        self.turbo
+        self.engine != crate::Engine::Reference
     }
 
     /// Attaches a structured event tracer to the cluster and every
@@ -495,10 +533,11 @@ impl Cluster {
     /// Runs until every core has halted (or faults/deadlocks/times out).
     ///
     /// Cores are interleaved lowest-local-time-first so shared-resource
-    /// arbitration happens in approximate global order. Two engines
+    /// arbitration happens in approximate global order. Three engines
     /// implement that schedule — the reference one-instruction-per-scan
-    /// loop and a turbo loop that batches the frontmost core (see
-    /// [`Cluster::set_turbo`]); they retire the exact same instruction
+    /// loop, a turbo loop that batches the frontmost core, and a micro-op
+    /// loop that additionally replays pre-decoded basic blocks (see
+    /// [`Cluster::set_engine`]); they retire the exact same instruction
     /// sequence and produce bit-identical results.
     ///
     /// # Errors
@@ -507,10 +546,10 @@ impl Cluster {
     /// `max_cycles`.
     pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<RunResult, ClusterError> {
         let deadline = self.start_time + max_cycles;
-        if self.turbo {
-            self.run_loop_turbo(deadline, max_cycles)?;
-        } else {
-            self.run_loop_reference(deadline, max_cycles)?;
+        match self.engine {
+            crate::Engine::Reference => self.run_loop_reference(deadline, max_cycles)?,
+            crate::Engine::Turbo => self.run_loop_turbo(deadline, max_cycles)?,
+            crate::Engine::Microop => self.run_loop_microop(deadline, max_cycles)?,
         }
 
         let end_time = self
@@ -638,8 +677,119 @@ impl Cluster {
         }
     }
 
+    /// Micro-op scheduler: the turbo batching policy, but each batch runs
+    /// through pre-decoded basic-block micro-ops
+    /// ([`ulp_isa::Core::exec_block`]) instead of stepping the decoder.
+    ///
+    /// Correctness argument, on top of [`Self::run_loop_turbo`]'s: the batch
+    /// cut-off `(t_i, i) > second` is evaluated *after* each retired
+    /// instruction in both loops, and for a fixed core index it is a pure
+    /// threshold on the local time, so it converts exactly to the time bound
+    /// passed to `exec_block`: `t ≤ bound ⟺ ((t << shift) | i) ≤ second`.
+    /// (Post-retire times are ≥ 1, so the `saturating_sub` corner at
+    /// `second >> shift == 0` is unreachable.) `exec_block` checks the
+    /// deadline before each op, the outcome/bound after each op, and exits
+    /// on any redirect (taken branch, stale block, block end) — whereupon
+    /// this loop re-looks-up at the new PC and continues batching the same
+    /// core, exactly as the turbo loop would keep stepping it. Blocks are
+    /// built from the same decoded side table the reference fetch uses, and
+    /// the I$ model is consulted once per retired instruction either way,
+    /// so timing, stats and trace events are bit-identical.
+    ///
+    /// Each core keeps its current block resident (`Core::exec_resume`),
+    /// so the ~2-op batches that time-aligned SPMD cores produce resume
+    /// mid-block for the cost of a pc + generation compare instead of a
+    /// cache look-up and an `Arc` round-trip per batch.
+    fn run_loop_microop(&mut self, deadline: u64, max_cycles: u64) -> Result<(), ClusterError> {
+        let shift = usize::BITS - self.cores.len().saturating_sub(1).leading_zeros();
+        let index_mask = (1u64 << shift) - 1;
+        let key_of = |c: &Core, i: usize| {
+            if c.state() == CoreState::Running {
+                (c.time() << shift) | i as u64
+            } else {
+                u64::MAX
+            }
+        };
+        // Compact shadow of each core's scheduling key. Cores are large and
+        // live on scattered cache lines; batches are ~2 ops on time-aligned
+        // SPMD cores, so the per-batch best/second scan runs over this
+        // array instead and only the entries that could have changed are
+        // refreshed: the core that just ran, or all of them after an
+        // outcome with cluster-level side effects (wake-ups move other
+        // cores' clocks).
+        let mut keys: Vec<u64> = (0..self.cores.len())
+            .map(|i| key_of(&self.cores[i], i))
+            .collect();
+        'outer: loop {
+            let mut best = u64::MAX;
+            let mut second = u64::MAX;
+            for &key in &keys {
+                second = second.min(best.max(key));
+                best = best.min(key);
+            }
+            if best == u64::MAX {
+                if self.cores.iter().all(|c| c.state() == CoreState::Halted) {
+                    return Ok(());
+                }
+                return Err(ClusterError::Deadlock);
+            }
+            let i = (best & index_mask) as usize;
+            // The largest local time that keeps `(time, i)` ahead of the
+            // runner-up key — the turbo batch cut-off as a plain bound.
+            let bound = if second == u64::MAX {
+                u64::MAX
+            } else if (i as u64) <= (second & index_mask) {
+                second >> shift
+            } else {
+                (second >> shift).saturating_sub(1)
+            };
+            let outcome = loop {
+                if let Some(exit) = self.cores[i]
+                    .exec_resume(&mut self.bus, deadline, bound)
+                    .map_err(|err| ClusterError::Exec { core: i, err })?
+                {
+                    match exit {
+                        BlockExit::Outcome(outcome) => break outcome,
+                        BlockExit::Bound => {
+                            keys[i] = key_of(&self.cores[i], i);
+                            continue 'outer;
+                        }
+                        BlockExit::Deadline => {
+                            return Err(ClusterError::Timeout { max_cycles });
+                        }
+                        BlockExit::Redirect => {}
+                    }
+                    continue;
+                }
+                // No block starts here (undecodable or unmapped word): one
+                // reference step — which also reproduces the exact fetch
+                // error, or executes the lone instruction a just-patched
+                // word decodes to.
+                if self.cores[i].time() > deadline {
+                    return Err(ClusterError::Timeout { max_cycles });
+                }
+                let outcome = self.cores[i]
+                    .step(&mut self.bus)
+                    .map_err(|err| ClusterError::Exec { core: i, err })?;
+                if outcome != StepOutcome::Executed {
+                    break outcome;
+                }
+                if ((self.cores[i].time() << shift) | i as u64) > second {
+                    keys[i] = key_of(&self.cores[i], i);
+                    continue 'outer;
+                }
+            };
+            self.apply_outcome(i, outcome);
+            // Barrier releases and events may have woken (and re-clocked)
+            // any core: refresh every key on this rare path.
+            for (j, key) in keys.iter_mut().enumerate() {
+                *key = key_of(&self.cores[j], j);
+            }
+        }
+    }
+
     /// Applies the cluster-level side effects of one step outcome (shared
-    /// by both scheduling engines).
+    /// by all scheduling engines).
     fn apply_outcome(&mut self, i: usize, outcome: StepOutcome) {
         match outcome {
             StepOutcome::Executed | StepOutcome::Halted => {}
@@ -1014,17 +1164,63 @@ mod tests {
     }
 
     #[test]
-    fn turbo_and_reference_engines_bit_identical() {
-        let run = |turbo: bool| {
+    fn all_three_engines_bit_identical() {
+        let run = |engine: crate::Engine| {
             let mut cl = quad();
-            cl.set_turbo(turbo);
+            cl.set_engine(engine);
             cl.load_binary(&fork_join_prog(), L2_BASE).unwrap();
             cl.start(L2_BASE, &[], 0);
             cl.run_until_halt(1_000_000).unwrap()
         };
-        let fast = run(true);
-        let slow = run(false);
-        assert_eq!(fast, slow);
+        let reference = run(crate::Engine::Reference);
+        let turbo = run(crate::Engine::Turbo);
+        let microop = run(crate::Engine::Microop);
+        assert_eq!(turbo, reference);
+        assert_eq!(microop, reference);
+    }
+
+    #[test]
+    fn microop_engine_sees_self_modifying_code_in_its_own_block() {
+        // Patch the *next* instruction in the same straight-line block: the
+        // store bumps the L2 decode generation, exec_block must exit on the
+        // staleness check and the rebuilt block must decode the new word.
+        let new_word = ulp_isa::encode(&Insn::Addi(R5, R0, 42)).unwrap();
+        let build = |target_addr: u32| {
+            let mut a = Asm::new();
+            a.li(R2, new_word as i32);
+            a.la(R1, target_addr);
+            a.sw(R2, R1, 0);
+            let target_off = a.here();
+            a.addi(R5, R0, 1); // patched to `addi r5, r0, 42` before it runs
+            a.la(R3, TCDM_BASE);
+            a.sw(R5, R3, 0);
+            a.halt();
+            (a.finish().unwrap(), target_off)
+        };
+        let (_, target_off) = build(L2_BASE + 4);
+        let (prog, check) = build(L2_BASE + target_off);
+        assert_eq!(check, target_off);
+
+        for engine in [
+            crate::Engine::Reference,
+            crate::Engine::Turbo,
+            crate::Engine::Microop,
+        ] {
+            let mut cl = Cluster::new(ClusterConfig {
+                num_cores: 1,
+                ..ClusterConfig::default()
+            });
+            cl.set_engine(engine);
+            cl.load_binary(&prog, L2_BASE).unwrap();
+            cl.start(L2_BASE, &[], 0);
+            cl.run_until_halt(10_000).unwrap();
+            assert_eq!(
+                cl.read_tcdm_u32(TCDM_BASE).unwrap(),
+                42,
+                "{} engine must observe the patch",
+                engine.name()
+            );
+        }
     }
 
     #[test]

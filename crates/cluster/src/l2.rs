@@ -5,14 +5,18 @@
 //! and normally keep data in the TCDM; direct data access to L2 is possible
 //! but pays the cluster-bus latency.
 
-use ulp_isa::{BusError, DecodeCache, Insn, MemSize, Program};
+use std::sync::Arc;
 
-/// The L2 memory, with a decoded-instruction side table for fast fetch.
+use ulp_isa::{Block, BlockCache, BusError, CoreModel, DecodeCache, Insn, MemSize, Program};
+
+/// The L2 memory, with a decoded-instruction side table for fast fetch and
+/// a micro-op block cache for the block-batching engine.
 #[derive(Clone, Debug)]
 pub struct L2Memory {
     base: u32,
     data: Vec<u8>,
     decoded: DecodeCache,
+    blocks: BlockCache,
     accesses: u64,
 }
 
@@ -24,6 +28,7 @@ impl L2Memory {
             base,
             data: vec![0; size],
             decoded: DecodeCache::new(size),
+            blocks: BlockCache::new(size),
             accesses: 0,
         }
     }
@@ -144,6 +149,24 @@ impl L2Memory {
         self.decoded
             .fetch(off, &self.data)
             .ok_or(BusError::Unmapped { addr: pc })
+    }
+
+    /// The micro-op block entered at `pc`, built (or rebuilt when stale)
+    /// from the decoded side table. `None` means no block starts here and
+    /// the caller must fall back to a single reference step.
+    #[inline]
+    pub fn microop_block(&mut self, pc: u32, model: &CoreModel) -> Option<Arc<Block>> {
+        let off = self.offset(pc, 4).ok()?;
+        self.blocks
+            .lookup(off, &self.data, &mut self.decoded, model)
+    }
+
+    /// Monotonic counter that changes whenever previously decoded code
+    /// bytes may have been overwritten (see [`DecodeCache::generation`]).
+    #[inline]
+    #[must_use]
+    pub fn decode_generation(&self) -> u64 {
+        self.decoded.generation()
     }
 }
 

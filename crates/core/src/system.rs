@@ -473,6 +473,7 @@ pub struct HetSystem {
     resident_kernel: Option<String>,
     injector: FaultInjector,
     tracer: Tracer,
+    engine: ulp_cluster::Engine,
 }
 
 impl HetSystem {
@@ -501,6 +502,7 @@ impl HetSystem {
             resident_kernel: None,
             injector,
             tracer: Tracer::disabled(),
+            engine: ulp_cluster::default_engine(),
         }
     }
 
@@ -520,12 +522,30 @@ impl HetSystem {
         &self.tracer
     }
 
-    /// Selects the cluster's scheduling engine: `true` = turbo batching
-    /// scheduler (the default), `false` = reference
-    /// one-instruction-per-scan scheduler. Both produce bit-identical
-    /// reports; see [`ulp_cluster::set_default_turbo`].
+    /// Selects the execution engine platform-wide: the cluster's
+    /// scheduling loop and the host MCU's step loop (applied to the fresh
+    /// MCU each [`HetSystem::run_on_host`] builds). All engines produce
+    /// bit-identical reports; see [`ulp_cluster::set_default_engine`].
+    pub fn set_engine(&mut self, engine: ulp_cluster::Engine) {
+        self.engine = engine;
+        self.cluster.set_engine(engine);
+    }
+
+    /// The execution engine this system uses.
+    #[must_use]
+    pub fn engine(&self) -> ulp_cluster::Engine {
+        self.engine
+    }
+
+    /// Compatibility shim for the original two-engine knob: `true` selects
+    /// the fastest batching engine, `false` the reference scheduler.
+    /// Prefer [`HetSystem::set_engine`].
     pub fn set_turbo(&mut self, on: bool) {
-        self.cluster.set_turbo(on);
+        self.set_engine(if on {
+            ulp_cluster::Engine::Microop
+        } else {
+            ulp_cluster::Engine::Reference
+        });
     }
 
     /// The system configuration.
@@ -1364,6 +1384,7 @@ impl HetSystem {
     /// Returns [`OffloadError::Host`] on host faults.
     pub fn run_on_host(&self, build: &KernelBuild) -> Result<HostReport, OffloadError> {
         let mut mcu = Mcu::new(self.config.mcu.clone(), self.config.mcu_freq_hz);
+        mcu.set_microop(self.engine == ulp_cluster::Engine::Microop);
         for buf in &build.buffers {
             match &buf.init {
                 BufferInit::Data(d) => mcu.write_mem(buf.addr, d)?,

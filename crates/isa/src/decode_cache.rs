@@ -34,6 +34,7 @@ use crate::insn::Insn;
 #[derive(Clone, Debug)]
 pub struct DecodeCache {
     slots: Vec<Option<Insn>>,
+    generation: u64,
 }
 
 impl DecodeCache {
@@ -42,7 +43,20 @@ impl DecodeCache {
     pub fn new(size_bytes: usize) -> Self {
         DecodeCache {
             slots: vec![None; size_bytes.div_ceil(4)],
+            generation: 0,
         }
+    }
+
+    /// Monotonic counter bumped every time an *already decoded* slot is
+    /// invalidated — i.e. whenever previously executed-as-code bytes may
+    /// have changed. Consumers holding derived state (the micro-op block
+    /// cache) compare against this to detect staleness in O(1); writes to
+    /// never-decoded bytes (data, rodata) do not bump it, so data stores
+    /// never evict code blocks.
+    #[inline]
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The already-decoded instruction at byte offset `off`, if any.
@@ -74,7 +88,9 @@ impl DecodeCache {
     #[inline]
     pub fn invalidate(&mut self, off: usize, len: usize) {
         for w in off / 4..(off + len).div_ceil(4) {
-            self.slots[w] = None;
+            if self.slots[w].take().is_some() {
+                self.generation += 1;
+            }
         }
     }
 
@@ -135,6 +151,24 @@ mod tests {
         c.invalidate(3, 2);
         assert_eq!(c.cached(0), None);
         assert_eq!(c.cached(4), None);
+    }
+
+    #[test]
+    fn generation_bumps_only_when_decoded_code_changes() {
+        let data = word_bytes(&[Insn::Nop, Insn::Halt]);
+        let mut c = DecodeCache::new(data.len() + 8);
+        assert_eq!(c.generation(), 0);
+        // Invalidating never-decoded bytes (a plain data store) is free.
+        c.invalidate(8, 4);
+        assert_eq!(c.generation(), 0);
+        c.fetch(0, &data);
+        c.invalidate(8, 4);
+        assert_eq!(c.generation(), 0, "data store after decode is still free");
+        // Clearing a decoded slot bumps; clearing it again does not.
+        c.invalidate(0, 4);
+        assert_eq!(c.generation(), 1);
+        c.invalidate(0, 4);
+        assert_eq!(c.generation(), 1);
     }
 
     #[test]

@@ -14,12 +14,14 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use ulp_trace::{Component, EventKind, Tracer};
 
 use crate::features::CoreModel;
 use crate::insn::{Csr, Insn, MemSize};
 use crate::reg::Reg;
+use crate::uop::{Block, MicroOp, UopKind};
 
 /// Error reported by a [`Bus`] implementation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -120,6 +122,35 @@ pub trait Bus {
     /// Returns [`BusError`] if `pc` is unmapped, out of bounds, or holds an
     /// undecodable word.
     fn fetch(&mut self, core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError>;
+
+    /// Timing-only half of [`Bus::fetch`], used by the micro-op block
+    /// engine: charges the instruction-cache model for the fetch at `pc`
+    /// (the decode already happened at block build time) and returns the
+    /// completion time. Must mutate I$ state and emit the same trace events
+    /// as a full `fetch`, so per-instruction I$ statistics stay identical
+    /// across engines. The default models an always-hitting fetch.
+    fn fetch_timing(&mut self, core_id: usize, now: u64, pc: u32) -> u64 {
+        let _ = (core_id, pc);
+        now
+    }
+
+    /// Returns the pre-decoded micro-op block entered at `pc`, if this bus
+    /// backs instruction fetches with a [`BlockCache`](crate::BlockCache).
+    /// `None` sends the core down the reference [`Core::step`] path for one
+    /// instruction (which reproduces the exact fetch error for undecodable
+    /// or unmapped `pc`s).
+    fn microop_block(&mut self, core_id: usize, pc: u32, model: &CoreModel) -> Option<Arc<Block>> {
+        let _ = (core_id, pc, model);
+        None
+    }
+
+    /// Generation counter of the decoded-code side table behind instruction
+    /// fetches (see [`DecodeCache::generation`](crate::DecodeCache::generation)).
+    /// The block engine polls this after potentially-writing micro-ops to
+    /// catch self-modifying code inside the executing block.
+    fn code_generation(&self) -> u64 {
+        0
+    }
 }
 
 /// Execution error raised by [`Core::step`].
@@ -211,6 +242,23 @@ pub enum StepOutcome {
     EventSent(u8),
 }
 
+/// Why [`Core::exec_block`] stopped executing a micro-op block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockExit {
+    /// A non-[`StepOutcome::Executed`] outcome retired (halt, sleep,
+    /// barrier, event): the caller applies it exactly as after a step.
+    Outcome(StepOutcome),
+    /// Control left the straight-line block (taken branch, hardware-loop
+    /// back-edge, block end) or the block went stale (self-modifying
+    /// code): re-look-up a block at the current `pc` and keep going.
+    Redirect,
+    /// The caller-supplied batch bound was exceeded: another core may now
+    /// be behind this one, so return to the scheduler's scan.
+    Bound,
+    /// The deadline (cycle budget) was reached before the next micro-op.
+    Deadline,
+}
+
 /// Per-core activity counters (feed the PULP performance monitoring unit and
 /// the power model's activity factors χ).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -290,6 +338,14 @@ pub struct Core {
     trace_cap: usize,
     tracer: Tracer,
     run_since: u64,
+    // Whether Core::run executes through the micro-op block engine
+    // (bit-identical to the step loop; see crate::uop).
+    microop: bool,
+    // Resident block of the micro-op engine: `(entry_pc, block)` of the
+    // block the core last replayed, so a replay interrupted by a batch
+    // bound resumes without a bus look-up. Revalidated against the bus
+    // code generation on every entry; cleared by reset.
+    block_ctx: Option<(u32, Arc<Block>)>,
 }
 
 impl Core {
@@ -312,7 +368,17 @@ impl Core {
             trace_cap: 0,
             tracer: Tracer::disabled(),
             run_since: 0,
+            microop: crate::uop::default_microop(),
+            block_ctx: None,
         }
+    }
+
+    /// Selects the engine used by [`Core::run`]: `true` (the process-wide
+    /// default, see [`crate::uop::set_default_microop`]) executes through
+    /// the pre-decoded micro-op block engine, `false` through the classic
+    /// per-instruction step loop. Both are bit-identical.
+    pub fn set_microop(&mut self, on: bool) {
+        self.microop = on;
     }
 
     /// Attaches a structured event tracer (a disabled tracer detaches).
@@ -351,6 +417,7 @@ impl Core {
         self.event_pending = false;
         self.stats = CoreStats::default();
         self.run_since = 0;
+        self.block_ctx = None;
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }
@@ -466,6 +533,9 @@ impl Core {
     /// Propagates any [`ExecError`]; additionally returns
     /// [`ExecError::NotRunning`] if the core sleeps with nobody to wake it.
     pub fn run<B: Bus>(&mut self, bus: &mut B, max_cycles: u64) -> Result<RunSummary, ExecError> {
+        if self.microop {
+            return self.run_microop(bus, max_cycles);
+        }
         let retired_before = self.stats.retired;
         while self.time < max_cycles {
             match self.step(bus)? {
@@ -474,6 +544,47 @@ impl Core {
                     return Err(ExecError::NotRunning)
                 }
                 StepOutcome::Executed | StepOutcome::EventSent(_) => {}
+            }
+        }
+        crate::perf::add_retired(self.stats.retired - retired_before);
+        Ok(RunSummary {
+            cycles: self.time,
+            retired: self.stats.retired,
+            state: self.state,
+        })
+    }
+
+    /// [`Core::run`] through the micro-op block engine: whole cached basic
+    /// blocks execute between bus block look-ups, falling back to a single
+    /// reference [`Core::step`] wherever no block is available (undecodable
+    /// or unmapped `pc`, bus without a block cache).
+    fn run_microop<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        max_cycles: u64,
+    ) -> Result<RunSummary, ExecError> {
+        let retired_before = self.stats.retired;
+        // `run` executes a step iff time < max_cycles, i.e. time is at most
+        // max_cycles - 1: that is the block engine's deadline.
+        let deadline = max_cycles.saturating_sub(1);
+        'outer: while self.time < max_cycles {
+            if let Some(exit) = self.exec_resume(bus, deadline, u64::MAX)? {
+                match exit {
+                    BlockExit::Outcome(StepOutcome::Halted) => break 'outer,
+                    BlockExit::Outcome(StepOutcome::Sleeping | StepOutcome::BarrierArrived) => {
+                        return Err(ExecError::NotRunning)
+                    }
+                    BlockExit::Deadline => break 'outer,
+                    BlockExit::Outcome(_) | BlockExit::Redirect | BlockExit::Bound => {}
+                }
+            } else {
+                match self.step(bus)? {
+                    StepOutcome::Halted => break 'outer,
+                    StepOutcome::Sleeping | StepOutcome::BarrierArrived => {
+                        return Err(ExecError::NotRunning)
+                    }
+                    StepOutcome::Executed | StepOutcome::EventSent(_) => {}
+                }
             }
         }
         crate::perf::add_retired(self.stats.retired - retired_before);
@@ -535,10 +646,7 @@ impl Core {
     ///
     /// Returns [`ExecError`] on bus faults, unsupported instructions,
     /// misaligned accesses, or if the core is not running.
-    #[allow(clippy::too_many_lines)]
     pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<StepOutcome, ExecError> {
-        use Insn::*;
-
         if self.state != CoreState::Running {
             return Err(ExecError::NotRunning);
         }
@@ -549,6 +657,22 @@ impl Core {
             self.time = fetched.ready_at;
         }
         let insn = fetched.insn;
+        let (cycles, next_pc, outcome) = self.exec_insn(bus, insn)?;
+        self.retire(insn, cycles, next_pc, outcome);
+        Ok(outcome)
+    }
+
+    /// Executes the operate phase of `insn` (the reference engine's single
+    /// source of instruction semantics, also reached by [`UopKind::Generic`]
+    /// micro-ops). Returns `(cycles, next_pc, outcome)` for [`Core::retire`].
+    #[allow(clippy::too_many_lines)]
+    fn exec_insn<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        insn: Insn,
+    ) -> Result<(u64, u32, StepOutcome), ExecError> {
+        use Insn::*;
+
         let f = self.model.features;
         let t = self.model.timing;
 
@@ -872,8 +996,14 @@ impl Core {
             }
         }
 
-        // Zero-overhead hardware loop-back: only when falling through the
-        // last body instruction (a taken branch inside the body wins).
+        Ok((cycles, next_pc, outcome))
+    }
+
+    /// Applies the zero-overhead hardware loop-back to `next_pc`: only when
+    /// falling through the last body instruction (a taken branch inside the
+    /// body wins). Shared by both retire paths.
+    #[inline]
+    fn loop_back(&mut self, mut next_pc: u32) -> u32 {
         if self.hwloops_active && next_pc == self.pc.wrapping_add(4) {
             for l in 0..2 {
                 let lp = &mut self.hwloops[l];
@@ -891,7 +1021,27 @@ impl Core {
             }
             self.hwloops_active = self.hwloops[0].active || self.hwloops[1].active;
         }
+        next_pc
+    }
 
+    /// Minimal retire for the micro-op hot loop: identical bookkeeping to
+    /// [`Core::retire`] for a plain `Executed` outcome with tracing off
+    /// (the run-interval tracer only acts on transitions out of Running,
+    /// which an `Executed` outcome never is).
+    #[inline]
+    fn retire_lite(&mut self, cycles: u64, next_pc: u32) {
+        let next_pc = self.loop_back(next_pc);
+        self.stats.retired += 1;
+        self.time += cycles.max(1);
+        self.pc = next_pc;
+    }
+
+    /// Retires one instruction: hardware loop-back, counters, trace, run
+    /// interval bookkeeping, and the `pc` update. Shared verbatim by the
+    /// step and micro-op engines so cycle accounting is identical.
+    #[inline]
+    fn retire(&mut self, insn: Insn, cycles: u64, next_pc: u32, outcome: StepOutcome) {
+        let next_pc = self.loop_back(next_pc);
         self.stats.retired += 1;
         self.time += cycles.max(1);
         if let Some(trace) = &mut self.trace {
@@ -915,7 +1065,413 @@ impl Core {
             );
         }
         self.pc = next_pc;
-        Ok(outcome)
+    }
+
+    /// Executes micro-ops from `block` (whose entry must be the current
+    /// `pc`) until an exit condition, without touching the decoder.
+    ///
+    /// Exit conditions, checked in scheduler-equivalent order: the local
+    /// time exceeding `deadline` before an op (→ [`BlockExit::Deadline`]); a
+    /// retired non-`Executed` outcome (→ [`BlockExit::Outcome`]); the local
+    /// time exceeding `bound` after an op (→ [`BlockExit::Bound`], the
+    /// (time, index) batching cut-off of the turbo scheduler); control
+    /// leaving the straight line, the block going stale after a write, or
+    /// the block ending (→ [`BlockExit::Redirect`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] exactly as [`Core::step`] would for the same
+    /// instruction sequence, or [`ExecError::NotRunning`] if the core is
+    /// not in the running state.
+    pub fn exec_block<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        block: &Block,
+        deadline: u64,
+        bound: u64,
+    ) -> Result<BlockExit, ExecError> {
+        self.exec_block_from(bus, block, self.pc, 0, deadline, bound)
+    }
+
+    /// [`Core::exec_block`] entered mid-block: `entry_pc` is the block's
+    /// entry and `idx` the micro-op index of the current `pc` — how
+    /// [`Core::exec_resume`] continues a replay a batch bound interrupted.
+    fn exec_block_from<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        block: &Block,
+        entry_pc: u32,
+        mut idx: usize,
+        deadline: u64,
+        bound: u64,
+    ) -> Result<BlockExit, ExecError> {
+        if self.state != CoreState::Running {
+            return Err(ExecError::NotRunning);
+        }
+        loop {
+            if self.time > deadline {
+                return Ok(BlockExit::Deadline);
+            }
+            let pc = self.pc;
+            // Timing half of the fetch: the I$ model must see every
+            // executed instruction exactly once, like the reference fetch.
+            let ready = bus.fetch_timing(self.id, self.time, pc);
+            if ready > self.time {
+                self.stats.mem_stall_cycles += ready - self.time;
+                self.time = ready;
+            }
+            let uop = &block.uops[idx];
+            let (cycles, next_pc, outcome, wrote_mem) = self.exec_uop(bus, uop)?;
+            if matches!(outcome, StepOutcome::Executed) && self.trace.is_none() {
+                // Hot retire: an `Executed` outcome never transitions out
+                // of Running, so with tracing off the full retire path
+                // degenerates to exactly this bookkeeping.
+                self.retire_lite(cycles, next_pc);
+            } else {
+                self.retire(uop.insn, cycles, next_pc, outcome);
+                if !matches!(outcome, StepOutcome::Executed) {
+                    return Ok(BlockExit::Outcome(outcome));
+                }
+            }
+            if self.time > bound {
+                return Ok(BlockExit::Bound);
+            }
+            // A write may have rewritten code — including the rest of this
+            // very block. Stale means: re-look-up (and rebuild) at `pc`.
+            if wrote_mem && bus.code_generation() != block.gen {
+                return Ok(BlockExit::Redirect);
+            }
+            if self.pc == pc.wrapping_add(4) {
+                idx += 1;
+                if idx == block.uops.len() {
+                    return Ok(BlockExit::Redirect);
+                }
+            } else {
+                // Taken branch or hardware-loop back-edge. A target inside
+                // this very block — a tight loop, the overwhelmingly common
+                // case — keeps replaying without a fresh look-up; nothing
+                // was written since the entry validation, so the cached
+                // translation is still exact. Anything else redirects.
+                let rel = self.pc.wrapping_sub(entry_pc);
+                if rel & 3 == 0 && ((rel >> 2) as usize) < block.uops.len() {
+                    idx = (rel >> 2) as usize;
+                } else {
+                    return Ok(BlockExit::Redirect);
+                }
+            }
+        }
+    }
+
+    /// Runs the micro-op engine at the current `pc`, keeping the block
+    /// resident in the core between calls: when `pc` still falls inside
+    /// the resident block and the bus code generation is unchanged, the
+    /// replay resumes in place — the common case after a batch-bound
+    /// interruption — otherwise a fresh block is looked up through the
+    /// bus. Returns `Ok(None)` when no block covers `pc` (undecodable or
+    /// unmapped word, bus without a block cache): the caller falls back
+    /// to one reference [`Core::step`].
+    ///
+    /// The resident block belongs to the bus the core last ran on;
+    /// [`Core::reset`] drops it, so the usual reset-then-run flow is safe
+    /// across different memory images.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Core::exec_block`].
+    pub fn exec_resume<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        deadline: u64,
+        bound: u64,
+    ) -> Result<Option<BlockExit>, ExecError> {
+        let resumable = self.block_ctx.as_ref().is_some_and(|(entry, block)| {
+            let rel = self.pc.wrapping_sub(*entry);
+            rel & 3 == 0
+                && ((rel >> 2) as usize) < block.uops.len()
+                && block.gen == bus.code_generation()
+        });
+        if !resumable {
+            let model = self.model;
+            match bus.microop_block(self.id, self.pc, &model) {
+                Some(block) => self.block_ctx = Some((self.pc, block)),
+                None => {
+                    self.block_ctx = None;
+                    return Ok(None);
+                }
+            }
+        }
+        // Move the block out for the replay (the borrow checker cannot see
+        // that exec_block_from never touches block_ctx) and restore it
+        // after: staleness is re-checked on the next entry.
+        let (entry_pc, block) = self.block_ctx.take().expect("resident block just set");
+        let idx = (self.pc.wrapping_sub(entry_pc) >> 2) as usize;
+        let exit = self.exec_block_from(bus, &block, entry_pc, idx, deadline, bound);
+        self.block_ctx = Some((entry_pc, block));
+        exit.map(Some)
+    }
+
+    /// Executes the operate phase of one micro-op. Returns
+    /// `(cycles, next_pc, outcome, wrote_mem)`; `wrote_mem` flags ops that
+    /// may have written memory (stores, [`UopKind::Generic`]) for the
+    /// self-modifying-code staleness check.
+    #[inline]
+    #[allow(clippy::too_many_lines)]
+    fn exec_uop<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        uop: &MicroOp,
+    ) -> Result<(u64, u32, StepOutcome, bool), ExecError> {
+        use MemSize::{Byte, Half, Word};
+        use UopKind as K;
+
+        let mut cycles: u64 = 1;
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut wrote_mem = false;
+
+        macro_rules! taken {
+            ($target:expr) => {{
+                next_pc = $target;
+                cycles += u64::from(uop.aux);
+                self.stats.branches_taken += 1;
+                self.stats.branch_stall_cycles += u64::from(uop.aux);
+            }};
+        }
+        macro_rules! branch {
+            ($cond:expr) => {{
+                if $cond {
+                    taken!(self.pc.wrapping_add(uop.imm as u32));
+                }
+            }};
+        }
+
+        match uop.kind {
+            K::Add => self.write_idx(
+                uop.rd,
+                self.read_idx(uop.ra).wrapping_add(self.read_idx(uop.rb)),
+            ),
+            K::Sub => self.write_idx(
+                uop.rd,
+                self.read_idx(uop.ra).wrapping_sub(self.read_idx(uop.rb)),
+            ),
+            K::And => self.write_idx(uop.rd, self.read_idx(uop.ra) & self.read_idx(uop.rb)),
+            K::Or => self.write_idx(uop.rd, self.read_idx(uop.ra) | self.read_idx(uop.rb)),
+            K::Xor => self.write_idx(uop.rd, self.read_idx(uop.ra) ^ self.read_idx(uop.rb)),
+            K::Sll => self.write_idx(
+                uop.rd,
+                self.read_idx(uop.ra) << (self.read_idx(uop.rb) & 31),
+            ),
+            K::Srl => self.write_idx(
+                uop.rd,
+                self.read_idx(uop.ra) >> (self.read_idx(uop.rb) & 31),
+            ),
+            K::Sra => self.write_idx(
+                uop.rd,
+                ((self.read_idx(uop.ra) as i32) >> (self.read_idx(uop.rb) & 31)) as u32,
+            ),
+            K::Slt => self.write_idx(
+                uop.rd,
+                u32::from((self.read_idx(uop.ra) as i32) < (self.read_idx(uop.rb) as i32)),
+            ),
+            K::Sltu => self.write_idx(
+                uop.rd,
+                u32::from(self.read_idx(uop.ra) < self.read_idx(uop.rb)),
+            ),
+            K::Min => self.write_idx(
+                uop.rd,
+                (self.read_idx(uop.ra) as i32).min(self.read_idx(uop.rb) as i32) as u32,
+            ),
+            K::Max => self.write_idx(
+                uop.rd,
+                (self.read_idx(uop.ra) as i32).max(self.read_idx(uop.rb) as i32) as u32,
+            ),
+            K::Mul => {
+                cycles = u64::from(uop.aux);
+                self.write_idx(
+                    uop.rd,
+                    self.read_idx(uop.ra).wrapping_mul(self.read_idx(uop.rb)),
+                );
+            }
+            K::Mac => {
+                cycles = u64::from(uop.aux);
+                let prod = self.read_idx(uop.ra).wrapping_mul(self.read_idx(uop.rb));
+                self.write_idx(uop.rd, self.read_idx(uop.rd).wrapping_add(prod));
+            }
+            K::Addi => self.write_idx(uop.rd, self.read_idx(uop.ra).wrapping_add(uop.imm as u32)),
+            K::Andi => self.write_idx(uop.rd, self.read_idx(uop.ra) & (uop.imm as u32)),
+            K::Ori => self.write_idx(uop.rd, self.read_idx(uop.ra) | (uop.imm as u32)),
+            K::Xori => self.write_idx(uop.rd, self.read_idx(uop.ra) ^ (uop.imm as u32)),
+            K::Slli => self.write_idx(uop.rd, self.read_idx(uop.ra) << (uop.imm as u32)),
+            K::Srli => self.write_idx(uop.rd, self.read_idx(uop.ra) >> (uop.imm as u32)),
+            K::Srai => self.write_idx(
+                uop.rd,
+                ((self.read_idx(uop.ra) as i32) >> (uop.imm as u32)) as u32,
+            ),
+            K::Lui => self.write_idx(uop.rd, uop.imm as u32),
+            K::SdotV4 => {
+                let (x, y) = (self.read_idx(uop.ra), self.read_idx(uop.rb));
+                let mut acc = self.read_idx(uop.rd) as i32;
+                for lane in 0..4 {
+                    let xa = (x >> (lane * 8)) as u8 as i8 as i32;
+                    let yb = (y >> (lane * 8)) as u8 as i8 as i32;
+                    acc = acc.wrapping_add(xa.wrapping_mul(yb));
+                }
+                self.write_idx(uop.rd, acc as u32);
+            }
+            K::SdotV2 => {
+                let (x, y) = (self.read_idx(uop.ra), self.read_idx(uop.rb));
+                let mut acc = self.read_idx(uop.rd) as i32;
+                for lane in 0..2 {
+                    let xa = (x >> (lane * 16)) as u16 as i16 as i32;
+                    let yb = (y >> (lane * 16)) as u16 as i16 as i32;
+                    acc = acc.wrapping_add(xa.wrapping_mul(yb));
+                }
+                self.write_idx(uop.rd, acc as u32);
+            }
+            K::LdW => cycles = self.uop_load(bus, uop, Word, true, false)?,
+            K::LdH => cycles = self.uop_load(bus, uop, Half, true, false)?,
+            K::LdHu => cycles = self.uop_load(bus, uop, Half, false, false)?,
+            K::LdB => cycles = self.uop_load(bus, uop, Byte, true, false)?,
+            K::LdBu => cycles = self.uop_load(bus, uop, Byte, false, false)?,
+            K::LdPiW => cycles = self.uop_load(bus, uop, Word, true, true)?,
+            K::LdPiH => cycles = self.uop_load(bus, uop, Half, true, true)?,
+            K::LdPiHu => cycles = self.uop_load(bus, uop, Half, false, true)?,
+            K::LdPiB => cycles = self.uop_load(bus, uop, Byte, true, true)?,
+            K::LdPiBu => cycles = self.uop_load(bus, uop, Byte, false, true)?,
+            K::StW => {
+                wrote_mem = true;
+                cycles = self.uop_store(bus, uop, Word, false)?;
+            }
+            K::StH => {
+                wrote_mem = true;
+                cycles = self.uop_store(bus, uop, Half, false)?;
+            }
+            K::StB => {
+                wrote_mem = true;
+                cycles = self.uop_store(bus, uop, Byte, false)?;
+            }
+            K::StPiW => {
+                wrote_mem = true;
+                cycles = self.uop_store(bus, uop, Word, true)?;
+            }
+            K::StPiH => {
+                wrote_mem = true;
+                cycles = self.uop_store(bus, uop, Half, true)?;
+            }
+            K::StPiB => {
+                wrote_mem = true;
+                cycles = self.uop_store(bus, uop, Byte, true)?;
+            }
+            K::Beq => branch!(self.read_idx(uop.ra) == self.read_idx(uop.rb)),
+            K::Bne => branch!(self.read_idx(uop.ra) != self.read_idx(uop.rb)),
+            K::Blt => branch!((self.read_idx(uop.ra) as i32) < (self.read_idx(uop.rb) as i32)),
+            K::Bge => branch!((self.read_idx(uop.ra) as i32) >= (self.read_idx(uop.rb) as i32)),
+            K::Bltu => branch!(self.read_idx(uop.ra) < self.read_idx(uop.rb)),
+            K::Bgeu => branch!(self.read_idx(uop.ra) >= self.read_idx(uop.rb)),
+            K::Jal => {
+                self.write_idx(uop.rd, self.pc.wrapping_add(4));
+                taken!(self.pc.wrapping_add(uop.imm as u32));
+            }
+            K::Jalr => {
+                let target = self.read_idx(uop.ra).wrapping_add(uop.imm as u32) & !3;
+                self.write_idx(uop.rd, self.pc.wrapping_add(4));
+                taken!(target);
+            }
+            K::Nop => {}
+            K::Generic => {
+                // Cold path: the reference operate phase (identical
+                // semantics, errors and timing by construction). Generic
+                // covers Tas and MMIO-triggering stores, hence wrote_mem.
+                let (c, n, o) = self.exec_insn(bus, uop.insn)?;
+                return Ok((c, n, o, true));
+            }
+        }
+        Ok((cycles, next_pc, StepOutcome::Executed, wrote_mem))
+    }
+
+    /// Load executor shared by the plain and post-incrementing micro-ops.
+    #[inline]
+    fn uop_load<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        uop: &MicroOp,
+        size: MemSize,
+        signed: bool,
+        post_inc: bool,
+    ) -> Result<u64, ExecError> {
+        let base = self.read_idx(uop.ra);
+        let addr = if post_inc {
+            base
+        } else {
+            base.wrapping_add(uop.imm as u32)
+        };
+        let penalty = self.uop_align(addr, size, uop.aux)?;
+        let acc = bus.load(self.id, self.time, addr, size)?;
+        let cycles = (acc.ready_at - self.time) + u64::from(penalty);
+        self.note_mem_stall(acc.ready_at);
+        self.write_idx(uop.rd, Self::extend(acc.value, size, signed));
+        if post_inc {
+            self.write_idx(uop.ra, addr.wrapping_add(uop.imm as u32));
+        }
+        Ok(cycles)
+    }
+
+    /// Store executor shared by the plain and post-incrementing micro-ops
+    /// (the source register rides in the `rd` field).
+    #[inline]
+    fn uop_store<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        uop: &MicroOp,
+        size: MemSize,
+        post_inc: bool,
+    ) -> Result<u64, ExecError> {
+        let base = self.read_idx(uop.ra);
+        let addr = if post_inc {
+            base
+        } else {
+            base.wrapping_add(uop.imm as u32)
+        };
+        let penalty = self.uop_align(addr, size, uop.aux)?;
+        let done = bus.store(self.id, self.time, addr, size, self.read_idx(uop.rd))?;
+        let cycles = (done - self.time) + u64::from(penalty);
+        self.note_mem_stall(done);
+        if post_inc {
+            self.write_idx(uop.ra, addr.wrapping_add(uop.imm as u32));
+        }
+        Ok(cycles)
+    }
+
+    /// [`Core::check_align`] with the policy pre-resolved into the uop's
+    /// `aux` field: 0 extra cycles when aligned, `aux` cycles when the core
+    /// tolerates misalignment, a fault when `aux` is the sentinel.
+    #[inline]
+    fn uop_align(&self, addr: u32, size: MemSize, aux: u32) -> Result<u32, ExecError> {
+        let bytes = size.bytes();
+        if addr & (bytes - 1) == 0 {
+            Ok(0)
+        } else if aux != u32::MAX {
+            Ok(aux)
+        } else {
+            Err(ExecError::Misaligned {
+                addr,
+                size: bytes,
+                pc: self.pc,
+            })
+        }
+    }
+
+    #[inline]
+    fn read_idx(&self, r: u8) -> u32 {
+        // Translation only emits indices < 32; the mask proves it to the
+        // bounds checker so the hot loop carries no panic branch.
+        self.regs[usize::from(r & 31)]
+    }
+
+    #[inline]
+    fn write_idx(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[usize::from(r & 31)] = v;
+        }
     }
 
     fn note_mem_stall(&mut self, ready_at: u64) {

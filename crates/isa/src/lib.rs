@@ -71,19 +71,21 @@ pub mod mem;
 pub mod perf;
 pub mod reg;
 pub mod text;
+pub mod uop;
 
 pub use asm::{Asm, AsmError, Label, Program};
 pub use decode_cache::DecodeCache;
 pub use encode::{decode, encode, DecodeError};
 pub use exec::{
-    Access, Bus, BusError, Core, CoreState, CoreStats, ExecError, Fetched, RunSummary, StepOutcome,
-    TraceEntry,
+    Access, BlockExit, Bus, BusError, Core, CoreState, CoreStats, ExecError, Fetched, RunSummary,
+    StepOutcome, TraceEntry,
 };
 pub use features::{CoreModel, Features, Timing};
 pub use insn::{Csr, Insn, MemSize};
 pub use mem::{load_le, store_le, FlatMemory};
 pub use reg::Reg;
 pub use text::{parse_insn, parse_program, ParseError};
+pub use uop::{Block, BlockCache, MicroOp, UopKind};
 
 /// Convenient glob-import surface: registers, core types, assembler.
 pub mod prelude {

@@ -5,10 +5,14 @@
 //! contention. The PULP cluster's banked TCDM with arbitration lives in the
 //! `ulp-cluster` crate.
 
+use std::sync::Arc;
+
 use crate::asm::Program;
 use crate::decode_cache::DecodeCache;
 use crate::exec::{Access, Bus, BusError, Fetched};
+use crate::features::CoreModel;
 use crate::insn::MemSize;
+use crate::uop::{Block, BlockCache};
 
 /// Width-specialized little-endian read of `size` bytes at `off`.
 ///
@@ -60,6 +64,7 @@ pub struct FlatMemory {
     base: u32,
     data: Vec<u8>,
     decoded: DecodeCache,
+    blocks: BlockCache,
 }
 
 impl FlatMemory {
@@ -70,6 +75,7 @@ impl FlatMemory {
             base,
             data: vec![0; size],
             decoded: DecodeCache::new(size),
+            blocks: BlockCache::new(size),
         }
     }
 
@@ -214,6 +220,16 @@ impl Bus for FlatMemory {
             insn,
             ready_at: now,
         })
+    }
+
+    fn microop_block(&mut self, _core_id: usize, pc: u32, model: &CoreModel) -> Option<Arc<Block>> {
+        let off = self.index(pc, 4).ok()?;
+        self.blocks
+            .lookup(off, &self.data, &mut self.decoded, model)
+    }
+
+    fn code_generation(&self) -> u64 {
+        self.decoded.generation()
     }
 }
 

@@ -130,6 +130,14 @@ impl Mcu {
         self.freq_hz = freq_hz;
     }
 
+    /// Selects whether [`Mcu::run_program`] uses the micro-op block engine
+    /// (`true`, the process default) or the classic one-instruction step
+    /// loop (`false`). Both are bit-identical; see
+    /// [`ulp_isa::Core::set_microop`].
+    pub fn set_microop(&mut self, on: bool) {
+        self.core.set_microop(on);
+    }
+
     /// Reads a core register (for result inspection in tests/examples).
     #[must_use]
     pub fn reg(&self, r: Reg) -> u32 {

@@ -64,7 +64,7 @@ fn run() -> Result<(), String> {
              [--stuck-fetch-enable] [--fault-seed N] [--max-retries N] \
              [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback] \
              [--trace FILE] [--trace-cap N] [--counters] \
-             [--perf] [--no-turbo] [--jobs N] \
+             [--perf] [--engine reference|turbo|microop] [--no-turbo] [--jobs N] \
              [--serve] [--pool N] [--max-batch N] [--serial] [--no-fair] \
              [--serve-seed N] [--duration-ms N] [--tenants N] \
              [--soak] [--burst-factor F] [--blackout-ms N] [--churn-ms N]"
@@ -74,8 +74,15 @@ fn run() -> Result<(), String> {
     let benchmark = parse_benchmark(args.get("benchmark").unwrap_or(""))?;
     let mcu_hz = args.get_f64("mcu-mhz", 16.0)? * 1e6;
     let iterations = args.get_usize("iterations", 16)?;
-    // --no-turbo selects the reference cluster scheduler (must precede
-    // system construction, which latches the engine choice).
+    // Engine selection must precede system construction, which latches the
+    // choice. `--engine` picks one of the three bit-identical engines;
+    // `--no-turbo` stays as the original escape hatch to the reference
+    // scheduler.
+    if let Some(name) = args.get("engine") {
+        let engine = ulp_cluster::Engine::from_name(name)
+            .ok_or_else(|| format!("--engine: `{name}` is not reference, turbo or microop"))?;
+        ulp_cluster::set_default_engine(engine);
+    }
     if args.has("no-turbo") {
         ulp_cluster::set_default_turbo(false);
     }
@@ -135,6 +142,9 @@ fn run() -> Result<(), String> {
 
     let mut sys = HetSystem::new(cfg);
     let trace_file = args.get("trace").map(str::to_owned);
+    if let Some(path) = &trace_file {
+        probe_trace_path(path)?;
+    }
     let tracer = if trace_file.is_some() || args.has("counters") {
         Tracer::with_capacity(args.get_usize("trace-cap", ulp_trace::DEFAULT_RING_CAP)?)
     } else {
@@ -245,11 +255,7 @@ fn run() -> Result<(), String> {
     if args.has("perf") {
         println!(
             "\nsimulator perf ({} engine):",
-            if ulp_cluster::default_turbo() {
-                "turbo"
-            } else {
-                "reference"
-            }
+            ulp_cluster::default_engine().name()
         );
         println!("  host wall-clock  {perf_host_seconds:>10.4} s");
         println!("  target retired   {perf_retired:>10} insns");
@@ -383,6 +389,9 @@ fn run_serve(
     };
 
     let trace_file = args.get("trace").map(str::to_owned);
+    if let Some(path) = &trace_file {
+        probe_trace_path(path)?;
+    }
     let tracer = if trace_file.is_some() || args.has("counters") {
         Tracer::with_capacity(args.get_usize("trace-cap", ulp_trace::DEFAULT_RING_CAP)?)
     } else {
@@ -622,6 +631,16 @@ fn run_serve(
         println!("\ntrace     : {} events → {path}", tracer.events().len());
     }
     Ok(())
+}
+
+/// Probes a `--trace` output path up front, before any simulation runs: a
+/// long run whose trace cannot be written at the very end is pure waste.
+/// On success an empty placeholder file is left behind; the real trace
+/// overwrites it. On failure the error carries the path and the OS cause.
+fn probe_trace_path(path: &str) -> Result<(), String> {
+    std::fs::write(path, b"").map_err(|e| {
+        format!("--trace: cannot write {path}: {e} (checked before simulating, nothing was run)")
+    })
 }
 
 fn main() -> ExitCode {

@@ -151,6 +151,76 @@ fn het_sim_smoke() {
 }
 
 #[test]
+fn het_sim_engine_flag_selects_and_validates() {
+    for engine in ["reference", "turbo", "microop"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
+            .args([
+                "--benchmark",
+                "svm-linear",
+                "--iterations",
+                "2",
+                "--perf",
+                "--engine",
+                engine,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--engine {engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("simulator perf ({engine} engine)")),
+            "--engine {engine} not reflected in --perf:\n{stdout}"
+        );
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
+        .args(["--benchmark", "svm-linear", "--engine", "warp"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("`warp` is not reference"));
+}
+
+#[test]
+fn het_sim_unwritable_trace_path_fails_fast_with_context() {
+    // The parent directory does not exist, so the trace can never be
+    // written; het-sim must report that up front (before simulating) with
+    // the path and the OS cause, not panic or waste a run.
+    let path = tmp("no-such-dir").join("trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
+        .args([
+            "--benchmark",
+            "svm-linear",
+            "--iterations",
+            "2",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write") && stderr.contains(path.to_str().unwrap()),
+        "stderr must name the path and cause:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("nothing was run"),
+        "error must say the check ran up front:\n{stderr}"
+    );
+    // Fast failure: the offload report header is never printed.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("offload ("),
+        "simulation must not have run:\n{stdout}"
+    );
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown benchmark.
     let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))

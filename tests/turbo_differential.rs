@@ -1,20 +1,25 @@
-//! Differential battery for the turbo cluster engine.
+//! Differential battery for the batching cluster engines.
 //!
 //! The turbo scheduler batches instructions on the frontmost core instead
-//! of rescanning before every step (see `DESIGN.md`). Its contract is
+//! of rescanning before every step, and the micro-op engine additionally
+//! replays pre-decoded basic blocks (see `DESIGN.md`). Their contract is
 //! *bit-identity* with the reference scheduler — not "close", identical:
-//! same `RunResult`, same error (deadlocks and timeouts included), same
-//! memory image, same trace, on every program and every configuration.
+//! same `RunResult` (retired counts included), same error (deadlocks and
+//! timeouts included), same memory image, same trace, on every program and
+//! every configuration.
 //!
-//! Part A drives both engines over hundreds of seeded random SPMD
+//! Part A drives all three engines over hundreds of seeded random SPMD
 //! programs on random cluster shapes (core count, TCDM banking, cache and
-//! barrier latencies), including programs that deadlock or fault. Part B
-//! replays the full offload pipeline — all ten Table I benchmarks, with
-//! the link fault injector both off and on — through two `HetSystem`
-//! instances that differ only in engine choice.
+//! barrier latencies), including programs that deadlock or fault, plus a
+//! dedicated stream of self-modifying programs that rewrite instructions
+//! both inside and across cached block boundaries. Part B replays the full
+//! offload pipeline — all ten Table I benchmarks, with the link fault
+//! injector both off and on — through `HetSystem` instances that differ
+//! only in engine choice.
 
 use ulp_cluster::{
-    Cluster, ClusterConfig, ClusterError, RunResult, EVT_BROADCAST, EVT_EOC, L2_BASE, TCDM_BASE,
+    Cluster, ClusterConfig, ClusterError, Engine, RunResult, EVT_BROADCAST, EVT_EOC, L2_BASE,
+    TCDM_BASE,
 };
 use ulp_isa::prelude::*;
 use ulp_rng::gen::choose;
@@ -162,11 +167,11 @@ fn random_program(rng: &mut XorShiftRng) -> Program {
 fn run_engine(
     cfg: &ClusterConfig,
     prog: &Program,
-    turbo: bool,
+    engine: Engine,
     tracer: Option<Tracer>,
 ) -> (Result<RunResult, ClusterError>, Vec<u8>) {
     let mut cl = Cluster::new(*cfg);
-    cl.set_turbo(turbo);
+    cl.set_engine(engine);
     if let Some(t) = tracer {
         cl.set_tracer(t);
     }
@@ -182,14 +187,51 @@ fn run_engine(
 /// Seed of the Part A battery stream.
 const BATTERY_SEED: u64 = 0x70B0_D1FF;
 
+/// Runs one (config, program) pair on all three engines and asserts every
+/// observable is identical, the reference scan being the oracle. Every
+/// `trace`d case also attaches a tracer per engine and compares the
+/// exported Chrome JSON byte-for-byte. Returns the reference outcome.
+fn assert_three_way(
+    cfg: &ClusterConfig,
+    prog: &Program,
+    trace: bool,
+    battery: &str,
+    ctx: &str,
+    repro: &str,
+) -> Result<RunResult, ClusterError> {
+    let tracer = |on: bool| {
+        if on {
+            Some(Tracer::with_capacity(8192))
+        } else {
+            None
+        }
+    };
+    let (ref_tracer, turbo_tracer, uop_tracer) = (tracer(trace), tracer(trace), tracer(trace));
+    let (reference, ref_mem) = run_engine(cfg, prog, Engine::Reference, ref_tracer.clone());
+    let (turbo, turbo_mem) = run_engine(cfg, prog, Engine::Turbo, turbo_tracer.clone());
+    let (microop, uop_mem) = run_engine(cfg, prog, Engine::Microop, uop_tracer.clone());
+    ulp_par::battery_case(battery, repro, || {
+        assert_eq!(turbo, reference, "{ctx}: turbo result diverged");
+        assert_eq!(microop, reference, "{ctx}: microop result diverged");
+        assert_eq!(turbo_mem, ref_mem, "{ctx}: turbo TCDM image diverged");
+        assert_eq!(uop_mem, ref_mem, "{ctx}: microop TCDM image diverged");
+        if let (Some(rt), Some(tt), Some(ut)) = (&ref_tracer, &turbo_tracer, &uop_tracer) {
+            let golden = rt.chrome_json();
+            assert_eq!(tt.chrome_json(), golden, "{ctx}: turbo trace diverged");
+            assert_eq!(ut.chrome_json(), golden, "{ctx}: microop trace diverged");
+        }
+    });
+    reference
+}
+
 /// Part A: 600 seeded random (config, program) pairs per unit of
-/// `ULP_BATTERY_SCALE` (default 1; the nightly CI job raises it), both
-/// engines, every observable compared for equality. Every 16th pair also
-/// runs with a tracer attached on both sides and compares the exported
+/// `ULP_BATTERY_SCALE` (default 1; the nightly CI job raises it), all
+/// three engines, every observable compared for equality. Every 16th pair
+/// also runs with a tracer attached on each side and compares the exported
 /// Chrome JSON byte-for-byte. A failing case appends its reproduction
 /// line to `target/battery-failures/` before panicking.
 #[test]
-fn turbo_matches_reference_on_600_random_programs() {
+fn engines_match_reference_on_600_random_programs() {
     let scale = ulp_par::battery_scale();
     let cases = 600 * scale;
     let mut rng = XorShiftRng::seed_from_u64(BATTERY_SEED);
@@ -198,33 +240,22 @@ fn turbo_matches_reference_on_600_random_programs() {
     for case in 0..cases {
         let cfg = random_config(&mut rng);
         let prog = random_program(&mut rng);
-        let trace = case % 16 == 0;
-        let (turbo_tracer, ref_tracer) = if trace {
-            (
-                Some(Tracer::with_capacity(8192)),
-                Some(Tracer::with_capacity(8192)),
-            )
-        } else {
-            (None, None)
-        };
-        let (fast, fast_mem) = run_engine(&cfg, &prog, true, turbo_tracer.clone());
-        let (slow, slow_mem) = run_engine(&cfg, &prog, false, ref_tracer.clone());
         let ctx = format!(
             "case {case} ({} cores, {} banks)",
             cfg.num_cores, cfg.tcdm_banks
         );
         let repro = format!(
-            "turbo_matches_reference_on_600_random_programs: \
+            "engines_match_reference_on_600_random_programs: \
              seed={BATTERY_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
         );
-        ulp_par::battery_case("turbo_differential", &repro, || {
-            assert_eq!(fast, slow, "{ctx}: result diverged");
-            assert_eq!(fast_mem, slow_mem, "{ctx}: TCDM image diverged");
-            if let (Some(ft), Some(rt)) = (&turbo_tracer, &ref_tracer) {
-                assert_eq!(ft.chrome_json(), rt.chrome_json(), "{ctx}: trace diverged");
-            }
-        });
-        match fast {
+        match assert_three_way(
+            &cfg,
+            &prog,
+            case % 16 == 0,
+            "turbo_differential",
+            &ctx,
+            &repro,
+        ) {
             Ok(_) => halted += 1,
             Err(_) => errored += 1,
         }
@@ -240,12 +271,119 @@ fn turbo_matches_reference_on_600_random_programs() {
     );
 }
 
+/// Seed of the self-modifying-code battery stream.
+const SMC_SEED: u64 = 0x5E1F_C0DE;
+
+/// A seeded self-modifying SPMD program: the text contains 1–4 patch sites
+/// (each an `addi r1, r0, imm` feeding an accumulator), and before every
+/// site the program stores a replacement instruction word over it, then
+/// falls through and executes it. Per site the store is either in the
+/// *same* straight line as the site (the patch lands inside the currently
+/// executing cached block) or separated from it by a jump (the patch
+/// crosses a block boundary). An outer loop runs the whole region twice,
+/// so on the second pass every site's block is already cached and must be
+/// detected stale.
+fn random_smc_program(rng: &mut XorShiftRng) -> Program {
+    let sites = rng.gen_range(1usize..=4);
+    let plan: Vec<(bool, i16, i16)> = (0..sites)
+        .map(|_| {
+            (
+                rng.gen_bool(0.5),
+                rng.gen_range(1i16..=100),
+                rng.gen_range(101i16..=200),
+            )
+        })
+        .collect();
+    let build = |addrs: &[u32]| -> (Program, Vec<u32>) {
+        let mut a = Asm::new();
+        let mut offs = Vec::new();
+        a.insn(Insn::Csrr(R20, Csr::CoreId));
+        a.li(R9, 2); // run the patch region twice: cold build, then stale hit
+        a.li(R8, 0);
+        let top = a.new_label();
+        a.bind(top);
+        for (k, &(cross, before, after)) in plan.iter().enumerate() {
+            let patched = ulp_isa::encode(&Insn::Addi(R1, R0, after)).unwrap();
+            a.li(R3, patched as i32);
+            a.la(R2, addrs.get(k).copied().unwrap_or(L2_BASE + 4));
+            a.sw(R3, R2, 0);
+            if cross {
+                // A control-flow edge between store and site: the patch
+                // lands in a different (and, on pass 2, cached) block.
+                let over = a.new_label();
+                a.jmp(over);
+                a.bind(over);
+            }
+            offs.push(a.here());
+            a.insn(Insn::Addi(R1, R0, before)); // the patch target
+            a.add(R8, R8, R1);
+        }
+        a.addi(R9, R9, -1);
+        a.bne(R9, R0, top);
+        // Publish the accumulator to a per-core TCDM slot.
+        a.la(R10, TCDM_BASE);
+        a.slli(R11, R20, 2);
+        a.add(R10, R10, R11);
+        a.sw(R8, R10, 0);
+        a.barrier();
+        let done = a.new_label();
+        a.bne(R20, R0, done);
+        a.sev(EVT_EOC);
+        a.bind(done);
+        a.halt();
+        (a.finish().expect("smc program must assemble"), offs)
+    };
+    // Two-pass assembly: measure the site offsets with same-length
+    // placeholder addresses, then rebuild pointing the stores at the real
+    // sites. (All involved `li`/`la` constants keep nonzero low 14 bits,
+    // so every encoding is two words in both passes.)
+    let (_, offs) = build(&[]);
+    let addrs: Vec<u32> = offs.iter().map(|&o| L2_BASE + o).collect();
+    let (prog, offs2) = build(&addrs);
+    assert_eq!(offs, offs2, "site offsets must be stable across passes");
+    prog
+}
+
+/// Part A': 120 seeded self-modifying programs per unit of
+/// `ULP_BATTERY_SCALE`, all three engines, every observable compared —
+/// the stress case for the micro-op block cache's generation-based
+/// invalidation (in-block staleness after a store, cross-block staleness
+/// on re-entry of a cached block). Every case must halt: an SMC program
+/// that faults means an engine executed a stale instruction.
+#[test]
+fn engines_match_reference_on_self_modifying_programs() {
+    let scale = ulp_par::battery_scale();
+    let cases = 120 * scale;
+    let mut rng = XorShiftRng::seed_from_u64(SMC_SEED);
+    for case in 0..cases {
+        let cfg = random_config(&mut rng);
+        let prog = random_smc_program(&mut rng);
+        let ctx = format!(
+            "smc case {case} ({} cores, {} banks)",
+            cfg.num_cores, cfg.tcdm_banks
+        );
+        let repro = format!(
+            "engines_match_reference_on_self_modifying_programs: \
+             seed={SMC_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
+        );
+        let outcome = assert_three_way(
+            &cfg,
+            &prog,
+            case % 8 == 0,
+            "microop_smc_differential",
+            &ctx,
+            &repro,
+        );
+        assert!(outcome.is_ok(), "{ctx}: SMC program must halt: {outcome:?}");
+    }
+}
+
 /// Part B: the full offload pipeline on every Table I benchmark, link
-/// faults off and on, through two systems differing only in engine.
+/// faults off and on, through systems differing only in engine choice.
 /// Reports, resilience stats and link counters are compared via their
 /// `Debug` rendering, which covers every field.
 #[test]
-fn turbo_matches_reference_on_all_benchmarks_with_and_without_faults() {
+fn engines_match_reference_on_all_benchmarks_with_and_without_faults() {
     use ulp_kernels::{Benchmark, TargetEnv};
     use ulp_offload::{FaultConfig, HetSystem, HetSystemConfig, OffloadOptions};
 
@@ -263,12 +401,12 @@ fn turbo_matches_reference_on_all_benchmarks_with_and_without_faults() {
         let accel = benchmark.build(&TargetEnv::pulp_parallel());
         let host = benchmark.build(&TargetEnv::host_m4());
         for fault in &fault_modes {
-            let observe = |turbo: bool| {
+            let observe = |engine: Engine| {
                 let mut sys = HetSystem::new(HetSystemConfig {
                     fault: *fault,
                     ..HetSystemConfig::default()
                 });
-                sys.set_turbo(turbo);
+                sys.set_engine(engine);
                 let opts = OffloadOptions {
                     iterations: 2,
                     ..OffloadOptions::default()
@@ -278,12 +416,16 @@ fn turbo_matches_reference_on_all_benchmarks_with_and_without_faults() {
                     .unwrap_or_else(|e| panic!("{benchmark:?} offload failed: {e}"));
                 format!("{report:?} {:?}", sys.link_stats())
             };
-            assert_eq!(
-                observe(true),
-                observe(false),
-                "{benchmark:?} (faults active: {}) diverged between engines",
-                fault.is_active()
-            );
+            let golden = observe(Engine::Reference);
+            for engine in [Engine::Turbo, Engine::Microop] {
+                assert_eq!(
+                    observe(engine),
+                    golden,
+                    "{benchmark:?} (faults active: {}) diverged: {} vs reference",
+                    fault.is_active(),
+                    engine.name()
+                );
+            }
         }
     }
 }
