@@ -93,6 +93,35 @@ cargo run --release -q -p ulp-bench --bin soak -- \
 golden soak_table tests/golden/soak_table.txt "$SCRATCH/soak_table.txt"
 golden BENCH_soak BENCH_soak.json "$SCRATCH/BENCH_soak.json"
 
+echo "== fleet smoke =="
+# Fleet-scale serving end to end: a small autoscaled two-group fleet
+# that records its request stream, a byte-identical record/replay round
+# trip through a *different* sharding, and the fleet study binary
+# against all three committed snapshots (table, BENCH_fleet.json, and
+# the pinned autoscaler decision log).
+cargo run --release -q -p ulp-tools --bin het-sim -- \
+  --fleet --benchmark matmul --groups 2 --pool 2 --autoscale \
+  --duration-ms 400 --record-trace "$SCRATCH/fleet.trc" | tee "$ARTIFACTS/fleet.out"
+grep -q 'fleet     : hot kernel matmul' "$ARTIFACTS/fleet.out"
+grep -q 'per group:' "$ARTIFACTS/fleet.out"
+grep -q 'autoscaler:' "$ARTIFACTS/fleet.out"
+grep -q 'invariants: OK' "$ARTIFACTS/fleet.out"
+cargo run --release -q -p ulp-tools --bin het-sim -- \
+  --fleet --benchmark matmul --groups 4 --pool 2 \
+  --replay-trace "$SCRATCH/fleet.trc" \
+  --record-trace "$SCRATCH/fleet-replayed.trc" | tee "$ARTIFACTS/fleet-replay.out"
+grep -q 'replay    :' "$ARTIFACTS/fleet-replay.out"
+grep -q 'invariants: OK' "$ARTIFACTS/fleet-replay.out"
+# Re-recording the replayed stream must reproduce the trace exactly.
+cmp "$SCRATCH/fleet.trc" "$SCRATCH/fleet-replayed.trc"
+echo "replay ok : trace round trip byte-identical"
+cargo run --release -q -p ulp-bench --bin fleet -- \
+  --json "$SCRATCH/BENCH_fleet.json" \
+  --scale-log "$SCRATCH/fleet_autoscale.txt" > "$SCRATCH/fleet_table.txt"
+golden fleet_table tests/golden/fleet_table.txt "$SCRATCH/fleet_table.txt"
+golden fleet_autoscale tests/golden/fleet_autoscale.txt "$SCRATCH/fleet_autoscale.txt"
+golden BENCH_fleet BENCH_fleet.json "$SCRATCH/BENCH_fleet.json"
+
 echo "== simulator perf smoke =="
 # Tracks the simulator's own wall-clock cost. The shared runner is noisy,
 # so this validates the tooling (report shape, engine bit-identity

@@ -1,0 +1,54 @@
+//! Fleet-scale serving study: runs the 64/256/1024-worker autoscaled
+//! fleet cells (≥ 1 M offered requests in total), prints the table, and
+//! optionally writes `BENCH_fleet.json` and the autoscaler decision
+//! log.
+//!
+//! Usage: `fleet [--jobs N] [--json PATH] [--scale-log PATH]`
+//!
+//! The study runs on the virtual clock, so the JSON and the decision
+//! log are byte-identical for every `--jobs` setting — `--jobs` only
+//! changes whether a fleet's node groups simulate concurrently. Exits
+//! non-zero if any per-group or fleet-wide invariant is violated.
+
+fn usage() -> ! {
+    eprintln!("usage: fleet [--jobs N] [--json PATH] [--scale-log PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut rest = ulp_bench::init_jobs_from_args().into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(rest.next().unwrap_or_else(|| usage())),
+            "--scale-log" => log_path = Some(rest.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let cells = ulp_bench::fleet::study();
+    print!("{}", ulp_bench::fleet::render_table(&cells));
+    if let Some(path) = json_path {
+        let json = ulp_bench::fleet::render_json(&cells);
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("fleet: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("fleet: wrote {path}");
+    }
+    if let Some(path) = log_path {
+        let log = ulp_bench::fleet::render_decision_log(&cells);
+        std::fs::write(&path, &log).unwrap_or_else(|e| {
+            eprintln!("fleet: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("fleet: wrote {path}");
+    }
+    let violations: Vec<&String> = cells.iter().flat_map(|c| c.violations.iter()).collect();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("fleet: INVARIANT VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 //! | pipelined-offload study                 | [`pipeline`] | `cargo run --bin pipeline_table` |
 //! | serving-layer batching study            | [`serve`]  | `cargo run --bin serve` |
 //! | chaos soak study (million-request)      | [`soak`]   | `cargo run --bin soak` |
+//! | fleet study (sharded groups, autoscale) | [`fleet`]  | `cargo run --bin fleet` |
 //! | simulator wall-clock perf tracking      | [`simperf`] | `cargo run --bin simperf` |
 //!
 //! `cargo run --bin all_experiments` prints everything (the source of
@@ -30,6 +31,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5a;
 pub mod fig5b;
+pub mod fleet;
 pub mod measure;
 pub mod pipeline;
 pub mod scaling;

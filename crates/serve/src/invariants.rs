@@ -23,6 +23,7 @@
 //! harnesses can attach the workload seed and keep a failing soak's full
 //! report around for forensics.
 
+use crate::fleet::FleetReport;
 use crate::metrics::{OutcomeKind, ServeReport, SloLedger};
 
 /// Checks every invariant of a serve report against `total_requests`
@@ -57,6 +58,12 @@ pub fn check(total_requests: u64, report: &ServeReport) -> Vec<String> {
         fail(format!(
             "queue leak: {} requests stranded in queues at end of run",
             report.stranded
+        ));
+    }
+    if report.priced_out > report.rejected {
+        fail(format!(
+            "admission pricing: {} priced out but only {} rejected in total",
+            report.priced_out, report.rejected
         ));
     }
 
@@ -166,6 +173,77 @@ pub fn check(total_requests: u64, report: &ServeReport) -> Vec<String> {
     v
 }
 
+/// Checks a set of per-group serve reports both individually and
+/// **fleet-wide**: every group must pass [`check`] against its own
+/// offered count, no outcome id may appear in more than one group (a
+/// cross-group duplicate means the sharding layer served one request
+/// twice), and the groups' conservation sums must add up to the fleet's
+/// offered total. `offered[g]` is the request count routed to group `g`;
+/// the two slices must be the same length.
+///
+/// Per-group messages come back prefixed `group {g}: ` so a fleet
+/// harness can report violations without losing the shard.
+#[must_use]
+pub fn check_groups(offered: &[u64], reports: &[&ServeReport]) -> Vec<String> {
+    let mut v: Vec<String> = Vec::new();
+    if offered.len() != reports.len() {
+        v.push(format!(
+            "fleet: {} offered counts for {} group reports",
+            offered.len(),
+            reports.len()
+        ));
+        return v;
+    }
+
+    for (g, (&n, report)) in offered.iter().zip(reports).enumerate() {
+        for msg in check(n, report) {
+            v.push(format!("group {g}: {msg}"));
+        }
+    }
+
+    // Cross-group id uniqueness: per-group checks cannot see a request
+    // that two shards both claim to have served.
+    let mut ids: Vec<(u64, usize)> = reports
+        .iter()
+        .enumerate()
+        .flat_map(|(g, r)| r.outcomes.iter().map(move |o| (o.id, g)))
+        .collect();
+    ids.sort_unstable();
+    for w in ids.windows(2) {
+        if w[0].0 == w[1].0 {
+            v.push(format!(
+                "fleet: request id {} left the system in group {} and again in group {} \
+                 (cross-group double count)",
+                w[0].0, w[0].1, w[1].1
+            ));
+        }
+    }
+
+    // Fleet-wide conservation: the shards' accounting must add up to the
+    // fleet's offered total even if every shard balances internally.
+    let total: u64 = offered.iter().sum();
+    let accounted: u64 = reports
+        .iter()
+        .map(|r| r.completed + r.rejected + r.failed_over + r.failed)
+        .sum();
+    if accounted != total {
+        v.push(format!(
+            "fleet conservation: groups account for {accounted} requests but {total} were offered"
+        ));
+    }
+
+    v
+}
+
+/// Checks a [`FleetReport`]: delegates to [`check_groups`] over the
+/// per-group reports and offered counts the fleet recorded.
+#[must_use]
+pub fn check_fleet(report: &FleetReport) -> Vec<String> {
+    let offered: Vec<u64> = report.groups.iter().map(|g| g.offered).collect();
+    let reports: Vec<&ServeReport> = report.groups.iter().map(|g| &g.report).collect();
+    check_groups(&offered, &reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,10 +265,17 @@ mod tests {
     }
 
     fn clean_report() -> ServeReport {
+        clean_report_from(0)
+    }
+
+    /// A 3-request clean report whose outcome ids start at `base` —
+    /// disjoint bases build a clean fleet, equal bases a double-counting
+    /// one.
+    fn clean_report_from(base: u64) -> ServeReport {
         let outcomes = vec![
-            outcome(0, OutcomeKind::Completed),
-            outcome(1, OutcomeKind::Completed),
-            outcome(2, OutcomeKind::Rejected),
+            outcome(base, OutcomeKind::Completed),
+            outcome(base + 1, OutcomeKind::Completed),
+            outcome(base + 2, OutcomeKind::Rejected),
         ];
         let slo = SloLedger::recompute(1, &outcomes);
         ServeReport {
@@ -225,6 +310,9 @@ mod tests {
             chaos: ChaosStats::default(),
             slo,
             outcomes,
+            scale_events: Vec::new(),
+            capacity_ns: 0,
+            priced_out: 0,
         }
     }
 
@@ -276,5 +364,43 @@ mod tests {
         let mut r = clean_report();
         r.worker_busy_ns[0] = 3_000_000;
         assert!(check(3, &r).iter().any(|m| m.contains("worker 0")));
+    }
+
+    #[test]
+    fn catches_overpriced_admissions() {
+        let mut r = clean_report();
+        r.priced_out = r.rejected + 1;
+        assert!(check(3, &r).iter().any(|m| m.contains("admission pricing")));
+    }
+
+    #[test]
+    fn clean_disjoint_groups_pass_fleet_wide() {
+        let (a, b) = (clean_report_from(0), clean_report_from(100));
+        assert!(check_groups(&[3, 3], &[&a, &b]).is_empty());
+    }
+
+    #[test]
+    fn catches_cross_group_double_count() {
+        // Both shards are internally clean — and claim the same ids:
+        // only the fleet-wide pass can see the double count.
+        let (a, b) = (clean_report_from(0), clean_report_from(0));
+        assert!(check(3, &a).is_empty());
+        assert!(check(3, &b).is_empty());
+        let v = check_groups(&[3, 3], &[&a, &b]);
+        assert!(
+            v.iter().any(|m| m.contains("cross-group double count")),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn catches_fleet_conservation_breaks() {
+        let (a, b) = (clean_report_from(0), clean_report_from(100));
+        let v = check_groups(&[3, 4], &[&a, &b]);
+        assert!(v.iter().any(|m| m.starts_with("group 1: conservation")));
+        assert!(v.iter().any(|m| m.contains("fleet conservation")));
+        assert!(check_groups(&[3], &[&a, &b])
+            .iter()
+            .any(|m| m.contains("offered counts")));
     }
 }

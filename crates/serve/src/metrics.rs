@@ -11,6 +11,7 @@
 //! outcomes; [`crate::invariants::check`] recomputes the whole ledger
 //! from scratch and diffs it bit-for-bit.
 
+use crate::autoscale::ScaleEvent;
 use crate::chaos::ChaosStats;
 use crate::request::DeadlineClass;
 use ulp_kernels::Benchmark;
@@ -247,6 +248,16 @@ pub struct ServeReport {
     /// Raw per-request outcome records, in outcome order (rejections at
     /// arrival, finishes at service completion).
     pub outcomes: Vec<RequestOutcome>,
+    /// Autoscaler decision log, in decision order. Empty when the pool
+    /// runs with a fixed worker count.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Active-worker capacity integral `Σ active × Δt` over the run,
+    /// nanoseconds of worker-time. 0 when autoscaling is off (capacity
+    /// is then simply `pool × makespan`).
+    pub capacity_ns: u64,
+    /// Rejections charged by pressure-scaled admission pricing (a subset
+    /// of `rejected`; queue-cap rejections make up the rest).
+    pub priced_out: u64,
 }
 
 impl ServeReport {
@@ -283,14 +294,18 @@ impl ServeReport {
         requests as f64 / batches as f64
     }
 
-    /// Pool utilization: busy time summed over workers divided by
-    /// `pool × makespan`.
+    /// Pool utilization: busy time summed over workers divided by the
+    /// capacity that was actually online — the autoscaler's capacity
+    /// integral when one ran, `pool × makespan` otherwise.
     #[must_use]
     pub fn utilization(&self) -> f64 {
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        if self.capacity_ns > 0 {
+            return busy as f64 / self.capacity_ns as f64;
+        }
         if self.makespan_ns == 0 || self.worker_busy_ns.is_empty() {
             return 0.0;
         }
-        let busy: u64 = self.worker_busy_ns.iter().sum();
         busy as f64 / (self.makespan_ns as f64 * self.worker_busy_ns.len() as f64)
     }
 }
@@ -354,6 +369,9 @@ mod tests {
             chaos: ChaosStats::default(),
             slo: SloLedger::default(),
             outcomes: Vec::new(),
+            scale_events: Vec::new(),
+            capacity_ns: 0,
+            priced_out: 0,
         };
         assert!((r.mean_batch() - 2.5).abs() < 1e-12);
         assert!((r.throughput_rps() - 5.0).abs() < 1e-12);

@@ -35,12 +35,13 @@ use ulp_offload::{
 use ulp_par::par_map;
 use ulp_trace::{Component, EventKind, Tracer};
 
+use crate::autoscale::{AutoscalePolicy, ScaleDecision, ScaleEvent};
 use crate::chaos::{
     degrade, BatchFate, ChaosConfig, ChaosStats, DispatchJob, LinkTiming, Timeline,
 };
 use crate::error::ServeError;
 use crate::metrics::{
-    LatencyStats, OutcomeKind, RequestOutcome, ServeReport, SloLedger, TenantReport,
+    percentile_ns, LatencyStats, OutcomeKind, RequestOutcome, ServeReport, SloLedger, TenantReport,
 };
 use crate::request::{ServeRequest, TenantSpec};
 
@@ -222,6 +223,50 @@ impl BatchPolicy {
     }
 }
 
+/// Pressure-scaled admission pricing per SLO class.
+///
+/// Queue-cap admission control is per tenant and class-blind; pricing
+/// adds a group-wide gate: each arrival is charged against the pool's
+/// current pressure (total queued depth relative to what the active
+/// workers can absorb), and a class is admitted only while pressure sits
+/// under its ceiling. Ceilings descend by class rank, so under load
+/// batch traffic is shed first, standard next, and interactive last —
+/// exactly the triage a fleet front-end applies before requests ever
+/// reach a node group. Disabled by default; a disabled config leaves
+/// every run byte-identical to a pool without it.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionPricing {
+    /// Master switch; `false` bypasses pricing entirely.
+    pub enabled: bool,
+    /// Queued requests per active worker considered 100% pressure.
+    pub target_depth_per_worker: u32,
+    /// Admission ceiling per class rank (interactive, standard, batch)
+    /// in percent of target pressure: a class-`c` arrival is admitted
+    /// only while pressure is strictly below `ceiling_pct[c]`.
+    pub ceiling_pct: [u32; 3],
+}
+
+impl Default for AdmissionPricing {
+    fn default() -> Self {
+        AdmissionPricing {
+            enabled: false,
+            target_depth_per_worker: 32,
+            ceiling_pct: [100, 75, 50],
+        }
+    }
+}
+
+impl AdmissionPricing {
+    /// A pricing config with the default thresholds switched on.
+    #[must_use]
+    pub fn enabled() -> Self {
+        AdmissionPricing {
+            enabled: true,
+            ..AdmissionPricing::default()
+        }
+    }
+}
+
 /// Static configuration of a [`ServePool`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -247,6 +292,13 @@ pub struct ServeConfig {
     /// and amortize by batching. Default 8 000 cycles — 0.5 ms on the
     /// 16 MHz STM32-L476.
     pub dispatch_overhead_cycles: u64,
+    /// Autoscaling policy. `None` (the default) pins the active worker
+    /// count at `pool`; `Some` allocates `max_workers` workers up front,
+    /// starts `pool` of them active, and lets the policy grow/shrink the
+    /// active prefix at its decision cadence.
+    pub autoscale: Option<AutoscalePolicy>,
+    /// Pressure-scaled per-class admission pricing (off by default).
+    pub admission: AdmissionPricing,
 }
 
 impl Default for ServeConfig {
@@ -258,12 +310,17 @@ impl Default for ServeConfig {
             cross_tenant: true,
             pipeline: PipelineConfig::enabled(),
             dispatch_overhead_cycles: 8_000,
+            autoscale: None,
+            admission: AdmissionPricing::default(),
         }
     }
 }
 
+/// One simulated accelerator worker. Workers carry scheduling state
+/// only — batch pricing goes through the pool's single shared planner —
+/// so a 1024-worker fleet group costs vectors of three scalars, not a
+/// thousand cluster models.
 struct Worker {
-    sys: HetSystem,
     resident: Option<Benchmark>,
     free_at_ns: u64,
     busy_ns: u64,
@@ -304,6 +361,9 @@ pub struct ServePool {
     book: CostBook,
     tenants: Vec<TenantSpec>,
     workers: Vec<Worker>,
+    /// Shared pure planner all batch pricing goes through; workers are
+    /// identical, so one model prices every dispatch shape.
+    planner: HetSystem,
     mcu_hz: f64,
     tracer: Tracer,
     chaos: ChaosConfig,
@@ -313,7 +373,9 @@ pub struct ServePool {
 }
 
 impl ServePool {
-    /// Builds a pool of `cfg.pool` identical workers.
+    /// Builds a pool of `cfg.pool` identical workers (with autoscaling
+    /// configured, `autoscale.max_workers` workers of which `cfg.pool`
+    /// start active).
     #[must_use]
     pub fn new(
         sys_config: &HetSystemConfig,
@@ -321,9 +383,12 @@ impl ServePool {
         book: CostBook,
         cfg: ServeConfig,
     ) -> Self {
-        let workers = (0..cfg.pool.max(1))
+        let alloc = cfg
+            .autoscale
+            .map_or(cfg.pool, |p| p.max_workers.max(cfg.pool))
+            .max(1);
+        let workers = (0..alloc)
             .map(|_| Worker {
-                sys: HetSystem::new(sys_config.clone()),
                 resident: None,
                 free_at_ns: 0,
                 busy_ns: 0,
@@ -334,6 +399,7 @@ impl ServePool {
             book,
             tenants,
             workers,
+            planner: HetSystem::new(sys_config.clone()),
             mcu_hz: sys_config.mcu_freq_hz,
             tracer: Tracer::disabled(),
             chaos: ChaosConfig::default(),
@@ -445,6 +511,19 @@ impl ServePool {
         let mut ledger = SloLedger::new(tenants.len());
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
 
+        // Autoscaler state: `active` gates dispatch to the worker prefix
+        // `workers[..active]`; deactivated workers drain whatever batch
+        // they already hold. Decisions fire at fixed virtual-time
+        // instants, so the decision log is a pure function of the run.
+        let auto = self.cfg.autoscale;
+        let mut active = auto.map_or(self.workers.len(), |p| p.clamp(self.cfg.pool));
+        let mut next_decision = auto.map(|p| p.interval_ns);
+        let mut cooldown_until = 0u64;
+        let mut window_lat: Vec<u64> = Vec::new();
+        let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        let mut capacity_ns = 0u64;
+        let mut priced_out = 0u64;
+
         loop {
             // Apply residency-churn flushes that have come due: every
             // worker forgets its resident binary, so the next dispatch
@@ -458,12 +537,61 @@ impl ServePool {
                 }
             }
 
+            // Evaluate autoscaling decisions that have come due. The
+            // decision window's p99 covers completions recorded since the
+            // previous decision; the window resets whether or not an
+            // action fires, so each decision sees fresh evidence.
+            if let Some(policy) = auto {
+                while let Some(nd) = next_decision.filter(|&nd| nd <= now) {
+                    let depth: usize = tenants.iter().map(|t| t.queue.len()).sum();
+                    let mut window = std::mem::take(&mut window_lat);
+                    window.sort_unstable();
+                    let p99 = percentile_ns(&window, 99.0);
+                    if nd >= cooldown_until {
+                        if let ScaleDecision::Scale(to, reason) = policy.decide(active, depth, p99)
+                        {
+                            scale_events.push(ScaleEvent {
+                                at_ns: nd,
+                                group: 0,
+                                from: active,
+                                to,
+                                queue_depth: depth,
+                                window_p99_ns: p99,
+                                reason,
+                            });
+                            self.tracer.emit(
+                                Component::Host,
+                                EventKind::Scale {
+                                    from: active as u32,
+                                    to: to as u32,
+                                },
+                                nd,
+                                0,
+                            );
+                            active = to;
+                            cooldown_until = nd + policy.cooldown_ns;
+                        }
+                    }
+                    next_decision = Some(nd + policy.interval_ns);
+                }
+            }
+
             // Admit everything that has arrived by `now`.
             while next_arrival < requests.len() && requests[next_arrival].arrival_ns <= now {
                 let r = requests[next_arrival];
                 next_arrival += 1;
+                let priced = self.cfg.admission.enabled && {
+                    let depth: usize = tenants.iter().map(|t| t.queue.len()).sum();
+                    let target = (active as u64
+                        * u64::from(self.cfg.admission.target_depth_per_worker))
+                    .max(1);
+                    let pressure_pct = depth as u64 * 100 / target;
+                    pressure_pct
+                        >= u64::from(self.cfg.admission.ceiling_pct[r.class.rank() as usize])
+                };
                 let t = &mut tenants[r.tenant];
-                if t.queue.len() >= t.spec.queue_cap {
+                if priced || t.queue.len() >= t.spec.queue_cap {
+                    priced_out += u64::from(priced);
                     t.rejected += 1;
                     let o = RequestOutcome {
                         id: r.id,
@@ -488,14 +616,13 @@ impl ServePool {
             }
             max_depth = max_depth.max(tenants.iter().map(|t| t.queue.len()).sum());
 
-            // Dispatch while a worker is idle and work is queued.
+            // Dispatch while an active worker is idle and work is queued.
             while tenants.iter().any(|t| !t.queue.is_empty()) {
-                let Some(widx) = self.idle_worker(&tenants, now) else {
+                let Some(widx) = self.idle_worker(&tenants, now, active) else {
                     // Stalled purely by the timeline (an otherwise-idle
                     // worker exists but is blacked out)? Count it — the
                     // scheduler will wake at the blackout's end.
-                    if self
-                        .workers
+                    if self.workers[..active]
                         .iter()
                         .enumerate()
                         .any(|(i, w)| w.free_at_ns <= now && self.timeline.blacked_out(i, now))
@@ -578,6 +705,9 @@ impl ServePool {
                         BatchFate::Served | BatchFate::FailedOver => {
                             let latency = done - r.arrival_ns;
                             t.latencies.push(latency);
+                            if auto.is_some() {
+                                window_lat.push(latency);
+                            }
                             if latency > r.class.deadline_ns() {
                                 t.deadline_misses += 1;
                             }
@@ -632,7 +762,19 @@ impl ServePool {
             .flatten()
             .min();
             match next_t {
-                Some(t) => now = t,
+                Some(t) => {
+                    // A pending autoscale decision wakes the scheduler
+                    // early, but never keeps a drained run alive: with no
+                    // other event left the run ends and so does scaling.
+                    let t = match next_decision {
+                        Some(nd) if nd < t => nd,
+                        _ => t,
+                    };
+                    if auto.is_some() {
+                        capacity_ns += active as u64 * (t - now);
+                    }
+                    now = t;
+                }
                 None => break, // no arrivals, no busy workers: drained
             }
         }
@@ -678,16 +820,20 @@ impl ServePool {
             chaos: stats,
             slo: ledger,
             outcomes,
+            scale_events,
+            capacity_ns,
+            priced_out,
         })
     }
 
-    /// Picks an idle, non-blacked-out worker, preferring one whose
-    /// resident kernel will match the next dispatch (lowest index wins
-    /// ties for determinism). `None` when every worker is busy or out.
-    fn idle_worker(&self, tenants: &[TenantState], now: u64) -> Option<usize> {
+    /// Picks an idle, non-blacked-out worker from the active prefix,
+    /// preferring one whose resident kernel will match the next dispatch
+    /// (lowest index wins ties for determinism). `None` when every
+    /// active worker is busy or out.
+    fn idle_worker(&self, tenants: &[TenantState], now: u64, active: usize) -> Option<usize> {
         let head = self.head_request(tenants)?;
         let mut first_idle = None;
-        for (i, w) in self.workers.iter().enumerate() {
+        for (i, w) in self.workers[..active].iter().enumerate() {
             if w.free_at_ns > now || self.timeline.blacked_out(i, now) {
                 continue;
             }
@@ -806,7 +952,7 @@ impl ServePool {
             },
             ship_binary: ship,
         };
-        let plan = self.workers[0].sys.plan_queue(&[job], self.cfg.pipeline);
+        let plan = self.planner.plan_queue(&[job], self.cfg.pipeline);
         let overhead_ns = (self.cfg.dispatch_overhead_cycles as f64 * 1e9 / self.mcu_hz).round();
         let price = Price {
             base_ns: (plan.total_seconds * 1e9 + overhead_ns).round() as u64,
@@ -1128,5 +1274,115 @@ mod tests {
         assert_eq!(plain.uploads, idle.uploads);
         assert_eq!(plain.latency.p99_ns, idle.latency.p99_ns);
         assert!(!idle.chaos.any());
+    }
+
+    #[test]
+    fn fixed_pool_reports_no_scaling_artifacts() {
+        let mut p = pool(BatchPolicy::KernelAware { max_batch: 8 }, book());
+        let r = p.run(&workload(17, 300.0)).unwrap();
+        assert!(r.scale_events.is_empty());
+        assert_eq!(r.capacity_ns, 0);
+        assert_eq!(r.priced_out, 0);
+    }
+
+    #[test]
+    fn autoscaler_grows_under_pressure_and_releases_when_quiet() {
+        let book = book();
+        let policy = AutoscalePolicy {
+            interval_ns: 20_000_000,
+            cooldown_ns: 40_000_000,
+            ..AutoscalePolicy::new(1, 6)
+        };
+        let spec = TenantSpec::new("t");
+        // A flash crowd in the first 300 ms, then a light tail: the pool
+        // must grow into the crowd and hand workers back afterwards.
+        let reqs = WorkloadSpec {
+            seed: 31,
+            duration_ns: 2_000_000_000,
+            tenants: vec![TenantLoad::uniform(spec.clone(), 120.0, &kernels())],
+        }
+        .generate_with_bursts(&[crate::loadgen::Burst {
+            tenant: 0,
+            start_ns: 0,
+            end_ns: 300_000_000,
+            factor: 20.0,
+        }]);
+        let mut p = ServePool::new(
+            &HetSystemConfig::default(),
+            vec![spec.clone()],
+            book.clone(),
+            ServeConfig {
+                pool: 1,
+                autoscale: Some(policy),
+                ..ServeConfig::default()
+            },
+        );
+        let scaled = p.run(&reqs).unwrap();
+        assert!(
+            scaled.scale_events.iter().any(|e| e.to > e.from),
+            "the flash crowd must trigger a scale-up: {:?}",
+            scaled.scale_events
+        );
+        assert!(
+            scaled.scale_events.iter().any(|e| e.to < e.from),
+            "the quiet tail must release workers: {:?}",
+            scaled.scale_events
+        );
+        assert!(scaled.capacity_ns > 0);
+        // Cooldown: consecutive actions are at least cooldown_ns apart.
+        for w in scaled.scale_events.windows(2) {
+            assert!(w[1].at_ns >= w[0].at_ns + policy.cooldown_ns);
+        }
+        // Extra capacity cannot serve fewer requests than the pinned
+        // single-worker pool.
+        let pinned = ServePool::new(
+            &HetSystemConfig::default(),
+            vec![spec],
+            book,
+            ServeConfig {
+                pool: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&reqs)
+        .unwrap();
+        assert!(scaled.completed >= pinned.completed);
+    }
+
+    #[test]
+    fn admission_pricing_sheds_batch_class_first() {
+        let book = book();
+        let mut spec = TenantSpec::new("t");
+        spec.queue_cap = 10_000; // pricing, not the per-tenant cap, must bind
+        let load = TenantLoad {
+            class_mix: [1.0, 1.0, 1.0],
+            ..TenantLoad::uniform(spec.clone(), 3_000.0, &kernels())
+        };
+        let reqs = WorkloadSpec {
+            seed: 41,
+            duration_ns: 1_000_000_000,
+            tenants: vec![load],
+        }
+        .generate();
+        let mut p = ServePool::new(
+            &HetSystemConfig::default(),
+            vec![spec],
+            book,
+            ServeConfig {
+                pool: 1,
+                admission: AdmissionPricing::enabled(),
+                ..ServeConfig::default()
+            },
+        );
+        let r = p.run(&reqs).unwrap();
+        assert!(r.priced_out > 0, "overload must price requests out");
+        assert!(r.priced_out <= r.rejected);
+        let by_class =
+            |rank: usize| -> u64 { r.slo.cells.iter().map(|row| row[rank].rejected).sum() };
+        let (interactive, batch) = (by_class(0), by_class(2));
+        assert!(
+            batch > interactive,
+            "batch ({batch}) must shed before interactive ({interactive})"
+        );
     }
 }

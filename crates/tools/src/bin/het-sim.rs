@@ -50,6 +50,8 @@ fn run() -> Result<(), String> {
             "soak",
             "serial",
             "no-fair",
+            "fleet",
+            "autoscale",
             "help",
         ],
     );
@@ -67,7 +69,9 @@ fn run() -> Result<(), String> {
              [--perf] [--engine reference|turbo|microop] [--no-turbo] [--jobs N] \
              [--serve] [--pool N] [--max-batch N] [--serial] [--no-fair] \
              [--serve-seed N] [--duration-ms N] [--tenants N] \
-             [--soak] [--burst-factor F] [--blackout-ms N] [--churn-ms N]"
+             [--soak] [--burst-factor F] [--blackout-ms N] [--churn-ms N] \
+             [--fleet] [--groups N] [--autoscale] [--max-pool N] \
+             [--record-trace FILE] [--replay-trace FILE]"
                 .to_owned(),
         );
     }
@@ -136,6 +140,9 @@ fn run() -> Result<(), String> {
         cfg.pulp_freq_hz = op.freq_hz;
     }
 
+    if args.has("fleet") {
+        return run_fleet(&args, benchmark, &cfg);
+    }
     if args.has("serve") || args.has("soak") {
         return run_serve(&args, benchmark, &cfg, args.has("soak"));
     }
@@ -631,6 +638,224 @@ fn run_serve(
         println!("\ntrace     : {} events → {path}", tracer.events().len());
     }
     Ok(())
+}
+
+/// `--fleet`: shard tenants across node groups and serve the stream
+/// through per-group pools, optionally autoscaled (`--autoscale` grows
+/// and shrinks each group between `--pool` and `--max-pool` workers
+/// against queue depth and tail latency). `--record-trace` captures the
+/// offered request stream to the versioned trace format (`.json` for
+/// the JSON encoding, anything else binary); `--replay-trace` serves a
+/// previously recorded trace instead of generating a workload, so two
+/// fleet configurations can be compared on a byte-identical stream.
+#[allow(clippy::too_many_lines)]
+fn run_fleet(
+    args: &Args,
+    hot: ulp_kernels::Benchmark,
+    cfg: &HetSystemConfig,
+) -> Result<(), String> {
+    use ulp_kernels::Benchmark;
+    use ulp_serve::{
+        fmt_ms, render_scale_log, AdmissionPricing, AutoscalePolicy, BatchPolicy, CostBook, Fleet,
+        FleetConfig, ServeConfig, TenantLoad, TenantSpec, TraceRecorder, TraceReplayer,
+        WorkloadSpec,
+    };
+
+    if cfg.fault.is_active() {
+        return Err(
+            "--fleet shards tenants across independent node groups and does not arm \
+             chaos injection; use --serve/--soak for fault studies"
+                .to_owned(),
+        );
+    }
+
+    let groups = args.get_usize("groups", 2)?.max(1);
+    let pool = args.get_usize("pool", 2)?.max(1);
+    let max_pool = args.get_usize("max-pool", pool * 4)?.max(pool);
+    let max_batch = args.get_usize("max-batch", 8)?.max(1);
+    let seed = args.get_usize("serve-seed", 42)? as u64;
+    let duration_ms = args.get_usize("duration-ms", 1000)?.max(1);
+    let n_tenants = args.get_usize("tenants", groups * 4)?.max(1);
+    let autoscale = args.has("autoscale");
+
+    let env = TargetEnv::pulp_parallel();
+    let book =
+        CostBook::measure(&env, cfg, &Benchmark::ALL).map_err(|e| format!("cost book: {e}"))?;
+
+    let tenants: Vec<TenantSpec> = (0..n_tenants)
+        .map(|i| {
+            let mut t = TenantSpec::new(&format!("tenant-{i}"));
+            t.queue_cap = 256;
+            t
+        })
+        .collect();
+
+    let requests = if let Some(path) = args.get("replay-trace") {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("--replay-trace: cannot read {path}: {e}"))?;
+        let replay =
+            TraceReplayer::decode(&bytes).map_err(|e| format!("--replay-trace: {path}: {e}"))?;
+        let max_tenant = replay.requests().iter().map(|r| r.tenant).max();
+        if let Some(m) = max_tenant {
+            if m >= tenants.len() {
+                return Err(format!(
+                    "--replay-trace: trace names tenant {m} but only {} tenants are \
+                     configured; raise --tenants to at least {}",
+                    tenants.len(),
+                    m + 1
+                ));
+            }
+        }
+        println!(
+            "replay    : {} requests from {path}",
+            replay.requests().len()
+        );
+        replay.into_requests()
+    } else {
+        let mix: Vec<(Benchmark, f64)> = Benchmark::ALL
+            .iter()
+            .map(|&b| (b, if b == hot { 9.0 } else { 1.0 }))
+            .collect();
+        let mix_total: f64 = mix.iter().map(|(_, w)| *w).sum();
+        let mean_ns: f64 = mix
+            .iter()
+            .map(|&(b, w)| book.est_ns(b, 1) as f64 * w / mix_total)
+            .sum();
+        // Offered load sized against the configured per-group floor.
+        let rate = 1.5 * (groups * pool) as f64 * 1e9 / mean_ns;
+        let workload = WorkloadSpec {
+            seed,
+            duration_ns: duration_ms as u64 * 1_000_000,
+            tenants: tenants
+                .iter()
+                .map(|spec| TenantLoad {
+                    spec: spec.clone(),
+                    rate_rps: rate / n_tenants as f64,
+                    kernel_mix: mix.clone(),
+                    class_mix: [0.3, 0.5, 0.2],
+                    iterations: 1,
+                })
+                .collect(),
+        };
+        workload.generate()
+    };
+
+    if let Some(path) = args.get("record-trace") {
+        let mut rec = TraceRecorder::new();
+        rec.record_all(&requests);
+        let bytes = if path.ends_with(".json") {
+            rec.encode_json().into_bytes()
+        } else {
+            rec.encode()
+        };
+        std::fs::write(path, &bytes)
+            .map_err(|e| format!("--record-trace: cannot write {path}: {e}"))?;
+        println!(
+            "trace     : recorded {} requests ({} bytes) -> {path}",
+            requests.len(),
+            bytes.len()
+        );
+    }
+
+    let serve_cfg = ServeConfig {
+        pool,
+        policy: if args.has("serial") {
+            BatchPolicy::Serial
+        } else {
+            BatchPolicy::KernelAware { max_batch }
+        },
+        fair: !args.has("no-fair"),
+        autoscale: autoscale.then(|| AutoscalePolicy::new(pool, max_pool)),
+        admission: if autoscale {
+            AdmissionPricing::enabled()
+        } else {
+            AdmissionPricing::default()
+        },
+        ..ServeConfig::default()
+    };
+    let fleet = Fleet::new(
+        cfg,
+        tenants.clone(),
+        book,
+        FleetConfig {
+            groups,
+            serve: serve_cfg,
+        },
+    );
+    let report = fleet.run(&requests).map_err(|e| e.to_string())?;
+
+    println!(
+        "fleet     : hot kernel {}, {groups} groups x {} workers, {} tenants, seed {seed}",
+        hot.name(),
+        if autoscale {
+            format!("{pool}-{max_pool} (autoscaled)")
+        } else {
+            format!("{pool}")
+        },
+        n_tenants,
+    );
+    println!("load      : {} requests offered", report.offered);
+    println!(
+        "served    : {} completed, {} rejected ({} priced out), {} failed, {} deadline misses",
+        report.completed(),
+        report.rejected(),
+        report.priced_out(),
+        report.failed(),
+        report.deadline_misses()
+    );
+    println!(
+        "throughput: {:.1} rps over {} ms makespan, utilization {:.1}%",
+        report.throughput_rps(),
+        fmt_ms(report.makespan_ns),
+        report.utilization() * 100.0
+    );
+    println!(
+        "latency   : p50 {} ms, p95 {} ms, p99 {} ms",
+        fmt_ms(report.latency.p50_ns),
+        fmt_ms(report.latency.p95_ns),
+        fmt_ms(report.latency.p99_ns)
+    );
+    println!("\nper group:");
+    println!(
+        "  {:<6} {:>7} {:>9} {:>9} {:>8} {:>10}",
+        "group", "tenants", "offered", "completed", "rejected", "p99 ms"
+    );
+    for g in &report.groups {
+        println!(
+            "  {:<6} {:>7} {:>9} {:>9} {:>8} {:>10}",
+            g.group,
+            g.tenants.len(),
+            g.offered,
+            g.report.completed,
+            g.report.rejected,
+            fmt_ms(g.report.latency.p99_ns)
+        );
+    }
+    if autoscale {
+        println!(
+            "\nautoscaler: {} ups, {} downs",
+            report.scale_ups(),
+            report.scale_downs()
+        );
+        print!("{}", render_scale_log(&report.scale_events));
+    }
+
+    let violations = ulp_serve::invariants::check_fleet(&report);
+    if violations.is_empty() {
+        println!(
+            "\ninvariants: OK — {} requests conserved across {groups} groups",
+            report.offered
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("invariant VIOLATION: {v}");
+        }
+        Err(format!(
+            "{} fleet invariant violation(s) at seed {seed}",
+            violations.len()
+        ))
+    }
 }
 
 /// Probes a `--trace` output path up front, before any simulation runs: a

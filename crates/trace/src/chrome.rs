@@ -55,6 +55,7 @@ fn describe(kind: EventKind) -> (&'static str, &'static str, Option<(&'static st
         EventKind::QueueDepth { depth } => {
             ("queue-depth", "serve", Some(("depth", u64::from(depth))))
         }
+        EventKind::Scale { from: _, to } => ("scale", "serve", Some(("to", u64::from(to)))),
     }
 }
 

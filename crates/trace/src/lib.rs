@@ -207,6 +207,14 @@ pub enum EventKind {
         /// Queued requests at the sample instant.
         depth: u32,
     },
+    /// The serving layer's autoscaler changed a pool's active worker
+    /// count.
+    Scale {
+        /// Active workers before the decision.
+        from: u32,
+        /// Active workers after the decision.
+        to: u32,
+    },
 }
 
 /// One recorded event: a component, a kind, and a `[start, start + dur)`

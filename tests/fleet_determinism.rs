@@ -1,0 +1,159 @@
+//! Fleet-scale regressions: the sharded, autoscaled fleet study is a
+//! pure function of its seed, its committed artifacts re-render
+//! byte-identically under every `--jobs` setting, and rendezvous
+//! sharding keeps every stability promise under group add/remove.
+//!
+//! The committed `BENCH_fleet.json`, the golden `fleet_table.txt`, and
+//! the pinned autoscaler decision log `fleet_autoscale.txt` must all
+//! re-render byte-identically on any machine — the whole study
+//! (arrivals, scaling decisions, admission pricing) lives on the
+//! virtual clock.
+
+use ulp_rng::XorShiftRng;
+use ulp_serve::place_tenant;
+
+/// The committed artifact, the golden table, and the pinned autoscaler
+/// decision log must re-render byte-identically whether a fleet's node
+/// groups simulate serially (`--jobs 1`) or concurrently (`--jobs 4`),
+/// the sweep must offer at least a million requests in total, every
+/// cell must scale in *both* directions, and no per-group or
+/// fleet-wide invariant may break.
+#[test]
+fn bench_fleet_json_is_byte_identical_across_jobs() {
+    ulp_par::set_jobs(Some(1));
+    let serial_cells = ulp_bench::fleet::study();
+    let json_1 = ulp_bench::fleet::render_json(&serial_cells);
+    let table_1 = ulp_bench::fleet::render_table(&serial_cells);
+    let log_1 = ulp_bench::fleet::render_decision_log(&serial_cells);
+    for c in &serial_cells {
+        assert!(
+            c.violations.is_empty(),
+            "cell {}w: {:?}",
+            c.spec.max_workers(),
+            c.violations
+        );
+        assert!(
+            c.report.scale_ups() > 0 && c.report.scale_downs() > 0,
+            "cell {}w must scale both up and down ({} ups, {} downs)",
+            c.spec.max_workers(),
+            c.report.scale_ups(),
+            c.report.scale_downs()
+        );
+    }
+    let offered: u64 = serial_cells.iter().map(|c| c.report.offered).sum();
+    assert!(
+        offered >= 1_000_000,
+        "the fleet sweep must offer at least a million requests, got {offered}"
+    );
+    drop(serial_cells); // two studies of raw outcomes need not coexist
+
+    ulp_par::set_jobs(Some(4));
+    let parallel_cells = ulp_bench::fleet::study();
+    ulp_par::set_jobs(None);
+    let json_4 = ulp_bench::fleet::render_json(&parallel_cells);
+    let log_4 = ulp_bench::fleet::render_decision_log(&parallel_cells);
+    assert_eq!(json_1, json_4, "BENCH_fleet.json must not depend on --jobs");
+    assert_eq!(
+        log_1, log_4,
+        "the autoscaler decision log must not depend on --jobs"
+    );
+    assert_eq!(
+        json_1,
+        include_str!("../BENCH_fleet.json"),
+        "committed BENCH_fleet.json is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin fleet -- --json BENCH_fleet.json \
+         --scale-log tests/golden/fleet_autoscale.txt`"
+    );
+    assert_eq!(
+        table_1,
+        include_str!("golden/fleet_table.txt"),
+        "golden fleet table is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin fleet > tests/golden/fleet_table.txt`"
+    );
+    assert_eq!(
+        log_1,
+        include_str!("golden/fleet_autoscale.txt"),
+        "pinned autoscaler decision log is stale; regenerate with \
+         `cargo run --release -p ulp-bench --bin fleet -- --json BENCH_fleet.json \
+         --scale-log tests/golden/fleet_autoscale.txt`"
+    );
+}
+
+/// Seeded sharding battery: random tenant populations and group counts,
+/// checking every rendezvous-placement promise the fleet layer relies
+/// on. Scaled by `ULP_BATTERY_SCALE`; a failing case is recorded to
+/// `target/battery-failures/` for the CI artifact upload.
+///
+/// Per case:
+/// * placement is pure and in range for every tenant;
+/// * growing `G → G+1` moves tenants **only onto the new group**, and
+///   no more than twice the expected `n/(G+1)` of them;
+/// * shrinking `G → G-1` moves **only** the removed group's tenants;
+/// * a tenant is never split: every request of a tenant lands on the
+///   group `place_tenant` names, under any group count.
+#[test]
+fn sharding_battery_keeps_rendezvous_promises_for_every_seed() {
+    const BATTERY_SEED: u64 = 0xF1EE_2026;
+    let scale = ulp_par::battery_scale();
+    let cases: Vec<usize> = (0..8 * scale).collect();
+    let verdicts = ulp_par::par_map(&cases, |_, &case| {
+        let repro = format!(
+            "sharding battery case {case}: seed {BATTERY_SEED:#x} scale {scale} — rerun with \
+             ULP_BATTERY_SCALE={scale} cargo test sharding_battery"
+        );
+        ulp_par::battery_case_in("battery-failures", "fleet_sharding", &repro, || {
+            let mut rng = XorShiftRng::seed_from_u64(BATTERY_SEED ^ ((case as u64) << 17));
+            let n = 64 + (rng.next_u64() % 1024) as usize;
+            let groups = 2 + (rng.next_u64() % 31) as usize;
+            let names: Vec<String> = (0..n)
+                .map(|i| format!("tenant-{:x}-{i}", rng.next_u64()))
+                .collect();
+
+            let before: Vec<usize> = names.iter().map(|t| place_tenant(t, groups)).collect();
+            for (t, &g) in names.iter().zip(&before) {
+                assert!(g < groups, "{t} placed on group {g} of {groups}");
+                assert_eq!(g, place_tenant(t, groups), "{t}: placement must be pure");
+            }
+
+            // Growing: only the new group gains tenants, boundedly many.
+            let grown: Vec<usize> = names.iter().map(|t| place_tenant(t, groups + 1)).collect();
+            let mut moved = 0usize;
+            for (t, (&b, &a)) in names.iter().zip(before.iter().zip(&grown)) {
+                if b != a {
+                    assert_eq!(
+                        a, groups,
+                        "{t} moved {b} -> {a} on grow; only the new group may win"
+                    );
+                    moved += 1;
+                }
+            }
+            assert!(
+                moved <= 2 * n / (groups + 1),
+                "grow moved {moved} of {n} tenants across {groups} -> {} groups",
+                groups + 1
+            );
+
+            // Shrinking: only the removed group's tenants relocate.
+            let shrunk: Vec<usize> = names.iter().map(|t| place_tenant(t, groups - 1)).collect();
+            for (t, (&b, &a)) in names.iter().zip(before.iter().zip(&shrunk)) {
+                if b < groups - 1 {
+                    assert_eq!(
+                        b, a,
+                        "{t} moved {b} -> {a} on shrink; its group still exists"
+                    );
+                }
+            }
+
+            // No tenant splits: the whole-table helper agrees with the
+            // per-tenant placement for every tenant, under both counts.
+            let specs: Vec<ulp_serve::TenantSpec> = names
+                .iter()
+                .map(|t| ulp_serve::TenantSpec::new(t))
+                .collect();
+            assert_eq!(ulp_serve::place_tenants(&specs, groups), before);
+            assert_eq!(ulp_serve::place_tenants(&specs, groups + 1), grown);
+            n
+        })
+    });
+    assert!(verdicts.iter().all(|&n| n > 0));
+}
