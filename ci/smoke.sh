@@ -133,8 +133,32 @@ cargo run --release -q -p ulp-bench --bin simperf -- \
   --jobs 2 --reps 1 --out "$ARTIFACTS/BENCH_simulator.json"
 python3 -m json.tool "$ARTIFACTS/BENCH_simulator.json" > /dev/null
 grep -q '"engine_comparison"' "$ARTIFACTS/BENCH_simulator.json"
+grep -q '"engine_comparison_quad"' "$ARTIFACTS/BENCH_simulator.json"
 grep -q '"core_peak"' "$ARTIFACTS/BENCH_simulator.json"
 grep -q '"simulated_mips"' "$ARTIFACTS/BENCH_simulator.json"
+# The fresh micro-op and epoch speedups must not regress below the
+# committed window. This run is reps=1 on a noisy shared runner, so the
+# gate applies a 0.6x safety factor: it catches "the engine stopped
+# engaging" regressions (ratios collapsing toward 1x), not scheduler
+# noise around the committed value.
+python3 - "$ARTIFACTS/BENCH_simulator.json" BENCH_simulator.json <<'PYEOF'
+import json, sys
+fresh, committed = (json.load(open(p)) for p in sys.argv[1:3])
+checks = [
+    ("engine_comparison.microop_speedup",),
+    ("engine_comparison.epoch_speedup",),
+    ("engine_comparison_quad.epoch_over_microop",),
+]
+fail = False
+for (path,) in checks:
+    section, key = path.split(".")
+    got, want = fresh[section][key], committed[section][key]
+    floor = 0.6 * want
+    status = "ok" if got >= floor else "REGRESSED"
+    print(f"engine gate {status}: {path} fresh {got:.3f} vs committed {want:.3f} (floor {floor:.3f})")
+    fail |= got < floor
+sys.exit(1 if fail else 0)
+PYEOF
 cargo run --release -q -p ulp-bench --bin simperf -- \
   --no-turbo --skip-comparison --out "$SCRATCH/BENCH_reference.json"
 python3 -m json.tool "$SCRATCH/BENCH_reference.json" > /dev/null

@@ -1,9 +1,10 @@
 //! Simulator wall-clock performance tracker: times the evaluation suites,
-//! meters simulated MIPS, runs the in-process three-way engine comparison
-//! (reference vs turbo vs micro-op), and writes `BENCH_simulator.json`.
+//! meters simulated MIPS, runs the in-process four-way engine comparison
+//! (reference vs turbo vs micro-op vs epoch, full sweep plus the
+//! quad-core `pulp_parallel` cell), and writes `BENCH_simulator.json`.
 //!
 //! Usage: `simperf [--jobs N] [--out PATH] [--reps N]
-//! [--engine reference|turbo|microop] [--no-turbo] [--skip-comparison]`
+//! [--engine reference|turbo|microop|epoch] [--no-turbo] [--skip-comparison]`
 
 use ulp_bench::simperf::{self, SuitePerf};
 use ulp_cluster::Engine;
@@ -11,7 +12,7 @@ use ulp_cluster::Engine;
 fn usage() -> ! {
     eprintln!(
         "usage: simperf [--jobs N] [--out PATH] [--reps N] \
-         [--engine reference|turbo|microop] [--no-turbo] [--skip-comparison]"
+         [--engine reference|turbo|microop|epoch] [--no-turbo] [--skip-comparison]"
     );
     std::process::exit(2);
 }
@@ -19,7 +20,7 @@ fn usage() -> ! {
 fn main() {
     let mut out_path = String::from("BENCH_simulator.json");
     let mut reps = 3usize;
-    let mut engine = Engine::Microop;
+    let mut engine = Engine::Epoch;
     let mut comparison_enabled = true;
     let mut rest = ulp_bench::init_jobs_from_args().into_iter();
     while let Some(arg) = rest.next() {
@@ -80,17 +81,31 @@ fn main() {
         );
     }
 
-    let (comparison, peak) = if comparison_enabled {
+    let (comparison, quad, peak) = if comparison_enabled {
         let c = simperf::compare_engines(reps, engine);
         eprintln!(
             "simperf: engine comparison (min of {}): reference {:.3} cpu-s, turbo {:.3} cpu-s \
-             ({:.3}x), microop {:.3} cpu-s ({:.3}x)",
+             ({:.3}x), microop {:.3} cpu-s ({:.3}x), epoch {:.3} cpu-s ({:.3}x)",
             c.reps,
             c.reference_cpu_seconds,
             c.turbo_cpu_seconds,
             c.turbo_speedup(),
             c.microop_cpu_seconds,
-            c.microop_speedup()
+            c.microop_speedup(),
+            c.epoch_cpu_seconds,
+            c.epoch_speedup()
+        );
+        let q = simperf::compare_engines_quad(reps, engine);
+        eprintln!(
+            "simperf: quad-core cell (min of {}): reference {:.3} cpu-s, microop {:.3} cpu-s \
+             ({:.3}x), epoch {:.3} cpu-s ({:.3}x, {:.3}x over microop)",
+            q.reps,
+            q.reference_cpu_seconds,
+            q.microop_cpu_seconds,
+            q.microop_speedup(),
+            q.epoch_cpu_seconds,
+            q.epoch_speedup(),
+            q.epoch_over_microop()
         );
         let p = simperf::core_peak(reps);
         eprintln!(
@@ -100,12 +115,19 @@ fn main() {
             p.microop_mips,
             p.microop_speedup()
         );
-        (Some(c), Some(p))
+        (Some(c), Some(q), Some(p))
     } else {
-        (None, None)
+        (None, None, None)
     };
 
-    let json = simperf::render_json(&suites, comparison.as_ref(), peak.as_ref(), jobs, engine);
+    let json = simperf::render_json(
+        &suites,
+        comparison.as_ref(),
+        quad.as_ref(),
+        peak.as_ref(),
+        jobs,
+        engine,
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("simperf: cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -16,8 +16,43 @@ use crate::event::EventUnit;
 use crate::icache::ICache;
 use crate::l2::L2Memory;
 use crate::stats::ClusterActivity;
-use crate::tcdm::Tcdm;
+use crate::tcdm::{Tcdm, TcdmTimingSnapshot};
 use crate::{EVT_BROADCAST, EVT_EOC, L2_BASE, TCDM_BASE};
+
+/// Epoch engine: first lookahead horizon tried after `start`.
+const EPOCH_HORIZON_START: u64 = 128;
+/// Epoch engine: horizon floor after repeated rollbacks.
+const EPOCH_HORIZON_MIN: u64 = 64;
+/// Epoch engine: horizon ceiling after repeated commits.
+const EPOCH_HORIZON_MAX: u64 = 4096;
+/// Cycles of exact interleaved execution appended past an epoch-failure
+/// point, so clustered causes (cold-I$ fill trains, barrier flurries) are
+/// absorbed by one fallback window instead of one rollback each.
+const EPOCH_FALLBACK_GRACE: u64 = 64;
+/// Fetch-timing result for a speculative I$ miss: far past any horizon, so
+/// the replay exits on its bound check right after the conflicting op.
+/// Small enough that the time arithmetic of a few more ops cannot wrap.
+const EPOCH_CONFLICT_STALL: u64 = 1 << 40;
+/// Epoch engine: maximum boundary top-up rounds (replaying cores that
+/// stopped short of the exact commit boundary a little further) before
+/// the epoch gives up and falls back to exact execution. Rounds are
+/// cheap — each replays only a few cycles per lagging core.
+const EPOCH_TOPUP_ROUNDS: u32 = 8;
+/// Epoch engine: modelled cycles a top-up replay aims past the boundary.
+/// Deliberately tiny: overshooting moves the boundary itself (the
+/// extension's own accesses raise the largest committed issue time),
+/// which would make the other cores lag in turn.
+const EPOCH_TOPUP_GRACE: u64 = 1;
+/// Marks a logged TCDM access as a write (bit 31 of the word index).
+const EPOCH_WRITE_BIT: u32 = 1 << 31;
+/// Epoch engine: repair merge pops between state checkpoints (see
+/// [`RepairCkpt`]). Bounds a resumed pass's re-popped prefix.
+const EPOCH_REPAIR_CKPT_EVERY: u64 = 256;
+/// Epoch engine: modelled cycles per replay chunk round. Wide epochs
+/// replay in chunk rounds with an incremental repair pass between them,
+/// so a data-order violation is detected within a chunk of where it
+/// happened instead of after the whole window was speculated.
+const EPOCH_CHUNK: u64 = 1024;
 
 /// Error raised while running a cluster.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -244,6 +279,616 @@ impl Bus for ClusterBus {
     }
 }
 
+/// Per-word order track for the epoch engine's exact data-flow check in
+/// [`repair_schedule`]. A stale `stamp` means "untouched this pass" —
+/// bumping the stamp invalidates the whole map in O(1).
+#[derive(Clone, Copy, Debug, Default)]
+struct WordTrack {
+    stamp: u64,
+    /// 1 + the largest application sequence among accesses already popped
+    /// (exact-ordered before the current one); 0 = none.
+    max_any: u32,
+    /// Same, over writes only.
+    max_write: u32,
+}
+
+/// One logged TCDM access for the post-replay exact re-simulation.
+#[derive(Clone, Copy, Debug)]
+struct MemAccess {
+    bank: u32,
+    /// TCDM word index, with [`EPOCH_WRITE_BIT`] flagging a write.
+    word_w: u32,
+    /// Application sequence of the replay segment that issued this
+    /// access — the order speculative values were applied to memory in
+    /// (round-one replays in core-index order, then top-up segments).
+    seg: u32,
+    /// Modelled issue time. Every data access is issued at the core's
+    /// op-entry time (and speculative fetches never advance the clock —
+    /// an I$ miss aborts), so per core these are the op start times.
+    now: u64,
+    /// Bank-busy end mark the modelled arbitration computed
+    /// (`ready_at` = stalled start + 1 for the single-beat accesses the
+    /// epoch speculates), i.e. `now + modelled stall + 1`.
+    mark: u64,
+}
+
+/// A periodic snapshot of the repair merge state, so a pass rerun after a
+/// boundary top-up can resume mid-merge instead of starting over.
+///
+/// Valid because pops are monotone in shifted issue time: a core's next
+/// access satisfies `shifted' >= shifted + 1 + exact stall` (the modelled
+/// gap to the next op entry is at least `1 + modelled stall`, and the
+/// shift update replaces the modelled stall with the exact one), so the
+/// greedy min-merge never pops below an earlier pop. Top-up extensions
+/// only append accesses whose eventual pop time is at or above the topped
+/// core's pre-top-up exact stop; any checkpoint at or below the smallest
+/// such stop therefore precedes every merge divergence.
+#[derive(Clone, Copy, Debug)]
+struct RepairCkpt {
+    /// Shifted issue time of the last pop this checkpoint covers.
+    last_shifted: i64,
+    /// Word-track journal length at the checkpoint (rewind target).
+    journal_len: usize,
+    conflict_delta: i64,
+    max_issue: i64,
+    pops: u64,
+}
+
+/// Reusable scratch for the epoch engine: every allocation the speculate /
+/// repair / commit / rollback cycle needs, hoisted out of the per-epoch
+/// path.
+#[derive(Clone, Debug, Default)]
+struct EpochScratch {
+    /// Current pass stamp for `words` (see [`WordTrack::stamp`]).
+    stamp: u64,
+    /// Per-TCDM-word order tracks, sized lazily on first epoch.
+    words: Vec<WordTrack>,
+    /// Per-core TCDM access logs, each in program order.
+    logs: Vec<Vec<MemAccess>>,
+    /// Byte-level undo log of every speculative TCDM mutation, in commit
+    /// order: `(addr, len, old bytes)`.
+    undo: Vec<(u32, u8, [u8; 4])>,
+    /// Pre-replay snapshots of the cores that entered the epoch.
+    saved_cores: Vec<(usize, Core)>,
+    /// Pre-epoch TCDM timing/PMU state.
+    tcdm_snap: TcdmTimingSnapshot,
+    /// Per-bank free clock of the exact re-simulation; on commit this
+    /// *is* the reference's bank state.
+    repair_free: Vec<u64>,
+    /// Per-core accumulated timeline shift (exact minus modelled stalls).
+    sigma: Vec<i64>,
+    /// Per-core running max of `sigma`, for the deadline-crossing guard.
+    sigma_max: Vec<i64>,
+    /// Per-core merge cursors of the re-simulation.
+    cursors: Vec<usize>,
+    /// Per-core cached shifted issue time of the cursor head
+    /// (`i64::MAX` = log exhausted), so a merge pop re-derives one
+    /// entry instead of re-reading four logs.
+    next_key: Vec<i64>,
+    /// Bitmap of TCDM words written by any replay this epoch, filled at
+    /// log time. Reads of never-written words — the vast majority —
+    /// skip the data-flow check entirely: with no write this epoch, no
+    /// order can contradict the applied values. Keeps the hot repair
+    /// loop out of the (cache-hostile) per-word track map.
+    written: Vec<u64>,
+    /// Committed `sigma` of the previous epoch. Kernels are loopy, so a
+    /// core's stall-modelling error repeats epoch over epoch; biasing
+    /// each core's replay bound by it lands the exact stop times close
+    /// together, which is what the boundary check needs.
+    sigma_prev: Vec<i64>,
+    /// Undo journal of `words` updates in the current repair pass:
+    /// `(word, previous track)`, pushed before each slow-path update so a
+    /// resume can rewind the map to a checkpoint. Entries are deduped
+    /// per era (see [`EpochScratch::journal_era`]): within an era only
+    /// the first touch of a word is journaled — its value at era start —
+    /// so a reverse rewind over whole eras still lands exactly on the
+    /// checkpoint state, and a hot accumulator word costs one entry per
+    /// era instead of one per access.
+    journal: Vec<(u32, WordTrack)>,
+    /// Journal-dedup era, bumped at every checkpoint push and at every
+    /// repair-pass entry (so marks left in a rewound suffix can never
+    /// suppress a needed push). Monotone for the scratch's lifetime.
+    journal_era: u64,
+    /// Per-word era of the last journal push; a word is journaled at
+    /// most once per era.
+    journal_mark: Vec<u64>,
+    /// Periodic merge-state checkpoints of the current repair pass
+    /// (ascending `last_shifted`), with their per-bank free clocks and
+    /// per-core lanes flattened alongside.
+    ckpts: Vec<RepairCkpt>,
+    /// `nbanks` free-clock entries per checkpoint.
+    ckpt_free: Vec<u64>,
+    /// `2 * ncores` entries per checkpoint: `sigma`, then `sigma_max`.
+    ckpt_lanes: Vec<i64>,
+    /// `ncores` merge-cursor entries per checkpoint.
+    ckpt_cursors: Vec<usize>,
+}
+
+/// The epoch engine's speculation bus: wraps the real [`ClusterBus`] with
+/// the access log and the undo log, so one core's private replay can run
+/// the ordinary micro-op path unmodified.
+///
+/// Each core replays against the *pre-epoch* bank-free state (the loop
+/// restores it between segments), blind to the other cores: its modelled
+/// stalls are self-arbitration only, and every mis-modelled cross-core
+/// stall is re-derived exactly from the logs by [`repair_schedule`]
+/// afterwards. (A per-access model of the other cores' replayed marks was
+/// tried here and removed: it cost more per access than the smaller
+/// repair shifts saved.) What the replay cannot repair it aborts on the
+/// spot by flagging `conflict_at`: accesses outside the word-granular log
+/// model (split accesses, DMA registers, L2 stores), I$ misses, and raw
+/// fetches.
+struct EpochBus<'a> {
+    bus: &'a mut ClusterBus,
+    /// The replaying core's access log (appended in program order; taken
+    /// out of [`EpochScratch::logs`] for the duration of the replay).
+    log: &'a mut Vec<MemAccess>,
+    /// See [`EpochScratch::written`].
+    written: &'a mut [u64],
+    undo: &'a mut Vec<(u32, u8, [u8; 4])>,
+    /// Application sequence of this replay segment.
+    seg: u32,
+    /// Whether the cross-core machinery is live (more than one core
+    /// replays this epoch). A solo replay *is* the exact global schedule
+    /// — no other core can access memory while the rest sleep — so it
+    /// skips lift modelling and access logging entirely.
+    checks: bool,
+    /// Issue time of the first access the speculation could not keep
+    /// exact; `Some` aborts the epoch.
+    conflict_at: Option<u64>,
+}
+
+impl EpochBus<'_> {
+    /// Locates an access for the log: returns the bank and word indices.
+    /// `None` aborts the epoch: an access crossing a word boundary takes
+    /// a second beat on the next bank, which the one-mark-per-access log
+    /// cannot represent.
+    fn pre_access(&mut self, now: u64, addr: u32, len: u32) -> Option<(usize, u32)> {
+        if !self.checks {
+            return Some((0, 0));
+        }
+        let base = self.bus.tcdm.base();
+        let word = (addr - base) >> 2;
+        if (addr + len - 1 - base) >> 2 != word {
+            self.conflict_at.get_or_insert(now);
+            return None;
+        }
+        Some((self.bus.tcdm.bank_index(addr), word))
+    }
+
+    /// Logs one arbitrated access for [`repair_schedule`].
+    fn log_access(&mut self, bank: usize, word: u32, write: bool, now: u64, mark: u64) {
+        if self.checks {
+            self.log.push(MemAccess {
+                bank: bank as u32,
+                word_w: word | if write { EPOCH_WRITE_BIT } else { 0 },
+                seg: self.seg,
+                now,
+                mark,
+            });
+            if write {
+                self.written[(word >> 6) as usize] |= 1 << (word & 63);
+            }
+        }
+    }
+
+    /// Logs the bytes a TCDM mutation is about to clobber.
+    fn log_undo(&mut self, addr: u32, len: u32) -> Result<(), BusError> {
+        let old = self.bus.tcdm.read_bytes(addr, len as usize)?;
+        let mut bytes = [0u8; 4];
+        bytes[..old.len()].copy_from_slice(old);
+        self.undo.push((addr, len as u8, bytes));
+        Ok(())
+    }
+
+    /// Flags an access the epoch must never speculate (DMA registers, L2
+    /// stores) and returns the error that unwinds the replay; the exact
+    /// fallback window re-executes the access for real, with real errors.
+    fn refuse(&mut self, now: u64, addr: u32) -> BusError {
+        self.conflict_at.get_or_insert(now);
+        BusError::Unmapped { addr }
+    }
+}
+
+impl Bus for EpochBus<'_> {
+    fn load(
+        &mut self,
+        _core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+    ) -> Result<Access, BusError> {
+        if self.bus.tcdm.contains(addr) {
+            let Some((bank, word)) = self.pre_access(now, addr, size.bytes()) else {
+                return Err(BusError::Unmapped { addr });
+            };
+            let (value, ready_at) = self.bus.tcdm.load(now, addr, size)?;
+            self.log_access(bank, word, false, now, ready_at);
+            Ok(Access { value, ready_at })
+        } else if crate::dma_mmio_contains(addr) {
+            // DMA status reads race the (globally ordered) transfer clock.
+            Err(self.refuse(now, addr))
+        } else if self.bus.l2.contains(addr) {
+            // Constant latency, read-only within an epoch (L2 stores
+            // abort), counter snapshot-restored on rollback: safe.
+            let value = self.bus.l2.load_raw(addr, size)?;
+            Ok(Access {
+                value,
+                ready_at: now + u64::from(self.bus.l2_data_latency),
+            })
+        } else {
+            // A genuine fault: unwind, and let the exact window reproduce
+            // the error with reference-identical surfacing.
+            Err(BusError::Unmapped { addr })
+        }
+    }
+
+    fn store(
+        &mut self,
+        _core_id: usize,
+        now: u64,
+        addr: u32,
+        size: MemSize,
+        value: u32,
+    ) -> Result<u64, BusError> {
+        if self.bus.tcdm.contains(addr) {
+            let Some((bank, word)) = self.pre_access(now, addr, size.bytes()) else {
+                return Err(BusError::Unmapped { addr });
+            };
+            self.log_undo(addr, size.bytes())?;
+            let done = self.bus.tcdm.store(now, addr, size, value)?;
+            self.log_access(bank, word, true, now, done);
+            Ok(done)
+        } else if crate::dma_mmio_contains(addr) || self.bus.l2.contains(addr) {
+            // DMA launches are globally ordered; L2 stores invalidate the
+            // decoded side table. Neither rolls back: re-run exactly.
+            Err(self.refuse(now, addr))
+        } else {
+            Err(BusError::Unmapped { addr })
+        }
+    }
+
+    fn tas(&mut self, _core_id: usize, now: u64, addr: u32) -> Result<Access, BusError> {
+        if self.bus.tcdm.contains(addr) {
+            let Some((bank, word)) = self.pre_access(now, addr, 4) else {
+                return Err(BusError::Unmapped { addr });
+            };
+            self.log_undo(addr, 4)?;
+            let (value, ready_at) = self.bus.tcdm.tas(now, addr)?;
+            self.log_access(bank, word, true, now, ready_at);
+            Ok(Access { value, ready_at })
+        } else {
+            Err(BusError::Unmapped { addr })
+        }
+    }
+
+    fn fetch(&mut self, _core_id: usize, now: u64, pc: u32) -> Result<Fetched, BusError> {
+        // Block replay never decodes through the bus; reaching here would
+        // mean stepping outside the translated path — don't speculate it.
+        Err(self.refuse(now, pc))
+    }
+
+    fn fetch_timing(&mut self, _core_id: usize, now: u64, pc: u32) -> u64 {
+        // Hits are order-independent (direct-mapped, tags untouched; the
+        // hot-line filter is semantically invisible), so they commit; the
+        // hit counter is snapshot-restored on rollback. A miss would fill
+        // a tag other cores' interleaved fetches might see first: abort,
+        // pushing the clock past every bound so the replay exits right
+        // after this op.
+        if self.conflict_at.is_none() && self.bus.icache.probe_hit(pc) {
+            now
+        } else {
+            self.conflict_at.get_or_insert(now);
+            now + EPOCH_CONFLICT_STALL
+        }
+    }
+
+    fn microop_block(&mut self, _core_id: usize, pc: u32, model: &CoreModel) -> Option<Arc<Block>> {
+        // Translation is cache-transparent: no code write commits inside
+        // an epoch, so the decode generation cannot move mid-replay.
+        self.bus.l2.microop_block(pc, model)
+    }
+
+    fn code_generation(&self) -> u64 {
+        self.bus.l2.decode_generation()
+    }
+}
+
+/// Replays one core privately up to the modelled time `bound`. Returns
+/// `None` when the core cleanly consumed its window — bound reached, or
+/// halted (core-private, commutes with every other replay) — or
+/// `Some(fail_time)` when the epoch must roll back: a conflict flagged by
+/// the bus, a scheduler-visible outcome (sleep, event, barrier), a
+/// `CycleLo` read (the one value the clock feeds — a repaired commit
+/// would have produced a different read), a PC with no translatable
+/// block, or a fault. `fail_time` tells the fallback how far exact
+/// execution must run to get past the cause.
+///
+/// Entering with `time > bound` is allowed (boundary top-ups do): the
+/// post-op bound check still guarantees at least one op of progress, and
+/// the committed per-core prefixes are arbitrary — [`repair_schedule`]
+/// and the boundary check carry the correctness argument, not the cut.
+#[allow(clippy::too_many_arguments)]
+fn replay_core(
+    core: &mut Core,
+    bus: &mut ClusterBus,
+    index: usize,
+    seg: u32,
+    deadline: u64,
+    bound: u64,
+    checks: bool,
+    epoch: &mut EpochScratch,
+) -> Option<u64> {
+    let cycle_reads = core.cycle_csr_reads();
+    let mut own_log = std::mem::take(&mut epoch.logs[index]);
+    let mut ebus = EpochBus {
+        bus,
+        log: &mut own_log,
+        written: &mut epoch.written,
+        undo: &mut epoch.undo,
+        seg,
+        checks,
+        conflict_at: None,
+    };
+    let fail = loop {
+        let exit = core.exec_resume(&mut ebus, deadline, bound);
+        if let Some(t) = ebus.conflict_at {
+            break Some(t);
+        }
+        match exit {
+            Ok(Some(BlockExit::Bound | BlockExit::Deadline)) => break None,
+            Ok(Some(BlockExit::Outcome(StepOutcome::Halted))) => break None,
+            Ok(Some(BlockExit::Redirect)) => {}
+            Ok(Some(BlockExit::Outcome(_))) | Ok(None) | Err(_) => {
+                break Some(core.time());
+            }
+        }
+    };
+    epoch.logs[index] = own_log;
+    if fail.is_none() && checks && core.cycle_csr_reads() != cycle_reads {
+        return Some(core.time());
+    }
+    fail
+}
+
+/// Exact post-replay re-simulation of the TCDM arbiter over the merged
+/// per-core access logs, in the reference's processing order
+/// `(exact issue time, core index)` — the repair pass that turns the
+/// modelled private schedules into the proven reference one.
+///
+/// The modelled issue times in the logs are wrong wherever a replay
+/// mis-modelled a cross-core stall, but the *gaps* between one core's
+/// accesses are timing-independent: no architectural value depends on
+/// the clock (`CycleLo` reads abort the epoch), so mis-timed stalls
+/// shift a core's subsequent ops rigidly without changing what they do.
+/// Each core's exact timeline is therefore its modelled one plus a
+/// running shift `sigma`: for every access, exact issue = modelled
+/// issue + `sigma`; the exact stall `d_e` falls out of the re-simulated
+/// bank free clock; the modelled stall `d_m` is recovered from the
+/// logged mark (`mark - issue - 1`); and `sigma += d_e - d_m`. A merge
+/// by shifted issue time (lower core index wins ties, the reference
+/// tie-break) thus reconstructs the exact arbitration chain — stalls,
+/// conflict counts, final bank state — without re-executing anything.
+///
+/// Data flow is validated in the same pass. Speculative values hit
+/// memory in application-sequence order (`seg`), so the replayed values
+/// are exact iff the exact order never contradicts it: popping an access
+/// (exact order) whose word saw an application-*later* write — or
+/// popping a write whose word saw any application-later access — means
+/// some replay read or clobbered the wrong value. Both directions reduce
+/// to one check per pop against per-word running maxima of popped
+/// segments (the reverse direction is caught when the other access of
+/// the pair pops).
+///
+/// On success, `epoch.sigma` holds each core's final shift,
+/// `epoch.sigma_max` its running maximum, `epoch.repair_free` the exact
+/// final bank state, and the result carries the conflict-count
+/// correction (exact minus modelled stalled accesses) plus the largest
+/// exact issue time, which the epoch boundary check needs. On failure,
+/// returns `Err(modelled issue time)` of the offending access for the
+/// fallback window.
+///
+/// `resume_before` reruns the pass after a boundary top-up: the merge
+/// resumes from the latest checkpoint at or below the given shifted time
+/// (the smallest pre-top-up exact stop among the topped-up cores — see
+/// [`RepairCkpt`] for why that is a divergence-free prefix) instead of
+/// re-popping the whole epoch.
+fn repair_schedule(
+    epoch: &mut EpochScratch,
+    ncores: usize,
+    resume_before: Option<i64>,
+) -> Result<(i64, i64), u64> {
+    let nbanks = epoch.tcdm_snap.bank_free.len();
+    let mut conflict_delta = 0i64;
+    let mut max_issue = i64::MIN;
+    let mut pops = 0u64;
+    let mut resumed = false;
+    if let Some(limit) = resume_before {
+        // Latest checkpoint whose last pop is at or below the limit;
+        // everything after it is rewound and re-popped.
+        let mut k = epoch.ckpts.len();
+        while k > 0 && epoch.ckpts[k - 1].last_shifted > limit {
+            k -= 1;
+        }
+        if k > 0 {
+            let ck = epoch.ckpts[k - 1];
+            while epoch.journal.len() > ck.journal_len {
+                let (w, t) = epoch.journal.pop().expect("len checked");
+                epoch.words[w as usize] = t;
+            }
+            epoch.repair_free.clear();
+            epoch
+                .repair_free
+                .extend_from_slice(&epoch.ckpt_free[(k - 1) * nbanks..][..nbanks]);
+            let lanes = &epoch.ckpt_lanes[(k - 1) * 2 * ncores..][..2 * ncores];
+            epoch.sigma.clear();
+            epoch.sigma.extend_from_slice(&lanes[..ncores]);
+            epoch.sigma_max.clear();
+            epoch.sigma_max.extend_from_slice(&lanes[ncores..]);
+            epoch.cursors.clear();
+            epoch
+                .cursors
+                .extend_from_slice(&epoch.ckpt_cursors[(k - 1) * ncores..][..ncores]);
+            conflict_delta = ck.conflict_delta;
+            max_issue = ck.max_issue;
+            pops = ck.pops;
+            epoch.ckpts.truncate(k);
+            epoch.ckpt_free.truncate(k * nbanks);
+            epoch.ckpt_lanes.truncate(k * 2 * ncores);
+            epoch.ckpt_cursors.truncate(k * ncores);
+            resumed = true;
+        }
+    }
+    if !resumed {
+        epoch.stamp += 1;
+        epoch.repair_free.clear();
+        epoch
+            .repair_free
+            .extend_from_slice(&epoch.tcdm_snap.bank_free);
+        epoch.cursors.clear();
+        epoch.cursors.resize(ncores, 0);
+        epoch.sigma.clear();
+        epoch.sigma.resize(ncores, 0);
+        epoch.sigma_max.clear();
+        epoch.sigma_max.resize(ncores, 0);
+        epoch.journal.clear();
+        epoch.ckpts.clear();
+        epoch.ckpt_free.clear();
+        epoch.ckpt_lanes.clear();
+        epoch.ckpt_cursors.clear();
+    }
+    epoch.journal_era += 1;
+    let stamp = epoch.stamp;
+    // Split borrows for the merge below — the hot loop of every repair
+    // pass. Indexed through `epoch`, every store forces the optimizer to
+    // re-load each vector's base pointer (it cannot prove the heap
+    // buffers are disjoint); per-field slices keep the loop state in
+    // registers.
+    let EpochScratch {
+        logs,
+        words,
+        written,
+        sigma,
+        sigma_max,
+        cursors,
+        next_key,
+        repair_free,
+        journal,
+        journal_era,
+        journal_mark,
+        ckpts,
+        ckpt_free,
+        ckpt_lanes,
+        ckpt_cursors,
+        ..
+    } = epoch;
+    let logs: &[Vec<MemAccess>] = &logs[..ncores];
+    let words = words.as_mut_slice();
+    let written = written.as_slice();
+    let journal_mark = journal_mark.as_mut_slice();
+    let repair_free = repair_free.as_mut_slice();
+    // Per-core shifted head keys, cached so a pop re-derives one entry
+    // instead of re-reading four log heads. Recomputed on resume too:
+    // top-ups may have extended logs a checkpoint saw as exhausted.
+    next_key.clear();
+    for c in 0..ncores {
+        next_key.push(
+            logs[c]
+                .get(cursors[c])
+                .map_or(i64::MAX, |e| e.now as i64 + sigma[c]),
+        );
+    }
+    let next_key = next_key.as_mut_slice();
+    let sigma = sigma.as_mut_slice();
+    let sigma_max = sigma_max.as_mut_slice();
+    let cursors = cursors.as_mut_slice();
+    let mut next_ckpt_at = (pops / EPOCH_REPAIR_CKPT_EVERY + 1) * EPOCH_REPAIR_CKPT_EVERY;
+    let mut last_shifted = i64::MIN;
+    loop {
+        // Next access in exact `(shifted issue, core)` order; the strict
+        // `<` over an ascending core scan is the low-index tie-break.
+        let mut shifted = i64::MAX;
+        let mut c = usize::MAX;
+        for (i, &k) in next_key.iter().enumerate() {
+            if k < shifted {
+                shifted = k;
+                c = i;
+            }
+        }
+        if c == usize::MAX {
+            break;
+        }
+        if pops == next_ckpt_at {
+            next_ckpt_at += EPOCH_REPAIR_CKPT_EVERY;
+            ckpts.push(RepairCkpt {
+                last_shifted,
+                journal_len: journal.len(),
+                conflict_delta,
+                max_issue,
+                pops,
+            });
+            ckpt_free.extend_from_slice(repair_free);
+            ckpt_lanes.extend_from_slice(sigma);
+            ckpt_lanes.extend_from_slice(sigma_max);
+            ckpt_cursors.extend_from_slice(cursors);
+            *journal_era += 1;
+        }
+        pops += 1;
+        last_shifted = shifted;
+        let e = logs[c][cursors[c]];
+        cursors[c] += 1;
+
+        // Exact arbitration of this access.
+        let f = &mut repair_free[e.bank as usize];
+        let start = shifted.max(*f as i64);
+        let d_e = start - shifted;
+        let d_m = (e.mark - e.now) as i64 - 1;
+        conflict_delta += i64::from(d_e > 0) - i64::from(d_m > 0);
+        *f = (start + 1) as u64;
+        sigma[c] += d_e - d_m;
+        sigma_max[c] = sigma_max[c].max(sigma[c]);
+        max_issue = max_issue.max(shifted);
+        next_key[c] = logs[c]
+            .get(cursors[c])
+            .map_or(i64::MAX, |n| n.now as i64 + sigma[c]);
+
+        // Exact-vs-application data-flow order. Reads of words no replay
+        // wrote this epoch need no check or tracking: with no write, no
+        // order can contradict the applied values, and their running
+        // maxima would only ever gate a write to the same word. The
+        // bitmap test keeps the common all-read case out of the
+        // cache-hostile per-word map.
+        let write = e.word_w & EPOCH_WRITE_BIT != 0;
+        let word = e.word_w & !EPOCH_WRITE_BIT;
+        if !write && written[(word >> 6) as usize] & (1 << (word & 63)) == 0 {
+            continue;
+        }
+        let wi = word as usize;
+        if journal_mark[wi] != *journal_era {
+            journal_mark[wi] = *journal_era;
+            journal.push((word, words[wi]));
+        }
+        let t = &mut words[wi];
+        if t.stamp != stamp {
+            *t = WordTrack {
+                stamp,
+                max_any: 0,
+                max_write: 0,
+            };
+        }
+        let seg1 = e.seg + 1;
+        let hazard = if write { t.max_any } else { t.max_write };
+        if hazard > seg1 {
+            return Err(e.now);
+        }
+        t.max_any = t.max_any.max(seg1);
+        if write {
+            t.max_write = t.max_write.max(seg1);
+        }
+    }
+    Ok((conflict_delta, max_issue))
+}
+
 /// A simulated PULP-style cluster.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
@@ -257,6 +902,11 @@ pub struct Cluster {
     start_time: u64,
     tracer: Tracer,
     engine: crate::Engine,
+    /// Scheduling-key shadow array, reused across runs (the micro-op and
+    /// epoch loops re-initialize it; per-run allocation was measurable on
+    /// the repeated cold+warm offload pattern).
+    sched_keys: Vec<u64>,
+    epoch: EpochScratch,
 }
 
 impl Cluster {
@@ -300,6 +950,8 @@ impl Cluster {
             start_time: 0,
             tracer: Tracer::disabled(),
             engine: crate::default_engine(),
+            sched_keys: Vec::new(),
+            epoch: EpochScratch::default(),
         }
     }
 
@@ -321,11 +973,11 @@ impl Cluster {
     }
 
     /// Compatibility shim for the original two-engine knob: `true` selects
-    /// the fastest batching engine ([`crate::Engine::Microop`]), `false`
+    /// the fastest batching engine ([`crate::Engine::Epoch`]), `false`
     /// the reference scheduler. Prefer [`Cluster::set_engine`].
     pub fn set_turbo(&mut self, on: bool) {
         self.engine = if on {
-            crate::Engine::Microop
+            crate::Engine::Epoch
         } else {
             crate::Engine::Reference
         };
@@ -533,12 +1185,14 @@ impl Cluster {
     /// Runs until every core has halted (or faults/deadlocks/times out).
     ///
     /// Cores are interleaved lowest-local-time-first so shared-resource
-    /// arbitration happens in approximate global order. Three engines
+    /// arbitration happens in approximate global order. Four engines
     /// implement that schedule — the reference one-instruction-per-scan
-    /// loop, a turbo loop that batches the frontmost core, and a micro-op
-    /// loop that additionally replays pre-decoded basic blocks (see
-    /// [`Cluster::set_engine`]); they retire the exact same instruction
-    /// sequence and produce bit-identical results.
+    /// loop, a turbo loop that batches the frontmost core, a micro-op
+    /// loop that additionally replays pre-decoded basic blocks, and an
+    /// epoch loop that speculatively replays every core privately up to a
+    /// conflict-checked horizon (see [`Cluster::set_engine`]); they retire
+    /// the exact same instruction sequence and produce bit-identical
+    /// results.
     ///
     /// # Errors
     ///
@@ -550,6 +1204,7 @@ impl Cluster {
             crate::Engine::Reference => self.run_loop_reference(deadline, max_cycles)?,
             crate::Engine::Turbo => self.run_loop_turbo(deadline, max_cycles)?,
             crate::Engine::Microop => self.run_loop_microop(deadline, max_cycles)?,
+            crate::Engine::Epoch => self.run_loop_epoch(deadline, max_cycles)?,
         }
 
         let end_time = self
@@ -701,6 +1356,21 @@ impl Cluster {
     /// mid-block for the cost of a pc + generation compare instead of a
     /// cache look-up and an `Arc` round-trip per batch.
     fn run_loop_microop(&mut self, deadline: u64, max_cycles: u64) -> Result<(), ClusterError> {
+        self.run_loop_microop_until(deadline, max_cycles, u64::MAX)
+    }
+
+    /// [`Self::run_loop_microop`] with a pause point: once the frontmost
+    /// *running* core's local time exceeds `until`, the loop returns
+    /// `Ok(())` at a scan boundary (a consistent scheduler state) instead
+    /// of running to halt. `u64::MAX` never pauses — the plain micro-op
+    /// run. The epoch engine uses a finite `until` as its exact-execution
+    /// fallback window after a rollback.
+    fn run_loop_microop_until(
+        &mut self,
+        deadline: u64,
+        max_cycles: u64,
+        until: u64,
+    ) -> Result<(), ClusterError> {
         let shift = usize::BITS - self.cores.len().saturating_sub(1).leading_zeros();
         let index_mask = (1u64 << shift) - 1;
         let key_of = |c: &Core, i: usize| {
@@ -716,14 +1386,17 @@ impl Cluster {
         // array instead and only the entries that could have changed are
         // refreshed: the core that just ran, or all of them after an
         // outcome with cluster-level side effects (wake-ups move other
-        // cores' clocks).
-        let mut keys: Vec<u64> = (0..self.cores.len())
-            .map(|i| key_of(&self.cores[i], i))
-            .collect();
+        // cores' clocks). The array itself lives on the cluster so the
+        // repeated cold+warm offload runs (and every epoch fallback
+        // window) reuse one allocation.
+        self.sched_keys.clear();
+        for i in 0..self.cores.len() {
+            self.sched_keys.push(key_of(&self.cores[i], i));
+        }
         'outer: loop {
             let mut best = u64::MAX;
             let mut second = u64::MAX;
-            for &key in &keys {
+            for &key in &self.sched_keys {
                 second = second.min(best.max(key));
                 best = best.min(key);
             }
@@ -732,6 +1405,9 @@ impl Cluster {
                     return Ok(());
                 }
                 return Err(ClusterError::Deadlock);
+            }
+            if (best >> shift) > until {
+                return Ok(());
             }
             let i = (best & index_mask) as usize;
             // The largest local time that keeps `(time, i)` ahead of the
@@ -751,7 +1427,7 @@ impl Cluster {
                     match exit {
                         BlockExit::Outcome(outcome) => break outcome,
                         BlockExit::Bound => {
-                            keys[i] = key_of(&self.cores[i], i);
+                            self.sched_keys[i] = key_of(&self.cores[i], i);
                             continue 'outer;
                         }
                         BlockExit::Deadline => {
@@ -775,16 +1451,456 @@ impl Cluster {
                     break outcome;
                 }
                 if ((self.cores[i].time() << shift) | i as u64) > second {
-                    keys[i] = key_of(&self.cores[i], i);
+                    self.sched_keys[i] = key_of(&self.cores[i], i);
                     continue 'outer;
                 }
             };
             self.apply_outcome(i, outcome);
             // Barrier releases and events may have woken (and re-clocked)
             // any core: refresh every key on this rare path.
-            for (j, key) in keys.iter_mut().enumerate() {
+            for (j, key) in self.sched_keys.iter_mut().enumerate() {
                 *key = key_of(&self.cores[j], j);
             }
+        }
+    }
+
+    /// Epoch scheduler: break the lockstep batching ceiling with optimistic
+    /// per-core replay. Each round picks a horizon past the frontmost
+    /// running core's time, snapshots the speculation-mutable state, and
+    /// lets every resident core replay its micro-op blocks *privately* up
+    /// to that horizon — modelling cross-core TCDM conflict stalls from
+    /// the already-replayed segments' bank marks as it goes (see
+    /// [`EpochBus`]) — then repairs the modelled timelines into the exact
+    /// interleaved one ([`repair_schedule`]) and commits cycles, retires,
+    /// memory traffic and TCDM arbitration in bulk. What cannot be
+    /// repaired — a cross-core data-order violation, an I$ miss, a
+    /// scheduler-visible outcome (sleep/event/barrier), a `CycleLo` read,
+    /// a fault, or a commit boundary that top-ups cannot close — rolls
+    /// the whole epoch back and runs an exact micro-op window past the
+    /// failure point instead.
+    ///
+    /// Correctness argument, per committed epoch: no event, wake, barrier
+    /// or sleep commits speculatively, so the committed work is "each
+    /// running core runs some prefix of its future ops". Per-core state
+    /// composes trivially (replay executes the real micro-op path), and
+    /// the cut points are arbitrary; what must be proven exact is the
+    /// shared state. (a) TCDM: access streams are timing-independent (the
+    /// only clock-dependent value, `CycleLo`, aborts), so the logs
+    /// determine the exact arbitration; [`repair_schedule`] re-derives
+    /// it, patches each core's clock and stall counter by its accumulated
+    /// shift (every data stall adds `start - issue` to both, so the
+    /// uniform patch is exact), corrects the conflict counter, installs
+    /// the exact final bank clocks, and validates word-level data flow
+    /// against application order. (b) The boundary check guarantees every
+    /// *future* access sorts after every committed one — each running
+    /// core's exact resume time must clear the epoch's largest exact
+    /// issue time (cores short of it are replayed a bit further first) —
+    /// so later arbitration against the committed bank clocks stays
+    /// exact; a sleeping core cannot sneak in earlier, since its waker's
+    /// own ops lie past that boundary. (c) The deadline guard: a positive
+    /// shift could move a committed op past the run deadline, executing
+    /// work the reference would have timed out before — epochs start only
+    /// a full horizon clear of the deadline, and a commit whose shifted
+    /// op starts could cross it aborts (the exact tail reproduces
+    /// timeouts bit-identically). (d) I$ hits are order-independent (tags
+    /// untouched), misses abort; L2 data loads are constant-latency
+    /// reads; the remaining counters are order-free sums. Rollback
+    /// restores cores from snapshots, TCDM bytes from the undo log
+    /// (newest first), and the touched counters, so a failed epoch is
+    /// state-identical to never having speculated.
+    ///
+    /// The horizon adapts — doubling on commit, halving on rollback —
+    /// driven only by simulated state, so runs are deterministic across
+    /// hosts and `--jobs`. Structured tracing needs events in exact global
+    /// order, which per-core replay does not produce: trace runs delegate
+    /// to the micro-op engine wholesale (bit-identical by battery).
+    fn run_loop_epoch(&mut self, deadline: u64, max_cycles: u64) -> Result<(), ClusterError> {
+        if self.tracer.is_enabled() {
+            return self.run_loop_microop(deadline, max_cycles);
+        }
+        let words = self.bus.tcdm.size() / 4;
+        if self.epoch.words.len() < words {
+            self.epoch.words.resize(words, WordTrack::default());
+        }
+        if self.epoch.written.len() < words.div_ceil(64) {
+            self.epoch.written.resize(words.div_ceil(64), 0);
+        }
+        if self.epoch.journal_mark.len() < words {
+            self.epoch.journal_mark.resize(words, 0);
+        }
+        let ncores = self.cores.len();
+        if self.epoch.logs.len() < ncores {
+            self.epoch.logs.resize_with(ncores, Vec::new);
+        }
+        self.epoch.sigma_prev.clear();
+        self.epoch.sigma_prev.resize(ncores, 0);
+        /// Verified-prefix rewind point for commit salvage: everything a
+        /// failure after the snapshot needs restored to make the window
+        /// end at the snapshot's chunk boundary instead.
+        struct Salvage {
+            cores: Vec<Core>,
+            undo_len: usize,
+            log_lens: Vec<usize>,
+            tcdm: TcdmTimingSnapshot,
+            l2_accesses: u64,
+            icache_hits: u64,
+        }
+        let mut horizon = EPOCH_HORIZON_START;
+        loop {
+            let mut front = u64::MAX;
+            for c in &self.cores {
+                if c.state() == CoreState::Running {
+                    front = front.min(c.time());
+                }
+            }
+            if front == u64::MAX {
+                if self.cores.iter().all(|c| c.state() == CoreState::Halted) {
+                    return Ok(());
+                }
+                return Err(ClusterError::Deadlock);
+            }
+            if front > deadline {
+                return Err(ClusterError::Timeout { max_cycles });
+            }
+            if front.saturating_add(horizon) > deadline {
+                // Within one horizon of the deadline: finish exactly, so
+                // no repaired commit can shift work across the timeout.
+                return self.run_loop_microop_until(deadline, max_cycles, u64::MAX);
+            }
+            let epoch_end = front + horizon;
+
+            // Speculate: private replays in core-index order (the
+            // reference tie-break order). With one replayer the private
+            // schedule IS the global one, so the cross-core machinery
+            // switches off.
+            let replayers = self
+                .cores
+                .iter()
+                .filter(|c| c.state() == CoreState::Running && c.time() <= epoch_end)
+                .count();
+            let checks = replayers > 1;
+            self.epoch.undo.clear();
+            self.epoch.saved_cores.clear();
+            for l in &mut self.epoch.logs {
+                l.clear();
+            }
+            if checks {
+                self.epoch.written.fill(0);
+            }
+            self.bus
+                .tcdm
+                .timing_snapshot_into(&mut self.epoch.tcdm_snap);
+            let l2_accesses = self.bus.l2.accesses();
+            let icache_hits = self.bus.icache.stats_snapshot();
+
+            let mut seg = 0u32;
+            let mut failed_at = None;
+            let mut contention = false;
+            let mut resume_before = None;
+            let mut salvage: Option<Salvage> = None;
+            // Replay in chunk rounds with an incremental repair pass
+            // between rounds: wide windows still replay end to end in one
+            // pass per core per chunk, but a data-order violation
+            // surfaces within a chunk of where it happened, bounding the
+            // speculative work a rollback discards.
+            let mut chunk_start = front;
+            'chunks: loop {
+                let chunk_end = if checks {
+                    chunk_start.saturating_add(EPOCH_CHUNK).min(epoch_end)
+                } else {
+                    epoch_end
+                };
+                if checks && chunk_start != front {
+                    // Mid-window pass over what is logged so far — pure
+                    // violation detection; boundary handling runs once at
+                    // window end.
+                    let r = repair_schedule(&mut self.epoch, ncores, resume_before);
+                    if let Err(t) = r {
+                        contention = true;
+                        failed_at = Some(t);
+                        break 'chunks;
+                    }
+                    // The next pass (mid-window or boundary) only needs
+                    // to re-merge from the smallest stop this chunk's
+                    // appends can reach (see [`RepairCkpt`]).
+                    resume_before = (0..ncores)
+                        .filter(|&i| self.cores[i].state() == CoreState::Running)
+                        .map(|i| self.cores[i].time() as i64 + self.epoch.sigma[i])
+                        .min();
+                    // Everything logged so far just merged clean, so this
+                    // boundary is a valid narrower window end: snapshot it,
+                    // and a later failure commits the prefix up to here
+                    // instead of discarding the whole window.
+                    let mut s = salvage.take().unwrap_or(Salvage {
+                        cores: Vec::new(),
+                        undo_len: 0,
+                        log_lens: Vec::new(),
+                        tcdm: TcdmTimingSnapshot::default(),
+                        l2_accesses: 0,
+                        icache_hits: 0,
+                    });
+                    s.cores.clear();
+                    s.cores.extend(self.cores.iter().cloned());
+                    s.undo_len = self.epoch.undo.len();
+                    s.log_lens.clear();
+                    s.log_lens
+                        .extend(self.epoch.logs[..ncores].iter().map(Vec::len));
+                    self.bus.tcdm.timing_snapshot_into(&mut s.tcdm);
+                    s.l2_accesses = self.bus.l2.accesses();
+                    s.icache_hits = self.bus.icache.stats_snapshot();
+                    salvage = Some(s);
+                }
+                for i in 0..ncores {
+                    if self.cores[i].state() != CoreState::Running
+                        || self.cores[i].time() > chunk_end
+                    {
+                        continue;
+                    }
+                    if !self.epoch.saved_cores.iter().any(|(j, _)| *j == i) {
+                        self.epoch.saved_cores.push((i, self.cores[i].clone()));
+                    }
+                    // Bias the *window* target by last epoch's shift so
+                    // the cores' exact stop times land close together at
+                    // the boundary (see `sigma_prev`); intermediate chunk
+                    // bounds stay unbiased or the bias would throttle
+                    // every chunk. Any bound is sound.
+                    let target = if checks {
+                        epoch_end.saturating_add_signed(-self.epoch.sigma_prev[i])
+                    } else {
+                        epoch_end
+                    };
+                    let bound = chunk_end.min(target);
+                    let fail = replay_core(
+                        &mut self.cores[i],
+                        &mut self.bus,
+                        i,
+                        seg,
+                        deadline,
+                        bound,
+                        checks,
+                        &mut self.epoch,
+                    );
+                    seg += 1;
+                    if checks {
+                        // Rewind the arbiter so the next segment also
+                        // replays against pre-epoch state.
+                        self.bus
+                            .tcdm
+                            .bank_free_restore(&self.epoch.tcdm_snap.bank_free);
+                    }
+                    if let Some(t) = fail {
+                        failed_at = Some(t);
+                        break 'chunks;
+                    }
+                }
+                if chunk_end == epoch_end {
+                    break;
+                }
+                chunk_start = chunk_end;
+            }
+
+            // Repair-and-check loop: reconstruct the exact schedule from
+            // the logs; cores whose windows end before the epoch's
+            // largest exact issue time get topped up (their next accesses
+            // could otherwise order before committed ones) and the pass
+            // reruns over the extended logs.
+            let mut conflict_delta = 0i64;
+            let mut salvage_fallback = None;
+            loop {
+                if let Some(t) = failed_at {
+                    // Commit salvage: rewind to the last verified chunk
+                    // boundary, if one exists, and run the boundary
+                    // handling as if the window had ended there — the
+                    // clean prefix commits and only the failed tail is
+                    // discarded. Replayed cores, speculative bytes, logs
+                    // and counters all return to their boundary values
+                    // first.
+                    let Some(s) = salvage.take() else { break };
+                    for (i, c) in s.cores.into_iter().enumerate() {
+                        self.cores[i] = c;
+                    }
+                    for (addr, len, bytes) in self.epoch.undo.drain(s.undo_len..).rev() {
+                        self.bus
+                            .tcdm
+                            .write_bytes(addr, &bytes[..len as usize])
+                            .expect("undo entries were in-bounds when logged");
+                    }
+                    for (l, &n) in self.epoch.logs[..ncores].iter_mut().zip(&s.log_lens) {
+                        l.truncate(n);
+                    }
+                    self.bus.tcdm.timing_restore(&s.tcdm);
+                    self.bus.l2.set_accesses(s.l2_accesses);
+                    self.bus.icache.stats_restore(s.icache_hits);
+                    salvage_fallback = Some(t);
+                    failed_at = None;
+                    // The merge state reflects the discarded appends;
+                    // redo the truncated prefix from scratch.
+                    resume_before = None;
+                }
+                if failed_at.is_none() && checks {
+                    let mut rounds = 0;
+                    loop {
+                        match repair_schedule(&mut self.epoch, ncores, resume_before) {
+                            Err(t) => {
+                                contention = true;
+                                failed_at = Some(t);
+                                break;
+                            }
+                            Ok((delta, max_issue)) => {
+                                let lagging = |c: &Core, sigma: i64| {
+                                    c.state() == CoreState::Running
+                                        && c.time() as i64 + sigma <= max_issue
+                                };
+                                if !(0..ncores)
+                                    .any(|i| lagging(&self.cores[i], self.epoch.sigma[i]))
+                                {
+                                    // Deadline guard (see the method docs):
+                                    // every committed op start is below the
+                                    // core's post-window clock, so clock - 1
+                                    // plus the largest positive shift bounds
+                                    // the latest exact op start.
+                                    let crosses = self.epoch.saved_cores.iter().any(|(i, _)| {
+                                        self.cores[*i].time() as i128 - 1
+                                            + self.epoch.sigma_max[*i] as i128
+                                            > deadline as i128
+                                    });
+                                    if crosses {
+                                        failed_at = Some(front);
+                                    } else {
+                                        conflict_delta = delta;
+                                        for (i, _) in &self.epoch.saved_cores {
+                                            self.epoch.sigma_prev[*i] = self.epoch.sigma[*i];
+                                        }
+                                    }
+                                    break;
+                                }
+                                rounds += 1;
+                                if rounds > EPOCH_TOPUP_ROUNDS {
+                                    contention = true;
+                                    failed_at = Some(front);
+                                    break;
+                                }
+                                // The next pass only needs to re-merge from
+                                // the smallest topped-up core's pre-top-up
+                                // exact stop (see [`RepairCkpt`]).
+                                resume_before = (0..ncores)
+                                    .filter(|&i| lagging(&self.cores[i], self.epoch.sigma[i]))
+                                    .map(|i| self.cores[i].time() as i64 + self.epoch.sigma[i])
+                                    .min();
+                                for i in 0..ncores {
+                                    if !lagging(&self.cores[i], self.epoch.sigma[i]) {
+                                        continue;
+                                    }
+                                    if !self.epoch.saved_cores.iter().any(|(j, _)| *j == i) {
+                                        self.epoch.saved_cores.push((i, self.cores[i].clone()));
+                                    }
+                                    let bound = (max_issue + 1 + EPOCH_TOPUP_GRACE as i64
+                                        - self.epoch.sigma[i])
+                                        .max(0)
+                                        as u64;
+                                    let fail = replay_core(
+                                        &mut self.cores[i],
+                                        &mut self.bus,
+                                        i,
+                                        seg,
+                                        deadline,
+                                        bound,
+                                        true,
+                                        &mut self.epoch,
+                                    );
+                                    seg += 1;
+                                    self.bus
+                                        .tcdm
+                                        .bank_free_restore(&self.epoch.tcdm_snap.bank_free);
+                                    if let Some(t) = fail {
+                                        failed_at = Some(t);
+                                        break;
+                                    }
+                                }
+                                if failed_at.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if failed_at.is_none() {
+                    break;
+                }
+            }
+            let Some(fail_time) = failed_at else {
+                // Commit: everything the replays mutated stays, patched
+                // onto the proven-exact timeline — each core's clock and
+                // stall counter move by its final shift, the conflict
+                // counter by the exact-minus-modelled difference, and the
+                // banks get the exact chain's final clocks.
+                if checks {
+                    for (i, _) in &self.epoch.saved_cores {
+                        let s = self.epoch.sigma[*i];
+                        if s != 0 {
+                            self.cores[*i].epoch_time_shift(s);
+                        }
+                    }
+                    if conflict_delta != 0 {
+                        self.bus.tcdm.conflicts_adjust(conflict_delta);
+                    }
+                    self.bus.tcdm.bank_free_restore(&self.epoch.repair_free);
+                }
+                if let Some(t) = salvage_fallback {
+                    // A prefix commit: the tail past the boundary failed,
+                    // so the window does not grow, and the exact fallback
+                    // steps past the failure cause just as it would after
+                    // a full rollback.
+                    if contention {
+                        horizon = (horizon / 2).max(EPOCH_HORIZON_MIN);
+                    }
+                    let grace = if contention {
+                        EPOCH_FALLBACK_GRACE
+                    } else {
+                        EPOCH_FALLBACK_GRACE * 4
+                    };
+                    let until = t.max(front).saturating_add(grace);
+                    self.run_loop_microop_until(deadline, max_cycles, until)?;
+                } else {
+                    horizon = (horizon * 2).min(EPOCH_HORIZON_MAX);
+                }
+                continue;
+            };
+
+            // Rollback, all or nothing: cores from their snapshots, TCDM
+            // bytes newest-first (overlapping writes then restore the
+            // pre-epoch value), and the touched timing/PMU state.
+            for (i, saved) in self.epoch.saved_cores.drain(..) {
+                self.cores[i] = saved;
+            }
+            for (addr, len, bytes) in self.epoch.undo.drain(..).rev() {
+                self.bus
+                    .tcdm
+                    .write_bytes(addr, &bytes[..len as usize])
+                    .expect("undo entries were in-bounds when logged");
+            }
+            self.bus.tcdm.timing_restore(&self.epoch.tcdm_snap);
+            self.bus.l2.set_accesses(l2_accesses);
+            self.bus.icache.stats_restore(icache_hits);
+            // Only genuine contention failures (data-order violations,
+            // boundary non-convergence) indicate the window was too wide;
+            // replay-side aborts (I$ misses, barriers, MMIO) are one-off
+            // events the fallback window steps past.
+            if contention {
+                horizon = (horizon / 2).max(EPOCH_HORIZON_MIN);
+            }
+
+            // Exact window past the failure cause (plus a little grace so
+            // cold-I$ fill trains and barrier flurries cost one window,
+            // not one rollback each). Timeouts, deadlocks and faults
+            // surface from here with reference-identical payloads.
+            let grace = if contention {
+                EPOCH_FALLBACK_GRACE
+            } else {
+                EPOCH_FALLBACK_GRACE * 4
+            };
+            let until = fail_time.max(front).saturating_add(grace);
+            self.run_loop_microop_until(deadline, max_cycles, until)?;
         }
     }
 
@@ -1164,7 +2280,7 @@ mod tests {
     }
 
     #[test]
-    fn all_three_engines_bit_identical() {
+    fn all_four_engines_bit_identical() {
         let run = |engine: crate::Engine| {
             let mut cl = quad();
             cl.set_engine(engine);
@@ -1173,10 +2289,13 @@ mod tests {
             cl.run_until_halt(1_000_000).unwrap()
         };
         let reference = run(crate::Engine::Reference);
-        let turbo = run(crate::Engine::Turbo);
-        let microop = run(crate::Engine::Microop);
-        assert_eq!(turbo, reference);
-        assert_eq!(microop, reference);
+        for engine in [
+            crate::Engine::Turbo,
+            crate::Engine::Microop,
+            crate::Engine::Epoch,
+        ] {
+            assert_eq!(run(engine), reference, "{} diverged", engine.name());
+        }
     }
 
     #[test]
@@ -1201,11 +2320,7 @@ mod tests {
         let (prog, check) = build(L2_BASE + target_off);
         assert_eq!(check, target_off);
 
-        for engine in [
-            crate::Engine::Reference,
-            crate::Engine::Turbo,
-            crate::Engine::Microop,
-        ] {
+        for engine in crate::Engine::ALL {
             let mut cl = Cluster::new(ClusterConfig {
                 num_cores: 1,
                 ..ClusterConfig::default()
@@ -1221,6 +2336,52 @@ mod tests {
                 engine.name()
             );
         }
+    }
+
+    #[test]
+    fn epoch_engine_matches_reference_under_bank_contention() {
+        // Every core hammers the same TCDM words in a tight loop: the
+        // shared-operand reads are lockstep (they must pass the bank-order
+        // check and commit), while the shared read-modify-write word forces
+        // genuine order violations and epoch rollbacks. Both paths must
+        // land on reference-identical cycles, retires and memory.
+        let prog = {
+            let mut a = Asm::new();
+            a.insn(Insn::Csrr(R20, Csr::CoreId));
+            a.la(R1, TCDM_BASE); // shared operand + contended word
+            a.la(R2, TCDM_BASE + 0x100); // private slots
+            a.slli(R3, R20, 2);
+            a.add(R2, R2, R3);
+            a.li(R4, 200);
+            let body = a.new_label();
+            a.bind(body);
+            a.lw(R5, R1, 0); // lockstep shared reads
+            a.lw(R6, R1, 4);
+            a.add(R5, R5, R6);
+            a.sw(R5, R2, 0); // private write
+            a.lw(R7, R1, 8); // contended read-modify-write
+            a.addi(R7, R7, 1);
+            a.sw(R7, R1, 8);
+            a.addi(R4, R4, -1);
+            a.bne(R4, R0, body);
+            a.barrier();
+            a.halt();
+            a.finish().unwrap()
+        };
+        let run = |engine: crate::Engine| {
+            let mut cl = quad();
+            cl.set_engine(engine);
+            cl.load_binary(&prog, L2_BASE).unwrap();
+            cl.start(L2_BASE, &[], 0);
+            let res = cl.run_until_halt(10_000_000).unwrap();
+            let mem: Vec<u32> = (0..0x110)
+                .step_by(4)
+                .map(|off| cl.read_tcdm_u32(TCDM_BASE + off).unwrap())
+                .collect();
+            (res, mem)
+        };
+        let reference = run(crate::Engine::Reference);
+        assert_eq!(run(crate::Engine::Epoch), reference);
     }
 
     #[test]

@@ -85,6 +85,43 @@ impl ICache {
         }
     }
 
+    /// Speculative look-up for the epoch engine: on a hit, counts it (and
+    /// may promote the hot-line filter, which is semantically invisible —
+    /// a filter hit implies a tag match) and returns `true`; on a miss it
+    /// mutates *nothing* — no fill, no tag write, no miss count — and
+    /// returns `false`. Misses abort the epoch, whose rollback restores the
+    /// hit counter via [`ICache::stats_snapshot`], so a probed-then-rolled-
+    /// back sequence leaves the cache bit-identical.
+    #[inline]
+    pub fn probe_hit(&mut self, pc: u32) -> bool {
+        let line_addr = pc >> self.line_shift;
+        if line_addr == self.hot_line {
+            self.hits += 1;
+            return true;
+        }
+        let index = (line_addr & self.index_mask) as usize;
+        let tag = line_addr >> self.index_mask.count_ones();
+        if self.tags[index] == Some(tag) {
+            self.hits += 1;
+            self.hot_line = line_addr;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot of the mutable statistics a speculative epoch can touch
+    /// (only hits: [`ICache::probe_hit`] never fills or counts misses).
+    #[must_use]
+    pub(crate) fn stats_snapshot(&self) -> u64 {
+        self.hits
+    }
+
+    /// Restores a [`ICache::stats_snapshot`] after an epoch rollback.
+    pub(crate) fn stats_restore(&mut self, hits: u64) {
+        self.hits = hits;
+    }
+
     /// Cache hits served.
     #[must_use]
     pub fn hits(&self) -> u64 {

@@ -62,6 +62,13 @@ impl L2Memory {
         self.accesses = 0;
     }
 
+    /// Restores the access counter after an epoch rollback (L2 loads are
+    /// constant-latency and side-effect-free apart from this counter, so
+    /// speculating them only needs the count undone).
+    pub(crate) fn set_accesses(&mut self, accesses: u64) {
+        self.accesses = accesses;
+    }
+
     fn offset(&self, addr: u32, len: u32) -> Result<usize, BusError> {
         let off = addr.wrapping_sub(self.base) as usize;
         if addr < self.base || off + len as usize > self.data.len() {

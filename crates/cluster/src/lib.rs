@@ -89,7 +89,7 @@ pub fn dma_mmio_contains(addr: u32) -> bool {
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Which execution engine a [`Cluster`] uses. All three retire the exact
+/// Which execution engine a [`Cluster`] uses. All four retire the exact
 /// same instruction sequence and produce bit-identical observable results
 /// (`RunResult`, activity counters, trace events, memory, perf counters);
 /// they differ only in host-side speed.
@@ -105,6 +105,11 @@ pub enum Engine {
     /// Turbo batching plus a basic-block micro-op cache: each block is
     /// pre-decoded once into a flat micro-op vector and replayed directly.
     Microop = 2,
+    /// Speculative epoch scheduler: each core replays its micro-op blocks
+    /// privately up to a shared horizon, a conservative conflict check
+    /// validates the epoch, and any conflict rolls the whole epoch back and
+    /// re-runs the window through the exact micro-op interleaving.
+    Epoch = 3,
 }
 
 impl Engine {
@@ -115,9 +120,18 @@ impl Engine {
             "reference" => Some(Engine::Reference),
             "turbo" => Some(Engine::Turbo),
             "microop" => Some(Engine::Microop),
+            "epoch" => Some(Engine::Epoch),
             _ => None,
         }
     }
+
+    /// Every engine, in speed order — the valid `--engine` values.
+    pub const ALL: [Engine; 4] = [
+        Engine::Reference,
+        Engine::Turbo,
+        Engine::Microop,
+        Engine::Epoch,
+    ];
 
     /// The engine's CLI / report name.
     #[must_use]
@@ -126,14 +140,15 @@ impl Engine {
             Engine::Reference => "reference",
             Engine::Turbo => "turbo",
             Engine::Microop => "microop",
+            Engine::Epoch => "epoch",
         }
     }
 }
 
-static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(Engine::Microop as u8);
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(Engine::Epoch as u8);
 
 /// Sets the *default* execution engine for clusters built after this call
-/// (the initial value is [`Engine::Microop`]). All engines produce
+/// (the initial value is [`Engine::Epoch`]). All engines produce
 /// bit-identical results; the knob exists as an escape hatch
 /// (`het-sim --engine`) and for differential testing. Also switches the
 /// host-side `ulp_isa::Core` default between its micro-op and classic step
@@ -145,7 +160,10 @@ static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(Engine::Microop as u8);
 /// test runner.
 pub fn set_default_engine(engine: Engine) {
     DEFAULT_ENGINE.store(engine as u8, Ordering::Relaxed);
-    ulp_isa::uop::set_default_microop(engine == Engine::Microop);
+    // Epoch is a cluster-scheduler strategy; on the single-core host path
+    // it degenerates to micro-op block replay, so both map to the host
+    // core's micro-op loop.
+    ulp_isa::uop::set_default_microop(matches!(engine, Engine::Microop | Engine::Epoch));
 }
 
 /// The current process-wide default execution engine (see
@@ -155,19 +173,16 @@ pub fn default_engine() -> Engine {
     match DEFAULT_ENGINE.load(Ordering::Relaxed) {
         0 => Engine::Reference,
         1 => Engine::Turbo,
+        3 => Engine::Epoch,
         _ => Engine::Microop,
     }
 }
 
 /// Compatibility shim for the original two-engine knob: `true` restores the
-/// fastest batching default ([`Engine::Microop`]), `false` selects
+/// fastest batching default ([`Engine::Epoch`]), `false` selects
 /// [`Engine::Reference`]. Prefer [`set_default_engine`].
 pub fn set_default_turbo(on: bool) {
-    set_default_engine(if on {
-        Engine::Microop
-    } else {
-        Engine::Reference
-    });
+    set_default_engine(if on { Engine::Epoch } else { Engine::Reference });
 }
 
 /// Whether the current default engine is a batching one (anything other

@@ -116,6 +116,54 @@ impl Tcdm {
         (((addr - self.base) >> 2) & self.bank_mask) as usize
     }
 
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.bank_mask as usize + 1
+    }
+
+    /// The bank serving `addr` (word-interleaved).
+    #[must_use]
+    pub(crate) fn bank_index(&self, addr: u32) -> usize {
+        self.bank_of(addr)
+    }
+
+    /// Restores only the per-bank free times (the epoch engine resets
+    /// these between private per-core replays; the PMU counters keep
+    /// accumulating, they are order-free sums).
+    pub(crate) fn bank_free_restore(&mut self, free: &[u64]) {
+        self.bank_free.copy_from_slice(free);
+    }
+
+    /// Applies a signed correction to the conflict counter — the epoch
+    /// engine's commit patch when its exact arbitration re-simulation
+    /// found a different number of stalled accesses than the modelled
+    /// per-core replays counted.
+    pub(crate) fn conflicts_adjust(&mut self, delta: i64) {
+        self.conflicts = self
+            .conflicts
+            .checked_add_signed(delta)
+            .expect("epoch conflict patch keeps the counter non-negative");
+    }
+
+    /// Captures every piece of timing/PMU state a speculative epoch can
+    /// mutate (contents are undone separately via the epoch's byte log).
+    pub(crate) fn timing_snapshot_into(&self, snap: &mut TcdmTimingSnapshot) {
+        snap.bank_free.clear();
+        snap.bank_free.extend_from_slice(&self.bank_free);
+        snap.accesses = self.accesses;
+        snap.conflicts = self.conflicts;
+        snap.busy_cycles = self.busy_cycles;
+    }
+
+    /// Restores a [`Tcdm::timing_snapshot_into`] capture (epoch rollback).
+    pub(crate) fn timing_restore(&mut self, snap: &TcdmTimingSnapshot) {
+        self.bank_free.copy_from_slice(&snap.bank_free);
+        self.accesses = snap.accesses;
+        self.conflicts = snap.conflicts;
+        self.busy_cycles = snap.busy_cycles;
+    }
+
     fn offset(&self, addr: u32, len: u32) -> Result<usize, BusError> {
         let off = addr.wrapping_sub(self.base) as usize;
         if addr < self.base || off + len as usize > self.data.len() {
@@ -225,6 +273,17 @@ impl Tcdm {
         let off = self.offset(addr, len as u32)?;
         Ok(&self.data[off..off + len])
     }
+}
+
+/// Reusable capture of the TCDM's speculation-mutable timing state (see
+/// [`Tcdm::timing_snapshot_into`]); owned by the epoch scratch so the
+/// per-epoch snapshot re-uses one allocation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TcdmTimingSnapshot {
+    pub(crate) bank_free: Vec<u64>,
+    pub(crate) accesses: u64,
+    pub(crate) conflicts: u64,
+    pub(crate) busy_cycles: u64,
 }
 
 #[cfg(test)]

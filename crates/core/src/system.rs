@@ -542,7 +542,7 @@ impl HetSystem {
     /// Prefer [`HetSystem::set_engine`].
     pub fn set_turbo(&mut self, on: bool) {
         self.set_engine(if on {
-            ulp_cluster::Engine::Microop
+            ulp_cluster::Engine::Epoch
         } else {
             ulp_cluster::Engine::Reference
         });
@@ -1384,7 +1384,12 @@ impl HetSystem {
     /// Returns [`OffloadError::Host`] on host faults.
     pub fn run_on_host(&self, build: &KernelBuild) -> Result<HostReport, OffloadError> {
         let mut mcu = Mcu::new(self.config.mcu.clone(), self.config.mcu_freq_hz);
-        mcu.set_microop(self.engine == ulp_cluster::Engine::Microop);
+        // Epoch is a cluster-scheduler strategy; on the single-core host
+        // it degenerates to micro-op block replay.
+        mcu.set_microop(matches!(
+            self.engine,
+            ulp_cluster::Engine::Microop | ulp_cluster::Engine::Epoch
+        ));
         for buf in &build.buffers {
             match &buf.init {
                 BufferInit::Data(d) => mcu.write_mem(buf.addr, d)?,

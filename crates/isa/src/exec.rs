@@ -346,6 +346,11 @@ pub struct Core {
     // bound resumes without a bus look-up. Revalidated against the bus
     // code generation on every entry; cleared by reset.
     block_ctx: Option<(u32, Arc<Block>)>,
+    // Count of `CycleLo` CSR reads. The cycle counter is the one place
+    // timing feeds architectural values, so a speculative scheduler that
+    // repairs timelines after the fact (ulp-cluster's epoch engine) must
+    // know whether a replay observed it.
+    cycle_csr_reads: u64,
 }
 
 impl Core {
@@ -370,6 +375,7 @@ impl Core {
             run_since: 0,
             microop: crate::uop::default_microop(),
             block_ctx: None,
+            cycle_csr_reads: 0,
         }
     }
 
@@ -470,6 +476,36 @@ impl Core {
                 self.run_since = t;
             }
         }
+    }
+
+    /// Number of `CycleLo` CSR reads so far. The cycle CSR is the only
+    /// instruction whose *value* depends on the local clock, so a
+    /// speculative scheduler that shifts replayed timelines after the
+    /// fact must treat any delta here as a speculation failure.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn cycle_csr_reads(&self) -> u64 {
+        self.cycle_csr_reads
+    }
+
+    /// Applies a signed shift to the local clock and the memory-stall
+    /// counter. Used by the cluster's epoch engine when it commits a
+    /// speculative replay whose exact cross-core stalls differ from the
+    /// modelled ones by `delta` cycles: every data stall adds
+    /// `start - issue` to both the clock and `mem_stall_cycles`, so one
+    /// uniform patch of the accumulated stall error reproduces the
+    /// reference state exactly.
+    #[doc(hidden)]
+    pub fn epoch_time_shift(&mut self, delta: i64) {
+        self.time = self
+            .time
+            .checked_add_signed(delta)
+            .expect("epoch shift keeps time non-negative");
+        self.stats.mem_stall_cycles = self
+            .stats
+            .mem_stall_cycles
+            .checked_add_signed(delta)
+            .expect("epoch shift keeps stall count non-negative");
     }
 
     /// Execution state.
@@ -971,7 +1007,10 @@ impl Core {
                 let v = match csr {
                     Csr::CoreId => self.id as u32,
                     Csr::NumCores => self.num_cores,
-                    Csr::CycleLo => self.time as u32,
+                    Csr::CycleLo => {
+                        self.cycle_csr_reads += 1;
+                        self.time as u32
+                    }
                     Csr::InstRetLo => self.stats.retired as u32,
                 };
                 alu!(d, v);
@@ -1200,14 +1239,34 @@ impl Core {
                 }
             }
         }
-        // Move the block out for the replay (the borrow checker cannot see
-        // that exec_block_from never touches block_ctx) and restore it
-        // after: staleness is re-checked on the next entry.
-        let (entry_pc, block) = self.block_ctx.take().expect("resident block just set");
-        let idx = (self.pc.wrapping_sub(entry_pc) >> 2) as usize;
-        let exit = self.exec_block_from(bus, &block, entry_pc, idx, deadline, bound);
-        self.block_ctx = Some((entry_pc, block));
-        exit.map(Some)
+        loop {
+            // Move the block out for the replay (the borrow checker cannot
+            // see that exec_block_from never touches block_ctx) and restore
+            // it after: staleness is re-checked on the next entry.
+            let (entry_pc, block) = self.block_ctx.take().expect("resident block just set");
+            let idx = (self.pc.wrapping_sub(entry_pc) >> 2) as usize;
+            let exit = self.exec_block_from(bus, &block, entry_pc, idx, deadline, bound);
+            self.block_ctx = Some((entry_pc, block));
+            match exit {
+                // Chain straight into the next block under the same bounds:
+                // a redirect always leaves the resident translation (an
+                // in-block branch target resumes inside `exec_block_from`,
+                // and a stale generation needs a rebuild either way), so
+                // the resumability re-check is pure overhead — look up at
+                // the new pc directly.
+                Ok(BlockExit::Redirect) => {
+                    let model = self.model;
+                    match bus.microop_block(self.id, self.pc, &model) {
+                        Some(block) => self.block_ctx = Some((self.pc, block)),
+                        None => {
+                            self.block_ctx = None;
+                            return Ok(None);
+                        }
+                    }
+                }
+                other => return other.map(Some),
+            }
+        }
     }
 
     /// Executes the operate phase of one micro-op. Returns

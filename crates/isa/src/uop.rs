@@ -445,7 +445,11 @@ pub fn build_uops(
     model: &CoreModel,
     max_len: usize,
 ) -> Vec<MicroOp> {
-    let mut uops = Vec::new();
+    // Size for the longest block this walk can produce: `max_len` uops or
+    // every remaining word in the image, whichever cuts first. Blocks end
+    // early at terminals, but the slack never exceeds one small block and
+    // the translation loop stops re-allocating entirely.
+    let mut uops = Vec::with_capacity(max_len.min(data.len().saturating_sub(off) / 4));
     let mut o = off;
     while uops.len() < max_len && o + 4 <= data.len() {
         let Some(insn) = decoded.fetch(o, data) else {

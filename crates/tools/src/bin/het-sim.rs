@@ -66,7 +66,7 @@ fn run() -> Result<(), String> {
              [--stuck-fetch-enable] [--fault-seed N] [--max-retries N] \
              [--backoff-cycles N] [--watchdog-cycles N] [--no-fallback] \
              [--trace FILE] [--trace-cap N] [--counters] \
-             [--perf] [--engine reference|turbo|microop] [--no-turbo] [--jobs N] \
+             [--perf] [--engine reference|turbo|microop|epoch] [--no-turbo] [--jobs N] \
              [--serve] [--pool N] [--max-batch N] [--serial] [--no-fair] \
              [--serve-seed N] [--duration-ms N] [--tenants N] \
              [--soak] [--burst-factor F] [--blackout-ms N] [--churn-ms N] \
@@ -79,12 +79,21 @@ fn run() -> Result<(), String> {
     let mcu_hz = args.get_f64("mcu-mhz", 16.0)? * 1e6;
     let iterations = args.get_usize("iterations", 16)?;
     // Engine selection must precede system construction, which latches the
-    // choice. `--engine` picks one of the three bit-identical engines;
+    // choice. `--engine` picks one of the bit-identical engines;
     // `--no-turbo` stays as the original escape hatch to the reference
     // scheduler.
     if let Some(name) = args.get("engine") {
-        let engine = ulp_cluster::Engine::from_name(name)
-            .ok_or_else(|| format!("--engine: `{name}` is not reference, turbo or microop"))?;
+        let engine = ulp_cluster::Engine::from_name(name).ok_or_else(|| {
+            let valid = ulp_cluster::Engine::ALL
+                .iter()
+                .map(|e| e.name())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "--engine: `{name}` is not a known engine (valid engines, \
+                 all bit-identical: {valid})"
+            )
+        })?;
         ulp_cluster::set_default_engine(engine);
     }
     if args.has("no-turbo") {

@@ -152,7 +152,7 @@ fn het_sim_smoke() {
 
 #[test]
 fn het_sim_engine_flag_selects_and_validates() {
-    for engine in ["reference", "turbo", "microop"] {
+    for engine in ["reference", "turbo", "microop", "epoch"] {
         let out = Command::new(env!("CARGO_BIN_EXE_het-sim"))
             .args([
                 "--benchmark",
@@ -182,7 +182,18 @@ fn het_sim_engine_flag_selects_and_validates() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("`warp` is not reference"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The rejection must name the bad value and list every valid engine.
+    assert!(
+        stderr.contains("`warp` is not a known engine"),
+        "missing contextful rejection:\n{stderr}"
+    );
+    for valid in ["reference", "turbo", "microop", "epoch"] {
+        assert!(
+            stderr.contains(valid),
+            "error must list `{valid}`:\n{stderr}"
+        );
+    }
 }
 
 #[test]

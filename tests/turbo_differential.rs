@@ -1,21 +1,24 @@
 //! Differential battery for the batching cluster engines.
 //!
 //! The turbo scheduler batches instructions on the frontmost core instead
-//! of rescanning before every step, and the micro-op engine additionally
-//! replays pre-decoded basic blocks (see `DESIGN.md`). Their contract is
-//! *bit-identity* with the reference scheduler — not "close", identical:
-//! same `RunResult` (retired counts included), same error (deadlocks and
-//! timeouts included), same memory image, same trace, on every program and
-//! every configuration.
+//! of rescanning before every step, the micro-op engine additionally
+//! replays pre-decoded basic blocks, and the epoch engine speculates whole
+//! per-core windows and repairs the arbitration afterwards (see
+//! `DESIGN.md`). Their contract is *bit-identity* with the reference
+//! scheduler — not "close", identical: same `RunResult` (retired counts
+//! included), same error (deadlocks and timeouts included), same memory
+//! image, same trace, on every program and every configuration.
 //!
-//! Part A drives all three engines over hundreds of seeded random SPMD
+//! Part A drives all four engines over hundreds of seeded random SPMD
 //! programs on random cluster shapes (core count, TCDM banking, cache and
 //! barrier latencies), including programs that deadlock or fault, plus a
 //! dedicated stream of self-modifying programs that rewrite instructions
-//! both inside and across cached block boundaries. Part B replays the full
-//! offload pipeline — all ten Table I benchmarks, with the link fault
-//! injector both off and on — through `HetSystem` instances that differ
-//! only in engine choice.
+//! both inside and across cached block boundaries, plus a stream biased
+//! toward TCDM bank-contention-heavy and I$-thrashing shapes — the exact
+//! programs the epoch engine's conflict repair must not get wrong. Part B
+//! replays the full offload pipeline — all ten Table I benchmarks, with
+//! the link fault injector both off and on — through `HetSystem` instances
+//! that differ only in engine choice.
 
 use ulp_cluster::{
     Cluster, ClusterConfig, ClusterError, Engine, RunResult, EVT_BROADCAST, EVT_EOC, L2_BASE,
@@ -163,17 +166,18 @@ fn random_program(rng: &mut XorShiftRng) -> Program {
 }
 
 /// Runs one (config, program) pair on the given engine and returns every
-/// observable: the run result or error, and the TCDM scratch window.
+/// observable: the run result or error, the TCDM scratch window, and the
+/// attached tracer (if any) for trace comparison.
 fn run_engine(
     cfg: &ClusterConfig,
     prog: &Program,
     engine: Engine,
     tracer: Option<Tracer>,
-) -> (Result<RunResult, ClusterError>, Vec<u8>) {
+) -> (Result<RunResult, ClusterError>, (Vec<u8>, Option<Tracer>)) {
     let mut cl = Cluster::new(*cfg);
     cl.set_engine(engine);
-    if let Some(t) = tracer {
-        cl.set_tracer(t);
+    if let Some(t) = &tracer {
+        cl.set_tracer(t.clone());
     }
     cl.load_binary(prog, L2_BASE).expect("program fits in L2");
     cl.start(L2_BASE, &[], 0);
@@ -181,17 +185,17 @@ fn run_engine(
     let scratch = cl
         .read_tcdm(TCDM_BASE, SCRATCH_BYTES)
         .expect("scratch readback");
-    (result, scratch)
+    (result, (scratch, tracer))
 }
 
 /// Seed of the Part A battery stream.
 const BATTERY_SEED: u64 = 0x70B0_D1FF;
 
-/// Runs one (config, program) pair on all three engines and asserts every
+/// Runs one (config, program) pair on all four engines and asserts every
 /// observable is identical, the reference scan being the oracle. Every
 /// `trace`d case also attaches a tracer per engine and compares the
 /// exported Chrome JSON byte-for-byte. Returns the reference outcome.
-fn assert_three_way(
+fn assert_four_way(
     cfg: &ClusterConfig,
     prog: &Program,
     trace: bool,
@@ -206,19 +210,17 @@ fn assert_three_way(
             None
         }
     };
-    let (ref_tracer, turbo_tracer, uop_tracer) = (tracer(trace), tracer(trace), tracer(trace));
-    let (reference, ref_mem) = run_engine(cfg, prog, Engine::Reference, ref_tracer.clone());
-    let (turbo, turbo_mem) = run_engine(cfg, prog, Engine::Turbo, turbo_tracer.clone());
-    let (microop, uop_mem) = run_engine(cfg, prog, Engine::Microop, uop_tracer.clone());
+    let (reference, ref_mem) = run_engine(cfg, prog, Engine::Reference, tracer(trace));
+    let ref_json = ref_mem.1.as_ref().map(|t| t.chrome_json());
     ulp_par::battery_case(battery, repro, || {
-        assert_eq!(turbo, reference, "{ctx}: turbo result diverged");
-        assert_eq!(microop, reference, "{ctx}: microop result diverged");
-        assert_eq!(turbo_mem, ref_mem, "{ctx}: turbo TCDM image diverged");
-        assert_eq!(uop_mem, ref_mem, "{ctx}: microop TCDM image diverged");
-        if let (Some(rt), Some(tt), Some(ut)) = (&ref_tracer, &turbo_tracer, &uop_tracer) {
-            let golden = rt.chrome_json();
-            assert_eq!(tt.chrome_json(), golden, "{ctx}: turbo trace diverged");
-            assert_eq!(ut.chrome_json(), golden, "{ctx}: microop trace diverged");
+        for engine in [Engine::Turbo, Engine::Microop, Engine::Epoch] {
+            let name = engine.name();
+            let (result, mem) = run_engine(cfg, prog, engine, tracer(trace));
+            assert_eq!(result, reference, "{ctx}: {name} result diverged");
+            assert_eq!(mem.0, ref_mem.0, "{ctx}: {name} TCDM image diverged");
+            if let (Some(golden), Some(t)) = (&ref_json, &mem.1) {
+                assert_eq!(&t.chrome_json(), golden, "{ctx}: {name} trace diverged");
+            }
         }
     });
     reference
@@ -226,7 +228,7 @@ fn assert_three_way(
 
 /// Part A: 600 seeded random (config, program) pairs per unit of
 /// `ULP_BATTERY_SCALE` (default 1; the nightly CI job raises it), all
-/// three engines, every observable compared for equality. Every 16th pair
+/// four engines, every observable compared for equality. Every 16th pair
 /// also runs with a tracer attached on each side and compares the exported
 /// Chrome JSON byte-for-byte. A failing case appends its reproduction
 /// line to `target/battery-failures/` before panicking.
@@ -248,7 +250,7 @@ fn engines_match_reference_on_600_random_programs() {
             "engines_match_reference_on_600_random_programs: \
              seed={BATTERY_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
         );
-        match assert_three_way(
+        match assert_four_way(
             &cfg,
             &prog,
             case % 16 == 0,
@@ -345,7 +347,7 @@ fn random_smc_program(rng: &mut XorShiftRng) -> Program {
 }
 
 /// Part A': 120 seeded self-modifying programs per unit of
-/// `ULP_BATTERY_SCALE`, all three engines, every observable compared —
+/// `ULP_BATTERY_SCALE`, all four engines, every observable compared —
 /// the stress case for the micro-op block cache's generation-based
 /// invalidation (in-block staleness after a store, cross-block staleness
 /// on re-entry of a cached block). Every case must halt: an SMC program
@@ -366,7 +368,7 @@ fn engines_match_reference_on_self_modifying_programs() {
             "engines_match_reference_on_self_modifying_programs: \
              seed={SMC_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
         );
-        let outcome = assert_three_way(
+        let outcome = assert_four_way(
             &cfg,
             &prog,
             case % 8 == 0,
@@ -375,6 +377,147 @@ fn engines_match_reference_on_self_modifying_programs() {
             &repro,
         );
         assert!(outcome.is_ok(), "{ctx}: SMC program must halt: {outcome:?}");
+    }
+}
+
+/// Seed of the contention battery stream.
+const CONTENTION_SEED: u64 = 0xBA2C_0217;
+
+/// Cluster shapes for the contention battery: few banks against many
+/// cores, and an instruction cache small enough that the generated text
+/// cannot fit — every loop iteration re-misses lines.
+fn contention_config(rng: &mut XorShiftRng) -> ClusterConfig {
+    ClusterConfig {
+        num_cores: *choose(rng, &[2, 4, 4, 4, 8]),
+        tcdm_banks: *choose(rng, &[1, 2, 2, 4]),
+        icache_size: *choose(rng, &[256, 512, 1024]),
+        icache_line: 16,
+        icache_miss_penalty: rng.gen_range(5u32..=20),
+        l2_data_latency: rng.gen_range(1u32..=10),
+        barrier_latency: rng.gen_range(0u32..=8),
+        ..ClusterConfig::default()
+    }
+}
+
+/// A seeded SPMD program biased toward the shapes the epoch engine's
+/// conflict repair must not get wrong: every core hammers the *same* TCDM
+/// bank (offsets strided by the bank count keep the whole burst on bank
+/// 0), barriers re-align the cores so the bursts keep colliding, shared
+/// hot words create cross-core read-after-write hazards inside a window,
+/// and straight-line filler bloats the text past the (deliberately small)
+/// I$ so an outer loop re-misses every line. Always halts: a fault or
+/// deadlock here means a generator bug, not an interesting schedule.
+fn random_contention_program(rng: &mut XorShiftRng, banks: usize) -> Program {
+    let regs = [R1, R2, R3, R4, R5, R6];
+    let stride = 4 * banks as i16;
+    let mut a = Asm::new();
+    a.insn(Insn::Csrr(R20, Csr::CoreId));
+    for (k, &r) in regs.iter().enumerate() {
+        a.li(r, rng.gen::<u32>() as i32 ^ k as i32);
+    }
+    // Shared scratch base — deliberately *not* per-core — and a per-core
+    // divergence value for branch variety.
+    a.la(R10, TCDM_BASE);
+    a.slli(R11, R20, 3);
+    a.li(R9, rng.gen_range(2i32..=4)); // outer loop: re-run the whole text
+    let top = a.new_label();
+    a.bind(top);
+    for _ in 0..rng.gen_range(6usize..=14) {
+        match rng.gen_range(0u32..1000) {
+            // Single-bank hammer burst: every access in the burst (from
+            // every core at once) lands on bank 0.
+            0..=449 => {
+                for _ in 0..rng.gen_range(3usize..=8) {
+                    let r = *choose(rng, &regs);
+                    let off = rng.gen_range(0i16..=15) * stride;
+                    match rng.gen_range(0u32..4) {
+                        0 => a.sw(r, R10, off),
+                        1 => a.lw(r, R10, off),
+                        2 => a.sh(r, R10, off),
+                        _ => a.lbu(r, R10, off),
+                    };
+                }
+            }
+            // Straight-line filler: bloats the text so the outer loop
+            // thrashes the small I$; mul/mac add multi-cycle timing.
+            450..=649 => {
+                for _ in 0..rng.gen_range(12usize..=32) {
+                    let (rd, ra, rb) = (
+                        *choose(rng, &regs),
+                        *choose(rng, &regs),
+                        *choose(rng, &regs),
+                    );
+                    match rng.gen_range(0u32..4) {
+                        0 => a.add(rd, ra, rb),
+                        1 => a.mul(rd, ra, rb),
+                        2 => a.mac(rd, ra, rb),
+                        _ => a.addi(rd, ra, rng.gen_range(-128i16..=127)),
+                    };
+                }
+            }
+            // Re-align the cores so the next burst collides again.
+            650..=799 => {
+                a.barrier();
+            }
+            // Shared hot word: cross-core write/read on the same address
+            // inside one speculation window (the data-flow hazard case).
+            800..=899 => {
+                let r = *choose(rng, &regs);
+                a.sw(r, R10, 0);
+                a.lw(*choose(rng, &regs), R10, 0);
+            }
+            // Core-divergent skip: cores fall out of lockstep briefly.
+            _ => {
+                let skip = a.new_label();
+                a.blt(R11, *choose(rng, &regs), skip);
+                a.add(*choose(rng, &regs), R11, *choose(rng, &regs));
+                a.bind(skip);
+            }
+        }
+    }
+    a.addi(R9, R9, -1);
+    a.bne(R9, R0, top);
+    a.barrier();
+    let done = a.new_label();
+    a.bne(R20, R0, done);
+    a.sev(EVT_EOC);
+    a.bind(done);
+    a.halt();
+    a.finish().expect("contention program must assemble")
+}
+
+/// Part A'': 150 seeded contention-heavy programs per unit of
+/// `ULP_BATTERY_SCALE`, all four engines, every observable compared — the
+/// adversarial stream for the epoch engine's bank-conflict repair,
+/// data-flow hazard abort, and I$-miss fallback. Every case must halt.
+#[test]
+fn engines_match_reference_on_contention_heavy_programs() {
+    let scale = ulp_par::battery_scale();
+    let cases = 150 * scale;
+    let mut rng = XorShiftRng::seed_from_u64(CONTENTION_SEED);
+    for case in 0..cases {
+        let cfg = contention_config(&mut rng);
+        let prog = random_contention_program(&mut rng, cfg.tcdm_banks);
+        let ctx = format!(
+            "contention case {case} ({} cores, {} banks, {}B I$)",
+            cfg.num_cores, cfg.tcdm_banks, cfg.icache_size
+        );
+        let repro = format!(
+            "engines_match_reference_on_contention_heavy_programs: \
+             seed={CONTENTION_SEED:#x} case={case} ULP_BATTERY_SCALE={scale}"
+        );
+        let outcome = assert_four_way(
+            &cfg,
+            &prog,
+            case % 16 == 0,
+            "contention_differential",
+            &ctx,
+            &repro,
+        );
+        assert!(
+            outcome.is_ok(),
+            "{ctx}: contention program must halt: {outcome:?}"
+        );
     }
 }
 
@@ -417,7 +560,7 @@ fn engines_match_reference_on_all_benchmarks_with_and_without_faults() {
                 format!("{report:?} {:?}", sys.link_stats())
             };
             let golden = observe(Engine::Reference);
-            for engine in [Engine::Turbo, Engine::Microop] {
+            for engine in [Engine::Turbo, Engine::Microop, Engine::Epoch] {
                 assert_eq!(
                     observe(engine),
                     golden,
