@@ -321,8 +321,12 @@ struct MemAccess {
 /// shift update replaces the modelled stall with the exact one), so the
 /// greedy min-merge never pops below an earlier pop. Top-up extensions
 /// only append accesses whose eventual pop time is at or above the topped
-/// core's pre-top-up exact stop; any checkpoint at or below the smallest
-/// such stop therefore precedes every merge divergence.
+/// core's pre-top-up exact stop; any checkpoint strictly below the
+/// smallest such stop therefore precedes every merge divergence. Strictly:
+/// an appended access can pop at exactly that stop, and a checkpoint tied
+/// there may already cover same-shifted pops from higher-index cores that
+/// the `(shifted, core)` tie-break orders after the appended access, so a
+/// tied checkpoint does not precede the divergence.
 #[derive(Clone, Copy, Debug)]
 struct RepairCkpt {
     /// Shifted issue time of the last pop this checkpoint covers.
@@ -619,7 +623,9 @@ fn replay_core(
     checks: bool,
     epoch: &mut EpochScratch,
 ) -> Option<u64> {
-    let cycle_reads = core.cycle_csr_reads();
+    if checks {
+        core.watch_cycle_csr();
+    }
     let mut own_log = std::mem::take(&mut epoch.logs[index]);
     let mut ebus = EpochBus {
         bus,
@@ -645,8 +651,13 @@ fn replay_core(
         }
     };
     epoch.logs[index] = own_log;
-    if fail.is_none() && checks && core.cycle_csr_reads() != cycle_reads {
-        return Some(core.time());
+    if fail.is_none() && checks {
+        // The latched time of the first read — not `core.time()` — so a
+        // cycle-CSR polling loop re-executes exactly only up to the read
+        // plus grace, not the whole replayed window.
+        if let Some(t) = core.cycle_csr_read_at() {
+            return Some(t);
+        }
     }
     fail
 }
@@ -689,10 +700,10 @@ fn replay_core(
 /// fallback window.
 ///
 /// `resume_before` reruns the pass after a boundary top-up: the merge
-/// resumes from the latest checkpoint at or below the given shifted time
-/// (the smallest pre-top-up exact stop among the topped-up cores — see
-/// [`RepairCkpt`] for why that is a divergence-free prefix) instead of
-/// re-popping the whole epoch.
+/// resumes from the latest checkpoint strictly below the given shifted
+/// time (the smallest pre-top-up exact stop among the topped-up cores —
+/// see [`RepairCkpt`] for why only a strictly-earlier checkpoint is a
+/// divergence-free prefix) instead of re-popping the whole epoch.
 fn repair_schedule(
     epoch: &mut EpochScratch,
     ncores: usize,
@@ -704,10 +715,15 @@ fn repair_schedule(
     let mut pops = 0u64;
     let mut resumed = false;
     if let Some(limit) = resume_before {
-        // Latest checkpoint whose last pop is at or below the limit;
-        // everything after it is rewound and re-popped.
+        // Latest checkpoint whose last pop is strictly below the limit;
+        // everything at or after the limit is rewound and re-popped.
+        // Strict, not `<=`: a topped-up core's first appended access can
+        // pop at exactly `shifted == limit` (its resume time plus sigma),
+        // and the `(shifted, core)` tie-break may order it before a
+        // same-shifted pop from a higher-index core that a checkpoint
+        // tied at the limit already committed (see [`RepairCkpt`]).
         let mut k = epoch.ckpts.len();
-        while k > 0 && epoch.ckpts[k - 1].last_shifted > limit {
+        while k > 0 && epoch.ckpts[k - 1].last_shifted >= limit {
             k -= 1;
         }
         if k > 0 {
@@ -2382,6 +2398,119 @@ mod tests {
         };
         let reference = run(crate::Engine::Reference);
         assert_eq!(run(crate::Engine::Epoch), reference);
+    }
+
+    #[test]
+    fn epoch_engine_matches_reference_with_cycle_csr_polling() {
+        // A cycle-CSR poll every iteration: the clock feeds an
+        // architectural value, so every epoch aborts and falls back to an
+        // exact window bounded at the latched read time. The polled
+        // values (accumulated and stored) must still be
+        // reference-identical, as must cycles, retires and memory.
+        let prog = {
+            let mut a = Asm::new();
+            a.insn(Insn::Csrr(R20, Csr::CoreId));
+            a.la(R1, TCDM_BASE + 0x40);
+            a.slli(R2, R20, 3);
+            a.add(R1, R1, R2); // 8-byte per-core area: RMW word + sum
+            a.li(R4, 300);
+            a.li(R6, 0);
+            let body = a.new_label();
+            a.bind(body);
+            a.insn(Insn::Csrr(R5, Csr::CycleLo)); // the poll
+            a.add(R6, R6, R5);
+            a.lw(R7, R1, 0); // TCDM traffic between polls
+            a.addi(R7, R7, 1);
+            a.sw(R7, R1, 0);
+            a.addi(R4, R4, -1);
+            a.bne(R4, R0, body);
+            a.sw(R6, R1, 4);
+            a.barrier();
+            a.halt();
+            a.finish().unwrap()
+        };
+        let run = |engine: crate::Engine| {
+            let mut cl = quad();
+            cl.set_engine(engine);
+            cl.load_binary(&prog, L2_BASE).unwrap();
+            cl.start(L2_BASE, &[], 0);
+            let res = cl.run_until_halt(10_000_000).unwrap();
+            let mem: Vec<u32> = (0x40..0x60)
+                .step_by(4)
+                .map(|off| cl.read_tcdm_u32(TCDM_BASE + off).unwrap())
+                .collect();
+            (res, mem)
+        };
+        let reference = run(crate::Engine::Reference);
+        assert_eq!(run(crate::Engine::Epoch), reference);
+    }
+
+    #[test]
+    fn repair_resume_rewinds_checkpoints_tied_at_the_limit() {
+        // Regression: a topped-up core's first appended access can pop at
+        // exactly `shifted == limit` (its resume time plus sigma), and a
+        // checkpoint whose last pop ties the limit may already have
+        // committed a same-shifted pop from a higher-index core that the
+        // `(shifted, core)` tie-break orders *after* the appended access.
+        // Resuming from such a checkpoint replays a different arbitration
+        // order than a full merge. These synthetic logs land the tie
+        // exactly on the 256-pop checkpoint boundary; the resumed pass
+        // must match a from-scratch merge over the same logs.
+        let access = |bank: u32, now: u64| MemAccess {
+            bank,
+            word_w: bank, // reads of never-written words: data-flow check off
+            seg: 0,
+            now,
+            mark: now + 1, // modelled stall-free (d_m = 0)
+        };
+        // Core 0: bank 0 at even times 0..=254. Core 1: bank 1 at odd
+        // times 1..=253, then *bank 0* at 255 (pop #256), then bank 1
+        // past the tie so the merge keeps going and pushes the 256-pop
+        // checkpoint with `last_shifted == 255`.
+        let core0: Vec<MemAccess> = (0..128u64).map(|i| access(0, 2 * i)).collect();
+        let mut core1: Vec<MemAccess> = (0..127u64).map(|i| access(1, 2 * i + 1)).collect();
+        core1.push(access(0, 255));
+        core1.push(access(1, 257));
+        core1.push(access(1, 259));
+        let mut ep = EpochScratch {
+            tcdm_snap: TcdmTimingSnapshot {
+                bank_free: vec![0, 0],
+                ..TcdmTimingSnapshot::default()
+            },
+            words: vec![WordTrack::default(); 64],
+            written: vec![0],
+            journal_mark: vec![0; 64],
+            logs: vec![core0, core1],
+            ..EpochScratch::default()
+        };
+        repair_schedule(&mut ep, 2, None).unwrap();
+        assert_eq!(ep.sigma, vec![0, 0], "pre-top-up merge is stall-free");
+        assert_eq!(
+            ep.ckpts.iter().map(|c| c.last_shifted).collect::<Vec<_>>(),
+            vec![255],
+            "the tie must sit exactly on the checkpoint boundary"
+        );
+        // Top-up: core 0 resumes at 255 (sigma 0, so the limit is 255)
+        // and hits bank 0 — the tie-break orders this access *before*
+        // core 1's already-checkpointed bank-0 access at 255.
+        ep.logs[0].push(access(0, 255));
+        ep.logs[0].push(access(0, 257));
+        let resumed = repair_schedule(&mut ep, 2, Some(255)).unwrap();
+        let resumed_state = (
+            ep.sigma.clone(),
+            ep.sigma_max.clone(),
+            ep.repair_free.clone(),
+        );
+        // Reference: the same logs merged from scratch.
+        let full = repair_schedule(&mut ep, 2, None).unwrap();
+        let full_state = (
+            ep.sigma.clone(),
+            ep.sigma_max.clone(),
+            ep.repair_free.clone(),
+        );
+        assert_eq!(full_state.0, vec![0, 1], "core 1 loses the bank-0 tie");
+        assert_eq!(resumed, full);
+        assert_eq!(resumed_state, full_state);
     }
 
     #[test]

@@ -351,6 +351,11 @@ pub struct Core {
     // repairs timelines after the fact (ulp-cluster's epoch engine) must
     // know whether a replay observed it.
     cycle_csr_reads: u64,
+    // Local time of the first `CycleLo` read since the watch was last
+    // armed (`None`: no read yet). Lets the epoch engine bound its exact
+    // fallback window at the read itself instead of the end of the
+    // replayed window.
+    cycle_csr_read_at: Option<u64>,
 }
 
 impl Core {
@@ -376,6 +381,7 @@ impl Core {
             microop: crate::uop::default_microop(),
             block_ctx: None,
             cycle_csr_reads: 0,
+            cycle_csr_read_at: None,
         }
     }
 
@@ -486,6 +492,24 @@ impl Core {
     #[must_use]
     pub fn cycle_csr_reads(&self) -> u64 {
         self.cycle_csr_reads
+    }
+
+    /// Arms the `CycleLo` read-time watch: clears the latched read time
+    /// so the next read records the local time it was issued at. The
+    /// epoch engine arms this per replay segment and, on a read, bounds
+    /// its exact fallback window at the latched time instead of the end
+    /// of the replayed window.
+    #[doc(hidden)]
+    pub fn watch_cycle_csr(&mut self) {
+        self.cycle_csr_read_at = None;
+    }
+
+    /// Local time of the first `CycleLo` read since
+    /// [`Core::watch_cycle_csr`] last armed the watch (`None` if none).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn cycle_csr_read_at(&self) -> Option<u64> {
+        self.cycle_csr_read_at
     }
 
     /// Applies a signed shift to the local clock and the memory-stall
@@ -1009,6 +1033,9 @@ impl Core {
                     Csr::NumCores => self.num_cores,
                     Csr::CycleLo => {
                         self.cycle_csr_reads += 1;
+                        if self.cycle_csr_read_at.is_none() {
+                            self.cycle_csr_read_at = Some(self.time);
+                        }
                         self.time as u32
                     }
                     Csr::InstRetLo => self.stats.retired as u32,
